@@ -1,0 +1,102 @@
+// Ablation: push notification vs fixed-interval polling for model
+// discovery. Runs the real in-process engine (threads, pub/sub, metadata
+// DB) and measures the wall-clock delay from save_weights() returning to
+// the consumer's double-buffer swap completing.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "viper/core/consumer.hpp"
+#include "viper/tensor/architectures.hpp"
+
+using namespace viper;
+using namespace viper::core;
+
+namespace {
+
+Model test_model() {
+  Rng rng(33);
+  Model m("net");
+  (void)m.add_tensor("w", Tensor::random(DType::kF32, Shape{4096}, rng).value());
+  return m;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One save → discovery latency measurement against any consumer with an
+/// updates_applied() counter.
+template <typename Consumer>
+double measure_discovery(ModelWeightsHandler& handler, Consumer& consumer,
+                         Model& model, std::uint64_t version) {
+  model.set_version(version);
+  const std::uint64_t before = consumer.updates_applied();
+  const double t0 = now_seconds();
+  (void)handler.save_weights("net", model);
+  while (consumer.updates_applied() == before) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return now_seconds() - t0;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation: push notification vs polling (model discovery)");
+  constexpr int kUpdates = 10;
+
+  // --- Push-notified consumer. -----------------------------------------
+  {
+    auto services = std::make_shared<SharedServices>();
+    auto world = net::CommWorld::create(2);
+    ModelWeightsHandler::Options options;
+    options.strategy = Strategy::kViperPfs;  // no transfer server needed
+    auto handler = std::make_shared<ModelWeightsHandler>(services, options);
+    InferenceConsumer consumer(services, world->comm(1), "net", {});
+    consumer.start();
+    Model model = test_model();
+    double total = 0.0;
+    for (std::uint64_t v = 1; v <= kUpdates; ++v) {
+      total += measure_discovery(*handler, consumer, model, v);
+    }
+    consumer.stop();
+    bench::row("push (pub/sub)", total / kUpdates * 1e3, "ms mean discovery+load");
+  }
+
+  // --- Polling consumers at several intervals. -------------------------
+  for (double interval : {0.001, 0.01, 0.1, 0.5}) {
+    auto services = std::make_shared<SharedServices>();
+    auto world = net::CommWorld::create(2);
+    ModelWeightsHandler::Options options;
+    options.strategy = Strategy::kViperPfs;
+    auto handler = std::make_shared<ModelWeightsHandler>(services, options);
+    PollingConsumer::Options poll_options;
+    poll_options.poll_interval = interval;
+    PollingConsumer consumer(services, world->comm(1), "net", poll_options);
+    consumer.start();
+    Model model = test_model();
+    double total = 0.0;
+    for (std::uint64_t v = 1; v <= kUpdates; ++v) {
+      total += measure_discovery(*handler, consumer, model, v);
+    }
+    const auto polls = consumer.polls_issued();
+    consumer.stop();
+    char label[64];
+    std::snprintf(label, sizeof(label), "poll @ %g ms", interval * 1e3);
+    std::printf("  %-28s %10.3f ms mean discovery+load   (%llu polls issued)\n",
+                label, total / kUpdates * 1e3,
+                static_cast<unsigned long long>(polls));
+  }
+
+  bench::heading("Interpretation");
+  bench::note("push discovery is sub-millisecond and costs zero idle work;");
+  bench::note("polling pays ~interval/2 of staleness per update and burns");
+  bench::note("metadata lookups continuously (paper: high-frequency polling");
+  bench::note("burdens the storage system; Triton's floor is 1 ms).");
+  return 0;
+}

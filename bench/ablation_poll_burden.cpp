@@ -1,0 +1,55 @@
+// Ablation: the §3 claim that "high-frequency polling significantly
+// burdens the storage system". A TF-Serving-style consumer that watches a
+// PFS model directory spends one metadata RPC per poll; with many
+// consumers the metadata server saturates and everyone's I/O — including
+// the producer's checkpoint writes — queues behind it (M/M/1 slowdown
+// 1/(1-utilization)). Viper's push notifications cost the PFS nothing.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "viper/memsys/presets.hpp"
+
+using namespace viper;
+
+int main() {
+  bench::heading("Ablation: polling burden on the PFS metadata service");
+
+  const memsys::DeviceModel pfs = memsys::polaris_lustre();
+  const double op = pfs.metadata_op_latency;  // seconds per directory stat
+  const double checkpoint_write = pfs.write_seconds(4'700'000'000ULL, 2);
+
+  std::printf("  metadata RPC cost: %.0f ms; TC1 checkpoint write (idle PFS): "
+              "%.2f s\n\n",
+              op * 1e3, checkpoint_write);
+  std::printf("  %-12s %-12s %-14s %-20s %-16s\n", "consumers", "poll (ms)",
+              "stat RPCs/s", "metadata util", "ckpt write (s)");
+
+  for (int consumers : {1, 8, 32, 64}) {
+    for (double interval : {1.0, 0.1, 0.01, 0.001}) {
+      const double rps = consumers / interval;
+      const double utilization = rps * op;
+      if (utilization >= 1.0) {
+        std::printf("  %-12d %-12g %-14.0f %-20s %-16s\n", consumers,
+                    interval * 1e3, rps, "SATURATED", "unbounded");
+        continue;
+      }
+      const double slowdown = 1.0 / (1.0 - utilization);
+      char util[32];
+      std::snprintf(util, sizeof(util), "%.1f%%", utilization * 100);
+      std::printf("  %-12d %-12g %-14.0f %-20s %-16.2f\n", consumers,
+                  interval * 1e3, rps, util, checkpoint_write * slowdown);
+    }
+  }
+
+  std::printf("\n  %-12s %-12s %-14s %-20s %-16s\n", "push", "-", "0",
+              "0.0%", "");
+  std::printf("  %-12s %-12s %-14s %-20s %-14.2f\n", "(Viper)", "", "", "",
+              checkpoint_write);
+
+  bench::heading("Interpretation");
+  bench::note("polling a PFS directory cannot be both prompt and cheap: at");
+  bench::note("Triton's 1 ms floor a single consumer already saturates the");
+  bench::note("metadata service; push notification decouples discovery from");
+  bench::note("the storage system entirely (paper §3 / §4.4).");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: the Checkpoint Frequency Adapter (fig. 3's feedback loop)
+// versus statically planned schedules. The adapter needs no warm-up
+// prediction at all — it reacts to measured stalls and loss improvements
+// — and must keep the stall overhead near its target even on the slow
+// PFS path, where static frequent schedules bleed training time.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "viper/core/coupled_sim.hpp"
+
+using namespace viper;
+using namespace viper::core;
+
+namespace {
+
+CoupledRunResult run(Strategy strategy, ScheduleKind kind) {
+  CoupledRunConfig config;
+  config.profile = sim::app_profile(AppModel::kTc1);
+  config.strategy = strategy;
+  config.schedule_kind = kind;
+  return run_coupled_experiment(config).value();
+}
+
+CoupledRunResult run_adapter(Strategy strategy, double target_overhead) {
+  CoupledRunConfig config;
+  config.profile = sim::app_profile(AppModel::kTc1);
+  config.strategy = strategy;
+  config.frequency_adapter = FrequencyAdapter::Options{
+      .initial_interval = 216,
+      .min_interval = 8,
+      .max_interval = 2000,
+      .target_overhead_fraction = target_overhead,
+      .improvement_threshold = 0.01,
+      .step = 1.5,
+  };
+  return run_coupled_experiment(config).value();
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation: runtime frequency adapter vs static schedules (TC1)");
+
+  for (Strategy strategy : {Strategy::kGpuAsync, Strategy::kHostAsync,
+                            Strategy::kViperPfs}) {
+    std::printf("\n  strategy: %s\n", std::string(to_string(strategy)).c_str());
+    std::printf("  %-26s %-10s %-12s %-16s\n", "mode", "ckpts", "CIL",
+                "overhead (s)");
+    const auto epoch = run(strategy, ScheduleKind::kEpochBaseline);
+    std::printf("  %-26s %-10lld %-12.1f %-16.2f\n", "epoch baseline",
+                static_cast<long long>(epoch.checkpoints), epoch.cil,
+                epoch.training_overhead);
+    const auto fixed = run(strategy, ScheduleKind::kFixedInterval);
+    std::printf("  %-26s %-10lld %-12.1f %-16.2f\n", "IPP fixed (Alg.2)",
+                static_cast<long long>(fixed.checkpoints), fixed.cil,
+                fixed.training_overhead);
+    const auto adapted = run_adapter(strategy, 0.02);
+    std::printf("  %-26s %-10lld %-12.1f %-16.2f   (%lld up / %lld down)\n",
+                "frequency adapter (2%)",
+                static_cast<long long>(adapted.checkpoints), adapted.cil,
+                adapted.training_overhead,
+                static_cast<long long>(adapted.adapter_ups),
+                static_cast<long long>(adapted.adapter_downs));
+  }
+
+  bench::heading("Overhead-target sweep (GPU strategy)");
+  std::printf("  %-12s %-10s %-12s %-18s\n", "target", "ckpts", "CIL",
+              "observed overhead");
+  for (double target : {0.005, 0.01, 0.02, 0.05, 0.10}) {
+    const auto result = run_adapter(Strategy::kGpuAsync, target);
+    std::printf("  %-12.3f %-10lld %-12.1f %-18.4f\n", target,
+                static_cast<long long>(result.checkpoints), result.cil,
+                result.training_overhead / result.window_seconds);
+  }
+
+  bench::heading("Interpretation");
+  bench::note("the adapter tracks the IPP schedules without any learning-curve");
+  bench::note("prediction, and on slow tiers it caps the stall where static");
+  bench::note("frequent schedules would stall training for minutes.");
+  return 0;
+}

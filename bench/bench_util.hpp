@@ -1,0 +1,31 @@
+// Shared table-printing helpers for the experiment binaries so every
+// figure reproduction reports rows in a uniform, diffable format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace viper::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+/// "label .... measured (paper: x, ratio r)" row.
+inline void row_vs_paper(const std::string& label, double measured, double paper,
+                         const char* unit) {
+  std::printf("  %-28s %10.3f %-4s  (paper: %8.3f %-4s, x%.2f)\n", label.c_str(),
+              measured, unit, paper, unit, measured / paper);
+}
+
+inline void row(const std::string& label, double value, const char* unit) {
+  std::printf("  %-28s %10.3f %s\n", label.c_str(), value, unit);
+}
+
+inline void row_int(const std::string& label, long long value, const char* unit) {
+  std::printf("  %-28s %10lld %s\n", label.c_str(), value, unit);
+}
+
+}  // namespace viper::bench

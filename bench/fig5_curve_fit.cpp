@@ -1,0 +1,49 @@
+// Figure 5: fit the TC1 warm-up training loss with the four learning-curve
+// families (Exp2, Exp3, Lin2, Expd3) and rank them by MSE. The paper's
+// result: Exp3 is the best fit for CANDLE-TC1. Also prints extrapolation
+// quality beyond the warm-up window (the dotted line in the figure).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "viper/core/tlp.hpp"
+#include "viper/sim/trajectory.hpp"
+
+using namespace viper;
+
+int main() {
+  bench::heading("Figure 5: learning-curve fit of TC1 warm-up loss");
+
+  const sim::AppProfile profile = sim::app_profile(AppModel::kTc1);
+  sim::TrajectoryGenerator trajectory(profile, /*seed=*/0xC0FFEE);
+  const std::int64_t warmup = profile.warmup_iterations();
+  const auto losses = trajectory.warmup_losses(warmup);
+  bench::note("warm-up: " + std::to_string(profile.warmup_epochs) + " epochs = " +
+              std::to_string(warmup) + " iterations");
+
+  auto tlp = core::TrainingLossPredictor::fit(losses);
+  if (!tlp.is_ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", tlp.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("\n  %-8s %-14s %-40s\n", "family", "warm-up MSE", "fitted curve");
+  for (const auto& fit : tlp.value().all_fits()) {
+    auto model = math::make_curve_model(fit.family);
+    std::printf("  %-8s %-14.6g %-40s%s\n",
+                std::string(math::to_string(fit.family)).c_str(), fit.mse,
+                model->describe(fit.params).c_str(),
+                &fit == &tlp.value().all_fits().front() ? "   <-- best (paper: Exp3)"
+                                                        : "");
+  }
+
+  bench::heading("Extrapolation beyond warm-up (vertical dotted line)");
+  std::printf("  %-12s %-14s %-14s %-10s\n", "iteration", "true loss",
+              "predicted", "error");
+  for (std::int64_t x = warmup; x <= warmup + 3000; x += 500) {
+    const double truth = trajectory.true_loss(x);
+    const double pred = tlp.value().loss_pred(static_cast<double>(x));
+    std::printf("  %-12lld %-14.4f %-14.4f %-+10.4f\n",
+                static_cast<long long>(x), truth, pred, pred - truth);
+  }
+  return 0;
+}

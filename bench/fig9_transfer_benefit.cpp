@@ -1,0 +1,53 @@
+// Figure 9: benefit of a low-latency model update. TC1, update interval at
+// the epoch boundary (216 iterations), 50 000 inferences; compares CIL and
+// the training overhead across GPU-memory, host-memory and PFS transfer
+// strategies using the coupled producer/consumer experiment.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "viper/core/coupled_sim.hpp"
+
+using namespace viper;
+using core::Strategy;
+
+int main() {
+  bench::heading(
+      "Figure 9: impact of low-latency updates (TC1, epoch-boundary schedule)");
+
+  struct Row {
+    Strategy strategy;
+    const char* label;
+    double paper_cil;       // read off fig9's left axis (k)
+    double paper_overhead;  // fig9's orange line (s)
+  };
+  const Row rows[] = {
+      {Strategy::kGpuAsync, "GPU Memory", 31.5e3, 1.0},
+      {Strategy::kHostAsync, "Host Memory", 32.5e3, 22.0},
+      {Strategy::kViperPfs, "PFS", 37.5e3, 60.0},
+  };
+
+  std::printf("  %-14s %-26s %-30s %-12s\n", "strategy", "cumulative infer loss",
+              "training overhead", "checkpoints");
+  for (const Row& row : rows) {
+    core::CoupledRunConfig config;
+    config.profile = sim::app_profile(AppModel::kTc1);
+    config.strategy = row.strategy;
+    config.schedule_kind = core::ScheduleKind::kEpochBaseline;
+    auto result = core::run_coupled_experiment(config);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "run failed: %s\n", result.status().to_string().c_str());
+      return 1;
+    }
+    const auto& r = result.value();
+    std::printf("  %-14s %8.1fk (paper ~%.1fk)   %8.2f s (paper ~%4.0f s)   %6lld\n",
+                row.label, r.cil / 1e3, row.paper_cil / 1e3, r.training_overhead,
+                row.paper_overhead, static_cast<long long>(r.checkpoints));
+  }
+
+  bench::heading("Interpretation");
+  bench::note("same schedule, same request stream: faster delivery means requests");
+  bench::note("are served by fresher models (lower CIL) and training stalls less.");
+  bench::note("paper: 16 checkpoints cost ~1 s (GPU) vs ~60 s (PFS) of training;");
+  bench::note("2000 checkpoints would save ~2 hours on a time-constrained run.");
+  return 0;
+}

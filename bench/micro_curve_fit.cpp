@@ -1,0 +1,79 @@
+// Micro-benchmarks of the IPP planning machinery: Levenberg-Marquardt
+// fits, model selection, and the schedule algorithms.
+#include <benchmark/benchmark.h>
+
+#include "viper/core/cilp.hpp"
+#include "viper/core/scheduler.hpp"
+#include "viper/core/tlp.hpp"
+#include "viper/sim/trajectory.hpp"
+
+namespace viper::core {
+namespace {
+
+std::vector<double> tc1_warmup() {
+  sim::TrajectoryGenerator trajectory(sim::app_profile(AppModel::kTc1), 1);
+  return trajectory.warmup_losses(1080);
+}
+
+void BM_TlpFitAllFamilies(benchmark::State& state) {
+  const auto warmup = tc1_warmup();
+  for (auto _ : state) {
+    auto tlp = TrainingLossPredictor::fit(warmup);
+    benchmark::DoNotOptimize(tlp);
+  }
+}
+BENCHMARK(BM_TlpFitAllFamilies);
+
+void BM_SingleExp3Fit(benchmark::State& state) {
+  const auto warmup = tc1_warmup();
+  std::vector<double> xs(warmup.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  auto model = math::make_curve_model(math::CurveFamily::kExp3);
+  for (auto _ : state) {
+    auto fit = math::fit_curve(*model, xs, warmup);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(BM_SingleExp3Fit);
+
+UpdateTiming tc1_timing() {
+  return {.t_train = 0.085, .t_infer = 0.0061, .t_p = 0.059, .t_c = 0.0001};
+}
+
+LossFn tc1_curve() {
+  return [](double x) { return 2.55 * std::exp(-0.0009 * x) + 0.35; };
+}
+
+void BM_FixedIntervalSweep(benchmark::State& state) {
+  CilPredictor cilp(tc1_timing(), tc1_curve());
+  const ScheduleWindow window{1080, 1080 + state.range(0), 50000};
+  for (auto _ : state) {
+    auto schedule = fixed_interval_schedule(window, cilp);
+    benchmark::DoNotOptimize(schedule);
+  }
+  state.counters["window_iters"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FixedIntervalSweep)->Arg(500)->Arg(2000)->Arg(4000);
+
+void BM_GreedyWalk(benchmark::State& state) {
+  CilPredictor cilp(tc1_timing(), tc1_curve());
+  const ScheduleWindow window{1080, 1080 + state.range(0), 50000};
+  for (auto _ : state) {
+    auto schedule = greedy_schedule(window, cilp, 0.014);
+    benchmark::DoNotOptimize(schedule);
+  }
+}
+BENCHMARK(BM_GreedyWalk)->Arg(2000)->Arg(4000);
+
+void BM_CilForInterval(benchmark::State& state) {
+  CilPredictor cilp(tc1_timing(), tc1_curve());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cilp.cil_for_interval(41, 1080, 4668, 50000));
+  }
+}
+BENCHMARK(BM_CilForInterval);
+
+}  // namespace
+}  // namespace viper::core
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Micro-benchmarks of delta encode/apply and the incremental store.
+#include <benchmark/benchmark.h>
+
+#include "viper/memsys/presets.hpp"
+#include "viper/repo/delta_store.hpp"
+#include "viper/serial/delta.hpp"
+
+namespace viper::serial {
+namespace {
+
+Model model_of_bytes(std::int64_t bytes, std::uint64_t version = 1) {
+  Rng rng(31);
+  Model m("bench");
+  m.set_version(version);
+  (void)m.add_tensor("w", Tensor::random(DType::kF32, Shape{bytes / 4}, rng).value());
+  return m;
+}
+
+Model perturb_fraction(const Model& base, double fraction, std::uint64_t version) {
+  Model next = base;
+  next.set_version(version);
+  auto span = next.mutable_tensor("w").value()->mutable_data<float>();
+  const auto stride =
+      fraction > 0 ? static_cast<std::size_t>(1.0 / fraction) : span.size() + 1;
+  for (std::size_t i = 0; i < span.size(); i += stride) span[i] += 1.0f;
+  return next;
+}
+
+void BM_EncodeDeltaSparse(benchmark::State& state) {
+  const Model base = model_of_bytes(state.range(0));
+  const Model next = perturb_fraction(base, 0.01, 2);
+  for (auto _ : state) {
+    auto blob = encode_delta(base, next);
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncodeDeltaSparse)->Range(1 << 16, 1 << 23);
+
+void BM_EncodeDeltaDense(benchmark::State& state) {
+  const Model base = model_of_bytes(state.range(0));
+  const Model next = perturb_fraction(base, 1.0, 2);
+  for (auto _ : state) {
+    auto blob = encode_delta(base, next);
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncodeDeltaDense)->Range(1 << 16, 1 << 23);
+
+void BM_ApplyDelta(benchmark::State& state) {
+  const Model base = model_of_bytes(state.range(0));
+  const Model next = perturb_fraction(base, 0.01, 2);
+  const auto blob = encode_delta(base, next).value();
+  for (auto _ : state) {
+    auto applied = apply_delta(base, blob);
+    benchmark::DoNotOptimize(applied);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ApplyDelta)->Range(1 << 16, 1 << 23);
+
+void BM_DeltaStorePutSparse(benchmark::State& state) {
+  repo::DeltaStore store(
+      std::make_shared<memsys::MemoryTier>(memsys::polaris_dram()),
+      {.full_every = 64});
+  Model model = model_of_bytes(1 << 20);
+  (void)store.put(model);
+  std::uint64_t version = 1;
+  for (auto _ : state) {
+    model = perturb_fraction(model, 0.01, ++version);
+    auto report = store.put(model);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_DeltaStorePutSparse);
+
+void BM_DeltaStoreGetLatestChain(benchmark::State& state) {
+  // Reconstruction cost as the delta chain grows.
+  repo::DeltaStore store(
+      std::make_shared<memsys::MemoryTier>(memsys::polaris_dram()),
+      {.full_every = 1 << 20});
+  Model model = model_of_bytes(1 << 20);
+  (void)store.put(model);
+  for (std::int64_t v = 2; v <= state.range(0); ++v) {
+    model = perturb_fraction(model, 0.01, static_cast<std::uint64_t>(v));
+    (void)store.put(model);
+  }
+  for (auto _ : state) {
+    auto latest = store.get_latest("bench");
+    benchmark::DoNotOptimize(latest);
+  }
+  state.counters["chain_length"] = static_cast<double>(state.range(0) - 1);
+}
+BENCHMARK(BM_DeltaStoreGetLatestChain)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace viper::serial
+
+BENCHMARK_MAIN();

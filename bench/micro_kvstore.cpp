@@ -1,0 +1,91 @@
+// Micro-benchmarks of the metadata KV store: the per-update metadata
+// write/read path and contended counters.
+#include <benchmark/benchmark.h>
+
+#include "viper/core/metadata.hpp"
+#include "viper/kvstore/kvstore.hpp"
+
+namespace viper::kv {
+namespace {
+
+void BM_Set(benchmark::State& state) {
+  KvStore db;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.set("key" + std::to_string(i++ % 64), "value"));
+  }
+}
+BENCHMARK(BM_Set);
+
+void BM_Get(benchmark::State& state) {
+  KvStore db;
+  for (int i = 0; i < 64; ++i) db.set("key" + std::to_string(i), "value");
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.get("key" + std::to_string(i++ % 64)));
+  }
+}
+BENCHMARK(BM_Get);
+
+void BM_Incr(benchmark::State& state) {
+  KvStore db;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.incr("counter"));
+  }
+}
+BENCHMARK(BM_Incr);
+
+void BM_CompareAndSet(benchmark::State& state) {
+  KvStore db;
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    auto next = db.compare_and_set("key", "value", version);
+    version = next.value();
+    benchmark::DoNotOptimize(next);
+  }
+}
+BENCHMARK(BM_CompareAndSet);
+
+void BM_ModelMetadataWrite(benchmark::State& state) {
+  // The exact record the handler writes on every checkpoint.
+  KvStore db;
+  core::ModelMetadata metadata;
+  metadata.name = "tc1";
+  metadata.location = core::Location::kGpuMemory;
+  metadata.path = "ckpt/tc1";
+  metadata.size_bytes = 123456;
+  metadata.cost_bytes = 4'700'000'000ULL;
+  metadata.iteration = 1080;
+  metadata.train_loss = 0.42;
+  for (auto _ : state) {
+    metadata.version++;
+    core::put_metadata(db, metadata);
+  }
+}
+BENCHMARK(BM_ModelMetadataWrite);
+
+void BM_ModelMetadataRead(benchmark::State& state) {
+  KvStore db;
+  core::ModelMetadata metadata;
+  metadata.name = "tc1";
+  metadata.version = 1;
+  metadata.path = "ckpt/tc1";
+  core::put_metadata(db, metadata);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::get_metadata(db, "tc1"));
+  }
+}
+BENCHMARK(BM_ModelMetadataRead);
+
+void BM_IncrContended(benchmark::State& state) {
+  static KvStore db;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.incr("counter"));
+  }
+}
+BENCHMARK(BM_IncrContended)->Threads(1)->Threads(4);
+
+}  // namespace
+}  // namespace viper::kv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Micro-benchmarks of the checkpoint serializers: lean Viper format vs the
+// h5py-like baseline, plus blob-size overhead counters — the mechanism
+// behind the fig8 "Viper-PFS beats h5py" margin.
+#include <benchmark/benchmark.h>
+
+#include "viper/serial/format.hpp"
+#include "viper/tensor/architectures.hpp"
+
+namespace viper::serial {
+namespace {
+
+Model model_of_bytes(std::int64_t bytes, int tensors) {
+  Rng rng(23);
+  Model m("bench");
+  const std::int64_t floats_per_tensor = bytes / 4 / tensors;
+  for (int i = 0; i < tensors; ++i) {
+    (void)m.add_tensor(
+        "layer" + std::to_string(i) + "/kernel",
+        Tensor::random(DType::kF32, Shape{floats_per_tensor}, rng).value());
+  }
+  return m;
+}
+
+template <typename MakeFormat>
+void serialize_bench(benchmark::State& state, MakeFormat make_format) {
+  auto format = make_format();
+  const Model model = model_of_bytes(state.range(0), 10);
+  std::size_t blob_size = 0;
+  for (auto _ : state) {
+    auto blob = format->serialize(model);
+    blob_size = blob.value().size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["overhead_bytes"] =
+      static_cast<double>(blob_size - model.payload_bytes());
+}
+
+void BM_SerializeViper(benchmark::State& state) {
+  serialize_bench(state, make_viper_format);
+}
+BENCHMARK(BM_SerializeViper)->Range(1 << 14, 1 << 24);
+
+void BM_SerializeH5Like(benchmark::State& state) {
+  serialize_bench(state, make_h5like_format);
+}
+BENCHMARK(BM_SerializeH5Like)->Range(1 << 14, 1 << 24);
+
+template <typename MakeFormat>
+void deserialize_bench(benchmark::State& state, MakeFormat make_format) {
+  auto format = make_format();
+  const Model model = model_of_bytes(state.range(0), 10);
+  const auto blob = format->serialize(model).value();
+  for (auto _ : state) {
+    auto restored = format->deserialize(blob);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_DeserializeViper(benchmark::State& state) {
+  deserialize_bench(state, make_viper_format);
+}
+BENCHMARK(BM_DeserializeViper)->Range(1 << 14, 1 << 24);
+
+void BM_DeserializeH5Like(benchmark::State& state) {
+  deserialize_bench(state, make_h5like_format);
+}
+BENCHMARK(BM_DeserializeH5Like)->Range(1 << 14, 1 << 24);
+
+void BM_SerializeRealArchitecture(benchmark::State& state) {
+  auto format = make_viper_format();
+  const Model model =
+      build_app_model(static_cast<AppModel>(state.range(0)), {}).value();
+  for (auto _ : state) {
+    auto blob = format->serialize(model);
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(model.payload_bytes()));
+  state.SetLabel(std::string(to_string(static_cast<AppModel>(state.range(0)))));
+}
+BENCHMARK(BM_SerializeRealArchitecture)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace viper::serial
+
+BENCHMARK_MAIN();

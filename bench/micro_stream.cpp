@@ -1,0 +1,77 @@
+// Micro-benchmarks of the chunked streaming transport and the comm layer.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "viper/common/rng.hpp"
+#include "viper/net/stream.hpp"
+
+namespace viper::net {
+namespace {
+
+std::vector<std::byte> payload_of(std::size_t n) {
+  Rng rng(4);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.uniform_int(0, 255));
+  return out;
+}
+
+void BM_CommSendRecv(benchmark::State& state) {
+  auto world = CommWorld::create(2);
+  const auto payload = payload_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    (void)world->comm(0).send(1, 1, payload);
+    auto msg = world->comm(1).recv(0, 1);
+    benchmark::DoNotOptimize(msg);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CommSendRecv)->Range(1 << 10, 1 << 22);
+
+void BM_StreamRoundTrip(benchmark::State& state) {
+  auto world = CommWorld::create(2);
+  const auto payload = payload_of(1 << 22);
+  StreamOptions options;
+  options.chunk_bytes = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    std::thread sender([&] {
+      (void)stream_send(world->comm(0), 1, 7, payload, options);
+    });
+    auto received = stream_recv(world->comm(1), 0, 7, options);
+    sender.join();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 22));
+  state.counters["chunk_bytes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_StreamRoundTrip)->Arg(16 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_StreamRelayChain(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  auto world = CommWorld::create(hops + 2);
+  const auto payload = payload_of(1 << 20);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] {
+      (void)stream_send(world->comm(0), 1, 7, payload, {.chunk_bytes = 64 << 10});
+    });
+    for (int hop = 1; hop <= hops; ++hop) {
+      threads.emplace_back([&world, hop] {
+        (void)stream_relay(world->comm(hop), hop - 1, hop + 1, 7);
+      });
+    }
+    auto sink = stream_recv(world->comm(hops + 1), hops, 7);
+    for (auto& t : threads) t.join();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+  state.counters["hops"] = hops;
+}
+BENCHMARK(BM_StreamRelayChain)->Arg(1)->Arg(3);
+
+}  // namespace
+}  // namespace viper::net
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Micro-benchmarks of the live transfer engine: save_weights across
+// strategies, consumer loads, and the full save→notify→load round trip
+// over the in-process comm fabric.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "viper/core/consumer.hpp"
+#include "viper/core/handler.hpp"
+
+namespace viper::core {
+namespace {
+
+Model model_of_bytes(std::int64_t bytes) {
+  Rng rng(17);
+  Model m("bench");
+  const std::int64_t floats = bytes / 4;
+  (void)m.add_tensor("w", Tensor::random(DType::kF32, Shape{floats}, rng).value());
+  return m;
+}
+
+void BM_SaveWeightsSyncHost(benchmark::State& state) {
+  auto services = std::make_shared<SharedServices>();
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kHostSync;
+  options.flush_to_pfs = false;
+  ModelWeightsHandler handler(services, options);
+  Model model = model_of_bytes(state.range(0));
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    model.set_version(++version);
+    auto receipt = handler.save_weights("bench", model);
+    benchmark::DoNotOptimize(receipt);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SaveWeightsSyncHost)->Range(1 << 12, 1 << 22);
+
+void BM_SaveWeightsAsyncGpu(benchmark::State& state) {
+  auto services = std::make_shared<SharedServices>();
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kGpuAsync;
+  options.flush_to_pfs = false;
+  ModelWeightsHandler handler(services, options);
+  Model model = model_of_bytes(state.range(0));
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    model.set_version(++version);
+    auto receipt = handler.save_weights("bench", model);
+    benchmark::DoNotOptimize(receipt);
+  }
+  handler.drain();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SaveWeightsAsyncGpu)->Range(1 << 12, 1 << 22);
+
+void BM_ConsumerLoadFromPfs(benchmark::State& state) {
+  auto services = std::make_shared<SharedServices>();
+  auto world = net::CommWorld::create(2);
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kViperPfs;
+  ModelWeightsHandler handler(services, options);
+  Model model = model_of_bytes(state.range(0));
+  model.set_version(1);
+  (void)handler.save_weights("bench", model);
+  handler.drain();
+  ModelLoader loader(services, world->comm(1), {});
+  for (auto _ : state) {
+    auto loaded = loader.load_weights("bench");
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ConsumerLoadFromPfs)->Range(1 << 12, 1 << 22);
+
+void BM_EndToEndMemoryRoundTrip(benchmark::State& state) {
+  auto services = std::make_shared<SharedServices>();
+  auto world = net::CommWorld::create(2);
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kGpuSync;
+  options.flush_to_pfs = false;
+  auto handler = std::make_shared<ModelWeightsHandler>(services, options);
+  std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+
+  ModelLoader::Options loader_options;
+  loader_options.producer_rank = 0;
+  ModelLoader loader(services, world->comm(1), loader_options);
+  Model model = model_of_bytes(state.range(0));
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    model.set_version(++version);
+    (void)handler->save_weights("bench", model);
+    auto loaded = loader.load_weights("bench");
+    benchmark::DoNotOptimize(loaded);
+  }
+  (void)ModelWeightsHandler::stop_transfer_server(world->comm(1), 0);
+  server.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EndToEndMemoryRoundTrip)->Range(1 << 12, 1 << 20);
+
+void BM_DoubleBufferSwap(benchmark::State& state) {
+  DoubleBuffer buffer;
+  Model model = model_of_bytes(1 << 14);
+  for (auto _ : state) {
+    Model copy = model;
+    buffer.install(std::move(copy));
+  }
+}
+BENCHMARK(BM_DoubleBufferSwap);
+
+void BM_DoubleBufferRead(benchmark::State& state) {
+  DoubleBuffer buffer;
+  buffer.install(model_of_bytes(1 << 14));
+  for (auto _ : state) {
+    auto model = buffer.active();
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_DoubleBufferRead);
+
+}  // namespace
+}  // namespace viper::core
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Scaling study (paper §6 outlook): delivering one TC1 update to M
+// consumers over each broadcast topology and link type. Reports when the
+// last consumer goes live and how long the producer's NIC stays busy.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "viper/common/units.hpp"
+#include "viper/parallel/broadcast.hpp"
+#include "viper/parallel/sharding.hpp"
+#include "viper/tensor/architectures.hpp"
+
+using namespace viper;
+using namespace viper::parallel;
+
+int main() {
+  constexpr std::uint64_t kBytes = 4'700'000'000ULL;  // TC1
+
+  for (const net::LinkModel& link :
+       {net::polaris_gpudirect(), net::polaris_host_rdma()}) {
+    bench::heading("One 4.7 GB update to M consumers over " + link.name);
+    std::printf("  %-10s %-16s %-16s %-16s\n", "consumers", "sequential (s)",
+                "tree (s)", "chain (s)");
+    for (int consumers : {1, 2, 4, 8, 16, 32, 64}) {
+      double results[3] = {0, 0, 0};
+      int i = 0;
+      for (auto topology :
+           {BroadcastTopology::kSequential, BroadcastTopology::kTree,
+            BroadcastTopology::kChain}) {
+        results[i++] =
+            estimate_broadcast(topology, kBytes, consumers, link)
+                .value()
+                .last_consumer_seconds;
+      }
+      std::printf("  %-10d %-16.3f %-16.3f %-16.3f\n", consumers, results[0],
+                  results[1], results[2]);
+    }
+    const auto best = rank_topologies(kBytes, 32, link).front();
+    bench::note("best at 32 consumers: " + std::string(to_string(best.topology)));
+  }
+
+  bench::heading("Shard-parallel delivery (tensor-parallel row chunking)");
+  std::printf("  %-8s %-14s %-18s %-14s\n", "shards", "max shard", "per-shard (s)",
+              "speedup");
+  const Model model = build_app_model(AppModel::kTc1, {}).value();
+  const auto link = net::polaris_gpudirect();
+  const double full = link.transfer_seconds(kBytes);
+  for (int shards : {1, 2, 4, 8}) {
+    // Chunk big tensors so one dense kernel cannot unbalance the plan.
+    auto plan = plan_shards(model, shards,
+                            {.max_item_bytes = model.payload_bytes() /
+                                               static_cast<std::uint64_t>(4 * shards)})
+                    .value();
+    // Scale shard payloads to nominal model size.
+    const auto bytes = plan.shard_bytes();
+    std::uint64_t max_shard = 0;
+    for (std::uint64_t b : bytes) max_shard = std::max(max_shard, b);
+    const double fraction =
+        static_cast<double>(max_shard) / static_cast<double>(model.payload_bytes());
+    const auto shard_nominal = static_cast<std::uint64_t>(
+        static_cast<double>(kBytes) * fraction);
+    const double per_shard = link.transfer_seconds(shard_nominal);
+    std::printf("  %-8d %-14s %-18.3f %-14.2fx\n", shards,
+                format_bytes(shard_nominal).c_str(), per_shard, full / per_shard);
+  }
+  bench::note("shards transfer concurrently from multiple producers, so the");
+  bench::note("update completes when the heaviest shard lands.");
+  return 0;
+}

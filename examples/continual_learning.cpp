@@ -1,0 +1,95 @@
+// Continual learning under distribution shift — the §2 background setting:
+// the input distribution changes mid-run (a beamline scans a new region),
+// training loss jumps, and the model must relearn while inference keeps
+// serving. Schedules planned from the warm-up curve go stale at the shift;
+// the runtime Checkpoint Frequency Adapter reacts, tightening its interval
+// through the relearning phase and relaxing again as the curve flattens.
+//
+//   $ ./continual_learning
+#include <cstdio>
+
+#include "viper/core/coupled_sim.hpp"
+#include "viper/sim/nonstationary.hpp"
+
+using namespace viper;
+using namespace viper::core;
+
+int main() {
+  std::printf("Continual learning under distribution shift (TC1)\n");
+  std::printf("==================================================\n\n");
+
+  const sim::AppProfile profile = sim::app_profile(AppModel::kTc1);
+  const std::vector<sim::DistributionShift> shifts = {
+      {.at_iteration = 2500, .amplitude = 1.8},
+  };
+
+  sim::NonstationaryTrajectory trajectory(profile, shifts);
+  std::printf("loss landscape (a new tumor panel arrives at iteration 2500):\n");
+  for (std::int64_t x = 1080; x <= 4900; x += 240) {
+    const double loss = trajectory.true_loss(x);
+    const int bar = static_cast<int>(loss * 18);
+    std::printf("  iter %5lld  %.3f |%s\n", static_cast<long long>(x), loss,
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+
+  auto run = [&](const char* label, auto configure) {
+    CoupledRunConfig config;
+    config.profile = profile;
+    config.strategy = Strategy::kGpuAsync;
+    config.shifts = shifts;
+    configure(config);
+    const auto result = run_coupled_experiment(config).value();
+    std::printf("  %-26s CIL %8.1f   ckpts %4lld   overhead %6.2f s\n", label,
+                result.cil, static_cast<long long>(result.checkpoints),
+                result.training_overhead);
+    return result;
+  };
+
+  std::printf("\nschedules under drift:\n");
+  run("epoch baseline", [](CoupledRunConfig& c) {
+    c.schedule_kind = ScheduleKind::kEpochBaseline;
+  });
+  run("IPP fixed (planned)", [](CoupledRunConfig& c) {
+    c.schedule_kind = ScheduleKind::kFixedInterval;
+  });
+  const auto greedy = run("IPP greedy (planned)", [](CoupledRunConfig& c) {
+    c.schedule_kind = ScheduleKind::kGreedy;
+  });
+  const auto adaptive = run("frequency adapter", [](CoupledRunConfig& c) {
+    c.frequency_adapter = FrequencyAdapter::Options{
+        .initial_interval = 216,
+        .min_interval = 8,
+        .max_interval = 2000,
+        .target_overhead_fraction = 0.02,
+        .improvement_threshold = 0.01,
+        .step = 1.5,
+    };
+  });
+
+  std::printf("\nadapter behaviour around the shift (iteration 2500):\n");
+  std::int64_t prev = 1080;
+  for (const auto& update : adaptive.updates) {
+    if (update.capture_iteration > 2200 && update.capture_iteration < 3300) {
+      std::printf("  checkpoint at iter %5lld (interval %4lld, loss %.3f)\n",
+                  static_cast<long long>(update.capture_iteration),
+                  static_cast<long long>(update.capture_iteration - prev),
+                  update.loss);
+    }
+    prev = update.capture_iteration;
+  }
+  auto after_shift = [](const CoupledRunResult& result) {
+    std::int64_t count = 0;
+    for (const auto& update : result.updates) {
+      if (update.capture_iteration >= 2500) ++count;
+    }
+    return count;
+  };
+  std::printf(
+      "\nafter the shift: planned greedy takes only %lld checkpoints (its\n"
+      "widening schedule was computed from the pre-shift curve) while the\n"
+      "adapter takes %lld; adapter CIL is %+.1f%% vs planned greedy.\n",
+      static_cast<long long>(after_shift(greedy)),
+      static_cast<long long>(after_shift(adaptive)),
+      (adaptive.cil - greedy.cil) / greedy.cil * 100.0);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Schedule explorer: visualize the IPP's decision landscape.
+//
+// For a chosen application (default TC1) it prints the predicted CIL as a
+// function of the fixed checkpoint interval, marks Algorithm 2's argmin,
+// shows Algorithm 3's irregular schedule, and cross-checks predictions
+// against the executed coupled simulation.
+//
+//   $ ./schedule_explorer [nt3b|tc1|ptychonn]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "viper/core/coupled_sim.hpp"
+#include "viper/core/tlp.hpp"
+#include "viper/sim/trajectory.hpp"
+
+using namespace viper;
+using namespace viper::core;
+
+int main(int argc, char** argv) {
+  AppModel app = AppModel::kTc1;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "nt3b") == 0) app = AppModel::kNt3B;
+    else if (std::strcmp(argv[1], "ptychonn") == 0) app = AppModel::kPtychoNN;
+    else if (std::strcmp(argv[1], "tc1") != 0) {
+      std::fprintf(stderr, "usage: %s [nt3b|tc1|ptychonn]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const sim::AppProfile profile = sim::app_profile(app);
+  std::printf("IPP schedule landscape for %s\n",
+              std::string(to_string(app)).c_str());
+  std::printf("==========================================\n");
+
+  // Plan exactly the way the coupled experiment does.
+  sim::TrajectoryGenerator trajectory(profile, 0xC0FFEE);
+  const auto warmup = trajectory.warmup_losses(profile.warmup_iterations());
+  auto tlp = TrainingLossPredictor::fit(warmup);
+  if (!tlp.is_ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", tlp.status().to_string().c_str());
+    return 1;
+  }
+  const PlatformModel platform = PlatformModel::polaris();
+  const PathCosts costs = platform.update_costs(
+      Strategy::kGpuAsync, profile.model_bytes, profile.num_tensor_files);
+  UpdateTiming timing{profile.t_train_mean, profile.t_infer_mean,
+                      costs.producer_stall, costs.consumer_load};
+  const ScheduleWindow window = schedule_window_for(profile, timing);
+  const auto& predictor = tlp.value();
+  CilPredictor cilp(timing, [&predictor](double x) { return predictor.loss_pred(x); });
+
+  // --- Predicted CIL vs interval (ASCII plot). ---------------------------
+  std::printf("\npredicted CIL vs fixed checkpoint interval "
+              "(window: iter %lld..%lld, %lld inferences)\n\n",
+              static_cast<long long>(window.s_iter),
+              static_cast<long long>(window.e_iter),
+              static_cast<long long>(window.total_inferences));
+  std::vector<std::pair<std::int64_t, double>> landscape;
+  double lo = 1e300, hi = 0;
+  for (std::int64_t interval : {1, 2, 4, 8, 16, 24, 36, 54, 81, 122, 183, 275,
+                                412, 618, 927, 1390, 2085}) {
+    if (interval > window.e_iter - window.s_iter) break;
+    const double cil = cilp.cil_for_interval(interval, window.s_iter,
+                                             window.e_iter,
+                                             window.total_inferences);
+    landscape.emplace_back(interval, cil);
+    lo = std::min(lo, cil);
+    hi = std::max(hi, cil);
+  }
+  for (const auto& [interval, cil] : landscape) {
+    const int bar = hi > lo ? static_cast<int>((cil - lo) / (hi - lo) * 50) : 0;
+    std::printf("  interval %5lld  %10.1f  |%s\n",
+                static_cast<long long>(interval), cil,
+                std::string(static_cast<std::size_t>(bar + 1), '#').c_str());
+  }
+
+  auto fixed = fixed_interval_schedule(window, cilp);
+  if (fixed.is_ok()) {
+    std::printf("\nAlgorithm 2 argmin: interval %lld (%zu checkpoints, "
+                "predicted CIL %.1f)\n",
+                static_cast<long long>(fixed.value().interval),
+                fixed.value().num_checkpoints(), fixed.value().predicted_cil);
+  }
+
+  // --- Greedy schedule. ---------------------------------------------------
+  const double threshold = greedy_threshold_from_warmup(warmup);
+  auto greedy = greedy_schedule(window, cilp, threshold);
+  if (greedy.is_ok()) {
+    const auto& iters = greedy.value().iterations;
+    std::printf("\nAlgorithm 3 (threshold %.4f): %zu checkpoints, predicted "
+                "CIL %.1f\n",
+                threshold, iters.size(), greedy.value().predicted_cil);
+    std::printf("  intervals: ");
+    std::int64_t prev = window.s_iter;
+    for (std::size_t i = 0; i < iters.size(); ++i) {
+      if (i < 12) {
+        std::printf("%lld ", static_cast<long long>(iters[i] - prev));
+      } else if (i == 12) {
+        std::printf("... (widening)");
+        break;
+      }
+      prev = iters[i];
+    }
+    std::printf("\n");
+  }
+
+  // --- Prediction vs execution. -------------------------------------------
+  std::printf("\npredicted vs executed CIL:\n");
+  for (ScheduleKind kind : {ScheduleKind::kEpochBaseline,
+                            ScheduleKind::kFixedInterval, ScheduleKind::kGreedy}) {
+    CoupledRunConfig config;
+    config.profile = profile;
+    config.strategy = Strategy::kGpuAsync;
+    config.schedule_kind = kind;
+    const auto result = run_coupled_experiment(config);
+    if (!result.is_ok()) continue;
+    std::printf("  %-16s predicted %10.1f   executed %10.1f   (%+.1f%%)\n",
+                std::string(to_string(kind)).c_str(),
+                result.value().schedule.predicted_cil, result.value().cil,
+                (result.value().cil - result.value().schedule.predicted_cil) /
+                    result.value().schedule.predicted_cil * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "viper/common/clock.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace viper {
+
+namespace {
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+double WallClock::now() const { return static_cast<double>(steady_ns()) * 1e-9; }
+
+void WallClock::advance(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+void VirtualClock::advance_to(double t) {
+  const std::int64_t target = to_ns(t);
+  std::int64_t cur = now_ns_.load(std::memory_order_acquire);
+  while (cur < target) {
+    if (now_ns_.compare_exchange_weak(cur, target, std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+Stopwatch::Stopwatch() : start_ns_(steady_ns()) {}
+
+double Stopwatch::elapsed() const {
+  return static_cast<double>(steady_ns() - start_ns_) * 1e-9;
+}
+
+void Stopwatch::reset() { start_ns_ = steady_ns(); }
+
+}  // namespace viper

@@ -1,0 +1,68 @@
+// Time sources. The live transfer engine uses WallClock (std::chrono);
+// the experiment harness uses VirtualClock so paper-scale runs (hours of
+// simulated training) finish in milliseconds and are fully deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace viper {
+
+/// Seconds since an arbitrary epoch. All Viper timing is double seconds;
+/// sub-microsecond resolution is irrelevant at model-transfer scale.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in seconds.
+  [[nodiscard]] virtual double now() const = 0;
+
+  /// Advance time by `seconds`: blocks a wall clock, increments a virtual
+  /// clock. `seconds <= 0` is a no-op.
+  virtual void advance(double seconds) = 0;
+};
+
+/// Real time; `advance` sleeps.
+class WallClock final : public Clock {
+ public:
+  [[nodiscard]] double now() const override;
+  void advance(double seconds) override;
+};
+
+/// Deterministic simulated time; `advance` just moves the counter.
+/// Thread-safe: concurrent advances accumulate atomically.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(double start = 0.0) : now_ns_(to_ns(start)) {}
+
+  [[nodiscard]] double now() const override {
+    return static_cast<double>(now_ns_.load(std::memory_order_acquire)) * 1e-9;
+  }
+  void advance(double seconds) override {
+    if (seconds <= 0) return;
+    now_ns_.fetch_add(to_ns(seconds), std::memory_order_acq_rel);
+  }
+  /// Jump directly to an absolute time (must not move backwards).
+  void advance_to(double t);
+
+ private:
+  static std::int64_t to_ns(double s) {
+    return static_cast<std::int64_t>(s * 1e9 + 0.5);
+  }
+  std::atomic<std::int64_t> now_ns_;
+};
+
+/// Monotonic wall-clock stopwatch for measuring real elapsed time.
+class Stopwatch {
+ public:
+  Stopwatch();
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed() const;
+  void reset();
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace viper

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Off by default above WARN so benchmarks stay
+// quiet; tests and examples can raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace viper {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace viper
+
+#define VIPER_LOG(level) \
+  ::viper::detail::LogMessage(::viper::LogLevel::level, __FILE__, __LINE__)
+#define VIPER_DEBUG VIPER_LOG(kDebug)
+#define VIPER_INFO VIPER_LOG(kInfo)
+#define VIPER_WARN VIPER_LOG(kWarn)
+#define VIPER_ERROR VIPER_LOG(kError)

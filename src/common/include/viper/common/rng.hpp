@@ -1,0 +1,50 @@
+// Deterministic RNG used by the simulators and workload generators.
+// Every experiment takes an explicit seed so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace viper {
+
+/// Thin wrapper over a 64-bit Mersenne engine with the handful of
+/// distributions the simulators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean / standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Gaussian clamped to [lo, hi] — used for noisy-but-bounded timings.
+  double clamped_normal(double mean, double stddev, double lo, double hi) {
+    double v = normal(mean, stddev);
+    if (v < lo) v = lo;
+    if (v > hi) v = hi;
+    return v;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace viper

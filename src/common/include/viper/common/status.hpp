@@ -1,0 +1,123 @@
+// Lightweight status / result types used across Viper instead of exceptions
+// on hot paths. Modeled after absl::Status but self-contained.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace viper {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kDataLoss,
+  kCancelled,
+  kTimeout,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name of a status code (e.g. "NOT_FOUND").
+std::string_view to_string(StatusCode code) noexcept;
+
+/// A success-or-error outcome with an optional diagnostic message.
+class Status {
+ public:
+  Status() noexcept = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() noexcept { return {}; }
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "CODE: message" — for logs and test failure output.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status data_loss(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status cancelled(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
+}
+inline Status timeout(std::string msg) {
+  return {StatusCode::kTimeout, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+
+/// Value-or-Status. `value()` must only be called when `is_ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}     // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const noexcept { return status_.is_ok(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace viper
+
+/// Propagate a non-OK Status from the current function.
+#define VIPER_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::viper::Status viper_status_ = (expr);    \
+    if (!viper_status_.is_ok()) return viper_status_; \
+  } while (false)

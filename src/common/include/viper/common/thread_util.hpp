@@ -1,0 +1,66 @@
+// Small threading helpers: a joining thread wrapper with a stop flag and
+// a single-worker task executor used by the async save path.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "viper/common/queue.hpp"
+
+namespace viper {
+
+/// std::jthread-style wrapper that also exposes a cooperative stop flag.
+/// (gcc 12 ships std::jthread but a shared stop flag keeps call sites terse.)
+class WorkerThread {
+ public:
+  WorkerThread() = default;
+  ~WorkerThread() { stop_and_join(); }
+
+  WorkerThread(const WorkerThread&) = delete;
+  WorkerThread& operator=(const WorkerThread&) = delete;
+
+  /// Launch `fn(stop_flag)`. Must not already be running.
+  void start(std::function<void(const std::atomic<bool>& stop)> fn);
+
+  /// Request stop and join. Safe to call multiple times.
+  void stop_and_join();
+
+  [[nodiscard]] bool running() const noexcept { return thread_.joinable(); }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Serial task executor: one background thread draining a task queue.
+/// Used for asynchronous checkpoint capture and PFS flushing, where order
+/// matters (version k must land before version k+1).
+class SerialExecutor {
+ public:
+  SerialExecutor();
+  ~SerialExecutor();
+
+  SerialExecutor(const SerialExecutor&) = delete;
+  SerialExecutor& operator=(const SerialExecutor&) = delete;
+
+  /// Enqueue a task; returns false after shutdown().
+  bool submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has run.
+  void drain();
+
+  /// Stops accepting tasks, runs the backlog, joins the worker.
+  void shutdown();
+
+  [[nodiscard]] std::size_t pending() const { return tasks_.size(); }
+
+ private:
+  void run();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::thread worker_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace viper

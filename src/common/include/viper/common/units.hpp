@@ -1,0 +1,32 @@
+// Byte-size and time helpers shared by the device models and experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace viper {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+// Storage vendors (and the paper) quote decimal units for model sizes.
+inline constexpr std::uint64_t kKB = 1000ULL;
+inline constexpr std::uint64_t kMB = 1000ULL * kKB;
+inline constexpr std::uint64_t kGB = 1000ULL * kMB;
+
+namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+constexpr std::uint64_t operator""_MB(unsigned long long v) { return v * kMB; }
+constexpr std::uint64_t operator""_GB(unsigned long long v) { return v * kGB; }
+}  // namespace literals
+
+/// "600.0 MB" / "4.70 GB" style human formatting (decimal units).
+std::string format_bytes(std::uint64_t bytes);
+
+/// "1.23 s" / "456 ms" / "7.8 us" style human formatting.
+std::string format_seconds(double seconds);
+
+}  // namespace viper

@@ -1,0 +1,87 @@
+#include "viper/common/log.hpp"
+
+#include "viper/common/units.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace viper {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_io_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DBG";
+    case LogLevel::kInfo: return "INF";
+    case LogLevel::kWarn: return "WRN";
+    case LogLevel::kError: return "ERR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "???";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(g_io_mutex);
+  std::fprintf(stderr, "[viper %s] %s\n", level_tag(level), msg.c_str());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level),
+      enabled_(static_cast<int>(level) >= g_level.load(std::memory_order_relaxed)) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << base << ':' << line << ' ';
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) log_line(level_, stream_.str());
+}
+
+}  // namespace detail
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const auto b = static_cast<double>(bytes);
+  if (bytes >= kGB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / static_cast<double>(kGB));
+  } else if (bytes >= kMB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / static_cast<double>(kMB));
+  } else if (bytes >= kKB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / static_cast<double>(kKB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace viper

@@ -1,0 +1,53 @@
+#include "viper/common/thread_util.hpp"
+
+#include <cassert>
+#include <condition_variable>
+#include <future>
+
+namespace viper {
+
+void WorkerThread::start(std::function<void(const std::atomic<bool>&)> fn) {
+  assert(!thread_.joinable() && "WorkerThread already running");
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this, fn = std::move(fn)] { fn(stop_); });
+}
+
+void WorkerThread::stop_and_join() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+SerialExecutor::SerialExecutor() : worker_([this] { run(); }) {}
+
+SerialExecutor::~SerialExecutor() { shutdown(); }
+
+bool SerialExecutor::submit(std::function<void()> task) {
+  if (shutdown_.load(std::memory_order_acquire)) return false;
+  return tasks_.push(std::move(task));
+}
+
+void SerialExecutor::drain() {
+  // A sentinel task acts as a barrier: when it runs, everything before it ran.
+  std::promise<void> barrier;
+  auto fut = barrier.get_future();
+  if (!tasks_.push([&barrier] { barrier.set_value(); })) return;
+  fut.wait();
+}
+
+void SerialExecutor::shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) {
+    if (worker_.joinable()) worker_.join();
+    return;
+  }
+  tasks_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void SerialExecutor::run() {
+  while (auto task = tasks_.pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace viper

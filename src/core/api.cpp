@@ -1,0 +1,64 @@
+#include "viper/core/api.hpp"
+
+namespace viper::core {
+
+Viper::Viper(Config config, std::shared_ptr<SharedServices> services,
+             net::Comm comm)
+    : config_(config), services_(std::move(services)), comm_(std::move(comm)) {
+  if (config_.role == Role::kProducer) {
+    ModelWeightsHandler::Options options;
+    options.strategy = config_.strategy;
+    options.platform = config_.platform;
+    options.flush_to_pfs = config_.flush_to_pfs;
+    handler_ = std::make_shared<ModelWeightsHandler>(services_, options);
+  } else {
+    ModelLoader::Options options;
+    options.platform = config_.platform;
+    options.producer_rank = config_.producer_rank;
+    loader_ = std::make_unique<ModelLoader>(services_, comm_, options);
+  }
+}
+
+Viper::~Viper() {
+  if (handler_) handler_->drain();
+}
+
+Result<SaveReceipt> Viper::save_weights(const std::string& model_name,
+                                        const Model& model, double train_loss) {
+  if (!handler_) {
+    return failed_precondition("save_weights requires a producer-role Viper");
+  }
+  return handler_->save_weights(model_name, model, train_loss);
+}
+
+Result<Model> Viper::load_weights(const std::string& model_name) {
+  if (!loader_) {
+    return failed_precondition("load_weights requires a consumer-role Viper");
+  }
+  return loader_->load_weights(model_name);
+}
+
+Result<kv::Subscription> Viper::subscribe(const std::string& model_name) {
+  if (config_.role != Role::kConsumer) {
+    return failed_precondition("subscribe requires a consumer-role Viper");
+  }
+  return services_->bus->subscribe(notification_channel(model_name));
+}
+
+Status Viper::serve_transfers() {
+  if (!handler_) {
+    return failed_precondition("serve_transfers requires a producer-role Viper");
+  }
+  handler_->serve_transfers(comm_);
+  return Status::ok();
+}
+
+Status Viper::stop_transfer_server() {
+  return ModelWeightsHandler::stop_transfer_server(comm_, config_.producer_rank);
+}
+
+void Viper::drain() {
+  if (handler_) handler_->drain();
+}
+
+}  // namespace viper::core

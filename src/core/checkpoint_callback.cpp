@@ -1,0 +1,36 @@
+#include "viper/core/checkpoint_callback.hpp"
+
+#include "viper/common/log.hpp"
+
+namespace viper::core {
+
+CheckpointCallback::CheckpointCallback(std::shared_ptr<ModelWeightsHandler> handler,
+                                       Options options)
+    : handler_(std::move(handler)), options_(std::move(options)) {}
+
+void CheckpointCallback::attach(train::TrainerSim& trainer) {
+  trainer.add_callback([this, &trainer](const train::StepResult& step) {
+    on_iteration(trainer, step);
+  });
+}
+
+void CheckpointCallback::on_iteration(train::TrainerSim& trainer,
+                                      const train::StepResult& step) {
+  losses_.push_back(step.loss);
+  if (!options_.schedule.contains(step.iteration)) return;
+
+  Model snapshot = trainer.snapshot();
+  auto receipt =
+      handler_->save_weights(options_.model_name, snapshot, step.loss);
+  if (!receipt.is_ok()) {
+    VIPER_ERROR << "checkpoint at iteration " << step.iteration
+                << " failed: " << receipt.status().to_string();
+    return;
+  }
+  // The modeled capture stall blocks the training loop.
+  trainer.record_stall(receipt.value().costs.producer_stall);
+  receipts_.push_back(receipt.value());
+  ++checkpoints_;
+}
+
+}  // namespace viper::core

@@ -1,0 +1,82 @@
+#include "viper/core/cilp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viper::core {
+
+CilPredictor::CilPredictor(UpdateTiming timing, LossFn loss_fn)
+    : timing_(timing), loss_fn_(std::move(loss_fn)) {}
+
+IntervalLoss CilPredictor::interval_loss(std::int64_t interval, double loss,
+                                         std::int64_t ckpt_version,
+                                         std::int64_t remaining_inferences) const {
+  IntervalLoss out;
+  if (interval <= 0 || remaining_inferences <= 0 || timing_.t_infer <= 0) {
+    return out;
+  }
+  const double interval_seconds =
+      static_cast<double>(interval) * timing_.t_train + timing_.t_p;
+  // Only the first update pays t_c on the serving path; afterwards the
+  // consumer's load overlaps the producer's next iterations (fig. 1).
+  const double window = ckpt_version == 1 ? interval_seconds + timing_.t_c
+                                          : interval_seconds;
+  auto inferences = static_cast<std::int64_t>(std::floor(window / timing_.t_infer));
+  inferences = std::min(inferences, remaining_inferences);
+  out.inferences = inferences;
+  out.accumulated_loss = loss * static_cast<double>(inferences);
+  return out;
+}
+
+double CilPredictor::cil_for_interval(std::int64_t interval, std::int64_t s_iter,
+                                      std::int64_t e_iter,
+                                      std::int64_t total_inferences) const {
+  double total_loss = 0.0;
+  std::int64_t remaining = total_inferences;
+  // Requests before the first post-warm-up checkpoint are served by the
+  // warm-up model whose loss is loss(s_iter).
+  double serving_loss = loss_fn_(static_cast<double>(s_iter));
+  std::int64_t current = s_iter + interval;
+  std::int64_t version = 1;
+  while (current <= e_iter && remaining > 0) {
+    const IntervalLoss chunk =
+        interval_loss(interval, serving_loss, version, remaining);
+    total_loss += chunk.accumulated_loss;
+    remaining -= chunk.inferences;
+    serving_loss = loss_fn_(static_cast<double>(current));
+    current += interval;
+    ++version;
+  }
+  // Tail: the remaining requests are served by the last delivered model.
+  total_loss += serving_loss * static_cast<double>(remaining);
+  return total_loss;
+}
+
+double CilPredictor::acc_loss(std::int64_t ckpt_interval, double t_max) const {
+  if (t_max <= 0 || timing_.t_infer <= 0) return 0.0;
+  const double t_train_prime =
+      static_cast<double>(ckpt_interval) * timing_.t_train + timing_.t_p;
+  const auto cnm = static_cast<std::int64_t>(
+      std::floor((t_max - timing_.t_c) / t_train_prime));
+  if (cnm <= 0) {
+    // No checkpoint completes: every request is served by the warm-up model.
+    return loss_fn_(0.0) * std::floor(t_max / timing_.t_infer);
+  }
+  double total = 0.0;
+  for (std::int64_t k = 0; k <= cnm; ++k) {
+    double window;
+    if (k == 0) {
+      window = t_train_prime + timing_.t_c;
+    } else if (k < cnm) {
+      window = t_train_prime;
+    } else {
+      window = t_max - (static_cast<double>(k) * t_train_prime + timing_.t_c);
+    }
+    if (window < 0) window = 0;
+    const double inferences = std::floor(window / timing_.t_infer);
+    total += loss_fn_(static_cast<double>(k * ckpt_interval)) * inferences;
+  }
+  return total;
+}
+
+}  // namespace viper::core

@@ -1,0 +1,121 @@
+#include "viper/core/consumer.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "viper/common/log.hpp"
+
+namespace viper::core {
+
+std::shared_ptr<const Model> DoubleBuffer::active() const {
+  std::lock_guard lock(mutex_);
+  return slots_[active_index_];
+}
+
+void DoubleBuffer::install(Model model) {
+  // Build the new model outside the lock; the swap itself is two pointer
+  // writes — the "negligible overhead / imperceptible downtime" of §4.2.
+  auto fresh = std::make_shared<const Model>(std::move(model));
+  std::lock_guard lock(mutex_);
+  const int spare = 1 - active_index_;
+  slots_[spare] = std::move(fresh);
+  active_index_ = spare;
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+InferenceConsumer::InferenceConsumer(std::shared_ptr<SharedServices> services,
+                                     net::Comm comm, std::string model_name,
+                                     Options options)
+    : services_(services),
+      model_name_(std::move(model_name)),
+      options_(std::move(options)),
+      loader_(std::move(services), std::move(comm), options_.loader),
+      subscription_(services_->bus->subscribe(notification_channel(model_name_))) {}
+
+InferenceConsumer::~InferenceConsumer() { stop(); }
+
+void InferenceConsumer::start() {
+  if (started_) return;
+  started_ = true;
+  thread_.start([this](const std::atomic<bool>& stop_flag) { run(stop_flag); });
+}
+
+void InferenceConsumer::stop() {
+  if (!started_) return;
+  started_ = false;
+  // The update loop re-checks its stop flag every 50 ms, so a plain join
+  // suffices even when no more events arrive.
+  thread_.stop_and_join();
+}
+
+void InferenceConsumer::run(const std::atomic<bool>& stop_flag) {
+  while (!stop_flag.load(std::memory_order_acquire)) {
+    auto event = subscription_.next(0.05);
+    if (!event.is_ok()) {
+      if (event.status().code() == StatusCode::kTimeout) continue;
+      return;  // bus shut down
+    }
+    // Coalesce bursts: only the newest version matters.
+    while (auto more = subscription_.poll()) {
+      event = std::move(*more);
+    }
+    apply_latest();
+  }
+}
+
+void InferenceConsumer::apply_latest() {
+  auto model = loader_.load_weights(model_name_);
+  if (!model.is_ok()) {
+    VIPER_WARN << "consumer failed to load '" << model_name_
+               << "': " << model.status().to_string();
+    return;
+  }
+  auto metadata = loader_.peek(model_name_);
+  const std::uint64_t version = model.value().version();
+  buffer_.install(std::move(model).value());
+  version_.store(version, std::memory_order_relaxed);
+  updates_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.on_update && metadata.is_ok()) options_.on_update(metadata.value());
+}
+
+PollingConsumer::PollingConsumer(std::shared_ptr<SharedServices> services,
+                                 net::Comm comm, std::string model_name,
+                                 Options options)
+    : services_(services),
+      model_name_(std::move(model_name)),
+      options_(std::move(options)),
+      loader_(std::move(services), std::move(comm), options_.loader) {}
+
+PollingConsumer::~PollingConsumer() { stop(); }
+
+void PollingConsumer::start() {
+  if (started_) return;
+  started_ = true;
+  thread_.start([this](const std::atomic<bool>& stop_flag) { run(stop_flag); });
+}
+
+void PollingConsumer::stop() {
+  if (!started_) return;
+  started_ = false;
+  thread_.stop_and_join();
+}
+
+void PollingConsumer::run(const std::atomic<bool>& stop_flag) {
+  while (!stop_flag.load(std::memory_order_acquire)) {
+    polls_.fetch_add(1, std::memory_order_relaxed);
+    auto metadata = loader_.peek(model_name_);
+    if (metadata.is_ok() && metadata.value().version > last_version_) {
+      auto model = loader_.load_weights(model_name_);
+      if (model.is_ok()) {
+        last_version_ = model.value().version();
+        buffer_.install(std::move(model).value());
+        updates_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.on_update) options_.on_update(metadata.value());
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.poll_interval));
+  }
+}
+
+}  // namespace viper::core

@@ -1,0 +1,238 @@
+#include "viper/core/coupled_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "viper/sim/trajectory.hpp"
+
+namespace viper::core {
+
+ScheduleWindow schedule_window_for(const sim::AppProfile& profile,
+                                   const UpdateTiming& timing) {
+  ScheduleWindow window;
+  window.s_iter = profile.warmup_iterations();
+  const double t_max = profile.inference_window_seconds();
+  window.e_iter =
+      window.s_iter + static_cast<std::int64_t>(std::floor(t_max / timing.t_train));
+  window.total_inferences = profile.total_inferences;
+  return window;
+}
+
+namespace {
+
+/// Fit the TLP on observed losses for iterations [0, n) and wrap it in a
+/// CIL predictor with the given timing.
+template <typename LossFnT>
+Result<TrainingLossPredictor> fit_tlp(const LossFnT& observed, std::int64_t n) {
+  std::vector<double> losses;
+  losses.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t x = 0; x < n; ++x) losses.push_back(observed(x));
+  return TrainingLossPredictor::fit(losses);
+}
+
+}  // namespace
+
+Result<CoupledRunResult> run_coupled_experiment(const CoupledRunConfig& config) {
+  const sim::AppProfile& profile = config.profile;
+  CoupledRunResult result;
+
+  // --- Plan: warm-up, TLP fit, timing constants, schedule. -------------
+  sim::TrajectoryGenerator trajectory(profile, config.seed);
+  std::optional<sim::NonstationaryTrajectory> shifted;
+  if (!config.shifts.empty()) {
+    shifted.emplace(profile, config.shifts, config.seed);
+  }
+  // Loss source: the stationary trajectory, unless distribution shifts
+  // overlay it. Timing always comes from the stationary generator.
+  const auto observed = [&](std::int64_t x) {
+    return shifted ? shifted->observed_loss(x) : trajectory.observed_loss(x);
+  };
+  const std::int64_t warmup_iters = profile.warmup_iterations();
+  std::vector<double> warmup;
+  warmup.reserve(static_cast<std::size_t>(warmup_iters));
+  for (std::int64_t x = 0; x < warmup_iters; ++x) warmup.push_back(observed(x));
+
+  auto tlp = TrainingLossPredictor::fit(warmup);
+  if (!tlp.is_ok()) return tlp.status();
+  result.tlp_family = tlp.value().best_fit().family;
+  result.tlp_mse = tlp.value().best_fit().mse;
+
+  const PathCosts expected_costs = config.platform.update_costs(
+      config.strategy, profile.model_bytes, profile.num_tensor_files);
+  UpdateTiming timing;
+  timing.t_train = profile.t_train_mean;
+  timing.t_infer = profile.t_infer_mean;
+  timing.t_p = expected_costs.producer_stall;
+  timing.t_c = expected_costs.consumer_load;
+  result.timing = timing;
+
+  const ScheduleWindow window = schedule_window_for(profile, timing);
+
+  // The TLP was fitted on iterations [0, warmup); loss_pred takes absolute
+  // iteration ids on the same axis, so it extrapolates beyond warm-up.
+  const TrainingLossPredictor* predictor = &tlp.value();
+  CilPredictor cilp(timing, [&predictor](double x) { return predictor->loss_pred(x); });
+
+  const double greedy_threshold = config.greedy_threshold_override
+                                      ? *config.greedy_threshold_override
+                                      : greedy_threshold_from_warmup(warmup);
+
+  CheckpointSchedule schedule;
+  if (config.schedule_override) {
+    schedule = *config.schedule_override;
+  } else if (!config.frequency_adapter) {
+    switch (config.schedule_kind) {
+      case ScheduleKind::kEpochBaseline:
+        schedule = epoch_schedule(window, profile.iters_per_epoch, cilp);
+        break;
+      case ScheduleKind::kFixedInterval: {
+        auto computed = fixed_interval_schedule(window, cilp);
+        if (!computed.is_ok()) return computed.status();
+        schedule = std::move(computed).value();
+        break;
+      }
+      case ScheduleKind::kGreedy: {
+        result.greedy_threshold = greedy_threshold;
+        auto computed = greedy_schedule(window, cilp, greedy_threshold);
+        if (!computed.is_ok()) return computed.status();
+        schedule = std::move(computed).value();
+        break;
+      }
+    }
+  }
+
+  // --- Execute: producer walk generating update events. ----------------
+  // Producer clock starts at 0 == end of warm-up (the consumer starts
+  // serving at the same moment, per fig. 1).
+  const double t_max = profile.inference_window_seconds();
+  result.window_seconds = t_max;
+
+  Rng cost_rng(config.seed ^ 0xABCDEF);
+  std::vector<UpdateRecord> updates;
+  double producer_time = 0.0;
+
+  // Emits a checkpoint at `iter`, returns the producer stall it cost.
+  auto emit_update = [&](std::int64_t iter) -> double {
+    const PathCosts costs = config.platform.update_costs(
+        config.strategy, profile.model_bytes, profile.num_tensor_files,
+        config.jitter_costs ? &cost_rng : nullptr);
+    UpdateRecord update;
+    update.capture_iteration = iter;
+    update.triggered_at = producer_time;
+    update.ready_at = producer_time + costs.update_latency;
+    update.loss = observed(iter);
+    if (update.triggered_at <= t_max) {
+      updates.push_back(update);
+      result.training_overhead += costs.producer_stall;
+    }
+    return costs.producer_stall;
+  };
+
+  if (config.frequency_adapter) {
+    // Runtime feedback mode: the Checkpoint Frequency Adapter drives the
+    // interval; no planned schedule exists.
+    FrequencyAdapter adapter(*config.frequency_adapter);
+    schedule.kind = ScheduleKind::kGreedy;
+    schedule.interval = 0;
+    double interval_train = 0.0;
+    double last_ckpt_loss = observed(window.s_iter);
+    std::int64_t next_ckpt = window.s_iter + adapter.current_interval();
+    for (std::int64_t iter = window.s_iter;
+         iter <= window.e_iter && producer_time <= t_max; ++iter) {
+      const double step = trajectory.sample_train_time();
+      producer_time += step;
+      interval_train += step;
+      if (iter != next_ckpt) continue;
+      const double loss_now = observed(iter);
+      const double stall = emit_update(iter);
+      producer_time += stall;
+      adapter.on_checkpoint(interval_train, stall, last_ckpt_loss, loss_now);
+      schedule.iterations.push_back(iter);
+      last_ckpt_loss = loss_now;
+      interval_train = 0.0;
+      next_ckpt = iter + adapter.current_interval();
+    }
+    result.adapter_ups = adapter.adjustments_up();
+    result.adapter_downs = adapter.adjustments_down();
+  } else {
+    // Static schedule, optionally refitted online for the greedy kind.
+    const bool refitting = config.refit_every > 0 &&
+                           config.schedule_kind == ScheduleKind::kGreedy &&
+                           !config.schedule_override;
+    std::int64_t next_refit = refitting
+                                  ? window.s_iter + config.refit_every
+                                  : std::numeric_limits<std::int64_t>::max();
+    std::optional<TrainingLossPredictor> refit_tlp;
+    std::size_t next_ckpt = 0;
+    std::vector<std::int64_t> executed;
+
+    for (std::int64_t iter = window.s_iter;
+         iter <= window.e_iter && producer_time <= t_max; ++iter) {
+      producer_time += trajectory.sample_train_time();
+
+      if (iter >= next_refit) {
+        // Refit the loss curve on everything observed so far and replace
+        // the remaining schedule (threshold kept from warm-up).
+        auto fresh = fit_tlp(observed, iter);
+        if (fresh.is_ok()) {
+          refit_tlp.emplace(std::move(fresh).value());
+          predictor = &*refit_tlp;
+          ScheduleWindow tail = window;
+          tail.s_iter = iter;
+          auto tail_schedule = greedy_schedule(tail, cilp, greedy_threshold);
+          if (tail_schedule.is_ok()) {
+            schedule.iterations = tail_schedule.value().iterations;
+            next_ckpt = 0;
+            ++result.refits;
+          }
+        }
+        next_refit += config.refit_every;
+      }
+
+      while (next_ckpt < schedule.iterations.size() &&
+             schedule.iterations[next_ckpt] < iter) {
+        ++next_ckpt;
+      }
+      if (next_ckpt < schedule.iterations.size() &&
+          schedule.iterations[next_ckpt] == iter) {
+        producer_time += emit_update(iter);
+        executed.push_back(iter);
+        ++next_ckpt;
+      }
+    }
+    if (refitting) schedule.iterations = std::move(executed);
+  }
+  result.checkpoints = static_cast<std::int64_t>(updates.size());
+
+  // --- Execute: consumer serving loop. ---------------------------------
+  // Requests arrive continually; each is served by the newest model whose
+  // delivery finished before the request completed.
+  const double warmup_model_loss = observed(window.s_iter);
+  double consumer_time = 0.0;
+  double serving_loss = warmup_model_loss;
+  std::size_t next_update = 0;
+  Rng arrival_rng(config.seed ^ 0x9E3779B9);
+  for (std::int64_t request = 0; request < profile.total_inferences; ++request) {
+    if (config.poisson_arrivals) {
+      // Exponential inter-arrival with the same mean rate.
+      consumer_time +=
+          -profile.t_infer_mean * std::log(arrival_rng.uniform(1e-12, 1.0));
+    } else {
+      consumer_time += trajectory.sample_infer_time();
+    }
+    while (next_update < updates.size() &&
+           updates[next_update].ready_at <= consumer_time) {
+      serving_loss = updates[next_update].loss;
+      ++next_update;
+    }
+    result.cil += serving_loss;
+    ++result.inferences_served;
+  }
+
+  result.schedule = std::move(schedule);
+  result.updates = std::move(updates);
+  return result;
+}
+
+}  // namespace viper::core

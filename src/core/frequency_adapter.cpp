@@ -1,0 +1,63 @@
+#include "viper/core/frequency_adapter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viper::core {
+
+FrequencyAdapter::FrequencyAdapter(Options options)
+    : options_(options), interval_(options.initial_interval) {
+  interval_ = std::clamp(interval_, options_.min_interval, options_.max_interval);
+}
+
+double FrequencyAdapter::observed_overhead_fraction() const noexcept {
+  return total_train_ > 0 ? total_stall_ / total_train_ : 0.0;
+}
+
+void FrequencyAdapter::widen() {
+  const auto next = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(interval_) * options_.step));
+  const std::int64_t clamped =
+      std::clamp(next, options_.min_interval, options_.max_interval);
+  if (clamped != interval_) ++ups_;
+  interval_ = clamped;
+}
+
+void FrequencyAdapter::tighten() {
+  const auto next = static_cast<std::int64_t>(
+      std::floor(static_cast<double>(interval_) / options_.step));
+  const std::int64_t clamped =
+      std::clamp(next, options_.min_interval, options_.max_interval);
+  if (clamped != interval_) ++downs_;
+  interval_ = clamped;
+}
+
+std::int64_t FrequencyAdapter::on_checkpoint(double train_seconds,
+                                             double stall_seconds,
+                                             double loss_before, double loss_after) {
+  total_train_ += std::max(train_seconds, 0.0);
+  total_stall_ += std::max(stall_seconds, 0.0);
+
+  // Signal 1: stall pressure. Per-interval fraction, not lifetime average,
+  // so the adapter reacts when a slow tier (e.g. PFS fallback) kicks in.
+  const double interval_fraction =
+      train_seconds > 0 ? stall_seconds / train_seconds : 0.0;
+  if (interval_fraction > options_.target_overhead_fraction) {
+    widen();
+    return interval_;
+  }
+
+  // Signal 2: was the update worth it? A shrinking improvement means the
+  // curve flattened — stretch the interval. A large improvement means we
+  // are in a fast-progress phase — tighten to keep the consumer fresh.
+  const double improvement = loss_before - loss_after;
+  if (improvement < options_.improvement_threshold) {
+    widen();
+  } else if (improvement > 2.0 * options_.improvement_threshold &&
+             interval_fraction < 0.5 * options_.target_overhead_fraction) {
+    tighten();
+  }
+  return interval_;
+}
+
+}  // namespace viper::core

@@ -1,0 +1,287 @@
+#include "viper/core/handler.hpp"
+
+#include <cstring>
+
+#include "viper/common/clock.hpp"
+#include "viper/common/log.hpp"
+#include "viper/serial/byte_io.hpp"
+
+namespace viper::core {
+
+namespace {
+
+std::string memory_path(const std::string& model_name) {
+  return "ckpt/" + model_name;  // memory tiers buffer only the latest
+}
+
+std::string pfs_path(const std::string& model_name, std::uint64_t version) {
+  return "ckpt/" + model_name + "/v" + std::to_string(version);
+}
+
+/// Wire format of a load request.
+std::vector<std::byte> encode_load_request(Location location,
+                                           const std::string& path) {
+  serial::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(location));
+  w.str(path);
+  return std::move(w).take();
+}
+
+struct LoadRequest {
+  Location location;
+  std::string path;
+};
+
+Result<LoadRequest> decode_load_request(std::span<const std::byte> payload) {
+  serial::ByteReader r(payload);
+  auto loc = r.u8();
+  if (!loc.is_ok()) return loc.status();
+  if (loc.value() > static_cast<std::uint8_t>(Location::kPfs)) {
+    return data_loss("bad location byte in load request");
+  }
+  auto path = r.str();
+  if (!path.is_ok()) return path.status();
+  return LoadRequest{static_cast<Location>(loc.value()), std::move(path).value()};
+}
+
+/// Reply wire format: status byte (0 = ok) then the blob.
+constexpr std::uint8_t kReplyOk = 0;
+constexpr std::uint8_t kReplyNotFound = 1;
+
+}  // namespace
+
+ModelWeightsHandler::ModelWeightsHandler(std::shared_ptr<SharedServices> services,
+                                         Options options)
+    : services_(std::move(services)),
+      options_(options),
+      format_(options.strategy == Strategy::kH5pyPfs ? serial::make_h5like_format()
+                                                     : serial::make_viper_format()),
+      notifier_(services_->bus),
+      gpu_tier_(memsys::polaris_gpu_hbm()),
+      host_tier_(memsys::polaris_dram()) {
+  if (options_.jitter_seed != 0) jitter_rng_.emplace(options_.jitter_seed);
+}
+
+ModelWeightsHandler::~ModelWeightsHandler() {
+  engine_.shutdown();
+  flusher_.shutdown();
+}
+
+Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_name,
+                                                      const Model& model,
+                                                      double train_loss) {
+  Stopwatch watch;
+
+  // Capture: serialize the weights (this is the real checkpoint copy).
+  auto blob = format_->serialize(model);
+  if (!blob.is_ok()) return blob.status();
+
+  const Location location = strategy_location(options_.strategy);
+  const std::uint64_t version =
+      model.version() != 0
+          ? model.version()
+          : static_cast<std::uint64_t>(
+                services_->metadata_db.incr("viper:ver:" + model_name));
+
+  ModelMetadata metadata;
+  metadata.name = model_name;
+  metadata.version = version;
+  metadata.location = location;
+  metadata.path = location == Location::kPfs ? pfs_path(model_name, version)
+                                             : memory_path(model_name);
+  metadata.size_bytes = blob.value().size();
+  metadata.cost_bytes = model.cost_bytes();
+  metadata.iteration = model.iteration();
+  metadata.train_loss = train_loss;
+
+  // Modeled Polaris-scale costs of this update.
+  PathCosts costs;
+  {
+    std::lock_guard lock(jitter_mutex_);
+    costs = options_.platform.update_costs(
+        options_.strategy, metadata.cost_bytes,
+        static_cast<int>(model.num_tensors()),
+        jitter_rng_ ? &*jitter_rng_ : nullptr);
+  }
+  total_stall_.fetch_add(costs.producer_stall, std::memory_order_relaxed);
+  services_->stats->on_save(metadata.size_bytes, costs.producer_stall);
+
+  Staged staged{model_name, std::move(blob).value(), metadata};
+
+  if (strategy_is_async(options_.strategy)) {
+    // Training resumes now; the engine thread finishes the update.
+    if (!engine_.submit([this, staged = std::move(staged)]() mutable {
+          const Status status = commit(std::move(staged));
+          if (!status.is_ok()) {
+            VIPER_ERROR << "async save failed: " << status.to_string();
+          }
+        })) {
+      return cancelled("transfer engine already shut down");
+    }
+  } else {
+    VIPER_RETURN_IF_ERROR(commit(std::move(staged)));
+  }
+
+  SaveReceipt receipt{metadata, costs, watch.elapsed()};
+  return receipt;
+}
+
+Status ModelWeightsHandler::commit(Staged staged) {
+  const ModelMetadata& metadata = staged.metadata;
+
+  memsys::StorageTier* tier = nullptr;
+  switch (metadata.location) {
+    case Location::kGpuMemory: tier = &gpu_tier_; break;
+    case Location::kHostMemory: tier = &host_tier_; break;
+    case Location::kPfs: tier = services_->pfs.get(); break;
+  }
+
+  // Background fault-tolerance flush of every version to the PFS (memory
+  // tiers keep only the latest blob).
+  if (options_.flush_to_pfs && metadata.location != Location::kPfs) {
+    auto pfs = services_->pfs;
+    auto flush_blob = staged.blob;  // copy: the engine still owns the original
+    const std::string path = pfs_path(metadata.name, metadata.version);
+    const std::uint64_t cost = metadata.cost_bytes;
+    flusher_.submit([pfs, path, cost, flush_blob = std::move(flush_blob)]() mutable {
+      auto ticket = pfs->put(path, std::move(flush_blob), cost);
+      if (!ticket.is_ok()) {
+        VIPER_WARN << "PFS flush of " << path
+                   << " failed: " << ticket.status().to_string();
+      }
+    });
+  }
+
+  auto ticket = tier->put(metadata.path, std::move(staged.blob),
+                          metadata.cost_bytes);
+  if (!ticket.is_ok()) return ticket.status();
+
+  put_metadata(services_->metadata_db, metadata);
+  notifier_.publish_update(metadata.name, metadata.version);
+  services_->stats->on_notification();
+  if (metadata.location != Location::kPfs) {
+    services_->stats->record_cached(options_.producer_id, metadata.name,
+                                    metadata.version, metadata.location);
+  }
+  saves_completed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+void ModelWeightsHandler::drain() {
+  engine_.drain();
+  flusher_.drain();
+}
+
+Result<std::vector<std::byte>> ModelWeightsHandler::fetch(Location location,
+                                                          const std::string& path) {
+  memsys::StorageTier* tier = nullptr;
+  switch (location) {
+    case Location::kGpuMemory: tier = &gpu_tier_; break;
+    case Location::kHostMemory: tier = &host_tier_; break;
+    case Location::kPfs: tier = services_->pfs.get(); break;
+  }
+  std::vector<std::byte> blob;
+  auto ticket = tier->get(path, blob);
+  if (!ticket.is_ok()) return ticket.status();
+  return blob;
+}
+
+void ModelWeightsHandler::serve_transfers(const net::Comm& comm) {
+  for (;;) {
+    auto msg = comm.recv(net::kAnySource, net::kAnyTag);
+    if (!msg.is_ok()) return;  // world shut down
+    if (msg.value().tag == kTagShutdown) return;
+    if (msg.value().tag != kTagLoadRequest) {
+      VIPER_WARN << "transfer server ignoring unexpected tag " << msg.value().tag;
+      continue;
+    }
+    auto request = decode_load_request(msg.value().payload);
+    serial::ByteWriter reply;
+    if (!request.is_ok()) {
+      reply.u8(kReplyNotFound);
+    } else {
+      auto blob = fetch(request.value().location, request.value().path);
+      if (blob.is_ok()) {
+        reply.u8(kReplyOk);
+        reply.raw(blob.value());
+      } else {
+        reply.u8(kReplyNotFound);
+      }
+    }
+    const Status sent =
+        comm.send(msg.value().source, kTagLoadReply, reply.bytes());
+    if (!sent.is_ok()) return;
+  }
+}
+
+Status ModelWeightsHandler::stop_transfer_server(const net::Comm& from,
+                                                 int producer_rank) {
+  return from.send(producer_rank, kTagShutdown, {});
+}
+
+ModelLoader::ModelLoader(std::shared_ptr<SharedServices> services, net::Comm comm,
+                         Options options)
+    : services_(std::move(services)),
+      comm_(std::move(comm)),
+      options_(options),
+      viper_format_(serial::make_viper_format()),
+      h5_format_(serial::make_h5like_format()) {}
+
+Result<ModelMetadata> ModelLoader::peek(const std::string& model_name) const {
+  return get_metadata(services_->metadata_db, model_name);
+}
+
+Result<Model> ModelLoader::load_weights(const std::string& model_name) {
+  auto metadata = peek(model_name);
+  if (!metadata.is_ok()) return metadata.status();
+  const ModelMetadata& meta = metadata.value();
+
+  std::vector<std::byte> blob;
+  if (meta.location == Location::kPfs) {
+    auto ticket = services_->pfs->get(meta.path, blob, meta.cost_bytes);
+    if (!ticket.is_ok()) return ticket.status();
+    last_load_cost_ = ticket.value().seconds;
+  } else {
+    // Direct memory-to-memory pull from the producer's cache.
+    const auto request = encode_load_request(meta.location, meta.path);
+    VIPER_RETURN_IF_ERROR(
+        comm_.send(options_.producer_rank, kTagLoadRequest, request));
+    auto reply = comm_.recv(options_.producer_rank, kTagLoadReply,
+                            options_.request_timeout);
+    if (!reply.is_ok()) return reply.status();
+    const auto& payload = reply.value().payload;
+    if (payload.empty()) return data_loss("empty transfer reply");
+    if (static_cast<std::uint8_t>(payload[0]) != 0) {
+      // The producer's memory cache moved on (or the producer died after
+      // its background flush landed): fall back to the flushed PFS copy
+      // of the version the metadata advertised.
+      const std::string flushed =
+          "ckpt/" + meta.name + "/v" + std::to_string(meta.version);
+      auto ticket = services_->pfs->get(flushed, blob, meta.cost_bytes);
+      if (!ticket.is_ok()) {
+        return not_found("producer no longer caches '" + meta.path +
+                         "' and no flushed copy of v" +
+                         std::to_string(meta.version) + " exists");
+      }
+      last_load_cost_ = ticket.value().seconds;
+    } else {
+      blob.assign(payload.begin() + 1, payload.end());
+      const auto& link = meta.location == Location::kGpuMemory
+                             ? options_.platform.gpu_link
+                             : options_.platform.host_link;
+      last_load_cost_ = link.transfer_seconds(meta.cost_bytes);
+    }
+  }
+
+  services_->stats->on_load(blob.size());
+
+  // Sniff the format by magic so a consumer can read either layout.
+  if (blob.size() < 4) return data_loss("checkpoint blob too small");
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, blob.data(), 4);
+  const serial::CheckpointFormat& format =
+      magic == 0x31465356 ? *viper_format_ : *h5_format_;
+  return format.deserialize(blob);
+}
+
+}  // namespace viper::core

@@ -1,0 +1,72 @@
+// Viper's public API (paper fig. 4): save_weights() for training
+// applications, load_weights() for inference serving systems. A Viper
+// instance is initialized with a role and wires the handler / loader /
+// notification plumbing behind those two calls.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "viper/core/consumer.hpp"
+#include "viper/core/handler.hpp"
+
+namespace viper::core {
+
+enum class Role { kProducer, kConsumer };
+
+class Viper {
+ public:
+  struct Config {
+    Role role = Role::kProducer;
+    Strategy strategy = Strategy::kGpuAsync;
+    PlatformModel platform = PlatformModel::polaris();
+    bool flush_to_pfs = true;
+    int producer_rank = 0;  ///< consumer role: rank serving transfers
+  };
+
+  /// viper.init(type): construct an endpoint bound to shared services and
+  /// a comm endpoint for this node.
+  Viper(Config config, std::shared_ptr<SharedServices> services, net::Comm comm);
+  ~Viper();
+
+  Viper(const Viper&) = delete;
+  Viper& operator=(const Viper&) = delete;
+
+  /// Producer: save the current model state (checkpoint + metadata +
+  /// notify). Fails with FAILED_PRECONDITION on a consumer instance.
+  Result<SaveReceipt> save_weights(const std::string& model_name,
+                                   const Model& model, double train_loss = 0.0);
+
+  /// Consumer: load the latest version of the model.
+  Result<Model> load_weights(const std::string& model_name);
+
+  /// Consumer: subscribe to update notifications for a model.
+  Result<kv::Subscription> subscribe(const std::string& model_name);
+
+  /// Producer: run the transfer server for direct memory-to-memory loads
+  /// (blocking; call from a dedicated thread). Consumer: error.
+  Status serve_transfers();
+
+  /// Unblock a producer's serve_transfers() loop.
+  Status stop_transfer_server();
+
+  /// Block until async saves/flushes land (producer only; no-op otherwise).
+  void drain();
+
+  [[nodiscard]] Role role() const noexcept { return config_.role; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] SharedServices& services() noexcept { return *services_; }
+  /// Producer-only access to the underlying engine (nullptr on consumer).
+  [[nodiscard]] std::shared_ptr<ModelWeightsHandler> handler() noexcept {
+    return handler_;
+  }
+
+ private:
+  Config config_;
+  std::shared_ptr<SharedServices> services_;
+  net::Comm comm_;
+  std::shared_ptr<ModelWeightsHandler> handler_;  // producer role
+  std::unique_ptr<ModelLoader> loader_;           // consumer role
+};
+
+}  // namespace viper::core

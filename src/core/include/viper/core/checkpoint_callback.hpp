@@ -1,0 +1,50 @@
+// Checkpoint Callback (paper §4.2): the Keras-style callback appended to
+// the training loop. It tracks per-iteration training loss, and when the
+// schedule says so, snapshots the model and pushes it through the Model
+// Weights Handler, charging the modeled stall back to the trainer.
+#pragma once
+
+#include <memory>
+
+#include "viper/core/handler.hpp"
+#include "viper/core/scheduler.hpp"
+#include "viper/train/trainer_sim.hpp"
+
+namespace viper::core {
+
+class CheckpointCallback {
+ public:
+  struct Options {
+    std::string model_name;
+    CheckpointSchedule schedule;  ///< absolute iterations to checkpoint at
+  };
+
+  CheckpointCallback(std::shared_ptr<ModelWeightsHandler> handler,
+                     Options options);
+
+  /// Attach to a trainer: registers an IterationCallback on it. The
+  /// trainer must outlive this callback object.
+  void attach(train::TrainerSim& trainer);
+
+  /// Loss observations recorded so far (iteration-indexed from attach).
+  [[nodiscard]] const std::vector<double>& observed_losses() const noexcept {
+    return losses_;
+  }
+  [[nodiscard]] std::uint64_t checkpoints_taken() const noexcept {
+    return checkpoints_;
+  }
+  [[nodiscard]] const std::vector<SaveReceipt>& receipts() const noexcept {
+    return receipts_;
+  }
+
+ private:
+  void on_iteration(train::TrainerSim& trainer, const train::StepResult& step);
+
+  std::shared_ptr<ModelWeightsHandler> handler_;
+  Options options_;
+  std::vector<double> losses_;
+  std::vector<SaveReceipt> receipts_;
+  std::uint64_t checkpoints_ = 0;
+};
+
+}  // namespace viper::core

@@ -1,0 +1,65 @@
+// Cumulative Inference Loss Predictor (paper §4.3, Eq. 2 + Algorithm 1).
+// Predicts the total inference loss a consumer accumulates over a window,
+// given the predicted training-loss curve and the per-update overheads
+// t_p (producer stall) and t_c (consumer load).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "viper/common/status.hpp"
+
+namespace viper::core {
+
+/// Predicted training loss at (fractional) iteration x. Assumption 2 of
+/// the paper lets this double as the inference loss of a checkpoint
+/// captured at x.
+using LossFn = std::function<double(double)>;
+
+/// Timing constants of one producer/consumer pairing.
+struct UpdateTiming {
+  double t_train = 0.0;  ///< seconds per training iteration
+  double t_infer = 0.0;  ///< seconds per inference request
+  double t_p = 0.0;      ///< producer stall per checkpoint
+  double t_c = 0.0;      ///< consumer-side load time per update
+};
+
+/// Result of Algorithm 1: inference loss accrued within one checkpoint
+/// interval and the number of requests that interval served.
+struct IntervalLoss {
+  double accumulated_loss = 0.0;
+  std::int64_t inferences = 0;
+};
+
+class CilPredictor {
+ public:
+  CilPredictor(UpdateTiming timing, LossFn loss_fn);
+
+  /// Algorithm 1: losses within one interval of `interval` iterations
+  /// whose serving model has training loss `loss`. The first update
+  /// (`ckpt_version == 1`) also absorbs t_c; later updates overlap t_c
+  /// with the next training iterations (fig. 1).
+  [[nodiscard]] IntervalLoss interval_loss(std::int64_t interval, double loss,
+                                           std::int64_t ckpt_version,
+                                           std::int64_t remaining_inferences) const;
+
+  /// Total predicted CIL for a regular schedule of period `interval`
+  /// between iterations [s_iter, e_iter] serving `total_inferences`
+  /// requests — the inner loop of Algorithm 2 for one candidate interval.
+  [[nodiscard]] double cil_for_interval(std::int64_t interval, std::int64_t s_iter,
+                                        std::int64_t e_iter,
+                                        std::int64_t total_inferences) const;
+
+  /// Eq. 2: closed-form accLoss over a fixed duration t_max with interval
+  /// ckpt_i (kept for cross-checking the iterative form in tests).
+  [[nodiscard]] double acc_loss(std::int64_t ckpt_interval, double t_max) const;
+
+  [[nodiscard]] const UpdateTiming& timing() const noexcept { return timing_; }
+  [[nodiscard]] double loss_at(double x) const { return loss_fn_(x); }
+
+ private:
+  UpdateTiming timing_;
+  LossFn loss_fn_;
+};
+
+}  // namespace viper::core

@@ -1,0 +1,134 @@
+// Consumer-side machinery (paper §4.2): a double-buffered model holder
+// whose swap is an atomic pointer exchange (imperceptible serving
+// downtime), an update listener driven by push notifications, and the
+// polling-based alternative used as the state-of-practice baseline.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "viper/common/thread_util.hpp"
+#include "viper/core/handler.hpp"
+
+namespace viper::core {
+
+/// Two model slots; readers always see a complete model while the update
+/// thread fills the spare slot, then the slots swap atomically.
+class DoubleBuffer {
+ public:
+  /// Current serving model (may be null before the first install).
+  [[nodiscard]] std::shared_ptr<const Model> active() const;
+
+  /// Publish a new model: it becomes active, the old active becomes the
+  /// spare. Readers holding the old snapshot keep a valid reference.
+  void install(Model model);
+
+  [[nodiscard]] std::uint64_t swap_count() const noexcept {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Model> slots_[2];
+  int active_index_ = 0;
+  std::atomic<std::uint64_t> swaps_{0};
+};
+
+/// Push-driven consumer: wakes on each notification, loads the latest
+/// checkpoint (coalescing any backlog to the newest version), installs it
+/// into the double buffer. The serving path (active_model) never blocks
+/// on an update.
+class InferenceConsumer {
+ public:
+  using UpdateHook = std::function<void(const ModelMetadata&)>;
+
+  struct Options {
+    ModelLoader::Options loader;
+    UpdateHook on_update;  ///< invoked after each successful install
+  };
+
+  InferenceConsumer(std::shared_ptr<SharedServices> services, net::Comm comm,
+                    std::string model_name, Options options);
+  ~InferenceConsumer();
+
+  InferenceConsumer(const InferenceConsumer&) = delete;
+  InferenceConsumer& operator=(const InferenceConsumer&) = delete;
+
+  /// Begin listening for updates (idempotent).
+  void start();
+  /// Stop the update thread.
+  void stop();
+
+  [[nodiscard]] std::shared_ptr<const Model> active_model() const {
+    return buffer_.active();
+  }
+  [[nodiscard]] std::uint64_t updates_applied() const noexcept {
+    return updates_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t active_version() const noexcept {
+    return version_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] DoubleBuffer& buffer() noexcept { return buffer_; }
+  [[nodiscard]] ModelLoader& loader() noexcept { return loader_; }
+
+ private:
+  void run(const std::atomic<bool>& stop_flag);
+  void apply_latest();
+
+  std::shared_ptr<SharedServices> services_;
+  std::string model_name_;
+  Options options_;
+  ModelLoader loader_;
+  DoubleBuffer buffer_;
+  kv::Subscription subscription_;
+  WorkerThread thread_;
+  std::atomic<std::uint64_t> updates_{0};
+  std::atomic<std::uint64_t> version_{0};
+  bool started_ = false;
+};
+
+/// State-of-practice baseline: polls the metadata DB at a fixed interval
+/// (TensorFlow Serving / Triton style) instead of subscribing.
+class PollingConsumer {
+ public:
+  struct Options {
+    ModelLoader::Options loader;
+    double poll_interval = 0.01;  ///< seconds between metadata polls
+    InferenceConsumer::UpdateHook on_update;
+  };
+
+  PollingConsumer(std::shared_ptr<SharedServices> services, net::Comm comm,
+                  std::string model_name, Options options);
+  ~PollingConsumer();
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::shared_ptr<const Model> active_model() const {
+    return buffer_.active();
+  }
+  [[nodiscard]] std::uint64_t updates_applied() const noexcept {
+    return updates_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t polls_issued() const noexcept {
+    return polls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run(const std::atomic<bool>& stop_flag);
+
+  std::shared_ptr<SharedServices> services_;
+  std::string model_name_;
+  Options options_;
+  ModelLoader loader_;
+  DoubleBuffer buffer_;
+  WorkerThread thread_;
+  std::atomic<std::uint64_t> updates_{0};
+  std::atomic<std::uint64_t> polls_{0};
+  std::uint64_t last_version_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace viper::core

@@ -1,0 +1,86 @@
+// Coupled producer/consumer experiment in virtual time — the end-to-end
+// workflow behind fig. 9, fig. 10 and Table 1. The producer fine-tunes
+// along the application's loss trajectory, checkpointing per schedule and
+// stalling per the platform model; the consumer serves requests at a
+// fixed rate, each request charged the loss of the newest model whose
+// delivery completed before the request (Cumulative Inference Loss).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/core/frequency_adapter.hpp"
+#include "viper/core/platform.hpp"
+#include "viper/core/scheduler.hpp"
+#include "viper/core/tlp.hpp"
+#include "viper/sim/app_profile.hpp"
+#include "viper/sim/nonstationary.hpp"
+
+namespace viper::core {
+
+struct CoupledRunConfig {
+  sim::AppProfile profile;
+  Strategy strategy = Strategy::kGpuAsync;
+  ScheduleKind schedule_kind = ScheduleKind::kEpochBaseline;
+  PlatformModel platform = PlatformModel::polaris();
+  std::uint64_t seed = 0xC0FFEE;
+  /// Override the computed schedule entirely (for ablations).
+  std::optional<CheckpointSchedule> schedule_override;
+  /// Override the greedy threshold (ablation of the mean+std rule).
+  std::optional<double> greedy_threshold_override;
+  /// Sample jitter on per-update costs instead of using expectations.
+  bool jitter_costs = false;
+  /// Runtime feedback mode (paper fig. 3's Checkpoint Frequency Adapter):
+  /// when set, the planned schedule is ignored and the interval is tuned
+  /// online from observed stalls and loss improvements.
+  std::optional<FrequencyAdapter::Options> frequency_adapter;
+  /// Online TLP refitting: every `refit_every` fine-tuning iterations,
+  /// refit the loss curve on ALL observed losses so far and regenerate
+  /// the remaining greedy schedule (only meaningful with kGreedy).
+  /// 0 disables refitting.
+  std::int64_t refit_every = 0;
+  /// Replace the fixed-rate request stream with Poisson arrivals of the
+  /// same mean rate (robustness check of the constant-t_infer assumption).
+  bool poisson_arrivals = false;
+  /// Distribution shifts (continual learning, §2): the loss restarts at
+  /// these iterations. Planned schedules cannot anticipate them; the
+  /// frequency adapter reacts to them.
+  std::vector<sim::DistributionShift> shifts;
+};
+
+struct UpdateRecord {
+  std::int64_t capture_iteration = 0;
+  double triggered_at = 0.0;  ///< producer time the checkpoint fired
+  double ready_at = 0.0;      ///< consumer time the new model went live
+  double loss = 0.0;          ///< training loss of the captured model
+};
+
+struct CoupledRunResult {
+  double cil = 0.0;                      ///< measured cumulative inference loss
+  std::int64_t inferences_served = 0;
+  std::int64_t checkpoints = 0;          ///< updates triggered in the window
+  double training_overhead = 0.0;        ///< total stall seconds (fig9 orange)
+  double window_seconds = 0.0;           ///< consumer serving duration
+  CheckpointSchedule schedule;           ///< schedule that was executed
+  std::vector<UpdateRecord> updates;
+  math::CurveFamily tlp_family{};        ///< winning warm-up fit
+  double tlp_mse = 0.0;
+  double greedy_threshold = 0.0;         ///< threshold used (greedy only)
+  UpdateTiming timing;                   ///< t_train/t_infer/t_p/t_c used
+  std::int64_t refits = 0;               ///< online TLP refits performed
+  std::int64_t adapter_ups = 0;          ///< frequency-adapter widenings
+  std::int64_t adapter_downs = 0;        ///< frequency-adapter tightenings
+};
+
+/// Run the coupled experiment. Deterministic given the config.
+Result<CoupledRunResult> run_coupled_experiment(const CoupledRunConfig& config);
+
+/// The schedule window the IPP plans over for a profile + timing: starts
+/// at the end of warm-up, ends at the last iteration reachable within the
+/// consumer's serving window.
+ScheduleWindow schedule_window_for(const sim::AppProfile& profile,
+                                   const UpdateTiming& timing);
+
+}  // namespace viper::core

@@ -1,0 +1,59 @@
+// Checkpoint Frequency Adapter (paper fig. 3's feedback loop): adjusts
+// the checkpoint interval *during* the run from two observed signals —
+//   1. stall pressure: measured stall time per interval vs a target
+//      overhead fraction (CheckFreq-style rate tuning, but optimizing
+//      inference freshness rather than restart cost), and
+//   2. observed loss improvement since the last checkpoint: when the
+//      measured curve flattens, updates stretch out; when a fresh phase
+//      of fast progress appears (non-stationary training), they tighten.
+#pragma once
+
+#include <cstdint>
+
+#include "viper/math/stats.hpp"
+
+namespace viper::core {
+
+class FrequencyAdapter {
+ public:
+  struct Options {
+    std::int64_t initial_interval = 100;  ///< iterations between checkpoints
+    std::int64_t min_interval = 1;
+    std::int64_t max_interval = 1 << 20;
+    /// Stall budget as a fraction of training time (e.g. 0.05 = 5%).
+    double target_overhead_fraction = 0.05;
+    /// Loss improvement per checkpoint worth paying the stall for.
+    double improvement_threshold = 0.0;
+    /// Multiplicative step when adapting (interval *= / /= step).
+    double step = 1.5;
+  };
+
+  explicit FrequencyAdapter(Options options);
+
+  /// Report one completed checkpoint interval:
+  ///   - `train_seconds`: pure compute time of the interval,
+  ///   - `stall_seconds`: checkpoint stall it ended with,
+  ///   - `loss_before` / `loss_after`: observed training loss around it.
+  /// Returns the interval to use for the next checkpoint.
+  std::int64_t on_checkpoint(double train_seconds, double stall_seconds,
+                             double loss_before, double loss_after);
+
+  [[nodiscard]] std::int64_t current_interval() const noexcept { return interval_; }
+  /// Observed stall fraction over the whole run so far.
+  [[nodiscard]] double observed_overhead_fraction() const noexcept;
+  [[nodiscard]] std::int64_t adjustments_up() const noexcept { return ups_; }
+  [[nodiscard]] std::int64_t adjustments_down() const noexcept { return downs_; }
+
+ private:
+  void widen();
+  void tighten();
+
+  Options options_;
+  std::int64_t interval_;
+  double total_train_ = 0.0;
+  double total_stall_ = 0.0;
+  std::int64_t ups_ = 0;
+  std::int64_t downs_ = 0;
+};
+
+}  // namespace viper::core

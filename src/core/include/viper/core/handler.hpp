@@ -1,0 +1,157 @@
+// Model Weights Handler (paper §4.4): the memory-first transfer engine.
+// Producer side: serializes checkpoints, caches them in the fastest
+// available memory tier (GPU > host > PFS), records metadata in the
+// shared DB, publishes an update notification, and asynchronously flushes
+// every version to the PFS for fault tolerance. Consumer side: resolves a
+// model's location from the metadata DB and fetches it either directly
+// from the producer's memory over the comm fabric or from the PFS.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "viper/common/thread_util.hpp"
+#include "viper/core/metadata.hpp"
+#include "viper/core/notification.hpp"
+#include "viper/core/platform.hpp"
+#include "viper/core/stats_manager.hpp"
+#include "viper/core/strategy.hpp"
+#include "viper/kvstore/kvstore.hpp"
+#include "viper/memsys/storage_tier.hpp"
+#include "viper/net/comm.hpp"
+#include "viper/serial/format.hpp"
+#include "viper/tensor/model.hpp"
+
+namespace viper::core {
+
+/// Message tags used between the consumer's loader and the producer's
+/// transfer server.
+inline constexpr int kTagLoadRequest = 100;
+inline constexpr int kTagLoadReply = 101;
+inline constexpr int kTagShutdown = 102;
+
+/// Infrastructure shared by one producer/consumer pairing: the metadata
+/// DB and notification bus (the "Redis" node) and the shared PFS tier.
+struct SharedServices {
+  kv::KvStore metadata_db;
+  std::shared_ptr<kv::PubSub> bus = kv::PubSub::create();
+  std::shared_ptr<memsys::StorageTier> pfs =
+      std::make_shared<memsys::MemoryTier>(memsys::polaris_lustre());
+  std::shared_ptr<StatsManager> stats = std::make_shared<StatsManager>();
+};
+
+/// Outcome of one save: where the checkpoint went and the modeled costs.
+struct SaveReceipt {
+  ModelMetadata metadata;
+  PathCosts costs;           ///< modeled Polaris-scale costs of this update
+  double real_seconds = 0.0; ///< wall time the save actually took in-process
+};
+
+class ModelWeightsHandler {
+ public:
+  struct Options {
+    Strategy strategy = Strategy::kGpuAsync;
+    PlatformModel platform = PlatformModel::polaris();
+    /// Flush every version to the PFS in the background (fault tolerance).
+    bool flush_to_pfs = true;
+    /// Seed for modeled-bandwidth jitter; 0 disables jitter.
+    std::uint64_t jitter_seed = 0;
+    /// Identity reported to the Stats Manager.
+    std::string producer_id = "producer-0";
+  };
+
+  ModelWeightsHandler(std::shared_ptr<SharedServices> services, Options options);
+  ~ModelWeightsHandler();
+
+  ModelWeightsHandler(const ModelWeightsHandler&) = delete;
+  ModelWeightsHandler& operator=(const ModelWeightsHandler&) = delete;
+
+  /// Save a checkpoint under the configured strategy. Synchronous
+  /// strategies block until the blob is stored and announced; async ones
+  /// return after the capture copy and finish on the engine thread.
+  Result<SaveReceipt> save_weights(const std::string& model_name,
+                                   const Model& model, double train_loss = 0.0);
+
+  /// Block until all in-flight async saves and PFS flushes land.
+  void drain();
+
+  /// Read a cached blob back from this producer's memory tiers.
+  Result<std::vector<std::byte>> fetch(Location location, const std::string& path);
+
+  /// Serve load requests from consumers over the comm fabric until
+  /// shutdown. Run on the producer's rank (blocking; spawn a thread).
+  void serve_transfers(const net::Comm& comm);
+
+  /// Ask the serve_transfers() loop running on `producer_rank` to exit.
+  static Status stop_transfer_server(const net::Comm& from, int producer_rank);
+
+  /// Producer-side accumulated modeled training stall (fig9's overhead).
+  [[nodiscard]] double total_stall_seconds() const noexcept {
+    return total_stall_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t saves_completed() const noexcept {
+    return saves_completed_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  [[nodiscard]] SharedServices& services() noexcept { return *services_; }
+  [[nodiscard]] memsys::StorageTier& gpu_tier() noexcept { return gpu_tier_; }
+  [[nodiscard]] memsys::StorageTier& host_tier() noexcept { return host_tier_; }
+
+ private:
+  struct Staged {
+    std::string model_name;
+    std::vector<std::byte> blob;
+    ModelMetadata metadata;
+  };
+
+  /// Store + metadata + notify (runs inline for sync, on engine for async).
+  Status commit(Staged staged);
+
+  std::shared_ptr<SharedServices> services_;
+  Options options_;
+  std::unique_ptr<serial::CheckpointFormat> format_;
+  NotificationModule notifier_;
+  memsys::MemoryTier gpu_tier_;
+  memsys::MemoryTier host_tier_;
+  SerialExecutor engine_;   ///< async capture/transfer thread
+  SerialExecutor flusher_;  ///< background PFS flush thread
+  std::optional<Rng> jitter_rng_;
+  std::mutex jitter_mutex_;
+  std::atomic<double> total_stall_{0.0};
+  std::atomic<std::uint64_t> saves_completed_{0};
+};
+
+/// Consumer-side loader: resolves location via metadata and pulls the
+/// blob from the producer's memory (over `comm`) or the shared PFS.
+class ModelLoader {
+ public:
+  struct Options {
+    PlatformModel platform = PlatformModel::polaris();
+    int producer_rank = 0;
+    double request_timeout = 30.0;  ///< seconds to wait for a transfer reply
+  };
+
+  ModelLoader(std::shared_ptr<SharedServices> services, net::Comm comm,
+              Options options);
+
+  /// Fetch + deserialize the latest checkpoint of `model_name`.
+  Result<Model> load_weights(const std::string& model_name);
+
+  /// Metadata of the latest version without fetching the payload.
+  Result<ModelMetadata> peek(const std::string& model_name) const;
+
+  /// Modeled consumer-side load cost of the last load_weights call.
+  [[nodiscard]] double last_load_cost() const noexcept { return last_load_cost_; }
+
+ private:
+  std::shared_ptr<SharedServices> services_;
+  net::Comm comm_;
+  Options options_;
+  std::unique_ptr<serial::CheckpointFormat> viper_format_;
+  std::unique_ptr<serial::CheckpointFormat> h5_format_;
+  double last_load_cost_ = 0.0;
+};
+
+}  // namespace viper::core

@@ -1,0 +1,39 @@
+// Model metadata records stored in the shared Metadata DB (paper fig. 3):
+// name, version, size, location (memory tier or storage), and saving path,
+// plus the training loss Viper tracks for schedule feedback.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "viper/common/status.hpp"
+#include "viper/core/strategy.hpp"
+#include "viper/kvstore/kvstore.hpp"
+
+namespace viper::core {
+
+struct ModelMetadata {
+  std::string name;
+  std::uint64_t version = 0;
+  Location location = Location::kPfs;
+  std::string path;                ///< object key within the tier
+  std::uint64_t size_bytes = 0;    ///< serialized blob size
+  std::uint64_t cost_bytes = 0;    ///< nominal (paper-scale) size, if any
+  std::int64_t iteration = -1;     ///< training iteration of the capture
+  double train_loss = 0.0;         ///< observed loss at capture time
+};
+
+/// KV key under which a model's metadata hash lives.
+std::string metadata_key(const std::string& model_name);
+
+/// Notification channel carrying updates for a model.
+std::string notification_channel(const std::string& model_name);
+
+/// Write the record (atomically replaces the model's hash).
+void put_metadata(kv::KvStore& db, const ModelMetadata& metadata);
+
+/// Read the record back; NOT_FOUND if the model was never saved.
+Result<ModelMetadata> get_metadata(const kv::KvStore& db,
+                                   const std::string& model_name);
+
+}  // namespace viper::core

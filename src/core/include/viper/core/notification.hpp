@@ -1,0 +1,41 @@
+// Notification Module (paper §4.2/§4.4): wraps the pub/sub bus with a
+// typed "model updated" event so consumers are pushed the new version
+// instead of polling the repository.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "viper/common/status.hpp"
+#include "viper/kvstore/pubsub.hpp"
+
+namespace viper::core {
+
+struct UpdateEvent {
+  std::string model_name;
+  std::uint64_t version = 0;
+};
+
+class NotificationModule {
+ public:
+  explicit NotificationModule(std::shared_ptr<kv::PubSub> bus)
+      : bus_(std::move(bus)) {}
+
+  /// Announce that `model_name` now has `version` available. Returns the
+  /// number of consumers that were woken.
+  std::size_t publish_update(const std::string& model_name, std::uint64_t version);
+
+  /// Subscribe to updates for one model.
+  [[nodiscard]] kv::Subscription subscribe(const std::string& model_name);
+
+  /// Parse an event payload back into an UpdateEvent.
+  static Result<UpdateEvent> parse(const kv::Event& event);
+
+  [[nodiscard]] kv::PubSub& bus() noexcept { return *bus_; }
+
+ private:
+  std::shared_ptr<kv::PubSub> bus_;
+};
+
+}  // namespace viper::core

@@ -1,0 +1,61 @@
+// Platform cost model: composes the memsys device models and net link
+// models into end-to-end costs for each transfer strategy. This is the
+// analytic backbone of the fig8/fig9/fig10 experiments and feeds the
+// t_p (producer stall) / t_c (consumer load) terms of the IPP (§4.3).
+#pragma once
+
+#include <string>
+
+#include "viper/common/rng.hpp"
+#include "viper/memsys/device_model.hpp"
+#include "viper/memsys/presets.hpp"
+#include "viper/net/link_model.hpp"
+#include "viper/core/strategy.hpp"
+
+namespace viper::core {
+
+/// Cost breakdown of one model update under a given strategy.
+struct PathCosts {
+  /// Seconds training is blocked on the producer (the IPP's t_p).
+  double producer_stall = 0.0;
+  /// Seconds from checkpoint trigger until the consumer's new model is
+  /// live (what fig8 reports as "end-to-end model update latency").
+  double update_latency = 0.0;
+  /// Consumer-side load/install time (the IPP's t_c); overlaps serving
+  /// thanks to double buffering but delays when the new model activates.
+  double consumer_load = 0.0;
+};
+
+/// Device + link models for one producer/consumer node pair, plus the
+/// engine constants calibrated against the paper's Polaris measurements
+/// (serialization throughput, staging copy speeds, polling intervals).
+struct PlatformModel {
+  memsys::DeviceModel gpu = memsys::polaris_gpu_hbm();
+  memsys::DeviceModel dram = memsys::polaris_dram();
+  memsys::DeviceModel pfs = memsys::polaris_lustre();
+  memsys::DeviceModel pfs_h5py = memsys::polaris_lustre_h5py();
+  net::LinkModel gpu_link = net::polaris_gpudirect();
+  net::LinkModel host_link = net::polaris_host_rdma();
+
+  double serialize_bw_viper = 40e9;   ///< lean tensor pack, bytes/s per side
+  double serialize_bw_h5py = 20e9;    ///< h5py chunked writes through Python
+  double pageable_staging_bw = 3.4e9; ///< GPU→host pageable-memory copy
+  double host_to_gpu_bw = 16e9;       ///< consumer cudaMemcpyAsync upload
+  double gpu_async_copy_bw = 21e9;    ///< extra d2d copy into the send buffer
+  double async_dispatch_latency = 0.01;  ///< engine-thread handoff
+  double swap_latency = 1e-4;         ///< double-buffer pointer swap
+  double notify_latency = 0.5e-3;     ///< pub/sub push (paper: < 1 ms)
+  double poll_interval = 1.0;         ///< baseline consumer polling period
+
+  /// Polaris-calibrated defaults.
+  static PlatformModel polaris() { return {}; }
+
+  /// Costs of one update of `bytes` (checkpoint size) consisting of
+  /// `num_tensors` tensors. Pass an Rng to sample bandwidth jitter;
+  /// nullptr gives the deterministic expectation (with the polling delay
+  /// at its expected value of poll_interval / 2).
+  [[nodiscard]] PathCosts update_costs(Strategy strategy, std::uint64_t bytes,
+                                       int num_tensors, Rng* rng = nullptr) const;
+};
+
+}  // namespace viper::core

@@ -1,0 +1,42 @@
+// Fault-tolerance recovery. The handler flushes every checkpoint version
+// to the PFS in the background (§4.4); this module turns those flushed
+// copies back into a serving model after a crash: it scans the PFS for a
+// model's versions, validates integrity newest-first (the CRC trailer
+// catches torn or corrupted flushes), and can repair the metadata DB so
+// consumers resume from the recovered version.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "viper/core/handler.hpp"
+
+namespace viper::core {
+
+/// Versions of `model_name` present on the PFS, ascending. Versions whose
+/// key exists but whose blob is unreadable are still listed — recovery
+/// decides what is usable.
+std::vector<std::uint64_t> flushed_versions(const SharedServices& services,
+                                            const std::string& model_name);
+
+struct RecoveredModel {
+  Model model;
+  std::uint64_t version = 0;
+  /// Versions that were present but failed integrity validation and had
+  /// to be skipped (newest first).
+  std::vector<std::uint64_t> skipped_corrupt;
+};
+
+/// Load the newest intact flushed checkpoint of `model_name`. Walks
+/// versions newest-first, skipping any blob that fails CRC/parse
+/// validation. NOT_FOUND when nothing usable remains.
+Result<RecoveredModel> recover_latest(SharedServices& services,
+                                      const std::string& model_name);
+
+/// recover_latest + repair: rewrites the model's metadata record to point
+/// at the recovered PFS copy so existing consumers (and their loaders)
+/// resume without producer involvement.
+Result<RecoveredModel> recover_and_repair(SharedServices& services,
+                                          const std::string& model_name);
+
+}  // namespace viper::core

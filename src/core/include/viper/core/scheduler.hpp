@@ -1,0 +1,64 @@
+// Checkpoint schedule algorithms (paper §4.3): the epoch-boundary
+// baseline, the fixed-interval sweep (Algorithm 2), and the greedy
+// irregular-interval rule (Algorithm 3). All consume the TLP's predicted
+// loss curve through a CilPredictor, so schedules are generated before
+// any post-warm-up training happens.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/core/cilp.hpp"
+
+namespace viper::core {
+
+enum class ScheduleKind : std::uint8_t { kEpochBaseline = 0, kFixedInterval, kGreedy };
+
+std::string_view to_string(ScheduleKind kind) noexcept;
+
+struct CheckpointSchedule {
+  ScheduleKind kind = ScheduleKind::kEpochBaseline;
+  /// Absolute training iterations at which to checkpoint, ascending.
+  std::vector<std::int64_t> iterations;
+  /// Period for regular schedules (0 for irregular ones).
+  std::int64_t interval = 0;
+  /// CIL the predictor expects this schedule to achieve.
+  double predicted_cil = 0.0;
+
+  [[nodiscard]] std::size_t num_checkpoints() const noexcept {
+    return iterations.size();
+  }
+  /// True if a checkpoint is scheduled at `iteration`.
+  [[nodiscard]] bool contains(std::int64_t iteration) const;
+};
+
+/// Iteration window and request budget a schedule must cover.
+struct ScheduleWindow {
+  std::int64_t s_iter = 0;            ///< first fine-tuning iteration (end of warm-up)
+  std::int64_t e_iter = 0;            ///< last training iteration considered
+  std::int64_t total_inferences = 0;  ///< the consumer's request budget (M)
+};
+
+/// Baseline: checkpoint at every epoch boundary inside the window.
+CheckpointSchedule epoch_schedule(const ScheduleWindow& window,
+                                  std::int64_t iters_per_epoch,
+                                  const CilPredictor& predictor);
+
+/// Algorithm 2: sweep every candidate interval, keep the minimum-CIL one.
+Result<CheckpointSchedule> fixed_interval_schedule(const ScheduleWindow& window,
+                                                   const CilPredictor& predictor);
+
+/// Threshold rule of Algorithm 3: mean + stddev of the absolute
+/// differences between consecutive warm-up training losses.
+double greedy_threshold_from_warmup(std::span<const double> warmup_losses);
+
+/// Algorithm 3: checkpoint whenever the predicted loss improved by more
+/// than `threshold` since the previous checkpoint.
+Result<CheckpointSchedule> greedy_schedule(const ScheduleWindow& window,
+                                           const CilPredictor& predictor,
+                                           double threshold);
+
+}  // namespace viper::core

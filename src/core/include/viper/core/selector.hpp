@@ -1,0 +1,57 @@
+// Transfer Selector (paper fig. 7): picks the data-transfer strategy for
+// a checkpoint from what the platform currently offers — link
+// availability (GPUDirect may be absent), memory-tier headroom (a model
+// must fit beside the training state), and the producer's stall budget.
+// Preference order mirrors §4.4: GPU-to-GPU when available, host-to-host
+// RDMA otherwise, PFS as the last resort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "viper/core/platform.hpp"
+#include "viper/core/strategy.hpp"
+#include "viper/net/fabric.hpp"
+
+namespace viper::core {
+
+/// A snapshot of the resources the selector decides over.
+struct SelectorInputs {
+  std::uint64_t model_bytes = 0;     ///< checkpoint size to place
+  int num_tensors = 0;
+  std::uint64_t gpu_free_bytes = 0;  ///< spare GPU memory for a send buffer
+  std::uint64_t host_free_bytes = 0; ///< spare host memory for staging
+  /// Longest acceptable training stall per checkpoint; 0 = no bound.
+  double stall_budget = 0.0;
+  /// Prefer async capture (the default engine mode).
+  bool prefer_async = true;
+};
+
+struct SelectorDecision {
+  Strategy strategy = Strategy::kViperPfs;
+  PathCosts expected;       ///< modeled costs of the chosen path
+  std::string reason;       ///< human-readable audit of the choice
+};
+
+class TransferSelector {
+ public:
+  TransferSelector(net::Fabric fabric, PlatformModel platform)
+      : fabric_(std::move(fabric)), platform_(platform) {}
+
+  /// Choose the fastest strategy whose resource needs are met and whose
+  /// stall fits the budget; falls back down the chain GPU → host → PFS.
+  /// The PFS path always qualifies (it is the paper's safety net).
+  [[nodiscard]] SelectorDecision select(const SelectorInputs& inputs) const;
+
+  [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const PlatformModel& platform() const noexcept { return platform_; }
+
+ private:
+  [[nodiscard]] bool feasible(Strategy strategy, const SelectorInputs& inputs,
+                              std::string* why) const;
+
+  net::Fabric fabric_;
+  PlatformModel platform_;
+};
+
+}  // namespace viper::core

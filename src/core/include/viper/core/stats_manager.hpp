@@ -1,0 +1,65 @@
+// Stats Manager (paper fig. 3, optional component): tracks which models
+// each producer currently caches and aggregate engine counters, so a
+// consumer (or an operator) can decide where to load a model from when
+// several producers hold replicas.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "viper/core/strategy.hpp"
+
+namespace viper::core {
+
+struct EngineCounters {
+  std::uint64_t saves = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t bytes_saved = 0;     ///< serialized bytes written by saves
+  std::uint64_t bytes_loaded = 0;    ///< serialized bytes read by loads
+  std::uint64_t notifications = 0;
+  double modeled_stall_seconds = 0;  ///< producer stall accumulated
+};
+
+class StatsManager {
+ public:
+  /// Record that `producer_id` now caches `model_name` at `version` in
+  /// `location` (replaces any previous record of that model there).
+  void record_cached(const std::string& producer_id, const std::string& model_name,
+                     std::uint64_t version, Location location);
+
+  /// Drop a producer's cache record (eviction or crash).
+  void record_evicted(const std::string& producer_id, const std::string& model_name);
+
+  /// Producers currently caching `model_name`, sorted by id.
+  [[nodiscard]] std::vector<std::string> producers_caching(
+      const std::string& model_name) const;
+
+  struct CachedModel {
+    std::string model_name;
+    std::uint64_t version = 0;
+    Location location = Location::kPfs;
+  };
+  /// Everything a producer caches, sorted by model name.
+  [[nodiscard]] std::vector<CachedModel> cached_by(
+      const std::string& producer_id) const;
+
+  void on_save(std::uint64_t bytes, double stall_seconds);
+  void on_load(std::uint64_t bytes);
+  void on_notification();
+
+  [[nodiscard]] EngineCounters counters() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // producer -> model -> (version, location)
+  std::map<std::string, std::map<std::string, std::pair<std::uint64_t, Location>>>
+      caches_;
+  EngineCounters counters_;
+};
+
+}  // namespace viper::core

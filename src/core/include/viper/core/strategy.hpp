@@ -1,0 +1,34 @@
+// The six data-sharing strategies compared in the paper's fig. 8.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace viper::core {
+
+enum class Strategy : std::uint8_t {
+  kH5pyPfs = 0,  ///< baseline: h5py-format checkpoint through the PFS + polling
+  kViperPfs,     ///< Viper's lean format through the PFS + push notification
+  kHostSync,     ///< DRAM-to-DRAM RDMA, producer blocks until sent
+  kHostAsync,    ///< DRAM-to-DRAM RDMA, background engine thread
+  kGpuSync,      ///< GPU-to-GPU direct, producer blocks until sent
+  kGpuAsync,     ///< GPU-to-GPU direct, background engine thread
+};
+
+std::string_view to_string(Strategy strategy) noexcept;
+
+std::vector<Strategy> all_strategies();
+
+/// The memory/storage location a strategy caches the checkpoint in.
+enum class Location : std::uint8_t { kGpuMemory = 0, kHostMemory, kPfs };
+
+std::string_view to_string(Location location) noexcept;
+
+/// Where each strategy stages the checkpoint.
+Location strategy_location(Strategy strategy) noexcept;
+
+/// Whether the producer-side capture/transfer runs on a background thread.
+bool strategy_is_async(Strategy strategy) noexcept;
+
+}  // namespace viper::core

@@ -1,0 +1,58 @@
+// Training Loss Predictor (paper §4.3). Fits the four learning-curve
+// families to the warm-up losses, keeps the lowest-MSE fit, and exposes
+//   loss_pred(x)            — predicted training loss at iteration x,
+//   get_iters(t_k, ckpt_i)  — Eq. 1: wall time → iteration id, accounting
+//                             for the checkpoint stall t_p every ckpt_i
+//                             iterations.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/math/least_squares.hpp"
+
+namespace viper::core {
+
+class TrainingLossPredictor {
+ public:
+  struct Options {
+    /// Families to try; defaults to the paper's four.
+    std::vector<math::CurveFamily> families = math::all_curve_families();
+    math::FitOptions fit;
+  };
+
+  /// Fit on warm-up observations: losses[i] is the observed training loss
+  /// at iteration i (i = 0 .. n-1).
+  static Result<TrainingLossPredictor> fit(std::span<const double> warmup_losses,
+                                           const Options& options);
+  static Result<TrainingLossPredictor> fit(std::span<const double> warmup_losses) {
+    return fit(warmup_losses, Options{});
+  }
+
+  /// Predicted training loss at iteration `x` (clamped below at 0).
+  [[nodiscard]] double loss_pred(double x) const;
+
+  /// Eq. 1: iteration id reached after `t_k` seconds of fine-tuning when a
+  /// checkpoint stalls training by `t_p` seconds every `ckpt_interval`
+  /// iterations and each iteration takes `t_train` seconds.
+  [[nodiscard]] static std::int64_t get_iters(double t_k, std::int64_t ckpt_interval,
+                                              double t_train, double t_p);
+
+  /// The winning fit (lowest warm-up MSE).
+  [[nodiscard]] const math::FitResult& best_fit() const noexcept { return best_; }
+  /// Every attempted fit, best first — what fig5 prints.
+  [[nodiscard]] const std::vector<math::FitResult>& all_fits() const noexcept {
+    return fits_;
+  }
+
+ private:
+  TrainingLossPredictor(std::vector<math::FitResult> fits);
+
+  std::vector<math::FitResult> fits_;
+  math::FitResult best_;
+  std::unique_ptr<math::CurveModel> model_;
+};
+
+}  // namespace viper::core

@@ -1,0 +1,70 @@
+// LiveWorkflow: the whole live stack — training simulator, checkpoint
+// callback, memory-first transfer engine with its transfer server,
+// push-notified double-buffered consumer — assembled behind one object.
+// This is the ten-line version of what examples/candle_tc1_workflow.cpp
+// wires by hand, for applications that just want "couple my trainer to
+// my inference server through Viper".
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "viper/core/checkpoint_callback.hpp"
+#include "viper/tensor/architectures.hpp"
+#include "viper/core/consumer.hpp"
+#include "viper/train/trainer_sim.hpp"
+
+namespace viper::core {
+
+class LiveWorkflow {
+ public:
+  struct Options {
+    std::string model_name = "model";
+    AppModel app = AppModel::kTc1;
+    Strategy strategy = Strategy::kGpuAsync;
+    CheckpointSchedule schedule;        ///< absolute iterations to checkpoint
+    std::uint64_t seed = 0xC0FFEE;
+    ArchitectureOptions architecture;   ///< scaled-model parameters
+    InferenceConsumer::UpdateHook on_update;
+  };
+
+  /// Builds the full rig (shared services, 2-rank comm world, producer
+  /// engine + transfer server thread, consumer) but trains nothing yet.
+  static Result<std::unique_ptr<LiveWorkflow>> create(Options options);
+
+  ~LiveWorkflow();
+  LiveWorkflow(const LiveWorkflow&) = delete;
+  LiveWorkflow& operator=(const LiveWorkflow&) = delete;
+
+  struct Report {
+    std::uint64_t checkpoints = 0;        ///< saves triggered by the callback
+    std::uint64_t updates_applied = 0;    ///< consumer installs (may coalesce)
+    std::uint64_t final_version = 0;      ///< consumer's active version
+    double modeled_stall_seconds = 0.0;   ///< Polaris-scale training stall
+    bool weights_converged = false;       ///< consumer == producer at the end
+  };
+
+  /// Train `iterations` steps, checkpointing per the schedule, then wait
+  /// (up to `sync_timeout` seconds) for the consumer to apply the last
+  /// published version.
+  Result<Report> run(std::int64_t iterations, double sync_timeout = 5.0);
+
+  [[nodiscard]] train::TrainerSim& trainer() noexcept { return *trainer_; }
+  [[nodiscard]] InferenceConsumer& consumer() noexcept { return *consumer_; }
+  [[nodiscard]] ModelWeightsHandler& handler() noexcept { return *handler_; }
+  [[nodiscard]] SharedServices& services() noexcept { return *services_; }
+
+ private:
+  LiveWorkflow() = default;
+
+  Options options_;
+  std::shared_ptr<SharedServices> services_;
+  std::shared_ptr<net::CommWorld> world_;
+  std::shared_ptr<ModelWeightsHandler> handler_;
+  std::unique_ptr<train::TrainerSim> trainer_;
+  std::unique_ptr<CheckpointCallback> callback_;
+  std::unique_ptr<InferenceConsumer> consumer_;
+  std::thread transfer_server_;
+};
+
+}  // namespace viper::core

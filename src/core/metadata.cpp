@@ -1,0 +1,65 @@
+#include "viper/core/metadata.hpp"
+
+namespace viper::core {
+
+std::string metadata_key(const std::string& model_name) {
+  return "viper:model:" + model_name;
+}
+
+std::string notification_channel(const std::string& model_name) {
+  return "viper:updates:" + model_name;
+}
+
+void put_metadata(kv::KvStore& db, const ModelMetadata& metadata) {
+  db.hset_all(metadata_key(metadata.name),
+              {{"name", metadata.name},
+               {"version", std::to_string(metadata.version)},
+               {"location", std::string(to_string(metadata.location))},
+               {"path", metadata.path},
+               {"size", std::to_string(metadata.size_bytes)},
+               {"cost_bytes", std::to_string(metadata.cost_bytes)},
+               {"iteration", std::to_string(metadata.iteration)},
+               {"train_loss", std::to_string(metadata.train_loss)}});
+}
+
+Result<ModelMetadata> get_metadata(const kv::KvStore& db,
+                                   const std::string& model_name) {
+  auto fields = db.hgetall(metadata_key(model_name));
+  if (!fields.is_ok()) {
+    return not_found("no metadata for model '" + model_name + "'");
+  }
+  const auto& map = fields.value();
+  auto field = [&](const char* key) -> std::string {
+    auto it = map.find(key);
+    return it == map.end() ? std::string{} : it->second;
+  };
+
+  ModelMetadata metadata;
+  metadata.name = field("name");
+  if (metadata.name.empty()) {
+    return data_loss("metadata hash for '" + model_name + "' missing name field");
+  }
+  try {
+    metadata.version = std::stoull(field("version"));
+    metadata.size_bytes = std::stoull(field("size"));
+    metadata.cost_bytes = std::stoull(field("cost_bytes"));
+    metadata.iteration = std::stoll(field("iteration"));
+    metadata.train_loss = std::stod(field("train_loss"));
+  } catch (const std::exception& e) {
+    return data_loss("malformed metadata for '" + model_name + "': " + e.what());
+  }
+  const std::string location = field("location");
+  if (location == to_string(Location::kGpuMemory)) {
+    metadata.location = Location::kGpuMemory;
+  } else if (location == to_string(Location::kHostMemory)) {
+    metadata.location = Location::kHostMemory;
+  } else if (location == to_string(Location::kPfs)) {
+    metadata.location = Location::kPfs;
+  } else {
+    return data_loss("unknown location '" + location + "' in metadata");
+  }
+  metadata.path = field("path");
+  return metadata;
+}
+
+}  // namespace viper::core

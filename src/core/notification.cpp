@@ -1,0 +1,32 @@
+#include "viper/core/notification.hpp"
+
+#include "viper/core/metadata.hpp"
+
+namespace viper::core {
+
+std::size_t NotificationModule::publish_update(const std::string& model_name,
+                                               std::uint64_t version) {
+  return bus_->publish(notification_channel(model_name),
+                       model_name + "@" + std::to_string(version));
+}
+
+kv::Subscription NotificationModule::subscribe(const std::string& model_name) {
+  return bus_->subscribe(notification_channel(model_name));
+}
+
+Result<UpdateEvent> NotificationModule::parse(const kv::Event& event) {
+  const auto at = event.payload.rfind('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= event.payload.size()) {
+    return data_loss("malformed update event payload: " + event.payload);
+  }
+  UpdateEvent update;
+  update.model_name = event.payload.substr(0, at);
+  try {
+    update.version = std::stoull(event.payload.substr(at + 1));
+  } catch (const std::exception&) {
+    return data_loss("malformed version in update event: " + event.payload);
+  }
+  return update;
+}
+
+}  // namespace viper::core

@@ -1,0 +1,155 @@
+#include "viper/core/platform.hpp"
+
+#include <algorithm>
+
+namespace viper::core {
+
+std::string_view to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kH5pyPfs: return "baseline-h5py-pfs";
+    case Strategy::kViperPfs: return "viper-pfs";
+    case Strategy::kHostSync: return "viper-sync-host";
+    case Strategy::kHostAsync: return "viper-async-host";
+    case Strategy::kGpuSync: return "viper-sync-gpu";
+    case Strategy::kGpuAsync: return "viper-async-gpu";
+  }
+  return "?";
+}
+
+std::vector<Strategy> all_strategies() {
+  return {Strategy::kH5pyPfs,  Strategy::kViperPfs, Strategy::kHostSync,
+          Strategy::kHostAsync, Strategy::kGpuSync,  Strategy::kGpuAsync};
+}
+
+std::string_view to_string(Location location) noexcept {
+  switch (location) {
+    case Location::kGpuMemory: return "gpu-memory";
+    case Location::kHostMemory: return "host-memory";
+    case Location::kPfs: return "pfs";
+  }
+  return "?";
+}
+
+Location strategy_location(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kGpuSync:
+    case Strategy::kGpuAsync:
+      return Location::kGpuMemory;
+    case Strategy::kHostSync:
+    case Strategy::kHostAsync:
+      return Location::kHostMemory;
+    case Strategy::kH5pyPfs:
+    case Strategy::kViperPfs:
+      return Location::kPfs;
+  }
+  return Location::kPfs;
+}
+
+bool strategy_is_async(Strategy strategy) noexcept {
+  return strategy == Strategy::kHostAsync || strategy == Strategy::kGpuAsync;
+}
+
+namespace {
+double jittered(double seconds, double fraction, Rng* rng) {
+  if (rng == nullptr || fraction <= 0.0) return seconds;
+  return seconds * rng->clamped_normal(1.0, fraction, 1.0 - 3 * fraction,
+                                       1.0 + 3 * fraction);
+}
+}  // namespace
+
+PathCosts PlatformModel::update_costs(Strategy strategy, std::uint64_t bytes,
+                                      int num_tensors, Rng* rng) const {
+  const double b = static_cast<double>(bytes);
+  PathCosts costs;
+
+  switch (strategy) {
+    case Strategy::kGpuSync: {
+      // Device-to-device snapshot, then GPUDirect RDMA straight into the
+      // consumer's spare GPU buffer; no serialization pass is needed.
+      const double snapshot = gpu.write_seconds(bytes, 0, rng);
+      const double wire = gpu_link.transfer_seconds(bytes, rng);
+      costs.producer_stall = snapshot + wire;
+      costs.consumer_load = swap_latency;
+      costs.update_latency = snapshot + wire + swap_latency;
+      break;
+    }
+    case Strategy::kGpuAsync: {
+      // Training resumes after the snapshot; the engine thread does one
+      // more d2d copy into its send buffer and transfers in background.
+      const double snapshot = gpu.write_seconds(bytes, 0, rng);
+      const double extra_copy = jittered(b / gpu_async_copy_bw, 0.02, rng);
+      const double wire = gpu_link.transfer_seconds(bytes, rng);
+      costs.producer_stall = snapshot;
+      costs.consumer_load = swap_latency;
+      costs.update_latency =
+          snapshot + extra_copy + async_dispatch_latency + wire + swap_latency;
+      break;
+    }
+    case Strategy::kHostSync: {
+      // Chunked GPU→host staging pipelined under the slower IB wire, so
+      // the wire time dominates the transfer.
+      const double serialize = jittered(b / serialize_bw_viper, 0.02, rng);
+      const double staging = jittered(b / pageable_staging_bw, 0.03, rng);
+      const double wire = host_link.transfer_seconds(bytes, rng);
+      const double deserialize = jittered(b / serialize_bw_viper, 0.02, rng);
+      const double upload = jittered(b / host_to_gpu_bw, 0.02, rng);
+      costs.producer_stall = serialize + std::max(staging, wire);
+      costs.consumer_load = deserialize + upload + swap_latency;
+      costs.update_latency = costs.producer_stall + costs.consumer_load;
+      break;
+    }
+    case Strategy::kHostAsync: {
+      // The pageable GPU→host snapshot blocks training (paper §4.4);
+      // the engine thread then copies into a pinned send buffer and
+      // transfers in background.
+      const double serialize = jittered(b / serialize_bw_viper, 0.02, rng);
+      const double staging = jittered(b / pageable_staging_bw, 0.03, rng);
+      const double pinned_copy = jittered(b / (2.0 * host_to_gpu_bw), 0.02, rng);
+      const double wire = host_link.transfer_seconds(bytes, rng);
+      const double deserialize = jittered(b / serialize_bw_viper, 0.02, rng);
+      const double upload = jittered(b / host_to_gpu_bw, 0.02, rng);
+      costs.producer_stall = serialize + staging;
+      costs.consumer_load = deserialize + upload + swap_latency;
+      // The engine thread's chunked send overlaps the tail of the staging
+      // copy, so the wire (not staging + wire) dominates; the extra pinned
+      // buffer copy and the dispatch hop are what async adds over sync.
+      costs.update_latency = serialize + std::max(staging, wire) + pinned_copy +
+                             async_dispatch_latency + costs.consumer_load;
+      break;
+    }
+    case Strategy::kViperPfs: {
+      // Lean format through Lustre; the consumer is pushed a notification
+      // so only the PFS round trip and (de)serialization remain.
+      const double serialize = jittered(b / serialize_bw_viper, 0.02, rng);
+      const double write = pfs.write_seconds(bytes, 2, rng);
+      const double read = pfs.read_seconds(bytes, 2, rng);
+      const double deserialize = jittered(b / serialize_bw_viper, 0.02, rng);
+      const double upload = jittered(b / host_to_gpu_bw, 0.02, rng);
+      costs.producer_stall = serialize + write;
+      costs.consumer_load = deserialize + upload + swap_latency;
+      costs.update_latency =
+          costs.producer_stall + notify_latency + read + costs.consumer_load;
+      break;
+    }
+    case Strategy::kH5pyPfs: {
+      // h5py writes every tensor as its own dataset (2 metadata RPCs per
+      // tensor on create, 1 on open) and moves data through its chunk
+      // cache, and the consumer discovers the file by polling.
+      const double serialize = jittered(b / serialize_bw_h5py, 0.02, rng);
+      const double write = pfs_h5py.write_seconds(bytes, 2 * num_tensors, rng);
+      const double poll_delay =
+          rng ? rng->uniform(0.0, 1e-3) : 0.5e-3;  // Triton's 1 ms floor
+      const double read = pfs_h5py.read_seconds(bytes, num_tensors, rng);
+      const double deserialize = jittered(b / serialize_bw_h5py, 0.02, rng);
+      const double upload = jittered(b / host_to_gpu_bw, 0.02, rng);
+      costs.producer_stall = serialize + write;
+      costs.consumer_load = deserialize + upload + swap_latency;
+      costs.update_latency =
+          costs.producer_stall + poll_delay + read + costs.consumer_load;
+      break;
+    }
+  }
+  return costs;
+}
+
+}  // namespace viper::core

@@ -1,0 +1,97 @@
+#include "viper/core/recovery.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+#include "viper/common/log.hpp"
+
+namespace viper::core {
+
+namespace {
+
+/// Parses "ckpt/<name>/v<version>" keys belonging to `model_name`.
+std::optional<std::uint64_t> version_of_key(const std::string& key,
+                                            const std::string& model_name) {
+  const std::string prefix = "ckpt/" + model_name + "/v";
+  if (!key.starts_with(prefix)) return std::nullopt;
+  std::uint64_t version = 0;
+  const char* begin = key.data() + prefix.size();
+  const char* end = key.data() + key.size();
+  auto [ptr, ec] = std::from_chars(begin, end, version);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return version;
+}
+
+Result<Model> parse_blob(const std::vector<std::byte>& blob) {
+  if (blob.size() < 4) return data_loss("flushed blob too small");
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, blob.data(), 4);
+  auto format = magic == 0x31465356 ? serial::make_viper_format()
+                                    : serial::make_h5like_format();
+  return format->deserialize(blob);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> flushed_versions(const SharedServices& services,
+                                            const std::string& model_name) {
+  std::vector<std::uint64_t> versions;
+  for (const std::string& key : services.pfs->keys_mru()) {
+    if (auto version = version_of_key(key, model_name)) {
+      versions.push_back(*version);
+    }
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+Result<RecoveredModel> recover_latest(SharedServices& services,
+                                      const std::string& model_name) {
+  auto versions = flushed_versions(services, model_name);
+  if (versions.empty()) {
+    return not_found("no flushed checkpoints of '" + model_name + "' on the PFS");
+  }
+
+  RecoveredModel recovered;
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    const std::string key = "ckpt/" + model_name + "/v" + std::to_string(*it);
+    std::vector<std::byte> blob;
+    auto ticket = services.pfs->get(key, blob);
+    if (!ticket.is_ok()) {
+      recovered.skipped_corrupt.push_back(*it);
+      continue;
+    }
+    auto model = parse_blob(blob);
+    if (!model.is_ok()) {
+      VIPER_WARN << "flushed version " << *it << " of '" << model_name
+                 << "' failed validation: " << model.status().to_string();
+      recovered.skipped_corrupt.push_back(*it);
+      continue;
+    }
+    recovered.model = std::move(model).value();
+    recovered.version = *it;
+    return recovered;
+  }
+  return data_loss("every flushed checkpoint of '" + model_name +
+                   "' failed integrity validation");
+}
+
+Result<RecoveredModel> recover_and_repair(SharedServices& services,
+                                          const std::string& model_name) {
+  auto recovered = recover_latest(services, model_name);
+  if (!recovered.is_ok()) return recovered;
+
+  ModelMetadata metadata;
+  metadata.name = model_name;
+  metadata.version = recovered.value().version;
+  metadata.location = Location::kPfs;
+  metadata.path = "ckpt/" + model_name + "/v" + std::to_string(metadata.version);
+  metadata.size_bytes = recovered.value().model.payload_bytes();
+  metadata.cost_bytes = recovered.value().model.nominal_bytes();
+  metadata.iteration = recovered.value().model.iteration();
+  put_metadata(services.metadata_db, metadata);
+  return recovered;
+}
+
+}  // namespace viper::core

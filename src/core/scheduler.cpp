@@ -1,0 +1,142 @@
+#include "viper/core/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "viper/math/stats.hpp"
+
+namespace viper::core {
+
+std::string_view to_string(ScheduleKind kind) noexcept {
+  switch (kind) {
+    case ScheduleKind::kEpochBaseline: return "epoch-baseline";
+    case ScheduleKind::kFixedInterval: return "fixed-interval";
+    case ScheduleKind::kGreedy: return "adaptive-greedy";
+  }
+  return "?";
+}
+
+bool CheckpointSchedule::contains(std::int64_t iteration) const {
+  return std::binary_search(iterations.begin(), iterations.end(), iteration);
+}
+
+namespace {
+
+/// Predicted CIL of an arbitrary (possibly irregular) checkpoint list.
+double predict_cil_for_iterations(std::span<const std::int64_t> checkpoints,
+                                  const ScheduleWindow& window,
+                                  const CilPredictor& predictor) {
+  double total = 0.0;
+  std::int64_t remaining = window.total_inferences;
+  double serving_loss = predictor.loss_at(static_cast<double>(window.s_iter));
+  std::int64_t prev = window.s_iter;
+  std::int64_t version = 1;
+  for (std::int64_t ckpt : checkpoints) {
+    if (remaining <= 0) break;
+    const IntervalLoss chunk =
+        predictor.interval_loss(ckpt - prev, serving_loss, version, remaining);
+    total += chunk.accumulated_loss;
+    remaining -= chunk.inferences;
+    serving_loss = predictor.loss_at(static_cast<double>(ckpt));
+    prev = ckpt;
+    ++version;
+  }
+  total += serving_loss * static_cast<double>(std::max<std::int64_t>(remaining, 0));
+  return total;
+}
+
+}  // namespace
+
+CheckpointSchedule epoch_schedule(const ScheduleWindow& window,
+                                  std::int64_t iters_per_epoch,
+                                  const CilPredictor& predictor) {
+  CheckpointSchedule schedule;
+  schedule.kind = ScheduleKind::kEpochBaseline;
+  schedule.interval = iters_per_epoch;
+  for (std::int64_t it = window.s_iter + iters_per_epoch; it <= window.e_iter;
+       it += iters_per_epoch) {
+    schedule.iterations.push_back(it);
+  }
+  schedule.predicted_cil =
+      predict_cil_for_iterations(schedule.iterations, window, predictor);
+  return schedule;
+}
+
+Result<CheckpointSchedule> fixed_interval_schedule(const ScheduleWindow& window,
+                                                   const CilPredictor& predictor) {
+  const std::int64_t max_interval = window.e_iter - window.s_iter;
+  if (max_interval <= 0) {
+    return invalid_argument("schedule window is empty (e_iter <= s_iter)");
+  }
+  if (window.total_inferences <= 0) {
+    return invalid_argument("total_inferences must be positive");
+  }
+
+  double min_loss = std::numeric_limits<double>::infinity();
+  std::int64_t best_interval = max_interval;
+  for (std::int64_t interval = 1; interval <= max_interval; ++interval) {
+    const double cil = predictor.cil_for_interval(interval, window.s_iter,
+                                                  window.e_iter,
+                                                  window.total_inferences);
+    if (cil < min_loss) {
+      min_loss = cil;
+      best_interval = interval;
+    }
+  }
+
+  CheckpointSchedule schedule;
+  schedule.kind = ScheduleKind::kFixedInterval;
+  schedule.interval = best_interval;
+  schedule.predicted_cil = min_loss;
+  for (std::int64_t it = window.s_iter + best_interval; it <= window.e_iter;
+       it += best_interval) {
+    schedule.iterations.push_back(it);
+  }
+  return schedule;
+}
+
+double greedy_threshold_from_warmup(std::span<const double> warmup_losses) {
+  if (warmup_losses.size() < 2) return 0.0;
+  math::RunningStats deltas;
+  for (std::size_t i = 1; i < warmup_losses.size(); ++i) {
+    deltas.add(std::abs(warmup_losses[i] - warmup_losses[i - 1]));
+  }
+  return deltas.mean() + deltas.stddev();
+}
+
+Result<CheckpointSchedule> greedy_schedule(const ScheduleWindow& window,
+                                           const CilPredictor& predictor,
+                                           double threshold) {
+  if (window.e_iter <= window.s_iter) {
+    return invalid_argument("schedule window is empty (e_iter <= s_iter)");
+  }
+  if (threshold < 0) return invalid_argument("threshold must be non-negative");
+
+  CheckpointSchedule schedule;
+  schedule.kind = ScheduleKind::kGreedy;
+
+  double total = 0.0;
+  std::int64_t remaining = window.total_inferences;
+  double prev_loss = predictor.loss_at(static_cast<double>(window.s_iter));
+  std::int64_t prev_iter = window.s_iter;
+  std::int64_t version = 1;
+  for (std::int64_t i = window.s_iter + 1; i <= window.e_iter; ++i) {
+    const double current = predictor.loss_at(static_cast<double>(i));
+    if (current < prev_loss && std::abs(current - prev_loss) > threshold) {
+      const IntervalLoss chunk =
+          predictor.interval_loss(i - prev_iter, prev_loss, version, remaining);
+      total += chunk.accumulated_loss;
+      remaining -= chunk.inferences;
+      prev_loss = current;
+      prev_iter = i;
+      schedule.iterations.push_back(i);
+      ++version;
+    }
+  }
+  total += prev_loss * static_cast<double>(std::max<std::int64_t>(remaining, 0));
+  schedule.predicted_cil = total;
+  return schedule;
+}
+
+}  // namespace viper::core

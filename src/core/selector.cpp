@@ -1,0 +1,75 @@
+#include "viper/core/selector.hpp"
+
+namespace viper::core {
+
+bool TransferSelector::feasible(Strategy strategy, const SelectorInputs& inputs,
+                                std::string* why) const {
+  switch (strategy_location(strategy)) {
+    case Location::kGpuMemory:
+      if (!fabric_.available(net::LinkKind::kGpuDirect)) {
+        *why = "no GPUDirect link";
+        return false;
+      }
+      if (inputs.gpu_free_bytes < inputs.model_bytes) {
+        *why = "insufficient spare GPU memory for the send buffer";
+        return false;
+      }
+      return true;
+    case Location::kHostMemory:
+      if (!fabric_.available(net::LinkKind::kHostRdma)) {
+        *why = "no host RDMA link";
+        return false;
+      }
+      if (inputs.host_free_bytes < inputs.model_bytes) {
+        *why = "insufficient spare host memory for staging";
+        return false;
+      }
+      return true;
+    case Location::kPfs:
+      return true;  // the safety net always works
+  }
+  return false;
+}
+
+SelectorDecision TransferSelector::select(const SelectorInputs& inputs) const {
+  // Preference chain of §4.4, in the engine's preferred capture mode.
+  const Strategy chain[] = {
+      inputs.prefer_async ? Strategy::kGpuAsync : Strategy::kGpuSync,
+      inputs.prefer_async ? Strategy::kHostAsync : Strategy::kHostSync,
+      Strategy::kViperPfs,
+  };
+
+  std::string audit;
+  for (Strategy candidate : chain) {
+    std::string why;
+    if (!feasible(candidate, inputs, &why)) {
+      audit += std::string(to_string(candidate)) + ": " + why + "; ";
+      continue;
+    }
+    const PathCosts costs = platform_.update_costs(candidate, inputs.model_bytes,
+                                                   inputs.num_tensors);
+    if (inputs.stall_budget > 0 && costs.producer_stall > inputs.stall_budget &&
+        candidate != Strategy::kViperPfs) {
+      audit += std::string(to_string(candidate)) + ": stall " +
+               std::to_string(costs.producer_stall) + "s over budget; ";
+      continue;
+    }
+    SelectorDecision decision;
+    decision.strategy = candidate;
+    decision.expected = costs;
+    decision.reason = audit.empty()
+                          ? std::string("fastest feasible path")
+                          : audit + "selected " + std::string(to_string(candidate));
+    return decision;
+  }
+
+  // Unreachable in practice: PFS always qualifies above.
+  SelectorDecision fallback;
+  fallback.strategy = Strategy::kViperPfs;
+  fallback.expected = platform_.update_costs(Strategy::kViperPfs,
+                                             inputs.model_bytes, inputs.num_tensors);
+  fallback.reason = audit + "fell through to PFS";
+  return fallback;
+}
+
+}  // namespace viper::core

@@ -1,0 +1,72 @@
+#include "viper/core/stats_manager.hpp"
+
+namespace viper::core {
+
+void StatsManager::record_cached(const std::string& producer_id,
+                                 const std::string& model_name,
+                                 std::uint64_t version, Location location) {
+  std::lock_guard lock(mutex_);
+  caches_[producer_id][model_name] = {version, location};
+}
+
+void StatsManager::record_evicted(const std::string& producer_id,
+                                  const std::string& model_name) {
+  std::lock_guard lock(mutex_);
+  auto it = caches_.find(producer_id);
+  if (it == caches_.end()) return;
+  it->second.erase(model_name);
+  if (it->second.empty()) caches_.erase(it);
+}
+
+std::vector<std::string> StatsManager::producers_caching(
+    const std::string& model_name) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [producer, models] : caches_) {
+    if (models.contains(model_name)) out.push_back(producer);
+  }
+  return out;
+}
+
+std::vector<StatsManager::CachedModel> StatsManager::cached_by(
+    const std::string& producer_id) const {
+  std::lock_guard lock(mutex_);
+  std::vector<CachedModel> out;
+  auto it = caches_.find(producer_id);
+  if (it == caches_.end()) return out;
+  for (const auto& [model, entry] : it->second) {
+    out.push_back({model, entry.first, entry.second});
+  }
+  return out;
+}
+
+void StatsManager::on_save(std::uint64_t bytes, double stall_seconds) {
+  std::lock_guard lock(mutex_);
+  ++counters_.saves;
+  counters_.bytes_saved += bytes;
+  counters_.modeled_stall_seconds += stall_seconds;
+}
+
+void StatsManager::on_load(std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  ++counters_.loads;
+  counters_.bytes_loaded += bytes;
+}
+
+void StatsManager::on_notification() {
+  std::lock_guard lock(mutex_);
+  ++counters_.notifications;
+}
+
+EngineCounters StatsManager::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+void StatsManager::reset() {
+  std::lock_guard lock(mutex_);
+  caches_.clear();
+  counters_ = {};
+}
+
+}  // namespace viper::core

@@ -1,0 +1,48 @@
+#include "viper/core/tlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viper::core {
+
+TrainingLossPredictor::TrainingLossPredictor(std::vector<math::FitResult> fits)
+    : fits_(std::move(fits)),
+      best_(fits_.front()),
+      model_(math::make_curve_model(best_.family)) {}
+
+Result<TrainingLossPredictor> TrainingLossPredictor::fit(
+    std::span<const double> warmup_losses, const Options& options) {
+  if (warmup_losses.size() < 4) {
+    return invalid_argument("need at least 4 warm-up loss samples to fit a curve");
+  }
+  std::vector<double> xs(warmup_losses.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+
+  auto fits = math::fit_best_curve(xs, warmup_losses, options.families, options.fit);
+  if (fits.empty()) {
+    return internal_error("every curve-family fit failed on the warm-up losses");
+  }
+  return TrainingLossPredictor(std::move(fits));
+}
+
+double TrainingLossPredictor::loss_pred(double x) const {
+  if (x < 0) x = 0;
+  return std::max(model_->eval(x, best_.params), 0.0);
+}
+
+std::int64_t TrainingLossPredictor::get_iters(double t_k, std::int64_t ckpt_interval,
+                                              double t_train, double t_p) {
+  if (t_k <= 0 || t_train <= 0) return 0;
+  if (ckpt_interval <= 0) {
+    return static_cast<std::int64_t>(t_k / t_train);
+  }
+  // One "period" = ckpt_interval iterations of compute plus one stall.
+  const double period = static_cast<double>(ckpt_interval) * t_train + t_p;
+  const double full_periods = std::floor(t_k / period);
+  double t_rem = std::min(t_k - full_periods * period, period);
+  std::int64_t rem_iters = static_cast<std::int64_t>(t_rem / t_train);
+  rem_iters = std::min(rem_iters, ckpt_interval);  // stall time trains nothing
+  return ckpt_interval * static_cast<std::int64_t>(full_periods) + rem_iters;
+}
+
+}  // namespace viper::core

@@ -1,0 +1,85 @@
+#include "viper/core/workflow.hpp"
+
+#include <chrono>
+
+#include "viper/sim/app_profile.hpp"
+
+namespace viper::core {
+
+Result<std::unique_ptr<LiveWorkflow>> LiveWorkflow::create(Options options) {
+  if (options.model_name.empty()) {
+    return invalid_argument("workflow needs a model name");
+  }
+  auto workflow = std::unique_ptr<LiveWorkflow>(new LiveWorkflow());
+  workflow->options_ = options;
+  workflow->services_ = std::make_shared<SharedServices>();
+  workflow->world_ = net::CommWorld::create(2);
+
+  ModelWeightsHandler::Options handler_options;
+  handler_options.strategy = options.strategy;
+  workflow->handler_ =
+      std::make_shared<ModelWeightsHandler>(workflow->services_, handler_options);
+  workflow->transfer_server_ = std::thread(
+      [handler = workflow->handler_, comm = workflow->world_->comm(0)] {
+        handler->serve_transfers(comm);
+      });
+
+  auto model = build_app_model(options.app, options.architecture);
+  if (!model.is_ok()) return model.status();
+  workflow->trainer_ = std::make_unique<train::TrainerSim>(
+      sim::app_profile(options.app), std::move(model).value(),
+      train::TrainerSim::Options{.seed = options.seed});
+
+  workflow->callback_ = std::make_unique<CheckpointCallback>(
+      workflow->handler_, CheckpointCallback::Options{options.model_name,
+                                                      options.schedule});
+  workflow->callback_->attach(*workflow->trainer_);
+
+  InferenceConsumer::Options consumer_options;
+  consumer_options.loader.producer_rank = 0;
+  consumer_options.on_update = options.on_update;
+  workflow->consumer_ = std::make_unique<InferenceConsumer>(
+      workflow->services_, workflow->world_->comm(1), options.model_name,
+      consumer_options);
+  workflow->consumer_->start();
+  return workflow;
+}
+
+LiveWorkflow::~LiveWorkflow() {
+  if (consumer_) consumer_->stop();
+  if (handler_) handler_->drain();
+  if (transfer_server_.joinable()) {
+    (void)ModelWeightsHandler::stop_transfer_server(world_->comm(1), 0);
+    transfer_server_.join();
+  }
+}
+
+Result<LiveWorkflow::Report> LiveWorkflow::run(std::int64_t iterations,
+                                               double sync_timeout) {
+  trainer_->run(iterations);
+  handler_->drain();
+
+  Report report;
+  report.checkpoints = callback_->checkpoints_taken();
+  report.modeled_stall_seconds = handler_->total_stall_seconds();
+
+  if (report.checkpoints > 0) {
+    const std::uint64_t last_version =
+        callback_->receipts().back().metadata.version;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(sync_timeout));
+    while (consumer_->active_version() < last_version &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  report.updates_applied = consumer_->updates_applied();
+  report.final_version = consumer_->active_version();
+  const auto active = consumer_->active_model();
+  report.weights_converged =
+      active != nullptr && active->same_weights(trainer_->model());
+  return report;
+}
+
+}  // namespace viper::core

@@ -1,0 +1,64 @@
+// In-memory shared metadata database — the Redis stand-in. Viper stores
+// one hash per model (name, version, location, path, size); this KV store
+// provides thread-safe string keys, per-key version counters, hashes, and
+// compare-and-set, which is the subset of Redis the paper relies on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "viper/common/status.hpp"
+
+namespace viper::kv {
+
+struct VersionedValue {
+  std::string value;
+  std::uint64_t version = 0;  ///< Bumped on every write to the key.
+};
+
+class KvStore {
+ public:
+  /// Write `value` under `key`; returns the key's new version.
+  std::uint64_t set(const std::string& key, std::string value);
+
+  [[nodiscard]] Result<VersionedValue> get(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  Status erase(const std::string& key);
+
+  /// Write only if the key's current version equals `expected_version`
+  /// (0 = key must not exist). Returns the new version or FAILED_PRECONDITION.
+  Result<std::uint64_t> compare_and_set(const std::string& key, std::string value,
+                                        std::uint64_t expected_version);
+
+  /// Atomically increment a counter key (stored as decimal string).
+  std::int64_t incr(const std::string& key, std::int64_t delta = 1);
+
+  // Redis-hash-like field operations (one mutex acquisition per call).
+  void hset(const std::string& key, const std::string& field, std::string value);
+  [[nodiscard]] Result<std::string> hget(const std::string& key,
+                                         const std::string& field) const;
+  /// Full snapshot of a hash (sorted by field for deterministic iteration).
+  [[nodiscard]] Result<std::map<std::string, std::string>> hgetall(
+      const std::string& key) const;
+  /// Replace an entire hash atomically.
+  void hset_all(const std::string& key, std::map<std::string, std::string> fields);
+
+  /// Keys with the given prefix, sorted.
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(
+      const std::string& prefix) const;
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, VersionedValue> strings_;
+  std::unordered_map<std::string, std::map<std::string, std::string>> hashes_;
+};
+
+}  // namespace viper::kv

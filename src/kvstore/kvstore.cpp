@@ -1,0 +1,116 @@
+#include "viper/kvstore/kvstore.hpp"
+
+#include <algorithm>
+
+namespace viper::kv {
+
+std::uint64_t KvStore::set(const std::string& key, std::string value) {
+  std::lock_guard lock(mutex_);
+  auto& entry = strings_[key];
+  entry.value = std::move(value);
+  return ++entry.version;
+}
+
+Result<VersionedValue> KvStore::get(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  auto it = strings_.find(key);
+  if (it == strings_.end()) return not_found("no key: " + key);
+  return it->second;
+}
+
+bool KvStore::contains(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  return strings_.contains(key) || hashes_.contains(key);
+}
+
+Status KvStore::erase(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const bool erased = strings_.erase(key) > 0 || hashes_.erase(key) > 0;
+  return erased ? Status::ok() : not_found("no key: " + key);
+}
+
+Result<std::uint64_t> KvStore::compare_and_set(const std::string& key,
+                                               std::string value,
+                                               std::uint64_t expected_version) {
+  std::lock_guard lock(mutex_);
+  auto it = strings_.find(key);
+  const std::uint64_t current = it == strings_.end() ? 0 : it->second.version;
+  if (current != expected_version) {
+    return failed_precondition("version mismatch on key " + key + ": have " +
+                               std::to_string(current) + ", expected " +
+                               std::to_string(expected_version));
+  }
+  auto& entry = strings_[key];
+  entry.value = std::move(value);
+  return ++entry.version;
+}
+
+std::int64_t KvStore::incr(const std::string& key, std::int64_t delta) {
+  std::lock_guard lock(mutex_);
+  auto& entry = strings_[key];
+  std::int64_t current = 0;
+  if (!entry.value.empty()) current = std::stoll(entry.value);
+  current += delta;
+  entry.value = std::to_string(current);
+  ++entry.version;
+  return current;
+}
+
+void KvStore::hset(const std::string& key, const std::string& field,
+                   std::string value) {
+  std::lock_guard lock(mutex_);
+  hashes_[key][field] = std::move(value);
+}
+
+Result<std::string> KvStore::hget(const std::string& key,
+                                  const std::string& field) const {
+  std::lock_guard lock(mutex_);
+  auto it = hashes_.find(key);
+  if (it == hashes_.end()) return not_found("no hash: " + key);
+  auto fit = it->second.find(field);
+  if (fit == it->second.end()) {
+    return not_found("no field '" + field + "' in hash " + key);
+  }
+  return fit->second;
+}
+
+Result<std::map<std::string, std::string>> KvStore::hgetall(
+    const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  auto it = hashes_.find(key);
+  if (it == hashes_.end()) return not_found("no hash: " + key);
+  return it->second;
+}
+
+void KvStore::hset_all(const std::string& key,
+                       std::map<std::string, std::string> fields) {
+  std::lock_guard lock(mutex_);
+  hashes_[key] = std::move(fields);
+}
+
+std::vector<std::string> KvStore::keys_with_prefix(const std::string& prefix) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [k, _] : strings_) {
+    if (k.starts_with(prefix)) out.push_back(k);
+  }
+  for (const auto& [k, _] : hashes_) {
+    if (k.starts_with(prefix)) out.push_back(k);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t KvStore::size() const {
+  std::lock_guard lock(mutex_);
+  return strings_.size() + hashes_.size();
+}
+
+void KvStore::clear() {
+  std::lock_guard lock(mutex_);
+  strings_.clear();
+  hashes_.clear();
+}
+
+}  // namespace viper::kv

@@ -1,0 +1,119 @@
+#include "viper/kvstore/pubsub.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace viper::kv {
+
+Subscription::~Subscription() { detach(); }
+
+Subscription::Subscription(Subscription&& other) noexcept
+    : bus_(std::move(other.bus_)), inbox_(std::move(other.inbox_)) {}
+
+Subscription& Subscription::operator=(Subscription&& other) noexcept {
+  if (this != &other) {
+    detach();
+    bus_ = std::move(other.bus_);
+    inbox_ = std::move(other.inbox_);
+  }
+  return *this;
+}
+
+void Subscription::detach() {
+  if (!inbox_) return;
+  if (auto bus = bus_.lock()) bus->unsubscribe(inbox_);
+  inbox_->queue.close();
+  inbox_.reset();
+}
+
+Result<Event> Subscription::next(double timeout_seconds) {
+  if (!inbox_) return cancelled("subscription moved-from or detached");
+  std::optional<Event> event;
+  if (timeout_seconds < 0) {
+    event = inbox_->queue.pop();
+  } else {
+    event = inbox_->queue.pop_for(std::chrono::duration<double>(timeout_seconds));
+    if (!event && !inbox_->queue.closed()) {
+      return timeout("no event within deadline");
+    }
+  }
+  if (!event) return cancelled("pub/sub bus shut down");
+  return std::move(*event);
+}
+
+std::optional<Event> Subscription::poll() {
+  if (!inbox_) return std::nullopt;
+  return inbox_->queue.try_pop();
+}
+
+std::size_t Subscription::backlog() const {
+  return inbox_ ? inbox_->queue.size() : 0;
+}
+
+Subscription PubSub::subscribe(const std::string& channel) {
+  auto inbox = std::make_shared<Subscription::Inbox>();
+  inbox->channel = channel;
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) {
+      inbox->queue.close();
+    } else {
+      channels_[channel].push_back(inbox);
+    }
+  }
+  return Subscription(weak_from_this(), std::move(inbox));
+}
+
+std::size_t PubSub::publish(const std::string& channel, std::string payload) {
+  std::vector<std::shared_ptr<Subscription::Inbox>> targets;
+  std::uint64_t seq;
+  {
+    std::lock_guard lock(mutex_);
+    seq = ++sequence_;
+    if (shutdown_) return 0;
+    auto it = channels_.find(channel);
+    if (it == channels_.end()) return 0;
+    targets = it->second;  // copy so delivery happens outside the lock
+  }
+  std::size_t delivered = 0;
+  for (auto& inbox : targets) {
+    Event event{channel, payload, seq};
+    if (inbox->queue.try_push(std::move(event))) ++delivered;
+  }
+  return delivered;
+}
+
+void PubSub::shutdown() {
+  std::unordered_map<std::string, std::vector<std::shared_ptr<Subscription::Inbox>>>
+      channels;
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+    channels.swap(channels_);
+  }
+  for (auto& [_, inboxes] : channels) {
+    for (auto& inbox : inboxes) inbox->queue.close();
+  }
+}
+
+std::size_t PubSub::subscriber_count(const std::string& channel) const {
+  std::lock_guard lock(mutex_);
+  auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t PubSub::published_total() const {
+  std::lock_guard lock(mutex_);
+  return sequence_;
+}
+
+void PubSub::unsubscribe(const std::shared_ptr<Subscription::Inbox>& inbox) {
+  std::lock_guard lock(mutex_);
+  auto it = channels_.find(inbox->channel);
+  if (it == channels_.end()) return;
+  auto& inboxes = it->second;
+  inboxes.erase(std::remove(inboxes.begin(), inboxes.end(), inbox), inboxes.end());
+  if (inboxes.empty()) channels_.erase(it);
+}
+
+}  // namespace viper::kv

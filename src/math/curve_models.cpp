@@ -1,0 +1,179 @@
+#include "viper/math/curve_models.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace viper::math {
+
+namespace {
+
+// Shared initial-guess helper: estimate decay rate b from the first and
+// last samples of a roughly exponential decline toward asymptote c.
+double guess_decay_rate(std::span<const double> xs, std::span<const double> ys,
+                        double asymptote) {
+  const double y0 = ys.front() - asymptote;
+  const double y1 = ys.back() - asymptote;
+  const double dx = xs.back() - xs.front();
+  if (y0 > 0 && y1 > 0 && y1 < y0 && dx > 0) {
+    return std::log(y0 / y1) / dx;
+  }
+  return dx > 0 ? 1.0 / dx : 1e-3;
+}
+
+class Exp2Model final : public CurveModel {
+ public:
+  CurveFamily family() const noexcept override { return CurveFamily::kExp2; }
+  std::size_t num_params() const noexcept override { return 2; }
+
+  double eval(double x, std::span<const double> p) const override {
+    return p[0] * std::exp(-p[1] * x);
+  }
+
+  void gradient(double x, std::span<const double> p, std::span<double> g) const override {
+    const double e = std::exp(-p[1] * x);
+    g[0] = e;
+    g[1] = -p[0] * x * e;
+  }
+
+  std::vector<double> initial_guess(std::span<const double> xs,
+                                    std::span<const double> ys) const override {
+    const double a = std::max(ys.front(), 1e-12);
+    return {a, guess_decay_rate(xs, ys, 0.0)};
+  }
+
+  std::string describe(std::span<const double> p) const override {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.6g*exp(-%.6g*x)", p[0], p[1]);
+    return buf;
+  }
+};
+
+class Exp3Model final : public CurveModel {
+ public:
+  CurveFamily family() const noexcept override { return CurveFamily::kExp3; }
+  std::size_t num_params() const noexcept override { return 3; }
+
+  double eval(double x, std::span<const double> p) const override {
+    return p[0] * std::exp(-p[1] * x) + p[2];
+  }
+
+  void gradient(double x, std::span<const double> p, std::span<double> g) const override {
+    const double e = std::exp(-p[1] * x);
+    g[0] = e;
+    g[1] = -p[0] * x * e;
+    g[2] = 1.0;
+  }
+
+  std::vector<double> initial_guess(std::span<const double> xs,
+                                    std::span<const double> ys) const override {
+    // Asymptote ≈ a bit below the last observed loss.
+    const double c = std::max(ys.back() * 0.9, 0.0);
+    const double a = std::max(ys.front() - c, 1e-12);
+    return {a, guess_decay_rate(xs, ys, c), c};
+  }
+
+  std::string describe(std::span<const double> p) const override {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.6g*exp(-%.6g*x)+%.6g", p[0], p[1], p[2]);
+    return buf;
+  }
+};
+
+class Lin2Model final : public CurveModel {
+ public:
+  CurveFamily family() const noexcept override { return CurveFamily::kLin2; }
+  std::size_t num_params() const noexcept override { return 2; }
+
+  double eval(double x, std::span<const double> p) const override {
+    return p[0] * x + p[1];
+  }
+
+  void gradient(double x, std::span<const double>, std::span<double> g) const override {
+    g[0] = x;
+    g[1] = 1.0;
+  }
+
+  std::vector<double> initial_guess(std::span<const double> xs,
+                                    std::span<const double> ys) const override {
+    const double dx = xs.back() - xs.front();
+    const double slope = dx > 0 ? (ys.back() - ys.front()) / dx : 0.0;
+    return {slope, ys.front() - slope * xs.front()};
+  }
+
+  std::string describe(std::span<const double> p) const override {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.6g*x+%.6g", p[0], p[1]);
+    return buf;
+  }
+};
+
+// Expd3: c - (c - a)·e^{-bx}. Rises (or falls) from a at x=0 toward c.
+class Expd3Model final : public CurveModel {
+ public:
+  CurveFamily family() const noexcept override { return CurveFamily::kExpd3; }
+  std::size_t num_params() const noexcept override { return 3; }
+
+  double eval(double x, std::span<const double> p) const override {
+    const double a = p[0], b = p[1], c = p[2];
+    return c - (c - a) * std::exp(-b * x);
+  }
+
+  void gradient(double x, std::span<const double> p, std::span<double> g) const override {
+    const double a = p[0], b = p[1], c = p[2];
+    const double e = std::exp(-b * x);
+    g[0] = e;                      // ∂/∂a
+    g[1] = (c - a) * x * e;        // ∂/∂b
+    g[2] = 1.0 - e;                // ∂/∂c
+  }
+
+  std::vector<double> initial_guess(std::span<const double> xs,
+                                    std::span<const double> ys) const override {
+    const double a = ys.front();
+    const double c = ys.back();
+    // Reuse the decay estimate on |y - c|.
+    const double y0 = std::abs(a - c);
+    const double yn = std::abs(ys[ys.size() / 2] - c);
+    const double dx = xs[xs.size() / 2] - xs.front();
+    double b = 1e-3;
+    if (y0 > 0 && yn > 0 && yn < y0 && dx > 0) b = std::log(y0 / yn) / dx;
+    return {a, b, c};
+  }
+
+  std::string describe(std::span<const double> p) const override {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.6g-(%.6g-%.6g)*exp(-%.6g*x)", p[2], p[2], p[0], p[1]);
+    return buf;
+  }
+};
+
+}  // namespace
+
+std::string_view to_string(CurveFamily family) noexcept {
+  switch (family) {
+    case CurveFamily::kExp2: return "Exp2";
+    case CurveFamily::kExp3: return "Exp3";
+    case CurveFamily::kLin2: return "Lin2";
+    case CurveFamily::kExpd3: return "Expd3";
+  }
+  return "?";
+}
+
+std::unique_ptr<CurveModel> make_curve_model(CurveFamily family) {
+  switch (family) {
+    case CurveFamily::kExp2: return std::make_unique<Exp2Model>();
+    case CurveFamily::kExp3: return std::make_unique<Exp3Model>();
+    case CurveFamily::kLin2: return std::make_unique<Lin2Model>();
+    case CurveFamily::kExpd3: return std::make_unique<Expd3Model>();
+  }
+  assert(false && "unknown curve family");
+  return nullptr;
+}
+
+std::vector<CurveFamily> all_curve_families() {
+  return {CurveFamily::kExp2, CurveFamily::kExp3, CurveFamily::kLin2,
+          CurveFamily::kExpd3};
+}
+
+}  // namespace viper::math

@@ -1,0 +1,48 @@
+// Parametric learning-curve families used by the Training Loss Predictor
+// (paper §4.3): Exp2 a·e^{-bx}, Exp3 a·e^{-bx}+c, Lin2 ax+b, and
+// Expd3 c-(c-a)e^{-bx} — the decreasing-trend subset of Viering & Loog's
+// catalogue that Viper fits against warm-up training loss.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace viper::math {
+
+enum class CurveFamily { kExp2, kExp3, kLin2, kExpd3 };
+
+std::string_view to_string(CurveFamily family) noexcept;
+
+/// A parametric scalar function f(x; θ) with analytic gradient in θ.
+class CurveModel {
+ public:
+  virtual ~CurveModel() = default;
+
+  [[nodiscard]] virtual CurveFamily family() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t num_params() const noexcept = 0;
+
+  /// f(x; params). `params.size() == num_params()`.
+  [[nodiscard]] virtual double eval(double x, std::span<const double> params) const = 0;
+
+  /// ∂f/∂θ_j at (x; params), written to `grad` (size num_params()).
+  virtual void gradient(double x, std::span<const double> params,
+                        std::span<double> grad) const = 0;
+
+  /// Data-driven starting point for the optimizer. `xs`/`ys` non-empty.
+  [[nodiscard]] virtual std::vector<double> initial_guess(
+      std::span<const double> xs, std::span<const double> ys) const = 0;
+
+  /// Human-readable formula with the parameters substituted in.
+  [[nodiscard]] virtual std::string describe(std::span<const double> params) const = 0;
+};
+
+/// Factory for each supported family.
+std::unique_ptr<CurveModel> make_curve_model(CurveFamily family);
+
+/// All four families, in paper order.
+std::vector<CurveFamily> all_curve_families();
+
+}  // namespace viper::math

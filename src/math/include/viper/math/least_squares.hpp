@@ -1,0 +1,47 @@
+// Nonlinear least squares (Levenberg–Marquardt) for fitting learning
+// curves, plus the model-selection pass that picks the family with the
+// lowest MSE — the core of the paper's Training Loss Predictor.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/math/curve_models.hpp"
+
+namespace viper::math {
+
+struct FitOptions {
+  int max_iterations = 200;
+  double initial_lambda = 1e-3;   ///< LM damping start value.
+  double lambda_up = 10.0;        ///< Damping multiplier on rejected step.
+  double lambda_down = 0.1;       ///< Damping multiplier on accepted step.
+  double tolerance = 1e-12;       ///< Relative SSE improvement to stop at.
+};
+
+struct FitResult {
+  CurveFamily family{};
+  std::vector<double> params;
+  double mse = 0.0;          ///< Mean squared residual on the fit window.
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fit one curve family to (xs, ys) with Levenberg–Marquardt starting from
+/// the model's data-driven initial guess.
+Result<FitResult> fit_curve(const CurveModel& model, std::span<const double> xs,
+                            std::span<const double> ys,
+                            const FitOptions& options = {});
+
+/// Fit every family in `families` and return results sorted by ascending
+/// MSE (best first). Families whose fit fails are omitted.
+std::vector<FitResult> fit_best_curve(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      std::span<const CurveFamily> families,
+                                      const FitOptions& options = {});
+
+/// Solve the dense symmetric system A·x = b in place (Gaussian elimination
+/// with partial pivoting). A is n×n row-major. Returns false if singular.
+bool solve_dense(std::vector<double>& a, std::vector<double>& b, std::size_t n);
+
+}  // namespace viper::math

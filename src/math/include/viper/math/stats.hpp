@@ -1,0 +1,37 @@
+// Running statistics used by the greedy scheduler's threshold rule
+// (mean + stddev of consecutive loss deltas) and by the benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace viper::math {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs) noexcept;
+double stddev(std::span<const double> xs) noexcept;
+
+/// Mean squared error between two equally sized series.
+double mse(std::span<const double> a, std::span<const double> b) noexcept;
+
+}  // namespace viper::math

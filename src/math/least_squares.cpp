@@ -1,0 +1,140 @@
+#include "viper/math/least_squares.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viper::math {
+
+namespace {
+
+double sse(const CurveModel& model, std::span<const double> xs,
+           std::span<const double> ys, std::span<const double> params) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = model.eval(xs[i], params) - ys[i];
+    total += r * r;
+  }
+  return total;
+}
+
+}  // namespace
+
+bool solve_dense(std::vector<double>& a, std::vector<double>& b, std::size_t n) {
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) pivot = row;
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a[i * n + k] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  return true;
+}
+
+Result<FitResult> fit_curve(const CurveModel& model, std::span<const double> xs,
+                            std::span<const double> ys, const FitOptions& options) {
+  const std::size_t n = xs.size();
+  const std::size_t p = model.num_params();
+  if (n != ys.size()) return invalid_argument("xs/ys size mismatch");
+  if (n < p) return invalid_argument("need at least as many samples as parameters");
+
+  std::vector<double> params = model.initial_guess(xs, ys);
+  double lambda = options.initial_lambda;
+  double current_sse = sse(model, xs, ys, params);
+
+  std::vector<double> grad(p);          // per-sample gradient scratch
+  std::vector<double> jtj(p * p);       // JᵀJ (damped)
+  std::vector<double> jtr(p);           // Jᵀr
+  std::vector<double> trial(p);
+
+  FitResult result;
+  result.family = model.family();
+
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    std::fill(jtj.begin(), jtj.end(), 0.0);
+    std::fill(jtr.begin(), jtr.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      model.gradient(xs[i], params, grad);
+      const double r = ys[i] - model.eval(xs[i], params);
+      for (std::size_t a = 0; a < p; ++a) {
+        jtr[a] += grad[a] * r;
+        for (std::size_t b = 0; b < p; ++b) jtj[a * p + b] += grad[a] * grad[b];
+      }
+    }
+
+    bool accepted = false;
+    // Try increasingly damped steps until one lowers the SSE.
+    for (int attempt = 0; attempt < 24; ++attempt) {
+      std::vector<double> lhs = jtj;
+      std::vector<double> rhs = jtr;
+      for (std::size_t a = 0; a < p; ++a) lhs[a * p + a] *= (1.0 + lambda);
+      if (!solve_dense(lhs, rhs, p)) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      for (std::size_t a = 0; a < p; ++a) trial[a] = params[a] + rhs[a];
+      const double trial_sse = sse(model, xs, ys, trial);
+      if (std::isfinite(trial_sse) && trial_sse <= current_sse) {
+        const double improvement =
+            (current_sse - trial_sse) / std::max(current_sse, 1e-300);
+        params = trial;
+        current_sse = trial_sse;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        accepted = true;
+        if (improvement < options.tolerance) {
+          result.converged = true;
+        }
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!accepted || result.converged) {
+      // No downhill step exists (local minimum) — treat as converged.
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.params = std::move(params);
+  result.mse = current_sse / static_cast<double>(n);
+  result.iterations = iter;
+  return result;
+}
+
+std::vector<FitResult> fit_best_curve(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      std::span<const CurveFamily> families,
+                                      const FitOptions& options) {
+  std::vector<FitResult> fits;
+  fits.reserve(families.size());
+  for (CurveFamily family : families) {
+    auto model = make_curve_model(family);
+    auto fit = fit_curve(*model, xs, ys, options);
+    if (fit.is_ok() && std::isfinite(fit.value().mse)) {
+      fits.push_back(std::move(fit).value());
+    }
+  }
+  std::stable_sort(fits.begin(), fits.end(),
+                   [](const FitResult& a, const FitResult& b) { return a.mse < b.mse; });
+  return fits;
+}
+
+}  // namespace viper::math

@@ -1,0 +1,50 @@
+#include "viper/math/stats.hpp"
+
+#include <cmath>
+
+namespace viper::math {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  return stats.stddev();
+}
+
+double mse(std::span<const double> a, std::span<const double> b) noexcept {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double r = a[i] - b[i];
+    total += r * r;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+}  // namespace viper::math

@@ -1,0 +1,49 @@
+#include "viper/memsys/device_model.hpp"
+#include <algorithm>
+
+namespace viper::memsys {
+
+std::string_view to_string(TierKind kind) noexcept {
+  switch (kind) {
+    case TierKind::kGpu: return "gpu";
+    case TierKind::kDram: return "dram";
+    case TierKind::kNvme: return "nvme";
+    case TierKind::kPfs: return "pfs";
+  }
+  return "?";
+}
+
+namespace {
+double transfer_seconds(std::uint64_t bytes, double bw, double access_latency,
+                        double metadata_op_latency, int metadata_ops,
+                        std::uint64_t small_threshold, double small_penalty,
+                        double jitter, Rng* rng) {
+  double effective_bw = bw;
+  if (rng != nullptr && jitter > 0.0) {
+    effective_bw = bw * rng->clamped_normal(1.0, jitter, 1.0 - 3 * jitter,
+                                            1.0 + 3 * jitter);
+  }
+  double service = static_cast<double>(bytes) / effective_bw;
+  if (small_threshold != 0 && bytes != 0) {
+    service = std::max(service, small_penalty);
+  }
+  return access_latency +
+         static_cast<double>(metadata_ops) * metadata_op_latency + service;
+}
+}  // namespace
+
+double DeviceModel::write_seconds(std::uint64_t bytes, int metadata_ops,
+                                  Rng* rng) const {
+  return transfer_seconds(bytes, write_bw, access_latency, metadata_op_latency,
+                          metadata_ops, small_io_threshold, small_io_penalty,
+                          jitter_fraction, rng);
+}
+
+double DeviceModel::read_seconds(std::uint64_t bytes, int metadata_ops,
+                                 Rng* rng) const {
+  return transfer_seconds(bytes, read_bw, access_latency, metadata_op_latency,
+                          metadata_ops, small_io_threshold, small_io_penalty,
+                          jitter_fraction, rng);
+}
+
+}  // namespace viper::memsys

@@ -1,0 +1,141 @@
+#include "viper/memsys/file_tier.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <system_error>
+
+namespace viper::memsys {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<FileTier>> FileTier::open(fs::path root,
+                                                 DeviceModel model) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return unavailable("cannot create tier root '" + root.string() +
+                       "': " + ec.message());
+  }
+  return std::unique_ptr<FileTier>(new FileTier(std::move(root), std::move(model)));
+}
+
+Result<fs::path> FileTier::path_for(const std::string& key) const {
+  if (key.empty()) return invalid_argument("empty object key");
+  const fs::path relative(key);
+  for (const auto& part : relative) {
+    if (part == ".." || part == "." || part.is_absolute()) {
+      return invalid_argument("object key escapes the tier root: " + key);
+    }
+  }
+  return root_ / relative;
+}
+
+Result<IoTicket> FileTier::put(const std::string& key, std::vector<std::byte> blob,
+                               std::uint64_t cost_bytes, int metadata_ops,
+                               Rng* rng) {
+  auto path = path_for(key);
+  if (!path.is_ok()) return path.status();
+
+  std::lock_guard lock(mutex_);
+  std::error_code ec;
+  fs::create_directories(path.value().parent_path(), ec);
+  if (ec) return unavailable("mkdir failed: " + ec.message());
+
+  // Atomic publish: write a sibling temp file, then rename over the key.
+  const fs::path temp = path.value().string() + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return unavailable("cannot open '" + temp.string() + "' for write");
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out) return data_loss("short write to '" + temp.string() + "'");
+  }
+  fs::rename(temp, path.value(), ec);
+  if (ec) return unavailable("rename failed: " + ec.message());
+
+  return write_ticket(cost_bytes ? cost_bytes : blob.size(), metadata_ops, rng);
+}
+
+Result<IoTicket> FileTier::get(const std::string& key, std::vector<std::byte>& out,
+                               std::uint64_t cost_bytes, int metadata_ops,
+                               Rng* rng) {
+  auto path = path_for(key);
+  if (!path.is_ok()) return path.status();
+
+  std::lock_guard lock(mutex_);
+  std::ifstream in(path.value(), std::ios::binary | std::ios::ate);
+  if (!in) return not_found("no object '" + key + "' in tier " + model_.name);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  out.resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(out.data()), size);
+  if (!in) return data_loss("short read from '" + path.value().string() + "'");
+
+  return read_ticket(cost_bytes ? cost_bytes : out.size(), metadata_ops, rng);
+}
+
+Status FileTier::erase(const std::string& key) {
+  auto path = path_for(key);
+  if (!path.is_ok()) return path.status();
+  std::lock_guard lock(mutex_);
+  std::error_code ec;
+  if (!fs::remove(path.value(), ec) || ec) {
+    return not_found("no object '" + key + "' in tier " + model_.name);
+  }
+  return Status::ok();
+}
+
+bool FileTier::contains(const std::string& key) const {
+  auto path = path_for(key);
+  if (!path.is_ok()) return false;
+  std::error_code ec;
+  return fs::is_regular_file(path.value(), ec);
+}
+
+std::uint64_t FileTier::used_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec)) total += it->file_size(ec);
+  }
+  return total;
+}
+
+std::size_t FileTier::num_objects() const {
+  std::lock_guard lock(mutex_);
+  std::size_t count = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec)) ++count;
+  }
+  return count;
+}
+
+std::vector<std::string> FileTier::keys_mru() const {
+  // Files carry no access order; report keys newest-mtime-first, which is
+  // what recovery (flushed_versions) needs from a restarted tier.
+  std::lock_guard lock(mutex_);
+  struct Entry {
+    std::string key;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    entries.push_back({fs::relative(it->path(), root_, ec).generic_string(),
+                       it->last_write_time(ec)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime > b.mtime; });
+  std::vector<std::string> keys;
+  keys.reserve(entries.size());
+  for (auto& entry : entries) keys.push_back(std::move(entry.key));
+  return keys;
+}
+
+}  // namespace viper::memsys

@@ -1,0 +1,54 @@
+// Performance models of the storage tiers on a modern HPC compute node
+// (GPU HBM, host DRAM, node-local NVMe, Lustre-style PFS). These stand in
+// for the Polaris hardware the paper measured on: the transfer engine's
+// decisions depend only on the bandwidth/latency ordering across tiers,
+// which the models preserve with calibrated parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "viper/common/rng.hpp"
+
+namespace viper::memsys {
+
+enum class TierKind : std::uint8_t { kGpu = 0, kDram, kNvme, kPfs };
+
+std::string_view to_string(TierKind kind) noexcept;
+
+/// Cost model for one device: seconds = latency + ops·op_latency + bytes/bw,
+/// with an extra penalty when the access size is below the small-I/O
+/// threshold (PFS pathology the paper calls out in §3) and optional
+/// multiplicative jitter for fluctuating bandwidth.
+struct DeviceModel {
+  std::string name;
+  TierKind kind = TierKind::kDram;
+
+  double write_bw = 1e9;          ///< bytes/second, sustained sequential.
+  double read_bw = 1e9;           ///< bytes/second, sustained sequential.
+  double access_latency = 0.0;    ///< seconds per request (submission + setup).
+  double metadata_op_latency = 0; ///< seconds per metadata op (create/open/stat).
+
+  /// Small-I/O handling: when enabled (threshold > 0), every access pays
+  /// at least `small_io_penalty` seconds of service time — the floor a
+  /// PFS request spends in RPC/striping machinery no matter how few bytes
+  /// it moves. Modeled as max(bytes/bw, penalty) so cost is monotone in
+  /// access size (an additive cliff at the threshold would make an 8 MB
+  /// access cheaper than a 4 MB one).
+  std::uint64_t small_io_threshold = 0;  ///< bytes; 0 disables the floor.
+  double small_io_penalty = 0.0;         ///< minimum service seconds per access.
+
+  double jitter_fraction = 0.0;   ///< ±fraction of bandwidth jitter (0 = exact).
+
+  std::uint64_t capacity_bytes = UINT64_MAX;
+
+  /// Seconds to write `bytes` in one access (plus `metadata_ops` ops).
+  [[nodiscard]] double write_seconds(std::uint64_t bytes, int metadata_ops = 0,
+                                     Rng* rng = nullptr) const;
+  /// Seconds to read `bytes` in one access.
+  [[nodiscard]] double read_seconds(std::uint64_t bytes, int metadata_ops = 0,
+                                    Rng* rng = nullptr) const;
+};
+
+}  // namespace viper::memsys

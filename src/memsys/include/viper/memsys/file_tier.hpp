@@ -1,0 +1,50 @@
+// Filesystem-backed storage tier: each object is a real file under a
+// root directory, so flushed checkpoints genuinely survive process death
+// — the durable PFS behind the recovery story. Keys map to relative
+// paths ('/' becomes a subdirectory); writes are atomic via a temp file
+// + rename so a crash mid-write never leaves a half-written object that
+// looks valid.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "viper/memsys/storage_tier.hpp"
+
+namespace viper::memsys {
+
+class FileTier final : public StorageTier {
+ public:
+  /// Opens (creating if needed) a tier rooted at `root`. Existing files
+  /// under the root are adopted as objects (restart recovery).
+  static Result<std::unique_ptr<FileTier>> open(std::filesystem::path root,
+                                                DeviceModel model);
+
+  Result<IoTicket> put(const std::string& key, std::vector<std::byte> blob,
+                       std::uint64_t cost_bytes = 0, int metadata_ops = 1,
+                       Rng* rng = nullptr) override;
+  Result<IoTicket> get(const std::string& key, std::vector<std::byte>& out,
+                       std::uint64_t cost_bytes = 0, int metadata_ops = 1,
+                       Rng* rng = nullptr) override;
+  Status erase(const std::string& key) override;
+  [[nodiscard]] bool contains(const std::string& key) const override;
+  [[nodiscard]] std::uint64_t used_bytes() const override;
+  [[nodiscard]] std::size_t num_objects() const override;
+  [[nodiscard]] std::vector<std::string> keys_mru() const override;
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+
+ private:
+  FileTier(std::filesystem::path root, DeviceModel model)
+      : StorageTier(std::move(model)), root_(std::move(root)) {}
+
+  /// Validates the key and maps it inside the root (no escapes).
+  Result<std::filesystem::path> path_for(const std::string& key) const;
+
+  std::filesystem::path root_;
+  mutable std::mutex mutex_;  // serializes multi-step filesystem updates
+};
+
+}  // namespace viper::memsys

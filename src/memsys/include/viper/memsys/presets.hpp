@@ -1,0 +1,27 @@
+// Polaris-calibrated device presets. Bandwidths are chosen so that the
+// composed save/transfer/load paths in the fig8 benchmark land near the
+// paper's measured update latencies (see EXPERIMENTS.md for the fit).
+#pragma once
+
+#include "viper/memsys/device_model.hpp"
+
+namespace viper::memsys {
+
+/// A100 40 GB HBM2e. Capture of a checkpoint into a spare GPU buffer.
+DeviceModel polaris_gpu_hbm();
+
+/// 512 GB DDR4 host memory.
+DeviceModel polaris_dram();
+
+/// Node-local NVMe scratch.
+DeviceModel polaris_nvme();
+
+/// Lustre external filesystem as seen from one node: modest per-client
+/// bandwidth, expensive metadata ops, small-I/O penalty.
+DeviceModel polaris_lustre();
+
+/// Same Lustre device as used through h5py: extra metadata ops per tensor
+/// and lower effective bandwidth from double-buffered writes.
+DeviceModel polaris_lustre_h5py();
+
+}  // namespace viper::memsys

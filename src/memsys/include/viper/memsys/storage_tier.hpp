@@ -1,0 +1,112 @@
+// A storage tier = a DeviceModel plus an object store. put/get move
+// actual bytes (so integrity bugs are catchable) and report the modeled
+// I/O time so callers can charge a Clock.
+//
+// Two implementations:
+//  - MemoryTier: in-process buffers with capacity enforcement and
+//    LRU-keep-latest eviction (GPU/host memory tiers; also the default
+//    PFS stand-in for fast deterministic tests).
+//  - FileTier (file_tier.hpp): blobs as real files under a root
+//    directory — a PFS whose contents survive the process, which is what
+//    makes the §4.4 fault-tolerance flush meaningful across restarts.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/memsys/device_model.hpp"
+
+namespace viper::memsys {
+
+struct IoTicket {
+  double seconds = 0.0;          ///< Modeled device time for the operation.
+  std::uint64_t bytes = 0;       ///< Payload size charged.
+};
+
+/// Abstract object store over a modeled device.
+class StorageTier {
+ public:
+  explicit StorageTier(DeviceModel model) : model_(std::move(model)) {}
+  virtual ~StorageTier() = default;
+
+  StorageTier(const StorageTier&) = delete;
+  StorageTier& operator=(const StorageTier&) = delete;
+
+  [[nodiscard]] const DeviceModel& device() const noexcept { return model_; }
+  [[nodiscard]] TierKind kind() const noexcept { return model_.kind; }
+  [[nodiscard]] const std::string& name() const noexcept { return model_.name; }
+
+  /// Store a blob under `key`. The returned ticket carries the modeled
+  /// write time for `cost_bytes` (which may be a nominal paper-scale size
+  /// larger than the stored payload).
+  virtual Result<IoTicket> put(const std::string& key,
+                               std::vector<std::byte> blob,
+                               std::uint64_t cost_bytes = 0, int metadata_ops = 1,
+                               Rng* rng = nullptr) = 0;
+
+  /// Fetch a copy of the blob; ticket carries the modeled read time.
+  virtual Result<IoTicket> get(const std::string& key, std::vector<std::byte>& out,
+                               std::uint64_t cost_bytes = 0, int metadata_ops = 1,
+                               Rng* rng = nullptr) = 0;
+
+  virtual Status erase(const std::string& key) = 0;
+  [[nodiscard]] virtual bool contains(const std::string& key) const = 0;
+
+  [[nodiscard]] virtual std::uint64_t used_bytes() const = 0;
+  [[nodiscard]] virtual std::size_t num_objects() const = 0;
+
+  /// Keys currently stored, most recently used first.
+  [[nodiscard]] virtual std::vector<std::string> keys_mru() const = 0;
+
+ protected:
+  [[nodiscard]] IoTicket write_ticket(std::uint64_t charged, int metadata_ops,
+                                      Rng* rng) const {
+    return {model_.write_seconds(charged, metadata_ops, rng), charged};
+  }
+  [[nodiscard]] IoTicket read_ticket(std::uint64_t charged, int metadata_ops,
+                                     Rng* rng) const {
+    return {model_.read_seconds(charged, metadata_ops, rng), charged};
+  }
+
+  DeviceModel model_;
+};
+
+/// In-memory tier with capacity enforcement and LRU-keep-latest eviction.
+class MemoryTier final : public StorageTier {
+ public:
+  explicit MemoryTier(DeviceModel model) : StorageTier(std::move(model)) {}
+
+  /// Fails with RESOURCE_EXHAUSTED when the blob alone exceeds capacity.
+  Result<IoTicket> put(const std::string& key, std::vector<std::byte> blob,
+                       std::uint64_t cost_bytes = 0, int metadata_ops = 1,
+                       Rng* rng = nullptr) override;
+  Result<IoTicket> get(const std::string& key, std::vector<std::byte>& out,
+                       std::uint64_t cost_bytes = 0, int metadata_ops = 1,
+                       Rng* rng = nullptr) override;
+  Status erase(const std::string& key) override;
+  [[nodiscard]] bool contains(const std::string& key) const override;
+  [[nodiscard]] std::uint64_t used_bytes() const override;
+  [[nodiscard]] std::size_t num_objects() const override;
+  [[nodiscard]] std::vector<std::string> keys_mru() const override;
+
+ private:
+  void touch_locked(const std::string& key);
+  void evict_for_locked(std::uint64_t incoming_bytes);
+
+  struct Entry {
+    std::vector<std::byte> blob;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> objects_;
+  std::list<std::string> lru_;  // front = most recent
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace viper::memsys

@@ -1,0 +1,82 @@
+#include "viper/memsys/presets.hpp"
+
+#include "viper/common/units.hpp"
+
+namespace viper::memsys {
+
+using viper::literals::operator""_GiB;
+using viper::literals::operator""_MiB;
+
+DeviceModel polaris_gpu_hbm() {
+  return DeviceModel{
+      .name = "gpu-hbm",
+      .kind = TierKind::kGpu,
+      .write_bw = 80e9,   // effective device-to-device snapshot copy
+      .read_bw = 80e9,
+      .access_latency = 10e-6,
+      .metadata_op_latency = 0.0,
+      .small_io_threshold = 0,
+      .small_io_penalty = 0.0,
+      .jitter_fraction = 0.01,
+      .capacity_bytes = 40_GiB,
+  };
+}
+
+DeviceModel polaris_dram() {
+  return DeviceModel{
+      .name = "host-dram",
+      .kind = TierKind::kDram,
+      .write_bw = 16e9,   // staged through PCIe gen4 pinned-buffer copies
+      .read_bw = 16e9,
+      .access_latency = 5e-6,
+      .metadata_op_latency = 0.0,
+      .small_io_threshold = 0,
+      .small_io_penalty = 0.0,
+      .jitter_fraction = 0.02,
+      .capacity_bytes = 512_GiB,
+  };
+}
+
+DeviceModel polaris_nvme() {
+  return DeviceModel{
+      .name = "local-nvme",
+      .kind = TierKind::kNvme,
+      .write_bw = 3.5e9,
+      .read_bw = 5.0e9,
+      .access_latency = 50e-6,
+      .metadata_op_latency = 100e-6,
+      .small_io_threshold = 1_MiB,
+      .small_io_penalty = 100e-6,
+      .jitter_fraction = 0.05,
+      .capacity_bytes = 1500_GiB,
+  };
+}
+
+DeviceModel polaris_lustre() {
+  return DeviceModel{
+      .name = "lustre-pfs",
+      .kind = TierKind::kPfs,
+      // Single-client effective bandwidth; the aggregate 650 GB/s the paper
+      // quotes is shared by the whole machine.
+      .write_bw = 1.38e9,
+      .read_bw = 1.45e9,
+      .access_latency = 2e-3,
+      .metadata_op_latency = 15e-3,   // RPC to the metadata server
+      .small_io_threshold = 4_MiB,
+      .small_io_penalty = 5e-3,
+      .jitter_fraction = 0.08,
+  };
+}
+
+DeviceModel polaris_lustre_h5py() {
+  DeviceModel d = polaris_lustre();
+  d.name = "lustre-pfs-h5py";
+  // h5py buffers each dataset through its own chunk cache and issues more
+  // metadata RPCs (groups, attributes, dataspace objects) per tensor.
+  d.write_bw = 1.28e9;
+  d.read_bw = 1.33e9;
+  d.metadata_op_latency = 18e-3;
+  return d;
+}
+
+}  // namespace viper::memsys

@@ -1,0 +1,96 @@
+#include "viper/memsys/storage_tier.hpp"
+
+namespace viper::memsys {
+
+Result<IoTicket> MemoryTier::put(const std::string& key,
+                                 std::vector<std::byte> blob,
+                                 std::uint64_t cost_bytes, int metadata_ops,
+                                 Rng* rng) {
+  const std::uint64_t payload = blob.size();
+  if (payload > model_.capacity_bytes) {
+    return resource_exhausted("object of " + std::to_string(payload) +
+                              " bytes exceeds capacity of tier " + model_.name);
+  }
+  const IoTicket ticket =
+      write_ticket(cost_bytes ? cost_bytes : payload, metadata_ops, rng);
+
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    used_ -= it->second.blob.size();
+    used_ += payload;
+    it->second.blob = std::move(blob);
+    touch_locked(key);
+    return ticket;
+  }
+  evict_for_locked(payload);
+  lru_.push_front(key);
+  objects_.emplace(key, Entry{std::move(blob), lru_.begin()});
+  used_ += payload;
+  return ticket;
+}
+
+Result<IoTicket> MemoryTier::get(const std::string& key,
+                                 std::vector<std::byte>& out,
+                                 std::uint64_t cost_bytes, int metadata_ops,
+                                 Rng* rng) {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return not_found("no object '" + key + "' in tier " + model_.name);
+  }
+  out = it->second.blob;
+  touch_locked(key);
+  return read_ticket(cost_bytes ? cost_bytes : out.size(), metadata_ops, rng);
+}
+
+Status MemoryTier::erase(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return not_found("no object '" + key + "' in tier " + model_.name);
+  }
+  used_ -= it->second.blob.size();
+  lru_.erase(it->second.lru_it);
+  objects_.erase(it);
+  return Status::ok();
+}
+
+bool MemoryTier::contains(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  return objects_.contains(key);
+}
+
+std::uint64_t MemoryTier::used_bytes() const {
+  std::lock_guard lock(mutex_);
+  return used_;
+}
+
+std::size_t MemoryTier::num_objects() const {
+  std::lock_guard lock(mutex_);
+  return objects_.size();
+}
+
+std::vector<std::string> MemoryTier::keys_mru() const {
+  std::lock_guard lock(mutex_);
+  return {lru_.begin(), lru_.end()};
+}
+
+void MemoryTier::touch_locked(const std::string& key) {
+  auto it = objects_.find(key);
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+}
+
+void MemoryTier::evict_for_locked(std::uint64_t incoming_bytes) {
+  while (!lru_.empty() && used_ + incoming_bytes > model_.capacity_bytes) {
+    const std::string& victim = lru_.back();
+    auto it = objects_.find(victim);
+    used_ -= it->second.blob.size();
+    objects_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace viper::memsys

@@ -1,0 +1,45 @@
+#include "viper/net/channel.hpp"
+
+#include <chrono>
+
+namespace viper::net {
+
+Result<Message> Channel::recv(int source, int tag, double timeout_seconds) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      timeout_seconds < 0
+          ? clock::time_point::max()
+          : clock::now() + std::chrono::duration_cast<clock::duration>(
+                               std::chrono::duration<double>(timeout_seconds));
+
+  // First check messages previously set aside for other receivers.
+  {
+    std::lock_guard lock(stash_mutex_);
+    for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message msg = std::move(*it);
+        stash_.erase(it);
+        return msg;
+      }
+    }
+  }
+
+  for (;;) {
+    std::optional<Message> msg;
+    if (timeout_seconds < 0) {
+      msg = queue_.pop();
+    } else {
+      const auto now = clock::now();
+      if (now >= deadline) return timeout("recv timed out");
+      msg = queue_.pop_for(now >= deadline ? clock::duration::zero()
+                                           : deadline - now);
+      if (!msg && !queue_.closed()) return timeout("recv timed out");
+    }
+    if (!msg) return cancelled("channel closed");
+    if (matches(*msg, source, tag)) return std::move(*msg);
+    std::lock_guard lock(stash_mutex_);
+    stash_.push_back(std::move(*msg));
+  }
+}
+
+}  // namespace viper::net

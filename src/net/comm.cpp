@@ -1,0 +1,65 @@
+#include "viper/net/comm.hpp"
+
+namespace viper::net {
+
+CommWorld::CommWorld(int num_ranks) : num_ranks_(num_ranks) {
+  inboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int i = 0; i < num_ranks; ++i) {
+    inboxes_.push_back(std::make_unique<Channel>());
+  }
+}
+
+std::shared_ptr<CommWorld> CommWorld::create(int num_ranks) {
+  return std::shared_ptr<CommWorld>(new CommWorld(num_ranks));
+}
+
+Comm CommWorld::comm(int rank) { return Comm(shared_from_this(), rank); }
+
+void CommWorld::shutdown() {
+  for (auto& inbox : inboxes_) inbox->close();
+}
+
+Channel& CommWorld::inbox(int rank) {
+  return *inboxes_[static_cast<std::size_t>(rank)];
+}
+
+int Comm::size() const noexcept { return world_->size(); }
+
+Status Comm::send(int dest, int tag, std::span<const std::byte> payload) const {
+  if (dest < 0 || dest >= size()) return invalid_argument("bad destination rank");
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.assign(payload.begin(), payload.end());
+  if (!world_->inbox(dest).send(std::move(msg))) {
+    return cancelled("comm world shut down");
+  }
+  return Status::ok();
+}
+
+Result<Message> Comm::recv(int source, int tag, double timeout_seconds) const {
+  if (source != kAnySource && (source < 0 || source >= size())) {
+    return invalid_argument("bad source rank");
+  }
+  return world_->inbox(rank_).recv(source, tag, timeout_seconds);
+}
+
+Status Comm::barrier() const {
+  constexpr int kBarrierTag = 1 << 20;
+  const std::byte token{0};
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      auto msg = recv(r, kBarrierTag);
+      if (!msg.is_ok()) return msg.status();
+    }
+    for (int r = 1; r < size(); ++r) {
+      VIPER_RETURN_IF_ERROR(send(r, kBarrierTag, {&token, 1}));
+    }
+    return Status::ok();
+  }
+  VIPER_RETURN_IF_ERROR(send(0, kBarrierTag, {&token, 1}));
+  auto msg = recv(0, kBarrierTag);
+  return msg.is_ok() ? Status::ok() : msg.status();
+}
+
+}  // namespace viper::net

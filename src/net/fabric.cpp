@@ -1,0 +1,57 @@
+#include "viper/net/fabric.hpp"
+
+namespace viper::net {
+
+void Fabric::add_link(LinkModel link) {
+  for (auto& entry : links_) {
+    if (entry.model.kind == link.kind) {
+      entry.model = std::move(link);
+      return;
+    }
+  }
+  links_.push_back(Entry{std::move(link), true});
+}
+
+void Fabric::set_available(LinkKind kind, bool available) {
+  for (auto& entry : links_) {
+    if (entry.model.kind == kind) entry.available = available;
+  }
+}
+
+bool Fabric::available(LinkKind kind) const {
+  for (const auto& entry : links_) {
+    if (entry.model.kind == kind) return entry.available;
+  }
+  return false;
+}
+
+const LinkModel* Fabric::link(LinkKind kind) const {
+  for (const auto& entry : links_) {
+    if (entry.model.kind == kind && entry.available) return &entry.model;
+  }
+  return nullptr;
+}
+
+const LinkModel* Fabric::best_link(std::uint64_t bytes) const {
+  const LinkModel* best = nullptr;
+  double best_time = 0.0;
+  for (const auto& entry : links_) {
+    if (!entry.available) continue;
+    const double t = entry.model.transfer_seconds(bytes);
+    if (best == nullptr || t < best_time) {
+      best = &entry.model;
+      best_time = t;
+    }
+  }
+  return best;
+}
+
+Fabric Fabric::polaris() {
+  Fabric fabric;
+  fabric.add_link(polaris_gpudirect());
+  fabric.add_link(polaris_host_rdma());
+  fabric.add_link(polaris_tcp());
+  return fabric;
+}
+
+}  // namespace viper::net

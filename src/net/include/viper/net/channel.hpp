@@ -1,0 +1,57 @@
+// In-process tagged message channels — the transport beneath MiniComm.
+// A Channel is one rank's inbox; receive matches on (source, tag) with
+// MPI-style wildcards, setting aside non-matching messages for later
+// receivers in FIFO order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "viper/common/queue.hpp"
+#include "viper/common/status.hpp"
+
+namespace viper::net {
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// One rank's inbox with selective receive.
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 0) : queue_(capacity) {}
+
+  /// Enqueue; returns false after close().
+  bool send(Message msg) { return queue_.push(std::move(msg)); }
+
+  /// Blocking receive of the next message matching (source, tag), either
+  /// of which may be the kAny* wildcard. Non-matching messages are kept
+  /// for later receivers in arrival order. Returns TIMEOUT after
+  /// `timeout_seconds` (negative = wait forever), CANCELLED when closed.
+  Result<Message> recv(int source, int tag, double timeout_seconds = -1.0);
+
+  void close() { queue_.close(); }
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard lock(stash_mutex_);
+    return queue_.size() + stash_.size();
+  }
+
+ private:
+  static bool matches(const Message& msg, int source, int tag) noexcept {
+    return (source == kAnySource || msg.source == source) &&
+           (tag == kAnyTag || msg.tag == tag);
+  }
+
+  BlockingQueue<Message> queue_;
+  std::vector<Message> stash_;  // out-of-order messages awaiting their match
+  mutable std::mutex stash_mutex_;
+};
+
+}  // namespace viper::net

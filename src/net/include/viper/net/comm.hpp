@@ -1,0 +1,67 @@
+// MiniComm: an MPI-flavored message-passing substrate. The paper builds
+// its transfer engine on MPI_Send/MPI_Recv between the producer and
+// consumer nodes; here "nodes" are threads inside one process and the
+// communicator provides the same blocking tagged point-to-point semantics
+// (including any-source receive for the transfer server).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/net/channel.hpp"
+
+namespace viper::net {
+
+class CommWorld;
+
+/// One rank's endpoint in the world. Cheap to copy (shared world state).
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Blocking tagged send to `dest`. Payload is copied out.
+  Status send(int dest, int tag, std::span<const std::byte> payload) const;
+
+  /// Blocking receive matching (source, tag); either may be kAnySource /
+  /// kAnyTag. `timeout_seconds < 0` waits forever.
+  Result<Message> recv(int source, int tag, double timeout_seconds = -1.0) const;
+
+  /// Barrier across all ranks (naive fan-in/fan-out via rank 0).
+  Status barrier() const;
+
+ private:
+  friend class CommWorld;
+  Comm(std::shared_ptr<CommWorld> world, int rank)
+      : world_(std::move(world)), rank_(rank) {}
+
+  std::shared_ptr<CommWorld> world_;
+  int rank_ = -1;
+};
+
+/// Owns one inbox per rank. Create once, hand a Comm to each thread.
+class CommWorld : public std::enable_shared_from_this<CommWorld> {
+ public:
+  static std::shared_ptr<CommWorld> create(int num_ranks);
+
+  [[nodiscard]] int size() const noexcept { return num_ranks_; }
+
+  /// Endpoint for one rank.
+  [[nodiscard]] Comm comm(int rank);
+
+  /// Closes every inbox, releasing blocked receivers with CANCELLED.
+  void shutdown();
+
+  /// Inbox of `rank`.
+  [[nodiscard]] Channel& inbox(int rank);
+
+ private:
+  explicit CommWorld(int num_ranks);
+
+  int num_ranks_;
+  std::vector<std::unique_ptr<Channel>> inboxes_;
+};
+
+}  // namespace viper::net

@@ -1,0 +1,40 @@
+// Fabric: the set of interconnect links available between two nodes, with
+// availability flags (a system without GPUDirect falls back to host RDMA,
+// exactly the fallback chain in paper §4.4).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "viper/net/link_model.hpp"
+
+namespace viper::net {
+
+class Fabric {
+ public:
+  Fabric() = default;
+
+  /// Registers a link type; later registrations of the same kind replace
+  /// earlier ones.
+  void add_link(LinkModel link);
+
+  void set_available(LinkKind kind, bool available);
+  [[nodiscard]] bool available(LinkKind kind) const;
+
+  [[nodiscard]] const LinkModel* link(LinkKind kind) const;
+
+  /// Fastest available link for `bytes` (lowest modeled transfer time).
+  [[nodiscard]] const LinkModel* best_link(std::uint64_t bytes) const;
+
+  /// Polaris-like fabric: GPUDirect + host RDMA + TCP, all available.
+  static Fabric polaris();
+
+ private:
+  struct Entry {
+    LinkModel model;
+    bool available = true;
+  };
+  std::vector<Entry> links_;
+};
+
+}  // namespace viper::net

@@ -1,0 +1,43 @@
+// Cost models of the interconnect paths between producer and consumer
+// nodes. These substitute for Slingshot/InfiniBand + GPUDirect on Polaris:
+// what matters to Viper is the bandwidth ordering GPU-direct > host RDMA
+// > PFS round trip, which the presets preserve.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "viper/common/rng.hpp"
+
+namespace viper::net {
+
+enum class LinkKind : std::uint8_t {
+  kGpuDirect = 0,  ///< GPU-to-GPU RDMA (GPUDirect / ROCm RDMA over fabric).
+  kHostRdma,       ///< Host-to-host RDMA over InfiniBand/Slingshot.
+  kTcp,            ///< Plain sockets fallback.
+};
+
+std::string_view to_string(LinkKind kind) noexcept;
+
+/// seconds = setup_latency + bytes / bandwidth (with optional jitter).
+struct LinkModel {
+  std::string name;
+  LinkKind kind = LinkKind::kHostRdma;
+  double bandwidth = 1e9;       ///< bytes/second sustained.
+  double setup_latency = 0.0;   ///< per-message handshake/registration.
+  double jitter_fraction = 0.0;
+
+  [[nodiscard]] double transfer_seconds(std::uint64_t bytes,
+                                        Rng* rng = nullptr) const;
+};
+
+/// GPUDirect RDMA between two Polaris nodes (vendor-optimized MPI path).
+LinkModel polaris_gpudirect();
+
+/// Host DRAM to host DRAM over the Slingshot/IB fabric.
+LinkModel polaris_host_rdma();
+
+/// TCP fallback for completeness.
+LinkModel polaris_tcp();
+
+}  // namespace viper::net

@@ -1,0 +1,40 @@
+// Chunked payload streaming over MiniComm: a large checkpoint travels as
+// fixed-size chunks, so a relay rank can forward chunk k while chunk k+1
+// is still in flight — the live counterpart of the pipelined-chain
+// broadcast topology (parallel/broadcast.hpp models its cost; this moves
+// real bytes through real queues).
+//
+// Wire protocol on one tag: a header message {total_bytes, chunk_bytes,
+// num_chunks}, then num_chunks data messages in order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/net/comm.hpp"
+
+namespace viper::net {
+
+struct StreamOptions {
+  std::uint32_t chunk_bytes = 256 * 1024;
+  double timeout_seconds = 30.0;  ///< per-message receive deadline
+};
+
+/// Send `payload` to `dest` as a chunked stream on `tag`.
+Status stream_send(const Comm& comm, int dest, int tag,
+                   std::span<const std::byte> payload,
+                   const StreamOptions& options = {});
+
+/// Receive a full stream from `source` on `tag`.
+Result<std::vector<std::byte>> stream_recv(const Comm& comm, int source, int tag,
+                                           const StreamOptions& options = {});
+
+/// Receive a stream from `source` while forwarding every chunk to `dest`
+/// as soon as it lands (the chain hop). Returns the payload so the relay
+/// rank is also a consumer of the update.
+Result<std::vector<std::byte>> stream_relay(const Comm& comm, int source, int dest,
+                                            int tag,
+                                            const StreamOptions& options = {});
+
+}  // namespace viper::net

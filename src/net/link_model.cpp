@@ -1,0 +1,54 @@
+#include "viper/net/link_model.hpp"
+
+namespace viper::net {
+
+std::string_view to_string(LinkKind kind) noexcept {
+  switch (kind) {
+    case LinkKind::kGpuDirect: return "gpu-direct";
+    case LinkKind::kHostRdma: return "host-rdma";
+    case LinkKind::kTcp: return "tcp";
+  }
+  return "?";
+}
+
+double LinkModel::transfer_seconds(std::uint64_t bytes, Rng* rng) const {
+  double effective_bw = bandwidth;
+  if (rng != nullptr && jitter_fraction > 0.0) {
+    effective_bw = bandwidth * rng->clamped_normal(1.0, jitter_fraction,
+                                                   1.0 - 3 * jitter_fraction,
+                                                   1.0 + 3 * jitter_fraction);
+  }
+  return setup_latency + static_cast<double>(bytes) / effective_bw;
+}
+
+LinkModel polaris_gpudirect() {
+  return LinkModel{
+      .name = "gpudirect-rdma",
+      .kind = LinkKind::kGpuDirect,
+      .bandwidth = 9.5e9,
+      .setup_latency = 8e-3,  // memory registration + MPI rendezvous
+      .jitter_fraction = 0.03,
+  };
+}
+
+LinkModel polaris_host_rdma() {
+  return LinkModel{
+      .name = "host-rdma-ib",
+      .kind = LinkKind::kHostRdma,
+      .bandwidth = 2.8e9,
+      .setup_latency = 3e-3,
+      .jitter_fraction = 0.04,
+  };
+}
+
+LinkModel polaris_tcp() {
+  return LinkModel{
+      .name = "tcp-fallback",
+      .kind = LinkKind::kTcp,
+      .bandwidth = 1.1e9,
+      .setup_latency = 10e-3,
+      .jitter_fraction = 0.10,
+  };
+}
+
+}  // namespace viper::net

@@ -1,0 +1,107 @@
+#include "viper/net/stream.hpp"
+
+#include <cstring>
+
+namespace viper::net {
+
+namespace {
+
+struct StreamHeader {
+  std::uint64_t total_bytes = 0;
+  std::uint32_t chunk_bytes = 0;
+  std::uint32_t num_chunks = 0;
+};
+
+std::vector<std::byte> encode_header(const StreamHeader& header) {
+  std::vector<std::byte> out(sizeof(StreamHeader));
+  std::memcpy(out.data(), &header, sizeof(StreamHeader));
+  return out;
+}
+
+Result<StreamHeader> decode_header(std::span<const std::byte> payload) {
+  if (payload.size() != sizeof(StreamHeader)) {
+    return data_loss("malformed stream header");
+  }
+  StreamHeader header;
+  std::memcpy(&header, payload.data(), sizeof(StreamHeader));
+  if (header.chunk_bytes == 0) return data_loss("zero chunk size in stream header");
+  const std::uint64_t expected_chunks =
+      (header.total_bytes + header.chunk_bytes - 1) / header.chunk_bytes;
+  if (expected_chunks != header.num_chunks) {
+    return data_loss("stream header chunk count inconsistent with sizes");
+  }
+  return header;
+}
+
+}  // namespace
+
+Status stream_send(const Comm& comm, int dest, int tag,
+                   std::span<const std::byte> payload,
+                   const StreamOptions& options) {
+  if (options.chunk_bytes == 0) return invalid_argument("chunk_bytes must be > 0");
+  StreamHeader header;
+  header.total_bytes = payload.size();
+  header.chunk_bytes = options.chunk_bytes;
+  header.num_chunks = static_cast<std::uint32_t>(
+      (payload.size() + options.chunk_bytes - 1) / options.chunk_bytes);
+  VIPER_RETURN_IF_ERROR(comm.send(dest, tag, encode_header(header)));
+  for (std::uint32_t chunk = 0; chunk < header.num_chunks; ++chunk) {
+    const std::size_t offset =
+        static_cast<std::size_t>(chunk) * options.chunk_bytes;
+    const std::size_t length =
+        std::min<std::size_t>(options.chunk_bytes, payload.size() - offset);
+    VIPER_RETURN_IF_ERROR(comm.send(dest, tag, payload.subspan(offset, length)));
+  }
+  return Status::ok();
+}
+
+namespace {
+
+/// Shared receive loop; `forward` is invoked per message (header + chunks)
+/// before the payload is assembled.
+template <typename ForwardFn>
+Result<std::vector<std::byte>> recv_stream(const Comm& comm, int source, int tag,
+                                           const StreamOptions& options,
+                                           ForwardFn&& forward) {
+  auto header_msg = comm.recv(source, tag, options.timeout_seconds);
+  if (!header_msg.is_ok()) return header_msg.status();
+  auto header = decode_header(header_msg.value().payload);
+  if (!header.is_ok()) return header.status();
+  VIPER_RETURN_IF_ERROR(forward(header_msg.value().payload));
+
+  std::vector<std::byte> payload;
+  payload.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(header.value().total_bytes, 1 << 26)));
+  for (std::uint32_t chunk = 0; chunk < header.value().num_chunks; ++chunk) {
+    auto msg = comm.recv(source, tag, options.timeout_seconds);
+    if (!msg.is_ok()) return msg.status();
+    VIPER_RETURN_IF_ERROR(forward(msg.value().payload));
+    payload.insert(payload.end(), msg.value().payload.begin(),
+                   msg.value().payload.end());
+    if (payload.size() > header.value().total_bytes) {
+      return data_loss("stream delivered more bytes than its header declared");
+    }
+  }
+  if (payload.size() != header.value().total_bytes) {
+    return data_loss("stream ended short of its declared size");
+  }
+  return payload;
+}
+
+}  // namespace
+
+Result<std::vector<std::byte>> stream_recv(const Comm& comm, int source, int tag,
+                                           const StreamOptions& options) {
+  return recv_stream(comm, source, tag, options,
+                     [](std::span<const std::byte>) { return Status::ok(); });
+}
+
+Result<std::vector<std::byte>> stream_relay(const Comm& comm, int source, int dest,
+                                            int tag, const StreamOptions& options) {
+  return recv_stream(comm, source, tag, options,
+                     [&comm, dest, tag](std::span<const std::byte> message) {
+                       return comm.send(dest, tag, message);
+                     });
+}
+
+}  // namespace viper::net

@@ -1,0 +1,84 @@
+#include "viper/parallel/broadcast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viper::parallel {
+
+std::string_view to_string(BroadcastTopology topology) noexcept {
+  switch (topology) {
+    case BroadcastTopology::kSequential: return "sequential";
+    case BroadcastTopology::kTree: return "binomial-tree";
+    case BroadcastTopology::kChain: return "pipelined-chain";
+  }
+  return "?";
+}
+
+Result<BroadcastEstimate> estimate_broadcast(BroadcastTopology topology,
+                                             std::uint64_t bytes, int consumers,
+                                             const net::LinkModel& link,
+                                             const BroadcastOptions& options) {
+  if (consumers < 1) return invalid_argument("need at least one consumer");
+  if (options.chunk_bytes == 0) return invalid_argument("chunk_bytes must be > 0");
+
+  const double one_transfer = link.transfer_seconds(bytes);
+  BroadcastEstimate estimate;
+  estimate.topology = topology;
+
+  switch (topology) {
+    case BroadcastTopology::kSequential: {
+      // Producer unicasts to each consumer in turn.
+      estimate.first_consumer_seconds = one_transfer;
+      estimate.last_consumer_seconds = one_transfer * consumers;
+      estimate.producer_busy_seconds = one_transfer * consumers;
+      break;
+    }
+    case BroadcastTopology::kTree: {
+      // Binomial tree: every round doubles the holder count, so the last
+      // consumer is live after ceil(log2(consumers + 1)) rounds; the
+      // producer only sends in each round once.
+      const int rounds = static_cast<int>(std::ceil(std::log2(consumers + 1)));
+      estimate.first_consumer_seconds = one_transfer;
+      estimate.last_consumer_seconds = one_transfer * rounds;
+      estimate.producer_busy_seconds = one_transfer * rounds;
+      break;
+    }
+    case BroadcastTopology::kChain: {
+      // Pipelined chain: consumer k starts forwarding each chunk as it
+      // lands. Completion = fill the pipe (consumers-1 chunk hops) + the
+      // whole payload through one link.
+      const std::uint64_t chunks =
+          std::max<std::uint64_t>(1, (bytes + options.chunk_bytes - 1) /
+                                         options.chunk_bytes);
+      const double chunk_time =
+          link.transfer_seconds(std::min<std::uint64_t>(bytes, options.chunk_bytes));
+      estimate.first_consumer_seconds =
+          link.setup_latency + chunk_time * static_cast<double>(chunks);
+      estimate.last_consumer_seconds =
+          estimate.first_consumer_seconds +
+          chunk_time * static_cast<double>(consumers - 1);
+      estimate.producer_busy_seconds = estimate.first_consumer_seconds;
+      break;
+    }
+  }
+  return estimate;
+}
+
+std::vector<BroadcastEstimate> rank_topologies(std::uint64_t bytes, int consumers,
+                                               const net::LinkModel& link,
+                                               const BroadcastOptions& options) {
+  std::vector<BroadcastEstimate> estimates;
+  for (BroadcastTopology topology :
+       {BroadcastTopology::kSequential, BroadcastTopology::kTree,
+        BroadcastTopology::kChain}) {
+    auto estimate = estimate_broadcast(topology, bytes, consumers, link, options);
+    if (estimate.is_ok()) estimates.push_back(estimate.value());
+  }
+  std::sort(estimates.begin(), estimates.end(),
+            [](const BroadcastEstimate& a, const BroadcastEstimate& b) {
+              return a.last_consumer_seconds < b.last_consumer_seconds;
+            });
+  return estimates;
+}
+
+}  // namespace viper::parallel

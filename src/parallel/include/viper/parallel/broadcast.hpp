@@ -1,0 +1,45 @@
+// Broadcast planning for one producer feeding M consumers: cost models of
+// the delivery topologies available once the paper's pattern generalizes
+// beyond 1:1 — sequential unicast, binomial tree, and a chunked pipeline
+// chain — over a given link model. The planner picks the topology with
+// the lowest completion time (when the *last* consumer is updated).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/net/link_model.hpp"
+
+namespace viper::parallel {
+
+enum class BroadcastTopology : std::uint8_t { kSequential = 0, kTree, kChain };
+
+std::string_view to_string(BroadcastTopology topology) noexcept;
+
+struct BroadcastEstimate {
+  BroadcastTopology topology{};
+  double last_consumer_seconds = 0.0;   ///< completion time of the slowest
+  double first_consumer_seconds = 0.0;  ///< earliest consumer to go live
+  double producer_busy_seconds = 0.0;   ///< time the producer's NIC is tied up
+};
+
+struct BroadcastOptions {
+  /// Chunk size for the pipelined chain (bytes); must be > 0.
+  std::uint64_t chunk_bytes = 64 * 1024 * 1024;
+};
+
+/// Cost of delivering `bytes` to `consumers` peers over `link` with the
+/// given topology. consumers >= 1.
+Result<BroadcastEstimate> estimate_broadcast(BroadcastTopology topology,
+                                             std::uint64_t bytes, int consumers,
+                                             const net::LinkModel& link,
+                                             const BroadcastOptions& options = {});
+
+/// Estimates for every topology, sorted by last-consumer completion time.
+std::vector<BroadcastEstimate> rank_topologies(std::uint64_t bytes, int consumers,
+                                               const net::LinkModel& link,
+                                               const BroadcastOptions& options = {});
+
+}  // namespace viper::parallel

@@ -1,0 +1,68 @@
+// Live sharded producer/consumer endpoints: every shard of a model is
+// saved, announced and fetched through the ordinary Viper machinery
+// (each shard is just a model named "<name>#<k>"), plus a manifest
+// record binding the shard set of each version together. This is the
+// executable counterpart of the paper's §6 multi-producer/multi-consumer
+// outlook, built so a consumer can pull shards from several producers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "viper/core/handler.hpp"
+#include "viper/parallel/sharding.hpp"
+
+namespace viper::parallel {
+
+/// Manifest key binding "<name>" to its shard layout per version.
+std::string manifest_key(const std::string& model_name);
+
+struct ShardManifest {
+  std::string model_name;
+  std::uint64_t version = 0;
+  int num_shards = 0;
+};
+
+/// Producer-side: saves a model as S shards + a manifest, notifying on
+/// the model's main channel once every shard landed.
+class ShardedProducer {
+ public:
+  ShardedProducer(std::shared_ptr<core::SharedServices> services,
+                  core::ModelWeightsHandler::Options handler_options,
+                  int num_shards, ShardPlanOptions plan_options = {});
+
+  /// Shard + save. Blocks until every shard is committed (so the
+  /// manifest never advertises a half-written version).
+  Result<ShardManifest> save_sharded(const std::string& model_name,
+                                     const Model& model, double train_loss = 0.0);
+
+  /// Handler access (e.g. to run its transfer server).
+  [[nodiscard]] core::ModelWeightsHandler& handler() noexcept { return *handler_; }
+  [[nodiscard]] std::shared_ptr<core::ModelWeightsHandler> shared_handler() {
+    return handler_;
+  }
+
+ private:
+  std::shared_ptr<core::SharedServices> services_;
+  std::shared_ptr<core::ModelWeightsHandler> handler_;
+  int num_shards_;
+  ShardPlanOptions plan_options_;
+};
+
+/// Consumer-side: resolve the manifest, fetch every shard, reassemble.
+class ShardedLoader {
+ public:
+  ShardedLoader(std::shared_ptr<core::SharedServices> services, net::Comm comm,
+                core::ModelLoader::Options options);
+
+  Result<ShardManifest> peek_manifest(const std::string& model_name) const;
+
+  /// Fetch all shards of the latest manifest version and assemble them.
+  Result<Model> load_sharded(const std::string& model_name);
+
+ private:
+  std::shared_ptr<core::SharedServices> services_;
+  core::ModelLoader loader_;
+};
+
+}  // namespace viper::parallel

@@ -1,0 +1,66 @@
+// Data-parallel producer group (§6: "multiple producers running
+// data-parallel training"). Replicas hold identical weights after every
+// allreduce step, so only the leader needs to checkpoint (the DeepClone
+// observation: any replica's weights are THE weights). The group
+// verifies replica consistency, elects a new checkpoint leader when the
+// current one fails, and keeps the consumer-facing version stream
+// seamless across the failover.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "viper/core/handler.hpp"
+#include "viper/train/trainer_sim.hpp"
+
+namespace viper::parallel {
+
+class ReplicatedProducerGroup {
+ public:
+  struct Options {
+    int replicas = 2;
+    AppModel app = AppModel::kTc1;
+    core::Strategy strategy = core::Strategy::kGpuAsync;
+    std::string model_name = "model";
+    std::uint64_t seed = 0xC0FFEE;  ///< shared: replicas step in lockstep
+    ArchitectureOptions architecture;
+  };
+
+  static Result<std::unique_ptr<ReplicatedProducerGroup>> create(
+      std::shared_ptr<core::SharedServices> services, Options options);
+
+  /// Run `n` lockstep data-parallel iterations on every replica. The
+  /// shared RNG seed models the allreduce: replicas apply identical
+  /// updates, so their weights never diverge.
+  void step_all(std::int64_t n);
+
+  /// Checkpoint from the current leader's replica.
+  Result<core::SaveReceipt> checkpoint(double train_loss = 0.0);
+
+  /// Every live replica holds bit-identical weights. False indicates an
+  /// allreduce bug (or a divergent replica that must be dropped).
+  [[nodiscard]] bool replicas_consistent() const;
+
+  /// Kill a replica (crash injection). Killing the leader elects the
+  /// next live replica; checkpointing continues from its identical copy.
+  Status kill_replica(int replica);
+
+  [[nodiscard]] int leader() const noexcept { return leader_; }
+  [[nodiscard]] int live_replicas() const noexcept;
+  [[nodiscard]] const train::TrainerSim& replica(int index) const {
+    return *trainers_.at(static_cast<std::size_t>(index));
+  }
+  [[nodiscard]] core::ModelWeightsHandler& handler() noexcept { return *handler_; }
+
+ private:
+  ReplicatedProducerGroup() = default;
+
+  Options options_;
+  std::shared_ptr<core::ModelWeightsHandler> handler_;
+  std::vector<std::unique_ptr<train::TrainerSim>> trainers_;
+  std::vector<bool> alive_;
+  int leader_ = 0;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace viper::parallel

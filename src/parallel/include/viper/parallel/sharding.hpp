@@ -1,0 +1,68 @@
+// Model sharding — the substrate for the paper's future-work direction
+// (§6): multi-producer / multi-consumer patterns where the DNN model is
+// sharded across ranks (tensor/pipeline parallelism). A shard plan
+// assigns whole tensors to shards balanced by bytes (greedy LPT); each
+// shard travels as an independent Model so the whole existing transfer
+// stack (formats, tiers, links, notifications) applies per shard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/tensor/model.hpp"
+
+namespace viper::parallel {
+
+struct ShardAssignment {
+  int shard = 0;
+  std::string tensor_name;
+  std::uint64_t bytes = 0;
+  /// Row range [row_begin, row_end) of the tensor's leading dimension
+  /// carried by this assignment. A whole tensor has row_begin == 0 and
+  /// row_end == dim(0) (or 1 for scalars).
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;
+
+  [[nodiscard]] bool whole_tensor(const Tensor& tensor) const noexcept {
+    const std::int64_t rows = tensor.shape().rank() == 0 ? 1 : tensor.shape().dim(0);
+    return row_begin == 0 && row_end == rows;
+  }
+};
+
+struct ShardPlanOptions {
+  /// Tensors larger than this are split into row chunks (tensor
+  /// parallelism) so one huge layer cannot unbalance the plan.
+  /// 0 disables splitting (whole-tensor granularity).
+  std::uint64_t max_item_bytes = 0;
+};
+
+struct ShardPlan {
+  int num_shards = 0;
+  std::vector<ShardAssignment> assignments;  ///< sorted by (name, row_begin)
+
+  /// Bytes assigned to each shard.
+  [[nodiscard]] std::vector<std::uint64_t> shard_bytes() const;
+  /// max/mean byte imbalance across shards (1.0 = perfectly balanced).
+  [[nodiscard]] double imbalance() const;
+};
+
+/// Balanced-by-bytes plan over the model's tensors (greedy longest-
+/// processing-time), optionally splitting oversized tensors into row
+/// chunks. Fails if num_shards < 1 or the model is empty.
+Result<ShardPlan> plan_shards(const Model& model, int num_shards,
+                              const ShardPlanOptions& options = {});
+
+/// Materialize one shard as a standalone Model (same name + "#<k>",
+/// version/iteration inherited; nominal bytes split proportionally).
+Result<Model> extract_shard(const Model& model, const ShardPlan& plan, int shard);
+
+/// Reassemble a full model from all of a plan's shards. Validates that
+/// every tensor of every shard is present exactly once and that shard
+/// versions agree. Row-chunked tensors (named "<tensor>@<row_begin>" in
+/// the shard) are stitched back together; a missing chunk is an error.
+Result<Model> assemble_shards(const std::vector<Model>& shards,
+                              const std::string& model_name);
+
+}  // namespace viper::parallel

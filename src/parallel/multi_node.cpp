@@ -1,0 +1,87 @@
+#include "viper/parallel/multi_node.hpp"
+
+#include "viper/core/metadata.hpp"
+
+namespace viper::parallel {
+
+std::string manifest_key(const std::string& model_name) {
+  return "viper:manifest:" + model_name;
+}
+
+ShardedProducer::ShardedProducer(std::shared_ptr<core::SharedServices> services,
+                                 core::ModelWeightsHandler::Options handler_options,
+                                 int num_shards, ShardPlanOptions plan_options)
+    : services_(services),
+      handler_(std::make_shared<core::ModelWeightsHandler>(std::move(services),
+                                                           handler_options)),
+      num_shards_(num_shards),
+      plan_options_(plan_options) {}
+
+Result<ShardManifest> ShardedProducer::save_sharded(const std::string& model_name,
+                                                    const Model& model,
+                                                    double train_loss) {
+  auto plan = plan_shards(model, num_shards_, plan_options_);
+  if (!plan.is_ok()) return plan.status();
+
+  for (int shard = 0; shard < num_shards_; ++shard) {
+    auto piece = extract_shard(model, plan.value(), shard);
+    if (!piece.is_ok()) return piece.status();
+    auto receipt = handler_->save_weights(
+        model_name + "#" + std::to_string(shard), piece.value(), train_loss);
+    if (!receipt.is_ok()) return receipt.status();
+  }
+  // The manifest only advertises the version once every shard committed
+  // (async shards are drained first).
+  handler_->drain();
+
+  ShardManifest manifest;
+  manifest.model_name = model_name;
+  manifest.version = model.version();
+  manifest.num_shards = num_shards_;
+  services_->metadata_db.hset_all(
+      manifest_key(model_name),
+      {{"name", model_name},
+       {"version", std::to_string(manifest.version)},
+       {"num_shards", std::to_string(num_shards_)}});
+  services_->bus->publish(core::notification_channel(model_name),
+                          model_name + "@" + std::to_string(manifest.version));
+  return manifest;
+}
+
+ShardedLoader::ShardedLoader(std::shared_ptr<core::SharedServices> services,
+                             net::Comm comm, core::ModelLoader::Options options)
+    : services_(services),
+      loader_(std::move(services), std::move(comm), options) {}
+
+Result<ShardManifest> ShardedLoader::peek_manifest(
+    const std::string& model_name) const {
+  auto fields = services_->metadata_db.hgetall(manifest_key(model_name));
+  if (!fields.is_ok()) {
+    return not_found("no shard manifest for '" + model_name + "'");
+  }
+  ShardManifest manifest;
+  manifest.model_name = model_name;
+  try {
+    manifest.version = std::stoull(fields.value().at("version"));
+    manifest.num_shards = std::stoi(fields.value().at("num_shards"));
+  } catch (const std::exception& e) {
+    return data_loss("malformed manifest for '" + model_name + "': " + e.what());
+  }
+  return manifest;
+}
+
+Result<Model> ShardedLoader::load_sharded(const std::string& model_name) {
+  auto manifest = peek_manifest(model_name);
+  if (!manifest.is_ok()) return manifest.status();
+
+  std::vector<Model> shards;
+  shards.reserve(static_cast<std::size_t>(manifest.value().num_shards));
+  for (int shard = 0; shard < manifest.value().num_shards; ++shard) {
+    auto piece = loader_.load_weights(model_name + "#" + std::to_string(shard));
+    if (!piece.is_ok()) return piece.status();
+    shards.push_back(std::move(piece).value());
+  }
+  return assemble_shards(shards, model_name);
+}
+
+}  // namespace viper::parallel

@@ -1,0 +1,100 @@
+#include "viper/parallel/replicated.hpp"
+
+#include "viper/sim/app_profile.hpp"
+
+namespace viper::parallel {
+
+Result<std::unique_ptr<ReplicatedProducerGroup>> ReplicatedProducerGroup::create(
+    std::shared_ptr<core::SharedServices> services, Options options) {
+  if (options.replicas < 1) return invalid_argument("need at least one replica");
+  auto group =
+      std::unique_ptr<ReplicatedProducerGroup>(new ReplicatedProducerGroup());
+  group->options_ = options;
+
+  core::ModelWeightsHandler::Options handler_options;
+  handler_options.strategy = options.strategy;
+  group->handler_ = std::make_shared<core::ModelWeightsHandler>(
+      std::move(services), handler_options);
+
+  const sim::AppProfile profile = sim::app_profile(options.app);
+  for (int r = 0; r < options.replicas; ++r) {
+    auto model = build_app_model(options.app, options.architecture);
+    if (!model.is_ok()) return model.status();
+    // Same seed everywhere: the lockstep stand-in for allreduce — every
+    // replica applies the identical weight update each step.
+    group->trainers_.push_back(std::make_unique<train::TrainerSim>(
+        profile, std::move(model).value(),
+        train::TrainerSim::Options{.seed = options.seed}));
+    group->alive_.push_back(true);
+  }
+  return group;
+}
+
+void ReplicatedProducerGroup::step_all(std::int64_t n) {
+  for (std::size_t r = 0; r < trainers_.size(); ++r) {
+    if (alive_[r]) trainers_[r]->run(n);
+  }
+}
+
+Result<core::SaveReceipt> ReplicatedProducerGroup::checkpoint(double train_loss) {
+  if (live_replicas() == 0) {
+    return failed_precondition("every replica has failed");
+  }
+  train::TrainerSim& trainer = *trainers_[static_cast<std::size_t>(leader_)];
+  Model snapshot = trainer.model();
+  snapshot.set_version(next_version_++);
+  snapshot.set_iteration(trainer.iteration() > 0 ? trainer.iteration() - 1 : 0);
+  auto receipt =
+      handler_->save_weights(options_.model_name, snapshot,
+                             train_loss != 0.0 ? train_loss : trainer.last_loss());
+  if (receipt.is_ok()) {
+    trainer.record_stall(receipt.value().costs.producer_stall);
+  }
+  return receipt;
+}
+
+bool ReplicatedProducerGroup::replicas_consistent() const {
+  const train::TrainerSim* reference = nullptr;
+  for (std::size_t r = 0; r < trainers_.size(); ++r) {
+    if (!alive_[r]) continue;
+    if (reference == nullptr) {
+      reference = trainers_[r].get();
+      continue;
+    }
+    if (!trainers_[r]->model().same_weights(reference->model()) ||
+        trainers_[r]->iteration() != reference->iteration()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status ReplicatedProducerGroup::kill_replica(int replica) {
+  if (replica < 0 || replica >= static_cast<int>(trainers_.size())) {
+    return invalid_argument("no such replica");
+  }
+  if (!alive_[static_cast<std::size_t>(replica)]) {
+    return failed_precondition("replica already dead");
+  }
+  alive_[static_cast<std::size_t>(replica)] = false;
+  if (replica == leader_) {
+    // Elect the lowest-ranked live replica; its weights are identical to
+    // the dead leader's, so the version stream continues seamlessly.
+    leader_ = -1;
+    for (std::size_t r = 0; r < alive_.size(); ++r) {
+      if (alive_[r]) {
+        leader_ = static_cast<int>(r);
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+int ReplicatedProducerGroup::live_replicas() const noexcept {
+  int live = 0;
+  for (bool a : alive_) live += a ? 1 : 0;
+  return live;
+}
+
+}  // namespace viper::parallel

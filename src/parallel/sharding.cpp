@@ -1,0 +1,269 @@
+#include "viper/parallel/sharding.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <numeric>
+#include <tuple>
+
+namespace viper::parallel {
+
+namespace {
+
+std::int64_t leading_rows(const Tensor& tensor) {
+  return tensor.shape().rank() == 0 ? 1 : tensor.shape().dim(0);
+}
+
+/// Name of a row chunk inside a shard model. '@' cannot legally appear in
+/// builder-generated tensor names, so the suffix is unambiguous.
+std::string chunk_name(const std::string& tensor_name, std::int64_t row_begin) {
+  return tensor_name + "@" + std::to_string(row_begin);
+}
+
+struct ParsedChunk {
+  std::string base;
+  std::int64_t row_begin = 0;
+  bool is_chunk = false;
+};
+
+ParsedChunk parse_chunk_name(const std::string& name) {
+  ParsedChunk parsed;
+  const auto at = name.rfind('@');
+  if (at == std::string::npos) {
+    parsed.base = name;
+    return parsed;
+  }
+  std::int64_t row = 0;
+  const char* begin = name.data() + at + 1;
+  const char* end = name.data() + name.size();
+  auto [ptr, ec] = std::from_chars(begin, end, row);
+  if (ec != std::errc{} || ptr != end) {
+    parsed.base = name;  // literal '@' in a user tensor name
+    return parsed;
+  }
+  parsed.base = name.substr(0, at);
+  parsed.row_begin = row;
+  parsed.is_chunk = true;
+  return parsed;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> ShardPlan::shard_bytes() const {
+  std::vector<std::uint64_t> bytes(static_cast<std::size_t>(num_shards), 0);
+  for (const auto& a : assignments) {
+    bytes[static_cast<std::size_t>(a.shard)] += a.bytes;
+  }
+  return bytes;
+}
+
+double ShardPlan::imbalance() const {
+  const auto bytes = shard_bytes();
+  if (bytes.empty()) return 1.0;
+  const std::uint64_t max = *std::max_element(bytes.begin(), bytes.end());
+  const double mean =
+      static_cast<double>(std::accumulate(bytes.begin(), bytes.end(),
+                                          std::uint64_t{0})) /
+      static_cast<double>(bytes.size());
+  return mean > 0 ? static_cast<double>(max) / mean : 1.0;
+}
+
+Result<ShardPlan> plan_shards(const Model& model, int num_shards,
+                              const ShardPlanOptions& options) {
+  if (num_shards < 1) return invalid_argument("num_shards must be >= 1");
+  if (model.num_tensors() == 0) {
+    return invalid_argument("cannot shard an empty model");
+  }
+
+  // Build the item list, splitting oversized tensors into row chunks.
+  struct Item {
+    std::string name;
+    std::uint64_t bytes;
+    std::int64_t row_begin;
+    std::int64_t row_end;
+  };
+  std::vector<Item> items;
+  for (const auto& [name, tensor] : model.tensors()) {
+    const std::int64_t rows = leading_rows(tensor);
+    const bool splittable = options.max_item_bytes > 0 && rows > 1 &&
+                            tensor.byte_size() > options.max_item_bytes;
+    if (!splittable) {
+      items.push_back({name, tensor.byte_size(), 0, rows});
+      continue;
+    }
+    const std::uint64_t row_bytes =
+        tensor.byte_size() / static_cast<std::uint64_t>(rows);
+    const std::int64_t chunk_rows = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(options.max_item_bytes /
+                                     std::max<std::uint64_t>(row_bytes, 1)));
+    for (std::int64_t r = 0; r < rows; r += chunk_rows) {
+      const std::int64_t r_end = std::min(rows, r + chunk_rows);
+      items.push_back({name, row_bytes * static_cast<std::uint64_t>(r_end - r),
+                       r, r_end});
+    }
+  }
+
+  // Greedy LPT: biggest items first, each to the lightest shard.
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.bytes > b.bytes; });
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(num_shards), 0);
+  ShardPlan plan;
+  plan.num_shards = num_shards;
+  for (const Item& item : items) {
+    const auto lightest = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    plan.assignments.push_back(
+        {lightest, item.name, item.bytes, item.row_begin, item.row_end});
+    load[static_cast<std::size_t>(lightest)] += item.bytes;
+  }
+  std::sort(plan.assignments.begin(), plan.assignments.end(),
+            [](const ShardAssignment& a, const ShardAssignment& b) {
+              return std::tie(a.tensor_name, a.row_begin) <
+                     std::tie(b.tensor_name, b.row_begin);
+            });
+  return plan;
+}
+
+Result<Model> extract_shard(const Model& model, const ShardPlan& plan, int shard) {
+  if (shard < 0 || shard >= plan.num_shards) {
+    return invalid_argument("shard index out of range");
+  }
+  Model out(model.name() + "#" + std::to_string(shard));
+  out.set_version(model.version());
+  out.set_iteration(model.iteration());
+
+  std::uint64_t shard_payload = 0;
+  for (const auto& assignment : plan.assignments) {
+    if (assignment.shard != shard) continue;
+    auto found = model.tensor(assignment.tensor_name);
+    if (!found.is_ok()) {
+      return failed_precondition("plan references tensor '" +
+                                 assignment.tensor_name +
+                                 "' absent from the model");
+    }
+    const Tensor& tensor = *found.value();
+    if (assignment.whole_tensor(tensor)) {
+      VIPER_RETURN_IF_ERROR(out.add_tensor(assignment.tensor_name, tensor));
+      shard_payload += tensor.byte_size();
+      continue;
+    }
+    // Row-chunk slice: contiguous because tensors are row-major.
+    const std::int64_t rows = leading_rows(tensor);
+    if (assignment.row_begin < 0 || assignment.row_end > rows ||
+        assignment.row_begin >= assignment.row_end) {
+      return failed_precondition("bad row range in plan for tensor '" +
+                                 assignment.tensor_name + "'");
+    }
+    const std::uint64_t row_bytes =
+        tensor.byte_size() / static_cast<std::uint64_t>(rows);
+    const auto offset =
+        static_cast<std::size_t>(assignment.row_begin) * row_bytes;
+    const auto length = static_cast<std::size_t>(assignment.row_end -
+                                                 assignment.row_begin) *
+                        row_bytes;
+    std::vector<std::int64_t> dims = tensor.shape().dims();
+    dims[0] = assignment.row_end - assignment.row_begin;
+    std::vector<std::byte> bytes(
+        tensor.bytes().begin() + static_cast<std::ptrdiff_t>(offset),
+        tensor.bytes().begin() + static_cast<std::ptrdiff_t>(offset + length));
+    auto slice =
+        Tensor::from_bytes(tensor.dtype(), Shape(std::move(dims)), std::move(bytes));
+    if (!slice.is_ok()) return slice.status();
+    VIPER_RETURN_IF_ERROR(
+        out.add_tensor(chunk_name(assignment.tensor_name, assignment.row_begin),
+                       std::move(slice).value()));
+    shard_payload += length;
+  }
+  // Split the nominal (paper-scale) size proportionally to real payload.
+  if (model.nominal_bytes() != 0 && model.payload_bytes() != 0) {
+    const double fraction = static_cast<double>(shard_payload) /
+                            static_cast<double>(model.payload_bytes());
+    out.set_nominal_bytes(static_cast<std::uint64_t>(
+        static_cast<double>(model.nominal_bytes()) * fraction));
+  }
+  return out;
+}
+
+Result<Model> assemble_shards(const std::vector<Model>& shards,
+                              const std::string& model_name) {
+  if (shards.empty()) return invalid_argument("no shards to assemble");
+  Model out(model_name);
+  out.set_version(shards.front().version());
+  out.set_iteration(shards.front().iteration());
+  std::uint64_t nominal = 0;
+
+  // Row chunks accumulate here keyed by (base name, row_begin).
+  struct Chunk {
+    std::int64_t row_begin;
+    const Tensor* tensor;
+  };
+  std::map<std::string, std::vector<Chunk>> chunked;
+
+  for (const Model& shard : shards) {
+    if (shard.version() != out.version()) {
+      return failed_precondition(
+          "shard version mismatch: expected " + std::to_string(out.version()) +
+          ", shard '" + shard.name() + "' has " + std::to_string(shard.version()));
+    }
+    nominal += shard.nominal_bytes();
+    for (const auto& [name, tensor] : shard.tensors()) {
+      const ParsedChunk parsed = parse_chunk_name(name);
+      if (!parsed.is_chunk) {
+        const Status added = out.add_tensor(name, tensor);
+        if (!added.is_ok()) {
+          return failed_precondition("tensor '" + name +
+                                     "' appears in multiple shards");
+        }
+        continue;
+      }
+      chunked[parsed.base].push_back({parsed.row_begin, &tensor});
+    }
+  }
+
+  // Stitch row chunks back together.
+  for (auto& [base, chunks] : chunked) {
+    std::sort(chunks.begin(), chunks.end(),
+              [](const Chunk& a, const Chunk& b) { return a.row_begin < b.row_begin; });
+    const Tensor& first = *chunks.front().tensor;
+    if (first.shape().rank() == 0) {
+      return data_loss("row chunk of scalar tensor '" + base + "'");
+    }
+    std::vector<std::int64_t> dims = first.shape().dims();
+    std::int64_t total_rows = 0;
+    std::vector<std::byte> bytes;
+    std::int64_t expected_row = 0;
+    for (const Chunk& chunk : chunks) {
+      if (chunk.row_begin != expected_row) {
+        return data_loss("missing or overlapping row chunk of tensor '" + base +
+                         "' at row " + std::to_string(expected_row));
+      }
+      const Tensor& t = *chunk.tensor;
+      if (t.dtype() != first.dtype() || t.shape().rank() != first.shape().rank()) {
+        return data_loss("inconsistent chunk layout for tensor '" + base + "'");
+      }
+      for (std::size_t d = 1; d < dims.size(); ++d) {
+        if (t.shape().dim(d) != dims[d]) {
+          return data_loss("inconsistent trailing dimensions for tensor '" + base +
+                           "'");
+        }
+      }
+      bytes.insert(bytes.end(), t.bytes().begin(), t.bytes().end());
+      total_rows += t.shape().dim(0);
+      expected_row += t.shape().dim(0);
+    }
+    dims[0] = total_rows;
+    auto tensor =
+        Tensor::from_bytes(first.dtype(), Shape(std::move(dims)), std::move(bytes));
+    if (!tensor.is_ok()) return data_loss(tensor.status().message());
+    const Status added = out.add_tensor(base, std::move(tensor).value());
+    if (!added.is_ok()) {
+      return failed_precondition("tensor '" + base +
+                                 "' present both whole and chunked");
+    }
+  }
+
+  out.set_nominal_bytes(nominal);
+  return out;
+}
+
+}  // namespace viper::parallel

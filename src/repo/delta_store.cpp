@@ -1,0 +1,151 @@
+#include "viper/repo/delta_store.hpp"
+
+#include <algorithm>
+
+namespace viper::repo {
+
+DeltaStore::DeltaStore(std::shared_ptr<memsys::StorageTier> tier, Options options)
+    : tier_(std::move(tier)),
+      options_(options),
+      format_(serial::make_viper_format()) {
+  if (options_.full_every < 1) options_.full_every = 1;
+}
+
+std::string DeltaStore::full_key(const std::string& name, std::uint64_t version) {
+  return "inc/" + name + "/full/v" + std::to_string(version);
+}
+
+std::string DeltaStore::delta_key(const std::string& name, std::uint64_t version) {
+  return "inc/" + name + "/delta/v" + std::to_string(version);
+}
+
+Result<DeltaStore::PutReport> DeltaStore::put(const Model& model) {
+  if (model.name().empty()) return invalid_argument("model must be named");
+
+  std::lock_guard lock(mutex_);
+  Stream& stream = streams_[model.name()];
+  if (stream.has_last && model.version() <= stream.last.version()) {
+    return failed_precondition(
+        "versions must be strictly increasing: have " +
+        std::to_string(stream.last.version()) + ", got " +
+        std::to_string(model.version()));
+  }
+
+  auto full_blob = format_->serialize(model);
+  if (!full_blob.is_ok()) return full_blob.status();
+
+  PutReport report;
+  report.version = model.version();
+  report.full_bytes = full_blob.value().size();
+
+  bool as_delta = false;
+  std::vector<std::byte> delta_blob;
+  if (stream.has_last && stream.puts_since_full < options_.full_every - 1) {
+    auto encoded = serial::encode_delta(stream.last, model, options_.delta);
+    if (encoded.is_ok() &&
+        static_cast<double>(encoded.value().size()) <=
+            options_.max_delta_fraction *
+                static_cast<double>(full_blob.value().size())) {
+      delta_blob = std::move(encoded).value();
+      as_delta = true;
+    }
+  }
+
+  if (as_delta) {
+    report.blob_bytes = delta_blob.size();
+    auto ticket = tier_->put(delta_key(model.name(), model.version()),
+                             std::move(delta_blob));
+    if (!ticket.is_ok()) return ticket.status();
+    report.io_seconds = ticket.value().seconds;
+    stream.entries[model.version()] =
+        VersionEntry{true, stream.last.version()};
+    ++stream.puts_since_full;
+  } else {
+    report.blob_bytes = full_blob.value().size();
+    auto ticket = tier_->put(full_key(model.name(), model.version()),
+                             std::move(full_blob).value());
+    if (!ticket.is_ok()) return ticket.status();
+    report.io_seconds = ticket.value().seconds;
+    stream.entries[model.version()] = VersionEntry{false, 0};
+    stream.puts_since_full = 0;
+  }
+  report.stored_as_delta = as_delta;
+  stream.last = model;
+  stream.has_last = true;
+  stream.savings.bytes_written += report.blob_bytes;
+  stream.savings.full_equivalent += report.full_bytes;
+  return report;
+}
+
+Result<Model> DeltaStore::reconstruct_locked(Stream& stream,
+                                             const std::string& name,
+                                             std::uint64_t version) {
+  auto it = stream.entries.find(version);
+  if (it == stream.entries.end()) {
+    return not_found("no stored version " + std::to_string(version) + " of '" +
+                     name + "'");
+  }
+  // Walk back to the anchor full checkpoint.
+  std::vector<std::uint64_t> chain;  // deltas to apply, oldest first
+  std::uint64_t cursor = version;
+  while (stream.entries.at(cursor).is_delta) {
+    chain.push_back(cursor);
+    cursor = stream.entries.at(cursor).base_version;
+    if (!stream.entries.contains(cursor)) {
+      return data_loss("broken delta chain for '" + name + "': base v" +
+                       std::to_string(cursor) + " missing");
+    }
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  std::vector<std::byte> blob;
+  auto ticket = tier_->get(full_key(name, cursor), blob);
+  if (!ticket.is_ok()) return ticket.status();
+  auto model = format_->deserialize(blob);
+  if (!model.is_ok()) return model.status();
+
+  for (std::uint64_t delta_version : chain) {
+    auto delta_ticket = tier_->get(delta_key(name, delta_version), blob);
+    if (!delta_ticket.is_ok()) return delta_ticket.status();
+    auto next = serial::apply_delta(model.value(), blob);
+    if (!next.is_ok()) return next.status();
+    model = std::move(next).value();
+  }
+  return model;
+}
+
+Result<Model> DeltaStore::get_latest(const std::string& model_name) {
+  std::lock_guard lock(mutex_);
+  auto it = streams_.find(model_name);
+  if (it == streams_.end() || it->second.entries.empty()) {
+    return not_found("no versions of '" + model_name + "'");
+  }
+  return reconstruct_locked(it->second, model_name,
+                            it->second.entries.rbegin()->first);
+}
+
+Result<Model> DeltaStore::get_version(const std::string& model_name,
+                                      std::uint64_t version) {
+  std::lock_guard lock(mutex_);
+  auto it = streams_.find(model_name);
+  if (it == streams_.end()) return not_found("no versions of '" + model_name + "'");
+  return reconstruct_locked(it->second, model_name, version);
+}
+
+std::vector<std::uint64_t> DeltaStore::versions(
+    const std::string& model_name) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::uint64_t> out;
+  auto it = streams_.find(model_name);
+  if (it == streams_.end()) return out;
+  for (const auto& [version, _] : it->second.entries) out.push_back(version);
+  return out;
+}
+
+DeltaStore::Savings DeltaStore::savings(const std::string& model_name) const {
+  std::lock_guard lock(mutex_);
+  auto it = streams_.find(model_name);
+  return it == streams_.end() ? Savings{} : it->second.savings;
+}
+
+}  // namespace viper::repo

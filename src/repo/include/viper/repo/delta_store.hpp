@@ -1,0 +1,94 @@
+// Incremental checkpoint store: persists a model's version stream as
+// sparse delta chains anchored on periodic full checkpoints —
+// Check-N-Run's differential checkpointing mounted on a Viper storage
+// tier. Readers reconstruct any stored version by replaying the chain
+// from its anchor; writers fall back to a full checkpoint whenever the
+// delta would not actually save space (dense updates) or the chain grows
+// past the configured length (bounding reconstruction cost).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "viper/common/status.hpp"
+#include "viper/memsys/storage_tier.hpp"
+#include "viper/serial/delta.hpp"
+#include "viper/serial/format.hpp"
+#include "viper/tensor/model.hpp"
+
+namespace viper::repo {
+
+class DeltaStore {
+ public:
+  struct Options {
+    /// Force a full checkpoint every N puts (anchor spacing). >= 1.
+    int full_every = 8;
+    /// Write a full checkpoint instead whenever the delta exceeds this
+    /// fraction of the full blob (a delta that saves nothing only adds
+    /// reconstruction cost).
+    double max_delta_fraction = 0.6;
+    serial::DeltaOptions delta;
+  };
+
+  DeltaStore(std::shared_ptr<memsys::StorageTier> tier, Options options);
+
+  struct PutReport {
+    std::uint64_t version = 0;
+    bool stored_as_delta = false;
+    std::uint64_t blob_bytes = 0;      ///< what this put actually wrote
+    std::uint64_t full_bytes = 0;      ///< size a full checkpoint would be
+    double io_seconds = 0.0;
+  };
+
+  /// Append a version to the model's stream. Versions must be strictly
+  /// increasing per model name.
+  Result<PutReport> put(const Model& model);
+
+  /// Reconstruct the newest stored version.
+  Result<Model> get_latest(const std::string& model_name);
+
+  /// Reconstruct a specific stored version.
+  Result<Model> get_version(const std::string& model_name, std::uint64_t version);
+
+  /// Versions currently stored for a model, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> versions(
+      const std::string& model_name) const;
+
+  /// Total bytes written so far vs what full checkpoints would have cost.
+  struct Savings {
+    std::uint64_t bytes_written = 0;
+    std::uint64_t full_equivalent = 0;
+  };
+  [[nodiscard]] Savings savings(const std::string& model_name) const;
+
+ private:
+  struct VersionEntry {
+    bool is_delta = false;
+    std::uint64_t base_version = 0;  ///< previous version (deltas only)
+  };
+  struct Stream {
+    std::map<std::uint64_t, VersionEntry> entries;  // ascending versions
+    Model last;            ///< cached newest version (delta encoding base)
+    bool has_last = false;
+    int puts_since_full = 0;
+    Savings savings;
+  };
+
+  static std::string full_key(const std::string& name, std::uint64_t version);
+  static std::string delta_key(const std::string& name, std::uint64_t version);
+
+  Result<Model> reconstruct_locked(Stream& stream, const std::string& name,
+                                   std::uint64_t version);
+
+  std::shared_ptr<memsys::StorageTier> tier_;
+  Options options_;
+  std::unique_ptr<serial::CheckpointFormat> format_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Stream> streams_;
+};
+
+}  // namespace viper::repo

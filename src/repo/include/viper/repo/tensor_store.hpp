@@ -1,0 +1,83 @@
+// Tensor-granular model repository, modeled after DStore/EvoStore
+// (paper §2): each tensor is stored as its own versioned object, so an
+// update that changed only a few layers writes (and a reader retrieves)
+// only those tensors. Content hashes (CRC-32 of the payload) detect
+// unchanged tensors so repeated puts of mostly-identical checkpoints are
+// cheap — the incremental-storage scenario of transfer learning.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/memsys/storage_tier.hpp"
+#include "viper/tensor/model.hpp"
+
+namespace viper::repo {
+
+struct PutReport {
+  std::uint64_t model_version = 0;
+  std::size_t tensors_total = 0;
+  std::size_t tensors_written = 0;   ///< changed or new tensors
+  std::size_t tensors_skipped = 0;   ///< content-identical to stored version
+  std::uint64_t bytes_written = 0;
+  double io_seconds = 0.0;           ///< modeled device time spent
+};
+
+struct GetReport {
+  std::size_t tensors_read = 0;
+  std::uint64_t bytes_read = 0;
+  double io_seconds = 0.0;
+};
+
+class TensorStore {
+ public:
+  explicit TensorStore(std::shared_ptr<memsys::StorageTier> tier)
+      : tier_(std::move(tier)) {}
+
+  /// Store a model tensor-by-tensor; unchanged tensors are skipped.
+  Result<PutReport> put_model(const Model& model);
+
+  /// Reassemble the latest version of a model.
+  Result<Model> get_model(const std::string& model_name, GetReport* report = nullptr);
+
+  /// Fetch a single tensor — the fine-grain access path.
+  Result<Tensor> get_tensor(const std::string& model_name,
+                            const std::string& tensor_name,
+                            GetReport* report = nullptr);
+
+  /// Fetch a subset of tensors (partial retrieval for transfer learning).
+  Result<Model> get_tensors(const std::string& model_name,
+                            const std::vector<std::string>& tensor_names,
+                            GetReport* report = nullptr);
+
+  /// Tensor names of the stored model, sorted.
+  Result<std::vector<std::string>> list_tensors(const std::string& model_name) const;
+
+  [[nodiscard]] bool contains(const std::string& model_name) const;
+
+ private:
+  struct TensorIndexEntry {
+    std::uint32_t content_crc = 0;
+    std::uint64_t object_version = 0;  ///< bumped when content changes
+  };
+  struct ModelIndex {
+    std::uint64_t model_version = 0;
+    std::int64_t iteration = -1;
+    std::uint64_t nominal_bytes = 0;
+    std::map<std::string, TensorIndexEntry> tensors;
+  };
+
+  static std::string object_key(const std::string& model_name,
+                                const std::string& tensor_name);
+
+  std::shared_ptr<memsys::StorageTier> tier_;
+  mutable std::mutex mutex_;
+  std::map<std::string, ModelIndex> index_;
+};
+
+}  // namespace viper::repo

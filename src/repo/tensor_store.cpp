@@ -1,0 +1,171 @@
+#include "viper/repo/tensor_store.hpp"
+
+#include "viper/serial/byte_io.hpp"
+#include "viper/serial/crc32.hpp"
+
+namespace viper::repo {
+
+namespace {
+
+/// Per-tensor object payload: dtype, shape, raw bytes.
+std::vector<std::byte> encode_tensor(const Tensor& tensor) {
+  serial::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(tensor.dtype()));
+  w.u8(static_cast<std::uint8_t>(tensor.shape().rank()));
+  for (std::int64_t d : tensor.shape().dims()) w.i64(d);
+  w.u64(tensor.byte_size());
+  w.raw(tensor.bytes());
+  return std::move(w).take();
+}
+
+Result<Tensor> decode_tensor(std::span<const std::byte> blob) {
+  serial::ByteReader r(blob);
+  auto dtype_raw = r.u8();
+  if (!dtype_raw.is_ok()) return dtype_raw.status();
+  auto dtype = dtype_from_wire(dtype_raw.value());
+  if (!dtype.is_ok()) return dtype.status();
+  auto rank = r.u8();
+  if (!rank.is_ok()) return rank.status();
+  std::vector<std::int64_t> dims(rank.value());
+  for (auto& d : dims) {
+    auto dim = r.i64();
+    if (!dim.is_ok()) return dim.status();
+    d = dim.value();
+  }
+  auto bytes = r.u64();
+  if (!bytes.is_ok()) return bytes.status();
+  auto payload = r.raw(bytes.value());
+  if (!payload.is_ok()) return payload.status();
+  auto tensor = Tensor::from_bytes(dtype.value(), Shape(std::move(dims)),
+                                   std::move(payload).value());
+  if (!tensor.is_ok()) return data_loss(tensor.status().message());
+  return tensor;
+}
+
+}  // namespace
+
+std::string TensorStore::object_key(const std::string& model_name,
+                                    const std::string& tensor_name) {
+  return "ts/" + model_name + "/" + tensor_name;
+}
+
+Result<PutReport> TensorStore::put_model(const Model& model) {
+  if (model.name().empty()) return invalid_argument("model must be named");
+
+  std::lock_guard lock(mutex_);
+  ModelIndex& index = index_[model.name()];
+
+  PutReport report;
+  report.tensors_total = model.num_tensors();
+
+  std::map<std::string, TensorIndexEntry> fresh;
+  for (const auto& [tensor_name, tensor] : model.tensors()) {
+    const std::uint32_t content_crc = serial::crc32(tensor.bytes());
+    auto previous = index.tensors.find(tensor_name);
+    if (previous != index.tensors.end() &&
+        previous->second.content_crc == content_crc) {
+      // Content-identical: keep the stored object.
+      fresh[tensor_name] = previous->second;
+      ++report.tensors_skipped;
+      continue;
+    }
+    auto blob = encode_tensor(tensor);
+    report.bytes_written += blob.size();
+    auto ticket = tier_->put(object_key(model.name(), tensor_name), std::move(blob));
+    if (!ticket.is_ok()) return ticket.status();
+    report.io_seconds += ticket.value().seconds;
+    TensorIndexEntry entry;
+    entry.content_crc = content_crc;
+    entry.object_version =
+        previous == index.tensors.end() ? 1 : previous->second.object_version + 1;
+    fresh[tensor_name] = entry;
+    ++report.tensors_written;
+  }
+
+  // Drop objects whose tensors vanished from the model.
+  for (const auto& [old_name, _] : index.tensors) {
+    if (!fresh.contains(old_name)) {
+      (void)tier_->erase(object_key(model.name(), old_name));
+    }
+  }
+
+  index.tensors = std::move(fresh);
+  index.model_version = model.version();
+  index.iteration = model.iteration();
+  index.nominal_bytes = model.nominal_bytes();
+  report.model_version = model.version();
+  return report;
+}
+
+Result<Model> TensorStore::get_model(const std::string& model_name,
+                                     GetReport* report) {
+  std::vector<std::string> names;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = index_.find(model_name);
+    if (it == index_.end()) return not_found("no model '" + model_name + "'");
+    for (const auto& [name, _] : it->second.tensors) names.push_back(name);
+  }
+  return get_tensors(model_name, names, report);
+}
+
+Result<Tensor> TensorStore::get_tensor(const std::string& model_name,
+                                       const std::string& tensor_name,
+                                       GetReport* report) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = index_.find(model_name);
+    if (it == index_.end()) return not_found("no model '" + model_name + "'");
+    if (!it->second.tensors.contains(tensor_name)) {
+      return not_found("model '" + model_name + "' has no tensor '" + tensor_name +
+                       "'");
+    }
+  }
+  std::vector<std::byte> blob;
+  auto ticket = tier_->get(object_key(model_name, tensor_name), blob);
+  if (!ticket.is_ok()) return ticket.status();
+  if (report != nullptr) {
+    ++report->tensors_read;
+    report->bytes_read += blob.size();
+    report->io_seconds += ticket.value().seconds;
+  }
+  return decode_tensor(blob);
+}
+
+Result<Model> TensorStore::get_tensors(const std::string& model_name,
+                                       const std::vector<std::string>& tensor_names,
+                                       GetReport* report) {
+  Model out(model_name);
+  {
+    std::lock_guard lock(mutex_);
+    auto it = index_.find(model_name);
+    if (it == index_.end()) return not_found("no model '" + model_name + "'");
+    out.set_version(it->second.model_version);
+    out.set_iteration(it->second.iteration);
+    out.set_nominal_bytes(it->second.nominal_bytes);
+  }
+  for (const std::string& tensor_name : tensor_names) {
+    auto tensor = get_tensor(model_name, tensor_name, report);
+    if (!tensor.is_ok()) return tensor.status();
+    VIPER_RETURN_IF_ERROR(out.add_tensor(tensor_name, std::move(tensor).value()));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> TensorStore::list_tensors(
+    const std::string& model_name) const {
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(model_name);
+  if (it == index_.end()) return not_found("no model '" + model_name + "'");
+  std::vector<std::string> names;
+  names.reserve(it->second.tensors.size());
+  for (const auto& [name, _] : it->second.tensors) names.push_back(name);
+  return names;
+}
+
+bool TensorStore::contains(const std::string& model_name) const {
+  std::lock_guard lock(mutex_);
+  return index_.contains(model_name);
+}
+
+}  // namespace viper::repo

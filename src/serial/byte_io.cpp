@@ -1,0 +1,129 @@
+#include "viper/serial/byte_io.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace viper::serial {
+
+namespace {
+template <typename T>
+void append_le(std::vector<std::byte>& buf, T v) {
+  static_assert(std::endian::native == std::endian::little,
+                "big-endian hosts would need byte swaps here");
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_le(std::span<const std::byte> data, std::size_t pos) {
+  T v;
+  std::memcpy(&v, data.data() + pos, sizeof(T));
+  return v;
+}
+}  // namespace
+
+void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+void ByteWriter::u16(std::uint16_t v) { append_le(buffer_, v); }
+void ByteWriter::u32(std::uint32_t v) { append_le(buffer_, v); }
+void ByteWriter::u64(std::uint64_t v) { append_le(buffer_, v); }
+void ByteWriter::i64(std::int64_t v) { append_le(buffer_, v); }
+void ByteWriter::f64(double v) { append_le(buffer_, v); }
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  buffer_.insert(buffer_.end(), p, p + s.size());
+}
+
+void ByteWriter::raw(std::span<const std::byte> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::pad_to(std::size_t alignment) {
+  if (alignment <= 1) return;
+  while (buffer_.size() % alignment != 0) buffer_.push_back(std::byte{0});
+}
+
+Status ByteReader::need(std::size_t n) const {
+  if (remaining() < n) {
+    return data_loss("truncated stream: need " + std::to_string(n) + " bytes at offset " +
+                     std::to_string(pos_) + ", have " + std::to_string(remaining()));
+  }
+  return Status::ok();
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  VIPER_RETURN_IF_ERROR(need(1));
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  VIPER_RETURN_IF_ERROR(need(2));
+  auto v = read_le<std::uint16_t>(data_, pos_);
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  VIPER_RETURN_IF_ERROR(need(4));
+  auto v = read_le<std::uint32_t>(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  VIPER_RETURN_IF_ERROR(need(8));
+  auto v = read_le<std::uint64_t>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::int64_t> ByteReader::i64() {
+  VIPER_RETURN_IF_ERROR(need(8));
+  auto v = read_le<std::int64_t>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<double> ByteReader::f64() {
+  VIPER_RETURN_IF_ERROR(need(8));
+  auto v = read_le<double>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> ByteReader::str(std::size_t max_len) {
+  auto len = u32();
+  if (!len.is_ok()) return len.status();
+  if (len.value() > max_len) {
+    return data_loss("string length " + std::to_string(len.value()) +
+                     " exceeds sanity limit");
+  }
+  VIPER_RETURN_IF_ERROR(need(len.value()));
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len.value());
+  pos_ += len.value();
+  return s;
+}
+
+Result<std::vector<std::byte>> ByteReader::raw(std::size_t n) {
+  VIPER_RETURN_IF_ERROR(need(n));
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Status ByteReader::skip(std::size_t n) {
+  VIPER_RETURN_IF_ERROR(need(n));
+  pos_ += n;
+  return Status::ok();
+}
+
+Status ByteReader::skip_to(std::size_t alignment) {
+  if (alignment <= 1) return Status::ok();
+  const std::size_t rem = pos_ % alignment;
+  if (rem == 0) return Status::ok();
+  return skip(alignment - rem);
+}
+
+}  // namespace viper::serial

@@ -1,0 +1,315 @@
+#include "viper/serial/compress.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "viper/serial/byte_io.hpp"
+#include "viper/serial/crc32.hpp"
+#include "viper/serial/format.hpp"
+
+namespace viper::serial {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x315A4356;  // "VCZ1"
+
+// --- Zero run-length coding ------------------------------------------------
+// The body is a sequence of records: [zeros:u16][literals:u16][literal bytes].
+// Runs longer than 65535 are split across records.
+
+std::vector<std::byte> zero_rle_encode(std::span<const std::byte> input) {
+  ByteWriter w;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t zeros = 0;
+    while (i + zeros < input.size() && input[i + zeros] == std::byte{0} &&
+           zeros < 0xFFFF) {
+      ++zeros;
+    }
+    std::size_t literal_start = i + zeros;
+    std::size_t literals = 0;
+    while (literal_start + literals < input.size() && literals < 0xFFFF) {
+      if (input[literal_start + literals] == std::byte{0}) {
+        // Only break the literal run for a zero run worth encoding (>= 4
+        // zeros amortizes the 4-byte record header).
+        std::size_t lookahead = 0;
+        while (literal_start + literals + lookahead < input.size() &&
+               input[literal_start + literals + lookahead] == std::byte{0}) {
+          ++lookahead;
+          if (lookahead >= 4) break;
+        }
+        if (lookahead >= 4) break;
+        literals += lookahead;
+        continue;
+      }
+      ++literals;
+    }
+    if (literals > 0xFFFF) literals = 0xFFFF;
+    w.u16(static_cast<std::uint16_t>(zeros));
+    w.u16(static_cast<std::uint16_t>(literals));
+    w.raw(input.subspan(literal_start, literals));
+    i = literal_start + literals;
+  }
+  return std::move(w).take();
+}
+
+Result<std::vector<std::byte>> zero_rle_decode(std::span<const std::byte> body,
+                                               std::size_t expected_size) {
+  std::vector<std::byte> out;
+  // The size field came off the wire: never let it drive a huge upfront
+  // allocation (a fuzzed header must fail cleanly, not bad_alloc). The
+  // vector still grows to the true decoded size, which the loop bounds.
+  out.reserve(std::min<std::size_t>(expected_size, 1 << 20));
+  ByteReader r(body);
+  while (!r.exhausted()) {
+    auto zeros = r.u16();
+    if (!zeros.is_ok()) return zeros.status();
+    auto literals = r.u16();
+    if (!literals.is_ok()) return literals.status();
+    out.resize(out.size() + zeros.value());  // value-initialized zeros
+    auto payload = r.raw(literals.value());
+    if (!payload.is_ok()) return payload.status();
+    out.insert(out.end(), payload.value().begin(), payload.value().end());
+    if (out.size() > expected_size) {
+      return data_loss("zero-RLE stream inflates past its declared size");
+    }
+  }
+  if (out.size() != expected_size) {
+    return data_loss("zero-RLE stream ended short of its declared size");
+  }
+  return out;
+}
+
+std::vector<std::byte> wrap(Codec codec, std::uint64_t original_size,
+                            std::vector<std::byte> body) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(static_cast<std::uint8_t>(codec));
+  w.u64(original_size);
+  w.u32(crc32(body));
+  w.raw(body);
+  return std::move(w).take();
+}
+
+struct Unwrapped {
+  Codec codec;
+  std::uint64_t original_size;
+  std::span<const std::byte> body;
+};
+
+Result<Unwrapped> unwrap(std::span<const std::byte> blob) {
+  ByteReader r(blob);
+  auto magic = r.u32();
+  if (!magic.is_ok()) return magic.status();
+  if (magic.value() != kMagic) return data_loss("bad compression magic");
+  auto codec_raw = r.u8();
+  if (!codec_raw.is_ok()) return codec_raw.status();
+  if (codec_raw.value() > static_cast<std::uint8_t>(Codec::kF16ZeroRle)) {
+    return data_loss("unknown codec id " + std::to_string(codec_raw.value()));
+  }
+  auto original = r.u64();
+  if (!original.is_ok()) return original.status();
+  auto stored_crc = r.u32();
+  if (!stored_crc.is_ok()) return stored_crc.status();
+  const auto body = blob.subspan(r.position());
+  if (crc32(body) != stored_crc.value()) {
+    return data_loss("compressed body failed CRC validation");
+  }
+  return Unwrapped{static_cast<Codec>(codec_raw.value()), original.value(), body};
+}
+
+/// Downcast every f32 tensor to f16 (fails if f16 already present).
+Result<Model> downcast_model(const Model& model) {
+  Model out(model.name());
+  out.set_version(model.version());
+  out.set_iteration(model.iteration());
+  out.set_nominal_bytes(model.nominal_bytes());
+  for (const auto& [name, tensor] : model.tensors()) {
+    if (tensor.dtype() == DType::kF16) {
+      return invalid_argument(
+          "model already contains f16 tensors; kF16 codec would be ambiguous");
+    }
+    if (tensor.dtype() != DType::kF32) {
+      VIPER_RETURN_IF_ERROR(out.add_tensor(name, tensor));
+      continue;
+    }
+    auto half = Tensor::zeros(DType::kF16, tensor.shape());
+    if (!half.is_ok()) return half.status();
+    const auto src = tensor.data<float>();
+    auto dst = half.value().mutable_data<std::uint16_t>();
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = f32_to_f16(src[i]);
+    VIPER_RETURN_IF_ERROR(out.add_tensor(name, std::move(half).value()));
+  }
+  return out;
+}
+
+/// Upcast every f16 tensor back to f32.
+Result<Model> upcast_model(const Model& model) {
+  Model out(model.name());
+  out.set_version(model.version());
+  out.set_iteration(model.iteration());
+  out.set_nominal_bytes(model.nominal_bytes());
+  for (const auto& [name, tensor] : model.tensors()) {
+    if (tensor.dtype() != DType::kF16) {
+      VIPER_RETURN_IF_ERROR(out.add_tensor(name, tensor));
+      continue;
+    }
+    auto full = Tensor::zeros(DType::kF32, tensor.shape());
+    if (!full.is_ok()) return full.status();
+    const auto src = tensor.data<std::uint16_t>();
+    auto dst = full.value().mutable_data<float>();
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = f16_to_f32(src[i]);
+    VIPER_RETURN_IF_ERROR(out.add_tensor(name, std::move(full).value()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(Codec codec) noexcept {
+  switch (codec) {
+    case Codec::kNone: return "none";
+    case Codec::kZeroRle: return "zero-rle";
+    case Codec::kF16: return "f16";
+    case Codec::kF16ZeroRle: return "f16+zero-rle";
+  }
+  return "?";
+}
+
+std::uint16_t f32_to_f16(float value) noexcept {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000U;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((bits >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mantissa = bits & 0x7FFFFFU;
+
+  if (((bits >> 23) & 0xFF) == 0xFF) {  // inf / nan
+    return static_cast<std::uint16_t>(sign | 0x7C00U | (mantissa ? 0x200U : 0));
+  }
+  if (exponent >= 0x1F) {  // overflow → inf
+    return static_cast<std::uint16_t>(sign | 0x7C00U);
+  }
+  if (exponent <= 0) {  // subnormal or underflow → round from extended form
+    if (exponent < -10) return static_cast<std::uint16_t>(sign);
+    mantissa |= 0x800000U;
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - exponent);
+    const std::uint32_t half = mantissa >> shift;
+    const std::uint32_t rem = mantissa & ((1U << shift) - 1);
+    const std::uint32_t mid = 1U << (shift - 1);
+    std::uint32_t rounded = half;
+    if (rem > mid || (rem == mid && (half & 1U))) ++rounded;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal: round mantissa from 23 to 10 bits (nearest even).
+  std::uint32_t half =
+      (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13);
+  const std::uint32_t rem = mantissa & 0x1FFFU;
+  if (rem > 0x1000U || (rem == 0x1000U && (half & 1U))) ++half;
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float f16_to_f32(std::uint16_t half) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(half & 0x8000U) << 16;
+  const std::uint32_t exponent = (half >> 10) & 0x1FU;
+  std::uint32_t mantissa = half & 0x3FFU;
+
+  std::uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      std::int32_t e = -1;
+      do {
+        ++e;
+        mantissa <<= 1;
+      } while ((mantissa & 0x400U) == 0);
+      mantissa &= 0x3FFU;
+      bits = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+             (mantissa << 13);
+    }
+  } else if (exponent == 0x1F) {
+    bits = sign | 0x7F800000U | (mantissa << 13);  // inf / nan
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+Result<std::vector<std::byte>> compress_blob(std::span<const std::byte> blob,
+                                             Codec codec) {
+  switch (codec) {
+    case Codec::kNone:
+      return wrap(codec, blob.size(), {blob.begin(), blob.end()});
+    case Codec::kZeroRle:
+      return wrap(codec, blob.size(), zero_rle_encode(blob));
+    case Codec::kF16:
+    case Codec::kF16ZeroRle:
+      return invalid_argument(
+          "f16 codecs need tensor structure; use compress_model");
+  }
+  return invalid_argument("unknown codec");
+}
+
+Result<std::vector<std::byte>> decompress_blob(std::span<const std::byte> blob) {
+  auto unwrapped = unwrap(blob);
+  if (!unwrapped.is_ok()) return unwrapped.status();
+  switch (unwrapped.value().codec) {
+    case Codec::kNone:
+      return std::vector<std::byte>(unwrapped.value().body.begin(),
+                                    unwrapped.value().body.end());
+    case Codec::kZeroRle:
+    case Codec::kF16ZeroRle:
+      return zero_rle_decode(unwrapped.value().body,
+                             unwrapped.value().original_size);
+    case Codec::kF16:
+      return std::vector<std::byte>(unwrapped.value().body.begin(),
+                                    unwrapped.value().body.end());
+  }
+  return data_loss("unknown codec");
+}
+
+Result<std::vector<std::byte>> compress_model(const Model& model, Codec codec) {
+  auto format = make_viper_format();
+  switch (codec) {
+    case Codec::kNone:
+    case Codec::kZeroRle: {
+      auto blob = format->serialize(model);
+      if (!blob.is_ok()) return blob.status();
+      return compress_blob(blob.value(), codec);
+    }
+    case Codec::kF16:
+    case Codec::kF16ZeroRle: {
+      auto half = downcast_model(model);
+      if (!half.is_ok()) return half.status();
+      auto blob = format->serialize(half.value());
+      if (!blob.is_ok()) return blob.status();
+      if (codec == Codec::kF16) {
+        return wrap(codec, blob.value().size(), std::move(blob).value());
+      }
+      return wrap(codec, blob.value().size(), zero_rle_encode(blob.value()));
+    }
+  }
+  return invalid_argument("unknown codec");
+}
+
+Result<Model> decompress_model(std::span<const std::byte> blob) {
+  auto unwrapped = unwrap(blob);
+  if (!unwrapped.is_ok()) return unwrapped.status();
+  const Codec codec = unwrapped.value().codec;
+
+  auto payload = decompress_blob(blob);
+  if (!payload.is_ok()) return payload.status();
+
+  auto format = make_viper_format();
+  auto model = format->deserialize(payload.value());
+  if (!model.is_ok()) return model.status();
+
+  if (codec == Codec::kF16 || codec == Codec::kF16ZeroRle) {
+    return upcast_model(model.value());
+  }
+  return model;
+}
+
+}  // namespace viper::serial

@@ -1,0 +1,329 @@
+#include "viper/serial/delta.hpp"
+
+#include <cstring>
+
+#include "viper/serial/byte_io.hpp"
+#include "viper/serial/crc32.hpp"
+
+namespace viper::serial {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31445356;  // "VSD1"
+
+enum class TensorDelta : std::uint8_t { kUnchanged = 0, kChanged = 1, kAdded = 2 };
+
+std::size_t block_count(std::size_t bytes, std::uint32_t block) {
+  return (bytes + block - 1) / block;
+}
+
+}  // namespace
+
+Result<std::vector<std::byte>> encode_delta(const Model& base, const Model& next,
+                                            const DeltaOptions& options) {
+  if (options.block_bytes == 0) return invalid_argument("block_bytes must be > 0");
+  if (base.name() != next.name()) {
+    return invalid_argument("delta across different models: '" + base.name() +
+                            "' vs '" + next.name() + "'");
+  }
+
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(options.block_bytes);
+  w.str(next.name());
+  w.u64(base.version());
+  w.u64(next.version());
+  w.i64(next.iteration());
+  w.u64(next.nominal_bytes());
+
+  // Removed tensors: present in base, absent in next.
+  std::vector<std::string> removed;
+  for (const auto& [name, _] : base.tensors()) {
+    if (!next.has_tensor(name)) removed.push_back(name);
+  }
+  w.u32(static_cast<std::uint32_t>(removed.size()));
+  for (const auto& name : removed) w.str(name);
+
+  w.u32(static_cast<std::uint32_t>(next.num_tensors()));
+  for (const auto& [name, tensor] : next.tensors()) {
+    w.str(name);
+    const Tensor* base_tensor = nullptr;
+    if (auto found = base.tensor(name); found.is_ok()) {
+      base_tensor = found.value();
+    }
+    const bool compatible = base_tensor != nullptr &&
+                            base_tensor->dtype() == tensor.dtype() &&
+                            base_tensor->shape() == tensor.shape();
+    if (!compatible) {
+      // New (or reshaped) tensor: ship it whole.
+      w.u8(static_cast<std::uint8_t>(TensorDelta::kAdded));
+      w.u8(static_cast<std::uint8_t>(tensor.dtype()));
+      w.u8(static_cast<std::uint8_t>(tensor.shape().rank()));
+      for (std::int64_t d : tensor.shape().dims()) w.i64(d);
+      w.u64(tensor.byte_size());
+      w.raw(tensor.bytes());
+      continue;
+    }
+    if (base_tensor->equals(tensor)) {
+      w.u8(static_cast<std::uint8_t>(TensorDelta::kUnchanged));
+      continue;
+    }
+
+    // Changed: block bitmap + the blocks that differ.
+    w.u8(static_cast<std::uint8_t>(TensorDelta::kChanged));
+    const auto old_bytes = base_tensor->bytes();
+    const auto new_bytes = tensor.bytes();
+    const std::size_t blocks = block_count(new_bytes.size(), options.block_bytes);
+    std::vector<std::uint8_t> bitmap((blocks + 7) / 8, 0);
+    std::vector<std::byte> payload;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t offset = b * options.block_bytes;
+      const std::size_t len =
+          std::min<std::size_t>(options.block_bytes, new_bytes.size() - offset);
+      if (std::memcmp(old_bytes.data() + offset, new_bytes.data() + offset, len) !=
+          0) {
+        bitmap[b / 8] |= static_cast<std::uint8_t>(1u << (b % 8));
+        payload.insert(payload.end(), new_bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                       new_bytes.begin() + static_cast<std::ptrdiff_t>(offset + len));
+      }
+    }
+    w.u64(new_bytes.size());
+    w.raw(std::as_bytes(std::span(bitmap)));
+    w.u64(payload.size());
+    w.raw(payload);
+  }
+
+  const std::uint32_t checksum = crc32(w.bytes());
+  w.u32(checksum);
+  return std::move(w).take();
+}
+
+namespace {
+
+/// Shared walk over a delta blob. `on_tensor` handlers may be null when
+/// only stats are wanted.
+struct DeltaHeader {
+  std::uint32_t block_bytes = 0;
+  std::string model_name;
+  std::uint64_t base_version = 0;
+  std::uint64_t next_version = 0;
+  std::int64_t iteration = 0;
+  std::uint64_t nominal_bytes = 0;
+  std::vector<std::string> removed;
+};
+
+Result<DeltaHeader> read_header(ByteReader& r) {
+  auto magic = r.u32();
+  if (!magic.is_ok()) return magic.status();
+  if (magic.value() != kMagic) return data_loss("bad delta magic");
+  DeltaHeader header;
+  auto block = r.u32();
+  if (!block.is_ok()) return block.status();
+  header.block_bytes = block.value();
+  if (header.block_bytes == 0) return data_loss("zero block size in delta");
+  auto name = r.str();
+  if (!name.is_ok()) return name.status();
+  header.model_name = std::move(name).value();
+  auto base_version = r.u64();
+  if (!base_version.is_ok()) return base_version.status();
+  header.base_version = base_version.value();
+  auto next_version = r.u64();
+  if (!next_version.is_ok()) return next_version.status();
+  header.next_version = next_version.value();
+  auto iteration = r.i64();
+  if (!iteration.is_ok()) return iteration.status();
+  header.iteration = iteration.value();
+  auto nominal = r.u64();
+  if (!nominal.is_ok()) return nominal.status();
+  header.nominal_bytes = nominal.value();
+  auto removed_count = r.u32();
+  if (!removed_count.is_ok()) return removed_count.status();
+  for (std::uint32_t i = 0; i < removed_count.value(); ++i) {
+    auto removed = r.str();
+    if (!removed.is_ok()) return removed.status();
+    header.removed.push_back(std::move(removed).value());
+  }
+  return header;
+}
+
+Status validate_crc(std::span<const std::byte> blob) {
+  if (blob.size() < 8) return data_loss("delta blob too small");
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, blob.data() + blob.size() - 4, 4);
+  if (crc32(blob.first(blob.size() - 4)) != stored) {
+    return data_loss("delta checksum mismatch");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<DeltaStats> delta_stats(std::span<const std::byte> blob) {
+  VIPER_RETURN_IF_ERROR(validate_crc(blob));
+  ByteReader r(blob.first(blob.size() - 4));
+  auto header = read_header(r);
+  if (!header.is_ok()) return header.status();
+
+  DeltaStats stats;
+  stats.blob_bytes = blob.size();
+  stats.tensors_removed = header.value().removed.size();
+  auto count = r.u32();
+  if (!count.is_ok()) return count.status();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto name = r.str();
+    if (!name.is_ok()) return name.status();
+    auto kind = r.u8();
+    if (!kind.is_ok()) return kind.status();
+    switch (static_cast<TensorDelta>(kind.value())) {
+      case TensorDelta::kUnchanged:
+        ++stats.tensors_unchanged;
+        break;
+      case TensorDelta::kAdded: {
+        ++stats.tensors_added;
+        VIPER_RETURN_IF_ERROR(r.skip(1));  // dtype byte
+        auto rank = r.u8();
+        if (!rank.is_ok()) return rank.status();
+        VIPER_RETURN_IF_ERROR(r.skip(8u * rank.value()));
+        auto bytes = r.u64();
+        if (!bytes.is_ok()) return bytes.status();
+        stats.payload_bytes += bytes.value();
+        VIPER_RETURN_IF_ERROR(r.skip(bytes.value()));
+        break;
+      }
+      case TensorDelta::kChanged: {
+        ++stats.tensors_changed;
+        auto total = r.u64();
+        if (!total.is_ok()) return total.status();
+        const std::size_t blocks =
+            block_count(total.value(), header.value().block_bytes);
+        VIPER_RETURN_IF_ERROR(r.skip((blocks + 7) / 8));
+        auto payload = r.u64();
+        if (!payload.is_ok()) return payload.status();
+        stats.payload_bytes += payload.value();
+        VIPER_RETURN_IF_ERROR(r.skip(payload.value()));
+        break;
+      }
+      default:
+        return data_loss("unknown tensor-delta kind");
+    }
+  }
+  return stats;
+}
+
+Result<Model> apply_delta(const Model& base, std::span<const std::byte> blob) {
+  VIPER_RETURN_IF_ERROR(validate_crc(blob));
+  ByteReader r(blob.first(blob.size() - 4));
+  auto header_result = read_header(r);
+  if (!header_result.is_ok()) return header_result.status();
+  const DeltaHeader& header = header_result.value();
+
+  if (header.model_name != base.name()) {
+    return failed_precondition("delta is for model '" + header.model_name +
+                               "', base is '" + base.name() + "'");
+  }
+  if (header.base_version != base.version()) {
+    return failed_precondition(
+        "delta chains from version " + std::to_string(header.base_version) +
+        ", base is version " + std::to_string(base.version()));
+  }
+
+  Model next(base.name());
+  next.set_version(header.next_version);
+  next.set_iteration(header.iteration);
+  next.set_nominal_bytes(header.nominal_bytes);
+
+  auto count = r.u32();
+  if (!count.is_ok()) return count.status();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto name = r.str();
+    if (!name.is_ok()) return name.status();
+    auto kind = r.u8();
+    if (!kind.is_ok()) return kind.status();
+    switch (static_cast<TensorDelta>(kind.value())) {
+      case TensorDelta::kUnchanged: {
+        auto base_tensor = base.tensor(name.value());
+        if (!base_tensor.is_ok()) {
+          return data_loss("delta marks '" + name.value() +
+                           "' unchanged but base lacks it");
+        }
+        VIPER_RETURN_IF_ERROR(next.add_tensor(name.value(), *base_tensor.value()));
+        break;
+      }
+      case TensorDelta::kAdded: {
+        auto dtype_raw = r.u8();
+        if (!dtype_raw.is_ok()) return dtype_raw.status();
+        auto dtype = dtype_from_wire(dtype_raw.value());
+        if (!dtype.is_ok()) return dtype.status();
+        auto rank = r.u8();
+        if (!rank.is_ok()) return rank.status();
+        std::vector<std::int64_t> dims(rank.value());
+        for (auto& d : dims) {
+          auto dim = r.i64();
+          if (!dim.is_ok()) return dim.status();
+          d = dim.value();
+        }
+        auto bytes = r.u64();
+        if (!bytes.is_ok()) return bytes.status();
+        auto payload = r.raw(bytes.value());
+        if (!payload.is_ok()) return payload.status();
+        auto tensor = Tensor::from_bytes(dtype.value(), Shape(std::move(dims)),
+                                         std::move(payload).value());
+        if (!tensor.is_ok()) return data_loss(tensor.status().message());
+        VIPER_RETURN_IF_ERROR(
+            next.add_tensor(name.value(), std::move(tensor).value()));
+        break;
+      }
+      case TensorDelta::kChanged: {
+        auto base_tensor = base.tensor(name.value());
+        if (!base_tensor.is_ok()) {
+          return data_loss("delta changes '" + name.value() +
+                           "' but base lacks it");
+        }
+        auto total = r.u64();
+        if (!total.is_ok()) return total.status();
+        if (total.value() != base_tensor.value()->byte_size()) {
+          return data_loss("delta size mismatch for tensor '" + name.value() + "'");
+        }
+        const std::size_t blocks = block_count(total.value(), header.block_bytes);
+        auto bitmap = r.raw((blocks + 7) / 8);
+        if (!bitmap.is_ok()) return bitmap.status();
+        auto payload_size = r.u64();
+        if (!payload_size.is_ok()) return payload_size.status();
+        auto payload = r.raw(payload_size.value());
+        if (!payload.is_ok()) return payload.status();
+
+        std::vector<std::byte> bytes(base_tensor.value()->bytes().begin(),
+                                     base_tensor.value()->bytes().end());
+        std::size_t cursor = 0;
+        for (std::size_t b = 0; b < blocks; ++b) {
+          const bool changed =
+              (static_cast<std::uint8_t>(bitmap.value()[b / 8]) >> (b % 8)) & 1u;
+          if (!changed) continue;
+          const std::size_t offset = b * header.block_bytes;
+          const std::size_t len =
+              std::min<std::size_t>(header.block_bytes, bytes.size() - offset);
+          if (cursor + len > payload.value().size()) {
+            return data_loss("delta payload shorter than its bitmap claims");
+          }
+          std::memcpy(bytes.data() + offset, payload.value().data() + cursor, len);
+          cursor += len;
+        }
+        if (cursor != payload.value().size()) {
+          return data_loss("delta payload longer than its bitmap claims");
+        }
+        auto tensor = Tensor::from_bytes(base_tensor.value()->dtype(),
+                                         base_tensor.value()->shape(),
+                                         std::move(bytes));
+        if (!tensor.is_ok()) return data_loss(tensor.status().message());
+        VIPER_RETURN_IF_ERROR(
+            next.add_tensor(name.value(), std::move(tensor).value()));
+        break;
+      }
+      default:
+        return data_loss("unknown tensor-delta kind");
+    }
+  }
+  return next;
+}
+
+}  // namespace viper::serial

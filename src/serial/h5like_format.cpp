@@ -1,0 +1,162 @@
+// Baseline format that mirrors how `model.save()` + h5py lays out a Keras
+// checkpoint: a superblock, a B-tree-ish group header per layer, verbose
+// string attributes (layer config JSON, dtype descriptors, backend tags),
+// and 4 KiB chunk-aligned dataset payloads. The overhead is real bytes in
+// the blob, so the "Viper-PFS beats h5py by ~1.3x on metadata lean-ness"
+// effect emerges from byte counts rather than a fudge factor.
+#include <cstring>
+
+#include "viper/serial/byte_io.hpp"
+#include "viper/serial/crc32.hpp"
+#include "viper/serial/format.hpp"
+
+namespace viper::serial {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46444889;  // "\x89HDF" — HDF5-like signature.
+constexpr std::uint16_t kFormatVersion = 1;
+constexpr std::size_t kChunkAlign = 4096;     // HDF5 default dataset alignment.
+constexpr std::size_t kObjectHeaderPad = 512; // Group/object header reserve.
+
+// Synthetic "layer config" attribute comparable in size to Keras's JSON.
+std::string layer_config_json(const std::string& tensor_name, const Tensor& t) {
+  std::string json = R"({"class_name": "Layer", "config": {"name": ")";
+  json += tensor_name;
+  json += R"(", "trainable": true, "dtype": ")";
+  json += std::string(to_string(t.dtype()));
+  json += R"(", "shape": )" + t.shape().to_string();
+  json += R"(, "activation": "relu", "use_bias": true, "kernel_initializer": )"
+          R"({"class_name": "GlorotUniform", "config": {"seed": null}}, )"
+          R"("bias_initializer": {"class_name": "Zeros", "config": {}}, )"
+          R"("kernel_regularizer": null, "bias_regularizer": null, )"
+          R"("activity_regularizer": null, "kernel_constraint": null, )"
+          R"("bias_constraint": null}})";
+  return json;
+}
+
+class H5LikeFormat final : public CheckpointFormat {
+ public:
+  std::string_view name() const noexcept override { return "h5py-baseline"; }
+
+  Result<std::vector<std::byte>> serialize(const Model& model) const override {
+    ByteWriter w;
+    // Superblock.
+    w.u32(kMagic);
+    w.u16(kFormatVersion);
+    w.str("keras_version=2.9.0");
+    w.str("backend=tensorflow");
+    w.str("model_config=" + layer_config_json(model.name(), Tensor{}));
+    w.str(model.name());
+    w.u64(model.version());
+    w.i64(model.iteration());
+    w.u64(model.nominal_bytes());
+    w.u32(static_cast<std::uint32_t>(model.num_tensors()));
+    w.pad_to(kObjectHeaderPad);
+
+    for (const auto& [tensor_name, tensor] : model.tensors()) {
+      // Object header: name, dtype descriptor, dataspace, attributes.
+      w.str(tensor_name);
+      w.str("H5T_IEEE_" + std::string(to_string(tensor.dtype())) + "_LE");
+      w.u8(static_cast<std::uint8_t>(tensor.dtype()));
+      w.u8(static_cast<std::uint8_t>(tensor.shape().rank()));
+      for (std::int64_t d : tensor.shape().dims()) w.i64(d);
+      w.str(layer_config_json(tensor_name, tensor));
+      w.pad_to(kObjectHeaderPad);
+      // Chunk-aligned dataset payload.
+      w.u64(tensor.byte_size());
+      w.pad_to(kChunkAlign);
+      w.raw(tensor.bytes());
+      w.pad_to(kChunkAlign);
+    }
+    const std::uint32_t checksum = crc32(w.bytes());
+    w.u32(checksum);
+    return std::move(w).take();
+  }
+
+  Result<Model> deserialize(std::span<const std::byte> blob) const override {
+    if (blob.size() < 16) return data_loss("blob too small for H5-like superblock");
+    const std::size_t body_size = blob.size() - 4;
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, blob.data() + body_size, 4);
+    if (crc32(blob.first(body_size)) != stored) {
+      return data_loss("H5-like checksum mismatch: checkpoint corrupted");
+    }
+
+    ByteReader r(blob.first(body_size));
+    auto magic = r.u32();
+    if (!magic.is_ok()) return magic.status();
+    if (magic.value() != kMagic) return data_loss("bad H5-like magic");
+    auto version = r.u16();
+    if (!version.is_ok()) return version.status();
+    if (version.value() != kFormatVersion) {
+      return unimplemented("unsupported H5-like version");
+    }
+    // Skip the three superblock attribute strings.
+    for (int i = 0; i < 3; ++i) {
+      auto attr = r.str();
+      if (!attr.is_ok()) return attr.status();
+    }
+
+    auto model_name = r.str();
+    if (!model_name.is_ok()) return model_name.status();
+    Model model(std::move(model_name).value());
+    auto model_version = r.u64();
+    if (!model_version.is_ok()) return model_version.status();
+    model.set_version(model_version.value());
+    auto iteration = r.i64();
+    if (!iteration.is_ok()) return iteration.status();
+    model.set_iteration(iteration.value());
+    auto nominal = r.u64();
+    if (!nominal.is_ok()) return nominal.status();
+    model.set_nominal_bytes(nominal.value());
+    auto count = r.u32();
+    if (!count.is_ok()) return count.status();
+    VIPER_RETURN_IF_ERROR(r.skip_to(kObjectHeaderPad));
+
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+      auto tensor_name = r.str();
+      if (!tensor_name.is_ok()) return tensor_name.status();
+      auto descriptor = r.str();
+      if (!descriptor.is_ok()) return descriptor.status();
+      auto dtype_raw = r.u8();
+      if (!dtype_raw.is_ok()) return dtype_raw.status();
+      auto dtype = dtype_from_wire(dtype_raw.value());
+      if (!dtype.is_ok()) return dtype.status();
+      auto rank = r.u8();
+      if (!rank.is_ok()) return rank.status();
+      std::vector<std::int64_t> dims(rank.value());
+      for (auto& d : dims) {
+        auto dim = r.i64();
+        if (!dim.is_ok()) return dim.status();
+        d = dim.value();
+      }
+      auto config = r.str();
+      if (!config.is_ok()) return config.status();
+      VIPER_RETURN_IF_ERROR(r.skip_to(kObjectHeaderPad));
+      auto byte_size = r.u64();
+      if (!byte_size.is_ok()) return byte_size.status();
+      VIPER_RETURN_IF_ERROR(r.skip_to(kChunkAlign));
+      auto payload = r.raw(byte_size.value());
+      if (!payload.is_ok()) return payload.status();
+      VIPER_RETURN_IF_ERROR(r.skip_to(kChunkAlign));
+      auto tensor = Tensor::from_bytes(dtype.value(), Shape(std::move(dims)),
+                                       std::move(payload).value());
+      if (!tensor.is_ok()) {
+        return data_loss("tensor payload inconsistent with shape: " +
+                         tensor.status().message());
+      }
+      VIPER_RETURN_IF_ERROR(
+          model.add_tensor(std::move(tensor_name).value(), std::move(tensor).value()));
+    }
+    return model;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CheckpointFormat> make_h5like_format() {
+  return std::make_unique<H5LikeFormat>();
+}
+
+}  // namespace viper::serial

@@ -1,0 +1,66 @@
+// Little-endian byte stream writer/reader used by both checkpoint formats.
+// The reader validates every read against the remaining length so truncated
+// or corrupt streams surface as DATA_LOSS instead of UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "viper/common/status.hpp"
+
+namespace viper::serial {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix.
+  void raw(std::span<const std::byte> data);
+  /// Zero padding up to the next multiple of `alignment`.
+  void pad_to(std::size_t alignment);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return buffer_; }
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int64_t> i64();
+  Result<double> f64();
+  Result<std::string> str(std::size_t max_len = 1 << 20);
+  /// Copies `n` raw bytes out of the stream.
+  Result<std::vector<std::byte>> raw(std::size_t n);
+  /// Skips `n` bytes.
+  Status skip(std::size_t n);
+  /// Skips to the next multiple of `alignment` (mirror of pad_to).
+  Status skip_to(std::size_t alignment);
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  Status need(std::size_t n) const;
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace viper::serial

@@ -1,0 +1,56 @@
+// Checkpoint compression codecs. Transfer time is bytes/bandwidth, so
+// shrinking the blob is as good as a faster link. Two transforms that
+// work on weight tensors without external dependencies:
+//
+//  - kZeroRle: run-length encodes zero bytes. Freshly initialized bias
+//    vectors, padded layouts, and sparse fine-tuning deltas are full of
+//    zeros; dense float payloads pass through with ~0 overhead.
+//  - kF16: lossy downcast of f32 tensors to IEEE half for the wire, with
+//    round-trip back to f32 on decode (inference-serving checkpoints
+//    tolerate half precision; the paper's models are all f32).
+//  - kF16ZeroRle: both, downcast first.
+//
+// Codecs wrap an encoded payload in a small header (codec id, original
+// size, CRC of the encoded body) so decode validates integrity and knows
+// the codec without out-of-band metadata.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/tensor/model.hpp"
+
+namespace viper::serial {
+
+enum class Codec : std::uint8_t {
+  kNone = 0,
+  kZeroRle = 1,
+  kF16 = 2,
+  kF16ZeroRle = 3,
+};
+
+std::string_view to_string(Codec codec) noexcept;
+
+/// Compress an arbitrary byte blob (e.g. a serialized checkpoint).
+/// kF16* codecs are only meaningful on raw f32 payloads — for blobs use
+/// kNone/kZeroRle; for models use compress_model below.
+Result<std::vector<std::byte>> compress_blob(std::span<const std::byte> blob,
+                                             Codec codec);
+
+/// Undo compress_blob. The codec is read from the header.
+Result<std::vector<std::byte>> decompress_blob(std::span<const std::byte> blob);
+
+/// Model-aware path: downcasts f32 tensors (kF16*) before byte-level
+/// encoding, and restores an f32 model on decode. Non-f32 tensors pass
+/// through unchanged.
+Result<std::vector<std::byte>> compress_model(const Model& model, Codec codec);
+Result<Model> decompress_model(std::span<const std::byte> blob);
+
+/// IEEE 754 half-precision conversions (round-to-nearest-even).
+std::uint16_t f32_to_f16(float value) noexcept;
+float f16_to_f32(std::uint16_t half) noexcept;
+
+}  // namespace viper::serial

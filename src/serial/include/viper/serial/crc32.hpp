@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial) for checkpoint integrity trailers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace viper::serial {
+
+/// One-shot CRC over a buffer.
+std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> data) noexcept;
+
+}  // namespace viper::serial

@@ -1,0 +1,49 @@
+// Incremental (delta) checkpoints, in the spirit of Check-N-Run's
+// differential checkpointing (paper §2): instead of shipping the full
+// model every update, encode only the blocks that changed since a base
+// version. Fine-tuning updates that touch a subset of layers (transfer
+// learning, frozen encoders) shrink dramatically; fully-perturbed models
+// degrade gracefully to ~full size plus a bitmap.
+//
+// Wire format ("VSD1"): header (base/next version, iteration), per-tensor
+// records — kUnchanged / kChanged (block bitmap + changed blocks) /
+// kAdded (full payload) — a removed-tensor list, and a CRC-32 trailer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/tensor/model.hpp"
+
+namespace viper::serial {
+
+struct DeltaOptions {
+  /// Granularity of change detection. Smaller blocks find sparser deltas
+  /// but spend more bitmap; must be > 0.
+  std::uint32_t block_bytes = 4096;
+};
+
+struct DeltaStats {
+  std::size_t tensors_unchanged = 0;
+  std::size_t tensors_changed = 0;
+  std::size_t tensors_added = 0;
+  std::size_t tensors_removed = 0;
+  std::uint64_t payload_bytes = 0;  ///< changed-block bytes carried
+  std::uint64_t blob_bytes = 0;     ///< total encoded size
+};
+
+/// Encode next relative to base. Fails if the models' name differs (a
+/// delta only makes sense within one model's version chain).
+Result<std::vector<std::byte>> encode_delta(const Model& base, const Model& next,
+                                            const DeltaOptions& options = {});
+
+/// Stats of an encoded delta (parses the header cheaply).
+Result<DeltaStats> delta_stats(std::span<const std::byte> blob);
+
+/// Reconstruct the next version from base + delta. Validates the CRC,
+/// the base version linkage, and every tensor's shape.
+Result<Model> apply_delta(const Model& base, std::span<const std::byte> blob);
+
+}  // namespace viper::serial

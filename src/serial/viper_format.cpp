@@ -1,0 +1,115 @@
+#include <cstring>
+
+#include "viper/serial/byte_io.hpp"
+#include "viper/serial/crc32.hpp"
+#include "viper/serial/format.hpp"
+
+namespace viper::serial {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31465356;  // "VSF1" little-endian.
+constexpr std::uint16_t kFormatVersion = 1;
+
+class ViperFormat final : public CheckpointFormat {
+ public:
+  std::string_view name() const noexcept override { return "viper-vsf1"; }
+
+  Result<std::vector<std::byte>> serialize(const Model& model) const override {
+    ByteWriter w;
+    w.u32(kMagic);
+    w.u16(kFormatVersion);
+    w.str(model.name());
+    w.u64(model.version());
+    w.i64(model.iteration());
+    w.u64(model.nominal_bytes());
+    w.u32(static_cast<std::uint32_t>(model.num_tensors()));
+    for (const auto& [tensor_name, tensor] : model.tensors()) {
+      w.str(tensor_name);
+      w.u8(static_cast<std::uint8_t>(tensor.dtype()));
+      w.u8(static_cast<std::uint8_t>(tensor.shape().rank()));
+      for (std::int64_t d : tensor.shape().dims()) w.i64(d);
+      w.u64(tensor.byte_size());
+      w.raw(tensor.bytes());
+    }
+    const std::uint32_t checksum = crc32(w.bytes());
+    w.u32(checksum);
+    return std::move(w).take();
+  }
+
+  Result<Model> deserialize(std::span<const std::byte> blob) const override {
+    if (blob.size() < 4 + 2 + 4) return data_loss("blob too small for VSF header");
+    // Verify the CRC trailer before trusting any field.
+    const std::size_t body_size = blob.size() - 4;
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, blob.data() + body_size, 4);
+    if (crc32(blob.first(body_size)) != stored) {
+      return data_loss("VSF checksum mismatch: checkpoint corrupted");
+    }
+
+    ByteReader r(blob.first(body_size));
+    auto magic = r.u32();
+    if (!magic.is_ok()) return magic.status();
+    if (magic.value() != kMagic) return data_loss("bad VSF magic");
+    auto version = r.u16();
+    if (!version.is_ok()) return version.status();
+    if (version.value() != kFormatVersion) {
+      return unimplemented("unsupported VSF version " + std::to_string(version.value()));
+    }
+
+    auto model_name = r.str();
+    if (!model_name.is_ok()) return model_name.status();
+    Model model(std::move(model_name).value());
+
+    auto model_version = r.u64();
+    if (!model_version.is_ok()) return model_version.status();
+    model.set_version(model_version.value());
+    auto iteration = r.i64();
+    if (!iteration.is_ok()) return iteration.status();
+    model.set_iteration(iteration.value());
+    auto nominal = r.u64();
+    if (!nominal.is_ok()) return nominal.status();
+    model.set_nominal_bytes(nominal.value());
+
+    auto count = r.u32();
+    if (!count.is_ok()) return count.status();
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+      auto tensor_name = r.str();
+      if (!tensor_name.is_ok()) return tensor_name.status();
+      auto dtype_raw = r.u8();
+      if (!dtype_raw.is_ok()) return dtype_raw.status();
+      auto dtype = dtype_from_wire(dtype_raw.value());
+      if (!dtype.is_ok()) return dtype.status();
+      auto rank = r.u8();
+      if (!rank.is_ok()) return rank.status();
+      std::vector<std::int64_t> dims(rank.value());
+      for (auto& d : dims) {
+        auto dim = r.i64();
+        if (!dim.is_ok()) return dim.status();
+        d = dim.value();
+      }
+      auto byte_size = r.u64();
+      if (!byte_size.is_ok()) return byte_size.status();
+      auto payload = r.raw(byte_size.value());
+      if (!payload.is_ok()) return payload.status();
+      auto tensor = Tensor::from_bytes(dtype.value(), Shape(std::move(dims)),
+                                       std::move(payload).value());
+      if (!tensor.is_ok()) {
+        return data_loss("tensor payload inconsistent with shape: " +
+                         tensor.status().message());
+      }
+      VIPER_RETURN_IF_ERROR(
+          model.add_tensor(std::move(tensor_name).value(), std::move(tensor).value()));
+    }
+    if (!r.exhausted()) return data_loss("trailing bytes after last tensor");
+    return model;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CheckpointFormat> make_viper_format() {
+  return std::make_unique<ViperFormat>();
+}
+
+}  // namespace viper::serial

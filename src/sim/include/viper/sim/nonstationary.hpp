@@ -1,0 +1,58 @@
+// Non-stationary training: the continual-learning setting of paper §2,
+// where the input distribution shifts during the run (beamline scans a
+// new region, weather regime changes) and training loss jumps back up
+// before re-converging. A shift schedule overlays the base profile's
+// loss curve with restart events; schedules planned from the warm-up
+// curve alone cannot see these — which is exactly where the runtime
+// Checkpoint Frequency Adapter earns its keep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "viper/sim/trajectory.hpp"
+
+namespace viper::sim {
+
+struct DistributionShift {
+  std::int64_t at_iteration = 0;
+  /// Loss right after the shift = asymptote + amplitude (the model must
+  /// relearn); decay rate may change too (0 = keep the profile's rate).
+  double amplitude = 1.0;
+  double new_decay_rate = 0.0;
+};
+
+/// Trajectory with piecewise-exponential loss: each shift restarts the
+/// decay from its amplitude. Timing behaviour is inherited unchanged.
+class NonstationaryTrajectory {
+ public:
+  NonstationaryTrajectory(const AppProfile& profile,
+                          std::vector<DistributionShift> shifts,
+                          std::uint64_t seed = 0xC0FFEE);
+
+  /// Noise-free loss at iteration x, honoring every shift before x.
+  [[nodiscard]] double true_loss(std::int64_t x) const;
+
+  /// Observed (noisy) loss; deterministic per (seed, iteration).
+  [[nodiscard]] double observed_loss(std::int64_t x) const;
+
+  [[nodiscard]] const AppProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] const std::vector<DistributionShift>& shifts() const noexcept {
+    return shifts_;
+  }
+
+ private:
+  /// Segment active at iteration x: start iteration, amplitude, rate.
+  struct Segment {
+    std::int64_t start = 0;
+    double amplitude = 0.0;
+    double rate = 0.0;
+  };
+  [[nodiscard]] Segment segment_at(std::int64_t x) const;
+
+  AppProfile profile_;
+  std::vector<DistributionShift> shifts_;  // sorted by at_iteration
+  std::uint64_t seed_;
+};
+
+}  // namespace viper::sim

@@ -1,0 +1,42 @@
+// Loss-trajectory and timing generators: the "ground truth" a real
+// TensorFlow run would produce, which the training simulator replays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "viper/common/rng.hpp"
+#include "viper/sim/app_profile.hpp"
+
+namespace viper::sim {
+
+/// Generates the training-loss curve and per-iteration/request timings
+/// for an application. Deterministic given (profile, seed).
+class TrajectoryGenerator {
+ public:
+  TrajectoryGenerator(const AppProfile& profile, std::uint64_t seed = 0xC0FFEE);
+
+  /// Noise-free underlying loss at training iteration `x` (x >= 0).
+  [[nodiscard]] double true_loss(std::int64_t x) const noexcept;
+
+  /// Observed (noisy) loss at iteration `x`. Deterministic per iteration:
+  /// repeated calls for the same x return the same value.
+  [[nodiscard]] double observed_loss(std::int64_t x);
+
+  /// Sampled duration of one training iteration / inference request.
+  [[nodiscard]] double sample_train_time();
+  [[nodiscard]] double sample_infer_time();
+
+  /// Observed warm-up losses for iterations [0, n).
+  [[nodiscard]] std::vector<double> warmup_losses(std::int64_t n);
+
+  [[nodiscard]] const AppProfile& profile() const noexcept { return profile_; }
+
+ private:
+  AppProfile profile_;
+  std::uint64_t seed_;
+  Rng timing_rng_;
+  std::vector<double> loss_cache_;  // observed losses, indexed by iteration
+};
+
+}  // namespace viper::sim

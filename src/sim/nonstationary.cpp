@@ -1,0 +1,45 @@
+#include "viper/sim/nonstationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viper::sim {
+
+NonstationaryTrajectory::NonstationaryTrajectory(
+    const AppProfile& profile, std::vector<DistributionShift> shifts,
+    std::uint64_t seed)
+    : profile_(profile), shifts_(std::move(shifts)), seed_(seed) {
+  std::sort(shifts_.begin(), shifts_.end(),
+            [](const DistributionShift& a, const DistributionShift& b) {
+              return a.at_iteration < b.at_iteration;
+            });
+}
+
+NonstationaryTrajectory::Segment NonstationaryTrajectory::segment_at(
+    std::int64_t x) const {
+  Segment segment{0, profile_.curve.a, profile_.curve.b};
+  for (const DistributionShift& shift : shifts_) {
+    if (shift.at_iteration > x) break;
+    segment.start = shift.at_iteration;
+    segment.amplitude = shift.amplitude;
+    if (shift.new_decay_rate > 0) segment.rate = shift.new_decay_rate;
+  }
+  return segment;
+}
+
+double NonstationaryTrajectory::true_loss(std::int64_t x) const {
+  if (x < 0) x = 0;
+  const Segment segment = segment_at(x);
+  const double elapsed = static_cast<double>(x - segment.start);
+  return segment.amplitude * std::exp(-segment.rate * elapsed) +
+         profile_.curve.c;
+}
+
+double NonstationaryTrajectory::observed_loss(std::int64_t x) const {
+  if (x < 0) x = 0;
+  Rng iter_rng(seed_ * 0x100000001B3ULL + static_cast<std::uint64_t>(x));
+  const double noise = iter_rng.normal(0.0, profile_.curve.noise_stddev);
+  return std::max(true_loss(x) + noise, 1e-6);
+}
+
+}  // namespace viper::sim

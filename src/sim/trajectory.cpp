@@ -1,0 +1,65 @@
+#include "viper/sim/trajectory.hpp"
+
+#include <cmath>
+
+namespace viper::sim {
+
+TrajectoryGenerator::TrajectoryGenerator(const AppProfile& profile,
+                                         std::uint64_t seed)
+    : profile_(profile), seed_(seed), timing_rng_(seed ^ 0x9E3779B97F4A7C15ULL) {}
+
+double TrajectoryGenerator::true_loss(std::int64_t x) const noexcept {
+  const auto& c = profile_.curve;
+  const double xd = static_cast<double>(x < 0 ? 0 : x);
+  switch (c.family) {
+    case math::CurveFamily::kExp2:
+      return c.a * std::exp(-c.b * xd);
+    case math::CurveFamily::kExp3:
+      return c.a * std::exp(-c.b * xd) + c.c;
+    case math::CurveFamily::kLin2:
+      return std::max(c.a * xd + c.c, 0.0);
+    case math::CurveFamily::kExpd3:
+      return c.c - (c.c - c.a) * std::exp(-c.b * xd);
+  }
+  return c.c;
+}
+
+double TrajectoryGenerator::observed_loss(std::int64_t x) {
+  if (x < 0) x = 0;
+  const auto idx = static_cast<std::size_t>(x);
+  if (idx >= loss_cache_.size()) {
+    // Extend deterministically: per-iteration RNG derived from (seed, iter)
+    // so lookups are identical regardless of call order.
+    const std::size_t old = loss_cache_.size();
+    loss_cache_.resize(idx + 1);
+    for (std::size_t i = old; i <= idx; ++i) {
+      Rng iter_rng(seed_ * 0x100000001B3ULL + i);
+      const double noise =
+          iter_rng.normal(0.0, profile_.curve.noise_stddev);
+      loss_cache_[i] =
+          std::max(true_loss(static_cast<std::int64_t>(i)) + noise, 1e-6);
+    }
+  }
+  return loss_cache_[idx];
+}
+
+double TrajectoryGenerator::sample_train_time() {
+  return timing_rng_.clamped_normal(profile_.t_train_mean, profile_.t_train_stddev,
+                                    profile_.t_train_mean * 0.5,
+                                    profile_.t_train_mean * 1.5);
+}
+
+double TrajectoryGenerator::sample_infer_time() {
+  return timing_rng_.clamped_normal(profile_.t_infer_mean, profile_.t_infer_stddev,
+                                    profile_.t_infer_mean * 0.5,
+                                    profile_.t_infer_mean * 1.5);
+}
+
+std::vector<double> TrajectoryGenerator::warmup_losses(std::int64_t n) {
+  std::vector<double> losses;
+  losses.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t x = 0; x < n; ++x) losses.push_back(observed_loss(x));
+  return losses;
+}
+
+}  // namespace viper::sim

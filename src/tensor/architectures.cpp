@@ -1,0 +1,150 @@
+#include "viper/tensor/architectures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "viper/common/units.hpp"
+
+namespace viper {
+
+namespace {
+
+using viper::literals::operator""_MB;
+
+std::int64_t scaled(std::int64_t width, double scale) {
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                       std::llround(static_cast<double>(width) * scale)));
+}
+
+/// Appends conv1d weight+bias tensors: kernel [k, in, out], bias [out].
+Status add_conv1d(Model& model, int index, std::int64_t kernel, std::int64_t in,
+                  std::int64_t out, Rng& rng) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "conv1d_%d/kernel", index);
+  auto w = Tensor::random(DType::kF32, Shape{kernel, in, out}, rng);
+  if (!w.is_ok()) return w.status();
+  VIPER_RETURN_IF_ERROR(model.add_tensor(name, std::move(w).value()));
+  std::snprintf(name, sizeof(name), "conv1d_%d/bias", index);
+  auto b = Tensor::zeros(DType::kF32, Shape{out});
+  if (!b.is_ok()) return b.status();
+  return model.add_tensor(name, std::move(b).value());
+}
+
+/// Appends dense weight+bias tensors: kernel [in, out], bias [out].
+Status add_dense(Model& model, int index, std::int64_t in, std::int64_t out,
+                 Rng& rng) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "dense_%d/kernel", index);
+  auto w = Tensor::random(DType::kF32, Shape{in, out}, rng);
+  if (!w.is_ok()) return w.status();
+  VIPER_RETURN_IF_ERROR(model.add_tensor(name, std::move(w).value()));
+  std::snprintf(name, sizeof(name), "dense_%d/bias", index);
+  auto b = Tensor::zeros(DType::kF32, Shape{out});
+  if (!b.is_ok()) return b.status();
+  return model.add_tensor(name, std::move(b).value());
+}
+
+/// Appends conv2d weight+bias: kernel [kh, kw, in, out], bias [out].
+Status add_conv2d(Model& model, const char* prefix, int index, std::int64_t k,
+                  std::int64_t in, std::int64_t out, Rng& rng) {
+  char name[80];
+  std::snprintf(name, sizeof(name), "%s/conv2d_%d/kernel", prefix, index);
+  auto w = Tensor::random(DType::kF32, Shape{k, k, in, out}, rng);
+  if (!w.is_ok()) return w.status();
+  VIPER_RETURN_IF_ERROR(model.add_tensor(name, std::move(w).value()));
+  std::snprintf(name, sizeof(name), "%s/conv2d_%d/bias", prefix, index);
+  auto b = Tensor::zeros(DType::kF32, Shape{out});
+  if (!b.is_ok()) return b.status();
+  return model.add_tensor(name, std::move(b).value());
+}
+
+// CANDLE Pilot1 NT3/TC1 share a skeleton: 1D convs + pooling feeding wide
+// dense layers over a 60483-gene RNA-seq profile. The dense layers carry
+// nearly all parameters, which is what makes the checkpoints large.
+Result<Model> build_candle(std::string model_name, std::int64_t classes,
+                           std::int64_t dense_width, const ArchitectureOptions& opt) {
+  Rng rng(opt.seed);
+  Model model(std::move(model_name));
+  const double s = opt.width_scale;
+
+  const std::int64_t features = scaled(60483, s);
+  const std::int64_t conv1 = scaled(128, std::sqrt(s));
+  const std::int64_t conv2 = scaled(128, std::sqrt(s));
+  const std::int64_t dense = scaled(dense_width, s);
+
+  VIPER_RETURN_IF_ERROR(add_conv1d(model, 0, 20, 1, conv1, rng));
+  VIPER_RETURN_IF_ERROR(add_conv1d(model, 1, 10, conv1, conv2, rng));
+  // After two stride-1 pools of size 10, flattened width ~ features/100 × conv2.
+  const std::int64_t flattened = std::max<std::int64_t>(1, features / 100) * conv2;
+  VIPER_RETURN_IF_ERROR(add_dense(model, 0, flattened, dense, rng));
+  VIPER_RETURN_IF_ERROR(add_dense(model, 1, dense, scaled(20, std::sqrt(s)), rng));
+  VIPER_RETURN_IF_ERROR(add_dense(model, 2, scaled(20, std::sqrt(s)), classes, rng));
+  return model;
+}
+
+// PtychoNN: conv2d encoder + two deconv-style decoders (amplitude, phase).
+Result<Model> build_ptychonn(const ArchitectureOptions& opt) {
+  Rng rng(opt.seed);
+  Model model("ptychonn");
+  const double s = std::sqrt(opt.width_scale);
+
+  const std::int64_t c1 = scaled(64, s), c2 = scaled(128, s), c3 = scaled(256, s);
+  // Encoder.
+  VIPER_RETURN_IF_ERROR(add_conv2d(model, "encoder", 0, 3, 1, c1, rng));
+  VIPER_RETURN_IF_ERROR(add_conv2d(model, "encoder", 1, 3, c1, c2, rng));
+  VIPER_RETURN_IF_ERROR(add_conv2d(model, "encoder", 2, 3, c2, c3, rng));
+  // Two symmetric decoders.
+  for (const char* dec : {"decoder_amplitude", "decoder_phase"}) {
+    VIPER_RETURN_IF_ERROR(add_conv2d(model, dec, 0, 3, c3, c2, rng));
+    VIPER_RETURN_IF_ERROR(add_conv2d(model, dec, 1, 3, c2, c1, rng));
+    VIPER_RETURN_IF_ERROR(add_conv2d(model, dec, 2, 3, c1, 1, rng));
+  }
+  return model;
+}
+
+}  // namespace
+
+std::string_view to_string(AppModel app) noexcept {
+  switch (app) {
+    case AppModel::kNt3A: return "NT3.A";
+    case AppModel::kNt3B: return "NT3.B";
+    case AppModel::kTc1: return "TC1";
+    case AppModel::kPtychoNN: return "PtychoNN";
+  }
+  return "?";
+}
+
+std::uint64_t nominal_model_bytes(AppModel app) noexcept {
+  switch (app) {
+    case AppModel::kNt3A: return 600_MB;
+    case AppModel::kNt3B: return 1700_MB;
+    case AppModel::kTc1: return 4700_MB;
+    case AppModel::kPtychoNN: return 4500_MB;
+  }
+  return 0;
+}
+
+Result<Model> build_app_model(AppModel app, const ArchitectureOptions& options) {
+  Result<Model> built = [&]() -> Result<Model> {
+    switch (app) {
+      case AppModel::kNt3A:
+        return build_candle("nt3a", 2, 200, options);
+      case AppModel::kNt3B: {
+        ArchitectureOptions wider = options;
+        return build_candle("nt3b", 2, 560, wider);
+      }
+      case AppModel::kTc1:
+        return build_candle("tc1", 18, 1520, options);
+      case AppModel::kPtychoNN:
+        return build_ptychonn(options);
+    }
+    return invalid_argument("unknown app model");
+  }();
+  if (built.is_ok() && options.set_nominal_size) {
+    built.value().set_nominal_bytes(nominal_model_bytes(app));
+  }
+  return built;
+}
+
+}  // namespace viper

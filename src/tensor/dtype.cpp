@@ -1,0 +1,48 @@
+#include "viper/tensor/dtype.hpp"
+
+#include <string>
+
+namespace viper {
+
+std::size_t dtype_size(DType dtype) noexcept {
+  switch (dtype) {
+    case DType::kF32: return 4;
+    case DType::kF64: return 8;
+    case DType::kF16: return 2;
+    case DType::kI32: return 4;
+    case DType::kI64: return 8;
+    case DType::kU8: return 1;
+  }
+  return 0;
+}
+
+std::string_view to_string(DType dtype) noexcept {
+  switch (dtype) {
+    case DType::kF32: return "f32";
+    case DType::kF64: return "f64";
+    case DType::kF16: return "f16";
+    case DType::kI32: return "i32";
+    case DType::kI64: return "i64";
+    case DType::kU8: return "u8";
+  }
+  return "?";
+}
+
+Result<DType> dtype_from_string(std::string_view name) {
+  if (name == "f32") return DType::kF32;
+  if (name == "f64") return DType::kF64;
+  if (name == "f16") return DType::kF16;
+  if (name == "i32") return DType::kI32;
+  if (name == "i64") return DType::kI64;
+  if (name == "u8") return DType::kU8;
+  return invalid_argument("unknown dtype name: " + std::string(name));
+}
+
+Result<DType> dtype_from_wire(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(DType::kU8)) {
+    return data_loss("invalid dtype byte on wire: " + std::to_string(raw));
+  }
+  return static_cast<DType>(raw);
+}
+
+}  // namespace viper

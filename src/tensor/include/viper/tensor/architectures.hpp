@@ -1,0 +1,37 @@
+// Builders for the three applications the paper evaluates (§5.2):
+// CANDLE-NT3 (A/B variants), CANDLE-TC1, and PtychoNN. Each builder
+// produces a Model with a realistic layer structure whose tensors are
+// scaled down by `width_scale` so tests stay fast, while nominal_bytes
+// carries the paper-reported checkpoint size for cost accounting.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "viper/common/rng.hpp"
+#include "viper/common/status.hpp"
+#include "viper/tensor/model.hpp"
+
+namespace viper {
+
+enum class AppModel { kNt3A, kNt3B, kTc1, kPtychoNN };
+
+std::string_view to_string(AppModel app) noexcept;
+
+/// Paper-reported serialized checkpoint size of each model.
+std::uint64_t nominal_model_bytes(AppModel app) noexcept;
+
+struct ArchitectureOptions {
+  /// Multiplier on layer widths in (0, 1]. 1.0 builds full-size tensors;
+  /// the default keeps models at a few hundred KB for tests.
+  double width_scale = 1.0 / 16.0;
+  /// Seed for weight initialization.
+  std::uint64_t seed = 42;
+  /// When true, Model::nominal_bytes is set to the paper size.
+  bool set_nominal_size = true;
+};
+
+/// Build an initialized model of the given application architecture.
+Result<Model> build_app_model(AppModel app, const ArchitectureOptions& options = {});
+
+}  // namespace viper

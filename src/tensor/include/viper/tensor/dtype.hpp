@@ -1,0 +1,33 @@
+// Element types supported by Viper tensors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "viper/common/status.hpp"
+
+namespace viper {
+
+enum class DType : std::uint8_t {
+  kF32 = 0,
+  kF64 = 1,
+  kF16 = 2,  ///< IEEE half, stored as raw uint16 payload.
+  kI32 = 3,
+  kI64 = 4,
+  kU8 = 5,
+};
+
+/// Size in bytes of one element.
+std::size_t dtype_size(DType dtype) noexcept;
+
+/// "f32", "i64", ... — stable wire names used by the serializers.
+std::string_view to_string(DType dtype) noexcept;
+
+/// Parse a wire name back to a DType.
+Result<DType> dtype_from_string(std::string_view name);
+
+/// Validates the raw enum value read off the wire.
+Result<DType> dtype_from_wire(std::uint8_t raw);
+
+}  // namespace viper

@@ -1,0 +1,80 @@
+// A named, versioned collection of weight tensors — the unit that Viper
+// checkpoints, transfers, and swaps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/tensor/tensor.hpp"
+
+namespace viper {
+
+/// DNN model state: ordered (name → tensor). Iteration order is the
+/// serialization order, so it is deterministic (lexicographic by name).
+class Model {
+ public:
+  Model() = default;
+  explicit Model(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Monotonically increasing checkpoint version; 0 = untrained.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  void set_version(std::uint64_t v) noexcept { version_ = v; }
+
+  /// Iteration the weights were captured at (producer-side bookkeeping).
+  [[nodiscard]] std::int64_t iteration() const noexcept { return iteration_; }
+  void set_iteration(std::int64_t iter) noexcept { iteration_ = iter; }
+
+  /// Paper-scale size used for transfer-cost accounting when the in-memory
+  /// tensors are scaled down. 0 means "use the actual payload size".
+  [[nodiscard]] std::uint64_t nominal_bytes() const noexcept { return nominal_bytes_; }
+  void set_nominal_bytes(std::uint64_t bytes) noexcept { nominal_bytes_ = bytes; }
+
+  /// Adds a tensor. Fails on duplicate names.
+  Status add_tensor(std::string tensor_name, Tensor tensor);
+
+  /// Replaces an existing tensor's contents (shape/dtype must match).
+  Status update_tensor(const std::string& tensor_name, Tensor tensor);
+
+  [[nodiscard]] bool has_tensor(const std::string& tensor_name) const;
+  [[nodiscard]] Result<const Tensor*> tensor(const std::string& tensor_name) const;
+  [[nodiscard]] Result<Tensor*> mutable_tensor(const std::string& tensor_name);
+
+  [[nodiscard]] const std::map<std::string, Tensor>& tensors() const noexcept {
+    return tensors_;
+  }
+  [[nodiscard]] std::map<std::string, Tensor>& mutable_tensors() noexcept {
+    return tensors_;
+  }
+
+  [[nodiscard]] std::size_t num_tensors() const noexcept { return tensors_.size(); }
+  [[nodiscard]] std::int64_t num_parameters() const noexcept;
+
+  /// Actual in-memory payload size (sum of tensor byte sizes).
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept;
+
+  /// Size used for cost accounting: nominal if set, else payload.
+  [[nodiscard]] std::uint64_t cost_bytes() const noexcept {
+    return nominal_bytes_ ? nominal_bytes_ : payload_bytes();
+  }
+
+  /// Simulate one training step: perturb every float tensor.
+  void perturb_weights(Rng& rng, double magnitude);
+
+  /// Structural + content equality (version/iteration excluded).
+  [[nodiscard]] bool same_weights(const Model& other) const noexcept;
+
+ private:
+  std::string name_;
+  std::uint64_t version_ = 0;
+  std::int64_t iteration_ = -1;
+  std::uint64_t nominal_bytes_ = 0;
+  std::map<std::string, Tensor> tensors_;
+};
+
+}  // namespace viper

@@ -1,0 +1,97 @@
+// Owning n-dimensional dense tensor. Deliberately minimal: Viper moves
+// and stores weights, it does not do math on them — so no strides, views,
+// or broadcasting, just a typed contiguous buffer with a shape.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "viper/common/rng.hpp"
+#include "viper/common/status.hpp"
+#include "viper/tensor/dtype.hpp"
+
+namespace viper {
+
+/// Dense row-major shape; rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] std::size_t rank() const noexcept { return dims_.size(); }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const { return dims_.at(i); }
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const noexcept { return dims_; }
+
+  /// Product of dimensions (1 for scalars). 0 if any dimension is 0.
+  [[nodiscard]] std::int64_t num_elements() const noexcept;
+
+  /// All dimensions non-negative.
+  [[nodiscard]] bool valid() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;  ///< e.g. "[128, 20, 1]"
+
+  friend bool operator==(const Shape& a, const Shape& b) noexcept {
+    return a.dims_ == b.dims_;
+  }
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+/// Contiguous typed buffer. Copyable (deep) and movable (cheap).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized buffer of shape × dtype.
+  static Result<Tensor> zeros(DType dtype, Shape shape);
+
+  /// Allocates and fills with uniform noise in [-bound, bound] (float types).
+  static Result<Tensor> random(DType dtype, Shape shape, Rng& rng,
+                               double bound = 0.1);
+
+  /// Adopts an existing byte buffer; size must match shape × dtype.
+  static Result<Tensor> from_bytes(DType dtype, Shape shape,
+                                   std::vector<std::byte> bytes);
+
+  [[nodiscard]] DType dtype() const noexcept { return dtype_; }
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t num_elements() const noexcept {
+    return shape_.num_elements();
+  }
+  [[nodiscard]] std::size_t byte_size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return data_; }
+  [[nodiscard]] std::span<std::byte> mutable_bytes() noexcept { return data_; }
+
+  /// Typed access; T must match dtype (checked in debug builds only).
+  template <typename T>
+  [[nodiscard]] std::span<const T> data() const noexcept {
+    return {reinterpret_cast<const T*>(data_.data()), data_.size() / sizeof(T)};
+  }
+  template <typename T>
+  [[nodiscard]] std::span<T> mutable_data() noexcept {
+    return {reinterpret_cast<T*>(data_.data()), data_.size() / sizeof(T)};
+  }
+
+  /// In-place perturbation of float tensors — simulates a training step's
+  /// weight delta so consecutive checkpoints genuinely differ.
+  void perturb(Rng& rng, double magnitude);
+
+  /// Exact content equality (dtype, shape, bytes).
+  [[nodiscard]] bool equals(const Tensor& other) const noexcept;
+
+ private:
+  Tensor(DType dtype, Shape shape, std::vector<std::byte> data)
+      : dtype_(dtype), shape_(std::move(shape)), data_(std::move(data)) {}
+
+  DType dtype_ = DType::kF32;
+  Shape shape_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace viper

@@ -1,0 +1,64 @@
+#include "viper/tensor/model.hpp"
+
+namespace viper {
+
+Status Model::add_tensor(std::string tensor_name, Tensor tensor) {
+  auto [it, inserted] = tensors_.emplace(std::move(tensor_name), std::move(tensor));
+  if (!inserted) return already_exists("tensor already in model: " + it->first);
+  return Status::ok();
+}
+
+Status Model::update_tensor(const std::string& tensor_name, Tensor tensor) {
+  auto it = tensors_.find(tensor_name);
+  if (it == tensors_.end()) return not_found("no tensor named " + tensor_name);
+  if (!(it->second.shape() == tensor.shape()) ||
+      it->second.dtype() != tensor.dtype()) {
+    return invalid_argument("shape/dtype mismatch updating tensor " + tensor_name);
+  }
+  it->second = std::move(tensor);
+  return Status::ok();
+}
+
+bool Model::has_tensor(const std::string& tensor_name) const {
+  return tensors_.contains(tensor_name);
+}
+
+Result<const Tensor*> Model::tensor(const std::string& tensor_name) const {
+  auto it = tensors_.find(tensor_name);
+  if (it == tensors_.end()) return not_found("no tensor named " + tensor_name);
+  return &it->second;
+}
+
+Result<Tensor*> Model::mutable_tensor(const std::string& tensor_name) {
+  auto it = tensors_.find(tensor_name);
+  if (it == tensors_.end()) return not_found("no tensor named " + tensor_name);
+  return &it->second;
+}
+
+std::int64_t Model::num_parameters() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& [_, t] : tensors_) n += t.num_elements();
+  return n;
+}
+
+std::uint64_t Model::payload_bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [_, t] : tensors_) n += t.byte_size();
+  return n;
+}
+
+void Model::perturb_weights(Rng& rng, double magnitude) {
+  for (auto& [_, t] : tensors_) t.perturb(rng, magnitude);
+}
+
+bool Model::same_weights(const Model& other) const noexcept {
+  if (tensors_.size() != other.tensors_.size()) return false;
+  auto a = tensors_.begin();
+  auto b = other.tensors_.begin();
+  for (; a != tensors_.end(); ++a, ++b) {
+    if (a->first != b->first || !a->second.equals(b->second)) return false;
+  }
+  return true;
+}
+
+}  // namespace viper

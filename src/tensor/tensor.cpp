@@ -1,0 +1,93 @@
+#include "viper/tensor/tensor.hpp"
+
+#include <cstring>
+
+namespace viper {
+
+std::int64_t Shape::num_elements() const noexcept {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims_) n *= d;
+  return n;
+}
+
+bool Shape::valid() const noexcept {
+  for (std::int64_t d : dims_) {
+    if (d < 0) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Result<Tensor> Tensor::zeros(DType dtype, Shape shape) {
+  if (!shape.valid()) return invalid_argument("negative dimension in shape");
+  const auto bytes =
+      static_cast<std::size_t>(shape.num_elements()) * dtype_size(dtype);
+  return Tensor(dtype, std::move(shape), std::vector<std::byte>(bytes));
+}
+
+Result<Tensor> Tensor::random(DType dtype, Shape shape, Rng& rng, double bound) {
+  auto tensor = zeros(dtype, std::move(shape));
+  if (!tensor.is_ok()) return tensor;
+  Tensor& t = tensor.value();
+  switch (dtype) {
+    case DType::kF32:
+      for (float& v : t.mutable_data<float>()) {
+        v = static_cast<float>(rng.uniform(-bound, bound));
+      }
+      break;
+    case DType::kF64:
+      for (double& v : t.mutable_data<double>()) v = rng.uniform(-bound, bound);
+      break;
+    default:
+      // Integer / raw types: fill with uniform bytes.
+      for (std::byte& b : t.mutable_bytes()) {
+        b = static_cast<std::byte>(rng.uniform_int(0, 255));
+      }
+  }
+  return tensor;
+}
+
+Result<Tensor> Tensor::from_bytes(DType dtype, Shape shape,
+                                  std::vector<std::byte> bytes) {
+  if (!shape.valid()) return invalid_argument("negative dimension in shape");
+  const auto expected =
+      static_cast<std::size_t>(shape.num_elements()) * dtype_size(dtype);
+  if (bytes.size() != expected) {
+    return invalid_argument("byte buffer size " + std::to_string(bytes.size()) +
+                            " does not match shape requiring " +
+                            std::to_string(expected));
+  }
+  return Tensor(dtype, std::move(shape), std::move(bytes));
+}
+
+void Tensor::perturb(Rng& rng, double magnitude) {
+  switch (dtype_) {
+    case DType::kF32:
+      for (float& v : mutable_data<float>()) {
+        v += static_cast<float>(rng.uniform(-magnitude, magnitude));
+      }
+      break;
+    case DType::kF64:
+      for (double& v : mutable_data<double>()) v += rng.uniform(-magnitude, magnitude);
+      break;
+    default:
+      break;  // Non-float tensors are left untouched.
+  }
+}
+
+bool Tensor::equals(const Tensor& other) const noexcept {
+  return dtype_ == other.dtype_ && shape_ == other.shape_ &&
+         data_.size() == other.data_.size() &&
+         std::memcmp(data_.data(), other.data_.data(), data_.size()) == 0;
+}
+
+}  // namespace viper

@@ -1,0 +1,52 @@
+// Consumer-side inference-serving simulator. Requests arrive continually
+// (fixed rate, §3); each is served by whatever model version is active and
+// contributes that version's loss to the Cumulative Inference Loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "viper/sim/trajectory.hpp"
+
+namespace viper::train {
+
+struct ServedRequest {
+  std::int64_t request_id = 0;
+  double completed_at = 0.0;       ///< seconds since serving start
+  double loss = 0.0;               ///< inference loss of the serving model
+  std::uint64_t model_version = 0; ///< checkpoint version that served it
+};
+
+class InferenceServerSim {
+ public:
+  explicit InferenceServerSim(const sim::AppProfile& profile,
+                              std::uint64_t seed = 0xFACE);
+
+  /// Install a new model: requests after `now` use `loss` (the training
+  /// loss at the checkpointed iteration, per the paper's assumption 2).
+  void install_model(std::uint64_t version, double loss);
+
+  /// Serve one request; advances internal time by a sampled t_infer.
+  ServedRequest serve();
+
+  [[nodiscard]] std::int64_t served() const noexcept { return served_; }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] double cumulative_loss() const noexcept { return cil_; }
+  [[nodiscard]] std::uint64_t active_version() const noexcept { return version_; }
+  [[nodiscard]] double active_loss() const noexcept { return loss_; }
+
+  [[nodiscard]] const sim::AppProfile& profile() const noexcept {
+    return generator_.profile();
+  }
+  [[nodiscard]] sim::TrajectoryGenerator& generator() noexcept { return generator_; }
+
+ private:
+  sim::TrajectoryGenerator generator_;
+  std::int64_t served_ = 0;
+  double now_ = 0.0;
+  double cil_ = 0.0;
+  std::uint64_t version_ = 0;
+  double loss_ = 0.0;
+};
+
+}  // namespace viper::train

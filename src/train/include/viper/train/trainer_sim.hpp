@@ -1,0 +1,81 @@
+// Producer-side training simulator. Stands in for the TensorFlow
+// model.fit() loop: each step advances the loss along the application's
+// trajectory, costs t_train seconds, and (optionally) perturbs the real
+// scaled-down weight tensors so that consecutive checkpoints differ.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "viper/common/rng.hpp"
+#include "viper/sim/trajectory.hpp"
+#include "viper/tensor/model.hpp"
+
+namespace viper::train {
+
+struct StepResult {
+  std::int64_t iteration = 0;  ///< 0-based id of the completed iteration.
+  double loss = 0.0;           ///< observed training loss after the step
+  double seconds = 0.0;        ///< compute time of the step
+};
+
+/// Per-iteration training callback — Viper's CheckpointCallback plugs in
+/// here exactly like a Keras callback list entry.
+using IterationCallback = std::function<void(const StepResult&)>;
+
+class TrainerSim {
+ public:
+  struct Options {
+    std::uint64_t seed = 0xC0FFEE;
+    bool evolve_weights = true;       ///< perturb tensors on each step
+    double perturb_magnitude = 1e-3;
+  };
+
+  TrainerSim(const sim::AppProfile& profile, Model model, Options options);
+  TrainerSim(const sim::AppProfile& profile, Model model)
+      : TrainerSim(profile, std::move(model), Options{}) {}
+
+  /// Run one training iteration; invokes callbacks after the step.
+  StepResult step();
+
+  /// Run `n` iterations (e.g. one epoch = profile().iters_per_epoch).
+  void run(std::int64_t n);
+
+  /// Account a training stall (checkpoint capture blocking the GPU).
+  void record_stall(double seconds) noexcept;
+
+  void add_callback(IterationCallback cb) { callbacks_.push_back(std::move(cb)); }
+
+  [[nodiscard]] std::int64_t iteration() const noexcept { return iteration_; }
+  [[nodiscard]] double train_seconds() const noexcept { return train_seconds_; }
+  [[nodiscard]] double stall_seconds() const noexcept { return stall_seconds_; }
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return train_seconds_ + stall_seconds_;
+  }
+  [[nodiscard]] double last_loss() const noexcept { return last_loss_; }
+
+  [[nodiscard]] const Model& model() const noexcept { return model_; }
+  [[nodiscard]] Model& mutable_model() noexcept { return model_; }
+  [[nodiscard]] const sim::AppProfile& profile() const noexcept {
+    return generator_.profile();
+  }
+  [[nodiscard]] sim::TrajectoryGenerator& generator() noexcept { return generator_; }
+
+  /// Snapshot the current weights as a checkpoint (stamps version+iteration).
+  [[nodiscard]] Model snapshot();
+
+ private:
+  sim::TrajectoryGenerator generator_;
+  Model model_;
+  Options options_;
+  Rng weight_rng_;
+  std::vector<IterationCallback> callbacks_;
+  std::int64_t iteration_ = 0;
+  std::uint64_t next_version_ = 1;
+  double train_seconds_ = 0.0;
+  double stall_seconds_ = 0.0;
+  double last_loss_ = 0.0;
+};
+
+}  // namespace viper::train

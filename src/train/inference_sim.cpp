@@ -1,0 +1,30 @@
+#include "viper/train/inference_sim.hpp"
+
+namespace viper::train {
+
+InferenceServerSim::InferenceServerSim(const sim::AppProfile& profile,
+                                       std::uint64_t seed)
+    : generator_(profile, seed) {
+  // Until a model is installed, requests are served by the warm-up
+  // checkpoint (loss at iteration 0 of the fine-tuning window).
+  loss_ = generator_.true_loss(0);
+}
+
+void InferenceServerSim::install_model(std::uint64_t version, double loss) {
+  version_ = version;
+  loss_ = loss;
+}
+
+ServedRequest InferenceServerSim::serve() {
+  ServedRequest req;
+  req.request_id = served_;
+  now_ += generator_.sample_infer_time();
+  req.completed_at = now_;
+  req.loss = loss_;
+  req.model_version = version_;
+  cil_ += loss_;
+  ++served_;
+  return req;
+}
+
+}  // namespace viper::train

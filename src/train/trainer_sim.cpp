@@ -1,0 +1,48 @@
+#include "viper/train/trainer_sim.hpp"
+
+namespace viper::train {
+
+TrainerSim::TrainerSim(const sim::AppProfile& profile, Model model,
+                       Options options)
+    : generator_(profile, options.seed),
+      model_(std::move(model)),
+      options_(options),
+      weight_rng_(options.seed ^ 0xDEADBEEFULL) {
+  last_loss_ = generator_.observed_loss(0);
+}
+
+StepResult TrainerSim::step() {
+  StepResult result;
+  result.iteration = iteration_;
+  result.loss = generator_.observed_loss(iteration_);
+  result.seconds = generator_.sample_train_time();
+
+  if (options_.evolve_weights) {
+    model_.perturb_weights(weight_rng_, options_.perturb_magnitude);
+  }
+  model_.set_iteration(iteration_);
+
+  train_seconds_ += result.seconds;
+  last_loss_ = result.loss;
+  ++iteration_;
+
+  for (const auto& cb : callbacks_) cb(result);
+  return result;
+}
+
+void TrainerSim::run(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) step();
+}
+
+void TrainerSim::record_stall(double seconds) noexcept {
+  if (seconds > 0) stall_seconds_ += seconds;
+}
+
+Model TrainerSim::snapshot() {
+  Model copy = model_;
+  copy.set_version(next_version_++);
+  copy.set_iteration(iteration_ > 0 ? iteration_ - 1 : 0);
+  return copy;
+}
+
+}  // namespace viper::train

@@ -1,0 +1,244 @@
+// Tests for the CIL predictor (Eq. 2 / Algorithm 1) and the three
+// schedule algorithms, including a brute-force optimality property for
+// Algorithm 2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "viper/core/cilp.hpp"
+#include "viper/core/scheduler.hpp"
+
+namespace viper::core {
+namespace {
+
+LossFn exp_decay(double a, double b, double c) {
+  return [=](double x) { return a * std::exp(-b * x) + c; };
+}
+
+UpdateTiming simple_timing() {
+  return {.t_train = 1.0, .t_infer = 0.5, .t_p = 2.0, .t_c = 3.0};
+}
+
+TEST(CilPredictor, Algorithm1FirstUpdateIncludesConsumerLoad) {
+  CilPredictor cilp(simple_timing(), exp_decay(1, 0.01, 0));
+  // interval 10: window = 10·1 + 2 (+3 for version 1) seconds.
+  const auto first = cilp.interval_loss(10, 2.0, 1, 1000);
+  EXPECT_EQ(first.inferences, static_cast<std::int64_t>((10 + 2 + 3) / 0.5));
+  EXPECT_DOUBLE_EQ(first.accumulated_loss, 2.0 * 30);
+  const auto later = cilp.interval_loss(10, 2.0, 2, 1000);
+  EXPECT_EQ(later.inferences, static_cast<std::int64_t>((10 + 2) / 0.5));
+}
+
+TEST(CilPredictor, Algorithm1CapsAtRemaining) {
+  CilPredictor cilp(simple_timing(), exp_decay(1, 0.01, 0));
+  const auto chunk = cilp.interval_loss(10, 1.0, 2, 5);
+  EXPECT_EQ(chunk.inferences, 5);
+  EXPECT_DOUBLE_EQ(chunk.accumulated_loss, 5.0);
+}
+
+TEST(CilPredictor, Algorithm1DegenerateInputs) {
+  CilPredictor cilp(simple_timing(), exp_decay(1, 0.01, 0));
+  EXPECT_EQ(cilp.interval_loss(0, 1.0, 1, 10).inferences, 0);
+  EXPECT_EQ(cilp.interval_loss(10, 1.0, 1, 0).inferences, 0);
+  EXPECT_EQ(cilp.interval_loss(10, 1.0, 1, -3).inferences, 0);
+}
+
+TEST(CilPredictor, CilForIntervalExhaustsAllInferences) {
+  // Total loss must charge every one of the M requests exactly once.
+  CilPredictor constant(simple_timing(), [](double) { return 1.0; });
+  for (std::int64_t interval : {1, 3, 7, 50, 500}) {
+    EXPECT_DOUBLE_EQ(constant.cil_for_interval(interval, 0, 100, 200), 200.0)
+        << "interval " << interval;
+  }
+}
+
+TEST(CilPredictor, FrequentUpdatesLowerCilWhenStallIsFree) {
+  UpdateTiming timing{.t_train = 1.0, .t_infer = 0.5, .t_p = 0.0, .t_c = 0.0};
+  CilPredictor cilp(timing, exp_decay(2, 0.05, 0.1));
+  const double frequent = cilp.cil_for_interval(1, 0, 100, 150);
+  const double rare = cilp.cil_for_interval(50, 0, 100, 150);
+  EXPECT_LT(frequent, rare);
+}
+
+TEST(CilPredictor, ExpensiveStallPenalizesFrequentUpdates) {
+  // With a huge stall, interval 1 must no longer be optimal: the producer
+  // spends all its time checkpointing and barely trains.
+  UpdateTiming timing{.t_train = 0.1, .t_infer = 0.05, .t_p = 10.0, .t_c = 0.0};
+  CilPredictor cilp(timing, exp_decay(2, 0.01, 0.1));
+  ScheduleWindow window{.s_iter = 0, .e_iter = 200, .total_inferences = 2000};
+  auto schedule = fixed_interval_schedule(window, cilp);
+  ASSERT_TRUE(schedule.is_ok());
+  EXPECT_GT(schedule.value().interval, 1);
+}
+
+TEST(CilPredictor, AccLossMatchesIterativeFormRoughly) {
+  // Eq. 2's closed form and the Algorithm 2 inner loop model the same
+  // process; on a generous window they must agree to a few percent.
+  UpdateTiming timing{.t_train = 1.0, .t_infer = 0.25, .t_p = 1.0, .t_c = 2.0};
+  CilPredictor cilp(timing, exp_decay(3, 0.02, 0.2));
+  const std::int64_t interval = 10;
+  const double t_max = 220.0;  // exactly 20 periods of 11 s
+  const auto total_inferences = static_cast<std::int64_t>(t_max / timing.t_infer);
+  const double closed = cilp.acc_loss(interval, t_max);
+  const double iterative = cilp.cil_for_interval(
+      interval, 0, static_cast<std::int64_t>(t_max / timing.t_train),
+      total_inferences);
+  EXPECT_NEAR(closed, iterative, 0.1 * closed);
+}
+
+// ---- Algorithm 2 -------------------------------------------------------
+
+TEST(FixedInterval, RejectsEmptyWindow) {
+  CilPredictor cilp(simple_timing(), exp_decay(1, 0.01, 0));
+  EXPECT_FALSE(
+      fixed_interval_schedule({.s_iter = 10, .e_iter = 10, .total_inferences = 5},
+                              cilp)
+          .is_ok());
+  EXPECT_FALSE(
+      fixed_interval_schedule({.s_iter = 0, .e_iter = 10, .total_inferences = 0},
+                              cilp)
+          .is_ok());
+}
+
+TEST(FixedInterval, MatchesBruteForceMinimum) {
+  // Property: Algorithm 2's pick must equal an exhaustive argmin.
+  UpdateTiming timing{.t_train = 0.7, .t_infer = 0.2, .t_p = 1.3, .t_c = 0.9};
+  CilPredictor cilp(timing, exp_decay(2.2, 0.03, 0.15));
+  ScheduleWindow window{.s_iter = 20, .e_iter = 180, .total_inferences = 700};
+
+  auto schedule = fixed_interval_schedule(window, cilp);
+  ASSERT_TRUE(schedule.is_ok());
+
+  double best = std::numeric_limits<double>::infinity();
+  std::int64_t best_interval = 0;
+  for (std::int64_t i = 1; i <= window.e_iter - window.s_iter; ++i) {
+    const double cil = cilp.cil_for_interval(i, window.s_iter, window.e_iter,
+                                             window.total_inferences);
+    if (cil < best) {
+      best = cil;
+      best_interval = i;
+    }
+  }
+  EXPECT_EQ(schedule.value().interval, best_interval);
+  EXPECT_DOUBLE_EQ(schedule.value().predicted_cil, best);
+}
+
+TEST(FixedInterval, ScheduleIterationsAreRegularAndInWindow) {
+  CilPredictor cilp(simple_timing(), exp_decay(1.5, 0.02, 0.1));
+  ScheduleWindow window{.s_iter = 100, .e_iter = 400, .total_inferences = 900};
+  auto schedule = fixed_interval_schedule(window, cilp).value();
+  ASSERT_FALSE(schedule.iterations.empty());
+  std::int64_t prev = window.s_iter;
+  for (std::int64_t it : schedule.iterations) {
+    EXPECT_EQ(it - prev, schedule.interval);
+    EXPECT_GT(it, window.s_iter);
+    EXPECT_LE(it, window.e_iter);
+    prev = it;
+  }
+}
+
+// ---- Algorithm 3 -------------------------------------------------------
+
+TEST(Greedy, ThresholdFromWarmupIsMeanPlusStd) {
+  const std::vector<double> losses{1.0, 0.9, 0.85, 0.7};  // |deltas| .1 .05 .15
+  const double mean = 0.1;
+  const double sd = std::sqrt(((0.0) + 0.0025 + 0.0025) / 2.0);
+  EXPECT_NEAR(greedy_threshold_from_warmup(losses), mean + sd, 1e-12);
+  EXPECT_DOUBLE_EQ(greedy_threshold_from_warmup(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Greedy, ChecksPointOnlyOnSufficientImprovement) {
+  CilPredictor cilp(simple_timing(), exp_decay(2, 0.05, 0.1));
+  ScheduleWindow window{.s_iter = 0, .e_iter = 300, .total_inferences = 600};
+  auto schedule = greedy_schedule(window, cilp, 0.2);
+  ASSERT_TRUE(schedule.is_ok());
+  const auto& iters = schedule.value().iterations;
+  ASSERT_FALSE(iters.empty());
+  // Every consecutive pair of checkpoints improves by > threshold.
+  double prev_loss = cilp.loss_at(0);
+  for (std::int64_t it : iters) {
+    const double loss = cilp.loss_at(static_cast<double>(it));
+    EXPECT_GT(prev_loss - loss, 0.2);
+    prev_loss = loss;
+  }
+}
+
+TEST(Greedy, IntervalsWidenAsTrainingConverges) {
+  // Exponential decay slows, so gaps between checkpoints must grow.
+  CilPredictor cilp(simple_timing(), exp_decay(2, 0.01, 0.05));
+  ScheduleWindow window{.s_iter = 0, .e_iter = 600, .total_inferences = 2000};
+  auto schedule = greedy_schedule(window, cilp, 0.1).value();
+  ASSERT_GE(schedule.iterations.size(), 3u);
+  std::int64_t first_gap = schedule.iterations[1] - schedule.iterations[0];
+  std::int64_t last_gap =
+      schedule.iterations.back() - schedule.iterations[schedule.iterations.size() - 2];
+  EXPECT_GT(last_gap, first_gap);
+}
+
+TEST(Greedy, HugeThresholdYieldsNoCheckpoints) {
+  CilPredictor cilp(simple_timing(), exp_decay(1, 0.01, 0));
+  ScheduleWindow window{.s_iter = 0, .e_iter = 100, .total_inferences = 100};
+  auto schedule = greedy_schedule(window, cilp, 1e9).value();
+  EXPECT_TRUE(schedule.iterations.empty());
+  // With no updates, every request is served by the warm-up model.
+  EXPECT_DOUBLE_EQ(schedule.predicted_cil, cilp.loss_at(0) * 100);
+}
+
+TEST(Greedy, RejectsBadInputs) {
+  CilPredictor cilp(simple_timing(), exp_decay(1, 0.01, 0));
+  EXPECT_FALSE(
+      greedy_schedule({.s_iter = 5, .e_iter = 5, .total_inferences = 1}, cilp, 0.1)
+          .is_ok());
+  EXPECT_FALSE(
+      greedy_schedule({.s_iter = 0, .e_iter = 10, .total_inferences = 1}, cilp, -1)
+          .is_ok());
+}
+
+TEST(Greedy, FewerCheckpointsThanFixedAtComparableCil) {
+  // The paper's headline (fig10/table1): the greedy schedule reaches a
+  // comparable or better CIL with fewer checkpoints than fixed-interval.
+  UpdateTiming timing{.t_train = 0.085, .t_infer = 0.0055, .t_p = 0.06, .t_c = 0.01};
+  CilPredictor cilp(timing, exp_decay(2.55, 0.0009, 0.35));
+  ScheduleWindow window{.s_iter = 1080, .e_iter = 4300, .total_inferences = 50000};
+  auto fixed = fixed_interval_schedule(window, cilp).value();
+  auto greedy = greedy_schedule(window, cilp, 0.014).value();
+  EXPECT_LT(greedy.num_checkpoints(), fixed.num_checkpoints());
+  EXPECT_LT(greedy.predicted_cil, fixed.predicted_cil * 1.05);
+}
+
+// ---- Epoch baseline ----------------------------------------------------
+
+TEST(EpochSchedule, CheckpointsAtEpochBoundaries) {
+  CilPredictor cilp(simple_timing(), exp_decay(1, 0.01, 0));
+  ScheduleWindow window{.s_iter = 100, .e_iter = 500, .total_inferences = 100};
+  auto schedule = epoch_schedule(window, 100, cilp);
+  ASSERT_EQ(schedule.iterations.size(), 4u);
+  EXPECT_EQ(schedule.iterations[0], 200);
+  EXPECT_EQ(schedule.iterations[3], 500);
+  EXPECT_EQ(schedule.kind, ScheduleKind::kEpochBaseline);
+  EXPECT_GT(schedule.predicted_cil, 0.0);
+}
+
+TEST(Schedule, ContainsUsesBinarySearch) {
+  CheckpointSchedule schedule;
+  schedule.iterations = {10, 20, 30};
+  EXPECT_TRUE(schedule.contains(20));
+  EXPECT_FALSE(schedule.contains(25));
+}
+
+TEST(Schedules, OptimizedBeatEpochBaselineOnPrediction) {
+  // TC1-like configuration: both IPP schedules must predict a lower CIL
+  // than the epoch-boundary baseline (the fig10 ordering).
+  UpdateTiming timing{.t_train = 0.085, .t_infer = 0.0055, .t_p = 0.06, .t_c = 0.01};
+  CilPredictor cilp(timing, exp_decay(2.55, 0.0009, 0.35));
+  ScheduleWindow window{.s_iter = 1080, .e_iter = 4300, .total_inferences = 50000};
+  auto baseline = epoch_schedule(window, 216, cilp);
+  auto fixed = fixed_interval_schedule(window, cilp).value();
+  auto greedy = greedy_schedule(window, cilp, 0.014).value();
+  EXPECT_LT(fixed.predicted_cil, baseline.predicted_cil);
+  EXPECT_LT(greedy.predicted_cil, baseline.predicted_cil);
+}
+
+}  // namespace
+}  // namespace viper::core

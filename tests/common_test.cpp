@@ -1,0 +1,253 @@
+// Unit tests for viper_common: status/result, clocks, queue, executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "viper/common/clock.hpp"
+#include "viper/common/queue.hpp"
+#include "viper/common/rng.hpp"
+#include "viper/common/status.hpp"
+#include "viper/common/thread_util.hpp"
+#include "viper/common/units.hpp"
+
+namespace viper {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = not_found("missing thing");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: missing thing");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = invalid_argument("nope");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.is_ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(VirtualClock, AdvancesDeterministically) {
+  VirtualClock clock(10.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+  clock.advance(2.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 12.5);
+  clock.advance(-1.0);  // no-op
+  EXPECT_DOUBLE_EQ(clock.now(), 12.5);
+}
+
+TEST(VirtualClock, AdvanceToNeverMovesBackwards) {
+  VirtualClock clock;
+  clock.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+  clock.advance_to(3.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+}
+
+TEST(VirtualClock, ConcurrentAdvancesAccumulate) {
+  VirtualClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 1000; ++i) clock.advance(0.001);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_NEAR(clock.now(), 4.0, 1e-6);
+}
+
+TEST(WallClock, NowIsMonotonic) {
+  WallClock clock;
+  const double a = clock.now();
+  const double b = clock.now();
+  EXPECT_GE(b, a);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(watch.elapsed(), 0.004);
+  watch.reset();
+  EXPECT_LT(watch.elapsed(), 0.005);
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BlockingQueue, BoundedTryPushFailsWhenFull) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BlockingQueue, CloseDrainsThenSignals) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));  // closed to producers
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  const auto got = q.pop_for(std::chrono::duration<double>(0.01));
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::thread consumer([&q] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&q, &sum] {
+      while (auto v = q.pop()) sum += *v;
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  threads[kProducers].join();
+  threads[kProducers + 1].join();
+  EXPECT_EQ(sum.load(), kProducers * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(SerialExecutor, RunsTasksInOrder) {
+  SerialExecutor executor;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    executor.submit([&order, i] { order.push_back(i); });
+  }
+  executor.drain();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SerialExecutor, ShutdownRunsBacklog) {
+  std::atomic<int> ran{0};
+  {
+    SerialExecutor executor;
+    for (int i = 0; i < 100; ++i) {
+      executor.submit([&ran] { ++ran; });
+    }
+    executor.shutdown();
+    EXPECT_FALSE(executor.submit([&ran] { ++ran; }));
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(SerialExecutor, DrainIsABarrier) {
+  SerialExecutor executor;
+  std::atomic<bool> done{false};
+  executor.submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    done = true;
+  });
+  executor.drain();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(WorkerThread, StopFlagTerminatesLoop) {
+  WorkerThread worker;
+  std::atomic<int> ticks{0};
+  worker.start([&ticks](const std::atomic<bool>& stop) {
+    while (!stop.load()) {
+      ++ticks;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  worker.stop_and_join();
+  EXPECT_GT(ticks.load(), 0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, ClampedNormalRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.clamped_normal(1.0, 10.0, 0.5, 1.5);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LE(v, 1.5);
+  }
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(4'700'000'000ULL), "4.70 GB");
+  EXPECT_EQ(format_bytes(600'000'000ULL), "600.0 MB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(format_seconds(5e-6), "5.0 us");
+}
+
+TEST(Units, Literals) {
+  using namespace viper::literals;
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(4700_MB, 4'700'000'000ULL);
+  EXPECT_EQ(1_GiB, 1073741824u);
+}
+
+}  // namespace
+}  // namespace viper

@@ -1,0 +1,204 @@
+// Tests for checkpoint compression: f16 conversions, zero-RLE, and the
+// model-aware codec paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "viper/serial/compress.hpp"
+#include "viper/tensor/architectures.hpp"
+
+namespace viper::serial {
+namespace {
+
+// ---- f16 conversions -----------------------------------------------------
+
+TEST(Half, ExactValuesRoundTrip) {
+  for (float v : {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, 0.25f,
+                  -65504.0f, 65504.0f}) {
+    EXPECT_EQ(f16_to_f32(f32_to_f16(v)), v) << v;
+  }
+}
+
+TEST(Half, SpecialValues) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(f16_to_f32(f32_to_f16(inf)), inf);
+  EXPECT_EQ(f16_to_f32(f32_to_f16(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(f16_to_f32(f32_to_f16(std::nanf("")))));
+  // Overflow saturates to infinity.
+  EXPECT_EQ(f16_to_f32(f32_to_f16(1e10f)), inf);
+  // Deep underflow flushes to (signed) zero.
+  EXPECT_EQ(f16_to_f32(f32_to_f16(1e-10f)), 0.0f);
+  EXPECT_TRUE(std::signbit(f16_to_f32(f32_to_f16(-1e-10f))));
+}
+
+TEST(Half, SubnormalsSurvive) {
+  const float smallest_normal = 6.103515625e-05f;  // 2^-14
+  EXPECT_EQ(f16_to_f32(f32_to_f16(smallest_normal)), smallest_normal);
+  const float subnormal = 5.960464477539063e-08f;  // 2^-24 (min subnormal)
+  EXPECT_EQ(f16_to_f32(f32_to_f16(subnormal)), subnormal);
+}
+
+TEST(Half, RelativeErrorWithinHalfPrecision) {
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const float round_tripped = f16_to_f32(f32_to_f16(v));
+    EXPECT_NEAR(round_tripped, v, std::abs(v) * 1e-3 + 1e-6) << v;
+  }
+}
+
+// ---- Blob codecs -----------------------------------------------------------
+
+TEST(ZeroRle, CompressesZeroHeavyBuffers) {
+  std::vector<std::byte> sparse(64 * 1024, std::byte{0});
+  for (std::size_t i = 0; i < sparse.size(); i += 1024) sparse[i] = std::byte{7};
+  auto compressed = compress_blob(sparse, Codec::kZeroRle);
+  ASSERT_TRUE(compressed.is_ok());
+  EXPECT_LT(compressed.value().size(), sparse.size() / 50);
+  auto restored = decompress_blob(compressed.value());
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value(), sparse);
+}
+
+TEST(ZeroRle, DenseDataPassesThroughWithTinyOverhead) {
+  Rng rng(3);
+  std::vector<std::byte> dense(32 * 1024);
+  for (auto& b : dense) {
+    b = static_cast<std::byte>(rng.uniform_int(1, 255));  // no zeros at all
+  }
+  auto compressed = compress_blob(dense, Codec::kZeroRle).value();
+  EXPECT_LT(compressed.size(), dense.size() + dense.size() / 100 + 64);
+  EXPECT_EQ(decompress_blob(compressed).value(), dense);
+}
+
+TEST(ZeroRle, EmptyAndTinyInputs) {
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    std::vector<std::byte> input(n, std::byte{0x42});
+    auto compressed = compress_blob(input, Codec::kZeroRle).value();
+    EXPECT_EQ(decompress_blob(compressed).value(), input) << n;
+  }
+}
+
+TEST(ZeroRle, LongRunsSplitAcrossRecords) {
+  std::vector<std::byte> zeros(200'000, std::byte{0});  // > u16 max run
+  auto compressed = compress_blob(zeros, Codec::kZeroRle).value();
+  EXPECT_LT(compressed.size(), 100u);
+  EXPECT_EQ(decompress_blob(compressed).value(), zeros);
+}
+
+TEST(Codecs, NoneIsIdentityPlusHeader) {
+  std::vector<std::byte> data(100, std::byte{0xAB});
+  auto wrapped = compress_blob(data, Codec::kNone).value();
+  EXPECT_EQ(wrapped.size(), data.size() + 17);  // magic+codec+size+crc
+  EXPECT_EQ(decompress_blob(wrapped).value(), data);
+}
+
+TEST(Codecs, DetectCorruption) {
+  std::vector<std::byte> data(1000, std::byte{5});
+  auto wrapped = compress_blob(data, Codec::kZeroRle).value();
+  wrapped[wrapped.size() / 2] ^= std::byte{1};
+  EXPECT_EQ(decompress_blob(wrapped).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Codecs, RejectForeignBlobAndF16OnRawBytes) {
+  std::vector<std::byte> junk(64, std::byte{9});
+  EXPECT_FALSE(decompress_blob(junk).is_ok());
+  EXPECT_FALSE(compress_blob(junk, Codec::kF16).is_ok());
+  EXPECT_FALSE(compress_blob(junk, Codec::kF16ZeroRle).is_ok());
+}
+
+// ---- Model-aware codecs ----------------------------------------------------
+
+class ModelCodecs : public ::testing::TestWithParam<Codec> {};
+
+TEST_P(ModelCodecs, RoundTripsModelStructure) {
+  Model model = build_app_model(AppModel::kNt3A, {}).value();
+  model.set_version(4);
+  model.set_iteration(321);
+  auto blob = compress_model(model, GetParam());
+  ASSERT_TRUE(blob.is_ok()) << blob.status().to_string();
+  auto restored = decompress_model(blob.value());
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value().version(), 4u);
+  EXPECT_EQ(restored.value().iteration(), 321);
+  EXPECT_EQ(restored.value().num_tensors(), model.num_tensors());
+  // Every tensor keeps its shape and comes back as f32.
+  for (const auto& [name, tensor] : model.tensors()) {
+    auto got = restored.value().tensor(name);
+    ASSERT_TRUE(got.is_ok()) << name;
+    EXPECT_TRUE(got.value()->shape() == tensor.shape());
+    EXPECT_EQ(got.value()->dtype(), tensor.dtype());
+  }
+}
+
+TEST_P(ModelCodecs, LossyCodecsStayWithinHalfPrecision) {
+  Model model = build_app_model(AppModel::kNt3A, {}).value();
+  auto blob = compress_model(model, GetParam()).value();
+  auto restored = decompress_model(blob).value();
+  const bool lossy =
+      GetParam() == Codec::kF16 || GetParam() == Codec::kF16ZeroRle;
+  for (const auto& [name, tensor] : model.tensors()) {
+    if (tensor.dtype() != DType::kF32) continue;
+    const auto original = tensor.data<float>();
+    const auto round_tripped = restored.tensor(name).value()->data<float>();
+    for (std::size_t i = 0; i < original.size(); i += 97) {
+      if (lossy) {
+        EXPECT_NEAR(round_tripped[i], original[i],
+                    std::abs(original[i]) * 1e-3 + 1e-6);
+      } else {
+        EXPECT_EQ(round_tripped[i], original[i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, ModelCodecs,
+                         ::testing::Values(Codec::kNone, Codec::kZeroRle,
+                                           Codec::kF16, Codec::kF16ZeroRle),
+                         [](const auto& info) {
+                           std::string name{to_string(info.param)};
+                           for (char& c : name) {
+                             if (c == '-' || c == '+') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ModelCodecs, F16HalvesTheWeightPayload) {
+  Model model = build_app_model(AppModel::kTc1, {}).value();
+  const auto plain = compress_model(model, Codec::kNone).value();
+  const auto half = compress_model(model, Codec::kF16).value();
+  EXPECT_LT(half.size(), plain.size() * 0.55);
+  EXPECT_GT(half.size(), plain.size() * 0.45);
+}
+
+TEST(ModelCodecs, ZeroRleShrinksZeroBiases) {
+  // Bias tensors are all-zero at init: RLE must exploit that for free.
+  Model model("zeros");
+  (void)model.add_tensor("bias", Tensor::zeros(DType::kF32, Shape{65536}).value());
+  const auto plain = compress_model(model, Codec::kNone).value();
+  const auto rle = compress_model(model, Codec::kZeroRle).value();
+  EXPECT_LT(rle.size(), plain.size() / 100);
+}
+
+TEST(ModelCodecs, RejectsModelsAlreadyInF16) {
+  Model model("halfy");
+  (void)model.add_tensor("w", Tensor::zeros(DType::kF16, Shape{8}).value());
+  EXPECT_FALSE(compress_model(model, Codec::kF16).is_ok());
+  // Lossless codecs handle them fine.
+  EXPECT_TRUE(compress_model(model, Codec::kZeroRle).is_ok());
+}
+
+TEST(ModelCodecs, NonFloatTensorsPassThroughLossyCodecs) {
+  Rng rng(5);
+  Model model("mixed");
+  (void)model.add_tensor("w", Tensor::random(DType::kF32, Shape{128}, rng).value());
+  (void)model.add_tensor("ids", Tensor::random(DType::kI64, Shape{16}, rng).value());
+  auto restored =
+      decompress_model(compress_model(model, Codec::kF16).value()).value();
+  EXPECT_TRUE(
+      restored.tensor("ids").value()->equals(*model.tensor("ids").value()));
+}
+
+}  // namespace
+}  // namespace viper::serial

@@ -1,0 +1,173 @@
+// End-to-end tests of the coupled producer/consumer experiment — the
+// engine behind fig9/fig10/Table 1. Checks structural invariants and the
+// paper's qualitative orderings.
+#include <gtest/gtest.h>
+
+#include "viper/core/coupled_sim.hpp"
+
+namespace viper::core {
+namespace {
+
+CoupledRunConfig tc1_config(ScheduleKind kind,
+                            Strategy strategy = Strategy::kGpuAsync) {
+  CoupledRunConfig config;
+  config.profile = sim::app_profile(AppModel::kTc1);
+  config.strategy = strategy;
+  config.schedule_kind = kind;
+  return config;
+}
+
+TEST(CoupledSim, ServesExactlyTheRequestBudget) {
+  auto result = run_coupled_experiment(tc1_config(ScheduleKind::kEpochBaseline));
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().inferences_served,
+            sim::app_profile(AppModel::kTc1).total_inferences);
+  EXPECT_GT(result.value().cil, 0.0);
+}
+
+TEST(CoupledSim, IsDeterministicForSeed) {
+  auto a = run_coupled_experiment(tc1_config(ScheduleKind::kFixedInterval));
+  auto b = run_coupled_experiment(tc1_config(ScheduleKind::kFixedInterval));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_DOUBLE_EQ(a.value().cil, b.value().cil);
+  EXPECT_EQ(a.value().checkpoints, b.value().checkpoints);
+}
+
+TEST(CoupledSim, UpdateRecordsAreCausal) {
+  auto result =
+      run_coupled_experiment(tc1_config(ScheduleKind::kEpochBaseline)).value();
+  ASSERT_FALSE(result.updates.empty());
+  double prev_trigger = -1.0;
+  for (const auto& update : result.updates) {
+    EXPECT_GT(update.triggered_at, prev_trigger);   // strictly ordered
+    EXPECT_GT(update.ready_at, update.triggered_at);  // delivery takes time
+    EXPECT_GT(update.loss, 0.0);
+    prev_trigger = update.triggered_at;
+  }
+}
+
+TEST(CoupledSim, EpochBaselineCheckpointCountMatchesPaper) {
+  // Table 1 baseline column: TC1 = 16 checkpoints over 50k inferences.
+  auto result =
+      run_coupled_experiment(tc1_config(ScheduleKind::kEpochBaseline)).value();
+  EXPECT_NEAR(static_cast<double>(result.checkpoints), 16.0, 2.0);
+}
+
+TEST(CoupledSim, WarmupFitSelectsExponential) {
+  auto result = run_coupled_experiment(tc1_config(ScheduleKind::kGreedy)).value();
+  EXPECT_NE(result.tlp_family, math::CurveFamily::kLin2);
+  EXPECT_GT(result.greedy_threshold, 0.0);
+}
+
+TEST(CoupledSim, Fig10OrderingHoldsForTc1) {
+  // Baseline > fixed ≥ adaptive in measured CIL (fig10b).
+  const double baseline =
+      run_coupled_experiment(tc1_config(ScheduleKind::kEpochBaseline)).value().cil;
+  const double fixed =
+      run_coupled_experiment(tc1_config(ScheduleKind::kFixedInterval)).value().cil;
+  const double greedy =
+      run_coupled_experiment(tc1_config(ScheduleKind::kGreedy)).value().cil;
+  EXPECT_LT(fixed, baseline);
+  EXPECT_LT(greedy, baseline);
+}
+
+TEST(CoupledSim, GreedyUsesFewerCheckpointsThanFixed) {
+  const auto fixed =
+      run_coupled_experiment(tc1_config(ScheduleKind::kFixedInterval)).value();
+  const auto greedy =
+      run_coupled_experiment(tc1_config(ScheduleKind::kGreedy)).value();
+  EXPECT_LT(greedy.checkpoints, fixed.checkpoints);
+}
+
+TEST(CoupledSim, Fig9StrategyOrderingOnEpochSchedule) {
+  // fig9: with the same epoch schedule, GPU < host < PFS in both CIL and
+  // training overhead.
+  const auto gpu = run_coupled_experiment(
+                       tc1_config(ScheduleKind::kEpochBaseline, Strategy::kGpuAsync))
+                       .value();
+  const auto host = run_coupled_experiment(
+                        tc1_config(ScheduleKind::kEpochBaseline, Strategy::kHostAsync))
+                        .value();
+  const auto pfs = run_coupled_experiment(
+                       tc1_config(ScheduleKind::kEpochBaseline, Strategy::kViperPfs))
+                       .value();
+  EXPECT_LT(gpu.training_overhead, host.training_overhead);
+  EXPECT_LT(host.training_overhead, pfs.training_overhead);
+  EXPECT_LE(gpu.cil, host.cil);
+  EXPECT_LT(host.cil, pfs.cil);
+}
+
+TEST(CoupledSim, Tc1BaselineCilNearPaper) {
+  // fig10b: TC1 epoch-baseline CIL ≈ 32.8k over 50 000 inferences (GPU
+  // strategy). Accept ±15%.
+  const auto result =
+      run_coupled_experiment(tc1_config(ScheduleKind::kEpochBaseline)).value();
+  EXPECT_GT(result.cil, 32.8e3 * 0.85);
+  EXPECT_LT(result.cil, 32.8e3 * 1.15);
+}
+
+TEST(CoupledSim, ScheduleOverrideIsHonored) {
+  CoupledRunConfig config = tc1_config(ScheduleKind::kEpochBaseline);
+  CheckpointSchedule manual;
+  manual.kind = ScheduleKind::kFixedInterval;
+  manual.iterations = {1200, 1500, 2000};
+  config.schedule_override = manual;
+  const auto result = run_coupled_experiment(config).value();
+  EXPECT_EQ(result.checkpoints, 3);
+  ASSERT_EQ(result.updates.size(), 3u);
+  EXPECT_EQ(result.updates[0].capture_iteration, 1200);
+}
+
+TEST(CoupledSim, GreedyThresholdOverrideControlsCheckpointCount) {
+  CoupledRunConfig loose = tc1_config(ScheduleKind::kGreedy);
+  loose.greedy_threshold_override = 0.5;
+  CoupledRunConfig tight = tc1_config(ScheduleKind::kGreedy);
+  tight.greedy_threshold_override = 0.01;
+  const auto few = run_coupled_experiment(loose).value();
+  const auto many = run_coupled_experiment(tight).value();
+  EXPECT_LT(few.checkpoints, many.checkpoints);
+}
+
+TEST(CoupledSim, TrainingOverheadIsStallTimesCheckpoints) {
+  const auto result = run_coupled_experiment(
+                          tc1_config(ScheduleKind::kEpochBaseline, Strategy::kGpuAsync))
+                          .value();
+  const double expected =
+      static_cast<double>(result.checkpoints) * result.timing.t_p;
+  EXPECT_NEAR(result.training_overhead, expected, expected * 0.01);
+}
+
+class AllAppsAllSchedules
+    : public ::testing::TestWithParam<std::tuple<AppModel, ScheduleKind>> {};
+
+TEST_P(AllAppsAllSchedules, RunsCleanlyWithPositiveCil) {
+  CoupledRunConfig config;
+  config.profile = sim::app_profile(std::get<0>(GetParam()));
+  config.schedule_kind = std::get<1>(GetParam());
+  auto result = run_coupled_experiment(config);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().inferences_served, config.profile.total_inferences);
+  EXPECT_GT(result.value().cil, 0.0);
+  EXPECT_GE(result.value().checkpoints, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllAppsAllSchedules,
+    ::testing::Combine(::testing::Values(AppModel::kNt3B, AppModel::kTc1,
+                                         AppModel::kPtychoNN),
+                       ::testing::Values(ScheduleKind::kEpochBaseline,
+                                         ScheduleKind::kFixedInterval,
+                                         ScheduleKind::kGreedy)),
+    [](const auto& info) {
+      std::string name{to_string(std::get<0>(info.param))};
+      name += "_";
+      name += to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '.' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace viper::core

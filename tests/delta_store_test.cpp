@@ -1,0 +1,165 @@
+// Tests for the incremental checkpoint store: delta chains, anchors,
+// fallback to full checkpoints, reconstruction of arbitrary versions.
+#include <gtest/gtest.h>
+
+#include "viper/memsys/presets.hpp"
+#include "viper/repo/delta_store.hpp"
+
+namespace viper::repo {
+namespace {
+
+std::shared_ptr<memsys::StorageTier> tier() {
+  return std::make_shared<memsys::MemoryTier>(memsys::polaris_lustre());
+}
+
+Model make_model(std::uint64_t version, std::uint64_t seed = 6) {
+  Rng rng(seed);
+  Model m("net");
+  m.set_version(version);
+  m.set_iteration(static_cast<std::int64_t>(version) * 10);
+  EXPECT_TRUE(m.add_tensor("frozen/w",
+                           Tensor::random(DType::kF32, Shape{4096}, rng).value())
+                  .is_ok());
+  EXPECT_TRUE(m.add_tensor("head/w",
+                           Tensor::random(DType::kF32, Shape{512}, rng).value())
+                  .is_ok());
+  return m;
+}
+
+/// Fine-tunes only the head layer (the sparse-update scenario).
+Model tune_head(const Model& base, std::uint64_t version, Rng& rng) {
+  Model next = base;
+  next.set_version(version);
+  next.set_iteration(base.iteration() + 10);
+  next.mutable_tensor("head/w").value()->perturb(rng, 0.01);
+  return next;
+}
+
+TEST(DeltaStore, FirstPutIsAlwaysFull) {
+  DeltaStore store(tier(), {});
+  auto report = store.put(make_model(1));
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().stored_as_delta);
+  EXPECT_EQ(report.value().blob_bytes, report.value().full_bytes);
+}
+
+TEST(DeltaStore, SparseUpdatesStoreAsSmallDeltas) {
+  DeltaStore store(tier(), {.full_every = 16});
+  Model model = make_model(1);
+  ASSERT_TRUE(store.put(model).is_ok());
+  Rng rng(2);
+  for (std::uint64_t v = 2; v <= 6; ++v) {
+    model = tune_head(model, v, rng);
+    auto report = store.put(model);
+    ASSERT_TRUE(report.is_ok());
+    EXPECT_TRUE(report.value().stored_as_delta) << "version " << v;
+    EXPECT_LT(report.value().blob_bytes, report.value().full_bytes / 4);
+  }
+  auto savings = store.savings("net");
+  EXPECT_LT(savings.bytes_written, savings.full_equivalent / 2);
+}
+
+TEST(DeltaStore, LatestReconstructsThroughChain) {
+  DeltaStore store(tier(), {.full_every = 16});
+  Model model = make_model(1);
+  ASSERT_TRUE(store.put(model).is_ok());
+  Rng rng(3);
+  for (std::uint64_t v = 2; v <= 8; ++v) {
+    model = tune_head(model, v, rng);
+    ASSERT_TRUE(store.put(model).is_ok());
+  }
+  auto latest = store.get_latest("net");
+  ASSERT_TRUE(latest.is_ok()) << latest.status().to_string();
+  EXPECT_EQ(latest.value().version(), 8u);
+  EXPECT_TRUE(latest.value().same_weights(model));
+}
+
+TEST(DeltaStore, AnyStoredVersionIsReconstructible) {
+  DeltaStore store(tier(), {.full_every = 4});
+  Model model = make_model(1);
+  std::vector<Model> history{model};
+  ASSERT_TRUE(store.put(model).is_ok());
+  Rng rng(4);
+  for (std::uint64_t v = 2; v <= 10; ++v) {
+    model = tune_head(model, v, rng);
+    history.push_back(model);
+    ASSERT_TRUE(store.put(model).is_ok());
+  }
+  for (const Model& expected : history) {
+    auto got = store.get_version("net", expected.version());
+    ASSERT_TRUE(got.is_ok()) << "version " << expected.version();
+    EXPECT_TRUE(got.value().same_weights(expected));
+  }
+}
+
+TEST(DeltaStore, FullAnchorsEveryN) {
+  DeltaStore store(tier(), {.full_every = 3});
+  Model model = make_model(1);
+  ASSERT_TRUE(store.put(model).is_ok());  // full (v1)
+  Rng rng(5);
+  std::vector<bool> as_delta;
+  for (std::uint64_t v = 2; v <= 7; ++v) {
+    model = tune_head(model, v, rng);
+    as_delta.push_back(store.put(model).value().stored_as_delta);
+  }
+  // Pattern with full_every=3: v2 delta, v3 delta, v4 full, v5 d, v6 d, v7 full.
+  EXPECT_TRUE(as_delta[0]);
+  EXPECT_TRUE(as_delta[1]);
+  EXPECT_FALSE(as_delta[2]);
+  EXPECT_TRUE(as_delta[3]);
+  EXPECT_TRUE(as_delta[4]);
+  EXPECT_FALSE(as_delta[5]);
+}
+
+TEST(DeltaStore, DenseUpdateFallsBackToFull) {
+  DeltaStore store(tier(), {.full_every = 16, .max_delta_fraction = 0.6});
+  Model model = make_model(1);
+  ASSERT_TRUE(store.put(model).is_ok());
+  Model dense = model;
+  dense.set_version(2);
+  Rng rng(6);
+  dense.perturb_weights(rng, 0.01);  // every block changes
+  auto report = store.put(dense);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().stored_as_delta);
+}
+
+TEST(DeltaStore, RejectsNonMonotonicVersions) {
+  DeltaStore store(tier(), {});
+  ASSERT_TRUE(store.put(make_model(5)).is_ok());
+  EXPECT_EQ(store.put(make_model(5)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.put(make_model(3)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DeltaStore, VersionsListedAscending) {
+  DeltaStore store(tier(), {});
+  Model model = make_model(1);
+  ASSERT_TRUE(store.put(model).is_ok());
+  Rng rng(7);
+  model = tune_head(model, 4, rng);
+  ASSERT_TRUE(store.put(model).is_ok());
+  model = tune_head(model, 9, rng);
+  ASSERT_TRUE(store.put(model).is_ok());
+  const auto versions = store.versions("net");
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0], 1u);
+  EXPECT_EQ(versions[2], 9u);
+}
+
+TEST(DeltaStore, UnknownModelAndVersionAreNotFound) {
+  DeltaStore store(tier(), {});
+  EXPECT_EQ(store.get_latest("ghost").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store.put(make_model(1)).is_ok());
+  EXPECT_EQ(store.get_version("net", 99).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store.versions("ghost").empty());
+}
+
+TEST(DeltaStore, RejectsUnnamedModel) {
+  DeltaStore store(tier(), {});
+  EXPECT_FALSE(store.put(Model{}).is_ok());
+}
+
+}  // namespace
+}  // namespace viper::repo

@@ -1,0 +1,202 @@
+// Tests for incremental (delta) checkpoints: encode/apply round trips,
+// sparsity benefits, chain validation, and corruption detection.
+#include <gtest/gtest.h>
+
+#include "viper/serial/delta.hpp"
+#include "viper/tensor/architectures.hpp"
+
+namespace viper::serial {
+namespace {
+
+Model base_model(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  Model m("net");
+  m.set_version(1);
+  m.set_iteration(100);
+  EXPECT_TRUE(m.add_tensor("encoder/w",
+                           Tensor::random(DType::kF32, Shape{8192}, rng).value())
+                  .is_ok());
+  EXPECT_TRUE(m.add_tensor("encoder/b",
+                           Tensor::random(DType::kF32, Shape{64}, rng).value())
+                  .is_ok());
+  EXPECT_TRUE(m.add_tensor("head/w",
+                           Tensor::random(DType::kF32, Shape{4096}, rng).value())
+                  .is_ok());
+  return m;
+}
+
+Model bump(const Model& base, std::uint64_t version) {
+  Model next = base;
+  next.set_version(version);
+  next.set_iteration(base.iteration() + 50);
+  return next;
+}
+
+TEST(Delta, IdenticalModelsProduceTinyDelta) {
+  const Model base = base_model();
+  Model next = bump(base, 2);
+  auto blob = encode_delta(base, next);
+  ASSERT_TRUE(blob.is_ok()) << blob.status().to_string();
+  // No payload: just headers, three unchanged markers, CRC.
+  EXPECT_LT(blob.value().size(), 200u);
+  auto stats = delta_stats(blob.value());
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats.value().tensors_unchanged, 3u);
+  EXPECT_EQ(stats.value().payload_bytes, 0u);
+
+  auto applied = apply_delta(base, blob.value());
+  ASSERT_TRUE(applied.is_ok());
+  EXPECT_TRUE(applied.value().same_weights(base));
+  EXPECT_EQ(applied.value().version(), 2u);
+  EXPECT_EQ(applied.value().iteration(), 150);
+}
+
+TEST(Delta, SingleTensorChangeShipsOnlyThatTensor) {
+  // The transfer-learning case: only the head layer was fine-tuned.
+  const Model base = base_model();
+  Model next = bump(base, 2);
+  Rng rng(77);
+  next.mutable_tensor("head/w").value()->perturb(rng, 0.01);
+
+  auto blob = encode_delta(base, next).value();
+  auto stats = delta_stats(blob).value();
+  EXPECT_EQ(stats.tensors_changed, 1u);
+  EXPECT_EQ(stats.tensors_unchanged, 2u);
+  // Delta carries ~the head tensor (16 KiB), not the full 48 KiB model.
+  EXPECT_LT(blob.size(), base.payload_bytes() / 2);
+
+  auto applied = apply_delta(base, blob).value();
+  EXPECT_TRUE(applied.same_weights(next));
+}
+
+TEST(Delta, SparseBlockChangeShipsOnlyTouchedBlocks) {
+  const Model base = base_model();
+  Model next = bump(base, 2);
+  // Flip one float in the middle of encoder/w: exactly one 4 KiB block.
+  auto span = next.mutable_tensor("encoder/w").value()->mutable_data<float>();
+  span[span.size() / 2] += 1.0f;
+
+  auto blob = encode_delta(base, next).value();
+  auto stats = delta_stats(blob).value();
+  EXPECT_EQ(stats.tensors_changed, 1u);
+  EXPECT_EQ(stats.payload_bytes, 4096u);
+  auto applied = apply_delta(base, blob).value();
+  EXPECT_TRUE(applied.same_weights(next));
+}
+
+TEST(Delta, BlockSizeControlsGranularity) {
+  const Model base = base_model();
+  Model next = bump(base, 2);
+  auto span = next.mutable_tensor("encoder/w").value()->mutable_data<float>();
+  span[0] += 1.0f;
+  span[span.size() - 1] += 1.0f;  // first and last block touched
+
+  const auto fine = encode_delta(base, next, {.block_bytes = 256}).value();
+  const auto coarse = encode_delta(base, next, {.block_bytes = 1 << 20}).value();
+  EXPECT_LT(delta_stats(fine).value().payload_bytes,
+            delta_stats(coarse).value().payload_bytes);
+  EXPECT_TRUE(apply_delta(base, fine).value().same_weights(next));
+  EXPECT_TRUE(apply_delta(base, coarse).value().same_weights(next));
+}
+
+TEST(Delta, FullyPerturbedModelRoundTrips) {
+  const Model base = base_model();
+  Model next = bump(base, 2);
+  Rng rng(5);
+  next.perturb_weights(rng, 0.01);
+  auto blob = encode_delta(base, next).value();
+  auto stats = delta_stats(blob).value();
+  EXPECT_EQ(stats.tensors_changed, 3u);
+  // Dense change degrades to ~full payload, never much worse.
+  EXPECT_LT(stats.blob_bytes, base.payload_bytes() + 2048);
+  EXPECT_TRUE(apply_delta(base, blob).value().same_weights(next));
+}
+
+TEST(Delta, AddedAndRemovedTensors) {
+  const Model base = base_model();
+  Model next("net");
+  next.set_version(2);
+  Rng rng(9);
+  // Keep encoder/w, drop encoder/b and head/w, add head/v2.
+  ASSERT_TRUE(next.add_tensor("encoder/w", *base.tensor("encoder/w").value()).is_ok());
+  ASSERT_TRUE(next.add_tensor("head/v2",
+                              Tensor::random(DType::kF32, Shape{16}, rng).value())
+                  .is_ok());
+
+  auto blob = encode_delta(base, next).value();
+  auto stats = delta_stats(blob).value();
+  EXPECT_EQ(stats.tensors_unchanged, 1u);
+  EXPECT_EQ(stats.tensors_added, 1u);
+  EXPECT_EQ(stats.tensors_removed, 2u);
+
+  auto applied = apply_delta(base, blob).value();
+  EXPECT_TRUE(applied.same_weights(next));
+}
+
+TEST(Delta, ReshapedTensorIsShippedWhole) {
+  const Model base = base_model();
+  Model next = bump(base, 2);
+  Rng rng(4);
+  next.mutable_tensors().erase("head/w");
+  ASSERT_TRUE(next.add_tensor("head/w",
+                              Tensor::random(DType::kF32, Shape{64, 64}, rng).value())
+                  .is_ok());
+  auto blob = encode_delta(base, next).value();
+  EXPECT_EQ(delta_stats(blob).value().tensors_added, 1u);
+  EXPECT_TRUE(apply_delta(base, blob).value().same_weights(next));
+}
+
+TEST(Delta, RejectsWrongBaseVersion) {
+  const Model base = base_model();
+  auto blob = encode_delta(base, bump(base, 2)).value();
+  Model wrong_base = base;
+  wrong_base.set_version(7);
+  EXPECT_EQ(apply_delta(wrong_base, blob).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Delta, RejectsWrongModelName) {
+  const Model base = base_model();
+  Model other = base;
+  other.set_name("different");
+  EXPECT_FALSE(encode_delta(base, other).is_ok());
+
+  auto blob = encode_delta(base, bump(base, 2)).value();
+  EXPECT_EQ(apply_delta(other, blob).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Delta, DetectsCorruption) {
+  const Model base = base_model();
+  auto blob = encode_delta(base, bump(base, 2)).value();
+  blob[blob.size() / 2] ^= std::byte{0x40};
+  EXPECT_EQ(apply_delta(base, blob).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(delta_stats(blob).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Delta, RejectsZeroBlockSize) {
+  const Model base = base_model();
+  EXPECT_FALSE(encode_delta(base, bump(base, 2), {.block_bytes = 0}).is_ok());
+}
+
+TEST(Delta, ChainAcrossManyVersions) {
+  // v1 → v2 → ... → v6 by deltas only; final equals direct training.
+  Model current = base_model();
+  Rng rng(12);
+  Model truth = current;
+  for (std::uint64_t v = 2; v <= 6; ++v) {
+    Model next = truth;
+    next.set_version(v);
+    next.perturb_weights(rng, 1e-3);
+    auto blob = encode_delta(truth, next).value();
+    auto applied = apply_delta(current, blob);
+    ASSERT_TRUE(applied.is_ok()) << "at version " << v;
+    current = std::move(applied).value();
+    truth = next;
+  }
+  EXPECT_TRUE(current.same_weights(truth));
+  EXPECT_EQ(current.version(), 6u);
+}
+
+}  // namespace
+}  // namespace viper::serial

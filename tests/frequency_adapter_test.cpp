@@ -1,0 +1,169 @@
+// Tests for the Checkpoint Frequency Adapter (fig. 3 feedback loop) and
+// the runtime-adaptation modes of the coupled experiment.
+#include <gtest/gtest.h>
+
+#include "viper/core/coupled_sim.hpp"
+#include "viper/core/frequency_adapter.hpp"
+
+namespace viper::core {
+namespace {
+
+FrequencyAdapter::Options base_options() {
+  return FrequencyAdapter::Options{
+      .initial_interval = 100,
+      .min_interval = 10,
+      .max_interval = 1000,
+      .target_overhead_fraction = 0.05,
+      .improvement_threshold = 0.01,
+      .step = 2.0,
+  };
+}
+
+TEST(FrequencyAdapter, StartsAtClampedInitialInterval) {
+  auto options = base_options();
+  options.initial_interval = 5;  // below min
+  FrequencyAdapter adapter(options);
+  EXPECT_EQ(adapter.current_interval(), 10);
+}
+
+TEST(FrequencyAdapter, WidensUnderStallPressure) {
+  FrequencyAdapter adapter(base_options());
+  // 10 s of training, 2 s stall = 20% overhead, way over the 5% target.
+  const auto next = adapter.on_checkpoint(10.0, 2.0, 1.0, 0.9);
+  EXPECT_EQ(next, 200);
+  EXPECT_EQ(adapter.adjustments_up(), 1);
+}
+
+TEST(FrequencyAdapter, WidensWhenCurveFlattens) {
+  FrequencyAdapter adapter(base_options());
+  // Cheap checkpoint but negligible improvement: not worth the updates.
+  const auto next = adapter.on_checkpoint(10.0, 0.1, 1.0, 0.999);
+  EXPECT_EQ(next, 200);
+}
+
+TEST(FrequencyAdapter, TightensDuringFastProgress) {
+  FrequencyAdapter adapter(base_options());
+  // Cheap checkpoint, large improvement: keep the consumer fresher.
+  const auto next = adapter.on_checkpoint(10.0, 0.1, 1.0, 0.5);
+  EXPECT_EQ(next, 50);
+  EXPECT_EQ(adapter.adjustments_down(), 1);
+}
+
+TEST(FrequencyAdapter, HoldsInTheComfortZone) {
+  FrequencyAdapter adapter(base_options());
+  // Moderate improvement, acceptable stall: no change.
+  const auto next = adapter.on_checkpoint(10.0, 0.3, 1.0, 0.985);
+  EXPECT_EQ(next, 100);
+  EXPECT_EQ(adapter.adjustments_up(), 0);
+  EXPECT_EQ(adapter.adjustments_down(), 0);
+}
+
+TEST(FrequencyAdapter, RespectsBounds) {
+  FrequencyAdapter adapter(base_options());
+  for (int i = 0; i < 20; ++i) adapter.on_checkpoint(10.0, 5.0, 1.0, 0.9);
+  EXPECT_EQ(adapter.current_interval(), 1000);  // clamped at max
+  for (int i = 0; i < 30; ++i) adapter.on_checkpoint(10.0, 0.0, 1.0, 0.1);
+  EXPECT_EQ(adapter.current_interval(), 10);  // clamped at min
+}
+
+TEST(FrequencyAdapter, TracksLifetimeOverheadFraction) {
+  FrequencyAdapter adapter(base_options());
+  adapter.on_checkpoint(9.0, 1.0, 1.0, 0.9);
+  adapter.on_checkpoint(11.0, 1.0, 0.9, 0.8);
+  EXPECT_NEAR(adapter.observed_overhead_fraction(), 2.0 / 20.0, 1e-12);
+}
+
+// ---- Coupled-run integration --------------------------------------------
+
+CoupledRunConfig tc1_adapter_config() {
+  CoupledRunConfig config;
+  config.profile = sim::app_profile(AppModel::kTc1);
+  config.strategy = Strategy::kGpuAsync;
+  config.frequency_adapter = FrequencyAdapter::Options{
+      .initial_interval = 216,  // start at the epoch boundary
+      .min_interval = 8,
+      .max_interval = 2000,
+      .target_overhead_fraction = 0.02,
+      .improvement_threshold = 0.01,
+      .step = 1.5,
+  };
+  return config;
+}
+
+TEST(AdapterRun, ProducesUpdatesAndAdjusts) {
+  auto result = run_coupled_experiment(tc1_adapter_config());
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_GT(result.value().checkpoints, 0);
+  EXPECT_GT(result.value().adapter_ups + result.value().adapter_downs, 0);
+  EXPECT_EQ(result.value().inferences_served,
+            sim::app_profile(AppModel::kTc1).total_inferences);
+}
+
+TEST(AdapterRun, BeatsEpochBaselineOnTc1) {
+  CoupledRunConfig baseline;
+  baseline.profile = sim::app_profile(AppModel::kTc1);
+  baseline.strategy = Strategy::kGpuAsync;
+  baseline.schedule_kind = ScheduleKind::kEpochBaseline;
+  const double base_cil = run_coupled_experiment(baseline).value().cil;
+  const double adapted_cil =
+      run_coupled_experiment(tc1_adapter_config()).value().cil;
+  EXPECT_LT(adapted_cil, base_cil);
+}
+
+TEST(AdapterRun, RespectsOverheadTarget) {
+  auto result = run_coupled_experiment(tc1_adapter_config()).value();
+  // Total stall must stay in the vicinity of the 2% target of the window.
+  EXPECT_LT(result.training_overhead, 0.05 * result.window_seconds);
+}
+
+// ---- Online refitting ----------------------------------------------------
+
+TEST(RefitRun, RefitsAndStaysCorrect) {
+  CoupledRunConfig config;
+  config.profile = sim::app_profile(AppModel::kPtychoNN);
+  config.strategy = Strategy::kGpuAsync;
+  config.schedule_kind = ScheduleKind::kGreedy;
+  config.refit_every = 500;
+  auto result = run_coupled_experiment(config);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_GT(result.value().refits, 0);
+  EXPECT_GT(result.value().checkpoints, 0);
+  // Executed checkpoints must be strictly increasing.
+  const auto& iters = result.value().schedule.iterations;
+  for (std::size_t i = 1; i < iters.size(); ++i) {
+    EXPECT_GT(iters[i], iters[i - 1]);
+  }
+}
+
+TEST(RefitRun, StaysCompetitiveOnPtychoNN) {
+  // Refitting yields a *more accurate* curve, which under the greedy
+  // threshold rule can legitimately schedule FEWER late checkpoints (the
+  // accurate fit knows the curve has converged). The requirement is that
+  // refitting stays within a tight band of the warm-up-only schedule and
+  // still beats the epoch baseline.
+  CoupledRunConfig config;
+  config.profile = sim::app_profile(AppModel::kPtychoNN);
+  config.strategy = Strategy::kGpuAsync;
+  config.schedule_kind = ScheduleKind::kGreedy;
+  const double plain = run_coupled_experiment(config).value().cil;
+  config.refit_every = 400;
+  const double refit = run_coupled_experiment(config).value().cil;
+  EXPECT_LT(refit, plain * 1.10);
+
+  CoupledRunConfig baseline = config;
+  baseline.refit_every = 0;
+  baseline.schedule_kind = ScheduleKind::kEpochBaseline;
+  EXPECT_LT(refit, run_coupled_experiment(baseline).value().cil);
+}
+
+TEST(RefitRun, NoRefitForNonGreedySchedules) {
+  CoupledRunConfig config;
+  config.profile = sim::app_profile(AppModel::kTc1);
+  config.schedule_kind = ScheduleKind::kFixedInterval;
+  config.refit_every = 500;
+  auto result = run_coupled_experiment(config).value();
+  EXPECT_EQ(result.refits, 0);
+}
+
+}  // namespace
+}  // namespace viper::core

@@ -1,0 +1,338 @@
+// Integration tests of the live transfer engine: producer-side handler
+// (capture, tiering, metadata, notify, flush) and consumer-side loader /
+// double-buffered consumers, across real threads and the comm fabric.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "viper/core/consumer.hpp"
+#include "viper/core/handler.hpp"
+#include "viper/tensor/architectures.hpp"
+
+namespace viper::core {
+namespace {
+
+Model small_model(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Model m("net");
+  EXPECT_TRUE(
+      m.add_tensor("w", Tensor::random(DType::kF32, Shape{256}, rng).value()).is_ok());
+  EXPECT_TRUE(
+      m.add_tensor("b", Tensor::random(DType::kF32, Shape{16}, rng).value()).is_ok());
+  return m;
+}
+
+struct Rig {
+  std::shared_ptr<SharedServices> services = std::make_shared<SharedServices>();
+  std::shared_ptr<net::CommWorld> world = net::CommWorld::create(2);
+  net::Comm producer_comm = world->comm(0);
+  net::Comm consumer_comm = world->comm(1);
+
+  std::shared_ptr<ModelWeightsHandler> handler(Strategy strategy) {
+    ModelWeightsHandler::Options options;
+    options.strategy = strategy;
+    return std::make_shared<ModelWeightsHandler>(services, options);
+  }
+
+  ModelLoader loader() {
+    ModelLoader::Options options;
+    options.producer_rank = 0;
+    options.request_timeout = 5.0;
+    return ModelLoader(services, consumer_comm, options);
+  }
+};
+
+class SaveLoadAcrossStrategies : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(SaveLoadAcrossStrategies, RoundTripsLatestWeights) {
+  Rig rig;
+  auto handler = rig.handler(GetParam());
+  std::thread server([&] { handler->serve_transfers(rig.producer_comm); });
+
+  Model model = small_model();
+  model.set_version(3);
+  model.set_iteration(42);
+  auto receipt = handler->save_weights("net", model, 0.7);
+  ASSERT_TRUE(receipt.is_ok()) << receipt.status().to_string();
+  handler->drain();
+
+  auto loader = rig.loader();
+  auto loaded = loader.load_weights("net");
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_TRUE(loaded.value().same_weights(model));
+  EXPECT_EQ(loaded.value().version(), 3u);
+  EXPECT_EQ(loaded.value().iteration(), 42);
+
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(rig.consumer_comm, 0).is_ok());
+  server.join();
+}
+
+TEST_P(SaveLoadAcrossStrategies, MetadataRecordsLocationAndLoss) {
+  Rig rig;
+  auto handler = rig.handler(GetParam());
+  ASSERT_TRUE(handler->save_weights("net", small_model(), 0.55).is_ok());
+  handler->drain();
+
+  auto metadata = get_metadata(rig.services->metadata_db, "net");
+  ASSERT_TRUE(metadata.is_ok());
+  EXPECT_EQ(metadata.value().location, strategy_location(GetParam()));
+  EXPECT_DOUBLE_EQ(metadata.value().train_loss, 0.55);
+  EXPECT_GT(metadata.value().size_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SaveLoadAcrossStrategies,
+                         ::testing::ValuesIn(all_strategies()),
+                         [](const auto& info) {
+                           std::string name{to_string(info.param)};
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Handler, NotificationPublishedPerSave) {
+  Rig rig;
+  auto handler = rig.handler(Strategy::kHostSync);
+  auto sub = rig.services->bus->subscribe(notification_channel("net"));
+  Model model = small_model();
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    model.set_version(v);
+    ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  }
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    auto event = sub.next(1.0);
+    ASSERT_TRUE(event.is_ok());
+    auto update = NotificationModule::parse(event.value());
+    ASSERT_TRUE(update.is_ok());
+    EXPECT_EQ(update.value().model_name, "net");
+    EXPECT_EQ(update.value().version, v);
+  }
+}
+
+TEST(Handler, MemoryTierKeepsOnlyLatestButPfsKeepsHistory) {
+  // Fault tolerance (§4.4): memory buffers the latest; every version is
+  // flushed to the PFS in the background.
+  Rig rig;
+  auto handler = rig.handler(Strategy::kGpuAsync);
+  Model model = small_model();
+  for (std::uint64_t v = 1; v <= 4; ++v) {
+    model.set_version(v);
+    model.perturb_weights(*std::make_unique<Rng>(v), 0.01);
+    ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  }
+  handler->drain();
+  EXPECT_EQ(handler->gpu_tier().num_objects(), 1u);  // only the latest
+  for (std::uint64_t v = 1; v <= 4; ++v) {
+    EXPECT_TRUE(rig.services->pfs->contains("ckpt/net/v" + std::to_string(v)))
+        << "missing flushed version " << v;
+  }
+}
+
+TEST(Handler, FlushCanBeDisabled) {
+  Rig rig;
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kGpuSync;
+  options.flush_to_pfs = false;
+  ModelWeightsHandler handler(rig.services, options);
+  Model model = small_model();
+  model.set_version(1);
+  ASSERT_TRUE(handler.save_weights("net", model).is_ok());
+  handler.drain();
+  EXPECT_EQ(rig.services->pfs->num_objects(), 0u);
+}
+
+TEST(Handler, AutoAssignsVersionsWhenModelHasNone) {
+  Rig rig;
+  auto handler = rig.handler(Strategy::kHostSync);
+  const Model model = small_model();  // version() == 0
+  auto first = handler->save_weights("net", model);
+  auto second = handler->save_weights("net", model);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value().metadata.version, 1u);
+  EXPECT_EQ(second.value().metadata.version, 2u);
+}
+
+TEST(Handler, AsyncSaveReturnsBeforeCommitButDrainCompletes) {
+  Rig rig;
+  auto handler = rig.handler(Strategy::kGpuAsync);
+  Model model = small_model();
+  model.set_version(1);
+  ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  handler->drain();
+  EXPECT_EQ(handler->saves_completed(), 1u);
+  EXPECT_TRUE(handler->gpu_tier().contains("ckpt/net"));
+}
+
+TEST(Handler, StallAccumulatesPerSave) {
+  Rig rig;
+  auto handler = rig.handler(Strategy::kViperPfs);
+  Model model = small_model();
+  model.set_nominal_bytes(4'700'000'000ULL);
+  model.set_version(1);
+  ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  model.set_version(2);
+  ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  // Two PFS saves of a nominal 4.7 GB model ≈ 2 × 3.5 s of stall.
+  EXPECT_GT(handler->total_stall_seconds(), 5.0);
+  EXPECT_LT(handler->total_stall_seconds(), 9.0);
+}
+
+TEST(Loader, MissingModelIsNotFound) {
+  Rig rig;
+  auto loader = rig.loader();
+  EXPECT_EQ(loader.load_weights("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(loader.peek("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Loader, FallsBackToFlushedPfsCopyWhenCacheEvicted) {
+  // Metadata points at producer memory but the producer evicted it; the
+  // loader must recover from the background PFS flush of that version.
+  Rig rig;
+  auto handler = rig.handler(Strategy::kGpuSync);
+  std::thread server([&] { handler->serve_transfers(rig.producer_comm); });
+  Model model = small_model();
+  model.set_version(1);
+  ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  handler->drain();  // let the fault-tolerance flush land
+  ASSERT_TRUE(handler->gpu_tier().erase("ckpt/net").is_ok());
+
+  auto loader = rig.loader();
+  auto loaded = loader.load_weights("net");
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_TRUE(loaded.value().same_weights(model));
+
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(rig.consumer_comm, 0).is_ok());
+  server.join();
+}
+
+TEST(Loader, StaleCacheWithoutFlushIsNotFound) {
+  Rig rig;
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kGpuSync;
+  options.flush_to_pfs = false;  // no safety net this time
+  auto handler = std::make_shared<ModelWeightsHandler>(rig.services, options);
+  std::thread server([&] { handler->serve_transfers(rig.producer_comm); });
+  Model model = small_model();
+  model.set_version(1);
+  ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  ASSERT_TRUE(handler->gpu_tier().erase("ckpt/net").is_ok());
+
+  auto loader = rig.loader();
+  EXPECT_EQ(loader.load_weights("net").status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(rig.consumer_comm, 0).is_ok());
+  server.join();
+}
+
+TEST(DoubleBuffer, ActiveStartsNull) {
+  DoubleBuffer buffer;
+  EXPECT_EQ(buffer.active(), nullptr);
+  EXPECT_EQ(buffer.swap_count(), 0u);
+}
+
+TEST(DoubleBuffer, InstallSwapsAtomically) {
+  DoubleBuffer buffer;
+  Model m1 = small_model(1);
+  m1.set_version(1);
+  buffer.install(std::move(m1));
+  auto active = buffer.active();
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->version(), 1u);
+
+  Model m2 = small_model(2);
+  m2.set_version(2);
+  buffer.install(std::move(m2));
+  EXPECT_EQ(buffer.active()->version(), 2u);
+  // The old snapshot stays valid for readers that captured it.
+  EXPECT_EQ(active->version(), 1u);
+  EXPECT_EQ(buffer.swap_count(), 2u);
+}
+
+TEST(DoubleBuffer, ReadersNeverSeeTornModelsUnderConcurrentInstalls) {
+  DoubleBuffer buffer;
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto model = buffer.active();
+      if (model) {
+        // Version and iteration are stamped together before install; a
+        // torn model would break this invariant.
+        if (model->iteration() != static_cast<std::int64_t>(model->version())) {
+          ++violations;
+        }
+      }
+    }
+  });
+  for (std::uint64_t v = 1; v <= 200; ++v) {
+    Model m = small_model(v % 7);
+    m.set_version(v);
+    m.set_iteration(static_cast<std::int64_t>(v));
+    buffer.install(std::move(m));
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(buffer.swap_count(), 200u);
+}
+
+TEST(InferenceConsumer, AppliesPushedUpdates) {
+  Rig rig;
+  auto handler = rig.handler(Strategy::kHostSync);
+  std::thread server([&] { handler->serve_transfers(rig.producer_comm); });
+
+  std::atomic<int> hooks{0};
+  InferenceConsumer::Options options;
+  options.loader.producer_rank = 0;
+  options.on_update = [&hooks](const ModelMetadata&) { ++hooks; };
+  InferenceConsumer consumer(rig.services, rig.consumer_comm, "net", options);
+  consumer.start();
+
+  Model model = small_model();
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    model.set_version(v);
+    ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+    // Give the consumer time to react (single-core box).
+    for (int spin = 0; spin < 200 && consumer.active_version() < v; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  EXPECT_EQ(consumer.active_version(), 3u);
+  EXPECT_GE(consumer.updates_applied(), 1u);  // bursts may coalesce
+  EXPECT_GE(hooks.load(), 1);
+  ASSERT_NE(consumer.active_model(), nullptr);
+  EXPECT_TRUE(consumer.active_model()->same_weights(model));
+
+  consumer.stop();
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(rig.consumer_comm, 0).is_ok());
+  server.join();
+}
+
+TEST(PollingConsumer, DiscoversUpdatesByPolling) {
+  Rig rig;
+  auto handler = rig.handler(Strategy::kViperPfs);  // PFS: no comm needed
+  PollingConsumer::Options options;
+  options.poll_interval = 0.002;
+  PollingConsumer consumer(rig.services, rig.consumer_comm, "net", options);
+  consumer.start();
+
+  Model model = small_model();
+  model.set_version(1);
+  ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  for (int spin = 0; spin < 300 && consumer.updates_applied() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  consumer.stop();
+  EXPECT_EQ(consumer.updates_applied(), 1u);
+  EXPECT_GT(consumer.polls_issued(), 1u);  // polling cost the baseline pays
+  ASSERT_NE(consumer.active_model(), nullptr);
+  EXPECT_TRUE(consumer.active_model()->same_weights(model));
+}
+
+}  // namespace
+}  // namespace viper::core

@@ -1,0 +1,208 @@
+// Unit + property tests for viper_math: curve models, Levenberg-Marquardt
+// fitting, model selection, dense solver, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "viper/math/curve_models.hpp"
+#include "viper/math/least_squares.hpp"
+#include "viper/math/stats.hpp"
+
+namespace viper::math {
+namespace {
+
+std::vector<double> iota(std::size_t n) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = static_cast<double>(i);
+  return xs;
+}
+
+std::vector<double> sample(const CurveModel& model, std::span<const double> xs,
+                           std::span<const double> params) {
+  std::vector<double> ys;
+  ys.reserve(xs.size());
+  for (double x : xs) ys.push_back(model.eval(x, params));
+  return ys;
+}
+
+TEST(CurveModels, FamilyNames) {
+  EXPECT_EQ(to_string(CurveFamily::kExp2), "Exp2");
+  EXPECT_EQ(to_string(CurveFamily::kExp3), "Exp3");
+  EXPECT_EQ(to_string(CurveFamily::kLin2), "Lin2");
+  EXPECT_EQ(to_string(CurveFamily::kExpd3), "Expd3");
+}
+
+TEST(CurveModels, Exp3Evaluation) {
+  auto model = make_curve_model(CurveFamily::kExp3);
+  const std::vector<double> p{2.0, 0.1, 0.5};
+  EXPECT_DOUBLE_EQ(model->eval(0.0, p), 2.5);
+  EXPECT_NEAR(model->eval(10.0, p), 2.0 * std::exp(-1.0) + 0.5, 1e-12);
+}
+
+TEST(CurveModels, Expd3ApproachesAsymptote) {
+  auto model = make_curve_model(CurveFamily::kExpd3);
+  const std::vector<double> p{3.0, 0.05, 0.5};  // a=3 (start), c=0.5 (end)
+  EXPECT_DOUBLE_EQ(model->eval(0.0, p), 3.0);
+  EXPECT_NEAR(model->eval(1000.0, p), 0.5, 1e-12);
+}
+
+// Property: analytic gradients must match central finite differences.
+class GradientCheck : public ::testing::TestWithParam<CurveFamily> {};
+
+TEST_P(GradientCheck, MatchesFiniteDifferences) {
+  auto model = make_curve_model(GetParam());
+  std::vector<double> params;
+  switch (model->num_params()) {
+    case 2: params = {1.7, 0.03}; break;
+    case 3: params = {1.7, 0.03, 0.4}; break;
+    default: FAIL() << "unexpected parameter count";
+  }
+  std::vector<double> grad(model->num_params());
+  for (double x : {0.0, 1.0, 5.0, 40.0}) {
+    model->gradient(x, params, grad);
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      const double h = 1e-6 * std::max(1.0, std::abs(params[j]));
+      auto bumped = params;
+      bumped[j] += h;
+      const double up = model->eval(x, bumped);
+      bumped[j] -= 2 * h;
+      const double down = model->eval(x, bumped);
+      const double numeric = (up - down) / (2 * h);
+      EXPECT_NEAR(grad[j], numeric, 1e-4 * std::max(1.0, std::abs(numeric)))
+          << to_string(GetParam()) << " param " << j << " at x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, GradientCheck,
+                         ::testing::ValuesIn(all_curve_families()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// Property: LM recovers the generating parameters from clean samples.
+class FitRecovery : public ::testing::TestWithParam<CurveFamily> {};
+
+TEST_P(FitRecovery, RecoversTrueCurve) {
+  auto model = make_curve_model(GetParam());
+  std::vector<double> truth;
+  switch (GetParam()) {
+    case CurveFamily::kExp2: truth = {2.5, 0.02}; break;
+    case CurveFamily::kExp3: truth = {2.5, 0.02, 0.3}; break;
+    case CurveFamily::kLin2: truth = {-0.004, 2.0}; break;
+    case CurveFamily::kExpd3: truth = {2.5, 0.02, 0.3}; break;
+  }
+  const auto xs = iota(200);
+  const auto ys = sample(*model, xs, truth);
+
+  auto fit = fit_curve(*model, xs, ys);
+  ASSERT_TRUE(fit.is_ok()) << fit.status().to_string();
+  EXPECT_LT(fit.value().mse, 1e-8) << to_string(GetParam());
+  // Check predictions, not raw parameters (parameterizations can trade off).
+  for (double x : {0.0, 50.0, 150.0, 300.0}) {
+    EXPECT_NEAR(model->eval(x, fit.value().params), model->eval(x, truth), 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FitRecovery,
+                         ::testing::ValuesIn(all_curve_families()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(FitCurve, RejectsMismatchedSizes) {
+  auto model = make_curve_model(CurveFamily::kExp2);
+  const std::vector<double> xs{0, 1, 2};
+  const std::vector<double> ys{1, 2};
+  EXPECT_FALSE(fit_curve(*model, xs, ys).is_ok());
+}
+
+TEST(FitCurve, RejectsTooFewSamples) {
+  auto model = make_curve_model(CurveFamily::kExp3);
+  const std::vector<double> xs{0, 1};
+  const std::vector<double> ys{2, 1};
+  EXPECT_FALSE(fit_curve(*model, xs, ys).is_ok());
+}
+
+TEST(FitBestCurve, SelectsGeneratingFamilyOnExpData) {
+  auto exp3 = make_curve_model(CurveFamily::kExp3);
+  const std::vector<double> truth{2.0, 0.015, 0.4};
+  const auto xs = iota(300);
+  const auto ys = sample(*exp3, xs, truth);
+  const auto families = all_curve_families();
+  auto fits = fit_best_curve(xs, ys, families);
+  ASSERT_FALSE(fits.empty());
+  // Exp3 (or the equivalent Expd3 reparameterization) must beat Lin2.
+  EXPECT_NE(fits.front().family, CurveFamily::kLin2);
+  EXPECT_LT(fits.front().mse, 1e-6);
+  // Results must be sorted ascending by MSE.
+  for (std::size_t i = 1; i < fits.size(); ++i) {
+    EXPECT_LE(fits[i - 1].mse, fits[i].mse);
+  }
+}
+
+TEST(FitBestCurve, SelectsLineOnLinearData) {
+  const auto xs = iota(50);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(5.0 - 0.01 * x);
+  const auto families = all_curve_families();
+  auto fits = fit_best_curve(xs, ys, families);
+  ASSERT_FALSE(fits.empty());
+  EXPECT_LT(fits.front().mse, 1e-10);
+}
+
+TEST(SolveDense, Solves3x3System) {
+  // A = [[2,1,0],[1,3,1],[0,1,4]], b = [3,8,13] → x = [1,1,3]? verify:
+  // 2+1=3 ✓ ; 1+3+3=7 ✗ — use computed rhs for x=[1,1,3]: [3,7,13].
+  std::vector<double> a{2, 1, 0, 1, 3, 1, 0, 1, 4};
+  std::vector<double> b{3, 7, 13};
+  ASSERT_TRUE(solve_dense(a, b, 3));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+  EXPECT_NEAR(b[2], 3.0, 1e-12);
+}
+
+TEST(SolveDense, DetectsSingularMatrix) {
+  std::vector<double> a{1, 2, 2, 4};
+  std::vector<double> b{1, 2};
+  EXPECT_FALSE(solve_dense(a, b, 2));
+}
+
+TEST(SolveDense, HandlesPivoting) {
+  // Leading zero forces a row swap.
+  std::vector<double> a{0, 1, 1, 0};
+  std::vector<double> b{2, 3};
+  ASSERT_TRUE(solve_dense(a, b, 2));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Stats, SpanHelpers) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  const std::vector<double> ys{1, 2, 3, 5};
+  EXPECT_DOUBLE_EQ(mse(xs, ys), 0.25);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace viper::math

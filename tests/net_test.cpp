@@ -1,0 +1,183 @@
+// Unit + integration tests for viper_net: link models, channels, MiniComm,
+// and the fabric's link selection / fallback.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "viper/net/channel.hpp"
+#include "viper/net/comm.hpp"
+#include "viper/net/fabric.hpp"
+
+namespace viper::net {
+namespace {
+
+std::vector<std::byte> payload_of(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(LinkModel, TransferTimeIsLatencyPlusBandwidth) {
+  LinkModel link{.name = "l", .bandwidth = 1e9, .setup_latency = 0.01};
+  EXPECT_NEAR(link.transfer_seconds(2'000'000'000), 2.01, 1e-9);
+  EXPECT_NEAR(link.transfer_seconds(0), 0.01, 1e-12);
+}
+
+TEST(LinkModel, PolarisOrdering) {
+  // GPUDirect must beat host RDMA must beat TCP for multi-GB checkpoints.
+  const std::uint64_t bytes = 4'700'000'000ULL;
+  EXPECT_LT(polaris_gpudirect().transfer_seconds(bytes),
+            polaris_host_rdma().transfer_seconds(bytes));
+  EXPECT_LT(polaris_host_rdma().transfer_seconds(bytes),
+            polaris_tcp().transfer_seconds(bytes));
+}
+
+TEST(Channel, DeliversInFifoOrder) {
+  Channel ch;
+  ch.send({0, 1, payload_of({1})});
+  ch.send({0, 1, payload_of({2})});
+  EXPECT_EQ(ch.recv(kAnySource, 1).value().payload, payload_of({1}));
+  EXPECT_EQ(ch.recv(kAnySource, 1).value().payload, payload_of({2}));
+}
+
+TEST(Channel, TagSelectiveReceiveStashesOthers) {
+  Channel ch;
+  ch.send({0, 5, payload_of({5})});
+  ch.send({0, 7, payload_of({7})});
+  // Ask for tag 7 first: the tag-5 message is set aside, not dropped.
+  EXPECT_EQ(ch.recv(kAnySource, 7).value().payload, payload_of({7}));
+  EXPECT_EQ(ch.recv(kAnySource, 5).value().payload, payload_of({5}));
+}
+
+TEST(Channel, SourceSelectiveReceive) {
+  Channel ch;
+  ch.send({1, 0, payload_of({1})});
+  ch.send({2, 0, payload_of({2})});
+  EXPECT_EQ(ch.recv(2, kAnyTag).value().source, 2);
+  EXPECT_EQ(ch.recv(1, kAnyTag).value().source, 1);
+}
+
+TEST(Channel, RecvTimesOut) {
+  Channel ch;
+  auto msg = ch.recv(kAnySource, kAnyTag, 0.01);
+  ASSERT_FALSE(msg.is_ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kTimeout);
+}
+
+TEST(Channel, CloseCancelsBlockedReceivers) {
+  Channel ch;
+  std::thread receiver([&ch] {
+    auto msg = ch.recv(kAnySource, kAnyTag);
+    EXPECT_EQ(msg.status().code(), StatusCode::kCancelled);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();
+  receiver.join();
+}
+
+TEST(Channel, StashSurvivesAcrossTimeouts) {
+  Channel ch;
+  ch.send({0, 9, payload_of({9})});
+  EXPECT_FALSE(ch.recv(kAnySource, 1, 0.01).is_ok());  // stashes the tag-9 msg
+  EXPECT_EQ(ch.recv(kAnySource, 9, 0.01).value().payload, payload_of({9}));
+}
+
+TEST(Comm, PingPongAcrossThreads) {
+  auto world = CommWorld::create(2);
+  Comm producer = world->comm(0);
+  Comm consumer = world->comm(1);
+
+  std::thread peer([&consumer] {
+    auto msg = consumer.recv(0, 42);
+    ASSERT_TRUE(msg.is_ok());
+    ASSERT_TRUE(consumer.send(0, 43, msg.value().payload).is_ok());
+  });
+  const auto ping = payload_of({1, 2, 3});
+  ASSERT_TRUE(producer.send(1, 42, ping).is_ok());
+  auto pong = producer.recv(1, 43);
+  ASSERT_TRUE(pong.is_ok());
+  EXPECT_EQ(pong.value().payload, ping);
+  peer.join();
+}
+
+TEST(Comm, AnySourceReceive) {
+  auto world = CommWorld::create(3);
+  Comm server = world->comm(0);
+  ASSERT_TRUE(world->comm(1).send(0, 7, payload_of({1})).is_ok());
+  ASSERT_TRUE(world->comm(2).send(0, 7, payload_of({2})).is_ok());
+  auto first = server.recv(kAnySource, 7);
+  auto second = server.recv(kAnySource, 7);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_NE(first.value().source, second.value().source);
+}
+
+TEST(Comm, RejectsBadRanks) {
+  auto world = CommWorld::create(2);
+  Comm c = world->comm(0);
+  EXPECT_FALSE(c.send(5, 0, {}).is_ok());
+  EXPECT_FALSE(c.recv(5, 0).is_ok());
+}
+
+TEST(Comm, BarrierSynchronizesAllRanks) {
+  constexpr int kRanks = 4;
+  auto world = CommWorld::create(kRanks);
+  std::atomic<int> arrived{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&world, &arrived, r, kRanks] {
+      Comm c = world->comm(r);
+      ++arrived;
+      ASSERT_TRUE(c.barrier().is_ok());
+      // After the barrier everyone must have arrived.
+      EXPECT_EQ(arrived.load(), kRanks);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(Comm, ShutdownCancelsBlockedRecv) {
+  auto world = CommWorld::create(2);
+  Comm c = world->comm(1);
+  std::thread receiver([&c] {
+    EXPECT_EQ(c.recv(0, 0).status().code(), StatusCode::kCancelled);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  world->shutdown();
+  receiver.join();
+}
+
+TEST(Fabric, PrefersGpuDirectWhenAvailable) {
+  Fabric fabric = Fabric::polaris();
+  const LinkModel* best = fabric.best_link(4'700'000'000ULL);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->kind, LinkKind::kGpuDirect);
+}
+
+TEST(Fabric, FallsBackToHostRdma) {
+  // The paper's fallback chain: no GPUDirect → host-to-host RDMA.
+  Fabric fabric = Fabric::polaris();
+  fabric.set_available(LinkKind::kGpuDirect, false);
+  const LinkModel* best = fabric.best_link(4'700'000'000ULL);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->kind, LinkKind::kHostRdma);
+  EXPECT_EQ(fabric.link(LinkKind::kGpuDirect), nullptr);
+}
+
+TEST(Fabric, AddLinkReplacesSameKind) {
+  Fabric fabric;
+  fabric.add_link({.name = "slow", .kind = LinkKind::kTcp, .bandwidth = 1e6});
+  fabric.add_link({.name = "fast", .kind = LinkKind::kTcp, .bandwidth = 1e9});
+  const LinkModel* link = fabric.link(LinkKind::kTcp);
+  ASSERT_NE(link, nullptr);
+  EXPECT_EQ(link->name, "fast");
+}
+
+TEST(Fabric, EmptyFabricHasNoBestLink) {
+  Fabric fabric;
+  EXPECT_EQ(fabric.best_link(100), nullptr);
+  EXPECT_FALSE(fabric.available(LinkKind::kHostRdma));
+}
+
+}  // namespace
+}  // namespace viper::net

@@ -1,0 +1,125 @@
+// Tests for non-stationary training (continual learning, §2): shifted
+// trajectories and how the schedules handle them — the planned schedules
+// go stale after a shift while the runtime adapter re-tightens.
+#include <gtest/gtest.h>
+
+#include "viper/core/coupled_sim.hpp"
+#include "viper/sim/nonstationary.hpp"
+
+namespace viper::core {
+namespace {
+
+sim::AppProfile tc1() { return sim::app_profile(AppModel::kTc1); }
+
+TEST(Nonstationary, LossJumpsAtShiftAndReconverges) {
+  sim::NonstationaryTrajectory trajectory(
+      tc1(), {{.at_iteration = 2000, .amplitude = 2.0}});
+  const double before = trajectory.true_loss(1999);
+  const double at = trajectory.true_loss(2000);
+  EXPECT_GT(at, before + 1.0);  // the jump
+  EXPECT_DOUBLE_EQ(at, 2.0 + tc1().curve.c);
+  // Re-converges toward the same asymptote.
+  EXPECT_LT(trajectory.true_loss(6000), at * 0.4);
+}
+
+TEST(Nonstationary, NoShiftsMatchesStationaryCurve) {
+  sim::NonstationaryTrajectory shifted(tc1(), {});
+  sim::TrajectoryGenerator plain(tc1());
+  for (std::int64_t x : {0, 100, 1000, 4000}) {
+    EXPECT_DOUBLE_EQ(shifted.true_loss(x), plain.true_loss(x));
+  }
+}
+
+TEST(Nonstationary, ShiftsAreSortedAndStack) {
+  sim::NonstationaryTrajectory trajectory(
+      tc1(), {{.at_iteration = 3000, .amplitude = 1.0, .new_decay_rate = 0.01},
+              {.at_iteration = 1000, .amplitude = 2.0}});
+  // Unsorted input must still resolve the segment correctly.
+  EXPECT_DOUBLE_EQ(trajectory.true_loss(1000), 2.0 + tc1().curve.c);
+  EXPECT_DOUBLE_EQ(trajectory.true_loss(3000), 1.0 + tc1().curve.c);
+  // The second segment decays with its own (faster) rate.
+  const double after = trajectory.true_loss(3300);
+  EXPECT_NEAR(after, 1.0 * std::exp(-0.01 * 300) + tc1().curve.c, 1e-9);
+}
+
+TEST(Nonstationary, ObservedLossIsDeterministic) {
+  sim::NonstationaryTrajectory a(tc1(), {{.at_iteration = 10, .amplitude = 1.0}}, 5);
+  sim::NonstationaryTrajectory b(tc1(), {{.at_iteration = 10, .amplitude = 1.0}}, 5);
+  for (std::int64_t x = 0; x < 50; ++x) {
+    EXPECT_DOUBLE_EQ(a.observed_loss(x), b.observed_loss(x));
+  }
+}
+
+// ---- Coupled runs under distribution shift ----------------------------------
+
+CoupledRunConfig shifted_config() {
+  CoupledRunConfig config;
+  config.profile = tc1();
+  config.strategy = Strategy::kGpuAsync;
+  // One mid-window shift: the model must relearn from loss ≈ 1.8.
+  config.shifts = {{.at_iteration = 2500, .amplitude = 1.8}};
+  return config;
+}
+
+TEST(ShiftedRun, ShiftRaisesCilForEveryPlannedSchedule) {
+  for (ScheduleKind kind : {ScheduleKind::kEpochBaseline,
+                            ScheduleKind::kFixedInterval, ScheduleKind::kGreedy}) {
+    CoupledRunConfig with_shift = shifted_config();
+    with_shift.schedule_kind = kind;
+    CoupledRunConfig without = with_shift;
+    without.shifts.clear();
+    const double shifted_cil = run_coupled_experiment(with_shift).value().cil;
+    const double plain_cil = run_coupled_experiment(without).value().cil;
+    EXPECT_GT(shifted_cil, plain_cil) << to_string(kind);
+  }
+}
+
+TEST(ShiftedRun, GreedyStopsUpdatingAfterShift) {
+  // The planned greedy schedule was computed from the pre-shift curve:
+  // its late checkpoints are sparse or absent, so after the shift the
+  // consumer is left serving a stale (now-bad) model. Measure how many
+  // of its checkpoints land after the shift vs the adaptive run's.
+  CoupledRunConfig greedy = shifted_config();
+  greedy.schedule_kind = ScheduleKind::kGreedy;
+  const auto greedy_result = run_coupled_experiment(greedy).value();
+
+  CoupledRunConfig adaptive = shifted_config();
+  adaptive.frequency_adapter = FrequencyAdapter::Options{
+      .initial_interval = 216,
+      .min_interval = 8,
+      .max_interval = 2000,
+      .target_overhead_fraction = 0.02,
+      .improvement_threshold = 0.01,
+      .step = 1.5,
+  };
+  const auto adaptive_result = run_coupled_experiment(adaptive).value();
+
+  auto after_shift = [](const CoupledRunResult& result) {
+    std::int64_t count = 0;
+    for (const auto& update : result.updates) {
+      if (update.capture_iteration >= 2500) ++count;
+    }
+    return count;
+  };
+  EXPECT_GT(after_shift(adaptive_result), after_shift(greedy_result));
+  // And that freshness shows up as a lower cumulative loss.
+  EXPECT_LT(adaptive_result.cil, greedy_result.cil);
+}
+
+TEST(ShiftedRun, AdapterTightensAfterShift) {
+  CoupledRunConfig adaptive = shifted_config();
+  adaptive.frequency_adapter = FrequencyAdapter::Options{
+      .initial_interval = 216,
+      .min_interval = 8,
+      .max_interval = 2000,
+      .target_overhead_fraction = 0.02,
+      .improvement_threshold = 0.01,
+      .step = 1.5,
+  };
+  const auto result = run_coupled_experiment(adaptive).value();
+  // The post-shift fast-progress phase must trigger tightenings.
+  EXPECT_GT(result.adapter_downs, 0);
+}
+
+}  // namespace
+}  // namespace viper::core

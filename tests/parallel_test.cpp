@@ -1,0 +1,337 @@
+// Tests for the parallel module: shard planning/extraction/assembly,
+// broadcast topology cost models, and the live sharded producer/loader.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "viper/core/consumer.hpp"
+#include "viper/parallel/broadcast.hpp"
+#include "viper/parallel/multi_node.hpp"
+#include "viper/parallel/sharding.hpp"
+#include "viper/tensor/architectures.hpp"
+
+namespace viper::parallel {
+namespace {
+
+Model tc1_model(std::uint64_t version = 1) {
+  Model m = build_app_model(AppModel::kTc1, {}).value();
+  m.set_version(version);
+  m.set_iteration(static_cast<std::int64_t>(version) * 10);
+  return m;
+}
+
+// ---- Shard planning ------------------------------------------------------
+
+class ShardCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardCounts, PlanCoversEveryTensorExactlyOnce) {
+  const Model model = tc1_model();
+  auto plan = plan_shards(model, GetParam());
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan.value().assignments.size(), model.num_tensors());
+  for (const auto& a : plan.value().assignments) {
+    EXPECT_GE(a.shard, 0);
+    EXPECT_LT(a.shard, GetParam());
+    EXPECT_TRUE(model.has_tensor(a.tensor_name));
+  }
+}
+
+TEST_P(ShardCounts, ExtractAndAssembleRoundTrips) {
+  const Model model = tc1_model(5);
+  auto plan = plan_shards(model, GetParam()).value();
+  std::vector<Model> shards;
+  std::uint64_t total_payload = 0;
+  for (int s = 0; s < GetParam(); ++s) {
+    auto shard = extract_shard(model, plan, s);
+    ASSERT_TRUE(shard.is_ok());
+    total_payload += shard.value().payload_bytes();
+    shards.push_back(std::move(shard).value());
+  }
+  EXPECT_EQ(total_payload, model.payload_bytes());
+  auto assembled = assemble_shards(shards, model.name());
+  ASSERT_TRUE(assembled.is_ok()) << assembled.status().to_string();
+  EXPECT_TRUE(assembled.value().same_weights(model));
+  EXPECT_EQ(assembled.value().version(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToEight, ShardCounts, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Sharding, BalancesBytesReasonably) {
+  const Model model = build_app_model(AppModel::kPtychoNN, {}).value();
+  auto plan = plan_shards(model, 4).value();
+  // Greedy LPT on tensor-sized items: every shard gets something and the
+  // heaviest shard stays within 2x of the mean (whole-tensor granularity
+  // bounds how even it can be).
+  for (std::uint64_t bytes : plan.shard_bytes()) EXPECT_GT(bytes, 0u);
+  EXPECT_LT(plan.imbalance(), 2.0);
+}
+
+TEST(Sharding, NominalBytesSplitProportionally) {
+  const Model model = tc1_model();
+  auto plan = plan_shards(model, 4).value();
+  std::uint64_t nominal_total = 0;
+  for (int s = 0; s < 4; ++s) {
+    nominal_total += extract_shard(model, plan, s).value().nominal_bytes();
+  }
+  const auto full = model.nominal_bytes();
+  EXPECT_NEAR(static_cast<double>(nominal_total), static_cast<double>(full),
+              static_cast<double>(full) * 0.001);
+}
+
+TEST(Sharding, RejectsBadInputs) {
+  const Model model = tc1_model();
+  EXPECT_FALSE(plan_shards(model, 0).is_ok());
+  EXPECT_FALSE(plan_shards(Model("empty"), 2).is_ok());
+  auto plan = plan_shards(model, 2).value();
+  EXPECT_FALSE(extract_shard(model, plan, 2).is_ok());
+  EXPECT_FALSE(extract_shard(model, plan, -1).is_ok());
+  EXPECT_FALSE(assemble_shards({}, "x").is_ok());
+}
+
+TEST(Sharding, AssembleDetectsVersionSkew) {
+  const Model model = tc1_model(3);
+  auto plan = plan_shards(model, 2).value();
+  auto a = extract_shard(model, plan, 0).value();
+  auto b = extract_shard(model, plan, 1).value();
+  b.set_version(4);  // a producer raced ahead on one shard
+  EXPECT_EQ(assemble_shards({a, b}, model.name()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Sharding, AssembleDetectsDuplicateTensors) {
+  const Model model = tc1_model();
+  auto plan = plan_shards(model, 2).value();
+  auto a = extract_shard(model, plan, 0).value();
+  EXPECT_EQ(assemble_shards({a, a}, model.name()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---- Row-chunked (tensor-parallel) sharding -------------------------------
+
+TEST(ChunkedSharding, SplitsOversizedTensorsAcrossShards) {
+  // TC1's giant dense kernel dominates the model; with chunking no shard
+  // should carry much more than its fair share.
+  const Model model = tc1_model();
+  const std::uint64_t cap = model.payload_bytes() / 8;
+  auto whole = plan_shards(model, 4).value();
+  auto chunked = plan_shards(model, 4, {.max_item_bytes = cap}).value();
+  EXPECT_LT(chunked.imbalance(), whole.imbalance());
+  EXPECT_LT(chunked.imbalance(), 1.3);
+  EXPECT_GT(chunked.assignments.size(), whole.assignments.size());
+}
+
+TEST(ChunkedSharding, ExtractAssembleRoundTripsBitExact) {
+  const Model model = tc1_model(9);
+  auto plan =
+      plan_shards(model, 4, {.max_item_bytes = model.payload_bytes() / 16}).value();
+  std::vector<Model> shards;
+  for (int s = 0; s < 4; ++s) {
+    shards.push_back(extract_shard(model, plan, s).value());
+  }
+  auto assembled = assemble_shards(shards, model.name());
+  ASSERT_TRUE(assembled.is_ok()) << assembled.status().to_string();
+  EXPECT_TRUE(assembled.value().same_weights(model));
+}
+
+TEST(ChunkedSharding, MissingChunkIsDetected) {
+  const Model model = tc1_model();
+  auto plan =
+      plan_shards(model, 3, {.max_item_bytes = model.payload_bytes() / 8}).value();
+  std::vector<Model> shards;
+  for (int s = 0; s < 2; ++s) {  // drop the third shard
+    shards.push_back(extract_shard(model, plan, s).value());
+  }
+  auto assembled = assemble_shards(shards, model.name());
+  EXPECT_FALSE(assembled.is_ok());
+}
+
+TEST(ChunkedSharding, RowCoverageIsExactPartition) {
+  const Model model = tc1_model();
+  auto plan =
+      plan_shards(model, 5, {.max_item_bytes = model.payload_bytes() / 10}).value();
+  // Per tensor: row ranges must tile [0, rows) without gaps or overlap.
+  std::map<std::string, std::vector<std::pair<std::int64_t, std::int64_t>>> ranges;
+  for (const auto& a : plan.assignments) {
+    ranges[a.tensor_name].push_back({a.row_begin, a.row_end});
+  }
+  for (auto& [name, spans] : ranges) {
+    std::sort(spans.begin(), spans.end());
+    const auto& tensor = *model.tensor(name).value();
+    const std::int64_t rows =
+        tensor.shape().rank() == 0 ? 1 : tensor.shape().dim(0);
+    std::int64_t cursor = 0;
+    for (const auto& [begin, end] : spans) {
+      EXPECT_EQ(begin, cursor) << "gap/overlap in tensor " << name;
+      cursor = end;
+    }
+    EXPECT_EQ(cursor, rows) << "incomplete coverage of tensor " << name;
+  }
+}
+
+TEST(ChunkedSharding, LiveShardedRoundTripWithChunks) {
+  // ShardedProducer/Loader must transport row chunks transparently.
+  auto services = std::make_shared<core::SharedServices>();
+  auto world = net::CommWorld::create(2);
+  core::ModelWeightsHandler::Options options;
+  options.strategy = core::Strategy::kViperPfs;
+  const Model model = tc1_model(2);
+  ShardedProducer producer(services, options, 4,
+                           {.max_item_bytes = model.payload_bytes() / 8});
+  ASSERT_TRUE(producer.save_sharded("tc1", model).is_ok());
+
+  ShardedLoader loader(services, world->comm(1), {});
+  auto loaded = loader.load_sharded("tc1");
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_TRUE(loaded.value().same_weights(model));
+}
+
+// ---- Broadcast cost models ----------------------------------------------
+
+TEST(Broadcast, SingleConsumerAllTopologiesAgreeRoughly) {
+  const auto link = net::polaris_gpudirect();
+  for (auto topology : {BroadcastTopology::kSequential, BroadcastTopology::kTree}) {
+    auto estimate = estimate_broadcast(topology, 4'700'000'000ULL, 1, link);
+    ASSERT_TRUE(estimate.is_ok());
+    EXPECT_NEAR(estimate.value().last_consumer_seconds,
+                link.transfer_seconds(4'700'000'000ULL), 1e-9);
+  }
+}
+
+TEST(Broadcast, TreeBeatsSequentialAtScale) {
+  const auto link = net::polaris_host_rdma();
+  const auto seq =
+      estimate_broadcast(BroadcastTopology::kSequential, 1'000'000'000, 16, link)
+          .value();
+  const auto tree =
+      estimate_broadcast(BroadcastTopology::kTree, 1'000'000'000, 16, link).value();
+  EXPECT_LT(tree.last_consumer_seconds, seq.last_consumer_seconds);
+  // log2(17) rounds ≈ 5 transfers vs 16 sequential ones.
+  EXPECT_GT(seq.last_consumer_seconds / tree.last_consumer_seconds, 2.5);
+}
+
+TEST(Broadcast, ChainCompletionGrowsSlowlyWithConsumers) {
+  const auto link = net::polaris_host_rdma();
+  const auto few =
+      estimate_broadcast(BroadcastTopology::kChain, 4'700'000'000ULL, 2, link)
+          .value();
+  const auto many =
+      estimate_broadcast(BroadcastTopology::kChain, 4'700'000'000ULL, 32, link)
+          .value();
+  // Pipelining: 30 extra hops cost only 30 chunk times, not 30 transfers.
+  EXPECT_LT(many.last_consumer_seconds, few.last_consumer_seconds * 2.0);
+}
+
+TEST(Broadcast, RankTopologiesIsSortedAndComplete) {
+  const auto ranked = rank_topologies(4'700'000'000ULL, 8, net::polaris_gpudirect());
+  ASSERT_EQ(ranked.size(), 3u);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].last_consumer_seconds, ranked[i].last_consumer_seconds);
+  }
+}
+
+TEST(Broadcast, RejectsBadInputs) {
+  const auto link = net::polaris_gpudirect();
+  EXPECT_FALSE(estimate_broadcast(BroadcastTopology::kTree, 100, 0, link).is_ok());
+  EXPECT_FALSE(
+      estimate_broadcast(BroadcastTopology::kChain, 100, 2, link, {.chunk_bytes = 0})
+          .is_ok());
+}
+
+// ---- Live sharded producer/consumer ---------------------------------------
+
+TEST(ShardedLive, SaveShardedThenLoadShardedRoundTrips) {
+  auto services = std::make_shared<core::SharedServices>();
+  auto world = net::CommWorld::create(2);
+
+  core::ModelWeightsHandler::Options options;
+  options.strategy = core::Strategy::kGpuAsync;
+  ShardedProducer producer(services, options, /*num_shards=*/3);
+  std::thread server(
+      [&] { producer.handler().serve_transfers(world->comm(0)); });
+
+  const Model model = tc1_model(7);
+  auto manifest = producer.save_sharded("tc1", model, 0.4);
+  ASSERT_TRUE(manifest.is_ok()) << manifest.status().to_string();
+  EXPECT_EQ(manifest.value().version, 7u);
+  EXPECT_EQ(manifest.value().num_shards, 3);
+
+  core::ModelLoader::Options loader_options;
+  loader_options.producer_rank = 0;
+  ShardedLoader loader(services, world->comm(1), loader_options);
+  EXPECT_EQ(loader.peek_manifest("tc1").value().version, 7u);
+  auto loaded = loader.load_sharded("tc1");
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_TRUE(loaded.value().same_weights(model));
+  EXPECT_EQ(loaded.value().version(), 7u);
+
+  ASSERT_TRUE(
+      core::ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+  server.join();
+}
+
+TEST(ShardedLive, ManifestNotifiesOnMainChannel) {
+  auto services = std::make_shared<core::SharedServices>();
+  auto sub = services->bus->subscribe(core::notification_channel("tc1"));
+
+  core::ModelWeightsHandler::Options options;
+  options.strategy = core::Strategy::kViperPfs;  // no transfer server needed
+  ShardedProducer producer(services, options, 2);
+  ASSERT_TRUE(producer.save_sharded("tc1", tc1_model(1)).is_ok());
+
+  auto event = sub.next(1.0);
+  ASSERT_TRUE(event.is_ok());
+  auto update = core::NotificationModule::parse(event.value());
+  ASSERT_TRUE(update.is_ok());
+  EXPECT_EQ(update.value().model_name, "tc1");
+  EXPECT_EQ(update.value().version, 1u);
+}
+
+TEST(ShardedLive, MissingManifestIsNotFound) {
+  auto services = std::make_shared<core::SharedServices>();
+  auto world = net::CommWorld::create(1);
+  ShardedLoader loader(services, world->comm(0), {});
+  EXPECT_EQ(loader.load_sharded("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardedLive, MultipleConsumersConvergeOnFanOut) {
+  // One producer, three push-notified consumers — the 1:N side of §6.
+  auto services = std::make_shared<core::SharedServices>();
+  auto world = net::CommWorld::create(4);
+
+  core::ModelWeightsHandler::Options options;
+  options.strategy = core::Strategy::kHostAsync;
+  auto handler = std::make_shared<core::ModelWeightsHandler>(services, options);
+  std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+
+  std::vector<std::unique_ptr<core::InferenceConsumer>> consumers;
+  for (int rank = 1; rank <= 3; ++rank) {
+    core::InferenceConsumer::Options consumer_options;
+    consumer_options.loader.producer_rank = 0;
+    consumers.push_back(std::make_unique<core::InferenceConsumer>(
+        services, world->comm(rank), "tc1", consumer_options));
+    consumers.back()->start();
+  }
+
+  Model model = tc1_model();
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    model.set_version(v);
+    ASSERT_TRUE(handler->save_weights("tc1", model).is_ok());
+    handler->drain();
+  }
+  for (auto& consumer : consumers) {
+    for (int spin = 0; spin < 500 && consumer->active_version() < 3; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(consumer->active_version(), 3u);
+    ASSERT_NE(consumer->active_model(), nullptr);
+    EXPECT_TRUE(consumer->active_model()->same_weights(model));
+    consumer->stop();
+  }
+
+  ASSERT_TRUE(
+      core::ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+  server.join();
+}
+
+}  // namespace
+}  // namespace viper::parallel

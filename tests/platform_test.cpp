@@ -1,0 +1,177 @@
+// Tests for the platform cost model: the fig8 shape assertions — who wins,
+// by what factor — must hold across all three paper models.
+#include <gtest/gtest.h>
+
+#include "viper/core/platform.hpp"
+#include "viper/sim/app_profile.hpp"
+
+namespace viper::core {
+namespace {
+
+struct AppCase {
+  AppModel app;
+  std::uint64_t bytes;
+  int tensors;
+};
+
+class Fig8Shape : public ::testing::TestWithParam<AppCase> {
+ protected:
+  PlatformModel platform_ = PlatformModel::polaris();
+
+  PathCosts costs(Strategy s) const {
+    return platform_.update_costs(s, GetParam().bytes, GetParam().tensors);
+  }
+};
+
+TEST_P(Fig8Shape, LatencyOrderingGpuHostPfs) {
+  EXPECT_LT(costs(Strategy::kGpuSync).update_latency,
+            costs(Strategy::kHostSync).update_latency);
+  EXPECT_LT(costs(Strategy::kHostSync).update_latency,
+            costs(Strategy::kViperPfs).update_latency);
+  EXPECT_LT(costs(Strategy::kViperPfs).update_latency,
+            costs(Strategy::kH5pyPfs).update_latency);
+}
+
+TEST_P(Fig8Shape, GpuBeatsBaselineByRoughlyPaperFactor) {
+  // Paper: ≈9x (TC1), 12x (NT3.A), 15x (PtychoNN). Accept the 5–25x band.
+  const double ratio = costs(Strategy::kH5pyPfs).update_latency /
+                       costs(Strategy::kGpuSync).update_latency;
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST_P(Fig8Shape, HostBeatsBaselineByRoughlyPaperFactor) {
+  // Paper: ≈3–5x. Accept the 2–8x band.
+  const double ratio = costs(Strategy::kH5pyPfs).update_latency /
+                       costs(Strategy::kHostSync).update_latency;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST_P(Fig8Shape, ViperPfsModestlyBeatsH5py) {
+  // Paper: 1.2–1.3x from leaner metadata.
+  const double ratio = costs(Strategy::kH5pyPfs).update_latency /
+                       costs(Strategy::kViperPfs).update_latency;
+  EXPECT_GT(ratio, 1.05);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST_P(Fig8Shape, AsyncLatencySlightlyAboveSync) {
+  // Async adds a staging copy: a bit more end-to-end latency...
+  EXPECT_GT(costs(Strategy::kGpuAsync).update_latency,
+            costs(Strategy::kGpuSync).update_latency);
+  EXPECT_GT(costs(Strategy::kHostAsync).update_latency,
+            costs(Strategy::kHostSync).update_latency);
+  // ... but within 1.6x — it's a copy, not a second transfer.
+  EXPECT_LT(costs(Strategy::kGpuAsync).update_latency,
+            costs(Strategy::kGpuSync).update_latency * 1.6);
+}
+
+TEST_P(Fig8Shape, AsyncStallsTrainingLess) {
+  EXPECT_LT(costs(Strategy::kGpuAsync).producer_stall,
+            costs(Strategy::kGpuSync).producer_stall);
+  EXPECT_LT(costs(Strategy::kHostAsync).producer_stall,
+            costs(Strategy::kHostSync).producer_stall);
+}
+
+TEST_P(Fig8Shape, StallOrderingGpuHostPfs) {
+  // fig9's orange line: GPU ≪ host ≪ PFS training overhead.
+  EXPECT_LT(costs(Strategy::kGpuAsync).producer_stall,
+            costs(Strategy::kHostAsync).producer_stall);
+  EXPECT_LT(costs(Strategy::kHostAsync).producer_stall,
+            costs(Strategy::kViperPfs).producer_stall);
+}
+
+TEST_P(Fig8Shape, StallNeverExceedsLatency) {
+  for (Strategy s : all_strategies()) {
+    const PathCosts c = costs(s);
+    EXPECT_LE(c.producer_stall, c.update_latency) << to_string(s);
+    EXPECT_GE(c.consumer_load, 0.0);
+    EXPECT_GT(c.update_latency, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperModels, Fig8Shape,
+    ::testing::Values(AppCase{AppModel::kNt3A, 600'000'000ULL, 10},
+                      AppCase{AppModel::kTc1, 4'700'000'000ULL, 10},
+                      AppCase{AppModel::kPtychoNN, 4'500'000'000ULL, 18}),
+    [](const auto& info) {
+      std::string name{to_string(info.param.app)};
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(PlatformModel, Tc1AbsoluteLatenciesNearPaper) {
+  // Fig 8b anchor points for the 4.7 GB TC1 model; generous ±35% bands —
+  // the shape tests above are the strict ones.
+  PlatformModel platform = PlatformModel::polaris();
+  const std::uint64_t bytes = 4'700'000'000ULL;
+  struct Anchor {
+    Strategy strategy;
+    double paper;
+  };
+  for (const Anchor a : {Anchor{Strategy::kH5pyPfs, 7.96},
+                         Anchor{Strategy::kViperPfs, 6.977},
+                         Anchor{Strategy::kHostSync, 2.264},
+                         Anchor{Strategy::kGpuSync, 0.626}}) {
+    const double modeled = platform.update_costs(a.strategy, bytes, 10).update_latency;
+    EXPECT_GT(modeled, a.paper * 0.65) << to_string(a.strategy);
+    EXPECT_LT(modeled, a.paper * 1.35) << to_string(a.strategy);
+  }
+}
+
+TEST(PlatformModel, Fig9StallAnchors) {
+  // Fig 9: 16 epoch-boundary checkpoints cost ≈1 s (GPU), ≈22 s (host),
+  // ≈60 s (PFS) of training overhead for TC1.
+  PlatformModel platform = PlatformModel::polaris();
+  const std::uint64_t bytes = 4'700'000'000ULL;
+  const double gpu = 16 * platform.update_costs(Strategy::kGpuAsync, bytes, 10).producer_stall;
+  const double host = 16 * platform.update_costs(Strategy::kHostAsync, bytes, 10).producer_stall;
+  const double pfs = 16 * platform.update_costs(Strategy::kViperPfs, bytes, 10).producer_stall;
+  EXPECT_GT(gpu, 0.4);
+  EXPECT_LT(gpu, 2.5);
+  EXPECT_GT(host, 15.0);
+  EXPECT_LT(host, 30.0);
+  EXPECT_GT(pfs, 45.0);
+  EXPECT_LT(pfs, 75.0);
+}
+
+TEST(PlatformModel, JitterIsBoundedAndSeeded) {
+  PlatformModel platform = PlatformModel::polaris();
+  Rng rng(3);
+  const double expected =
+      platform.update_costs(Strategy::kHostSync, 1'000'000'000, 10).update_latency;
+  for (int i = 0; i < 100; ++i) {
+    const double jittered =
+        platform.update_costs(Strategy::kHostSync, 1'000'000'000, 10, &rng)
+            .update_latency;
+    EXPECT_GT(jittered, expected * 0.7);
+    EXPECT_LT(jittered, expected * 1.4);
+  }
+}
+
+TEST(PlatformModel, MoreTensorsSlowOnlyPfsPaths) {
+  PlatformModel platform = PlatformModel::polaris();
+  const std::uint64_t bytes = 1'000'000'000ULL;
+  EXPECT_GT(platform.update_costs(Strategy::kH5pyPfs, bytes, 50).update_latency,
+            platform.update_costs(Strategy::kH5pyPfs, bytes, 5).update_latency);
+  EXPECT_DOUBLE_EQ(
+      platform.update_costs(Strategy::kGpuSync, bytes, 50).update_latency,
+      platform.update_costs(Strategy::kGpuSync, bytes, 5).update_latency);
+}
+
+TEST(Strategy, LocationAndAsyncClassification) {
+  EXPECT_EQ(strategy_location(Strategy::kGpuSync), Location::kGpuMemory);
+  EXPECT_EQ(strategy_location(Strategy::kHostAsync), Location::kHostMemory);
+  EXPECT_EQ(strategy_location(Strategy::kViperPfs), Location::kPfs);
+  EXPECT_TRUE(strategy_is_async(Strategy::kGpuAsync));
+  EXPECT_FALSE(strategy_is_async(Strategy::kGpuSync));
+  EXPECT_FALSE(strategy_is_async(Strategy::kViperPfs));
+  EXPECT_EQ(all_strategies().size(), 6u);
+}
+
+}  // namespace
+}  // namespace viper::core

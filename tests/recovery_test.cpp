@@ -1,0 +1,156 @@
+// Fault-tolerance tests: the background PFS flush plus recovery must
+// survive producer crashes and corrupted flushes.
+#include <gtest/gtest.h>
+
+#include "viper/core/recovery.hpp"
+
+namespace viper::core {
+namespace {
+
+Model versioned_model(std::uint64_t version) {
+  Rng rng(version);
+  Model m("net");
+  m.set_version(version);
+  m.set_iteration(static_cast<std::int64_t>(version) * 100);
+  EXPECT_TRUE(
+      m.add_tensor("w", Tensor::random(DType::kF32, Shape{128}, rng).value()).is_ok());
+  return m;
+}
+
+struct Rig {
+  std::shared_ptr<SharedServices> services = std::make_shared<SharedServices>();
+
+  std::shared_ptr<ModelWeightsHandler> handler() {
+    ModelWeightsHandler::Options options;
+    options.strategy = Strategy::kGpuAsync;  // memory path + background flush
+    return std::make_shared<ModelWeightsHandler>(services, options);
+  }
+
+  void corrupt(const std::string& key) {
+    std::vector<std::byte> blob;
+    ASSERT_TRUE(services->pfs->get(key, blob).is_ok());
+    blob[blob.size() / 3] ^= std::byte{0xFF};
+    ASSERT_TRUE(services->pfs->put(key, std::move(blob)).is_ok());
+  }
+};
+
+TEST(Recovery, ListsFlushedVersionsAscending) {
+  Rig rig;
+  auto handler = rig.handler();
+  for (std::uint64_t v : {3, 1, 2}) {
+    ASSERT_TRUE(handler->save_weights("net", versioned_model(v)).is_ok());
+  }
+  handler->drain();
+  const auto versions = flushed_versions(*rig.services, "net");
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0], 1u);
+  EXPECT_EQ(versions[2], 3u);
+}
+
+TEST(Recovery, IgnoresOtherModelsKeys) {
+  Rig rig;
+  auto handler = rig.handler();
+  ASSERT_TRUE(handler->save_weights("net", versioned_model(1)).is_ok());
+  ASSERT_TRUE(handler->save_weights("other", versioned_model(9)).is_ok());
+  handler->drain();
+  EXPECT_EQ(flushed_versions(*rig.services, "net").size(), 1u);
+  EXPECT_TRUE(flushed_versions(*rig.services, "ne").empty());  // prefix != model
+}
+
+TEST(Recovery, RecoversNewestIntactVersion) {
+  Rig rig;
+  auto handler = rig.handler();
+  Model v3 = versioned_model(3);
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    ASSERT_TRUE(handler->save_weights("net", versioned_model(v)).is_ok());
+  }
+  handler->drain();
+
+  auto recovered = recover_latest(*rig.services, "net");
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  EXPECT_EQ(recovered.value().version, 3u);
+  EXPECT_TRUE(recovered.value().model.same_weights(v3));
+  EXPECT_TRUE(recovered.value().skipped_corrupt.empty());
+}
+
+TEST(Recovery, SkipsCorruptedNewestVersion) {
+  Rig rig;
+  auto handler = rig.handler();
+  Model v2 = versioned_model(2);
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    ASSERT_TRUE(handler->save_weights("net", versioned_model(v)).is_ok());
+  }
+  handler->drain();
+  rig.corrupt("ckpt/net/v3");  // torn flush
+
+  auto recovered = recover_latest(*rig.services, "net");
+  ASSERT_TRUE(recovered.is_ok());
+  EXPECT_EQ(recovered.value().version, 2u);
+  EXPECT_TRUE(recovered.value().model.same_weights(v2));
+  ASSERT_EQ(recovered.value().skipped_corrupt.size(), 1u);
+  EXPECT_EQ(recovered.value().skipped_corrupt[0], 3u);
+}
+
+TEST(Recovery, AllCorruptIsDataLoss) {
+  Rig rig;
+  auto handler = rig.handler();
+  ASSERT_TRUE(handler->save_weights("net", versioned_model(1)).is_ok());
+  handler->drain();
+  rig.corrupt("ckpt/net/v1");
+  EXPECT_EQ(recover_latest(*rig.services, "net").status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(Recovery, NothingFlushedIsNotFound) {
+  Rig rig;
+  EXPECT_EQ(recover_latest(*rig.services, "ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Recovery, RepairRewritesMetadataToPfs) {
+  Rig rig;
+  auto handler = rig.handler();
+  for (std::uint64_t v = 1; v <= 2; ++v) {
+    ASSERT_TRUE(handler->save_weights("net", versioned_model(v)).is_ok());
+  }
+  handler->drain();
+  // Simulate a producer crash: its memory tiers are gone, metadata stale.
+  handler.reset();
+
+  auto recovered = recover_and_repair(*rig.services, "net");
+  ASSERT_TRUE(recovered.is_ok());
+  auto metadata = get_metadata(rig.services->metadata_db, "net");
+  ASSERT_TRUE(metadata.is_ok());
+  EXPECT_EQ(metadata.value().location, Location::kPfs);
+  EXPECT_EQ(metadata.value().version, 2u);
+  EXPECT_EQ(metadata.value().path, "ckpt/net/v2");
+
+  // A consumer loader with no producer can now serve the model.
+  auto world = net::CommWorld::create(1);
+  ModelLoader loader(rig.services, world->comm(0), {});
+  auto loaded = loader.load_weights("net");
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().version(), 2u);
+}
+
+TEST(Recovery, SurvivesProducerDeathMidStream) {
+  // End-to-end crash story: producer saves v1..v4, dies (tiers freed);
+  // consumer recovers and keeps serving the newest flushed version.
+  Rig rig;
+  Model last = versioned_model(4);
+  {
+    auto handler = rig.handler();
+    for (std::uint64_t v = 1; v <= 4; ++v) {
+      ASSERT_TRUE(handler->save_weights("net", versioned_model(v)).is_ok());
+    }
+    handler->drain();
+  }  // producer process gone
+
+  auto recovered = recover_and_repair(*rig.services, "net");
+  ASSERT_TRUE(recovered.is_ok());
+  EXPECT_EQ(recovered.value().version, 4u);
+  EXPECT_TRUE(recovered.value().model.same_weights(last));
+}
+
+}  // namespace
+}  // namespace viper::core

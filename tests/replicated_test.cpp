@@ -1,0 +1,117 @@
+// Tests for the data-parallel producer group: lockstep consistency,
+// leader-only checkpointing, crash injection with leader failover, and a
+// consumer's view of the seamless version stream across the failover.
+#include <gtest/gtest.h>
+
+#include "viper/parallel/replicated.hpp"
+
+namespace viper::parallel {
+namespace {
+
+std::unique_ptr<ReplicatedProducerGroup> make_group(
+    std::shared_ptr<core::SharedServices> services, int replicas) {
+  ReplicatedProducerGroup::Options options;
+  options.replicas = replicas;
+  options.app = AppModel::kNt3A;
+  options.strategy = core::Strategy::kViperPfs;  // no transfer server needed
+  options.model_name = "nt3";
+  auto group = ReplicatedProducerGroup::create(std::move(services), options);
+  EXPECT_TRUE(group.is_ok());
+  return std::move(group).value();
+}
+
+TEST(Replicated, ReplicasStayConsistentThroughTraining) {
+  auto group = make_group(std::make_shared<core::SharedServices>(), 3);
+  EXPECT_TRUE(group->replicas_consistent());
+  group->step_all(40);
+  EXPECT_TRUE(group->replicas_consistent());
+  EXPECT_EQ(group->replica(0).iteration(), 40);
+  EXPECT_EQ(group->replica(2).iteration(), 40);
+}
+
+TEST(Replicated, LeaderCheckpointsForTheGroup) {
+  auto services = std::make_shared<core::SharedServices>();
+  auto group = make_group(services, 2);
+  group->step_all(20);
+  auto receipt = group->checkpoint();
+  ASSERT_TRUE(receipt.is_ok());
+  EXPECT_EQ(receipt.value().metadata.version, 1u);
+  EXPECT_EQ(receipt.value().metadata.iteration, 19);
+  // Only the leader paid the capture stall.
+  EXPECT_GT(group->replica(0).stall_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(group->replica(1).stall_seconds(), 0.0);
+}
+
+TEST(Replicated, LeaderFailoverContinuesVersionStream) {
+  auto services = std::make_shared<core::SharedServices>();
+  auto group = make_group(services, 3);
+  group->step_all(10);
+  ASSERT_TRUE(group->checkpoint().is_ok());  // v1 from leader 0
+
+  ASSERT_TRUE(group->kill_replica(0).is_ok());
+  EXPECT_EQ(group->leader(), 1);
+  EXPECT_EQ(group->live_replicas(), 2);
+
+  group->step_all(10);
+  auto receipt = group->checkpoint();  // v2 from the new leader
+  ASSERT_TRUE(receipt.is_ok());
+  EXPECT_EQ(receipt.value().metadata.version, 2u);
+  group->handler().drain();
+
+  // The consumer-facing stream is seamless: latest metadata is v2, the
+  // weights equal what the dead leader would have produced (the live
+  // replica is bit-identical).
+  auto metadata = core::get_metadata(services->metadata_db, "nt3");
+  ASSERT_TRUE(metadata.is_ok());
+  EXPECT_EQ(metadata.value().version, 2u);
+
+  auto world = net::CommWorld::create(1);
+  core::ModelLoader loader(services, world->comm(0), {});
+  auto loaded = loader.load_weights("nt3");
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_TRUE(loaded.value().same_weights(group->replica(1).model()));
+}
+
+TEST(Replicated, KillingNonLeaderKeepsLeader) {
+  auto group = make_group(std::make_shared<core::SharedServices>(), 3);
+  ASSERT_TRUE(group->kill_replica(2).is_ok());
+  EXPECT_EQ(group->leader(), 0);
+  EXPECT_EQ(group->live_replicas(), 2);
+  EXPECT_TRUE(group->replicas_consistent());
+}
+
+TEST(Replicated, AllDeadIsFailedPrecondition) {
+  auto group = make_group(std::make_shared<core::SharedServices>(), 2);
+  ASSERT_TRUE(group->kill_replica(0).is_ok());
+  ASSERT_TRUE(group->kill_replica(1).is_ok());
+  EXPECT_EQ(group->live_replicas(), 0);
+  EXPECT_EQ(group->checkpoint().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Replicated, KillValidation) {
+  auto group = make_group(std::make_shared<core::SharedServices>(), 2);
+  EXPECT_FALSE(group->kill_replica(7).is_ok());
+  ASSERT_TRUE(group->kill_replica(1).is_ok());
+  EXPECT_EQ(group->kill_replica(1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Replicated, DeadReplicasStopTraining) {
+  auto group = make_group(std::make_shared<core::SharedServices>(), 2);
+  ASSERT_TRUE(group->kill_replica(1).is_ok());
+  group->step_all(5);
+  EXPECT_EQ(group->replica(0).iteration(), 5);
+  EXPECT_EQ(group->replica(1).iteration(), 0);
+}
+
+TEST(Replicated, RejectsZeroReplicas) {
+  ReplicatedProducerGroup::Options options;
+  options.replicas = 0;
+  EXPECT_FALSE(
+      ReplicatedProducerGroup::create(std::make_shared<core::SharedServices>(),
+                                      options)
+          .is_ok());
+}
+
+}  // namespace
+}  // namespace viper::parallel

@@ -1,0 +1,109 @@
+// Tests for the Transfer Selector (paper fig. 7): strategy choice under
+// link availability, memory headroom, and stall budgets.
+#include <gtest/gtest.h>
+
+#include "viper/core/selector.hpp"
+
+namespace viper::core {
+namespace {
+
+constexpr std::uint64_t kModel = 4'700'000'000ULL;  // TC1
+
+SelectorInputs rich_inputs() {
+  return SelectorInputs{
+      .model_bytes = kModel,
+      .num_tensors = 10,
+      .gpu_free_bytes = 30'000'000'000ULL,
+      .host_free_bytes = 400'000'000'000ULL,
+  };
+}
+
+TransferSelector polaris_selector() {
+  return TransferSelector(net::Fabric::polaris(), PlatformModel::polaris());
+}
+
+TEST(Selector, PrefersGpuDirectWhenEverythingIsAvailable) {
+  auto decision = polaris_selector().select(rich_inputs());
+  EXPECT_EQ(decision.strategy, Strategy::kGpuAsync);
+  EXPECT_GT(decision.expected.update_latency, 0.0);
+}
+
+TEST(Selector, SyncModeWhenAsyncNotPreferred) {
+  SelectorInputs inputs = rich_inputs();
+  inputs.prefer_async = false;
+  auto decision = polaris_selector().select(inputs);
+  EXPECT_EQ(decision.strategy, Strategy::kGpuSync);
+}
+
+TEST(Selector, FallsBackToHostWithoutGpuDirect) {
+  // The §4.4 fallback chain: no GPUDirect → host-to-host RDMA.
+  net::Fabric fabric = net::Fabric::polaris();
+  fabric.set_available(net::LinkKind::kGpuDirect, false);
+  TransferSelector selector(std::move(fabric), PlatformModel::polaris());
+  auto decision = selector.select(rich_inputs());
+  EXPECT_EQ(decision.strategy, Strategy::kHostAsync);
+  EXPECT_NE(decision.reason.find("no GPUDirect"), std::string::npos);
+}
+
+TEST(Selector, FallsBackToPfsWithoutAnyRdma) {
+  net::Fabric fabric = net::Fabric::polaris();
+  fabric.set_available(net::LinkKind::kGpuDirect, false);
+  fabric.set_available(net::LinkKind::kHostRdma, false);
+  TransferSelector selector(std::move(fabric), PlatformModel::polaris());
+  auto decision = selector.select(rich_inputs());
+  EXPECT_EQ(decision.strategy, Strategy::kViperPfs);
+}
+
+TEST(Selector, GpuMemoryPressureForcesHostPath) {
+  // A 4.7 GB send buffer no longer fits beside the training state.
+  SelectorInputs inputs = rich_inputs();
+  inputs.gpu_free_bytes = 1'000'000'000ULL;
+  auto decision = polaris_selector().select(inputs);
+  EXPECT_EQ(decision.strategy, Strategy::kHostAsync);
+  EXPECT_NE(decision.reason.find("GPU memory"), std::string::npos);
+}
+
+TEST(Selector, HostMemoryPressureForcesPfs) {
+  SelectorInputs inputs = rich_inputs();
+  inputs.gpu_free_bytes = 0;
+  inputs.host_free_bytes = 0;
+  auto decision = polaris_selector().select(inputs);
+  EXPECT_EQ(decision.strategy, Strategy::kViperPfs);
+}
+
+TEST(Selector, StallBudgetSkipsSlowCapturePaths) {
+  // Host async stalls ~1.4 s for TC1; a 0.1 s budget admits only the GPU
+  // snapshot (≈0.06 s).
+  SelectorInputs inputs = rich_inputs();
+  inputs.stall_budget = 0.1;
+  auto decision = polaris_selector().select(inputs);
+  EXPECT_EQ(decision.strategy, Strategy::kGpuAsync);
+  EXPECT_LT(decision.expected.producer_stall, 0.1);
+
+  // Without GPUDirect the same budget rejects host async too — the PFS
+  // safety net is chosen even though it stalls longer (nothing else works).
+  net::Fabric fabric = net::Fabric::polaris();
+  fabric.set_available(net::LinkKind::kGpuDirect, false);
+  TransferSelector selector(std::move(fabric), PlatformModel::polaris());
+  auto fallback = selector.select(inputs);
+  EXPECT_EQ(fallback.strategy, Strategy::kViperPfs);
+}
+
+TEST(Selector, SmallModelFitsEverywhere) {
+  SelectorInputs inputs = rich_inputs();
+  inputs.model_bytes = 600'000'000ULL;  // NT3.A
+  inputs.gpu_free_bytes = 700'000'000ULL;
+  auto decision = polaris_selector().select(inputs);
+  EXPECT_EQ(decision.strategy, Strategy::kGpuAsync);
+}
+
+TEST(Selector, DecisionCarriesExpectedCosts) {
+  auto decision = polaris_selector().select(rich_inputs());
+  const PathCosts direct = PlatformModel::polaris().update_costs(
+      decision.strategy, kModel, 10);
+  EXPECT_DOUBLE_EQ(decision.expected.update_latency, direct.update_latency);
+  EXPECT_DOUBLE_EQ(decision.expected.producer_stall, direct.producer_stall);
+}
+
+}  // namespace
+}  // namespace viper::core

@@ -1,0 +1,146 @@
+// Robustness sweeps for every wire format: truncation at every region of
+// the stream, random bit flips, and adversarial headers must produce a
+// clean error — never a crash, hang, or silently wrong model.
+#include <gtest/gtest.h>
+
+#include "viper/serial/compress.hpp"
+#include "viper/serial/delta.hpp"
+#include "viper/serial/format.hpp"
+
+namespace viper::serial {
+namespace {
+
+Model sample_model() {
+  Rng rng(99);
+  Model m("robust");
+  m.set_version(3);
+  m.set_iteration(77);
+  (void)m.add_tensor("a", Tensor::random(DType::kF32, Shape{700}, rng).value());
+  (void)m.add_tensor("b", Tensor::random(DType::kI32, Shape{33}, rng).value());
+  (void)m.add_tensor("c", Tensor::zeros(DType::kU8, Shape{5, 5}).value());
+  return m;
+}
+
+class FormatTruncation : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<CheckpointFormat> make_format() const {
+    return std::string(GetParam()) == "viper" ? make_viper_format()
+                                              : make_h5like_format();
+  }
+};
+
+TEST_P(FormatTruncation, EveryPrefixFailsCleanly) {
+  auto format = make_format();
+  const auto blob = format->serialize(sample_model()).value();
+  // Sweep prefixes across the whole stream (step keeps runtime sane).
+  const std::size_t step = std::max<std::size_t>(1, blob.size() / 257);
+  for (std::size_t len = 0; len < blob.size(); len += step) {
+    auto result = format->deserialize(std::span(blob).first(len));
+    EXPECT_FALSE(result.is_ok()) << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST_P(FormatTruncation, EveryBitFlipIsDetected) {
+  auto format = make_format();
+  auto blob = format->serialize(sample_model()).value();
+  const std::size_t step = std::max<std::size_t>(1, blob.size() / 131);
+  for (std::size_t pos = 0; pos < blob.size(); pos += step) {
+    auto corrupted = blob;
+    corrupted[pos] ^= std::byte{0x10};
+    auto result = format->deserialize(corrupted);
+    EXPECT_FALSE(result.is_ok()) << "bit flip at " << pos << " parsed";
+  }
+}
+
+TEST_P(FormatTruncation, TrailingGarbageIsRejected) {
+  auto format = make_format();
+  auto blob = format->serialize(sample_model()).value();
+  blob.insert(blob.end(), 16, std::byte{0x5A});
+  EXPECT_FALSE(format->deserialize(blob).is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFormats, FormatTruncation,
+                         ::testing::Values("viper", "h5like"));
+
+TEST(DeltaRobustness, TruncationSweep) {
+  const Model base = sample_model();
+  Model next = base;
+  next.set_version(4);
+  Rng rng(5);
+  next.perturb_weights(rng, 0.01);
+  const auto blob = encode_delta(base, next).value();
+  const std::size_t step = std::max<std::size_t>(1, blob.size() / 97);
+  for (std::size_t len = 0; len < blob.size(); len += step) {
+    EXPECT_FALSE(apply_delta(base, std::span(blob).first(len)).is_ok())
+        << "prefix of " << len;
+    EXPECT_FALSE(delta_stats(std::span(blob).first(len)).is_ok());
+  }
+}
+
+TEST(CompressRobustness, TruncationSweep) {
+  const auto blob = compress_model(sample_model(), Codec::kF16ZeroRle).value();
+  const std::size_t step = std::max<std::size_t>(1, blob.size() / 97);
+  for (std::size_t len = 0; len < blob.size(); len += step) {
+    EXPECT_FALSE(decompress_model(std::span(blob).first(len)).is_ok())
+        << "prefix of " << len;
+  }
+}
+
+TEST(CompressRobustness, HeaderFieldFuzz) {
+  auto blob = compress_model(sample_model(), Codec::kZeroRle).value();
+  // Codec byte out of range.
+  auto bad_codec = blob;
+  bad_codec[4] = std::byte{0xEE};
+  EXPECT_FALSE(decompress_model(bad_codec).is_ok());
+  // Declared original size inflated: RLE body must not satisfy it.
+  auto bad_size = blob;
+  bad_size[5 + 7] = std::byte{0x7F};  // clobber high byte of the u64 size
+  EXPECT_FALSE(decompress_model(bad_size).is_ok());
+}
+
+TEST(RandomGarbage, NoFormatAcceptsNoise) {
+  Rng rng(1234);
+  auto viper = make_viper_format();
+  auto h5 = make_h5like_format();
+  const Model base = sample_model();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::byte> noise(
+        static_cast<std::size_t>(rng.uniform_int(0, 4096)));
+    for (auto& b : noise) {
+      b = static_cast<std::byte>(rng.uniform_int(0, 255));
+    }
+    EXPECT_FALSE(viper->deserialize(noise).is_ok());
+    EXPECT_FALSE(h5->deserialize(noise).is_ok());
+    EXPECT_FALSE(apply_delta(base, noise).is_ok());
+    EXPECT_FALSE(decompress_blob(noise).is_ok());
+  }
+}
+
+TEST(RoundTripProperty, RandomModelsSurviveAllLosslessPipelines) {
+  // Randomized models through serialize→compress→decompress→deserialize.
+  Rng rng(777);
+  auto format = make_viper_format();
+  for (int trial = 0; trial < 12; ++trial) {
+    Model m("fuzz" + std::to_string(trial));
+    m.set_version(static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)));
+    m.set_iteration(rng.uniform_int(-1, 1 << 20));
+    const int tensors = static_cast<int>(rng.uniform_int(1, 6));
+    for (int t = 0; t < tensors; ++t) {
+      const auto dims = rng.uniform_int(0, 2);
+      Shape shape = dims == 0 ? Shape{}
+                    : dims == 1
+                        ? Shape{rng.uniform_int(0, 300)}
+                        : Shape{rng.uniform_int(1, 20), rng.uniform_int(1, 20)};
+      const DType dtype = rng.chance(0.5) ? DType::kF32 : DType::kF64;
+      (void)m.add_tensor("t" + std::to_string(t),
+                         Tensor::random(dtype, shape, rng).value());
+    }
+    const auto blob = format->serialize(m).value();
+    EXPECT_TRUE(format->deserialize(blob).value().same_weights(m));
+    const auto compressed = compress_blob(blob, Codec::kZeroRle).value();
+    EXPECT_EQ(decompress_blob(compressed).value(), blob);
+  }
+}
+
+}  // namespace
+}  // namespace viper::serial

@@ -1,0 +1,135 @@
+// Tests for viper_sim: application profiles must stay consistent with the
+// paper's published evaluation constants, and trajectories must be
+// deterministic and well-shaped.
+#include <gtest/gtest.h>
+
+#include "viper/sim/app_profile.hpp"
+#include "viper/sim/trajectory.hpp"
+
+namespace viper::sim {
+namespace {
+
+class Profiles : public ::testing::TestWithParam<AppModel> {};
+
+TEST_P(Profiles, ItersPerEpochMatchesDatasetMath) {
+  const AppProfile p = app_profile(GetParam());
+  EXPECT_EQ(p.iters_per_epoch, p.train_samples / p.batch_size);
+  EXPECT_GT(p.warmup_epochs, 0);
+  EXPECT_GT(p.t_train_mean, 0.0);
+  EXPECT_GT(p.t_infer_mean, 0.0);
+  EXPECT_GT(p.total_inferences, 0);
+  EXPECT_EQ(p.model_bytes, nominal_model_bytes(GetParam()));
+}
+
+TEST_P(Profiles, LossCurveDecreasesTowardAsymptote) {
+  const AppProfile p = app_profile(GetParam());
+  TrajectoryGenerator gen(p);
+  double prev = gen.true_loss(0);
+  for (std::int64_t x = 100; x <= 5000; x += 100) {
+    const double cur = gen.true_loss(x);
+    EXPECT_LE(cur, prev + 1e-12) << "loss not monotone at " << x;
+    prev = cur;
+  }
+  EXPECT_GT(gen.true_loss(0), p.curve.c);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, Profiles,
+                         ::testing::Values(AppModel::kNt3A, AppModel::kNt3B,
+                                           AppModel::kTc1, AppModel::kPtychoNN),
+                         [](const auto& info) {
+                           std::string name{to_string(info.param)};
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Profiles, Tc1MatchesPaperEpochBoundary) {
+  // §5.3 sets the TC1 update interval at "the epoch boundary (216
+  // iterations)" — this constant anchors fig9.
+  EXPECT_EQ(app_profile(AppModel::kTc1).iters_per_epoch, 216);
+}
+
+TEST(Profiles, BaselineCheckpointCountsMatchPaperTable1) {
+  // #epoch-boundary checkpoints that fit in the fig10 serving windows must
+  // land on Table 1's baseline column: NT3.B 7, TC1 16, PtychoNN 13.
+  struct Case {
+    AppModel app;
+    int expected;
+  };
+  for (const Case c : {Case{AppModel::kNt3B, 7}, Case{AppModel::kTc1, 16},
+                       Case{AppModel::kPtychoNN, 13}}) {
+    const AppProfile p = app_profile(c.app);
+    const double window = p.inference_window_seconds();
+    const double epoch_seconds =
+        static_cast<double>(p.iters_per_epoch) * p.t_train_mean;
+    const int checkpoints = static_cast<int>(window / epoch_seconds);
+    EXPECT_NEAR(checkpoints, c.expected, 1) << to_string(c.app);
+  }
+}
+
+TEST(Trajectory, ObservedLossIsDeterministicAndOrderIndependent) {
+  const AppProfile p = app_profile(AppModel::kTc1);
+  TrajectoryGenerator forward(p, 99);
+  TrajectoryGenerator backward(p, 99);
+  std::vector<double> fwd, bwd;
+  for (std::int64_t x = 0; x < 50; ++x) fwd.push_back(forward.observed_loss(x));
+  for (std::int64_t x = 49; x >= 0; --x) bwd.push_back(backward.observed_loss(x));
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(fwd[i], bwd[49 - i]);
+  }
+}
+
+TEST(Trajectory, DifferentSeedsGiveDifferentNoise) {
+  const AppProfile p = app_profile(AppModel::kTc1);
+  TrajectoryGenerator a(p, 1), b(p, 2);
+  int differing = 0;
+  for (std::int64_t x = 0; x < 100; ++x) {
+    if (a.observed_loss(x) != b.observed_loss(x)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Trajectory, ObservedLossStaysPositive) {
+  const AppProfile p = app_profile(AppModel::kNt3A);
+  TrajectoryGenerator gen(p, 7);
+  for (std::int64_t x = 0; x < 2000; ++x) {
+    EXPECT_GT(gen.observed_loss(x), 0.0);
+  }
+}
+
+TEST(Trajectory, TimingSamplesStayNearMean) {
+  const AppProfile p = app_profile(AppModel::kTc1);
+  TrajectoryGenerator gen(p, 7);
+  double total_train = 0.0, total_infer = 0.0;
+  constexpr int kSamples = 2000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double t = gen.sample_train_time();
+    EXPECT_GE(t, p.t_train_mean * 0.5);
+    EXPECT_LE(t, p.t_train_mean * 1.5);
+    total_train += t;
+    total_infer += gen.sample_infer_time();
+  }
+  EXPECT_NEAR(total_train / kSamples, p.t_train_mean, p.t_train_mean * 0.02);
+  EXPECT_NEAR(total_infer / kSamples, p.t_infer_mean, p.t_infer_mean * 0.02);
+}
+
+TEST(Trajectory, WarmupLossesHaveWarmupLength) {
+  const AppProfile p = app_profile(AppModel::kTc1);
+  TrajectoryGenerator gen(p, 7);
+  const auto warmup = gen.warmup_losses(p.warmup_iterations());
+  EXPECT_EQ(warmup.size(),
+            static_cast<std::size_t>(p.warmup_epochs * p.iters_per_epoch));
+  // Warm-up must show a clear downward trend for the TLP to latch onto.
+  EXPECT_GT(warmup.front(), warmup.back());
+}
+
+TEST(Trajectory, NegativeIterationClampsToZero) {
+  const AppProfile p = app_profile(AppModel::kTc1);
+  TrajectoryGenerator gen(p, 7);
+  EXPECT_DOUBLE_EQ(gen.true_loss(-5), gen.true_loss(0));
+  EXPECT_DOUBLE_EQ(gen.observed_loss(-5), gen.observed_loss(0));
+}
+
+}  // namespace
+}  // namespace viper::sim

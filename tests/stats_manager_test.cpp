@@ -1,0 +1,103 @@
+// Tests for the Stats Manager and its wiring into the live engine.
+#include <gtest/gtest.h>
+
+#include "viper/core/handler.hpp"
+#include "viper/core/stats_manager.hpp"
+
+namespace viper::core {
+namespace {
+
+TEST(StatsManager, TracksCachedModelsPerProducer) {
+  StatsManager stats;
+  stats.record_cached("p0", "tc1", 3, Location::kGpuMemory);
+  stats.record_cached("p1", "tc1", 3, Location::kHostMemory);
+  stats.record_cached("p0", "nt3", 1, Location::kGpuMemory);
+
+  const auto holders = stats.producers_caching("tc1");
+  ASSERT_EQ(holders.size(), 2u);
+  EXPECT_EQ(holders[0], "p0");
+  EXPECT_EQ(holders[1], "p1");
+
+  const auto cached = stats.cached_by("p0");
+  ASSERT_EQ(cached.size(), 2u);
+  EXPECT_EQ(cached[0].model_name, "nt3");
+  EXPECT_EQ(cached[1].model_name, "tc1");
+  EXPECT_EQ(cached[1].version, 3u);
+}
+
+TEST(StatsManager, NewVersionReplacesOldRecord) {
+  StatsManager stats;
+  stats.record_cached("p0", "tc1", 1, Location::kGpuMemory);
+  stats.record_cached("p0", "tc1", 2, Location::kGpuMemory);
+  const auto cached = stats.cached_by("p0");
+  ASSERT_EQ(cached.size(), 1u);
+  EXPECT_EQ(cached[0].version, 2u);
+}
+
+TEST(StatsManager, EvictionRemovesRecord) {
+  StatsManager stats;
+  stats.record_cached("p0", "tc1", 1, Location::kGpuMemory);
+  stats.record_evicted("p0", "tc1");
+  EXPECT_TRUE(stats.producers_caching("tc1").empty());
+  EXPECT_TRUE(stats.cached_by("p0").empty());
+  stats.record_evicted("p0", "never-there");  // no-op, no crash
+}
+
+TEST(StatsManager, CountersAccumulateAndReset) {
+  StatsManager stats;
+  stats.on_save(100, 0.5);
+  stats.on_save(200, 0.25);
+  stats.on_load(300);
+  stats.on_notification();
+  const auto counters = stats.counters();
+  EXPECT_EQ(counters.saves, 2u);
+  EXPECT_EQ(counters.loads, 1u);
+  EXPECT_EQ(counters.bytes_saved, 300u);
+  EXPECT_EQ(counters.bytes_loaded, 300u);
+  EXPECT_EQ(counters.notifications, 1u);
+  EXPECT_DOUBLE_EQ(counters.modeled_stall_seconds, 0.75);
+  stats.reset();
+  EXPECT_EQ(stats.counters().saves, 0u);
+}
+
+TEST(StatsManager, EngineReportsThroughSharedServices) {
+  auto services = std::make_shared<SharedServices>();
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kGpuAsync;
+  options.producer_id = "producer-42";
+  ModelWeightsHandler handler(services, options);
+
+  Rng rng(1);
+  Model model("net");
+  ASSERT_TRUE(
+      model.add_tensor("w", Tensor::random(DType::kF32, Shape{64}, rng).value())
+          .is_ok());
+  model.set_version(1);
+  ASSERT_TRUE(handler.save_weights("net", model, 0.5).is_ok());
+  handler.drain();
+
+  const auto counters = services->stats->counters();
+  EXPECT_EQ(counters.saves, 1u);
+  EXPECT_GT(counters.bytes_saved, 0u);
+  EXPECT_EQ(counters.notifications, 1u);
+  const auto holders = services->stats->producers_caching("net");
+  ASSERT_EQ(holders.size(), 1u);
+  EXPECT_EQ(holders[0], "producer-42");
+
+  // Loads report too: save a second model via the PFS path (no transfer
+  // server needed) and read it back.
+  ModelWeightsHandler::Options pfs_options;
+  pfs_options.strategy = Strategy::kViperPfs;
+  ModelWeightsHandler pfs_handler(services, pfs_options);
+  model.set_version(2);
+  model.set_name("net2");
+  ASSERT_TRUE(pfs_handler.save_weights("net2", model).is_ok());
+  auto world = net::CommWorld::create(1);
+  ModelLoader loader(services, world->comm(0), {});
+  ASSERT_TRUE(loader.load_weights("net2").is_ok());
+  EXPECT_EQ(services->stats->counters().loads, 1u);
+  EXPECT_GT(services->stats->counters().bytes_loaded, 0u);
+}
+
+}  // namespace
+}  // namespace viper::core

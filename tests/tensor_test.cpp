@@ -1,0 +1,200 @@
+// Unit tests for viper_tensor: shapes, tensors, models, architectures.
+#include <gtest/gtest.h>
+
+#include "viper/common/units.hpp"
+#include "viper/tensor/architectures.hpp"
+#include "viper/tensor/model.hpp"
+#include "viper/tensor/tensor.hpp"
+
+namespace viper {
+namespace {
+
+TEST(Shape, NumElements) {
+  EXPECT_EQ(Shape({}).num_elements(), 1);  // scalar
+  EXPECT_EQ(Shape({4}).num_elements(), 4);
+  EXPECT_EQ(Shape({3, 4, 5}).num_elements(), 60);
+  EXPECT_EQ(Shape({3, 0, 5}).num_elements(), 0);
+}
+
+TEST(Shape, Validity) {
+  EXPECT_TRUE(Shape({2, 3}).valid());
+  EXPECT_TRUE(Shape({0}).valid());
+  EXPECT_FALSE(Shape({-1, 3}).valid());
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape({128, 20, 1}).to_string(), "[128, 20, 1]");
+  EXPECT_EQ(Shape({}).to_string(), "[]");
+}
+
+TEST(DType, SizesAndNames) {
+  EXPECT_EQ(dtype_size(DType::kF32), 4u);
+  EXPECT_EQ(dtype_size(DType::kF64), 8u);
+  EXPECT_EQ(dtype_size(DType::kF16), 2u);
+  EXPECT_EQ(dtype_size(DType::kU8), 1u);
+  EXPECT_EQ(to_string(DType::kI64), "i64");
+  EXPECT_EQ(dtype_from_string("f32").value(), DType::kF32);
+  EXPECT_FALSE(dtype_from_string("bogus").is_ok());
+  EXPECT_FALSE(dtype_from_wire(200).is_ok());
+}
+
+TEST(Tensor, ZerosAllocatesAndZeroes) {
+  auto t = Tensor::zeros(DType::kF32, Shape{2, 3});
+  ASSERT_TRUE(t.is_ok());
+  EXPECT_EQ(t.value().byte_size(), 24u);
+  EXPECT_EQ(t.value().num_elements(), 6);
+  for (float v : t.value().data<float>()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ZeroSizedTensorIsValid) {
+  auto t = Tensor::zeros(DType::kF32, Shape{0, 8});
+  ASSERT_TRUE(t.is_ok());
+  EXPECT_EQ(t.value().byte_size(), 0u);
+}
+
+TEST(Tensor, RejectsNegativeShape) {
+  EXPECT_FALSE(Tensor::zeros(DType::kF32, Shape{-2}).is_ok());
+}
+
+TEST(Tensor, RandomIsBoundedAndSeeded) {
+  Rng rng1(99), rng2(99);
+  auto a = Tensor::random(DType::kF32, Shape{64}, rng1, 0.25);
+  auto b = Tensor::random(DType::kF32, Shape{64}, rng2, 0.25);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_TRUE(a.value().equals(b.value()));
+  for (float v : a.value().data<float>()) {
+    EXPECT_GE(v, -0.25f);
+    EXPECT_LE(v, 0.25f);
+  }
+}
+
+TEST(Tensor, FromBytesValidatesSize) {
+  std::vector<std::byte> buf(12);
+  EXPECT_TRUE(Tensor::from_bytes(DType::kF32, Shape{3}, buf).is_ok());
+  EXPECT_FALSE(Tensor::from_bytes(DType::kF32, Shape{4}, std::move(buf)).is_ok());
+}
+
+TEST(Tensor, PerturbChangesFloatsOnly) {
+  Rng rng(1);
+  auto f = Tensor::zeros(DType::kF32, Shape{16}).value();
+  auto i = Tensor::zeros(DType::kI32, Shape{16}).value();
+  auto f_before = f;
+  auto i_before = i;
+  f.perturb(rng, 0.1);
+  i.perturb(rng, 0.1);
+  EXPECT_FALSE(f.equals(f_before));
+  EXPECT_TRUE(i.equals(i_before));
+}
+
+TEST(Tensor, EqualsChecksShapeDtypeAndBytes) {
+  auto a = Tensor::zeros(DType::kF32, Shape{4}).value();
+  auto b = Tensor::zeros(DType::kF32, Shape{2, 2}).value();
+  auto c = Tensor::zeros(DType::kI32, Shape{4}).value();
+  EXPECT_FALSE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+  EXPECT_TRUE(a.equals(a));
+}
+
+TEST(Model, AddAndLookup) {
+  Model m("net");
+  ASSERT_TRUE(m.add_tensor("w", Tensor::zeros(DType::kF32, Shape{4}).value()).is_ok());
+  EXPECT_TRUE(m.has_tensor("w"));
+  EXPECT_TRUE(m.tensor("w").is_ok());
+  EXPECT_FALSE(m.tensor("nope").is_ok());
+  EXPECT_EQ(m.num_tensors(), 1u);
+  EXPECT_EQ(m.num_parameters(), 4);
+  EXPECT_EQ(m.payload_bytes(), 16u);
+}
+
+TEST(Model, RejectsDuplicateTensor) {
+  Model m("net");
+  ASSERT_TRUE(m.add_tensor("w", Tensor::zeros(DType::kF32, Shape{4}).value()).is_ok());
+  EXPECT_EQ(m.add_tensor("w", Tensor::zeros(DType::kF32, Shape{4}).value()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Model, UpdateEnforcesShapeAndDtype) {
+  Model m("net");
+  ASSERT_TRUE(m.add_tensor("w", Tensor::zeros(DType::kF32, Shape{4}).value()).is_ok());
+  EXPECT_TRUE(m.update_tensor("w", Tensor::zeros(DType::kF32, Shape{4}).value()).is_ok());
+  EXPECT_EQ(m.update_tensor("w", Tensor::zeros(DType::kF32, Shape{5}).value()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(m.update_tensor("missing", Tensor::zeros(DType::kF32, Shape{4}).value()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Model, CostBytesPrefersNominal) {
+  Model m("net");
+  ASSERT_TRUE(m.add_tensor("w", Tensor::zeros(DType::kF32, Shape{4}).value()).is_ok());
+  EXPECT_EQ(m.cost_bytes(), 16u);
+  m.set_nominal_bytes(4'700'000'000ULL);
+  EXPECT_EQ(m.cost_bytes(), 4'700'000'000ULL);
+}
+
+TEST(Model, SameWeightsDetectsDrift) {
+  Rng rng(3);
+  Model a("net");
+  ASSERT_TRUE(
+      a.add_tensor("w", Tensor::random(DType::kF32, Shape{32}, rng).value()).is_ok());
+  Model b = a;
+  EXPECT_TRUE(a.same_weights(b));
+  b.perturb_weights(rng, 0.01);
+  EXPECT_FALSE(a.same_weights(b));
+}
+
+class ArchitectureBuilders : public ::testing::TestWithParam<AppModel> {};
+
+TEST_P(ArchitectureBuilders, BuildsNonEmptyScaledModel) {
+  ArchitectureOptions options;
+  auto model = build_app_model(GetParam(), options);
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+  const Model& m = model.value();
+  EXPECT_GT(m.num_tensors(), 4u);
+  EXPECT_GT(m.num_parameters(), 0);
+  EXPECT_EQ(m.nominal_bytes(), nominal_model_bytes(GetParam()));
+  // Scaled-down payload must stay test-friendly (< 32 MiB).
+  EXPECT_LT(m.payload_bytes(), 32u * kMiB);
+}
+
+TEST_P(ArchitectureBuilders, DeterministicForSeed) {
+  auto a = build_app_model(GetParam(), {});
+  auto b = build_app_model(GetParam(), {});
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_TRUE(a.value().same_weights(b.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, ArchitectureBuilders,
+                         ::testing::Values(AppModel::kNt3A, AppModel::kNt3B,
+                                           AppModel::kTc1, AppModel::kPtychoNN),
+                         [](const auto& info) {
+                           std::string name{to_string(info.param)};
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Architectures, NominalSizesMatchPaper) {
+  EXPECT_EQ(nominal_model_bytes(AppModel::kNt3A), 600'000'000ULL);
+  EXPECT_EQ(nominal_model_bytes(AppModel::kNt3B), 1'700'000'000ULL);
+  EXPECT_EQ(nominal_model_bytes(AppModel::kTc1), 4'700'000'000ULL);
+  EXPECT_EQ(nominal_model_bytes(AppModel::kPtychoNN), 4'500'000'000ULL);
+}
+
+TEST(Architectures, Tc1IsWiderThanNt3) {
+  auto nt3 = build_app_model(AppModel::kNt3A, {}).value();
+  auto tc1 = build_app_model(AppModel::kTc1, {}).value();
+  EXPECT_GT(tc1.num_parameters(), nt3.num_parameters());
+}
+
+TEST(Architectures, PtychoNNHasEncoderAndTwoDecoders) {
+  auto m = build_app_model(AppModel::kPtychoNN, {}).value();
+  EXPECT_TRUE(m.has_tensor("encoder/conv2d_0/kernel"));
+  EXPECT_TRUE(m.has_tensor("decoder_amplitude/conv2d_2/kernel"));
+  EXPECT_TRUE(m.has_tensor("decoder_phase/conv2d_2/kernel"));
+}
+
+}  // namespace
+}  // namespace viper

@@ -1,0 +1,132 @@
+// Tests for the Training Loss Predictor: curve fitting on warm-up data
+// and the Eq. 1 time→iteration mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "viper/core/tlp.hpp"
+#include "viper/sim/trajectory.hpp"
+
+namespace viper::core {
+namespace {
+
+std::vector<double> exp3_samples(double a, double b, double c, std::size_t n,
+                                 double noise = 0.0, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ys[i] = a * std::exp(-b * static_cast<double>(i)) + c +
+            (noise > 0 ? rng.normal(0, noise) : 0.0);
+  }
+  return ys;
+}
+
+TEST(Tlp, FitsCleanExp3Exactly) {
+  const auto ys = exp3_samples(2.5, 0.002, 0.4, 1000);
+  auto tlp = TrainingLossPredictor::fit(ys);
+  ASSERT_TRUE(tlp.is_ok()) << tlp.status().to_string();
+  EXPECT_LT(tlp.value().best_fit().mse, 1e-9);
+  // Extrapolation beyond the fit window must track the true curve.
+  for (double x : {1500.0, 3000.0, 5000.0}) {
+    const double truth = 2.5 * std::exp(-0.002 * x) + 0.4;
+    EXPECT_NEAR(tlp.value().loss_pred(x), truth, 0.01) << "at x=" << x;
+  }
+}
+
+TEST(Tlp, FitsNoisyWarmupWithinTolerance) {
+  const auto ys = exp3_samples(2.5, 0.002, 0.4, 1000, 0.02);
+  auto tlp = TrainingLossPredictor::fit(ys);
+  ASSERT_TRUE(tlp.is_ok());
+  for (double x : {2000.0, 4000.0}) {
+    const double truth = 2.5 * std::exp(-0.002 * x) + 0.4;
+    EXPECT_NEAR(tlp.value().loss_pred(x), truth, 0.05);
+  }
+}
+
+TEST(Tlp, AllFitsSortedByMse) {
+  const auto ys = exp3_samples(2.0, 0.003, 0.3, 500, 0.01);
+  auto tlp = TrainingLossPredictor::fit(ys);
+  ASSERT_TRUE(tlp.is_ok());
+  const auto& fits = tlp.value().all_fits();
+  ASSERT_GE(fits.size(), 2u);
+  for (std::size_t i = 1; i < fits.size(); ++i) {
+    EXPECT_LE(fits[i - 1].mse, fits[i].mse);
+  }
+  EXPECT_EQ(tlp.value().best_fit().mse, fits.front().mse);
+}
+
+TEST(Tlp, Tc1WarmupSelectsExponentialFamily) {
+  // The paper (fig5): Exp3 wins on CANDLE-TC1 warm-up loss.
+  sim::TrajectoryGenerator gen(sim::app_profile(AppModel::kTc1), 7);
+  const auto warmup = gen.warmup_losses(gen.profile().warmup_iterations());
+  auto tlp = TrainingLossPredictor::fit(warmup);
+  ASSERT_TRUE(tlp.is_ok());
+  const auto family = tlp.value().best_fit().family;
+  EXPECT_TRUE(family == math::CurveFamily::kExp3 ||
+              family == math::CurveFamily::kExpd3)
+      << "winner: " << to_string(family);
+  EXPECT_NE(family, math::CurveFamily::kLin2);
+}
+
+TEST(Tlp, RejectsTinyWarmup) {
+  const std::vector<double> ys{1.0, 0.9};
+  EXPECT_FALSE(TrainingLossPredictor::fit(ys).is_ok());
+}
+
+TEST(Tlp, LossPredClampsBelowZeroAndNegativeX) {
+  const auto ys = exp3_samples(1.0, 0.01, 0.0, 200);
+  auto tlp = TrainingLossPredictor::fit(ys);
+  ASSERT_TRUE(tlp.is_ok());
+  EXPECT_GE(tlp.value().loss_pred(1e9), 0.0);
+  EXPECT_DOUBLE_EQ(tlp.value().loss_pred(-5), tlp.value().loss_pred(0));
+}
+
+// ---- Eq. 1 get_iters ---------------------------------------------------
+
+TEST(GetIters, NoStallReducesToDivision) {
+  // 100 s at 0.1 s/iter with no checkpointing = 1000 iterations.
+  EXPECT_EQ(TrainingLossPredictor::get_iters(100.0, 0, 0.1, 0.0), 1000);
+}
+
+TEST(GetIters, StallsSlowProgress) {
+  // interval 10, t_train 1.0, t_p 5.0 → period 15 s per 10 iterations.
+  EXPECT_EQ(TrainingLossPredictor::get_iters(150.0, 10, 1.0, 5.0), 100);
+  // Without the stall the same time would train 150 iterations.
+  EXPECT_EQ(TrainingLossPredictor::get_iters(150.0, 10, 1.0, 0.0), 150);
+}
+
+TEST(GetIters, PartialPeriodCountsRemainder) {
+  // One full period (15 s → 10 iters) plus 7 s → 7 more iterations.
+  EXPECT_EQ(TrainingLossPredictor::get_iters(22.0, 10, 1.0, 5.0), 17);
+}
+
+TEST(GetIters, RemainderClampedDuringStall) {
+  // 12 s into a period of 15 s: 10 iterations done, stall in progress —
+  // the remainder must clamp at the interval, never exceed it.
+  EXPECT_EQ(TrainingLossPredictor::get_iters(12.0, 10, 1.0, 5.0), 10);
+}
+
+TEST(GetIters, ZeroAndNegativeTimes) {
+  EXPECT_EQ(TrainingLossPredictor::get_iters(0.0, 10, 1.0, 5.0), 0);
+  EXPECT_EQ(TrainingLossPredictor::get_iters(-3.0, 10, 1.0, 5.0), 0);
+}
+
+TEST(GetIters, MonotoneInTime) {
+  std::int64_t prev = 0;
+  for (double t = 0; t < 100; t += 0.73) {
+    const std::int64_t iters = TrainingLossPredictor::get_iters(t, 7, 0.3, 1.1);
+    EXPECT_GE(iters, prev) << "regression at t=" << t;
+    prev = iters;
+  }
+}
+
+TEST(GetIters, MoreStallNeverTrainsMore) {
+  for (double t : {10.0, 50.0, 200.0}) {
+    const auto fast = TrainingLossPredictor::get_iters(t, 5, 0.2, 0.1);
+    const auto slow = TrainingLossPredictor::get_iters(t, 5, 0.2, 2.0);
+    EXPECT_GE(fast, slow);
+  }
+}
+
+}  // namespace
+}  // namespace viper::core

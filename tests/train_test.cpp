@@ -1,0 +1,126 @@
+// Tests for viper_train: the training and inference-serving simulators.
+#include <gtest/gtest.h>
+
+#include "viper/sim/app_profile.hpp"
+#include "viper/tensor/architectures.hpp"
+#include "viper/train/inference_sim.hpp"
+#include "viper/train/trainer_sim.hpp"
+
+namespace viper::train {
+namespace {
+
+sim::AppProfile tc1() { return sim::app_profile(AppModel::kTc1); }
+
+Model tc1_model() { return build_app_model(AppModel::kTc1, {}).value(); }
+
+TEST(TrainerSim, StepsAdvanceIterationAndTime) {
+  TrainerSim trainer(tc1(), tc1_model());
+  EXPECT_EQ(trainer.iteration(), 0);
+  const auto step = trainer.step();
+  EXPECT_EQ(step.iteration, 0);
+  EXPECT_GT(step.seconds, 0.0);
+  EXPECT_GT(step.loss, 0.0);
+  EXPECT_EQ(trainer.iteration(), 1);
+  EXPECT_DOUBLE_EQ(trainer.train_seconds(), step.seconds);
+}
+
+TEST(TrainerSim, RunExecutesNSteps) {
+  TrainerSim trainer(tc1(), tc1_model());
+  trainer.run(50);
+  EXPECT_EQ(trainer.iteration(), 50);
+  EXPECT_NEAR(trainer.train_seconds(), 50 * tc1().t_train_mean,
+              50 * tc1().t_train_mean * 0.2);
+}
+
+TEST(TrainerSim, LossFollowsTrajectory) {
+  TrainerSim trainer(tc1(), tc1_model(), {.seed = 42});
+  sim::TrajectoryGenerator reference(tc1(), 42);
+  for (int i = 0; i < 20; ++i) {
+    const auto step = trainer.step();
+    EXPECT_DOUBLE_EQ(step.loss, reference.observed_loss(step.iteration));
+  }
+}
+
+TEST(TrainerSim, WeightsEvolveEachStep) {
+  TrainerSim trainer(tc1(), tc1_model());
+  const Model before = trainer.model();
+  trainer.step();
+  EXPECT_FALSE(trainer.model().same_weights(before));
+}
+
+TEST(TrainerSim, WeightEvolutionCanBeDisabled) {
+  TrainerSim trainer(tc1(), tc1_model(), {.evolve_weights = false});
+  const Model before = trainer.model();
+  trainer.run(5);
+  EXPECT_TRUE(trainer.model().same_weights(before));
+}
+
+TEST(TrainerSim, StallAccountingSeparatesComputeTime) {
+  TrainerSim trainer(tc1(), tc1_model());
+  trainer.run(10);
+  const double compute = trainer.train_seconds();
+  trainer.record_stall(1.5);
+  trainer.record_stall(-3.0);  // ignored
+  EXPECT_DOUBLE_EQ(trainer.stall_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(trainer.elapsed_seconds(), compute + 1.5);
+}
+
+TEST(TrainerSim, SnapshotStampsVersionAndIteration) {
+  TrainerSim trainer(tc1(), tc1_model());
+  trainer.run(10);
+  Model snap1 = trainer.snapshot();
+  EXPECT_EQ(snap1.version(), 1u);
+  EXPECT_EQ(snap1.iteration(), 9);
+  trainer.run(5);
+  Model snap2 = trainer.snapshot();
+  EXPECT_EQ(snap2.version(), 2u);
+  EXPECT_EQ(snap2.iteration(), 14);
+  EXPECT_FALSE(snap1.same_weights(snap2));
+}
+
+TEST(TrainerSim, CallbacksFireEveryIteration) {
+  TrainerSim trainer(tc1(), tc1_model());
+  std::vector<std::int64_t> seen;
+  trainer.add_callback([&seen](const StepResult& s) { seen.push_back(s.iteration); });
+  trainer.run(5);
+  ASSERT_EQ(seen.size(), 5u);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InferenceSim, AccumulatesCilAtServingLoss) {
+  InferenceServerSim server(tc1());
+  server.install_model(1, 0.5);
+  for (int i = 0; i < 10; ++i) server.serve();
+  EXPECT_DOUBLE_EQ(server.cumulative_loss(), 5.0);
+  EXPECT_EQ(server.served(), 10);
+  EXPECT_EQ(server.active_version(), 1u);
+}
+
+TEST(InferenceSim, ModelSwapChangesServingLoss) {
+  InferenceServerSim server(tc1());
+  server.install_model(1, 1.0);
+  server.serve();
+  server.install_model(2, 0.25);
+  server.serve();
+  EXPECT_DOUBLE_EQ(server.cumulative_loss(), 1.25);
+  EXPECT_EQ(server.active_version(), 2u);
+}
+
+TEST(InferenceSim, TimeAdvancesPerRequest) {
+  InferenceServerSim server(tc1());
+  const double before = server.now();
+  const auto req = server.serve();
+  EXPECT_GT(server.now(), before);
+  EXPECT_DOUBLE_EQ(req.completed_at, server.now());
+  EXPECT_NEAR(server.now(), tc1().t_infer_mean, tc1().t_infer_mean * 0.5);
+}
+
+TEST(InferenceSim, PreInstallRequestsUseWarmupModel) {
+  InferenceServerSim server(tc1());
+  const auto req = server.serve();
+  EXPECT_EQ(req.model_version, 0u);
+  EXPECT_GT(req.loss, 0.0);
+}
+
+}  // namespace
+}  // namespace viper::train

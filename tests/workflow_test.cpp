@@ -1,0 +1,97 @@
+// Tests for LiveWorkflow: the one-object live producer/consumer rig, and
+// the CheckpointCallback it drives.
+#include <gtest/gtest.h>
+
+#include "viper/core/workflow.hpp"
+#include "viper/sim/app_profile.hpp"
+
+namespace viper::core {
+namespace {
+
+CheckpointSchedule every_n(std::int64_t n, std::int64_t upto) {
+  CheckpointSchedule schedule;
+  schedule.kind = ScheduleKind::kFixedInterval;
+  schedule.interval = n;
+  for (std::int64_t it = n - 1; it < upto; it += n) schedule.iterations.push_back(it);
+  return schedule;
+}
+
+TEST(LiveWorkflow, EndToEndConvergence) {
+  LiveWorkflow::Options options;
+  options.model_name = "tc1";
+  options.app = AppModel::kTc1;
+  options.strategy = Strategy::kGpuAsync;
+  options.schedule = every_n(25, 100);
+  auto workflow = LiveWorkflow::create(options);
+  ASSERT_TRUE(workflow.is_ok()) << workflow.status().to_string();
+
+  auto report = workflow.value()->run(100);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().checkpoints, 4u);  // iterations 24, 49, 74, 99
+  EXPECT_GE(report.value().updates_applied, 1u);
+  EXPECT_EQ(report.value().final_version, 4u);
+  EXPECT_TRUE(report.value().weights_converged);
+  EXPECT_GT(report.value().modeled_stall_seconds, 0.0);
+}
+
+TEST(LiveWorkflow, UpdateHookFires) {
+  std::atomic<int> hooks{0};
+  LiveWorkflow::Options options;
+  options.model_name = "nt3";
+  options.app = AppModel::kNt3A;
+  options.strategy = Strategy::kHostSync;
+  options.schedule = every_n(10, 30);
+  options.on_update = [&hooks](const ModelMetadata&) { ++hooks; };
+  auto workflow = LiveWorkflow::create(options);
+  ASSERT_TRUE(workflow.is_ok());
+  ASSERT_TRUE(workflow.value()->run(30).is_ok());
+  EXPECT_GE(hooks.load(), 1);
+}
+
+TEST(LiveWorkflow, RunsInSegments) {
+  LiveWorkflow::Options options;
+  options.model_name = "tc1";
+  options.schedule = every_n(20, 80);
+  auto workflow = LiveWorkflow::create(options);
+  ASSERT_TRUE(workflow.is_ok());
+  auto first = workflow.value()->run(40).value();
+  EXPECT_EQ(first.checkpoints, 2u);
+  auto second = workflow.value()->run(40).value();
+  EXPECT_EQ(second.checkpoints, 4u);  // cumulative
+  EXPECT_EQ(second.final_version, 4u);
+  EXPECT_TRUE(second.weights_converged);
+}
+
+TEST(LiveWorkflow, EmptyScheduleMeansNoUpdates) {
+  LiveWorkflow::Options options;
+  options.model_name = "tc1";
+  auto workflow = LiveWorkflow::create(options);
+  ASSERT_TRUE(workflow.is_ok());
+  auto report = workflow.value()->run(20).value();
+  EXPECT_EQ(report.checkpoints, 0u);
+  EXPECT_EQ(report.final_version, 0u);
+  EXPECT_FALSE(report.weights_converged);  // consumer never got a model
+}
+
+TEST(LiveWorkflow, RejectsEmptyModelName) {
+  LiveWorkflow::Options options;
+  options.model_name = "";
+  EXPECT_FALSE(LiveWorkflow::create(options).is_ok());
+}
+
+TEST(CheckpointCallback, RecordsLossesAndReceipts) {
+  LiveWorkflow::Options options;
+  options.model_name = "tc1";
+  options.schedule = every_n(10, 30);
+  auto workflow = LiveWorkflow::create(options).value();
+  ASSERT_TRUE(workflow->run(30).is_ok());
+  // The trainer ran 30 iterations: the callback saw each one.
+  EXPECT_EQ(workflow->trainer().iteration(), 30);
+  // Stall was charged back into the trainer's clock.
+  EXPECT_GT(workflow->trainer().stall_seconds(), 0.0);
+  // Stats manager observed the saves.
+  EXPECT_EQ(workflow->services().stats->counters().saves, 3u);
+}
+
+}  // namespace
+}  // namespace viper::core

@@ -1,0 +1,403 @@
+// viper_cli — command-line front end to the Viper experiment stack.
+//
+//   viper_cli list
+//       enumerate applications, strategies and schedule algorithms.
+//   viper_cli plan --app tc1 [--strategy gpu-async] [--seed N]
+//       fit the TLP on the warm-up window and print every planned schedule.
+//   viper_cli run --app tc1 --schedule greedy [--strategy gpu-async]
+//                 [--adapter] [--refit N] [--jitter] [--poisson] [--seed N]
+//                 [--trace FILE.csv]
+//       execute the coupled producer/consumer experiment and report CIL,
+//       checkpoints and training overhead; --trace dumps the update
+//       ledger (version, iteration, trigger/live times, loss) as CSV.
+//   viper_cli latency --app tc1 [--seed N]
+//       per-strategy end-to-end update latency (fig8-style row).
+//   viper_cli live --app tc1 --iters 200 --interval 25 --pfs-dir DIR
+//       drive the REAL engine (threads, pub/sub, double buffering) with a
+//       filesystem-backed PFS: flushed checkpoints land in DIR as files.
+//   viper_cli recover --model tc1 --pfs-dir DIR
+//       in a fresh process: scan DIR, recover the newest intact flushed
+//       checkpoint, report its version/iteration.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "viper/common/units.hpp"
+#include "viper/core/coupled_sim.hpp"
+#include "viper/core/recovery.hpp"
+#include "viper/core/workflow.hpp"
+#include "viper/memsys/file_tier.hpp"
+#include "viper/core/tlp.hpp"
+#include "viper/sim/trajectory.hpp"
+
+using namespace viper;
+using namespace viper::core;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <list|plan|run|latency|live|recover> [--app NAME]\n"
+               "       [--schedule "
+               "KIND]\n               [--strategy NAME] [--adapter] [--refit N] "
+               "[--jitter] [--seed N]\n",
+               argv0);
+  return 2;
+}
+
+const std::map<std::string, AppModel>& app_names() {
+  static const std::map<std::string, AppModel> names{
+      {"nt3a", AppModel::kNt3A},
+      {"nt3b", AppModel::kNt3B},
+      {"tc1", AppModel::kTc1},
+      {"ptychonn", AppModel::kPtychoNN},
+  };
+  return names;
+}
+
+const std::map<std::string, Strategy>& strategy_names() {
+  static const std::map<std::string, Strategy> names{
+      {"h5py-pfs", Strategy::kH5pyPfs},   {"viper-pfs", Strategy::kViperPfs},
+      {"host-sync", Strategy::kHostSync}, {"host-async", Strategy::kHostAsync},
+      {"gpu-sync", Strategy::kGpuSync},   {"gpu-async", Strategy::kGpuAsync},
+  };
+  return names;
+}
+
+const std::map<std::string, ScheduleKind>& schedule_names() {
+  static const std::map<std::string, ScheduleKind> names{
+      {"epoch", ScheduleKind::kEpochBaseline},
+      {"fixed", ScheduleKind::kFixedInterval},
+      {"greedy", ScheduleKind::kGreedy},
+  };
+  return names;
+}
+
+struct CliArgs {
+  std::string command;
+  AppModel app = AppModel::kTc1;
+  Strategy strategy = Strategy::kGpuAsync;
+  ScheduleKind schedule = ScheduleKind::kGreedy;
+  bool adapter = false;
+  bool jitter = false;
+  bool poisson = false;
+  std::int64_t refit = 0;
+  std::uint64_t seed = 0xC0FFEE;
+  std::string trace_path;
+  std::string pfs_dir;
+  std::string model_name = "model";
+  std::int64_t iters = 200;
+  std::int64_t interval = 25;
+};
+
+std::optional<CliArgs> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  CliArgs args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--app") {
+      const char* v = value();
+      if (v == nullptr || !app_names().contains(v)) return std::nullopt;
+      args.app = app_names().at(v);
+    } else if (flag == "--strategy") {
+      const char* v = value();
+      if (v == nullptr || !strategy_names().contains(v)) return std::nullopt;
+      args.strategy = strategy_names().at(v);
+    } else if (flag == "--schedule") {
+      const char* v = value();
+      if (v == nullptr || !schedule_names().contains(v)) return std::nullopt;
+      args.schedule = schedule_names().at(v);
+    } else if (flag == "--adapter") {
+      args.adapter = true;
+    } else if (flag == "--jitter") {
+      args.jitter = true;
+    } else if (flag == "--poisson") {
+      args.poisson = true;
+    } else if (flag == "--trace") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.trace_path = v;
+    } else if (flag == "--refit") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.refit = std::strtoll(v, nullptr, 10);
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--pfs-dir") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.pfs_dir = v;
+    } else if (flag == "--model") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.model_name = v;
+    } else if (flag == "--iters") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.iters = std::strtoll(v, nullptr, 10);
+    } else if (flag == "--interval") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.interval = std::strtoll(v, nullptr, 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+int cmd_list() {
+  std::printf("applications:\n");
+  for (const auto& [name, app] : app_names()) {
+    const auto profile = sim::app_profile(app);
+    std::printf("  %-10s %-9s  %s ckpt, %lld iters/epoch, %lld inferences\n",
+                name.c_str(), std::string(to_string(app)).c_str(),
+                format_bytes(profile.model_bytes).c_str(),
+                static_cast<long long>(profile.iters_per_epoch),
+                static_cast<long long>(profile.total_inferences));
+  }
+  std::printf("strategies:\n");
+  for (const auto& [name, _] : strategy_names()) std::printf("  %s\n", name.c_str());
+  std::printf("schedules:\n");
+  for (const auto& [name, _] : schedule_names()) std::printf("  %s\n", name.c_str());
+  return 0;
+}
+
+int cmd_plan(const CliArgs& args) {
+  const auto profile = sim::app_profile(args.app);
+  sim::TrajectoryGenerator trajectory(profile, args.seed);
+  const auto warmup = trajectory.warmup_losses(profile.warmup_iterations());
+
+  auto tlp = TrainingLossPredictor::fit(warmup);
+  if (!tlp.is_ok()) {
+    std::fprintf(stderr, "TLP fit failed: %s\n", tlp.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("warm-up: %lld iterations, loss %.4f -> %.4f\n",
+              static_cast<long long>(warmup.size()), warmup.front(), warmup.back());
+  std::printf("curve fits by warm-up MSE:\n");
+  for (const auto& fit : tlp.value().all_fits()) {
+    std::printf("  %-6s mse %.6g\n", std::string(math::to_string(fit.family)).c_str(),
+                fit.mse);
+  }
+
+  const PlatformModel platform = PlatformModel::polaris();
+  const PathCosts costs = platform.update_costs(args.strategy, profile.model_bytes,
+                                                profile.num_tensor_files);
+  UpdateTiming timing{profile.t_train_mean, profile.t_infer_mean,
+                      costs.producer_stall, costs.consumer_load};
+  const ScheduleWindow window = schedule_window_for(profile, timing);
+  const TrainingLossPredictor& predictor = tlp.value();
+  CilPredictor cilp(timing, [&predictor](double x) { return predictor.loss_pred(x); });
+
+  std::printf("window: iter %lld..%lld, %lld inferences; t_p=%.3fs t_c=%.3fs\n",
+              static_cast<long long>(window.s_iter),
+              static_cast<long long>(window.e_iter),
+              static_cast<long long>(window.total_inferences), timing.t_p,
+              timing.t_c);
+
+  const auto epoch = epoch_schedule(window, profile.iters_per_epoch, cilp);
+  std::printf("epoch baseline : %4zu ckpts, predicted CIL %.1f\n",
+              epoch.num_checkpoints(), epoch.predicted_cil);
+  if (auto fixed = fixed_interval_schedule(window, cilp); fixed.is_ok()) {
+    std::printf("fixed (Alg.2)  : %4zu ckpts (interval %lld), predicted CIL %.1f\n",
+                fixed.value().num_checkpoints(),
+                static_cast<long long>(fixed.value().interval),
+                fixed.value().predicted_cil);
+  }
+  const double threshold = greedy_threshold_from_warmup(warmup);
+  if (auto greedy = greedy_schedule(window, cilp, threshold); greedy.is_ok()) {
+    std::printf("greedy (Alg.3) : %4zu ckpts (threshold %.4f), predicted CIL %.1f\n",
+                greedy.value().num_checkpoints(), threshold,
+                greedy.value().predicted_cil);
+  }
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  CoupledRunConfig config;
+  config.profile = sim::app_profile(args.app);
+  config.strategy = args.strategy;
+  config.schedule_kind = args.schedule;
+  config.seed = args.seed;
+  config.jitter_costs = args.jitter;
+  config.poisson_arrivals = args.poisson;
+  config.refit_every = args.refit;
+  if (args.adapter) {
+    config.frequency_adapter = FrequencyAdapter::Options{
+        .initial_interval = config.profile.iters_per_epoch,
+        .min_interval = 8,
+        .max_interval = 4 * config.profile.iters_per_epoch,
+        .target_overhead_fraction = 0.02,
+        .improvement_threshold = 0.01,
+        .step = 1.5,
+    };
+  }
+  auto result = run_coupled_experiment(config);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  const auto& r = result.value();
+  std::printf("app               %s\n", std::string(to_string(args.app)).c_str());
+  std::printf("strategy          %s\n",
+              std::string(to_string(args.strategy)).c_str());
+  std::printf("mode              %s%s%s\n",
+              args.adapter ? "frequency-adapter"
+                           : std::string(to_string(args.schedule)).c_str(),
+              args.refit > 0 ? " + refit" : "", args.jitter ? " + jitter" : "");
+  std::printf("inferences        %lld over %.1f s\n",
+              static_cast<long long>(r.inferences_served), r.window_seconds);
+  std::printf("checkpoints       %lld\n", static_cast<long long>(r.checkpoints));
+  std::printf("cumulative loss   %.1f\n", r.cil);
+  std::printf("training overhead %.3f s (%.2f%% of window)\n", r.training_overhead,
+              100.0 * r.training_overhead / r.window_seconds);
+  std::printf("TLP family        %s (mse %.4g)\n",
+              std::string(math::to_string(r.tlp_family)).c_str(), r.tlp_mse);
+  if (args.adapter) {
+    std::printf("adapter           %lld widenings, %lld tightenings\n",
+                static_cast<long long>(r.adapter_ups),
+                static_cast<long long>(r.adapter_downs));
+  }
+  if (args.refit > 0) {
+    std::printf("refits            %lld\n", static_cast<long long>(r.refits));
+  }
+  if (!args.trace_path.empty()) {
+    std::FILE* file = std::fopen(args.trace_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open trace file %s\n", args.trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(file, "version,iteration,triggered_at_s,live_at_s,loss\n");
+    for (std::size_t i = 0; i < r.updates.size(); ++i) {
+      std::fprintf(file, "%zu,%lld,%.6f,%.6f,%.6f\n", i + 1,
+                   static_cast<long long>(r.updates[i].capture_iteration),
+                   r.updates[i].triggered_at, r.updates[i].ready_at,
+                   r.updates[i].loss);
+    }
+    std::fclose(file);
+    std::printf("trace             %zu updates -> %s\n", r.updates.size(),
+                args.trace_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_latency(const CliArgs& args) {
+  const auto profile = sim::app_profile(args.app);
+  const PlatformModel platform = PlatformModel::polaris();
+  Rng rng(args.seed);
+  std::printf("end-to-end update latency, %s model (%s):\n",
+              std::string(to_string(args.app)).c_str(),
+              format_bytes(profile.model_bytes).c_str());
+  for (const auto& [name, strategy] : strategy_names()) {
+    double total = 0;
+    for (int t = 0; t < 3; ++t) {
+      total += platform
+                   .update_costs(strategy, profile.model_bytes,
+                                 profile.num_tensor_files, &rng)
+                   .update_latency;
+    }
+    std::printf("  %-12s %8.3f s\n", name.c_str(), total / 3);
+  }
+  return 0;
+}
+
+int cmd_live(const CliArgs& args) {
+  if (args.pfs_dir.empty()) {
+    std::fprintf(stderr, "live requires --pfs-dir\n");
+    return 2;
+  }
+  LiveWorkflow::Options options;
+  options.model_name = args.model_name;
+  options.app = args.app;
+  options.strategy = args.strategy;
+  options.seed = args.seed;
+  for (std::int64_t it = args.interval - 1; it < args.iters;
+       it += args.interval) {
+    options.schedule.iterations.push_back(it);
+  }
+  auto workflow = LiveWorkflow::create(std::move(options));
+  if (!workflow.is_ok()) {
+    std::fprintf(stderr, "%s\n", workflow.status().to_string().c_str());
+    return 1;
+  }
+  // Swap in a durable filesystem-backed PFS before any save happens.
+  auto tier = memsys::FileTier::open(args.pfs_dir, memsys::polaris_lustre());
+  if (!tier.is_ok()) {
+    std::fprintf(stderr, "%s\n", tier.status().to_string().c_str());
+    return 1;
+  }
+  workflow.value()->services().pfs = std::move(tier).value();
+
+  auto report = workflow.value()->run(args.iters);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "%s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("trained %lld iterations, %llu checkpoints, consumer at v%llu "
+              "(weights %s)\n",
+              static_cast<long long>(args.iters),
+              static_cast<unsigned long long>(report.value().checkpoints),
+              static_cast<unsigned long long>(report.value().final_version),
+              report.value().weights_converged ? "converged" : "DIVERGED");
+  std::printf("flushed versions on %s: %zu files\n", args.pfs_dir.c_str(),
+              workflow.value()->services().pfs->num_objects());
+  return 0;
+}
+
+int cmd_recover(const CliArgs& args) {
+  if (args.pfs_dir.empty()) {
+    std::fprintf(stderr, "recover requires --pfs-dir\n");
+    return 2;
+  }
+  auto services = std::make_shared<SharedServices>();
+  auto tier = memsys::FileTier::open(args.pfs_dir, memsys::polaris_lustre());
+  if (!tier.is_ok()) {
+    std::fprintf(stderr, "%s\n", tier.status().to_string().c_str());
+    return 1;
+  }
+  services->pfs = std::move(tier).value();
+
+  const auto versions = flushed_versions(*services, args.model_name);
+  std::printf("flushed versions of '%s':", args.model_name.c_str());
+  for (auto v : versions) std::printf(" v%llu", static_cast<unsigned long long>(v));
+  std::printf("\n");
+
+  auto recovered = recover_and_repair(*services, args.model_name);
+  if (!recovered.is_ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered.status().to_string().c_str());
+    return 1;
+  }
+  for (auto skipped : recovered.value().skipped_corrupt) {
+    std::printf("v%llu failed validation, skipped\n",
+                static_cast<unsigned long long>(skipped));
+  }
+  std::printf("recovered v%llu (iteration %lld, %lld parameters)\n",
+              static_cast<unsigned long long>(recovered.value().version),
+              static_cast<long long>(recovered.value().model.iteration()),
+              static_cast<long long>(recovered.value().model.num_parameters()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = parse(argc, argv);
+  if (!args) return usage(argv[0]);
+  if (args->command == "list") return cmd_list();
+  if (args->command == "plan") return cmd_plan(*args);
+  if (args->command == "run") return cmd_run(*args);
+  if (args->command == "latency") return cmd_latency(*args);
+  if (args->command == "live") return cmd_live(*args);
+  if (args->command == "recover") return cmd_recover(*args);
+  return usage(argv[0]);
+}
