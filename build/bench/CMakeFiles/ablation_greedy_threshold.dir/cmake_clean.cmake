@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_greedy_threshold.dir/ablation_greedy_threshold.cpp.o"
+  "CMakeFiles/ablation_greedy_threshold.dir/ablation_greedy_threshold.cpp.o.d"
+  "ablation_greedy_threshold"
+  "ablation_greedy_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_greedy_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_notification.dir/ablation_notification.cpp.o"
+  "CMakeFiles/ablation_notification.dir/ablation_notification.cpp.o.d"
+  "ablation_notification"
+  "ablation_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

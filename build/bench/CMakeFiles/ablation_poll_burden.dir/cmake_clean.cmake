@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_poll_burden.dir/ablation_poll_burden.cpp.o"
+  "CMakeFiles/ablation_poll_burden.dir/ablation_poll_burden.cpp.o.d"
+  "ablation_poll_burden"
+  "ablation_poll_burden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_poll_burden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rpo.dir/ablation_rpo.cpp.o"
+  "CMakeFiles/ablation_rpo.dir/ablation_rpo.cpp.o.d"
+  "ablation_rpo"
+  "ablation_rpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

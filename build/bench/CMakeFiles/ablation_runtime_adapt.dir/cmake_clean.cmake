@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_runtime_adapt.dir/ablation_runtime_adapt.cpp.o"
+  "CMakeFiles/ablation_runtime_adapt.dir/ablation_runtime_adapt.cpp.o.d"
+  "ablation_runtime_adapt"
+  "ablation_runtime_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runtime_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tensor_repo.dir/ablation_tensor_repo.cpp.o"
+  "CMakeFiles/ablation_tensor_repo.dir/ablation_tensor_repo.cpp.o.d"
+  "ablation_tensor_repo"
+  "ablation_tensor_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tensor_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

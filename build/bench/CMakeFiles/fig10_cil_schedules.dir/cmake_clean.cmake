@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cil_schedules.dir/fig10_cil_schedules.cpp.o"
+  "CMakeFiles/fig10_cil_schedules.dir/fig10_cil_schedules.cpp.o.d"
+  "fig10_cil_schedules"
+  "fig10_cil_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cil_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

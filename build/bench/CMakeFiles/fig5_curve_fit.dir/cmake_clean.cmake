@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_curve_fit.dir/fig5_curve_fit.cpp.o"
+  "CMakeFiles/fig5_curve_fit.dir/fig5_curve_fit.cpp.o.d"
+  "fig5_curve_fit"
+  "fig5_curve_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_curve_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

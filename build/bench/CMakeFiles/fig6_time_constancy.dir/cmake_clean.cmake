@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_time_constancy.dir/fig6_time_constancy.cpp.o"
+  "CMakeFiles/fig6_time_constancy.dir/fig6_time_constancy.cpp.o.d"
+  "fig6_time_constancy"
+  "fig6_time_constancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_time_constancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

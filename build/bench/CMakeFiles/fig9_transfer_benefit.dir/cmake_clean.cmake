@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_transfer_benefit.dir/fig9_transfer_benefit.cpp.o"
+  "CMakeFiles/fig9_transfer_benefit.dir/fig9_transfer_benefit.cpp.o.d"
+  "fig9_transfer_benefit"
+  "fig9_transfer_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_transfer_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_curve_fit.dir/micro_curve_fit.cpp.o"
+  "CMakeFiles/micro_curve_fit.dir/micro_curve_fit.cpp.o.d"
+  "micro_curve_fit"
+  "micro_curve_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_curve_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

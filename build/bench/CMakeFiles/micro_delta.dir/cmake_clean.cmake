@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_delta.dir/micro_delta.cpp.o"
+  "CMakeFiles/micro_delta.dir/micro_delta.cpp.o.d"
+  "micro_delta"
+  "micro_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

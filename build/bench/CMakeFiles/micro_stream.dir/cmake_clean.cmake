@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stream.dir/micro_stream.cpp.o"
+  "CMakeFiles/micro_stream.dir/micro_stream.cpp.o.d"
+  "micro_stream"
+  "micro_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_transfer_engine.dir/micro_transfer_engine.cpp.o"
+  "CMakeFiles/micro_transfer_engine.dir/micro_transfer_engine.cpp.o.d"
+  "micro_transfer_engine"
+  "micro_transfer_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_transfer_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

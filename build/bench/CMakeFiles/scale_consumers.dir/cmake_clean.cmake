@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_consumers.dir/scale_consumers.cpp.o"
+  "CMakeFiles/scale_consumers.dir/scale_consumers.cpp.o.d"
+  "scale_consumers"
+  "scale_consumers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_consumers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

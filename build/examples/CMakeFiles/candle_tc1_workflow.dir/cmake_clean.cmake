@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candle_tc1_workflow.dir/candle_tc1_workflow.cpp.o"
+  "CMakeFiles/candle_tc1_workflow.dir/candle_tc1_workflow.cpp.o.d"
+  "candle_tc1_workflow"
+  "candle_tc1_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candle_tc1_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptychonn_workflow.dir/ptychonn_workflow.cpp.o"
+  "CMakeFiles/ptychonn_workflow.dir/ptychonn_workflow.cpp.o.d"
+  "ptychonn_workflow"
+  "ptychonn_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptychonn_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_serving.dir/sharded_serving.cpp.o"
+  "CMakeFiles/sharded_serving.dir/sharded_serving.cpp.o.d"
+  "sharded_serving"
+  "sharded_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_common.dir/clock.cpp.o"
+  "CMakeFiles/viper_common.dir/clock.cpp.o.d"
+  "CMakeFiles/viper_common.dir/log.cpp.o"
+  "CMakeFiles/viper_common.dir/log.cpp.o.d"
+  "CMakeFiles/viper_common.dir/status.cpp.o"
+  "CMakeFiles/viper_common.dir/status.cpp.o.d"
+  "CMakeFiles/viper_common.dir/thread_util.cpp.o"
+  "CMakeFiles/viper_common.dir/thread_util.cpp.o.d"
+  "libviper_common.a"
+  "libviper_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/viper_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/checkpoint_callback.cpp" "src/core/CMakeFiles/viper_core.dir/checkpoint_callback.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/checkpoint_callback.cpp.o.d"
+  "/root/repo/src/core/cilp.cpp" "src/core/CMakeFiles/viper_core.dir/cilp.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/cilp.cpp.o.d"
+  "/root/repo/src/core/consumer.cpp" "src/core/CMakeFiles/viper_core.dir/consumer.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/consumer.cpp.o.d"
+  "/root/repo/src/core/coupled_sim.cpp" "src/core/CMakeFiles/viper_core.dir/coupled_sim.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/coupled_sim.cpp.o.d"
+  "/root/repo/src/core/frequency_adapter.cpp" "src/core/CMakeFiles/viper_core.dir/frequency_adapter.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/frequency_adapter.cpp.o.d"
+  "/root/repo/src/core/handler.cpp" "src/core/CMakeFiles/viper_core.dir/handler.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/handler.cpp.o.d"
+  "/root/repo/src/core/metadata.cpp" "src/core/CMakeFiles/viper_core.dir/metadata.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/metadata.cpp.o.d"
+  "/root/repo/src/core/notification.cpp" "src/core/CMakeFiles/viper_core.dir/notification.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/notification.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/core/CMakeFiles/viper_core.dir/platform.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/platform.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/core/CMakeFiles/viper_core.dir/recovery.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/recovery.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/viper_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/core/CMakeFiles/viper_core.dir/selector.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/selector.cpp.o.d"
+  "/root/repo/src/core/stats_manager.cpp" "src/core/CMakeFiles/viper_core.dir/stats_manager.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/stats_manager.cpp.o.d"
+  "/root/repo/src/core/tlp.cpp" "src/core/CMakeFiles/viper_core.dir/tlp.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/tlp.cpp.o.d"
+  "/root/repo/src/core/workflow.cpp" "src/core/CMakeFiles/viper_core.dir/workflow.cpp.o" "gcc" "src/core/CMakeFiles/viper_core.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/viper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/viper_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/viper_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/viper_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/viper_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/viper_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/viper_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/viper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/viper_train.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

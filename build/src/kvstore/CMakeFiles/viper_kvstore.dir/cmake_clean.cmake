@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_kvstore.dir/kvstore.cpp.o"
+  "CMakeFiles/viper_kvstore.dir/kvstore.cpp.o.d"
+  "CMakeFiles/viper_kvstore.dir/pubsub.cpp.o"
+  "CMakeFiles/viper_kvstore.dir/pubsub.cpp.o.d"
+  "libviper_kvstore.a"
+  "libviper_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

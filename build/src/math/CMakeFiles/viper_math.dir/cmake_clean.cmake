@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_math.dir/curve_models.cpp.o"
+  "CMakeFiles/viper_math.dir/curve_models.cpp.o.d"
+  "CMakeFiles/viper_math.dir/least_squares.cpp.o"
+  "CMakeFiles/viper_math.dir/least_squares.cpp.o.d"
+  "CMakeFiles/viper_math.dir/stats.cpp.o"
+  "CMakeFiles/viper_math.dir/stats.cpp.o.d"
+  "libviper_math.a"
+  "libviper_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

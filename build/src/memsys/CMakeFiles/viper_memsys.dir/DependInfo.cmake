@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/device_model.cpp" "src/memsys/CMakeFiles/viper_memsys.dir/device_model.cpp.o" "gcc" "src/memsys/CMakeFiles/viper_memsys.dir/device_model.cpp.o.d"
+  "/root/repo/src/memsys/file_tier.cpp" "src/memsys/CMakeFiles/viper_memsys.dir/file_tier.cpp.o" "gcc" "src/memsys/CMakeFiles/viper_memsys.dir/file_tier.cpp.o.d"
+  "/root/repo/src/memsys/presets.cpp" "src/memsys/CMakeFiles/viper_memsys.dir/presets.cpp.o" "gcc" "src/memsys/CMakeFiles/viper_memsys.dir/presets.cpp.o.d"
+  "/root/repo/src/memsys/storage_tier.cpp" "src/memsys/CMakeFiles/viper_memsys.dir/storage_tier.cpp.o" "gcc" "src/memsys/CMakeFiles/viper_memsys.dir/storage_tier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/viper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_memsys.dir/device_model.cpp.o"
+  "CMakeFiles/viper_memsys.dir/device_model.cpp.o.d"
+  "CMakeFiles/viper_memsys.dir/file_tier.cpp.o"
+  "CMakeFiles/viper_memsys.dir/file_tier.cpp.o.d"
+  "CMakeFiles/viper_memsys.dir/presets.cpp.o"
+  "CMakeFiles/viper_memsys.dir/presets.cpp.o.d"
+  "CMakeFiles/viper_memsys.dir/storage_tier.cpp.o"
+  "CMakeFiles/viper_memsys.dir/storage_tier.cpp.o.d"
+  "libviper_memsys.a"
+  "libviper_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_net.dir/channel.cpp.o"
+  "CMakeFiles/viper_net.dir/channel.cpp.o.d"
+  "CMakeFiles/viper_net.dir/comm.cpp.o"
+  "CMakeFiles/viper_net.dir/comm.cpp.o.d"
+  "CMakeFiles/viper_net.dir/fabric.cpp.o"
+  "CMakeFiles/viper_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/viper_net.dir/link_model.cpp.o"
+  "CMakeFiles/viper_net.dir/link_model.cpp.o.d"
+  "CMakeFiles/viper_net.dir/stream.cpp.o"
+  "CMakeFiles/viper_net.dir/stream.cpp.o.d"
+  "libviper_net.a"
+  "libviper_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

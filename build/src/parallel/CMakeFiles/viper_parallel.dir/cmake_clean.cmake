@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_parallel.dir/broadcast.cpp.o"
+  "CMakeFiles/viper_parallel.dir/broadcast.cpp.o.d"
+  "CMakeFiles/viper_parallel.dir/multi_node.cpp.o"
+  "CMakeFiles/viper_parallel.dir/multi_node.cpp.o.d"
+  "CMakeFiles/viper_parallel.dir/replicated.cpp.o"
+  "CMakeFiles/viper_parallel.dir/replicated.cpp.o.d"
+  "CMakeFiles/viper_parallel.dir/sharding.cpp.o"
+  "CMakeFiles/viper_parallel.dir/sharding.cpp.o.d"
+  "libviper_parallel.a"
+  "libviper_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repo/delta_store.cpp" "src/repo/CMakeFiles/viper_repo.dir/delta_store.cpp.o" "gcc" "src/repo/CMakeFiles/viper_repo.dir/delta_store.cpp.o.d"
+  "/root/repo/src/repo/tensor_store.cpp" "src/repo/CMakeFiles/viper_repo.dir/tensor_store.cpp.o" "gcc" "src/repo/CMakeFiles/viper_repo.dir/tensor_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/viper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/viper_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/viper_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/viper_memsys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

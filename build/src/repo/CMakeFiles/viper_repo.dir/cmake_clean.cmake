@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_repo.dir/delta_store.cpp.o"
+  "CMakeFiles/viper_repo.dir/delta_store.cpp.o.d"
+  "CMakeFiles/viper_repo.dir/tensor_store.cpp.o"
+  "CMakeFiles/viper_repo.dir/tensor_store.cpp.o.d"
+  "libviper_repo.a"
+  "libviper_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

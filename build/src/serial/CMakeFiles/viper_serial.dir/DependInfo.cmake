@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/byte_io.cpp" "src/serial/CMakeFiles/viper_serial.dir/byte_io.cpp.o" "gcc" "src/serial/CMakeFiles/viper_serial.dir/byte_io.cpp.o.d"
+  "/root/repo/src/serial/compress.cpp" "src/serial/CMakeFiles/viper_serial.dir/compress.cpp.o" "gcc" "src/serial/CMakeFiles/viper_serial.dir/compress.cpp.o.d"
+  "/root/repo/src/serial/crc32.cpp" "src/serial/CMakeFiles/viper_serial.dir/crc32.cpp.o" "gcc" "src/serial/CMakeFiles/viper_serial.dir/crc32.cpp.o.d"
+  "/root/repo/src/serial/delta.cpp" "src/serial/CMakeFiles/viper_serial.dir/delta.cpp.o" "gcc" "src/serial/CMakeFiles/viper_serial.dir/delta.cpp.o.d"
+  "/root/repo/src/serial/h5like_format.cpp" "src/serial/CMakeFiles/viper_serial.dir/h5like_format.cpp.o" "gcc" "src/serial/CMakeFiles/viper_serial.dir/h5like_format.cpp.o.d"
+  "/root/repo/src/serial/viper_format.cpp" "src/serial/CMakeFiles/viper_serial.dir/viper_format.cpp.o" "gcc" "src/serial/CMakeFiles/viper_serial.dir/viper_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/viper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/viper_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_serial.dir/byte_io.cpp.o"
+  "CMakeFiles/viper_serial.dir/byte_io.cpp.o.d"
+  "CMakeFiles/viper_serial.dir/compress.cpp.o"
+  "CMakeFiles/viper_serial.dir/compress.cpp.o.d"
+  "CMakeFiles/viper_serial.dir/crc32.cpp.o"
+  "CMakeFiles/viper_serial.dir/crc32.cpp.o.d"
+  "CMakeFiles/viper_serial.dir/delta.cpp.o"
+  "CMakeFiles/viper_serial.dir/delta.cpp.o.d"
+  "CMakeFiles/viper_serial.dir/h5like_format.cpp.o"
+  "CMakeFiles/viper_serial.dir/h5like_format.cpp.o.d"
+  "CMakeFiles/viper_serial.dir/viper_format.cpp.o"
+  "CMakeFiles/viper_serial.dir/viper_format.cpp.o.d"
+  "libviper_serial.a"
+  "libviper_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

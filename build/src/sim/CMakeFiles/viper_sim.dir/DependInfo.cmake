@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/app_profile.cpp" "src/sim/CMakeFiles/viper_sim.dir/app_profile.cpp.o" "gcc" "src/sim/CMakeFiles/viper_sim.dir/app_profile.cpp.o.d"
+  "/root/repo/src/sim/nonstationary.cpp" "src/sim/CMakeFiles/viper_sim.dir/nonstationary.cpp.o" "gcc" "src/sim/CMakeFiles/viper_sim.dir/nonstationary.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "src/sim/CMakeFiles/viper_sim.dir/trajectory.cpp.o" "gcc" "src/sim/CMakeFiles/viper_sim.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/viper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/viper_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/viper_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

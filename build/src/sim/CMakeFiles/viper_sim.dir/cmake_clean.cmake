@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_sim.dir/app_profile.cpp.o"
+  "CMakeFiles/viper_sim.dir/app_profile.cpp.o.d"
+  "CMakeFiles/viper_sim.dir/nonstationary.cpp.o"
+  "CMakeFiles/viper_sim.dir/nonstationary.cpp.o.d"
+  "CMakeFiles/viper_sim.dir/trajectory.cpp.o"
+  "CMakeFiles/viper_sim.dir/trajectory.cpp.o.d"
+  "libviper_sim.a"
+  "libviper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

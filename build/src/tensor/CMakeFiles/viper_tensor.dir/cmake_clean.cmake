@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_tensor.dir/architectures.cpp.o"
+  "CMakeFiles/viper_tensor.dir/architectures.cpp.o.d"
+  "CMakeFiles/viper_tensor.dir/dtype.cpp.o"
+  "CMakeFiles/viper_tensor.dir/dtype.cpp.o.d"
+  "CMakeFiles/viper_tensor.dir/model.cpp.o"
+  "CMakeFiles/viper_tensor.dir/model.cpp.o.d"
+  "CMakeFiles/viper_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/viper_tensor.dir/tensor.cpp.o.d"
+  "libviper_tensor.a"
+  "libviper_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_train.dir/inference_sim.cpp.o"
+  "CMakeFiles/viper_train.dir/inference_sim.cpp.o.d"
+  "CMakeFiles/viper_train.dir/trainer_sim.cpp.o"
+  "CMakeFiles/viper_train.dir/trainer_sim.cpp.o.d"
+  "libviper_train.a"
+  "libviper_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

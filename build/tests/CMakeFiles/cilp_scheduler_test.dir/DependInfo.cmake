@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cilp_scheduler_test.cpp" "tests/CMakeFiles/cilp_scheduler_test.dir/cilp_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/cilp_scheduler_test.dir/cilp_scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/viper_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/viper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/viper_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/viper_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/viper_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/viper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/viper_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/repo/CMakeFiles/viper_repo.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/viper_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/viper_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/viper_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/viper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

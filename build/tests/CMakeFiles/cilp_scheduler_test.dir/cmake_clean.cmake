@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilp_scheduler_test.dir/cilp_scheduler_test.cpp.o"
+  "CMakeFiles/cilp_scheduler_test.dir/cilp_scheduler_test.cpp.o.d"
+  "cilp_scheduler_test"
+  "cilp_scheduler_test.pdb"
+  "cilp_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilp_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_sim_test.dir/coupled_sim_test.cpp.o"
+  "CMakeFiles/coupled_sim_test.dir/coupled_sim_test.cpp.o.d"
+  "coupled_sim_test"
+  "coupled_sim_test.pdb"
+  "coupled_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_tier_test.dir/file_tier_test.cpp.o"
+  "CMakeFiles/file_tier_test.dir/file_tier_test.cpp.o.d"
+  "file_tier_test"
+  "file_tier_test.pdb"
+  "file_tier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

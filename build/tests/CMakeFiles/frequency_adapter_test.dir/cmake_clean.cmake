@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_adapter_test.dir/frequency_adapter_test.cpp.o"
+  "CMakeFiles/frequency_adapter_test.dir/frequency_adapter_test.cpp.o.d"
+  "frequency_adapter_test"
+  "frequency_adapter_test.pdb"
+  "frequency_adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handler_consumer_test.dir/handler_consumer_test.cpp.o"
+  "CMakeFiles/handler_consumer_test.dir/handler_consumer_test.cpp.o.d"
+  "handler_consumer_test"
+  "handler_consumer_test.pdb"
+  "handler_consumer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handler_consumer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

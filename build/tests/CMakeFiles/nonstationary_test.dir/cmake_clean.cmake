@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonstationary_test.dir/nonstationary_test.cpp.o"
+  "CMakeFiles/nonstationary_test.dir/nonstationary_test.cpp.o.d"
+  "nonstationary_test"
+  "nonstationary_test.pdb"
+  "nonstationary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonstationary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serial_robustness_test.dir/serial_robustness_test.cpp.o"
+  "CMakeFiles/serial_robustness_test.dir/serial_robustness_test.cpp.o.d"
+  "serial_robustness_test"
+  "serial_robustness_test.pdb"
+  "serial_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serial_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

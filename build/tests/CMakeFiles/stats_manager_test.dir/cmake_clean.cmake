@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_manager_test.dir/stats_manager_test.cpp.o"
+  "CMakeFiles/stats_manager_test.dir/stats_manager_test.cpp.o.d"
+  "stats_manager_test"
+  "stats_manager_test.pdb"
+  "stats_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

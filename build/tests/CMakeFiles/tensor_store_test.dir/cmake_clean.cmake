@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_store_test.dir/tensor_store_test.cpp.o"
+  "CMakeFiles/tensor_store_test.dir/tensor_store_test.cpp.o.d"
+  "tensor_store_test"
+  "tensor_store_test.pdb"
+  "tensor_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

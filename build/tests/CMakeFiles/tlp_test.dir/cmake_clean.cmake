@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_test.dir/tlp_test.cpp.o"
+  "CMakeFiles/tlp_test.dir/tlp_test.cpp.o.d"
+  "tlp_test"
+  "tlp_test.pdb"
+  "tlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

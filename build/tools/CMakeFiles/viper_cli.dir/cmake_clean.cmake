@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_cli.dir/viper_cli.cpp.o"
+  "CMakeFiles/viper_cli.dir/viper_cli.cpp.o.d"
+  "viper_cli"
+  "viper_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
