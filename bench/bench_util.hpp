@@ -4,6 +4,9 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
+
+#include "viper/obs/metrics.hpp"
 
 namespace viper::bench {
 
@@ -26,6 +29,33 @@ inline void row(const std::string& label, double value, const char* unit) {
 
 inline void row_int(const std::string& label, long long value, const char* unit) {
   std::printf("  %-28s %10lld %s\n", label.c_str(), value, unit);
+}
+
+/// "label .... p50 p95 p99 max (n samples)" row from a histogram sample.
+inline void row_percentiles(const std::string& label,
+                            const obs::HistogramSample& sample,
+                            const char* unit) {
+  std::printf(
+      "  %-28s p50 %9.3f  p95 %9.3f  p99 %9.3f  max %9.3f %-4s (n=%llu)\n",
+      label.c_str(), sample.p50, sample.p95, sample.p99, sample.max, unit,
+      static_cast<unsigned long long>(sample.count));
+}
+
+/// Print a percentile row for every registry histogram whose name starts
+/// with `prefix` (and has at least one sample). Returns rows printed.
+inline int report_histograms(std::string_view prefix, const char* unit = "s") {
+  int printed = 0;
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  for (const obs::HistogramSample& sample : snapshot.histograms) {
+    if (sample.count == 0) continue;
+    if (sample.name.size() < prefix.size() ||
+        std::string_view(sample.name).substr(0, prefix.size()) != prefix) {
+      continue;
+    }
+    row_percentiles(sample.name.substr(prefix.size()), sample, unit);
+    ++printed;
+  }
+  return printed;
 }
 
 }  // namespace viper::bench

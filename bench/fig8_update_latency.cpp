@@ -5,11 +5,13 @@
 // averages; the paper's measured values are printed alongside.
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "viper/common/units.hpp"
 #include "viper/core/platform.hpp"
+#include "viper/obs/metrics.hpp"
 #include "viper/sim/app_profile.hpp"
 
 using namespace viper;
@@ -83,6 +85,27 @@ int main() {
                     baseline / mean_latency);
       }
     }
+  }
+
+  // Tail latency: many jittered trials per strategy recorded through the
+  // metrics registry, so the percentiles below exercise the same histogram
+  // path the live engine uses (NT3.A column; the others behave alike).
+  {
+    constexpr int kTailTrials = 200;
+    const sim::AppProfile profile = sim::app_profile(AppModel::kNt3A);
+    Rng rng(0x818'7a11);
+    for (Strategy strategy : core::all_strategies()) {
+      obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+          "viper.bench.fig8." + std::string(to_string(strategy)));
+      for (int t = 0; t < kTailTrials; ++t) {
+        hist.record(platform
+                        .update_costs(strategy, profile.model_bytes,
+                                      profile.num_tensor_files, &rng)
+                        .update_latency);
+      }
+    }
+    bench::heading("Update-latency tails, NT3.A (200 jittered trials)");
+    bench::report_histograms("viper.bench.fig8.");
   }
 
   bench::heading("Headline claims");

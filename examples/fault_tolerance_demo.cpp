@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "viper/core/recovery.hpp"
+#include "viper/obs/metrics.hpp"
 #include "viper/tensor/architectures.hpp"
 
 using namespace viper;
@@ -81,5 +82,8 @@ int main() {
               static_cast<unsigned long long>(model.value().version()),
               static_cast<long long>(model.value().num_parameters()));
   std::printf("           producer involvement needed\n");
+
+  std::printf("\nfinal metrics snapshot\n----------------------\n%s",
+              obs::MetricsRegistry::global().snapshot().to_text().c_str());
   return 0;
 }

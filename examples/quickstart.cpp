@@ -10,6 +10,7 @@
 
 #include "viper/common/units.hpp"
 #include "viper/core/api.hpp"
+#include "viper/obs/metrics.hpp"
 #include "viper/tensor/architectures.hpp"
 
 using namespace viper;
@@ -77,5 +78,10 @@ int main() {
   producer_thread.join();
   consumer_thread.join();
   std::printf("\ndone: consumer tracked all 5 versions via push notifications\n");
+
+  // Every engine component reported into the process-wide metrics registry;
+  // dump the final counters/latency percentiles for the whole run.
+  std::printf("\nfinal metrics snapshot\n----------------------\n%s",
+              obs::MetricsRegistry::global().snapshot().to_text().c_str());
   return 0;
 }

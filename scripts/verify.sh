@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 build + test sweep, then a ThreadSanitizer
+# build that hammers the concurrency-heavy suites (observability layer and
+# the engine stress test).
+#
+#   scripts/verify.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== tier 1: release build + full ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "=== tsan sweep skipped (--skip-tsan) ==="
+  exit 0
+fi
+
+echo "=== tsan: obs_test + stress_test under ThreadSanitizer ==="
+cmake -B build-tsan -S . \
+  -DVIPER_SANITIZE=thread \
+  -DVIPER_BUILD_BENCH=OFF \
+  -DVIPER_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j --target obs_test stress_test >/dev/null
+./build-tsan/tests/obs_test
+./build-tsan/tests/stress_test
+
+echo "=== verify OK ==="

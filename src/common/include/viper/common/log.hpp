@@ -1,5 +1,9 @@
-// Minimal leveled logger. Off by default above WARN so benchmarks stay
-// quiet; tests and examples can raise verbosity.
+// Minimal leveled logger. Defaults to WARN so benchmarks stay quiet; the
+// initial level can be set via the VIPER_LOG_LEVEL environment variable
+// (debug|info|warn|error|off, case-insensitive, or a 0-4 digit) and
+// raised/lowered at runtime with set_log_level(). Every line carries a
+// UTC timestamp and the emitting thread's ordinal, and is written to the
+// sink as one atomic write so concurrent threads never interleave.
 #pragma once
 
 #include <sstream>
@@ -12,6 +16,10 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 /// Global minimum level; messages below it are dropped.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Parse a VIPER_LOG_LEVEL-style spelling ("debug", "WARN", "3", ...).
+/// Returns `fallback` when `spec` is null or unrecognized.
+LogLevel parse_log_level(const char* spec, LogLevel fallback) noexcept;
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

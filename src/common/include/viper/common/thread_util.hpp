@@ -10,6 +10,11 @@
 
 namespace viper {
 
+/// Small dense id of the calling thread (0, 1, 2, ... in first-call
+/// order), stable for the thread's lifetime. Used by the logger and the
+/// tracer so output refers to threads by a short readable ordinal.
+[[nodiscard]] int thread_ordinal() noexcept;
+
 /// std::jthread-style wrapper that also exposes a cooperative stop flag.
 /// (gcc 12 ships std::jthread but a shared stop flag keeps call sites terse.)
 class WorkerThread {

@@ -1,16 +1,20 @@
 #include "viper/common/log.hpp"
 
+#include "viper/common/thread_util.hpp"
 #include "viper/common/units.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace viper {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_io_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -22,7 +26,38 @@ const char* level_tag(LogLevel level) {
   }
   return "???";
 }
+
+int initial_level() {
+  return static_cast<int>(
+      parse_log_level(std::getenv("VIPER_LOG_LEVEL"), LogLevel::kWarn));
+}
+
+std::atomic<int> g_level{initial_level()};
+std::mutex g_io_mutex;
+
 }  // namespace
+
+LogLevel parse_log_level(const char* spec, LogLevel fallback) noexcept {
+  if (spec == nullptr || *spec == '\0') return fallback;
+  if (spec[1] == '\0' && spec[0] >= '0' && spec[0] <= '4') {
+    return static_cast<LogLevel>(spec[0] - '0');
+  }
+  char lower[8] = {};
+  for (std::size_t i = 0; i < sizeof(lower) - 1 && spec[i] != '\0'; ++i) {
+    lower[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(spec[i])));
+  }
+  if (std::strcmp(lower, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(lower, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(lower, "warn") == 0 || std::strcmp(lower, "warning") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(lower, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(lower, "off") == 0 || std::strcmp(lower, "none") == 0) {
+    return LogLevel::kOff;
+  }
+  return fallback;
+}
 
 void set_log_level(LogLevel level) noexcept {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -35,8 +70,32 @@ LogLevel log_level() noexcept {
 namespace detail {
 
 void log_line(LogLevel level, const std::string& msg) {
+  // UTC wall time with millisecond resolution.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+
+  // Assemble the whole line first so the sink sees exactly one write per
+  // line and concurrent threads can never interleave fragments.
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix),
+                "[viper %s %02d:%02d:%02d.%03d t%02d] ", level_tag(level),
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(millis), thread_ordinal());
+  std::string line;
+  line.reserve(std::strlen(prefix) + msg.size() + 1);
+  line += prefix;
+  line += msg;
+  line += '\n';
+
   std::lock_guard lock(g_io_mutex);
-  std::fprintf(stderr, "[viper %s] %s\n", level_tag(level), msg.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)

@@ -6,6 +6,12 @@
 
 namespace viper {
 
+int thread_ordinal() noexcept {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
 void WorkerThread::start(std::function<void(const std::atomic<bool>&)> fn) {
   assert(!thread_.joinable() && "WorkerThread already running");
   stop_.store(false, std::memory_order_release);

@@ -3,9 +3,34 @@
 #include <chrono>
 #include <thread>
 
+#include "viper/common/clock.hpp"
 #include "viper/common/log.hpp"
+#include "viper/obs/metrics.hpp"
+#include "viper/obs/trace.hpp"
 
 namespace viper::core {
+
+namespace {
+
+struct ConsumerMetrics {
+  obs::Counter& updates =
+      obs::MetricsRegistry::global().counter("viper.consumer.updates");
+  obs::Counter& coalesced =
+      obs::MetricsRegistry::global().counter("viper.consumer.events_coalesced");
+  obs::Counter& polls =
+      obs::MetricsRegistry::global().counter("viper.consumer.polls");
+  obs::Histogram& apply_seconds =
+      obs::MetricsRegistry::global().histogram("viper.consumer.apply_seconds");
+  obs::Histogram& swap_seconds =
+      obs::MetricsRegistry::global().histogram("viper.consumer.swap_seconds");
+};
+
+ConsumerMetrics& consumer_metrics() {
+  static ConsumerMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::shared_ptr<const Model> DoubleBuffer::active() const {
   std::lock_guard lock(mutex_);
@@ -58,12 +83,15 @@ void InferenceConsumer::run(const std::atomic<bool>& stop_flag) {
     // Coalesce bursts: only the newest version matters.
     while (auto more = subscription_.poll()) {
       event = std::move(*more);
+      consumer_metrics().coalesced.add();
     }
     apply_latest();
   }
 }
 
 void InferenceConsumer::apply_latest() {
+  const Stopwatch watch;
+  auto apply_span = obs::Tracer::global().span("apply", "consumer");
   auto model = loader_.load_weights(model_name_);
   if (!model.is_ok()) {
     VIPER_WARN << "consumer failed to load '" << model_name_
@@ -72,9 +100,17 @@ void InferenceConsumer::apply_latest() {
   }
   auto metadata = loader_.peek(model_name_);
   const std::uint64_t version = model.value().version();
-  buffer_.install(std::move(model).value());
+  {
+    const Stopwatch swap_watch;
+    auto swap_span = obs::Tracer::global().span("swap", "consumer");
+    buffer_.install(std::move(model).value());
+    consumer_metrics().swap_seconds.record(swap_watch.elapsed());
+  }
   version_.store(version, std::memory_order_relaxed);
   updates_.fetch_add(1, std::memory_order_relaxed);
+  ConsumerMetrics& metrics = consumer_metrics();
+  metrics.updates.add();
+  metrics.apply_seconds.record(watch.elapsed());
   if (options_.on_update && metadata.is_ok()) options_.on_update(metadata.value());
 }
 
@@ -103,6 +139,7 @@ void PollingConsumer::stop() {
 void PollingConsumer::run(const std::atomic<bool>& stop_flag) {
   while (!stop_flag.load(std::memory_order_acquire)) {
     polls_.fetch_add(1, std::memory_order_relaxed);
+    consumer_metrics().polls.add();
     auto metadata = loader_.peek(model_name_);
     if (metadata.is_ok() && metadata.value().version > last_version_) {
       auto model = loader_.load_weights(model_name_);

@@ -4,11 +4,46 @@
 
 #include "viper/common/clock.hpp"
 #include "viper/common/log.hpp"
+#include "viper/obs/metrics.hpp"
+#include "viper/obs/trace.hpp"
 #include "viper/serial/byte_io.hpp"
 
 namespace viper::core {
 
 namespace {
+
+/// Engine-wide observability handles (`viper.core.*`), resolved once.
+struct EngineMetrics {
+  obs::Counter& saves =
+      obs::MetricsRegistry::global().counter("viper.core.saves");
+  obs::Counter& save_bytes =
+      obs::MetricsRegistry::global().counter("viper.core.save_bytes");
+  obs::Counter& loads =
+      obs::MetricsRegistry::global().counter("viper.core.loads");
+  obs::Counter& load_bytes =
+      obs::MetricsRegistry::global().counter("viper.core.load_bytes");
+  obs::Counter& pfs_flushes =
+      obs::MetricsRegistry::global().counter("viper.core.pfs_flushes");
+  obs::Counter& load_fallbacks =
+      obs::MetricsRegistry::global().counter("viper.core.load_pfs_fallbacks");
+  obs::Histogram& serialize_seconds =
+      obs::MetricsRegistry::global().histogram("viper.core.serialize_seconds");
+  obs::Histogram& save_call_seconds =
+      obs::MetricsRegistry::global().histogram("viper.core.save_call_seconds");
+  obs::Histogram& commit_seconds =
+      obs::MetricsRegistry::global().histogram("viper.core.commit_seconds");
+  obs::Histogram& flush_seconds =
+      obs::MetricsRegistry::global().histogram("viper.core.flush_seconds");
+  obs::Histogram& load_seconds =
+      obs::MetricsRegistry::global().histogram("viper.core.load_seconds");
+  obs::Histogram& transfer_seconds =
+      obs::MetricsRegistry::global().histogram("viper.core.transfer_seconds");
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics metrics;
+  return metrics;
+}
 
 std::string memory_path(const std::string& model_name) {
   return "ckpt/" + model_name;  // memory tiers buffer only the latest
@@ -71,9 +106,16 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
                                                       const Model& model,
                                                       double train_loss) {
   Stopwatch watch;
+  auto capture_span = obs::Tracer::global().span("capture", "producer");
 
   // Capture: serialize the weights (this is the real checkpoint copy).
-  auto blob = format_->serialize(model);
+  Result<std::vector<std::byte>> blob = [&] {
+    const Stopwatch serialize_watch;
+    auto serialize_span = obs::Tracer::global().span("serialize", "producer");
+    auto out = format_->serialize(model);
+    engine_metrics().serialize_seconds.record(serialize_watch.elapsed());
+    return out;
+  }();
   if (!blob.is_ok()) return blob.status();
 
   const Location location = strategy_location(options_.strategy);
@@ -122,11 +164,17 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
     VIPER_RETURN_IF_ERROR(commit(std::move(staged)));
   }
 
+  EngineMetrics& metrics = engine_metrics();
+  metrics.saves.add();
+  metrics.save_bytes.add(metadata.size_bytes);
+  metrics.save_call_seconds.record(watch.elapsed());
   SaveReceipt receipt{metadata, costs, watch.elapsed()};
   return receipt;
 }
 
 Status ModelWeightsHandler::commit(Staged staged) {
+  const Stopwatch watch;
+  auto commit_span = obs::Tracer::global().span("commit", "producer");
   const ModelMetadata& metadata = staged.metadata;
 
   memsys::StorageTier* tier = nullptr;
@@ -144,26 +192,38 @@ Status ModelWeightsHandler::commit(Staged staged) {
     const std::string path = pfs_path(metadata.name, metadata.version);
     const std::uint64_t cost = metadata.cost_bytes;
     flusher_.submit([pfs, path, cost, flush_blob = std::move(flush_blob)]() mutable {
+      const Stopwatch flush_watch;
+      auto flush_span = obs::Tracer::global().span("flush", "producer");
       auto ticket = pfs->put(path, std::move(flush_blob), cost);
       if (!ticket.is_ok()) {
         VIPER_WARN << "PFS flush of " << path
                    << " failed: " << ticket.status().to_string();
       }
+      EngineMetrics& metrics = engine_metrics();
+      metrics.pfs_flushes.add();
+      metrics.flush_seconds.record(flush_watch.elapsed());
     });
   }
 
-  auto ticket = tier->put(metadata.path, std::move(staged.blob),
-                          metadata.cost_bytes);
+  auto ticket = [&] {
+    auto stage_span = obs::Tracer::global().span("stage", "producer");
+    return tier->put(metadata.path, std::move(staged.blob),
+                     metadata.cost_bytes);
+  }();
   if (!ticket.is_ok()) return ticket.status();
 
   put_metadata(services_->metadata_db, metadata);
-  notifier_.publish_update(metadata.name, metadata.version);
+  {
+    auto notify_span = obs::Tracer::global().span("notify", "producer");
+    notifier_.publish_update(metadata.name, metadata.version);
+  }
   services_->stats->on_notification();
   if (metadata.location != Location::kPfs) {
     services_->stats->record_cached(options_.producer_id, metadata.name,
                                     metadata.version, metadata.location);
   }
   saves_completed_.fetch_add(1, std::memory_order_relaxed);
+  engine_metrics().commit_seconds.record(watch.elapsed());
   return Status::ok();
 }
 
@@ -232,10 +292,14 @@ Result<ModelMetadata> ModelLoader::peek(const std::string& model_name) const {
 }
 
 Result<Model> ModelLoader::load_weights(const std::string& model_name) {
+  const Stopwatch watch;
+  auto load_span = obs::Tracer::global().span("load", "consumer");
   auto metadata = peek(model_name);
   if (!metadata.is_ok()) return metadata.status();
   const ModelMetadata& meta = metadata.value();
 
+  const Stopwatch transfer_watch;
+  auto transfer_span = obs::Tracer::global().span("transfer", "consumer");
   std::vector<std::byte> blob;
   if (meta.location == Location::kPfs) {
     auto ticket = services_->pfs->get(meta.path, blob, meta.cost_bytes);
@@ -257,6 +321,7 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
       // of the version the metadata advertised.
       const std::string flushed =
           "ckpt/" + meta.name + "/v" + std::to_string(meta.version);
+      engine_metrics().load_fallbacks.add();
       auto ticket = services_->pfs->get(flushed, blob, meta.cost_bytes);
       if (!ticket.is_ok()) {
         return not_found("producer no longer caches '" + meta.path +
@@ -273,6 +338,10 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
     }
   }
 
+  transfer_span.end();
+  EngineMetrics& metrics = engine_metrics();
+  metrics.transfer_seconds.record(transfer_watch.elapsed());
+
   services_->stats->on_load(blob.size());
 
   // Sniff the format by magic so a consumer can read either layout.
@@ -281,7 +350,15 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
   std::memcpy(&magic, blob.data(), 4);
   const serial::CheckpointFormat& format =
       magic == 0x31465356 ? *viper_format_ : *h5_format_;
-  return format.deserialize(blob);
+  auto deserialize_span = obs::Tracer::global().span("deserialize", "consumer");
+  auto model = format.deserialize(blob);
+  deserialize_span.end();
+  if (model.is_ok()) {
+    metrics.loads.add();
+    metrics.load_bytes.add(blob.size());
+    metrics.load_seconds.record(watch.elapsed());
+  }
+  return model;
 }
 
 }  // namespace viper::core

@@ -1,13 +1,22 @@
 #include "viper/core/notification.hpp"
 
 #include "viper/core/metadata.hpp"
+#include "viper/obs/metrics.hpp"
 
 namespace viper::core {
 
 std::size_t NotificationModule::publish_update(const std::string& model_name,
                                                std::uint64_t version) {
-  return bus_->publish(notification_channel(model_name),
-                       model_name + "@" + std::to_string(version));
+  const std::size_t woken =
+      bus_->publish(notification_channel(model_name),
+                    model_name + "@" + std::to_string(version));
+  static obs::Counter& publishes =
+      obs::MetricsRegistry::global().counter("viper.notify.publishes");
+  static obs::Counter& consumers_woken =
+      obs::MetricsRegistry::global().counter("viper.notify.consumers_woken");
+  publishes.add();
+  consumers_woken.add(woken);
+  return woken;
 }
 
 kv::Subscription NotificationModule::subscribe(const std::string& model_name) {

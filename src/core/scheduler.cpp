@@ -4,9 +4,29 @@
 #include <cmath>
 #include <limits>
 
+#include "viper/common/clock.hpp"
 #include "viper/math/stats.hpp"
+#include "viper/obs/metrics.hpp"
 
 namespace viper::core {
+
+namespace {
+
+/// Times one schedule-planning call and counts it under
+/// `viper.scheduler.plans` / `viper.scheduler.plan_seconds`.
+struct [[nodiscard]] PlanTimer {
+  Stopwatch watch;
+  ~PlanTimer() {
+    static obs::Counter& plans =
+        obs::MetricsRegistry::global().counter("viper.scheduler.plans");
+    static obs::Histogram& plan_seconds =
+        obs::MetricsRegistry::global().histogram("viper.scheduler.plan_seconds");
+    plans.add();
+    plan_seconds.record(watch.elapsed());
+  }
+};
+
+}  // namespace
 
 std::string_view to_string(ScheduleKind kind) noexcept {
   switch (kind) {
@@ -51,6 +71,7 @@ double predict_cil_for_iterations(std::span<const std::int64_t> checkpoints,
 CheckpointSchedule epoch_schedule(const ScheduleWindow& window,
                                   std::int64_t iters_per_epoch,
                                   const CilPredictor& predictor) {
+  const PlanTimer timer;
   CheckpointSchedule schedule;
   schedule.kind = ScheduleKind::kEpochBaseline;
   schedule.interval = iters_per_epoch;
@@ -65,6 +86,7 @@ CheckpointSchedule epoch_schedule(const ScheduleWindow& window,
 
 Result<CheckpointSchedule> fixed_interval_schedule(const ScheduleWindow& window,
                                                    const CilPredictor& predictor) {
+  const PlanTimer timer;
   const std::int64_t max_interval = window.e_iter - window.s_iter;
   if (max_interval <= 0) {
     return invalid_argument("schedule window is empty (e_iter <= s_iter)");
@@ -108,6 +130,7 @@ double greedy_threshold_from_warmup(std::span<const double> warmup_losses) {
 Result<CheckpointSchedule> greedy_schedule(const ScheduleWindow& window,
                                            const CilPredictor& predictor,
                                            double threshold) {
+  const PlanTimer timer;
   if (window.e_iter <= window.s_iter) {
     return invalid_argument("schedule window is empty (e_iter <= s_iter)");
   }

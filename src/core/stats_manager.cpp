@@ -1,6 +1,35 @@
 #include "viper/core/stats_manager.hpp"
 
+#include "viper/obs/metrics.hpp"
+
 namespace viper::core {
+
+namespace {
+
+/// Registry bridge: every StatsManager counter update is mirrored into the
+/// process-wide metrics registry under `viper.stats.*`, so one snapshot
+/// covers both the per-manager counters and everything else.
+struct StatsBridge {
+  obs::Counter& saves =
+      obs::MetricsRegistry::global().counter("viper.stats.saves");
+  obs::Counter& loads =
+      obs::MetricsRegistry::global().counter("viper.stats.loads");
+  obs::Counter& bytes_saved =
+      obs::MetricsRegistry::global().counter("viper.stats.bytes_saved");
+  obs::Counter& bytes_loaded =
+      obs::MetricsRegistry::global().counter("viper.stats.bytes_loaded");
+  obs::Counter& notifications =
+      obs::MetricsRegistry::global().counter("viper.stats.notifications");
+  obs::Gauge& modeled_stall_seconds = obs::MetricsRegistry::global().gauge(
+      "viper.stats.modeled_stall_seconds");
+};
+
+StatsBridge& stats_bridge() {
+  static StatsBridge bridge;
+  return bridge;
+}
+
+}  // namespace
 
 void StatsManager::record_cached(const std::string& producer_id,
                                  const std::string& model_name,
@@ -41,21 +70,35 @@ std::vector<StatsManager::CachedModel> StatsManager::cached_by(
 }
 
 void StatsManager::on_save(std::uint64_t bytes, double stall_seconds) {
-  std::lock_guard lock(mutex_);
-  ++counters_.saves;
-  counters_.bytes_saved += bytes;
-  counters_.modeled_stall_seconds += stall_seconds;
+  {
+    std::lock_guard lock(mutex_);
+    ++counters_.saves;
+    counters_.bytes_saved += bytes;
+    counters_.modeled_stall_seconds += stall_seconds;
+  }
+  StatsBridge& bridge = stats_bridge();
+  bridge.saves.add();
+  bridge.bytes_saved.add(bytes);
+  bridge.modeled_stall_seconds.add(stall_seconds);
 }
 
 void StatsManager::on_load(std::uint64_t bytes) {
-  std::lock_guard lock(mutex_);
-  ++counters_.loads;
-  counters_.bytes_loaded += bytes;
+  {
+    std::lock_guard lock(mutex_);
+    ++counters_.loads;
+    counters_.bytes_loaded += bytes;
+  }
+  StatsBridge& bridge = stats_bridge();
+  bridge.loads.add();
+  bridge.bytes_loaded.add(bytes);
 }
 
 void StatsManager::on_notification() {
-  std::lock_guard lock(mutex_);
-  ++counters_.notifications;
+  {
+    std::lock_guard lock(mutex_);
+    ++counters_.notifications;
+  }
+  stats_bridge().notifications.add();
 }
 
 EngineCounters StatsManager::counters() const {

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "viper/common/clock.hpp"
+#include "viper/obs/metrics.hpp"
+#include "viper/obs/trace.hpp"
 #include "viper/sim/app_profile.hpp"
 
 namespace viper::core {
@@ -56,8 +59,16 @@ LiveWorkflow::~LiveWorkflow() {
 
 Result<LiveWorkflow::Report> LiveWorkflow::run(std::int64_t iterations,
                                                double sync_timeout) {
-  trainer_->run(iterations);
-  handler_->drain();
+  const Stopwatch watch;
+  auto run_span = obs::Tracer::global().span("run", "workflow");
+  {
+    auto train_span = obs::Tracer::global().span("train", "workflow");
+    trainer_->run(iterations);
+  }
+  {
+    auto drain_span = obs::Tracer::global().span("drain", "workflow");
+    handler_->drain();
+  }
 
   Report report;
   report.checkpoints = callback_->checkpoints_taken();
@@ -79,6 +90,9 @@ Result<LiveWorkflow::Report> LiveWorkflow::run(std::int64_t iterations,
   const auto active = consumer_->active_model();
   report.weights_converged =
       active != nullptr && active->same_weights(trainer_->model());
+  static obs::Histogram& run_seconds =
+      obs::MetricsRegistry::global().histogram("viper.core.workflow_run_seconds");
+  run_seconds.record(watch.elapsed());
   return report;
 }
 

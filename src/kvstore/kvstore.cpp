@@ -2,9 +2,40 @@
 
 #include <algorithm>
 
+#include "viper/common/clock.hpp"
+#include "viper/obs/metrics.hpp"
+
 namespace viper::kv {
 
+namespace {
+
+// Handles resolved once; every store op then records with relaxed atomics.
+struct KvMetrics {
+  obs::Counter& ops =
+      obs::MetricsRegistry::global().counter("viper.kvstore.ops");
+  obs::Histogram& op_seconds =
+      obs::MetricsRegistry::global().histogram("viper.kvstore.op_seconds");
+};
+
+KvMetrics& kv_metrics() {
+  static KvMetrics metrics;
+  return metrics;
+}
+
+/// Counts the enclosing store operation and records its wall latency.
+struct [[nodiscard]] OpTimer {
+  Stopwatch watch;
+  ~OpTimer() {
+    KvMetrics& metrics = kv_metrics();
+    metrics.ops.add();
+    metrics.op_seconds.record(watch.elapsed());
+  }
+};
+
+}  // namespace
+
 std::uint64_t KvStore::set(const std::string& key, std::string value) {
+  const OpTimer timer;
   std::lock_guard lock(mutex_);
   auto& entry = strings_[key];
   entry.value = std::move(value);
@@ -12,6 +43,7 @@ std::uint64_t KvStore::set(const std::string& key, std::string value) {
 }
 
 Result<VersionedValue> KvStore::get(const std::string& key) const {
+  const OpTimer timer;
   std::lock_guard lock(mutex_);
   auto it = strings_.find(key);
   if (it == strings_.end()) return not_found("no key: " + key);
@@ -32,6 +64,7 @@ Status KvStore::erase(const std::string& key) {
 Result<std::uint64_t> KvStore::compare_and_set(const std::string& key,
                                                std::string value,
                                                std::uint64_t expected_version) {
+  const OpTimer timer;
   std::lock_guard lock(mutex_);
   auto it = strings_.find(key);
   const std::uint64_t current = it == strings_.end() ? 0 : it->second.version;
@@ -46,6 +79,7 @@ Result<std::uint64_t> KvStore::compare_and_set(const std::string& key,
 }
 
 std::int64_t KvStore::incr(const std::string& key, std::int64_t delta) {
+  const OpTimer timer;
   std::lock_guard lock(mutex_);
   auto& entry = strings_[key];
   std::int64_t current = 0;
@@ -58,12 +92,14 @@ std::int64_t KvStore::incr(const std::string& key, std::int64_t delta) {
 
 void KvStore::hset(const std::string& key, const std::string& field,
                    std::string value) {
+  const OpTimer timer;
   std::lock_guard lock(mutex_);
   hashes_[key][field] = std::move(value);
 }
 
 Result<std::string> KvStore::hget(const std::string& key,
                                   const std::string& field) const {
+  const OpTimer timer;
   std::lock_guard lock(mutex_);
   auto it = hashes_.find(key);
   if (it == hashes_.end()) return not_found("no hash: " + key);
@@ -76,6 +112,7 @@ Result<std::string> KvStore::hget(const std::string& key,
 
 Result<std::map<std::string, std::string>> KvStore::hgetall(
     const std::string& key) const {
+  const OpTimer timer;
   std::lock_guard lock(mutex_);
   auto it = hashes_.find(key);
   if (it == hashes_.end()) return not_found("no hash: " + key);
@@ -84,6 +121,7 @@ Result<std::map<std::string, std::string>> KvStore::hgetall(
 
 void KvStore::hset_all(const std::string& key,
                        std::map<std::string, std::string> fields) {
+  const OpTimer timer;
   std::lock_guard lock(mutex_);
   hashes_[key] = std::move(fields);
 }

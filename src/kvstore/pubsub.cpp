@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <chrono>
 
+#include "viper/common/clock.hpp"
+#include "viper/obs/metrics.hpp"
+
 namespace viper::kv {
+
+namespace {
+
+struct BusMetrics {
+  obs::Counter& publishes =
+      obs::MetricsRegistry::global().counter("viper.kvstore.publishes");
+  obs::Counter& events_delivered =
+      obs::MetricsRegistry::global().counter("viper.kvstore.events_delivered");
+  obs::Histogram& publish_seconds =
+      obs::MetricsRegistry::global().histogram("viper.kvstore.publish_seconds");
+};
+
+BusMetrics& bus_metrics() {
+  static BusMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Subscription::~Subscription() { detach(); }
 
@@ -65,6 +86,9 @@ Subscription PubSub::subscribe(const std::string& channel) {
 }
 
 std::size_t PubSub::publish(const std::string& channel, std::string payload) {
+  const Stopwatch watch;
+  BusMetrics& metrics = bus_metrics();
+  metrics.publishes.add();
   std::vector<std::shared_ptr<Subscription::Inbox>> targets;
   std::uint64_t seq;
   {
@@ -80,6 +104,8 @@ std::size_t PubSub::publish(const std::string& channel, std::string payload) {
     Event event{channel, payload, seq};
     if (inbox->queue.try_push(std::move(event))) ++delivered;
   }
+  metrics.events_delivered.add(delivered);
+  metrics.publish_seconds.record(watch.elapsed());
   return delivered;
 }
 

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <system_error>
 
+#include "viper/common/clock.hpp"
+
 namespace viper::memsys {
 
 namespace fs = std::filesystem;
@@ -33,10 +35,16 @@ Result<fs::path> FileTier::path_for(const std::string& key) const {
 Result<IoTicket> FileTier::put(const std::string& key, std::vector<std::byte> blob,
                                std::uint64_t cost_bytes, int metadata_ops,
                                Rng* rng) {
+  const Stopwatch watch;
   auto path = path_for(key);
   if (!path.is_ok()) return path.status();
 
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_, std::defer_lock);
+  {
+    const Stopwatch wait;
+    lock.lock();
+    metrics_.lock_wait_seconds.record(wait.elapsed());
+  }
   std::error_code ec;
   fs::create_directories(path.value().parent_path(), ec);
   if (ec) return unavailable("mkdir failed: " + ec.message());
@@ -53,16 +61,24 @@ Result<IoTicket> FileTier::put(const std::string& key, std::vector<std::byte> bl
   fs::rename(temp, path.value(), ec);
   if (ec) return unavailable("rename failed: " + ec.message());
 
+  metrics_.bytes_written.add(blob.size());
+  metrics_.put_seconds.record(watch.elapsed());
   return write_ticket(cost_bytes ? cost_bytes : blob.size(), metadata_ops, rng);
 }
 
 Result<IoTicket> FileTier::get(const std::string& key, std::vector<std::byte>& out,
                                std::uint64_t cost_bytes, int metadata_ops,
                                Rng* rng) {
+  const Stopwatch watch;
   auto path = path_for(key);
   if (!path.is_ok()) return path.status();
 
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_, std::defer_lock);
+  {
+    const Stopwatch wait;
+    lock.lock();
+    metrics_.lock_wait_seconds.record(wait.elapsed());
+  }
   std::ifstream in(path.value(), std::ios::binary | std::ios::ate);
   if (!in) return not_found("no object '" + key + "' in tier " + model_.name);
   const std::streamsize size = in.tellg();
@@ -71,6 +87,8 @@ Result<IoTicket> FileTier::get(const std::string& key, std::vector<std::byte>& o
   in.read(reinterpret_cast<char*>(out.data()), size);
   if (!in) return data_loss("short read from '" + path.value().string() + "'");
 
+  metrics_.bytes_read.add(out.size());
+  metrics_.get_seconds.record(watch.elapsed());
   return read_ticket(cost_bytes ? cost_bytes : out.size(), metadata_ops, rng);
 }
 

@@ -20,6 +20,7 @@
 
 #include "viper/common/status.hpp"
 #include "viper/memsys/device_model.hpp"
+#include "viper/obs/metrics.hpp"
 
 namespace viper::memsys {
 
@@ -28,10 +29,24 @@ struct IoTicket {
   std::uint64_t bytes = 0;       ///< Payload size charged.
 };
 
+/// Per-tier observability handles, resolved once from the global registry
+/// (name pattern `viper.memsys.<tier>.<metric>`) so the put/get hot paths
+/// record with relaxed atomics only.
+struct TierMetrics {
+  explicit TierMetrics(const std::string& tier_name);
+
+  obs::Histogram& put_seconds;        ///< real wall time of put()
+  obs::Histogram& get_seconds;        ///< real wall time of get()
+  obs::Histogram& lock_wait_seconds;  ///< contention wait for the tier mutex
+  obs::Counter& bytes_written;
+  obs::Counter& bytes_read;
+};
+
 /// Abstract object store over a modeled device.
 class StorageTier {
  public:
-  explicit StorageTier(DeviceModel model) : model_(std::move(model)) {}
+  explicit StorageTier(DeviceModel model)
+      : model_(std::move(model)), metrics_(model_.name) {}
   virtual ~StorageTier() = default;
 
   StorageTier(const StorageTier&) = delete;
@@ -74,6 +89,7 @@ class StorageTier {
   }
 
   DeviceModel model_;
+  TierMetrics metrics_;
 };
 
 /// In-memory tier with capacity enforcement and LRU-keep-latest eviction.

@@ -1,11 +1,38 @@
 #include "viper/memsys/storage_tier.hpp"
 
+#include "viper/common/clock.hpp"
+
 namespace viper::memsys {
+
+namespace {
+
+std::string metric_safe(const std::string& tier_name) {
+  std::string out = tier_name;
+  for (char& c : out) {
+    if (c == ' ' || c == '.') c = '-';
+  }
+  return out;
+}
+
+}  // namespace
+
+TierMetrics::TierMetrics(const std::string& tier_name)
+    : put_seconds(obs::MetricsRegistry::global().histogram(
+          "viper.memsys." + metric_safe(tier_name) + ".put_seconds")),
+      get_seconds(obs::MetricsRegistry::global().histogram(
+          "viper.memsys." + metric_safe(tier_name) + ".get_seconds")),
+      lock_wait_seconds(obs::MetricsRegistry::global().histogram(
+          "viper.memsys." + metric_safe(tier_name) + ".lock_wait_seconds")),
+      bytes_written(obs::MetricsRegistry::global().counter(
+          "viper.memsys." + metric_safe(tier_name) + ".bytes_written")),
+      bytes_read(obs::MetricsRegistry::global().counter(
+          "viper.memsys." + metric_safe(tier_name) + ".bytes_read")) {}
 
 Result<IoTicket> MemoryTier::put(const std::string& key,
                                  std::vector<std::byte> blob,
                                  std::uint64_t cost_bytes, int metadata_ops,
                                  Rng* rng) {
+  const Stopwatch watch;
   const std::uint64_t payload = blob.size();
   if (payload > model_.capacity_bytes) {
     return resource_exhausted("object of " + std::to_string(payload) +
@@ -14,19 +41,26 @@ Result<IoTicket> MemoryTier::put(const std::string& key,
   const IoTicket ticket =
       write_ticket(cost_bytes ? cost_bytes : payload, metadata_ops, rng);
 
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_, std::defer_lock);
+  {
+    const Stopwatch wait;
+    lock.lock();
+    metrics_.lock_wait_seconds.record(wait.elapsed());
+  }
   auto it = objects_.find(key);
   if (it != objects_.end()) {
     used_ -= it->second.blob.size();
     used_ += payload;
     it->second.blob = std::move(blob);
     touch_locked(key);
-    return ticket;
+  } else {
+    evict_for_locked(payload);
+    lru_.push_front(key);
+    objects_.emplace(key, Entry{std::move(blob), lru_.begin()});
+    used_ += payload;
   }
-  evict_for_locked(payload);
-  lru_.push_front(key);
-  objects_.emplace(key, Entry{std::move(blob), lru_.begin()});
-  used_ += payload;
+  metrics_.bytes_written.add(payload);
+  metrics_.put_seconds.record(watch.elapsed());
   return ticket;
 }
 
@@ -34,13 +68,21 @@ Result<IoTicket> MemoryTier::get(const std::string& key,
                                  std::vector<std::byte>& out,
                                  std::uint64_t cost_bytes, int metadata_ops,
                                  Rng* rng) {
-  std::lock_guard lock(mutex_);
+  const Stopwatch watch;
+  std::unique_lock lock(mutex_, std::defer_lock);
+  {
+    const Stopwatch wait;
+    lock.lock();
+    metrics_.lock_wait_seconds.record(wait.elapsed());
+  }
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return not_found("no object '" + key + "' in tier " + model_.name);
   }
   out = it->second.blob;
   touch_locked(key);
+  metrics_.bytes_read.add(out.size());
+  metrics_.get_seconds.record(watch.elapsed());
   return read_ticket(cost_bytes ? cost_bytes : out.size(), metadata_ops, rng);
 }
 

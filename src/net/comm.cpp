@@ -1,6 +1,29 @@
 #include "viper/net/comm.hpp"
 
+#include "viper/common/clock.hpp"
+#include "viper/obs/metrics.hpp"
+
 namespace viper::net {
+
+namespace {
+
+struct CommMetrics {
+  obs::Counter& messages_sent =
+      obs::MetricsRegistry::global().counter("viper.net.messages_sent");
+  obs::Counter& bytes_sent =
+      obs::MetricsRegistry::global().counter("viper.net.bytes_sent");
+  obs::Counter& messages_received =
+      obs::MetricsRegistry::global().counter("viper.net.messages_received");
+  obs::Histogram& recv_wait_seconds =
+      obs::MetricsRegistry::global().histogram("viper.net.recv_wait_seconds");
+};
+
+CommMetrics& comm_metrics() {
+  static CommMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 CommWorld::CommWorld(int num_ranks) : num_ranks_(num_ranks) {
   inboxes_.reserve(static_cast<std::size_t>(num_ranks));
@@ -31,9 +54,13 @@ Status Comm::send(int dest, int tag, std::span<const std::byte> payload) const {
   msg.source = rank_;
   msg.tag = tag;
   msg.payload.assign(payload.begin(), payload.end());
+  const std::size_t bytes = msg.payload.size();
   if (!world_->inbox(dest).send(std::move(msg))) {
     return cancelled("comm world shut down");
   }
+  CommMetrics& metrics = comm_metrics();
+  metrics.messages_sent.add();
+  metrics.bytes_sent.add(bytes);
   return Status::ok();
 }
 
@@ -41,7 +68,14 @@ Result<Message> Comm::recv(int source, int tag, double timeout_seconds) const {
   if (source != kAnySource && (source < 0 || source >= size())) {
     return invalid_argument("bad source rank");
   }
-  return world_->inbox(rank_).recv(source, tag, timeout_seconds);
+  const Stopwatch watch;
+  auto msg = world_->inbox(rank_).recv(source, tag, timeout_seconds);
+  if (msg.is_ok()) {
+    CommMetrics& metrics = comm_metrics();
+    metrics.messages_received.add();
+    metrics.recv_wait_seconds.record(watch.elapsed());
+  }
+  return msg;
 }
 
 Status Comm::barrier() const {

@@ -2,9 +2,28 @@
 
 #include <cstring>
 
+#include "viper/common/clock.hpp"
+#include "viper/obs/metrics.hpp"
+
 namespace viper::net {
 
 namespace {
+
+struct StreamMetrics {
+  obs::Counter& chunks_sent =
+      obs::MetricsRegistry::global().counter("viper.net.stream_chunks_sent");
+  obs::Counter& bytes_on_wire =
+      obs::MetricsRegistry::global().counter("viper.net.stream_bytes_on_wire");
+  obs::Histogram& send_seconds =
+      obs::MetricsRegistry::global().histogram("viper.net.stream_send_seconds");
+  obs::Histogram& recv_seconds =
+      obs::MetricsRegistry::global().histogram("viper.net.stream_recv_seconds");
+};
+
+StreamMetrics& stream_metrics() {
+  static StreamMetrics metrics;
+  return metrics;
+}
 
 struct StreamHeader {
   std::uint64_t total_bytes = 0;
@@ -39,6 +58,7 @@ Status stream_send(const Comm& comm, int dest, int tag,
                    std::span<const std::byte> payload,
                    const StreamOptions& options) {
   if (options.chunk_bytes == 0) return invalid_argument("chunk_bytes must be > 0");
+  const Stopwatch watch;
   StreamHeader header;
   header.total_bytes = payload.size();
   header.chunk_bytes = options.chunk_bytes;
@@ -52,6 +72,10 @@ Status stream_send(const Comm& comm, int dest, int tag,
         std::min<std::size_t>(options.chunk_bytes, payload.size() - offset);
     VIPER_RETURN_IF_ERROR(comm.send(dest, tag, payload.subspan(offset, length)));
   }
+  StreamMetrics& metrics = stream_metrics();
+  metrics.chunks_sent.add(header.num_chunks);
+  metrics.bytes_on_wire.add(payload.size());
+  metrics.send_seconds.record(watch.elapsed());
   return Status::ok();
 }
 
@@ -63,6 +87,7 @@ template <typename ForwardFn>
 Result<std::vector<std::byte>> recv_stream(const Comm& comm, int source, int tag,
                                            const StreamOptions& options,
                                            ForwardFn&& forward) {
+  const Stopwatch watch;
   auto header_msg = comm.recv(source, tag, options.timeout_seconds);
   if (!header_msg.is_ok()) return header_msg.status();
   auto header = decode_header(header_msg.value().payload);
@@ -85,6 +110,7 @@ Result<std::vector<std::byte>> recv_stream(const Comm& comm, int source, int tag
   if (payload.size() != header.value().total_bytes) {
     return data_loss("stream ended short of its declared size");
   }
+  stream_metrics().recv_seconds.record(watch.elapsed());
   return payload;
 }
 

@@ -1,0 +1,182 @@
+// Observability metrics (registry layer): named counters, gauges, and
+// fixed-bucket latency histograms cheap enough for hot paths. Lookup by
+// name takes a lock once; recording on a resolved handle is a relaxed
+// atomic op, so instrumented code resolves handles at construction (or in
+// a function-local static) and records lock-free afterwards.
+//
+// Naming convention: `viper.<subsystem>.<metric>`, e.g.
+// `viper.core.serialize_seconds`, `viper.net.bytes_sent`. Histograms are
+// second-denominated unless the name says otherwise.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace viper::obs {
+
+/// Monotonic event count. Record path: one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value metric (queue depths, accumulated modeled seconds).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram with power-of-two bucket bounds:
+/// bucket i holds samples in (2^(i-1), 2^i] nanoseconds (bucket 0: <= 1 ns),
+/// covering 1 ns .. ~292 years in 64 buckets. Recording is a couple of
+/// relaxed atomic ops; percentiles are exact to one bucket (<= 2x relative
+/// error) and exact at the tail because they clamp to the observed max.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void record(double seconds) noexcept {
+    const std::uint64_t ns = to_ns(seconds);
+    buckets_[static_cast<std::size_t>(bucket_index_ns(ns))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t cur = max_ns_.load(std::memory_order_relaxed);
+    while (ns > cur &&
+           !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Sum of recorded values in seconds (nanosecond-truncated).
+  [[nodiscard]] double sum() const noexcept {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// Value at quantile `q` in [0,1]: the upper bound of the bucket where
+  /// the cumulative count crosses ceil(q * n), clamped to the observed
+  /// max so tail quantiles of a bounded sample are exact.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+  /// Upper bound of bucket `index` in seconds: 2^index nanoseconds.
+  [[nodiscard]] static double bucket_upper_bound(int index) noexcept {
+    return static_cast<double>(std::uint64_t{1} << index) * 1e-9;
+  }
+  /// Bucket a value lands in (used by tests to compute expected bounds).
+  [[nodiscard]] static int bucket_index(double seconds) noexcept {
+    return bucket_index_ns(to_ns(seconds));
+  }
+
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] static std::uint64_t to_ns(double seconds) noexcept {
+    return seconds <= 0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9);
+  }
+  [[nodiscard]] static int bucket_index_ns(std::uint64_t ns) noexcept {
+    if (ns <= 1) return 0;
+    const int width = static_cast<int>(std::bit_width(ns - 1));
+    return width >= kNumBuckets ? kNumBuckets - 1 : width;
+  }
+
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  [[nodiscard]] std::string to_json() const;
+  /// One metric per line, for example epilogues and log dumps.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Thread-safe name -> metric registry. Metrics are created on first
+/// lookup and never destroyed, so returned references stay valid for the
+/// life of the process.
+class MetricsRegistry {
+ public:
+  /// Process-wide registry all Viper subsystems report into.
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every metric (instances stay registered). For tests/benches.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace viper::obs

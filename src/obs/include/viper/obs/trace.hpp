@@ -1,0 +1,112 @@
+// Checkpoint-lifecycle tracer: RAII spans recorded against a session
+// Clock (WallClock for the live engine, VirtualClock for deterministic
+// experiment runs), exported as Chrome trace-event JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev) or a per-name summary.
+//
+// The global tracer is disabled by default; span() on a disabled tracer
+// returns an inert Span whose whole cost is one relaxed atomic load, so
+// instrumented hot paths stay cheap when nobody is tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "viper/common/clock.hpp"
+
+namespace viper::obs {
+
+struct TraceEvent {
+  std::string name;       ///< e.g. "capture", "serialize", "notify"
+  std::string category;   ///< lifecycle stage group, e.g. "producer"
+  int thread_id = 0;      ///< small per-thread ordinal (viper::thread_ordinal)
+  int depth = 0;          ///< span nesting depth on its thread (0 = top)
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  bool instant = false;   ///< point event rather than a duration
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer the built-in instrumentation reports to.
+  static Tracer& global();
+
+  /// Time source for span boundaries; nullptr restores the default
+  /// monotonic wall clock. The clock must outlive recording.
+  void set_clock(const Clock* clock) noexcept {
+    clock_.store(clock, std::memory_order_release);
+  }
+
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_release);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Move-only RAII handle: records a TraceEvent from construction to
+  /// destruction (or end()). Inert when the tracer was disabled.
+  class [[nodiscard]] Span {
+   public:
+    Span() = default;
+    ~Span() { end(); }
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Close the span now (idempotent).
+    void end();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::string name, std::string category);
+
+    Tracer* tracer_ = nullptr;
+    std::string name_;
+    std::string category_;
+    double start_ = 0.0;
+    int depth_ = 0;
+  };
+
+  /// Open a span; the returned handle must stay on the calling thread.
+  Span span(std::string name, std::string category = "viper");
+
+  /// Record a zero-duration point event.
+  void instant(std::string name, std::string category = "viper");
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  /// Events discarded after the buffer filled (kMaxEvents).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete events).
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Human-readable per-name aggregate: count, total, mean, max.
+  [[nodiscard]] std::string summary() const;
+
+  [[nodiscard]] double now() const;
+
+  static constexpr std::size_t kMaxEvents = 1 << 20;
+
+ private:
+  void record(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<const Clock*> clock_{nullptr};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace viper::obs

@@ -1,0 +1,191 @@
+#include "viper/obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace viper::obs {
+
+double Histogram::percentile(double q) const noexcept {
+  std::array<std::uint64_t, kNumBuckets> snapshot;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snapshot[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += snapshot[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the sample the quantile falls on (1-based, nearest-rank rule).
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.999999);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += snapshot[static_cast<std::size_t>(i)];
+    if (cumulative >= rank) {
+      const double bound = bucket_upper_bound(i);
+      const double observed_max = max();
+      return observed_max > 0.0 && bound > observed_max ? observed_max : bound;
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back({name, counter->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.push_back({name, gauge->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    out.histograms.push_back({name, hist->count(), hist->sum(), hist->mean(),
+                              hist->percentile(0.50), hist->percentile(0.95),
+                              hist->percentile(0.99), hist->max()});
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [_, counter] : counters_) counter->reset();
+  for (auto& [_, gauge] : gauges_) gauge->reset();
+  for (auto& [_, hist] : histograms_) hist->reset();
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& g : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, g.name);
+    out += ": ";
+    append_double(out, g.value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    append_double(out, h.sum);
+    out += ", \"mean\": ";
+    append_double(out, h.mean);
+    out += ", \"p50\": ";
+    append_double(out, h.p50);
+    out += ", \"p95\": ";
+    append_double(out, h.p95);
+    out += ", \"p99\": ";
+    append_double(out, h.p99);
+    out += ", \"max\": ";
+    append_double(out, h.max);
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  char buf[256];
+  for (const auto& c : counters) {
+    std::snprintf(buf, sizeof(buf), "%-44s %llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  for (const auto& g : gauges) {
+    std::snprintf(buf, sizeof(buf), "%-44s %.6g\n", g.name.c_str(), g.value);
+    out += buf;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-44s n=%llu mean=%.3gs p50=%.3gs p95=%.3gs p99=%.3gs "
+                  "max=%.3gs\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean, h.p50, h.p95, h.p99, h.max);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace viper::obs

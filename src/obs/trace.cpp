@@ -1,0 +1,199 @@
+#include "viper/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "viper/common/thread_util.hpp"
+
+namespace viper::obs {
+
+namespace {
+
+// Per-thread span nesting depth (the tracer is process-global but spans
+// nest on their own thread).
+thread_local int t_span_depth = 0;
+
+const Clock& default_clock() {
+  static WallClock clock;
+  return clock;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+double Tracer::now() const {
+  const Clock* clock = clock_.load(std::memory_order_acquire);
+  return (clock != nullptr ? *clock : default_clock()).now();
+}
+
+Tracer::Span::Span(Tracer* tracer, std::string name, std::string category)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      category_(std::move(category)),
+      start_(tracer->now()),
+      depth_(t_span_depth++) {}
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    start_ = other.start_;
+    depth_ = other.depth_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Tracer::Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  --t_span_depth;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.thread_id = thread_ordinal();
+  event.depth = depth_;
+  event.start_seconds = start_;
+  event.duration_seconds = tracer->now() - start_;
+  tracer->record(std::move(event));
+}
+
+Tracer::Span Tracer::span(std::string name, std::string category) {
+  if (!enabled()) return Span();
+  return Span(this, std::move(name), std::move(category));
+}
+
+void Tracer::instant(std::string name, std::string category) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.thread_id = thread_ordinal();
+  event.depth = t_span_depth;
+  event.start_seconds = now();
+  event.instant = true;
+  record(std::move(event));
+}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  const auto snapshot = events();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  char buf[128];
+  for (const TraceEvent& event : snapshot) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"name\": ";
+    append_json_string(out, event.name);
+    out += ", \"cat\": ";
+    append_json_string(out, event.category);
+    // Chrome trace timestamps are microseconds.
+    std::snprintf(buf, sizeof(buf),
+                  ", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \"tid\": %d",
+                  event.instant ? "i" : "X", event.start_seconds * 1e6,
+                  event.thread_id);
+    out += buf;
+    if (event.instant) {
+      out += ", \"s\": \"t\"";
+    } else {
+      std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
+                    event.duration_seconds * 1e6);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string Tracer::summary() const {
+  struct Aggregate {
+    std::uint64_t count = 0;
+    double total = 0.0;
+    double max = 0.0;
+  };
+  std::map<std::string, Aggregate> by_name;
+  for (const TraceEvent& event : events()) {
+    auto& agg = by_name[event.category + "/" + event.name];
+    ++agg.count;
+    agg.total += event.duration_seconds;
+    agg.max = std::max(agg.max, event.duration_seconds);
+  }
+  std::string out;
+  char buf[256];
+  for (const auto& [name, agg] : by_name) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-36s n=%-6llu total=%10.6fs mean=%10.6fs max=%10.6fs\n",
+                  name.c_str(), static_cast<unsigned long long>(agg.count),
+                  agg.total, agg.total / static_cast<double>(agg.count),
+                  agg.max);
+    out += buf;
+  }
+  const std::uint64_t lost = dropped();
+  if (lost > 0) {
+    std::snprintf(buf, sizeof(buf), "(%llu events dropped after buffer fill)\n",
+                  static_cast<unsigned long long>(lost));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace viper::obs

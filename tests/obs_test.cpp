@@ -1,0 +1,427 @@
+// Tests for the observability layer: histogram bucket/percentile math,
+// lock-free recording under concurrency, tracer span nesting against a
+// VirtualClock, and well-formedness of the JSON exports.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "viper/common/clock.hpp"
+#include "viper/obs/metrics.hpp"
+#include "viper/obs/trace.hpp"
+
+namespace viper::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator, enough to reject any broken
+// escaping/nesting/commas in the exporters' output.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (take('}')) return true;
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !string()) return false;
+      skip_ws();
+      if (!take(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (take('}')) return true;
+      if (!take(',')) return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (take(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (take(']')) return true;
+      if (!take(',')) return false;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    take('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool take(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Histogram math
+
+TEST(Histogram, BucketIndexAndBounds) {
+  // Bucket i covers (2^(i-1), 2^i] ns; bucket 0 is <= 1 ns.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e-9), 0);    // 1 ns
+  EXPECT_EQ(Histogram::bucket_index(2e-9), 1);    // 2 ns
+  EXPECT_EQ(Histogram::bucket_index(3e-9), 2);    // 3 ns -> (2, 4]
+  EXPECT_EQ(Histogram::bucket_index(4e-9), 2);    // 4 ns -> (2, 4]
+  EXPECT_EQ(Histogram::bucket_index(5e-9), 3);    // 5 ns -> (4, 8]
+  EXPECT_EQ(Histogram::bucket_index(1.024e-6), 10);
+  EXPECT_EQ(Histogram::bucket_index(1e9), 60);  // 1e18 ns -> (2^59, 2^60]
+  // Beyond 2^63 ns clamps into the last bucket.
+  EXPECT_EQ(Histogram::bucket_index(1e12), Histogram::kNumBuckets - 1);
+
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_bound(0), 1e-9);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_bound(10), 1.024e-6);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_bound(30), 1024 * 1024 * 1024 * 1e-9);
+}
+
+TEST(Histogram, SingleValueIsExactAtEveryQuantile) {
+  Histogram hist;
+  for (int i = 0; i < 100; ++i) hist.record(1e-6);  // 1000 ns, bucket bound 1024
+  EXPECT_EQ(hist.count(), 100u);
+  // The bucket bound is 1.024 us but the observed max clamps it to 1 us.
+  EXPECT_DOUBLE_EQ(hist.percentile(0.50), 1e-6);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.95), 1e-6);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.99), 1e-6);
+  EXPECT_DOUBLE_EQ(hist.max(), 1e-6);
+  EXPECT_DOUBLE_EQ(hist.mean(), 1e-6);
+  EXPECT_DOUBLE_EQ(hist.sum(), 100e-6);
+}
+
+TEST(Histogram, PercentilesOnKnownMixture) {
+  Histogram hist;
+  // 90 fast samples at 1 us, 9 at ~1 ms, 1 at 1 s: nearest-rank quantiles.
+  for (int i = 0; i < 90; ++i) hist.record(1e-6);
+  for (int i = 0; i < 9; ++i) hist.record(1e-3);
+  hist.record(1.0);
+  ASSERT_EQ(hist.count(), 100u);
+
+  // p50 (rank 50) lands among the 1 us samples: bucket bound 1.024 us.
+  EXPECT_DOUBLE_EQ(hist.percentile(0.50), Histogram::bucket_upper_bound(10));
+  // p95 (rank 95) lands among the 1 ms samples: 1e6 ns -> bucket 20.
+  EXPECT_DOUBLE_EQ(hist.percentile(0.95), Histogram::bucket_upper_bound(20));
+  // p99 still inside the 1 ms group; p100/max is the 1 s outlier, exactly.
+  EXPECT_DOUBLE_EQ(hist.percentile(0.99), Histogram::bucket_upper_bound(20));
+  EXPECT_DOUBLE_EQ(hist.percentile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 1.0);
+}
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordsAreAllCounted) {
+  Histogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(1e-6 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(hist.max(), 4e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, registry
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(0.5);
+  gauge.add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("viper.test.counter");
+  Counter& b = registry.counter("viper.test.counter");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.histogram("viper.test.hist");
+  Histogram& h2 = registry.histogram("viper.test.hist");
+  EXPECT_EQ(&h1, &h2);
+  // Kinds are separate namespaces; same name is fine across them.
+  Gauge& gauge = registry.gauge("viper.test.counter");
+  gauge.set(1.0);
+  EXPECT_EQ(a.value(), 0u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("b.count").add(2);
+  registry.counter("a.count").add(1);
+  registry.gauge("depth").set(3.5);
+  registry.histogram("lat").record(2e-6);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.count");
+  EXPECT_EQ(snapshot.counters[0].value, 1u);
+  EXPECT_EQ(snapshot.counters[1].name, "b.count");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].value, 3.5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].max, 2e-6);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsWellFormed) {
+  MetricsRegistry registry;
+  registry.counter("viper.test.saves").add(3);
+  registry.gauge("viper.test.depth").set(1.25);
+  registry.histogram("viper.test.\"quoted\\name\"").record(1e-3);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("viper.test.saves"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsInstances) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  counter.add(5);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(&registry.counter("c"), &counter);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(Tracer, SpanNestingAgainstVirtualClock) {
+  VirtualClock clock(100.0);
+  Tracer tracer;
+  tracer.set_clock(&clock);
+  tracer.set_enabled(true);
+
+  {
+    auto outer = tracer.span("commit", "producer");
+    clock.advance(0.5);
+    {
+      auto inner = tracer.span("stage", "producer");
+      clock.advance(0.25);
+    }
+    clock.advance(0.25);
+  }
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded when they close, so "stage" lands first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "stage");
+  EXPECT_EQ(outer.name, "commit");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_DOUBLE_EQ(outer.start_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(outer.duration_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(inner.start_seconds, 100.5);
+  EXPECT_DOUBLE_EQ(inner.duration_seconds, 0.25);
+  // Containment: the inner span sits inside the outer one.
+  EXPECT_GE(inner.start_seconds, outer.start_seconds);
+  EXPECT_LE(inner.start_seconds + inner.duration_seconds,
+            outer.start_seconds + outer.duration_seconds);
+}
+
+TEST(Tracer, ExplicitEndIsIdempotentAndMoveSafe) {
+  VirtualClock clock;
+  Tracer tracer;
+  tracer.set_clock(&clock);
+  tracer.set_enabled(true);
+
+  auto span = tracer.span("transfer", "net");
+  clock.advance(1.0);
+  auto moved = std::move(span);
+  span.end();  // moved-from: must be a no-op
+  moved.end();
+  moved.end();  // idempotent
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].duration_seconds, 1.0);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  {
+    auto span = tracer.span("capture", "producer");
+    tracer.instant("notify", "producer");
+  }
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, InstantEventsAndClear) {
+  VirtualClock clock(5.0);
+  Tracer tracer;
+  tracer.set_clock(&clock);
+  tracer.set_enabled(true);
+  tracer.instant("notify", "producer");
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_TRUE(tracer.events()[0].instant);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].start_seconds, 5.0);
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Tracer, ChromeTraceJsonIsWellFormed) {
+  VirtualClock clock;
+  Tracer tracer;
+  tracer.set_clock(&clock);
+  tracer.set_enabled(true);
+  {
+    auto span = tracer.span("serialize \"fast\" path\\", "producer");
+    clock.advance(0.001);
+  }
+  tracer.instant("notify", "producer");
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\""), std::string::npos);
+
+  const std::string summary = tracer.summary();
+  EXPECT_NE(summary.find("notify"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Overhead: recording on resolved handles must stay cheap (low tens of ns
+// uncontended; the assert bound is loose so sanitizer builds pass too).
+
+TEST(Overhead, RecordCostOnResolvedHandles) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("bench.count");
+  Histogram& hist = registry.histogram("bench.lat");
+
+  constexpr int kOps = 1'000'000;
+  Stopwatch counter_watch;
+  for (int i = 0; i < kOps; ++i) counter.add();
+  const double counter_ns = counter_watch.elapsed() * 1e9 / kOps;
+
+  Stopwatch hist_watch;
+  for (int i = 0; i < kOps; ++i) hist.record(1.5e-6);
+  const double hist_ns = hist_watch.elapsed() * 1e9 / kOps;
+
+  std::printf("counter.add(): %.1f ns/op, histogram.record(): %.1f ns/op\n",
+              counter_ns, hist_ns);
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kOps));
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kOps));
+  EXPECT_LT(counter_ns, 2000.0);
+  EXPECT_LT(hist_ns, 2000.0);
+}
+
+}  // namespace
+}  // namespace viper::obs

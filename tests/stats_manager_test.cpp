@@ -3,6 +3,7 @@
 
 #include "viper/core/handler.hpp"
 #include "viper/core/stats_manager.hpp"
+#include "viper/obs/metrics.hpp"
 
 namespace viper::core {
 namespace {
@@ -58,6 +59,49 @@ TEST(StatsManager, CountersAccumulateAndReset) {
   EXPECT_DOUBLE_EQ(counters.modeled_stall_seconds, 0.75);
   stats.reset();
   EXPECT_EQ(stats.counters().saves, 0u);
+}
+
+TEST(StatsManager, BridgesCountersIntoMetricsRegistry) {
+  // Every StatsManager update is mirrored into the process-wide metrics
+  // registry under `viper.stats.*`. The registry is global and other
+  // tests/managers may have bumped it, so assert on deltas.
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t saves0 = registry.counter("viper.stats.saves").value();
+  const std::uint64_t loads0 = registry.counter("viper.stats.loads").value();
+  const std::uint64_t bytes_saved0 =
+      registry.counter("viper.stats.bytes_saved").value();
+  const std::uint64_t bytes_loaded0 =
+      registry.counter("viper.stats.bytes_loaded").value();
+  const std::uint64_t notifications0 =
+      registry.counter("viper.stats.notifications").value();
+  const double stall0 =
+      registry.gauge("viper.stats.modeled_stall_seconds").value();
+
+  StatsManager stats;
+  stats.on_save(100, 0.5);
+  stats.on_save(200, 0.25);
+  stats.on_load(300);
+  stats.on_notification();
+
+  EXPECT_EQ(registry.counter("viper.stats.saves").value() - saves0, 2u);
+  EXPECT_EQ(registry.counter("viper.stats.loads").value() - loads0, 1u);
+  EXPECT_EQ(registry.counter("viper.stats.bytes_saved").value() - bytes_saved0,
+            300u);
+  EXPECT_EQ(
+      registry.counter("viper.stats.bytes_loaded").value() - bytes_loaded0,
+      300u);
+  EXPECT_EQ(
+      registry.counter("viper.stats.notifications").value() - notifications0,
+      1u);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("viper.stats.modeled_stall_seconds").value() - stall0,
+      0.75);
+
+  // StatsManager::reset() clears the per-manager counters only; the
+  // registry keeps its cumulative process-wide totals.
+  stats.reset();
+  EXPECT_EQ(stats.counters().saves, 0u);
+  EXPECT_EQ(registry.counter("viper.stats.saves").value() - saves0, 2u);
 }
 
 TEST(StatsManager, EngineReportsThroughSharedServices) {

@@ -18,6 +18,11 @@
 //   viper_cli recover --model tc1 --pfs-dir DIR
 //       in a fresh process: scan DIR, recover the newest intact flushed
 //       checkpoint, report its version/iteration.
+//   viper_cli metrics --app tc1 --iters 200 --interval 25
+//                     [--json FILE] [--chrome-trace FILE]
+//       drive the real engine with tracing on, then dump the metrics
+//       registry (JSON snapshot) and a Chrome trace-event file
+//       (load either into chrome://tracing or Perfetto).
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -30,6 +35,8 @@
 #include "viper/core/workflow.hpp"
 #include "viper/memsys/file_tier.hpp"
 #include "viper/core/tlp.hpp"
+#include "viper/obs/metrics.hpp"
+#include "viper/obs/trace.hpp"
 #include "viper/sim/trajectory.hpp"
 
 using namespace viper;
@@ -39,10 +46,12 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <list|plan|run|latency|live|recover> [--app NAME]\n"
+               "usage: %s <list|plan|run|latency|live|recover|metrics> "
+               "[--app NAME]\n"
                "       [--schedule "
                "KIND]\n               [--strategy NAME] [--adapter] [--refit N] "
-               "[--jitter] [--seed N]\n",
+               "[--jitter] [--seed N]\n               [--json FILE] "
+               "[--chrome-trace FILE]\n",
                argv0);
   return 2;
 }
@@ -86,6 +95,8 @@ struct CliArgs {
   std::int64_t refit = 0;
   std::uint64_t seed = 0xC0FFEE;
   std::string trace_path;
+  std::string json_path;
+  std::string chrome_trace_path;
   std::string pfs_dir;
   std::string model_name = "model";
   std::int64_t iters = 200;
@@ -123,6 +134,14 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       args.trace_path = v;
+    } else if (flag == "--json") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.json_path = v;
+    } else if (flag == "--chrome-trace") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.chrome_trace_path = v;
     } else if (flag == "--refit") {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -388,6 +407,69 @@ int cmd_recover(const CliArgs& args) {
   return 0;
 }
 
+bool write_file(const std::string& path, const std::string& contents,
+                const char* what) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s file %s\n", what, path.c_str());
+    return false;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+int cmd_metrics(const CliArgs& args) {
+  obs::Tracer::global().set_enabled(true);
+
+  LiveWorkflow::Options options;
+  options.model_name = args.model_name;
+  options.app = args.app;
+  options.strategy = args.strategy;
+  options.seed = args.seed;
+  for (std::int64_t it = args.interval - 1; it < args.iters;
+       it += args.interval) {
+    options.schedule.iterations.push_back(it);
+  }
+  auto workflow = LiveWorkflow::create(std::move(options));
+  if (!workflow.is_ok()) {
+    std::fprintf(stderr, "%s\n", workflow.status().to_string().c_str());
+    return 1;
+  }
+  auto report = workflow.value()->run(args.iters);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "%s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  // Tear the rig down before exporting so every span has ended.
+  workflow.value().reset();
+
+  std::printf("ran %lld iterations: %llu checkpoints, %llu consumer updates, "
+              "final v%llu\n",
+              static_cast<long long>(args.iters),
+              static_cast<unsigned long long>(report.value().checkpoints),
+              static_cast<unsigned long long>(report.value().updates_applied),
+              static_cast<unsigned long long>(report.value().final_version));
+
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  if (!args.json_path.empty()) {
+    if (!write_file(args.json_path, snapshot.to_json(), "metrics JSON")) return 1;
+    std::printf("metrics snapshot  -> %s\n", args.json_path.c_str());
+  }
+  if (!args.chrome_trace_path.empty()) {
+    if (!write_file(args.chrome_trace_path,
+                    obs::Tracer::global().to_chrome_json(), "Chrome trace")) {
+      return 1;
+    }
+    std::printf("chrome trace      -> %s (%zu events, open in chrome://tracing)\n",
+                args.chrome_trace_path.c_str(),
+                obs::Tracer::global().events().size());
+  }
+  std::printf("\n%s", obs::Tracer::global().summary().c_str());
+  std::printf("\n%s", snapshot.to_text().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -399,5 +481,6 @@ int main(int argc, char** argv) {
   if (args->command == "latency") return cmd_latency(*args);
   if (args->command == "live") return cmd_live(*args);
   if (args->command == "recover") return cmd_recover(*args);
+  if (args->command == "metrics") return cmd_metrics(*args);
   return usage(argv[0]);
 }
