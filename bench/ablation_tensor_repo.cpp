@@ -45,7 +45,7 @@ int main() {
       }
       const auto blob = format->serialize(model).value();
       full_bytes += blob.size();
-      (void)full_tier->put("ckpt", blob);
+      (void)full_tier->put("ckpt", std::vector<std::byte>(blob));
       fine_bytes += store.put_model(model).value().bytes_written;
     }
 

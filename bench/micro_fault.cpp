@@ -1,0 +1,58 @@
+// Micro-benchmarks of the fault-injection fast path. Injection sites are
+// compiled into production code, so the disarmed probe cost — one relaxed
+// atomic load — is the number that matters; the armed numbers bound the
+// overhead a chaos test pays per probe.
+#include <benchmark/benchmark.h>
+
+#include "viper/fault/fault.hpp"
+
+namespace viper::fault {
+namespace {
+
+void BM_FailPointDisarmed(benchmark::State& state) {
+  FaultInjector::global().disarm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fail_point("kvstore.get"));
+  }
+}
+BENCHMARK(BM_FailPointDisarmed);
+
+void BM_FailPointArmedNoMatch(benchmark::State& state) {
+  FaultPlan plan(0x5eed);
+  plan.add(FaultRule::fail("net.send"));
+  FaultInjector::global().arm(std::move(plan));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fail_point("kvstore.get"));
+  }
+  FaultInjector::global().disarm();
+}
+BENCHMARK(BM_FailPointArmedNoMatch);
+
+void BM_FailPointArmedMatchingNeverFires(benchmark::State& state) {
+  // Matching rule with probability 0: pays hit accounting + the Rng draw
+  // without ever failing — the per-probe cost of a probabilistic rule.
+  FaultPlan plan(0x5eed);
+  plan.add(FaultRule::fail("kvstore.get", StatusCode::kUnavailable, 0.0));
+  FaultInjector::global().arm(std::move(plan));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fail_point("kvstore.get"));
+  }
+  FaultInjector::global().disarm();
+}
+BENCHMARK(BM_FailPointArmedMatchingNeverFires);
+
+void BM_OnSiteArmedFiringDrop(benchmark::State& state) {
+  FaultPlan plan(0x5eed);
+  plan.add(FaultRule::drop("net.send"));
+  FaultInjector::global().arm(std::move(plan));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FaultInjector::global().on_site("net.send", 0, 1));
+  }
+  FaultInjector::global().disarm();
+}
+BENCHMARK(BM_OnSiteArmedFiringDrop);
+
+}  // namespace
+}  // namespace viper::fault
+
+BENCHMARK_MAIN();

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full verification: the tier-1 build + test sweep, then a ThreadSanitizer
-# build that hammers the concurrency-heavy suites (observability layer and
-# the engine stress test).
+# Full verification: the tier-1 build + test sweep (which includes the
+# fault-injection suite and the chaos soak), then a ThreadSanitizer build
+# that hammers the concurrency-heavy suites (observability layer, the
+# engine stress test + chaos soak, and the fault-injection scenarios).
 #
 #   scripts/verify.sh [--skip-tsan]
 set -euo pipefail
@@ -26,13 +27,14 @@ if [[ "$SKIP_TSAN" == 1 ]]; then
   exit 0
 fi
 
-echo "=== tsan: obs_test + stress_test under ThreadSanitizer ==="
+echo "=== tsan: obs_test + stress_test + fault_injection_test under ThreadSanitizer ==="
 cmake -B build-tsan -S . \
   -DVIPER_SANITIZE=thread \
   -DVIPER_BUILD_BENCH=OFF \
   -DVIPER_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j --target obs_test stress_test >/dev/null
+cmake --build build-tsan -j --target obs_test stress_test fault_injection_test >/dev/null
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/stress_test
+./build-tsan/tests/fault_injection_test
 
 echo "=== verify OK ==="

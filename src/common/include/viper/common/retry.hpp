@@ -1,0 +1,67 @@
+// Bounded retry with exponential backoff and jitter. Shared by the net
+// layer (reliable chunked streams), the kvstore callers, and the core
+// transfer path. Policies are plain value types so every site can carry
+// its own budget; all randomness flows through an explicit `Rng` so retry
+// timing is reproducible under a fixed seed.
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <type_traits>
+
+#include "viper/common/rng.hpp"
+#include "viper/common/status.hpp"
+
+namespace viper {
+
+/// Knobs for one retry site. `max_attempts` counts the first try, so
+/// `max_attempts = 4` means at most 3 retries. Backoff for retry `i`
+/// (0-based) is `initial * multiplier^i`, capped at `max_backoff_seconds`
+/// *before* jitter, then scaled by a uniform factor in
+/// `[1 - jitter, 1 + jitter)`.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double initial_backoff_seconds = 0.001;
+  double max_backoff_seconds = 0.250;
+  double backoff_multiplier = 2.0;
+  double jitter = 0.5;
+
+  /// Whether a failure with this code is worth retrying. Transient
+  /// transport/storage conditions are; semantic errors (invalid argument,
+  /// not found, cancelled shutdowns) are not.
+  [[nodiscard]] bool retryable(StatusCode code) const noexcept;
+
+  /// Sleep duration before retry `retry_index` (0-based). Pass an Rng to
+  /// apply jitter; with `rng == nullptr` (or `jitter == 0`) the value is
+  /// the deterministic capped-exponential base.
+  [[nodiscard]] double backoff_seconds(int retry_index, Rng* rng = nullptr) const;
+};
+
+/// Run `fn` (returning `Status` or `Result<T>`) under `policy`, sleeping
+/// the backoff between attempts. Returns the last outcome — on exhaustion
+/// the caller sees the original error Status, not a synthetic "retries
+/// exhausted". `attempts_out` (optional) reports how many times `fn` ran.
+template <typename Fn>
+auto retry_call(const RetryPolicy& policy, Rng* rng, Fn&& fn,
+                int* attempts_out = nullptr) -> std::invoke_result_t<Fn&> {
+  using R = std::invoke_result_t<Fn&>;
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 0;; ++attempt) {
+    R outcome = fn();
+    if (attempts_out != nullptr) *attempts_out = attempt + 1;
+    StatusCode code = StatusCode::kOk;
+    if constexpr (std::is_same_v<R, Status>) {
+      code = outcome.code();
+    } else {
+      code = outcome.status().code();
+    }
+    if (code == StatusCode::kOk || !policy.retryable(code) ||
+        attempt + 1 >= max_attempts) {
+      return outcome;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(policy.backoff_seconds(attempt, rng)));
+  }
+}
+
+}  // namespace viper

@@ -1,0 +1,32 @@
+#include "viper/common/retry.hpp"
+
+#include <algorithm>
+
+namespace viper {
+
+bool RetryPolicy::retryable(StatusCode code) const noexcept {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kTimeout:
+    case StatusCode::kDataLoss:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double RetryPolicy::backoff_seconds(int retry_index, Rng* rng) const {
+  double base = initial_backoff_seconds;
+  for (int i = 0; i < retry_index; ++i) {
+    base *= backoff_multiplier;
+    if (base >= max_backoff_seconds) break;
+  }
+  base = std::min(base, max_backoff_seconds);
+  if (rng != nullptr && jitter > 0.0) {
+    base *= rng->uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max(base, 0.0);
+}
+
+}  // namespace viper

@@ -19,6 +19,8 @@ struct ConsumerMetrics {
       obs::MetricsRegistry::global().counter("viper.consumer.events_coalesced");
   obs::Counter& polls =
       obs::MetricsRegistry::global().counter("viper.consumer.polls");
+  obs::Counter& resyncs =
+      obs::MetricsRegistry::global().counter("viper.consumer.resyncs");
   obs::Histogram& apply_seconds =
       obs::MetricsRegistry::global().histogram("viper.consumer.apply_seconds");
   obs::Histogram& swap_seconds =
@@ -74,11 +76,27 @@ void InferenceConsumer::stop() {
 }
 
 void InferenceConsumer::run(const std::atomic<bool>& stop_flag) {
+  auto last_activity = std::chrono::steady_clock::now();
   while (!stop_flag.load(std::memory_order_acquire)) {
     auto event = subscription_.next(0.05);
     if (!event.is_ok()) {
-      if (event.status().code() == StatusCode::kTimeout) continue;
-      return;  // bus shut down
+      if (event.status().code() != StatusCode::kTimeout) return;  // bus shut down
+      // No notification. Notifications can be lost (dropped delivery, a
+      // partitioned bus); periodically reconcile against the metadata DB
+      // so a missed version is still picked up.
+      if (options_.resync_interval <= 0) continue;
+      const std::chrono::duration<double> idle =
+          std::chrono::steady_clock::now() - last_activity;
+      if (idle.count() < options_.resync_interval) continue;
+      last_activity = std::chrono::steady_clock::now();
+      auto metadata = loader_.peek(model_name_);
+      if (metadata.is_ok() &&
+          metadata.value().version > version_.load(std::memory_order_relaxed)) {
+        resyncs_.fetch_add(1, std::memory_order_relaxed);
+        consumer_metrics().resyncs.add();
+        apply_latest();
+      }
+      continue;
     }
     // Coalesce bursts: only the newest version matters.
     while (auto more = subscription_.poll()) {
@@ -86,6 +104,7 @@ void InferenceConsumer::run(const std::atomic<bool>& stop_flag) {
       consumer_metrics().coalesced.add();
     }
     apply_latest();
+    last_activity = std::chrono::steady_clock::now();
   }
 }
 

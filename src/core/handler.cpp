@@ -1,9 +1,13 @@
 #include "viper/core/handler.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "viper/common/clock.hpp"
 #include "viper/common/log.hpp"
+#include "viper/net/stream.hpp"
 #include "viper/obs/metrics.hpp"
 #include "viper/obs/trace.hpp"
 #include "viper/serial/byte_io.hpp"
@@ -26,6 +30,16 @@ struct EngineMetrics {
       obs::MetricsRegistry::global().counter("viper.core.pfs_flushes");
   obs::Counter& load_fallbacks =
       obs::MetricsRegistry::global().counter("viper.core.load_pfs_fallbacks");
+  obs::Counter& load_retries =
+      obs::MetricsRegistry::global().counter("viper.core.load_retries");
+  obs::Counter& load_aborts =
+      obs::MetricsRegistry::global().counter("viper.core.load_aborts");
+  obs::Counter& metadata_retries =
+      obs::MetricsRegistry::global().counter("viper.core.metadata_retries");
+  obs::Counter& save_degraded =
+      obs::MetricsRegistry::global().counter("viper.core.save_degraded");
+  obs::Counter& save_aborted =
+      obs::MetricsRegistry::global().counter("viper.core.save_aborted");
   obs::Histogram& serialize_seconds =
       obs::MetricsRegistry::global().histogram("viper.core.serialize_seconds");
   obs::Histogram& save_call_seconds =
@@ -175,20 +189,75 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
 Status ModelWeightsHandler::commit(Staged staged) {
   const Stopwatch watch;
   auto commit_span = obs::Tracer::global().span("commit", "producer");
-  const ModelMetadata& metadata = staged.metadata;
+  ModelMetadata& metadata = staged.metadata;
 
-  memsys::StorageTier* tier = nullptr;
+  // Capture the fault-tolerance flush copy before the blob is consumed by
+  // a tier; the flush is submitted only after the store lands.
+  std::vector<std::byte> flush_blob;
+  if (options_.flush_to_pfs && metadata.location != Location::kPfs) {
+    flush_blob = staged.blob;
+  }
+
+  // Degradation ladder (paper's GPU→host→PFS fallback): try the
+  // strategy's preferred tier first, then each slower tier. A failed put
+  // leaves the blob intact (StorageTier contract), so no copies here.
+  struct Step {
+    Location location;
+    memsys::StorageTier* tier;
+  };
+  Step ladder[3];
+  std::size_t num_steps = 0;
   switch (metadata.location) {
-    case Location::kGpuMemory: tier = &gpu_tier_; break;
-    case Location::kHostMemory: tier = &host_tier_; break;
-    case Location::kPfs: tier = services_->pfs.get(); break;
+    case Location::kGpuMemory:
+      ladder[num_steps++] = {Location::kGpuMemory, &gpu_tier_};
+      ladder[num_steps++] = {Location::kHostMemory, &host_tier_};
+      ladder[num_steps++] = {Location::kPfs, services_->pfs.get()};
+      break;
+    case Location::kHostMemory:
+      ladder[num_steps++] = {Location::kHostMemory, &host_tier_};
+      ladder[num_steps++] = {Location::kPfs, services_->pfs.get()};
+      break;
+    case Location::kPfs:
+      ladder[num_steps++] = {Location::kPfs, services_->pfs.get()};
+      break;
+  }
+
+  Status store_status;
+  bool stored = false;
+  for (std::size_t i = 0; i < num_steps && !stored; ++i) {
+    const Step& step = ladder[i];
+    const std::string path = step.location == Location::kPfs
+                                 ? pfs_path(metadata.name, metadata.version)
+                                 : memory_path(metadata.name);
+    auto ticket = [&] {
+      auto stage_span = obs::Tracer::global().span("stage", "producer");
+      return step.tier->put(path, std::move(staged.blob), metadata.cost_bytes);
+    }();
+    if (ticket.is_ok()) {
+      stored = true;
+      if (i > 0) {
+        saves_degraded_.fetch_add(1, std::memory_order_relaxed);
+        engine_metrics().save_degraded.add();
+        VIPER_WARN << "save of " << metadata.name << " v" << metadata.version
+                   << " degraded to tier " << step.tier->name() << ": "
+                   << store_status.to_string();
+        metadata.location = step.location;
+        metadata.path = path;
+      }
+    } else {
+      store_status = ticket.status();
+    }
+  }
+  if (!stored) {
+    engine_metrics().save_aborted.add();
+    return store_status;
   }
 
   // Background fault-tolerance flush of every version to the PFS (memory
-  // tiers keep only the latest blob).
+  // tiers keep only the latest blob). Skipped when the blob already
+  // landed on the PFS (preferred or fully degraded).
   if (options_.flush_to_pfs && metadata.location != Location::kPfs) {
     auto pfs = services_->pfs;
-    auto flush_blob = staged.blob;  // copy: the engine still owns the original
     const std::string path = pfs_path(metadata.name, metadata.version);
     const std::uint64_t cost = metadata.cost_bytes;
     flusher_.submit([pfs, path, cost, flush_blob = std::move(flush_blob)]() mutable {
@@ -204,13 +273,6 @@ Status ModelWeightsHandler::commit(Staged staged) {
       metrics.flush_seconds.record(flush_watch.elapsed());
     });
   }
-
-  auto ticket = [&] {
-    auto stage_span = obs::Tracer::global().span("stage", "producer");
-    return tier->put(metadata.path, std::move(staged.blob),
-                     metadata.cost_bytes);
-  }();
-  if (!ticket.is_ok()) return ticket.status();
 
   put_metadata(services_->metadata_db, metadata);
   {
@@ -268,9 +330,13 @@ void ModelWeightsHandler::serve_transfers(const net::Comm& comm) {
         reply.u8(kReplyNotFound);
       }
     }
-    const Status sent =
-        comm.send(msg.value().source, kTagLoadReply, reply.bytes());
-    if (!sent.is_ok()) return;
+    // Replies travel as checksum-verified chunked streams so a consumer
+    // can detect a torn or corrupted transfer and refetch.
+    net::StreamOptions stream_options;
+    stream_options.chunk_bytes = options_.reply_chunk_bytes;
+    const Status sent = net::stream_send(comm, msg.value().source, kTagLoadReply,
+                                         reply.bytes(), stream_options);
+    if (!sent.is_ok() && sent.code() == StatusCode::kCancelled) return;
   }
 }
 
@@ -288,7 +354,69 @@ ModelLoader::ModelLoader(std::shared_ptr<SharedServices> services, net::Comm com
       h5_format_(serial::make_h5like_format()) {}
 
 Result<ModelMetadata> ModelLoader::peek(const std::string& model_name) const {
-  return get_metadata(services_->metadata_db, model_name);
+  // Metadata reads retry under the loader's policy: a transiently
+  // unavailable KV store must not look like a missing model.
+  Rng rng(options_.retry_seed ^ 0x6d657461ull);  // "meta"
+  int attempts = 0;
+  auto metadata = retry_call(
+      options_.retry, &rng,
+      [&] { return get_metadata(services_->metadata_db, model_name); },
+      &attempts);
+  if (attempts > 1) {
+    engine_metrics().metadata_retries.add(
+        static_cast<std::uint64_t>(attempts - 1));
+  }
+  return metadata;
+}
+
+void ModelLoader::drain_stale_replies() {
+  while (comm_.recv(options_.producer_rank, kTagLoadReply, 0.001).is_ok()) {
+  }
+}
+
+Result<std::vector<std::byte>> ModelLoader::fetch_from_producer(
+    const ModelMetadata& meta) {
+  const auto request = encode_load_request(meta.location, meta.path);
+  net::StreamOptions stream_options;
+  stream_options.timeout_seconds = options_.request_timeout;
+  Rng rng(options_.retry_seed);
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  Status last;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      engine_metrics().load_retries.add();
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.retry.backoff_seconds(attempt - 1, &rng)));
+      drain_stale_replies();
+    }
+    const Status sent =
+        comm_.send(options_.producer_rank, kTagLoadRequest, request);
+    if (!sent.is_ok()) {
+      last = sent;
+      if (!options_.retry.retryable(last.code())) return last;
+      continue;
+    }
+    auto reply = net::stream_recv(comm_, options_.producer_rank, kTagLoadReply,
+                                  stream_options);
+    if (!reply.is_ok()) {
+      // Torn (checksum) or lost (timeout) transfer: reject and refetch.
+      last = reply.status();
+      if (!options_.retry.retryable(last.code())) return last;
+      continue;
+    }
+    std::vector<std::byte> payload = std::move(reply).value();
+    if (payload.empty()) {
+      last = data_loss("empty transfer reply");
+      continue;
+    }
+    if (static_cast<std::uint8_t>(payload[0]) != kReplyOk) {
+      // Authoritative answer: the producer no longer caches this path.
+      return not_found("producer no longer caches '" + meta.path + "'");
+    }
+    payload.erase(payload.begin());
+    return payload;
+  }
+  return last;
 }
 
 Result<Model> ModelLoader::load_weights(const std::string& model_name) {
@@ -302,39 +430,46 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
   auto transfer_span = obs::Tracer::global().span("transfer", "consumer");
   std::vector<std::byte> blob;
   if (meta.location == Location::kPfs) {
-    auto ticket = services_->pfs->get(meta.path, blob, meta.cost_bytes);
-    if (!ticket.is_ok()) return ticket.status();
+    Rng rng(options_.retry_seed ^ 0x706673ull);  // "pfs"
+    int attempts = 0;
+    auto ticket = retry_call(
+        options_.retry, &rng,
+        [&] { return services_->pfs->get(meta.path, blob, meta.cost_bytes); },
+        &attempts);
+    if (attempts > 1) {
+      engine_metrics().load_retries.add(static_cast<std::uint64_t>(attempts - 1));
+    }
+    if (!ticket.is_ok()) {
+      engine_metrics().load_aborts.add();
+      return ticket.status();
+    }
     last_load_cost_ = ticket.value().seconds;
   } else {
-    // Direct memory-to-memory pull from the producer's cache.
-    const auto request = encode_load_request(meta.location, meta.path);
-    VIPER_RETURN_IF_ERROR(
-        comm_.send(options_.producer_rank, kTagLoadRequest, request));
-    auto reply = comm_.recv(options_.producer_rank, kTagLoadReply,
-                            options_.request_timeout);
-    if (!reply.is_ok()) return reply.status();
-    const auto& payload = reply.value().payload;
-    if (payload.empty()) return data_loss("empty transfer reply");
-    if (static_cast<std::uint8_t>(payload[0]) != 0) {
-      // The producer's memory cache moved on (or the producer died after
-      // its background flush landed): fall back to the flushed PFS copy
-      // of the version the metadata advertised.
+    // Direct memory-to-memory pull from the producer's cache, with
+    // bounded retry on transient transfer failures.
+    auto fetched = fetch_from_producer(meta);
+    if (fetched.is_ok()) {
+      blob = std::move(fetched).value();
+      const auto& link = meta.location == Location::kGpuMemory
+                             ? options_.platform.gpu_link
+                             : options_.platform.host_link;
+      last_load_cost_ = link.transfer_seconds(meta.cost_bytes);
+    } else {
+      // The producer's memory cache moved on, the producer died, or the
+      // retry budget ran out mid-partition: degrade to the flushed PFS
+      // copy of the version the metadata advertised.
       const std::string flushed =
           "ckpt/" + meta.name + "/v" + std::to_string(meta.version);
       engine_metrics().load_fallbacks.add();
       auto ticket = services_->pfs->get(flushed, blob, meta.cost_bytes);
       if (!ticket.is_ok()) {
-        return not_found("producer no longer caches '" + meta.path +
-                         "' and no flushed copy of v" +
+        engine_metrics().load_aborts.add();
+        return not_found("transfer of '" + meta.path + "' failed (" +
+                         fetched.status().to_string() +
+                         ") and no flushed copy of v" +
                          std::to_string(meta.version) + " exists");
       }
       last_load_cost_ = ticket.value().seconds;
-    } else {
-      blob.assign(payload.begin() + 1, payload.end());
-      const auto& link = meta.location == Location::kGpuMemory
-                             ? options_.platform.gpu_link
-                             : options_.platform.host_link;
-      last_load_cost_ = link.transfer_seconds(meta.cost_bytes);
     }
   }
 

@@ -47,6 +47,10 @@ class InferenceConsumer {
   struct Options {
     ModelLoader::Options loader;
     UpdateHook on_update;  ///< invoked after each successful install
+    /// When no notification arrives for this long, re-check the metadata
+    /// DB and apply any version this consumer missed (lost-notification
+    /// recovery). <= 0 disables resync.
+    double resync_interval = 0.25;
   };
 
   InferenceConsumer(std::shared_ptr<SharedServices> services, net::Comm comm,
@@ -70,6 +74,11 @@ class InferenceConsumer {
   [[nodiscard]] std::uint64_t active_version() const noexcept {
     return version_.load(std::memory_order_relaxed);
   }
+  /// Times this consumer recovered a missed version from metadata after a
+  /// lost notification.
+  [[nodiscard]] std::uint64_t resyncs() const noexcept {
+    return resyncs_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] DoubleBuffer& buffer() noexcept { return buffer_; }
   [[nodiscard]] ModelLoader& loader() noexcept { return loader_; }
 
@@ -86,6 +95,7 @@ class InferenceConsumer {
   WorkerThread thread_;
   std::atomic<std::uint64_t> updates_{0};
   std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::uint64_t> resyncs_{0};
   bool started_ = false;
 };
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 
+#include "viper/common/retry.hpp"
 #include "viper/common/thread_util.hpp"
 #include "viper/core/metadata.hpp"
 #include "viper/core/notification.hpp"
@@ -59,6 +60,8 @@ class ModelWeightsHandler {
     std::uint64_t jitter_seed = 0;
     /// Identity reported to the Stats Manager.
     std::string producer_id = "producer-0";
+    /// Chunk size for transfer-server replies (chunked streams).
+    std::uint32_t reply_chunk_bytes = 256 * 1024;
   };
 
   ModelWeightsHandler(std::shared_ptr<SharedServices> services, Options options);
@@ -93,6 +96,11 @@ class ModelWeightsHandler {
   [[nodiscard]] std::uint64_t saves_completed() const noexcept {
     return saves_completed_.load(std::memory_order_relaxed);
   }
+  /// Saves that landed below their strategy's preferred tier because the
+  /// preferred put failed (the GPU→host→PFS degradation ladder).
+  [[nodiscard]] std::uint64_t saves_degraded() const noexcept {
+    return saves_degraded_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] const Options& options() const noexcept { return options_; }
   [[nodiscard]] SharedServices& services() noexcept { return *services_; }
@@ -121,6 +129,7 @@ class ModelWeightsHandler {
   std::mutex jitter_mutex_;
   std::atomic<double> total_stall_{0.0};
   std::atomic<std::uint64_t> saves_completed_{0};
+  std::atomic<std::uint64_t> saves_degraded_{0};
 };
 
 /// Consumer-side loader: resolves location via metadata and pulls the
@@ -131,6 +140,13 @@ class ModelLoader {
     PlatformModel platform = PlatformModel::polaris();
     int producer_rank = 0;
     double request_timeout = 30.0;  ///< seconds to wait for a transfer reply
+    /// Retry budget for metadata reads and memory-path transfers; on
+    /// exhaustion the loader degrades to the flushed PFS copy.
+    RetryPolicy retry{.max_attempts = 3,
+                      .initial_backoff_seconds = 0.005,
+                      .max_backoff_seconds = 0.1};
+    /// Seed for retry-backoff jitter (reproducible under test).
+    std::uint64_t retry_seed = 0x5eed;
   };
 
   ModelLoader(std::shared_ptr<SharedServices> services, net::Comm comm,
@@ -146,6 +162,12 @@ class ModelLoader {
   [[nodiscard]] double last_load_cost() const noexcept { return last_load_cost_; }
 
  private:
+  /// Discard stale kTagLoadReply messages from abandoned attempts so a
+  /// fresh request never pairs with an old reply.
+  void drain_stale_replies();
+  /// Memory-path fetch with bounded retry; sets last_load_cost_.
+  Result<std::vector<std::byte>> fetch_from_producer(const ModelMetadata& meta);
+
   std::shared_ptr<SharedServices> services_;
   net::Comm comm_;
   Options options_;

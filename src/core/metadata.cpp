@@ -26,7 +26,12 @@ Result<ModelMetadata> get_metadata(const kv::KvStore& db,
                                    const std::string& model_name) {
   auto fields = db.hgetall(metadata_key(model_name));
   if (!fields.is_ok()) {
-    return not_found("no metadata for model '" + model_name + "'");
+    if (fields.status().code() == StatusCode::kNotFound) {
+      return not_found("no metadata for model '" + model_name + "'");
+    }
+    // A transiently unavailable store is not a missing model; propagate
+    // the original code so callers' retry policies can act on it.
+    return fields.status();
   }
   const auto& map = fields.value();
   auto field = [&](const char* key) -> std::string {

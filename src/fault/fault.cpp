@@ -1,0 +1,213 @@
+#include "viper/fault/fault.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "viper/obs/metrics.hpp"
+
+namespace viper::fault {
+namespace {
+
+struct FaultMetrics {
+  obs::Counter& drops;
+  obs::Counter& corruptions;
+  obs::Counter& delays;
+  obs::Counter& failures;
+  obs::Counter& injections;
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics metrics{
+      obs::MetricsRegistry::global().counter("viper.fault.drops"),
+      obs::MetricsRegistry::global().counter("viper.fault.corruptions"),
+      obs::MetricsRegistry::global().counter("viper.fault.delays"),
+      obs::MetricsRegistry::global().counter("viper.fault.failures"),
+      obs::MetricsRegistry::global().counter("viper.fault.injections"),
+  };
+  return metrics;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kFail:
+      return "fail";
+  }
+  return "unknown";
+}
+
+FaultRule FaultRule::drop(std::string site, double probability) {
+  FaultRule rule;
+  rule.site = std::move(site);
+  rule.kind = FaultKind::kDrop;
+  rule.probability = probability;
+  return rule;
+}
+
+FaultRule FaultRule::drop_nth(std::string site, std::uint64_t nth) {
+  FaultRule rule = drop(std::move(site), 1.0);
+  rule.after_hits = nth == 0 ? 0 : nth - 1;
+  rule.max_injections = 1;
+  return rule;
+}
+
+FaultRule FaultRule::corrupt(std::string site, double probability) {
+  FaultRule rule;
+  rule.site = std::move(site);
+  rule.kind = FaultKind::kCorrupt;
+  rule.probability = probability;
+  return rule;
+}
+
+FaultRule FaultRule::delay(std::string site, double seconds, double probability) {
+  FaultRule rule;
+  rule.site = std::move(site);
+  rule.kind = FaultKind::kDelay;
+  rule.delay_seconds = seconds;
+  rule.probability = probability;
+  return rule;
+}
+
+FaultRule FaultRule::fail(std::string site, StatusCode code, double probability) {
+  FaultRule rule;
+  rule.site = std::move(site);
+  rule.kind = FaultKind::kFail;
+  rule.fail_code = code;
+  rule.probability = probability;
+  return rule;
+}
+
+FaultRule FaultRule::fail_nth(std::string site, std::uint64_t nth, StatusCode code) {
+  FaultRule rule = fail(std::move(site), code, 1.0);
+  rule.after_hits = nth == 0 ? 0 : nth - 1;
+  rule.max_injections = 1;
+  return rule;
+}
+
+FaultRule FaultRule::partition(int src, int dst, std::uint64_t after_hits,
+                               std::uint64_t length_hits) {
+  FaultRule rule = drop("net.send", 1.0);
+  rule.src = src;
+  rule.dst = dst;
+  rule.after_hits = after_hits;
+  rule.max_injections = length_hits;
+  rule.fail_message = "network partition";
+  return rule;
+}
+
+FaultRule FaultRule::crash(std::string site, std::uint64_t after_hits) {
+  FaultRule rule = fail(std::move(site), StatusCode::kUnavailable, 1.0);
+  rule.after_hits = after_hits;
+  rule.fail_message = "injected crash";
+  return rule;
+}
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  states_.assign(plan.rules_.size(), RuleState{});
+  rng_ = Rng(plan.seed());
+  report_ = InjectionReport{};
+  plan_ = std::move(plan);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+  plan_.reset();
+  states_.clear();
+}
+
+Action FaultInjector::on_site(std::string_view site, int src, int dst) {
+  Action action;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!plan_.has_value()) return action;
+  bool fired = false;
+  for (std::size_t i = 0; i < plan_->rules_.size(); ++i) {
+    const FaultRule& rule = plan_->rules_[i];
+    RuleState& state = states_[i];
+    if (site.find(rule.site) == std::string_view::npos) continue;
+    if (rule.src != kAnyRank && rule.src != src) continue;
+    if (rule.dst != kAnyRank && rule.dst != dst) continue;
+    ++state.hits;
+    if (fired) continue;  // hits still advance for later windowed rules
+    if (state.hits <= rule.after_hits) continue;
+    if (state.injections >= rule.max_injections) continue;
+    if (rule.probability < 1.0 && !rng_.chance(rule.probability)) continue;
+    ++state.injections;
+    fired = true;
+    fault_metrics().injections.add();
+    switch (rule.kind) {
+      case FaultKind::kDrop:
+        action.drop = true;
+        ++report_.drops;
+        fault_metrics().drops.add();
+        break;
+      case FaultKind::kCorrupt:
+        action.corrupt_seed = rng_.engine()() | 1;  // never zero
+        ++report_.corruptions;
+        fault_metrics().corruptions.add();
+        break;
+      case FaultKind::kDelay:
+        action.delay_seconds = rule.delay_seconds;
+        ++report_.delays;
+        fault_metrics().delays.add();
+        break;
+      case FaultKind::kFail:
+        action.fail = Status(rule.fail_code, rule.fail_message);
+        ++report_.failures;
+        fault_metrics().failures.add();
+        break;
+    }
+  }
+  return action;
+}
+
+Status FaultInjector::fail_point(std::string_view site) {
+  Action action = on_site(site);
+  if (action.delay_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(action.delay_seconds));
+  }
+  if (action.fail.has_value()) return *action.fail;
+  if (action.drop || action.corrupt_seed != 0) {
+    // No payload to lose at a status-only site; surface as unavailability
+    // so the operation still observably fails.
+    return unavailable("injected fault (non-message site)");
+  }
+  return Status::ok();
+}
+
+InjectionReport FaultInjector::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return report_;
+}
+
+void scramble(std::span<std::byte> payload, std::uint64_t seed) {
+  if (payload.empty()) return;
+  Rng rng(seed);
+  const std::size_t flips = 1 + payload.size() / 64;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const auto index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(payload.size()) - 1));
+    const auto bit = static_cast<unsigned>(rng.uniform_int(0, 7));
+    payload[index] ^= static_cast<std::byte>(1u << bit);
+  }
+}
+
+}  // namespace viper::fault

@@ -1,0 +1,201 @@
+// Deterministic fault-injection framework. Subsystems declare named
+// *injection sites* ("net.send", "kvstore.get", "memsys.lustre-pfs.put",
+// "kvstore.pubsub.deliver", ...) that are compiled in always; with no
+// plan armed a site costs one relaxed atomic load. Tests arm a seeded
+// `FaultPlan` — an ordered set of `FaultRule`s (drop / corrupt / delay /
+// fail, windowed by hit count, bounded by injection budget, optionally
+// scoped to (src, dst) ranks) — and the process-wide `FaultInjector`
+// evaluates rules with a seeded Rng so every chaos run is reproducible
+// from its seed alone.
+//
+// Every injected fault is tallied twice: in the injector's
+// `InjectionReport` and in the `viper.fault.*` metrics counters, so a
+// test can assert that retry/degradation counters account for every
+// fault it injected.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "viper/common/rng.hpp"
+#include "viper/common/status.hpp"
+
+namespace viper::fault {
+
+/// Matches any rank in a rule's src/dst filter.
+inline constexpr int kAnyRank = -1;
+
+enum class FaultKind : std::uint8_t {
+  kDrop,     ///< message vanishes on the wire (or delivery is skipped)
+  kCorrupt,  ///< payload bytes are scrambled before delivery
+  kDelay,    ///< operation sleeps `delay_seconds` before proceeding
+  kFail,     ///< operation returns `Status{fail_code, fail_message}`
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// One injection rule. A rule matches a site when `site` is a substring
+/// of the probed site name (so "net.send" matches exactly, ".put"
+/// matches every tier's put) and the src/dst filters accept the probe's
+/// ranks. Matching probes count as *hits*; the rule starts firing after
+/// `after_hits` hits, fires with `probability`, and stops after
+/// `max_injections` injections — which is how windowed partitions and
+/// one-shot losses are expressed.
+struct FaultRule {
+  std::string site;
+  FaultKind kind = FaultKind::kFail;
+  double probability = 1.0;
+  std::uint64_t after_hits = 0;
+  std::uint64_t max_injections = std::numeric_limits<std::uint64_t>::max();
+  double delay_seconds = 0.0;
+  StatusCode fail_code = StatusCode::kUnavailable;
+  std::string fail_message = "injected fault";
+  int src = kAnyRank;
+  int dst = kAnyRank;
+
+  // Convenience constructors for the common shapes.
+  [[nodiscard]] static FaultRule drop(std::string site, double probability = 1.0);
+  /// Drop exactly the `nth` matching probe (1-based), nothing else.
+  [[nodiscard]] static FaultRule drop_nth(std::string site, std::uint64_t nth);
+  [[nodiscard]] static FaultRule corrupt(std::string site, double probability = 1.0);
+  [[nodiscard]] static FaultRule delay(std::string site, double seconds,
+                                       double probability = 1.0);
+  [[nodiscard]] static FaultRule fail(std::string site,
+                                      StatusCode code = StatusCode::kUnavailable,
+                                      double probability = 1.0);
+  /// Fail exactly the `nth` matching probe (1-based).
+  [[nodiscard]] static FaultRule fail_nth(std::string site, std::uint64_t nth,
+                                          StatusCode code = StatusCode::kUnavailable);
+  /// Drop all traffic between `src` and `dst` for a hit-count window —
+  /// a network partition in hit-space (deterministic, unlike wall time).
+  [[nodiscard]] static FaultRule partition(
+      int src, int dst, std::uint64_t after_hits = 0,
+      std::uint64_t length_hits = std::numeric_limits<std::uint64_t>::max());
+  /// Permanent hard failure of a site after `after_hits` probes — models
+  /// a component crash (every later operation fails with kUnavailable).
+  [[nodiscard]] static FaultRule crash(std::string site, std::uint64_t after_hits = 0);
+};
+
+/// What a probe should do, decided by the first matching rule that fires.
+struct Action {
+  bool drop = false;
+  double delay_seconds = 0.0;
+  std::uint64_t corrupt_seed = 0;  ///< non-zero => scramble the payload
+  std::optional<Status> fail;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop || delay_seconds > 0.0 || corrupt_seed != 0 || fail.has_value();
+  }
+};
+
+/// A seeded schedule of fault rules. Value type; arm via FaultInjector.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0x5eed) : seed_(seed) {}
+
+  FaultPlan& add(FaultRule rule) {
+    rules_.push_back(std::move(rule));
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::size_t num_rules() const noexcept { return rules_.size(); }
+
+ private:
+  friend class FaultInjector;
+  std::uint64_t seed_;
+  std::vector<FaultRule> rules_;
+};
+
+/// Tally of injected faults since the current plan was armed.
+struct InjectionReport {
+  std::uint64_t drops = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t failures = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return drops + corruptions + delays + failures;
+  }
+};
+
+/// Process-wide injector. `armed()` is the zero-cost fast path every
+/// injection site checks first; probing a site with a plan armed takes a
+/// mutex (fault injection is a test-only mode, so the slow path favors
+/// determinism over throughput).
+class FaultInjector {
+ public:
+  static FaultInjector& global();
+
+  /// Arm `plan`, replacing any previous one and resetting rule state,
+  /// the report, and the decision Rng (reseeded from the plan).
+  void arm(FaultPlan plan);
+  void disarm();
+
+  [[nodiscard]] static bool armed() noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Evaluate the site against the armed plan. Hit counters advance for
+  /// every matching rule; the first rule that fires decides the Action.
+  [[nodiscard]] Action on_site(std::string_view site, int src = kAnyRank,
+                               int dst = kAnyRank);
+
+  /// Status-only probe: applies any injected delay inline, then returns
+  /// the injected failure (drop/corrupt at a non-message site also
+  /// surface as failures — there is no payload to lose). OK when
+  /// disarmed or no rule fires.
+  [[nodiscard]] Status fail_point(std::string_view site);
+
+  [[nodiscard]] InjectionReport report() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct RuleState {
+    std::uint64_t hits = 0;
+    std::uint64_t injections = 0;
+  };
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mutex_;
+  std::optional<FaultPlan> plan_;
+  std::vector<RuleState> states_;
+  Rng rng_{0};
+  InjectionReport report_;
+};
+
+/// Fast-path helpers so call sites read as one line.
+[[nodiscard]] inline bool armed() noexcept { return FaultInjector::armed(); }
+
+inline Status fail_point(std::string_view site) {
+  if (!FaultInjector::armed()) return Status::ok();
+  return FaultInjector::global().fail_point(site);
+}
+
+/// Deterministically flip bytes of `payload` (≥1 flip, ~1 per 64 bytes)
+/// using `seed` — the corruption applied by kCorrupt actions.
+void scramble(std::span<std::byte> payload, std::uint64_t seed);
+
+/// RAII arm/disarm for tests: plan is armed for the scope's lifetime.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(FaultPlan plan) {
+    FaultInjector::global().arm(std::move(plan));
+  }
+  ~ScopedPlan() { FaultInjector::global().disarm(); }
+
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+}  // namespace viper::fault

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "viper/common/clock.hpp"
+#include "viper/fault/fault.hpp"
 #include "viper/obs/metrics.hpp"
 
 namespace viper::kv {
@@ -34,6 +35,15 @@ struct [[nodiscard]] OpTimer {
 
 }  // namespace
 
+// Injection site for read/CAS/erase paths: compiled in always, one
+// relaxed atomic load when no FaultPlan is armed. Works in functions
+// returning Status or Result<T> (implicit Status conversion).
+#define VIPER_KV_FAIL_POINT(site)                                       \
+  do {                                                                  \
+    ::viper::Status viper_fault_status_ = ::viper::fault::fail_point(site); \
+    if (!viper_fault_status_.is_ok()) return viper_fault_status_;       \
+  } while (false)
+
 std::uint64_t KvStore::set(const std::string& key, std::string value) {
   const OpTimer timer;
   std::lock_guard lock(mutex_);
@@ -44,6 +54,7 @@ std::uint64_t KvStore::set(const std::string& key, std::string value) {
 
 Result<VersionedValue> KvStore::get(const std::string& key) const {
   const OpTimer timer;
+  VIPER_KV_FAIL_POINT("kvstore.get");
   std::lock_guard lock(mutex_);
   auto it = strings_.find(key);
   if (it == strings_.end()) return not_found("no key: " + key);
@@ -56,6 +67,7 @@ bool KvStore::contains(const std::string& key) const {
 }
 
 Status KvStore::erase(const std::string& key) {
+  VIPER_KV_FAIL_POINT("kvstore.erase");
   std::lock_guard lock(mutex_);
   const bool erased = strings_.erase(key) > 0 || hashes_.erase(key) > 0;
   return erased ? Status::ok() : not_found("no key: " + key);
@@ -65,6 +77,7 @@ Result<std::uint64_t> KvStore::compare_and_set(const std::string& key,
                                                std::string value,
                                                std::uint64_t expected_version) {
   const OpTimer timer;
+  VIPER_KV_FAIL_POINT("kvstore.compare_and_set");
   std::lock_guard lock(mutex_);
   auto it = strings_.find(key);
   const std::uint64_t current = it == strings_.end() ? 0 : it->second.version;
@@ -100,6 +113,7 @@ void KvStore::hset(const std::string& key, const std::string& field,
 Result<std::string> KvStore::hget(const std::string& key,
                                   const std::string& field) const {
   const OpTimer timer;
+  VIPER_KV_FAIL_POINT("kvstore.hget");
   std::lock_guard lock(mutex_);
   auto it = hashes_.find(key);
   if (it == hashes_.end()) return not_found("no hash: " + key);
@@ -113,6 +127,7 @@ Result<std::string> KvStore::hget(const std::string& key,
 Result<std::map<std::string, std::string>> KvStore::hgetall(
     const std::string& key) const {
   const OpTimer timer;
+  VIPER_KV_FAIL_POINT("kvstore.hgetall");
   std::lock_guard lock(mutex_);
   auto it = hashes_.find(key);
   if (it == hashes_.end()) return not_found("no hash: " + key);

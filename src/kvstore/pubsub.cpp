@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include <thread>
+
 #include "viper/common/clock.hpp"
+#include "viper/fault/fault.hpp"
 #include "viper/obs/metrics.hpp"
 
 namespace viper::kv {
@@ -15,6 +18,8 @@ struct BusMetrics {
       obs::MetricsRegistry::global().counter("viper.kvstore.publishes");
   obs::Counter& events_delivered =
       obs::MetricsRegistry::global().counter("viper.kvstore.events_delivered");
+  obs::Counter& events_lost =
+      obs::MetricsRegistry::global().counter("viper.kvstore.events_lost");
   obs::Histogram& publish_seconds =
       obs::MetricsRegistry::global().histogram("viper.kvstore.publish_seconds");
 };
@@ -101,6 +106,20 @@ std::size_t PubSub::publish(const std::string& channel, std::string payload) {
   }
   std::size_t delivered = 0;
   for (auto& inbox : targets) {
+    if (fault::armed()) {
+      // Notification loss: one subscriber misses this event while the
+      // others still receive theirs — the consumer-resync case.
+      const fault::Action act =
+          fault::FaultInjector::global().on_site("kvstore.pubsub.deliver");
+      if (act.delay_seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(act.delay_seconds));
+      }
+      if (act.drop || act.fail.has_value()) {
+        metrics.events_lost.add();
+        continue;
+      }
+    }
     Event event{channel, payload, seq};
     if (inbox->queue.try_push(std::move(event))) ++delivered;
   }

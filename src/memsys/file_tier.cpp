@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "viper/common/clock.hpp"
+#include "viper/fault/fault.hpp"
 
 namespace viper::memsys {
 
@@ -32,10 +33,14 @@ Result<fs::path> FileTier::path_for(const std::string& key) const {
   return root_ / relative;
 }
 
-Result<IoTicket> FileTier::put(const std::string& key, std::vector<std::byte> blob,
+Result<IoTicket> FileTier::put(const std::string& key, std::vector<std::byte>&& blob,
                                std::uint64_t cost_bytes, int metadata_ops,
                                Rng* rng) {
   const Stopwatch watch;
+  if (fault::armed()) {
+    const Status injected = fault::fail_point(fault_site_put_);
+    if (!injected.is_ok()) return injected;  // blob left intact for caller
+  }
   auto path = path_for(key);
   if (!path.is_ok()) return path.status();
 
@@ -70,6 +75,10 @@ Result<IoTicket> FileTier::get(const std::string& key, std::vector<std::byte>& o
                                std::uint64_t cost_bytes, int metadata_ops,
                                Rng* rng) {
   const Stopwatch watch;
+  if (fault::armed()) {
+    const Status injected = fault::fail_point(fault_site_get_);
+    if (!injected.is_ok()) return injected;
+  }
   auto path = path_for(key);
   if (!path.is_ok()) return path.status();
 

@@ -20,7 +20,7 @@ class FileTier final : public StorageTier {
   static Result<std::unique_ptr<FileTier>> open(std::filesystem::path root,
                                                 DeviceModel model);
 
-  Result<IoTicket> put(const std::string& key, std::vector<std::byte> blob,
+  Result<IoTicket> put(const std::string& key, std::vector<std::byte>&& blob,
                        std::uint64_t cost_bytes = 0, int metadata_ops = 1,
                        Rng* rng = nullptr) override;
   Result<IoTicket> get(const std::string& key, std::vector<std::byte>& out,

@@ -42,11 +42,18 @@ struct TierMetrics {
   obs::Counter& bytes_read;
 };
 
+/// Sanitized tier name as used in metric and fault-site names
+/// (spaces and dots become dashes).
+[[nodiscard]] std::string tier_metric_name(const std::string& tier_name);
+
 /// Abstract object store over a modeled device.
 class StorageTier {
  public:
   explicit StorageTier(DeviceModel model)
-      : model_(std::move(model)), metrics_(model_.name) {}
+      : model_(std::move(model)),
+        metrics_(model_.name),
+        fault_site_put_("memsys." + tier_metric_name(model_.name) + ".put"),
+        fault_site_get_("memsys." + tier_metric_name(model_.name) + ".get") {}
   virtual ~StorageTier() = default;
 
   StorageTier(const StorageTier&) = delete;
@@ -58,9 +65,12 @@ class StorageTier {
 
   /// Store a blob under `key`. The returned ticket carries the modeled
   /// write time for `cost_bytes` (which may be a nominal paper-scale size
-  /// larger than the stored payload).
+  /// larger than the stored payload). The blob is consumed only on
+  /// success: on any failure it is left intact in the caller's vector, so
+  /// a degradation ladder can retry the same bytes against the next tier
+  /// without copying up front.
   virtual Result<IoTicket> put(const std::string& key,
-                               std::vector<std::byte> blob,
+                               std::vector<std::byte>&& blob,
                                std::uint64_t cost_bytes = 0, int metadata_ops = 1,
                                Rng* rng = nullptr) = 0;
 
@@ -90,6 +100,10 @@ class StorageTier {
 
   DeviceModel model_;
   TierMetrics metrics_;
+  // Precomputed fault-injection site names ("memsys.<tier>.put" / ".get")
+  // so armed probes never allocate on the I/O path.
+  std::string fault_site_put_;
+  std::string fault_site_get_;
 };
 
 /// In-memory tier with capacity enforcement and LRU-keep-latest eviction.
@@ -98,7 +112,7 @@ class MemoryTier final : public StorageTier {
   explicit MemoryTier(DeviceModel model) : StorageTier(std::move(model)) {}
 
   /// Fails with RESOURCE_EXHAUSTED when the blob alone exceeds capacity.
-  Result<IoTicket> put(const std::string& key, std::vector<std::byte> blob,
+  Result<IoTicket> put(const std::string& key, std::vector<std::byte>&& blob,
                        std::uint64_t cost_bytes = 0, int metadata_ops = 1,
                        Rng* rng = nullptr) override;
   Result<IoTicket> get(const std::string& key, std::vector<std::byte>& out,

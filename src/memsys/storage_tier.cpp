@@ -1,17 +1,22 @@
 #include "viper/memsys/storage_tier.hpp"
 
 #include "viper/common/clock.hpp"
+#include "viper/fault/fault.hpp"
 
 namespace viper::memsys {
 
-namespace {
-
-std::string metric_safe(const std::string& tier_name) {
+std::string tier_metric_name(const std::string& tier_name) {
   std::string out = tier_name;
   for (char& c : out) {
     if (c == ' ' || c == '.') c = '-';
   }
   return out;
+}
+
+namespace {
+
+std::string metric_safe(const std::string& tier_name) {
+  return tier_metric_name(tier_name);
 }
 
 }  // namespace
@@ -29,10 +34,14 @@ TierMetrics::TierMetrics(const std::string& tier_name)
           "viper.memsys." + metric_safe(tier_name) + ".bytes_read")) {}
 
 Result<IoTicket> MemoryTier::put(const std::string& key,
-                                 std::vector<std::byte> blob,
+                                 std::vector<std::byte>&& blob,
                                  std::uint64_t cost_bytes, int metadata_ops,
                                  Rng* rng) {
   const Stopwatch watch;
+  if (fault::armed()) {
+    const Status injected = fault::fail_point(fault_site_put_);
+    if (!injected.is_ok()) return injected;  // blob left intact for caller
+  }
   const std::uint64_t payload = blob.size();
   if (payload > model_.capacity_bytes) {
     return resource_exhausted("object of " + std::to_string(payload) +
@@ -69,6 +78,10 @@ Result<IoTicket> MemoryTier::get(const std::string& key,
                                  std::uint64_t cost_bytes, int metadata_ops,
                                  Rng* rng) {
   const Stopwatch watch;
+  if (fault::armed()) {
+    const Status injected = fault::fail_point(fault_site_get_);
+    if (!injected.is_ok()) return injected;
+  }
   std::unique_lock lock(mutex_, std::defer_lock);
   {
     const Stopwatch wait;

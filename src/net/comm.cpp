@@ -1,6 +1,10 @@
 #include "viper/net/comm.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "viper/common/clock.hpp"
+#include "viper/fault/fault.hpp"
 #include "viper/obs/metrics.hpp"
 
 namespace viper::net {
@@ -54,6 +58,18 @@ Status Comm::send(int dest, int tag, std::span<const std::byte> payload) const {
   msg.source = rank_;
   msg.tag = tag;
   msg.payload.assign(payload.begin(), payload.end());
+  if (fault::armed()) {
+    const fault::Action act =
+        fault::FaultInjector::global().on_site("net.send", rank_, dest);
+    if (act.delay_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(act.delay_seconds));
+    }
+    if (act.fail.has_value()) return *act.fail;
+    // A dropped message is lost on the wire: the sender sees success.
+    if (act.drop) return Status::ok();
+    if (act.corrupt_seed != 0) fault::scramble(msg.payload, act.corrupt_seed);
+  }
   const std::size_t bytes = msg.payload.size();
   if (!world_->inbox(dest).send(std::move(msg))) {
     return cancelled("comm world shut down");
@@ -68,6 +84,15 @@ Result<Message> Comm::recv(int source, int tag, double timeout_seconds) const {
   if (source != kAnySource && (source < 0 || source >= size())) {
     return invalid_argument("bad source rank");
   }
+  if (fault::armed()) {
+    const fault::Action act =
+        fault::FaultInjector::global().on_site("net.recv", source, rank_);
+    if (act.delay_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(act.delay_seconds));
+    }
+    if (act.fail.has_value()) return *act.fail;
+  }
   const Stopwatch watch;
   auto msg = world_->inbox(rank_).recv(source, tag, timeout_seconds);
   if (msg.is_ok()) {
@@ -76,6 +101,13 @@ Result<Message> Comm::recv(int source, int tag, double timeout_seconds) const {
     metrics.recv_wait_seconds.record(watch.elapsed());
   }
   return msg;
+}
+
+Status Comm::requeue(Message msg) const {
+  if (!world_->inbox(rank_).send(std::move(msg))) {
+    return cancelled("comm world shut down");
+  }
+  return Status::ok();
 }
 
 Status Comm::barrier() const {

@@ -29,6 +29,12 @@ class Comm {
   /// kAnyTag. `timeout_seconds < 0` waits forever.
   Result<Message> recv(int source, int tag, double timeout_seconds = -1.0) const;
 
+  /// Push a message back into this rank's own inbox, preserving its
+  /// original source/tag — used by multiplexed receivers (chunked
+  /// streams) that pop a message belonging to a different logical flow
+  /// and must return it for another receiver on the same (source, tag).
+  Status requeue(Message msg) const;
+
   /// Barrier across all ranks (naive fan-in/fan-out via rank 0).
   Status barrier() const;
 

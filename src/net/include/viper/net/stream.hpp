@@ -4,13 +4,27 @@
 // broadcast topology (parallel/broadcast.hpp models its cost; this moves
 // real bytes through real queues).
 //
-// Wire protocol on one tag: a header message {total_bytes, chunk_bytes,
-// num_chunks}, then num_chunks data messages in order.
+// Wire protocol on one tag: a magic-tagged header message {stream id,
+// total_bytes, chunk_bytes, num_chunks (64-bit), payload CRC-32}, then
+// num_chunks data messages each carrying {stream id, chunk index} so the
+// receiver reassembles by index. The per-stream id lets two concurrent
+// streams on the same (source, tag) pair demultiplex: a receiver that
+// pops a message belonging to another stream requeues it for whoever is
+// assembling that stream. The CRC is verified before the payload is
+// returned, so a torn or corrupted transfer surfaces as kDataLoss, never
+// as silently wrong bytes.
+//
+// `reliable_stream_send`/`reliable_stream_recv` add an ack handshake and
+// a RetryPolicy on top: the receiver acks (or nacks) each assembled
+// stream, and the sender re-sends the same stream id until acked or the
+// retry budget is exhausted — duplicates are absorbed by index-based
+// reassembly.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "viper/common/retry.hpp"
 #include "viper/common/status.hpp"
 #include "viper/net/comm.hpp"
 
@@ -18,15 +32,27 @@ namespace viper::net {
 
 struct StreamOptions {
   std::uint32_t chunk_bytes = 256 * 1024;
-  double timeout_seconds = 30.0;  ///< per-message receive deadline
+  /// Per-message receive deadline, and also the progress deadline: a
+  /// receive that accepts no new chunk for this long times out even if
+  /// unrelated traffic keeps arriving. `< 0` waits forever.
+  double timeout_seconds = 30.0;
 };
+
+/// Chunk count for a payload, computed in 64 bits so oversized payloads
+/// can never truncate the count (a u32 count silently lost chunks above
+/// ~2^32 * chunk_bytes). Zero when `chunk_bytes` is zero.
+[[nodiscard]] constexpr std::uint64_t stream_num_chunks(
+    std::uint64_t total_bytes, std::uint32_t chunk_bytes) noexcept {
+  return chunk_bytes == 0 ? 0 : (total_bytes + chunk_bytes - 1) / chunk_bytes;
+}
 
 /// Send `payload` to `dest` as a chunked stream on `tag`.
 Status stream_send(const Comm& comm, int dest, int tag,
                    std::span<const std::byte> payload,
                    const StreamOptions& options = {});
 
-/// Receive a full stream from `source` on `tag`.
+/// Receive a full stream from `source` on `tag`. The payload is
+/// CRC-verified; a checksum mismatch returns kDataLoss.
 Result<std::vector<std::byte>> stream_recv(const Comm& comm, int source, int tag,
                                            const StreamOptions& options = {});
 
@@ -36,5 +62,28 @@ Result<std::vector<std::byte>> stream_recv(const Comm& comm, int source, int tag
 Result<std::vector<std::byte>> stream_relay(const Comm& comm, int source, int dest,
                                             int tag,
                                             const StreamOptions& options = {});
+
+struct ReliableStreamOptions {
+  StreamOptions stream{.chunk_bytes = 256 * 1024, .timeout_seconds = 1.0};
+  RetryPolicy retry;
+  /// How long the sender waits for the receiver's ack per attempt.
+  double ack_timeout_seconds = 2.0;
+  /// Seed for backoff jitter (reproducible retry timing under test).
+  std::uint64_t jitter_seed = 0x5eed;
+};
+
+/// Send with ack + bounded retry. On exhaustion returns the *original*
+/// failure (e.g. the ack timeout or the receiver's nack), not a synthetic
+/// error. `attempts_out` reports how many sends were made.
+Status reliable_stream_send(const Comm& comm, int dest, int tag,
+                            std::span<const std::byte> payload,
+                            const ReliableStreamOptions& options = {},
+                            int* attempts_out = nullptr);
+
+/// Receive with checksum verification + bounded retry; rejected (torn or
+/// corrupt) streams are nacked so the sender re-sends promptly.
+Result<std::vector<std::byte>> reliable_stream_recv(
+    const Comm& comm, int source, int tag,
+    const ReliableStreamOptions& options = {}, int* attempts_out = nullptr);
 
 }  // namespace viper::net

@@ -1,9 +1,15 @@
 #include "viper/net/stream.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <optional>
+#include <thread>
 
 #include "viper/common/clock.hpp"
 #include "viper/obs/metrics.hpp"
+#include "viper/serial/crc32.hpp"
 
 namespace viper::net {
 
@@ -14,6 +20,12 @@ struct StreamMetrics {
       obs::MetricsRegistry::global().counter("viper.net.stream_chunks_sent");
   obs::Counter& bytes_on_wire =
       obs::MetricsRegistry::global().counter("viper.net.stream_bytes_on_wire");
+  obs::Counter& requeues =
+      obs::MetricsRegistry::global().counter("viper.net.stream_requeues");
+  obs::Counter& retries =
+      obs::MetricsRegistry::global().counter("viper.net.stream_retries");
+  obs::Counter& rejects =
+      obs::MetricsRegistry::global().counter("viper.net.stream_rejects");
   obs::Histogram& send_seconds =
       obs::MetricsRegistry::global().histogram("viper.net.stream_send_seconds");
   obs::Histogram& recv_seconds =
@@ -25,52 +37,115 @@ StreamMetrics& stream_metrics() {
   return metrics;
 }
 
-struct StreamHeader {
-  std::uint64_t total_bytes = 0;
+// Leading magics distinguish the three message kinds sharing one tag.
+constexpr std::uint32_t kHeaderMagic = 0x56535448;  // "VSTH"
+constexpr std::uint32_t kChunkMagic = 0x56535443;   // "VSTC"
+constexpr std::uint32_t kAckMagic = 0x56535441;     // "VSTA"
+
+struct WireHeader {
+  std::uint32_t magic = kHeaderMagic;
   std::uint32_t chunk_bytes = 0;
-  std::uint32_t num_chunks = 0;
+  std::uint64_t stream_id = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t num_chunks = 0;  // 64-bit: huge payloads cannot truncate
+  std::uint32_t payload_crc = 0;
+  std::uint32_t reserved = 0;
 };
 
-std::vector<std::byte> encode_header(const StreamHeader& header) {
-  std::vector<std::byte> out(sizeof(StreamHeader));
-  std::memcpy(out.data(), &header, sizeof(StreamHeader));
+struct WireChunk {
+  std::uint32_t magic = kChunkMagic;
+  std::uint32_t reserved = 0;
+  std::uint64_t stream_id = 0;
+  std::uint64_t chunk_index = 0;
+};
+
+struct WireAck {
+  std::uint32_t magic = kAckMagic;
+  std::uint32_t accepted = 0;  // 1 = ack, 0 = nack (reject-and-resend)
+  std::uint64_t stream_id = 0;
+};
+
+/// Stream ids are unique per (rank, process): high bits carry the rank so
+/// two ranks sending to the same destination can never collide.
+std::uint64_t next_stream_id(int rank) {
+  static std::atomic<std::uint64_t> counter{1};
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank) + 1)
+          << 40) |
+         counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t peek_magic(std::span<const std::byte> payload) noexcept {
+  if (payload.size() < sizeof(std::uint32_t)) return 0;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, payload.data(), sizeof(magic));
+  return magic;
+}
+
+std::vector<std::byte> encode_header(const WireHeader& header) {
+  std::vector<std::byte> out(sizeof(WireHeader));
+  std::memcpy(out.data(), &header, sizeof(WireHeader));
   return out;
 }
 
-Result<StreamHeader> decode_header(std::span<const std::byte> payload) {
-  if (payload.size() != sizeof(StreamHeader)) {
+Result<WireHeader> decode_header(std::span<const std::byte> payload) {
+  if (payload.size() != sizeof(WireHeader)) {
     return data_loss("malformed stream header");
   }
-  StreamHeader header;
-  std::memcpy(&header, payload.data(), sizeof(StreamHeader));
+  WireHeader header;
+  std::memcpy(&header, payload.data(), sizeof(WireHeader));
+  if (header.magic != kHeaderMagic) return data_loss("bad stream header magic");
   if (header.chunk_bytes == 0) return data_loss("zero chunk size in stream header");
-  const std::uint64_t expected_chunks =
-      (header.total_bytes + header.chunk_bytes - 1) / header.chunk_bytes;
-  if (expected_chunks != header.num_chunks) {
+  if (stream_num_chunks(header.total_bytes, header.chunk_bytes) !=
+      header.num_chunks) {
     return data_loss("stream header chunk count inconsistent with sizes");
   }
   return header;
 }
 
-}  // namespace
+Result<WireChunk> decode_chunk(std::span<const std::byte> payload) {
+  if (payload.size() < sizeof(WireChunk)) {
+    return data_loss("malformed stream chunk");
+  }
+  WireChunk chunk;
+  std::memcpy(&chunk, payload.data(), sizeof(WireChunk));
+  return chunk;
+}
 
-Status stream_send(const Comm& comm, int dest, int tag,
-                   std::span<const std::byte> payload,
-                   const StreamOptions& options) {
-  if (options.chunk_bytes == 0) return invalid_argument("chunk_bytes must be > 0");
+/// Push back a message that belongs to a different stream and yield
+/// briefly so its rightful receiver can claim it without a busy spin.
+Status requeue_foreign(const Comm& comm, Message msg) {
+  VIPER_RETURN_IF_ERROR(comm.requeue(std::move(msg)));
+  stream_metrics().requeues.add();
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  return Status::ok();
+}
+
+Status send_stream_once(const Comm& comm, int dest, int tag,
+                        std::span<const std::byte> payload,
+                        const StreamOptions& options, std::uint64_t stream_id) {
   const Stopwatch watch;
-  StreamHeader header;
-  header.total_bytes = payload.size();
+  WireHeader header;
   header.chunk_bytes = options.chunk_bytes;
-  header.num_chunks = static_cast<std::uint32_t>(
-      (payload.size() + options.chunk_bytes - 1) / options.chunk_bytes);
+  header.stream_id = stream_id;
+  header.total_bytes = payload.size();
+  header.num_chunks = stream_num_chunks(payload.size(), options.chunk_bytes);
+  header.payload_crc = serial::crc32(payload);
   VIPER_RETURN_IF_ERROR(comm.send(dest, tag, encode_header(header)));
-  for (std::uint32_t chunk = 0; chunk < header.num_chunks; ++chunk) {
+
+  std::vector<std::byte> frame;
+  for (std::uint64_t chunk = 0; chunk < header.num_chunks; ++chunk) {
     const std::size_t offset =
         static_cast<std::size_t>(chunk) * options.chunk_bytes;
     const std::size_t length =
         std::min<std::size_t>(options.chunk_bytes, payload.size() - offset);
-    VIPER_RETURN_IF_ERROR(comm.send(dest, tag, payload.subspan(offset, length)));
+    WireChunk wire;
+    wire.stream_id = stream_id;
+    wire.chunk_index = chunk;
+    frame.resize(sizeof(WireChunk) + length);
+    std::memcpy(frame.data(), &wire, sizeof(WireChunk));
+    std::memcpy(frame.data() + sizeof(WireChunk), payload.data() + offset,
+                length);
+    VIPER_RETURN_IF_ERROR(comm.send(dest, tag, frame));
   }
   StreamMetrics& metrics = stream_metrics();
   metrics.chunks_sent.add(header.num_chunks);
@@ -79,42 +154,167 @@ Status stream_send(const Comm& comm, int dest, int tag,
   return Status::ok();
 }
 
-namespace {
-
-/// Shared receive loop; `forward` is invoked per message (header + chunks)
-/// before the payload is assembled.
+/// Shared receive loop; `forward` is invoked per accepted message (header
+/// + chunks) before the payload is assembled, so a relay forwards chunks
+/// as they land. Reassembly is index-based: duplicates (from reliable
+/// resends) are absorbed, out-of-order arrival is fine. `stream_id_out`
+/// (optional) reports the id of the stream being assembled as soon as its
+/// header is accepted, so a reliable receiver can nack it on failure.
 template <typename ForwardFn>
 Result<std::vector<std::byte>> recv_stream(const Comm& comm, int source, int tag,
                                            const StreamOptions& options,
-                                           ForwardFn&& forward) {
+                                           ForwardFn&& forward,
+                                           std::uint64_t* stream_id_out = nullptr) {
+  using clock = std::chrono::steady_clock;
   const Stopwatch watch;
-  auto header_msg = comm.recv(source, tag, options.timeout_seconds);
-  if (!header_msg.is_ok()) return header_msg.status();
-  auto header = decode_header(header_msg.value().payload);
-  if (!header.is_ok()) return header.status();
-  VIPER_RETURN_IF_ERROR(forward(header_msg.value().payload));
+  const bool bounded = options.timeout_seconds >= 0.0;
+  auto last_progress = clock::now();
 
+  std::optional<WireHeader> header;
   std::vector<std::byte> payload;
-  payload.reserve(static_cast<std::size_t>(
-      std::min<std::uint64_t>(header.value().total_bytes, 1 << 26)));
-  for (std::uint32_t chunk = 0; chunk < header.value().num_chunks; ++chunk) {
+  std::vector<std::uint8_t> have;
+  std::uint64_t remaining = 0;
+
+  for (;;) {
+    if (bounded &&
+        std::chrono::duration<double>(clock::now() - last_progress).count() >
+            options.timeout_seconds) {
+      return timeout("stream made no progress within its deadline");
+    }
     auto msg = comm.recv(source, tag, options.timeout_seconds);
     if (!msg.is_ok()) return msg.status();
-    VIPER_RETURN_IF_ERROR(forward(msg.value().payload));
-    payload.insert(payload.end(), msg.value().payload.begin(),
-                   msg.value().payload.end());
-    if (payload.size() > header.value().total_bytes) {
-      return data_loss("stream delivered more bytes than its header declared");
+    std::vector<std::byte>& bytes = msg.value().payload;
+    const std::uint32_t magic = peek_magic(bytes);
+
+    if (magic == kHeaderMagic) {
+      auto decoded = decode_header(bytes);
+      if (!decoded.is_ok()) return decoded.status();
+      if (header.has_value()) {
+        if (decoded.value().stream_id == header->stream_id) {
+          // Duplicate header from a resend of the stream we are already
+          // assembling — its chunks will follow; nothing to do.
+          last_progress = clock::now();
+        } else {
+          VIPER_RETURN_IF_ERROR(requeue_foreign(comm, std::move(msg).value()));
+        }
+        continue;
+      }
+      header = decoded.value();
+      if (stream_id_out != nullptr) *stream_id_out = header->stream_id;
+      payload.assign(static_cast<std::size_t>(header->total_bytes),
+                     std::byte{0});
+      have.assign(static_cast<std::size_t>(header->num_chunks), 0);
+      remaining = header->num_chunks;
+      VIPER_RETURN_IF_ERROR(forward(bytes));
+      last_progress = clock::now();
+      if (remaining == 0) {
+        if (serial::crc32(payload) != header->payload_crc) {
+          return data_loss("stream payload failed its checksum");
+        }
+        stream_metrics().recv_seconds.record(watch.elapsed());
+        return payload;
+      }
+      continue;
     }
+
+    if (magic == kChunkMagic) {
+      auto decoded = decode_chunk(bytes);
+      if (!decoded.is_ok()) return decoded.status();
+      const WireChunk& chunk = decoded.value();
+      if (!header.has_value() || chunk.stream_id != header->stream_id) {
+        // A chunk for some other stream on this (source, tag) — hand it
+        // back for the receiver that is assembling that stream.
+        VIPER_RETURN_IF_ERROR(requeue_foreign(comm, std::move(msg).value()));
+        continue;
+      }
+      if (chunk.chunk_index >= header->num_chunks) {
+        return data_loss("stream chunk index out of range");
+      }
+      const std::size_t offset =
+          static_cast<std::size_t>(chunk.chunk_index) * header->chunk_bytes;
+      const std::size_t length = std::min<std::size_t>(
+          header->chunk_bytes, payload.size() - offset);
+      const std::span<const std::byte> data =
+          std::span<const std::byte>(bytes).subspan(sizeof(WireChunk));
+      if (data.size() != length) {
+        return data_loss("stream chunk size inconsistent with its index");
+      }
+      VIPER_RETURN_IF_ERROR(forward(bytes));
+      const auto index = static_cast<std::size_t>(chunk.chunk_index);
+      if (have[index] == 0) {  // duplicates from resends are absorbed
+        std::memcpy(payload.data() + offset, data.data(), length);
+        have[index] = 1;
+        --remaining;
+      }
+      last_progress = clock::now();
+      if (remaining == 0) {
+        if (serial::crc32(payload) != header->payload_crc) {
+          return data_loss("stream payload failed its checksum");
+        }
+        stream_metrics().recv_seconds.record(watch.elapsed());
+        return payload;
+      }
+      continue;
+    }
+
+    if (magic == kAckMagic && bytes.size() == sizeof(WireAck)) {
+      // Stale ack from an earlier reliable exchange on this tag; discard.
+      continue;
+    }
+
+    // Not a stream message at all: the channel carried something this
+    // protocol cannot interpret.
+    return data_loss("message is not part of a chunked stream");
   }
-  if (payload.size() != header.value().total_bytes) {
-    return data_loss("stream ended short of its declared size");
+}
+
+void send_ack(const Comm& comm, int dest, int tag, std::uint64_t stream_id,
+              bool accepted) {
+  WireAck ack;
+  ack.accepted = accepted ? 1 : 0;
+  ack.stream_id = stream_id;
+  std::vector<std::byte> frame(sizeof(WireAck));
+  std::memcpy(frame.data(), &ack, sizeof(WireAck));
+  // Best effort: if the world is shutting down the sender's retry loop
+  // handles the missing ack.
+  (void)comm.send(dest, tag, frame);
+}
+
+/// Wait for the receiver's verdict on `stream_id`. Returns true/false for
+/// ack/nack; stale acks for other streams are discarded, non-ack traffic
+/// is requeued for its rightful receiver.
+Result<bool> wait_for_ack(const Comm& comm, int source, int tag,
+                          std::uint64_t stream_id, double timeout_seconds) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  for (;;) {
+    const double remaining =
+        std::chrono::duration<double>(deadline - clock::now()).count();
+    if (remaining <= 0.0) return timeout("no stream ack within deadline");
+    auto msg = comm.recv(source, tag, remaining);
+    if (!msg.is_ok()) return msg.status();
+    const std::vector<std::byte>& bytes = msg.value().payload;
+    if (peek_magic(bytes) == kAckMagic && bytes.size() == sizeof(WireAck)) {
+      WireAck ack;
+      std::memcpy(&ack, bytes.data(), sizeof(WireAck));
+      if (ack.stream_id == stream_id) return ack.accepted != 0;
+      continue;  // stale ack from an abandoned attempt
+    }
+    VIPER_RETURN_IF_ERROR(requeue_foreign(comm, std::move(msg).value()));
   }
-  stream_metrics().recv_seconds.record(watch.elapsed());
-  return payload;
 }
 
 }  // namespace
+
+Status stream_send(const Comm& comm, int dest, int tag,
+                   std::span<const std::byte> payload,
+                   const StreamOptions& options) {
+  if (options.chunk_bytes == 0) return invalid_argument("chunk_bytes must be > 0");
+  return send_stream_once(comm, dest, tag, payload, options,
+                          next_stream_id(comm.rank()));
+}
 
 Result<std::vector<std::byte>> stream_recv(const Comm& comm, int source, int tag,
                                            const StreamOptions& options) {
@@ -128,6 +328,76 @@ Result<std::vector<std::byte>> stream_relay(const Comm& comm, int source, int de
                      [&comm, dest, tag](std::span<const std::byte> message) {
                        return comm.send(dest, tag, message);
                      });
+}
+
+Status reliable_stream_send(const Comm& comm, int dest, int tag,
+                            std::span<const std::byte> payload,
+                            const ReliableStreamOptions& options,
+                            int* attempts_out) {
+  if (options.stream.chunk_bytes == 0) {
+    return invalid_argument("chunk_bytes must be > 0");
+  }
+  // One id for every attempt: the receiver's index-based reassembly then
+  // absorbs duplicate chunks from overlapping resends.
+  const std::uint64_t stream_id = next_stream_id(comm.rank());
+  Rng rng(options.jitter_seed);
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  Status last = Status::ok();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempts_out != nullptr) *attempts_out = attempt + 1;
+    if (attempt > 0) {
+      stream_metrics().retries.add();
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options.retry.backoff_seconds(attempt - 1, &rng)));
+    }
+    last = send_stream_once(comm, dest, tag, payload, options.stream, stream_id);
+    if (!last.is_ok()) {
+      if (!options.retry.retryable(last.code())) return last;
+      continue;
+    }
+    auto verdict =
+        wait_for_ack(comm, dest, tag, stream_id, options.ack_timeout_seconds);
+    if (verdict.is_ok()) {
+      if (verdict.value()) return Status::ok();
+      last = data_loss("receiver rejected the stream (checksum or assembly)");
+      continue;
+    }
+    last = verdict.status();
+    if (!options.retry.retryable(last.code())) return last;
+  }
+  return last;
+}
+
+Result<std::vector<std::byte>> reliable_stream_recv(
+    const Comm& comm, int source, int tag,
+    const ReliableStreamOptions& options, int* attempts_out) {
+  Rng rng(options.jitter_seed ^ 0x9e3779b97f4a7c15ull);
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  Status last = Status::ok();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempts_out != nullptr) *attempts_out = attempt + 1;
+    if (attempt > 0) {
+      stream_metrics().retries.add();
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options.retry.backoff_seconds(attempt - 1, &rng)));
+    }
+    std::uint64_t stream_id = 0;
+    auto got = recv_stream(
+        comm, source, tag, options.stream,
+        [](std::span<const std::byte>) { return Status::ok(); }, &stream_id);
+    if (got.is_ok()) {
+      send_ack(comm, source, tag, stream_id, true);
+      return got;
+    }
+    last = got.status();
+    if (stream_id != 0 && last.code() == StatusCode::kDataLoss) {
+      // Torn or corrupt: reject-and-refetch.
+      stream_metrics().rejects.add();
+      send_ack(comm, source, tag, stream_id, false);
+    }
+    if (!options.retry.retryable(last.code())) return last;
+  }
+  return last;
 }
 
 }  // namespace viper::net

@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace viper::obs {
@@ -153,6 +154,8 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_json() const;
   /// One metric per line, for example epilogues and log dumps.
   [[nodiscard]] std::string to_text() const;
+  /// Value of the named counter at snapshot time, or 0 if absent.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
 };
 
 /// Thread-safe name -> metric registry. Metrics are created on first

@@ -188,4 +188,11 @@ std::string MetricsSnapshot::to_text() const {
   return out;
 }
 
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
 }  // namespace viper::obs

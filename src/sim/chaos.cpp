@@ -1,0 +1,51 @@
+#include "viper/sim/chaos.hpp"
+
+#include <algorithm>
+
+#include "viper/common/rng.hpp"
+
+namespace viper::sim {
+
+namespace {
+
+/// Perturb a baseline probability by ×[0.5, 1.5) and clamp to [0, 1].
+double perturb(Rng& rng, double p) {
+  return std::clamp(p * rng.uniform(0.5, 1.5), 0.0, 1.0);
+}
+
+}  // namespace
+
+fault::FaultPlan chaos_plan(std::uint64_t seed, const ChaosOptions& options) {
+  Rng rng(seed);
+  fault::FaultPlan plan(seed);
+  if (options.message_drop_p > 0) {
+    plan.add(fault::FaultRule::drop("net.send", perturb(rng, options.message_drop_p)));
+  }
+  if (options.message_corrupt_p > 0) {
+    plan.add(fault::FaultRule::corrupt("net.send",
+                                       perturb(rng, options.message_corrupt_p)));
+  }
+  if (options.message_delay_p > 0) {
+    plan.add(fault::FaultRule::delay("net.send", options.message_delay_seconds,
+                                     perturb(rng, options.message_delay_p)));
+  }
+  if (options.notification_drop_p > 0) {
+    plan.add(fault::FaultRule::drop("kvstore.pubsub.deliver",
+                                    perturb(rng, options.notification_drop_p)));
+  }
+  if (options.tier_write_fail_p > 0) {
+    // ".put" substring-matches every tier's put site, so a single rule
+    // covers GPU, host, and PFS writes.
+    plan.add(fault::FaultRule::fail(".put", StatusCode::kUnavailable,
+                                    perturb(rng, options.tier_write_fail_p)));
+  }
+  if (options.partition_length_hits > 0) {
+    plan.add(fault::FaultRule::partition(
+        options.partition_src, options.partition_dst,
+        static_cast<std::uint64_t>(options.partition_after_hits),
+        static_cast<std::uint64_t>(options.partition_length_hits)));
+  }
+  return plan;
+}
+
+}  // namespace viper::sim

@@ -1,0 +1,38 @@
+// Chaos-plan generator: builds a randomized-but-reproducible
+// fault::FaultPlan touching every injection surface (transfer messages,
+// pub/sub notification delivery, storage-tier writes, and an optional
+// network-partition window). The same seed always yields the same plan,
+// so a failing soak run can be replayed exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "viper/fault/fault.hpp"
+
+namespace viper::sim {
+
+/// Baseline probabilities for each fault surface; the generator perturbs
+/// them per-seed so different seeds exercise different mixes.
+struct ChaosOptions {
+  double message_drop_p = 0.05;       ///< drop on "net.send"
+  double message_corrupt_p = 0.01;    ///< bit-flips on "net.send" payloads
+  double message_delay_p = 0.05;      ///< stall on "net.send"
+  double message_delay_seconds = 0.001;
+  double notification_drop_p = 0.05;  ///< drop on "kvstore.pubsub.deliver"
+  double tier_write_fail_p = 0.02;    ///< fail on every tier's ".put"
+  /// When partition_length_hits > 0, sends between partition_src and
+  /// partition_dst are dropped for that many hits starting after
+  /// partition_after_hits.
+  int partition_after_hits = 0;
+  int partition_length_hits = 0;
+  int partition_src = fault::kAnyRank;
+  int partition_dst = fault::kAnyRank;
+};
+
+/// Deterministic chaos plan: probabilities are the ChaosOptions baselines
+/// perturbed by a factor drawn from Rng(seed), and the plan itself is
+/// seeded from the same stream so injection decisions replay bit-for-bit.
+[[nodiscard]] fault::FaultPlan chaos_plan(std::uint64_t seed,
+                                          const ChaosOptions& options = {});
+
+}  // namespace viper::sim

@@ -1,0 +1,354 @@
+// Fault-injection framework tests: plan/injector semantics (determinism,
+// hit windows, substring matching, rank scoping) and end-to-end recovery
+// scenarios — dropped chunks mid-stream, lost pub/sub notifications,
+// storage-tier write failures, and a network partition during a coupled
+// producer/consumer run. Every scenario asserts both recovery (the
+// consumer converges to the latest version) and accounting (the
+// viper.fault.* counters match the injector's report).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "viper/core/consumer.hpp"
+#include "viper/core/handler.hpp"
+#include "viper/fault/fault.hpp"
+#include "viper/net/stream.hpp"
+#include "viper/obs/metrics.hpp"
+#include "viper/sim/chaos.hpp"
+
+namespace viper::core {
+namespace {
+
+Model small_model(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Model m("net");
+  EXPECT_TRUE(
+      m.add_tensor("w", Tensor::random(DType::kF32, Shape{256}, rng).value()).is_ok());
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Injector semantics
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, DisarmedByDefaultAndSitesAreFree) {
+  EXPECT_FALSE(fault::armed());
+  EXPECT_TRUE(fault::fail_point("kvstore.get").is_ok());
+  EXPECT_TRUE(fault::fail_point("net.send").is_ok());
+}
+
+TEST(FaultInjector, ProbabilisticDecisionsReplayUnderTheSameSeed) {
+  fault::FaultPlan plan_a(1234);
+  plan_a.add(fault::FaultRule::drop("flaky.site", 0.5));
+  std::vector<bool> first;
+  {
+    fault::ScopedPlan chaos{std::move(plan_a)};
+    for (int i = 0; i < 200; ++i) {
+      first.push_back(fault::FaultInjector::global().on_site("flaky.site").drop);
+    }
+  }
+  fault::FaultPlan plan_b(1234);
+  plan_b.add(fault::FaultRule::drop("flaky.site", 0.5));
+  std::vector<bool> second;
+  {
+    fault::ScopedPlan chaos{std::move(plan_b)};
+    for (int i = 0; i < 200; ++i) {
+      second.push_back(fault::FaultInjector::global().on_site("flaky.site").drop);
+    }
+  }
+  EXPECT_EQ(first, second);
+  // Sanity: a 50% rule over 200 probes fires some but not all of the time.
+  const auto fired = static_cast<std::size_t>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, first.size());
+}
+
+TEST(FaultInjector, HitWindowsAndInjectionBudgets) {
+  fault::FaultRule rule = fault::FaultRule::fail("win.site");
+  rule.after_hits = 2;      // skip the first two probes
+  rule.max_injections = 2;  // then fail exactly twice
+  fault::ScopedPlan chaos{fault::FaultPlan(1).add(std::move(rule))};
+
+  std::vector<bool> failed;
+  for (int i = 0; i < 6; ++i) {
+    failed.push_back(!fault::fail_point("win.site").is_ok());
+  }
+  EXPECT_EQ(failed, (std::vector<bool>{false, false, true, true, false, false}));
+  EXPECT_EQ(fault::FaultInjector::global().report().failures, 2u);
+}
+
+TEST(FaultInjector, DropNthFiresExactlyOnce) {
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(1).add(fault::FaultRule::drop_nth("one.site", 3))};
+  std::vector<bool> dropped;
+  for (int i = 0; i < 5; ++i) {
+    dropped.push_back(fault::FaultInjector::global().on_site("one.site").drop);
+  }
+  EXPECT_EQ(dropped, (std::vector<bool>{false, false, true, false, false}));
+}
+
+TEST(FaultInjector, SubstringMatchingCoversSiteFamilies) {
+  // ".put" matches every storage tier's put site but no get site.
+  fault::ScopedPlan chaos{fault::FaultPlan(1).add(fault::FaultRule::fail(".put"))};
+  EXPECT_FALSE(fault::fail_point("memsys.gpu-hbm.put").is_ok());
+  EXPECT_FALSE(fault::fail_point("memsys.lustre-pfs.put").is_ok());
+  EXPECT_TRUE(fault::fail_point("memsys.gpu-hbm.get").is_ok());
+  EXPECT_TRUE(fault::fail_point("kvstore.get").is_ok());
+}
+
+TEST(FaultInjector, PartitionScopesToRankPairAndWindow) {
+  // Drop (src=0 → dst=1) traffic for 2 hits starting after the 1st.
+  fault::ScopedPlan chaos{fault::FaultPlan(1).add(fault::FaultRule::partition(0, 1, 1, 2))};
+  auto& injector = fault::FaultInjector::global();
+  EXPECT_FALSE(injector.on_site("net.send", 0, 1).drop);  // hit 1: before window
+  EXPECT_FALSE(injector.on_site("net.send", 1, 0).drop);  // reverse path unscoped
+  EXPECT_TRUE(injector.on_site("net.send", 0, 1).drop);   // hit 2
+  EXPECT_TRUE(injector.on_site("net.send", 0, 1).drop);   // hit 3
+  EXPECT_FALSE(injector.on_site("net.send", 0, 1).drop);  // window exhausted
+  EXPECT_EQ(injector.report().drops, 2u);
+}
+
+TEST(FaultInjector, ScrambleAlwaysChangesThePayload) {
+  std::vector<std::byte> payload(256, std::byte{0});
+  const auto original = payload;
+  fault::scramble(payload, 77);
+  EXPECT_NE(payload, original);
+  // Deterministic: same seed, same flips.
+  auto again = original;
+  fault::scramble(again, 77);
+  EXPECT_EQ(again, payload);
+}
+
+TEST(ChaosPlan, IsDeterministicPerSeedAndCoversAllSurfaces) {
+  const fault::FaultPlan a = sim::chaos_plan(0xC0FFEE);
+  const fault::FaultPlan b = sim::chaos_plan(0xC0FFEE);
+  EXPECT_EQ(a.seed(), b.seed());
+  EXPECT_EQ(a.num_rules(), b.num_rules());
+  // drop + corrupt + delay on net.send, pub/sub drop, tier-write fail.
+  EXPECT_EQ(a.num_rules(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery scenarios
+// ---------------------------------------------------------------------------
+
+TEST(FaultScenario, DropMidChunkedStreamRecoversViaRetry) {
+  auto world = net::CommWorld::create(2);
+  Rng rng(3);
+  std::vector<std::byte> payload(16 * 1024);
+  for (auto& b : payload) b = static_cast<std::byte>(rng.uniform_int(0, 255));
+
+  // Drop the 3rd transfer message: header, chunk 0, then chunk 1 vanishes.
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(9).add(fault::FaultRule::drop_nth("net.send", 3))};
+
+  net::ReliableStreamOptions options;
+  options.stream.chunk_bytes = 2048;
+  options.stream.timeout_seconds = 0.2;
+  options.ack_timeout_seconds = 0.3;
+  options.retry = RetryPolicy{.max_attempts = 4,
+                              .initial_backoff_seconds = 0.001,
+                              .max_backoff_seconds = 0.002,
+                              .backoff_multiplier = 2.0,
+                              .jitter = 0.0};
+  int attempts = 0;
+  Status sent;
+  std::thread sender([&] {
+    sent = net::reliable_stream_send(world->comm(0), 1, 7, payload, options,
+                                     &attempts);
+  });
+  auto received = net::reliable_stream_recv(world->comm(1), 0, 7, options);
+  sender.join();
+
+  ASSERT_TRUE(sent.is_ok()) << sent.to_string();
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+  EXPECT_GE(attempts, 2);  // the first transmission lost a chunk
+  EXPECT_EQ(fault::FaultInjector::global().report().drops, 1u);
+}
+
+TEST(FaultScenario, LostNotificationIsRecoveredByMetadataResync) {
+  auto services = std::make_shared<SharedServices>();
+  auto world = net::CommWorld::create(2);
+  ModelWeightsHandler::Options producer_options;
+  producer_options.strategy = Strategy::kHostSync;
+  auto handler = std::make_shared<ModelWeightsHandler>(services, producer_options);
+  std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+
+  InferenceConsumer::Options consumer_options;
+  consumer_options.loader.producer_rank = 0;
+  consumer_options.loader.request_timeout = 2.0;
+  consumer_options.resync_interval = 0.05;
+  InferenceConsumer consumer(services, world->comm(1), "net", consumer_options);
+  consumer.start();
+
+  {
+    // The very first notification delivery is dropped.
+    fault::ScopedPlan chaos{fault::FaultPlan(2).add(
+        fault::FaultRule::drop_nth("kvstore.pubsub.deliver", 1))};
+    Model model = small_model();
+    model.set_version(1);
+    ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+    for (int spin = 0; spin < 2000 && consumer.active_version() < 1; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(consumer.active_version(), 1u);
+    EXPECT_GE(consumer.resyncs(), 1u);  // only resync could have found v1
+    EXPECT_EQ(fault::FaultInjector::global().report().drops, 1u);
+  }
+
+  consumer.stop();
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+  server.join();
+}
+
+TEST(FaultScenario, TierWriteFailureDegradesSaveDownTheLadder) {
+  auto services = std::make_shared<SharedServices>();
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kGpuSync;  // preferred tier: GPU HBM
+  auto handler = std::make_shared<ModelWeightsHandler>(services, options);
+
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(4).add(fault::FaultRule::fail("memsys.gpu-hbm.put"))};
+  Model model = small_model();
+  model.set_version(1);
+  auto receipt = handler->save_weights("net", model);
+  ASSERT_TRUE(receipt.is_ok()) << receipt.status().to_string();
+  handler->drain();
+
+  // The save landed one rung down and the metadata says so.
+  EXPECT_EQ(handler->saves_degraded(), 1u);
+  auto metadata = get_metadata(services->metadata_db, "net");
+  ASSERT_TRUE(metadata.is_ok());
+  EXPECT_EQ(metadata.value().location, Location::kHostMemory);
+  EXPECT_GE(fault::FaultInjector::global().report().failures, 1u);
+}
+
+TEST(FaultScenario, NetworkPartitionFallsBackToPfsThenHeals) {
+  auto services = std::make_shared<SharedServices>();
+  auto world = net::CommWorld::create(2);
+  ModelWeightsHandler::Options producer_options;
+  producer_options.strategy = Strategy::kHostSync;  // memory path needs comm
+  auto handler = std::make_shared<ModelWeightsHandler>(services, producer_options);
+  std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+
+  Model model = small_model();
+  model.set_version(1);
+  ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  handler->drain();  // the PFS flush must have landed before the partition
+
+  ModelLoader::Options loader_options;
+  loader_options.producer_rank = 0;
+  loader_options.request_timeout = 0.1;
+  loader_options.retry.max_attempts = 2;
+  loader_options.retry.initial_backoff_seconds = 0.001;
+  loader_options.retry.max_backoff_seconds = 0.002;
+  ModelLoader loader(services, world->comm(1), loader_options);
+
+  {
+    // Producer → consumer replies vanish: the memory path is partitioned.
+    fault::ScopedPlan chaos{fault::FaultPlan(6).add(fault::FaultRule::partition(0, 1))};
+    auto loaded = loader.load_weights("net");
+    ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    EXPECT_TRUE(loaded.value().same_weights(model));  // served from the PFS copy
+    EXPECT_GT(fault::FaultInjector::global().report().drops, 0u);
+  }
+
+  // Partition healed: the memory path works again.
+  auto healed = loader.load_weights("net");
+  ASSERT_TRUE(healed.is_ok()) << healed.status().to_string();
+  EXPECT_TRUE(healed.value().same_weights(model));
+
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+  server.join();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: 10% transfer-message drop + one lost notification. Every
+// version must still reach the consumer, and the viper.fault.* counters
+// must account for every injected fault.
+// ---------------------------------------------------------------------------
+
+TEST(FaultScenario, LossyCoupledRunDeliversEveryVersionAndAccountsFaults) {
+  obs::MetricsRegistry::global().reset();
+
+  auto services = std::make_shared<SharedServices>();
+  auto world = net::CommWorld::create(2);
+  ModelWeightsHandler::Options producer_options;
+  producer_options.strategy = Strategy::kHostSync;
+  auto handler = std::make_shared<ModelWeightsHandler>(services, producer_options);
+  std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+
+  std::set<std::uint64_t> delivered;
+  std::mutex delivered_mutex;
+  InferenceConsumer::Options consumer_options;
+  consumer_options.loader.producer_rank = 0;
+  consumer_options.loader.request_timeout = 0.3;
+  consumer_options.loader.retry.max_attempts = 3;
+  consumer_options.loader.retry.initial_backoff_seconds = 0.002;
+  consumer_options.loader.retry.max_backoff_seconds = 0.01;
+  consumer_options.resync_interval = 0.05;
+  consumer_options.on_update = [&](const ModelMetadata& meta) {
+    std::lock_guard<std::mutex> lock(delivered_mutex);
+    delivered.insert(meta.version);
+  };
+  InferenceConsumer consumer(services, world->comm(1), "net", consumer_options);
+  consumer.start();
+
+  constexpr std::uint64_t kVersions = 6;
+  {
+    fault::FaultPlan plan(0xFA17);
+    plan.add(fault::FaultRule::drop("net.send", 0.10));
+    plan.add(fault::FaultRule::drop_nth("kvstore.pubsub.deliver", 3));
+    fault::ScopedPlan chaos{std::move(plan)};
+
+    Model model = small_model();
+    for (std::uint64_t v = 1; v <= kVersions; ++v) {
+      model.set_version(v);
+      ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+      // Wait out retries/resyncs so no version can be coalesced away.
+      for (int spin = 0; spin < 4000 && consumer.active_version() < v; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      ASSERT_EQ(consumer.active_version(), v) << "stuck at version " << v;
+    }
+
+    const fault::InjectionReport report = fault::FaultInjector::global().report();
+    // The 3rd notification delivery was dropped by schedule, so at least
+    // one fault was injected and v3 can only have arrived via resync.
+    EXPECT_GE(report.drops, 1u);
+    EXPECT_GE(consumer.resyncs(), 1u);
+
+    // Fault accounting: the metrics counters mirror the injector report.
+    const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(snapshot.counter_value("viper.fault.drops"), report.drops);
+    EXPECT_EQ(snapshot.counter_value("viper.fault.corruptions"), report.corruptions);
+    EXPECT_EQ(snapshot.counter_value("viper.fault.delays"), report.delays);
+    EXPECT_EQ(snapshot.counter_value("viper.fault.failures"), report.failures);
+    EXPECT_EQ(snapshot.counter_value("viper.fault.injections"), report.total());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(delivered_mutex);
+    for (std::uint64_t v = 1; v <= kVersions; ++v) {
+      EXPECT_TRUE(delivered.count(v) == 1) << "version " << v << " never applied";
+    }
+  }
+  EXPECT_EQ(consumer.active_version(), kVersions);
+
+  consumer.stop();
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+  server.join();
+}
+
+}  // namespace
+}  // namespace viper::core

@@ -324,7 +324,12 @@ TEST(PollingConsumer, DiscoversUpdatesByPolling) {
   Model model = small_model();
   model.set_version(1);
   ASSERT_TRUE(handler->save_weights("net", model).is_ok());
-  for (int spin = 0; spin < 300 && consumer.updates_applied() == 0; ++spin) {
+  // Wait for the update AND a second poll: under a loaded runner the very
+  // first poll can land after the save, and stopping right then would
+  // leave polls_issued() == 1.
+  for (int spin = 0;
+       spin < 300 && (consumer.updates_applied() == 0 || consumer.polls_issued() <= 1);
+       ++spin) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   consumer.stop();

@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "viper/common/retry.hpp"
+#include "viper/fault/fault.hpp"
 #include "viper/kvstore/kvstore.hpp"
 #include "viper/kvstore/pubsub.hpp"
 
@@ -211,6 +213,65 @@ TEST(PubSub, ConcurrentPublishersAllDeliver) {
   while (sub.poll()) ++received;
   EXPECT_EQ(received, kThreads * kEach);
   EXPECT_EQ(bus->published_total(), static_cast<std::uint64_t>(kThreads * kEach));
+}
+
+TEST(KvStoreFaults, RetrySucceedsAfterInjectedTransients) {
+  KvStore db;
+  db.set("k", "v");
+  // First two gets fail with kUnavailable; the third goes through.
+  fault::FaultPlan plan(7);
+  fault::FaultRule rule = fault::FaultRule::fail("kvstore.get");
+  rule.max_injections = 2;
+  plan.add(rule);
+  fault::ScopedPlan chaos{std::move(plan)};
+
+  RetryPolicy policy{.max_attempts = 4,
+                     .initial_backoff_seconds = 0.0001,
+                     .max_backoff_seconds = 0.0001,
+                     .backoff_multiplier = 1.0,
+                     .jitter = 0.0};
+  int attempts = 0;
+  auto got = retry_call(policy, nullptr, [&db] { return db.get("k"); }, &attempts);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().value, "v");
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(fault::FaultInjector::global().report().failures, 2u);
+}
+
+TEST(KvStoreFaults, ExhaustionSurfacesTheInjectedStatus) {
+  KvStore db;
+  db.set("k", "v");
+  fault::ScopedPlan chaos{fault::FaultPlan(7).add(fault::FaultRule::fail("kvstore.get"))};
+
+  RetryPolicy policy{.max_attempts = 3,
+                     .initial_backoff_seconds = 0.0001,
+                     .max_backoff_seconds = 0.0001,
+                     .backoff_multiplier = 1.0,
+                     .jitter = 0.0};
+  int attempts = 0;
+  auto got = retry_call(policy, nullptr, [&db] { return db.get("k"); }, &attempts);
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(got.status().message(), "injected fault");
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(PubSubFaults, DroppedDeliveryIsCountedAndRecoverable) {
+  auto bus = PubSub::create();
+  auto sub = bus->subscribe("ch");
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(7).add(fault::FaultRule::drop_nth("kvstore.pubsub.deliver", 1))};
+
+  // First publish: delivery to the only subscriber is dropped.
+  EXPECT_EQ(bus->publish("ch", "lost"), 0u);
+  EXPECT_FALSE(sub.poll().has_value());
+  EXPECT_EQ(fault::FaultInjector::global().report().drops, 1u);
+
+  // The bus itself is healthy: the next publish lands.
+  EXPECT_EQ(bus->publish("ch", "delivered"), 1u);
+  auto event = sub.next(1.0);
+  ASSERT_TRUE(event.is_ok());
+  EXPECT_EQ(event.value().payload, "delivered");
 }
 
 }  // namespace

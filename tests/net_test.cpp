@@ -4,9 +4,12 @@
 
 #include <thread>
 
+#include "viper/common/retry.hpp"
+#include "viper/fault/fault.hpp"
 #include "viper/net/channel.hpp"
 #include "viper/net/comm.hpp"
 #include "viper/net/fabric.hpp"
+#include "viper/net/stream.hpp"
 
 namespace viper::net {
 namespace {
@@ -177,6 +180,120 @@ TEST(Fabric, EmptyFabricHasNoBestLink) {
   Fabric fabric;
   EXPECT_EQ(fabric.best_link(100), nullptr);
   EXPECT_FALSE(fabric.available(LinkKind::kHostRdma));
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy{.max_attempts = 5,
+                     .initial_backoff_seconds = 0.01,
+                     .max_backoff_seconds = 0.04,
+                     .backoff_multiplier = 2.0,
+                     .jitter = 0.0};
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(0), 0.01);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(1), 0.02);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(2), 0.04);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(3), 0.04);  // capped before jitter
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(9), 0.04);
+}
+
+TEST(RetryPolicy, JitterStaysWithinBoundsUnderFixedSeed) {
+  RetryPolicy policy{.max_attempts = 4,
+                     .initial_backoff_seconds = 0.01,
+                     .max_backoff_seconds = 1.0,
+                     .backoff_multiplier = 2.0,
+                     .jitter = 0.5};
+  Rng rng(42);
+  bool saw_jitter = false;
+  for (int i = 0; i < 8; ++i) {
+    const double base = policy.backoff_seconds(i);  // no rng: deterministic base
+    const double jittered = policy.backoff_seconds(i, &rng);
+    EXPECT_GE(jittered, base * (1.0 - policy.jitter));
+    EXPECT_LE(jittered, base * (1.0 + policy.jitter));
+    if (jittered != base) saw_jitter = true;
+  }
+  EXPECT_TRUE(saw_jitter);
+}
+
+TEST(RetryPolicy, OnlyTransientCodesAreRetryable) {
+  const RetryPolicy policy;
+  EXPECT_TRUE(policy.retryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(policy.retryable(StatusCode::kTimeout));
+  EXPECT_TRUE(policy.retryable(StatusCode::kDataLoss));
+  EXPECT_TRUE(policy.retryable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(policy.retryable(StatusCode::kNotFound));
+  EXPECT_FALSE(policy.retryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(policy.retryable(StatusCode::kCancelled));
+  EXPECT_FALSE(policy.retryable(StatusCode::kOk));
+}
+
+TEST(RetryCall, ExhaustionSurfacesTheOriginalError) {
+  RetryPolicy policy{.max_attempts = 3,
+                     .initial_backoff_seconds = 0.0001,
+                     .max_backoff_seconds = 0.0001,
+                     .backoff_multiplier = 1.0,
+                     .jitter = 0.0};
+  int attempts = 0;
+  Status last = retry_call(
+      policy, nullptr, [] { return unavailable("flaky backend"); }, &attempts);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(last.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(last.message(), "flaky backend");
+}
+
+TEST(RetryCall, NonRetryableErrorStopsAfterOneAttempt) {
+  const RetryPolicy policy;
+  int attempts = 0;
+  Result<int> out = retry_call(
+      policy, nullptr, []() -> Result<int> { return not_found("no such key"); },
+      &attempts);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RetryCall, SucceedsAfterTransientFailures) {
+  RetryPolicy policy{.max_attempts = 4,
+                     .initial_backoff_seconds = 0.0001,
+                     .max_backoff_seconds = 0.0001,
+                     .backoff_multiplier = 1.0,
+                     .jitter = 0.0};
+  int calls = 0;
+  int attempts = 0;
+  Result<int> out = retry_call(
+      policy, nullptr,
+      [&calls]() -> Result<int> {
+        if (++calls < 3) return unavailable("transient");
+        return 99;
+      },
+      &attempts);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value(), 99);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(ReliableStream, ExhaustsRetriesOnTotalMessageLoss) {
+  // Every send is dropped on the wire: the sender never sees an ack, so
+  // it must retry exactly max_attempts times and surface the ack timeout.
+  auto world = CommWorld::create(2);
+  Comm sender = world->comm(0);
+
+  fault::ScopedPlan chaos{fault::FaultPlan(1).add(fault::FaultRule::drop("net.send"))};
+
+  ReliableStreamOptions options;
+  options.stream.chunk_bytes = 1024;
+  options.stream.timeout_seconds = 0.05;
+  options.ack_timeout_seconds = 0.02;
+  options.retry = RetryPolicy{.max_attempts = 3,
+                              .initial_backoff_seconds = 0.0001,
+                              .max_backoff_seconds = 0.0001,
+                              .backoff_multiplier = 1.0,
+                              .jitter = 0.0};
+  const std::vector<std::byte> payload(256, std::byte{0xAB});
+  int attempts = 0;
+  Status sent = reliable_stream_send(sender, 1, 7, payload, options, &attempts);
+  EXPECT_FALSE(sent.is_ok());
+  EXPECT_EQ(sent.code(), StatusCode::kTimeout);
+  EXPECT_EQ(attempts, 3);
+  // One header + one chunk per attempt, all dropped.
+  EXPECT_EQ(fault::FaultInjector::global().report().drops, 6u);
 }
 
 }  // namespace

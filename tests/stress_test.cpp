@@ -7,7 +7,9 @@
 #include <thread>
 
 #include "viper/core/consumer.hpp"
+#include "viper/fault/fault.hpp"
 #include "viper/repo/tensor_store.hpp"
+#include "viper/sim/chaos.hpp"
 #include "viper/tensor/architectures.hpp"
 
 namespace viper::core {
@@ -178,6 +180,87 @@ TEST(Stress, TensorStoreConcurrentMixedWorkload) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Stress, ChaosSoakSurvivesRandomizedFaults) {
+  // A coupled producer/consumer run under a randomized (but seeded, hence
+  // replayable) fault plan: message drops/corruptions/delays, lost
+  // notifications, failing tier writes. The run must not deadlock, the
+  // consumer must never observe a torn model or a version regression, and
+  // once faults stop it must converge to the final version.
+  constexpr std::uint64_t kChaosSeed = 0xC0FFEE;
+  SCOPED_TRACE("chaos seed = 0xC0FFEE");
+
+  auto services = std::make_shared<SharedServices>();
+  auto world = net::CommWorld::create(2);
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kHostAsync;
+  auto handler = std::make_shared<ModelWeightsHandler>(services, options);
+  std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+
+  InferenceConsumer::Options consumer_options;
+  consumer_options.loader.producer_rank = 0;
+  consumer_options.loader.request_timeout = 0.2;
+  consumer_options.loader.retry.max_attempts = 2;
+  consumer_options.loader.retry.initial_backoff_seconds = 0.001;
+  consumer_options.loader.retry.max_backoff_seconds = 0.01;
+  consumer_options.resync_interval = 0.05;
+  InferenceConsumer consumer(services, world->comm(1), "net", consumer_options);
+  consumer.start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> regressions{0};
+  std::thread serving([&] {
+    std::uint64_t last_seen = 0;
+    while (!stop.load()) {
+      if (auto model = consumer.active_model()) {
+        if (model->num_tensors() != 1) ++torn;
+        const std::uint64_t v = model->version();
+        if (v < last_seen) ++regressions;
+        if (v > last_seen) last_seen = v;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr std::uint64_t kChaosVersions = 40;
+  Model model = tiny_model(1);
+  Rng rng(2);
+  {
+    fault::ScopedPlan chaos{sim::chaos_plan(kChaosSeed)};
+    for (std::uint64_t v = 1; v <= kChaosVersions; ++v) {
+      model.set_version(v);
+      model.perturb_weights(rng, 1e-3);
+      // Saves themselves may fail under chaos (every tier write can be
+      // failed); the engine must stay coherent regardless.
+      (void)handler->save_weights("net", model);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    handler->drain();
+  }
+
+  // Faults stopped; one clean save must bring the consumer to the head.
+  model.set_version(kChaosVersions + 1);
+  ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  handler->drain();
+  for (int spin = 0;
+       spin < 3000 && consumer.active_version() < kChaosVersions + 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop = true;
+  serving.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(regressions.load(), 0);
+  EXPECT_EQ(consumer.active_version(), kChaosVersions + 1);
+  ASSERT_NE(consumer.active_model(), nullptr);
+  EXPECT_TRUE(consumer.active_model()->same_weights(model));
+
+  consumer.stop();
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+  server.join();
 }
 
 TEST(Stress, PubSubManySubscribersManyPublishers) {
