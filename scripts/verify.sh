@@ -1,40 +1,62 @@
 #!/usr/bin/env bash
-# Full verification: the tier-1 build + test sweep (which includes the
-# fault-injection suite and the chaos soak), then a ThreadSanitizer build
+# Full verification: the tier-1 build + quick test sweep, the long-running
+# durability suites (crash matrix + scrub), then a ThreadSanitizer build
 # that hammers the concurrency-heavy suites (observability layer, the
-# engine stress test + chaos soak, and the fault-injection scenarios).
+# engine stress test + chaos soak, the fault-injection scenarios, and the
+# journaled-durability layer).
 #
-#   scripts/verify.sh [--skip-tsan]
+#   scripts/verify.sh [--skip-tsan] [--skip-long]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
+SKIP_LONG=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-long) SKIP_LONG=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
-echo "=== tier 1: release build + full ctest ==="
+echo "=== tier 1: release build + quick ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)" -L quick
+
+if [[ "$SKIP_LONG" == 1 ]]; then
+  echo "=== long suites skipped (--skip-long) ==="
+else
+  echo "=== long: crash matrix (journaled flush protocol x crash points) ==="
+  ctest --test-dir build --output-on-failure -j "$(nproc)" -L long
+
+  echo "=== scrub: end-to-end viper_cli scrub over a crashed run ==="
+  SCRUB_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SCRUB_DIR"' EXIT
+  ./build/tools/viper_cli live --app tc1 --iters 100 --interval 20 \
+    --model tc1 --pfs-dir "$SCRUB_DIR" >/dev/null
+  ./build/tools/viper_cli scrub --model tc1 --pfs-dir "$SCRUB_DIR"
+  ./build/tools/viper_cli scrub --model tc1 --pfs-dir "$SCRUB_DIR" \
+    --keep-last 2 --keep-every 4
+  ./build/tools/viper_cli recover --model tc1 --pfs-dir "$SCRUB_DIR" >/dev/null
+fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "=== tsan sweep skipped (--skip-tsan) ==="
   exit 0
 fi
 
-echo "=== tsan: obs_test + stress_test + fault_injection_test under ThreadSanitizer ==="
+echo "=== tsan: obs + stress + fault-injection + durability under ThreadSanitizer ==="
 cmake -B build-tsan -S . \
   -DVIPER_SANITIZE=thread \
   -DVIPER_BUILD_BENCH=OFF \
   -DVIPER_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j --target obs_test stress_test fault_injection_test >/dev/null
+cmake --build build-tsan -j \
+  --target obs_test stress_test fault_injection_test durability_test >/dev/null
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/stress_test
 ./build-tsan/tests/fault_injection_test
+./build-tsan/tests/durability_test
 
 echo "=== verify OK ==="

@@ -5,6 +5,8 @@
 
 #include "viper/common/clock.hpp"
 #include "viper/common/log.hpp"
+#include "viper/core/recovery.hpp"
+#include "viper/durability/metrics.hpp"
 #include "viper/obs/metrics.hpp"
 #include "viper/obs/trace.hpp"
 
@@ -63,8 +65,29 @@ InferenceConsumer::~InferenceConsumer() { stop(); }
 
 void InferenceConsumer::start() {
   if (started_) return;
+  if (options_.warm_start && buffer_.active() == nullptr) warm_start_from_pfs();
   started_ = true;
   thread_.start([this](const std::atomic<bool>& stop_flag) { run(stop_flag); });
+}
+
+void InferenceConsumer::warm_start_from_pfs() {
+  // Read-only recovery: the producer may be restarting concurrently and
+  // owns the journal, so the consumer must not scrub or repair.
+  auto recovered =
+      recover_latest(*services_, model_name_, RecoverOptions{.scrub = false});
+  if (!recovered.is_ok()) {
+    VIPER_INFO << "warm start of '" << model_name_
+               << "' found nothing servable: "
+               << recovered.status().to_string();
+    return;
+  }
+  const std::uint64_t version = recovered.value().version;
+  buffer_.install(std::move(recovered.value().model));
+  version_.store(version, std::memory_order_relaxed);
+  warm_started_ = true;
+  durability::durability_metrics().warm_starts.add();
+  VIPER_INFO << "consumer warm-started '" << model_name_ << "' from committed v"
+             << version;
 }
 
 void InferenceConsumer::stop() {

@@ -5,12 +5,18 @@
 #include <cstring>
 #include <thread>
 
+#include <charconv>
+
 #include "viper/common/clock.hpp"
 #include "viper/common/log.hpp"
+#include "viper/durability/metrics.hpp"
+#include "viper/durability/scrub.hpp"
+#include "viper/fault/fault.hpp"
 #include "viper/net/stream.hpp"
 #include "viper/obs/metrics.hpp"
 #include "viper/obs/trace.hpp"
 #include "viper/serial/byte_io.hpp"
+#include "viper/serial/crc32.hpp"
 
 namespace viper::core {
 
@@ -133,11 +139,34 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
   if (!blob.is_ok()) return blob.status();
 
   const Location location = strategy_location(options_.strategy);
-  const std::uint64_t version =
-      model.version() != 0
-          ? model.version()
-          : static_cast<std::uint64_t>(
-                services_->metadata_db.incr("viper:ver:" + model_name));
+
+  // Journal-aware version assignment. The journal's committed set is the
+  // clobber guard: a restarted producer whose counter lagged (or a caller
+  // pinning an already-durable version id) must never overwrite a
+  // committed PFS checkpoint. journal_for() also performs restart
+  // recovery on first touch, resuming the counter past last_committed.
+  std::shared_ptr<durability::ManifestJournal> journal;
+  if (journaling_enabled()) {
+    auto loaded = journal_for(model_name);
+    if (!loaded.is_ok()) return loaded.status();
+    journal = std::move(loaded).value();
+  }
+  std::uint64_t version;
+  if (model.version() != 0) {
+    version = model.version();
+    if (journal && journal->state().is_committed(version)) {
+      durability::durability_metrics().duplicate_versions_refused.add();
+      return failed_precondition(
+          "version " + std::to_string(version) + " of '" + model_name +
+          "' is already committed in the manifest journal; refusing to "
+          "overwrite a durable checkpoint");
+    }
+  } else {
+    do {
+      version = static_cast<std::uint64_t>(
+          services_->metadata_db.incr("viper:ver:" + model_name));
+    } while (journal && journal->state().is_committed(version));
+  }
 
   ModelMetadata metadata;
   metadata.name = model_name;
@@ -229,8 +258,15 @@ Status ModelWeightsHandler::commit(Staged staged) {
     const std::string path = step.location == Location::kPfs
                                  ? pfs_path(metadata.name, metadata.version)
                                  : memory_path(metadata.name);
-    auto ticket = [&] {
+    auto ticket = [&]() -> Result<memsys::IoTicket> {
       auto stage_span = obs::Tracer::global().span("stage", "producer");
+      if (step.location == Location::kPfs) {
+        // Durable rung: the store is journaled (INTENT → blob → COMMIT)
+        // so a crash mid-store is recoverable from the manifest.
+        VIPER_RETURN_IF_ERROR(
+            store_pfs_journaled(metadata, std::move(staged.blob)));
+        return memsys::IoTicket{};
+      }
       return step.tier->put(path, std::move(staged.blob), metadata.cost_bytes);
     }();
     if (ticket.is_ok()) {
@@ -257,16 +293,16 @@ Status ModelWeightsHandler::commit(Staged staged) {
   // tiers keep only the latest blob). Skipped when the blob already
   // landed on the PFS (preferred or fully degraded).
   if (options_.flush_to_pfs && metadata.location != Location::kPfs) {
-    auto pfs = services_->pfs;
-    const std::string path = pfs_path(metadata.name, metadata.version);
-    const std::uint64_t cost = metadata.cost_bytes;
-    flusher_.submit([pfs, path, cost, flush_blob = std::move(flush_blob)]() mutable {
+    // Safe to capture `this`: the destructor shuts the flusher down (and
+    // drains its queue) before any member is destroyed.
+    flusher_.submit([this, meta = metadata,
+                     flush_blob = std::move(flush_blob)]() mutable {
       const Stopwatch flush_watch;
       auto flush_span = obs::Tracer::global().span("flush", "producer");
-      auto ticket = pfs->put(path, std::move(flush_blob), cost);
-      if (!ticket.is_ok()) {
-        VIPER_WARN << "PFS flush of " << path
-                   << " failed: " << ticket.status().to_string();
+      const Status status = store_pfs_journaled(meta, std::move(flush_blob));
+      if (!status.is_ok()) {
+        VIPER_WARN << "PFS flush of " << pfs_path(meta.name, meta.version)
+                   << " failed: " << status.to_string();
       }
       EngineMetrics& metrics = engine_metrics();
       metrics.pfs_flushes.add();
@@ -286,6 +322,137 @@ Status ModelWeightsHandler::commit(Staged staged) {
   }
   saves_completed_.fetch_add(1, std::memory_order_relaxed);
   engine_metrics().commit_seconds.record(watch.elapsed());
+  return Status::ok();
+}
+
+bool ModelWeightsHandler::journaling_enabled() const noexcept {
+  // Journaling only matters when checkpoints reach the durable tier: on
+  // the background flush path or when the strategy stores to PFS
+  // directly. With flushing disabled on a memory strategy, no journal
+  // object is ever created (the PFS stays untouched).
+  return options_.journal_flushes &&
+         (options_.flush_to_pfs ||
+          strategy_location(options_.strategy) == Location::kPfs);
+}
+
+Result<std::shared_ptr<durability::ManifestJournal>>
+ModelWeightsHandler::journal_for(const std::string& model_name) {
+  if (!journaling_enabled()) {
+    return failed_precondition("manifest journaling is disabled");
+  }
+  std::lock_guard lock(journals_mutex_);
+  auto it = journals_.find(model_name);
+  if (it != journals_.end()) return it->second;
+
+  auto journal = std::make_shared<durability::ManifestJournal>(services_->pfs,
+                                                               model_name);
+  const Status loaded = journal->load();
+  if (!loaded.is_ok()) return loaded;
+
+  // Restart recovery, step 1: resolve interrupted flushes (INTENT without
+  // COMMIT) before any new save could collide with their version ids.
+  if (!journal->state().pending.empty()) {
+    auto scrubbed = durability::scrub_model(*journal);
+    if (!scrubbed.is_ok()) return scrubbed.status();
+    VIPER_INFO << "journal recovery for '" << model_name << "': completed "
+               << scrubbed.value().completed << ", rolled back "
+               << scrubbed.value().rolled_back << " interrupted flush(es)";
+  }
+
+  // Step 2: resume the version counter past everything ever committed. A
+  // restarted producer otherwise starts at 0 and re-mints ids that would
+  // clobber durable PFS checkpoints.
+  const std::uint64_t floor = journal->state().last_committed;
+  if (floor > 0) {
+    const std::string counter = "viper:ver:" + model_name;
+    std::uint64_t current = 0;
+    if (auto existing = services_->metadata_db.get(counter); existing.is_ok()) {
+      const std::string& text = existing.value().value;
+      (void)std::from_chars(text.data(), text.data() + text.size(), current);
+    }
+    if (current < floor) {
+      services_->metadata_db.set(counter, std::to_string(floor));
+    }
+  }
+
+  journals_.emplace(model_name, journal);
+  return journal;
+}
+
+Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
+                                                std::vector<std::byte>&& blob) {
+  auto pfs = services_->pfs;
+  const std::string path = pfs_path(metadata.name, metadata.version);
+  if (!journaling_enabled()) {
+    auto ticket = pfs->put(path, std::move(blob), metadata.cost_bytes);
+    return ticket.is_ok() ? Status::ok() : ticket.status();
+  }
+  auto journal_result = journal_for(metadata.name);
+  if (!journal_result.is_ok()) return journal_result.status();
+  auto journal = std::move(journal_result).value();
+  auto& dmetrics = durability::durability_metrics();
+
+  // Crash point: before anything is recorded. The version simply never
+  // happened; recovery has nothing to do.
+  if (fault::armed() && fault::crash_point("durability.flush.begin")) {
+    dmetrics.flush_aborts.add();
+    return fault::crash_status("durability.flush.begin");
+  }
+
+  const std::uint64_t size = blob.size();
+  const std::uint32_t crc = serial::crc32(blob);
+  auto intent =
+      journal->append_intent(metadata.version, size, crc, metadata.iteration);
+  if (!intent.is_ok()) {
+    if (fault::is_crash_status(intent.status())) dmetrics.flush_aborts.add();
+    return intent.status();
+  }
+
+  auto ticket = pfs->put(path, std::move(blob), metadata.cost_bytes);
+  if (!ticket.is_ok()) {
+    if (fault::is_crash_status(ticket.status())) {
+      // A dying process runs no rollback — the dangling INTENT (and any
+      // torn temp file) is exactly what restart recovery must resolve.
+      dmetrics.flush_aborts.add();
+      return ticket.status();
+    }
+    // Ordinary failure: roll the intent back so a later restart does not
+    // mistake this for an interrupted flush worth completing.
+    auto retired = journal->append_retire(metadata.version);
+    if (!retired.is_ok()) {
+      VIPER_WARN << "rollback RETIRE of v" << metadata.version
+                 << " failed: " << retired.status().to_string();
+    }
+    return ticket.status();
+  }
+
+  // Crash point: blob durable, COMMIT not yet recorded. Recovery verifies
+  // the blob against the INTENT's CRC and completes the flush.
+  if (fault::armed() && fault::crash_point("durability.flush.after-blob")) {
+    dmetrics.flush_aborts.add();
+    return fault::crash_status("durability.flush.after-blob");
+  }
+
+  auto commit =
+      journal->append_commit(metadata.version, size, crc, metadata.iteration);
+  if (!commit.is_ok()) {
+    if (fault::is_crash_status(commit.status())) dmetrics.flush_aborts.add();
+    return commit.status();
+  }
+
+  // Crash point: after COMMIT — the version must survive the restart.
+  if (fault::armed() && fault::crash_point("durability.flush.end")) {
+    dmetrics.flush_aborts.add();
+    return fault::crash_status("durability.flush.end");
+  }
+
+  if (options_.retention.enabled()) {
+    auto gc = durability::apply_retention(*journal, options_.retention);
+    if (!gc.is_ok()) {
+      VIPER_WARN << "retention GC after v" << metadata.version
+                 << " failed: " << gc.status().to_string();
+    }
+  }
   return Status::ok();
 }
 
@@ -481,10 +648,10 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
 
   // Sniff the format by magic so a consumer can read either layout.
   if (blob.size() < 4) return data_loss("checkpoint blob too small");
-  std::uint32_t magic = 0;
-  std::memcpy(&magic, blob.data(), 4);
   const serial::CheckpointFormat& format =
-      magic == 0x31465356 ? *viper_format_ : *h5_format_;
+      serial::format_for_blob(blob) == serial::BlobFormat::kViper
+          ? *viper_format_
+          : *h5_format_;
   auto deserialize_span = obs::Tracer::global().span("deserialize", "consumer");
   auto model = format.deserialize(blob);
   deserialize_span.end();

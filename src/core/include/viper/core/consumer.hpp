@@ -51,6 +51,13 @@ class InferenceConsumer {
     /// DB and apply any version this consumer missed (lost-notification
     /// recovery). <= 0 disables resync.
     double resync_interval = 0.25;
+    /// On start(), before listening for updates, recover the newest
+    /// committed+verified checkpoint from the durable tier (read-only
+    /// manifest-journal recovery) and install it — a consumer restarted
+    /// after a crash serves immediately instead of waiting for the next
+    /// producer update. The subscription then resumes as usual, so any
+    /// newer version is picked up by notification or resync.
+    bool warm_start = false;
   };
 
   InferenceConsumer(std::shared_ptr<SharedServices> services, net::Comm comm,
@@ -79,12 +86,17 @@ class InferenceConsumer {
   [[nodiscard]] std::uint64_t resyncs() const noexcept {
     return resyncs_.load(std::memory_order_relaxed);
   }
+  /// True when start() installed a recovered checkpoint before the first
+  /// producer update arrived.
+  [[nodiscard]] bool warm_started() const noexcept { return warm_started_; }
   [[nodiscard]] DoubleBuffer& buffer() noexcept { return buffer_; }
   [[nodiscard]] ModelLoader& loader() noexcept { return loader_; }
 
  private:
   void run(const std::atomic<bool>& stop_flag);
   void apply_latest();
+  /// Journal-driven read-only recovery of the newest committed version.
+  void warm_start_from_pfs();
 
   std::shared_ptr<SharedServices> services_;
   std::string model_name_;
@@ -96,6 +108,7 @@ class InferenceConsumer {
   std::atomic<std::uint64_t> updates_{0};
   std::atomic<std::uint64_t> version_{0};
   std::atomic<std::uint64_t> resyncs_{0};
+  bool warm_started_ = false;
   bool started_ = false;
 };
 

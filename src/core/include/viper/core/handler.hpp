@@ -10,10 +10,13 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "viper/common/retry.hpp"
 #include "viper/common/thread_util.hpp"
 #include "viper/core/metadata.hpp"
+#include "viper/durability/journal.hpp"
+#include "viper/durability/retention.hpp"
 #include "viper/core/notification.hpp"
 #include "viper/core/platform.hpp"
 #include "viper/core/stats_manager.hpp"
@@ -56,6 +59,13 @@ class ModelWeightsHandler {
     PlatformModel platform = PlatformModel::polaris();
     /// Flush every version to the PFS in the background (fault tolerance).
     bool flush_to_pfs = true;
+    /// Bracket every PFS flush with manifest-journal records (INTENT /
+    /// COMMIT) so a restart can tell committed versions from torn ones.
+    /// Only consulted when checkpoints reach the PFS at all.
+    bool journal_flushes = true;
+    /// Retention GC applied after each committed flush (keep-last-N /
+    /// keep-every-Kth); disabled by default — every version is kept.
+    durability::RetentionPolicy retention;
     /// Seed for modeled-bandwidth jitter; 0 disables jitter.
     std::uint64_t jitter_seed = 0;
     /// Identity reported to the Stats Manager.
@@ -107,6 +117,14 @@ class ModelWeightsHandler {
   [[nodiscard]] memsys::StorageTier& gpu_tier() noexcept { return gpu_tier_; }
   [[nodiscard]] memsys::StorageTier& host_tier() noexcept { return host_tier_; }
 
+  /// The model's manifest journal on the shared PFS, lazily created. The
+  /// first access per model performs restart recovery: the journal is
+  /// replayed, interrupted flushes are completed or rolled back, and the
+  /// version counter is resumed past the last committed version. Errors
+  /// when journaling is disabled by options or the journal is unreadable.
+  Result<std::shared_ptr<durability::ManifestJournal>> journal_for(
+      const std::string& model_name);
+
  private:
   struct Staged {
     std::string model_name;
@@ -116,6 +134,15 @@ class ModelWeightsHandler {
 
   /// Store + metadata + notify (runs inline for sync, on engine for async).
   Status commit(Staged staged);
+
+  /// True when PFS-bound checkpoints of this handler are journaled.
+  [[nodiscard]] bool journaling_enabled() const noexcept;
+
+  /// Journaled durable store: INTENT → blob put → COMMIT → retention GC,
+  /// with crash points at every protocol step. Falls back to a plain put
+  /// when journaling is disabled.
+  Status store_pfs_journaled(const ModelMetadata& metadata,
+                             std::vector<std::byte>&& blob);
 
   std::shared_ptr<SharedServices> services_;
   Options options_;
@@ -127,6 +154,9 @@ class ModelWeightsHandler {
   SerialExecutor flusher_;  ///< background PFS flush thread
   std::optional<Rng> jitter_rng_;
   std::mutex jitter_mutex_;
+  std::mutex journals_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<durability::ManifestJournal>>
+      journals_;
   std::atomic<double> total_stall_{0.0};
   std::atomic<std::uint64_t> saves_completed_{0};
   std::atomic<std::uint64_t> saves_degraded_{0};

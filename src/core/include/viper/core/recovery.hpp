@@ -1,15 +1,18 @@
 // Fault-tolerance recovery. The handler flushes every checkpoint version
-// to the PFS in the background (§4.4); this module turns those flushed
-// copies back into a serving model after a crash: it scans the PFS for a
-// model's versions, validates integrity newest-first (the CRC trailer
-// catches torn or corrupted flushes), and can repair the metadata DB so
-// consumers resume from the recovered version.
+// to the PFS under a write-ahead manifest journal (INTENT/COMMIT/RETIRE
+// records); this module turns that durable state back into a serving
+// system after a crash. Recovery is journal-driven: a version exists iff
+// its COMMIT record does, interrupted flushes are completed or rolled
+// back, and corrupt committed blobs are quarantined — the naive
+// newest-mtime directory scan survives only as the fallback for tiers
+// with no journal (pre-journal flushes or journaling disabled).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "viper/core/handler.hpp"
+#include "viper/durability/scrub.hpp"
 
 namespace viper::core {
 
@@ -23,20 +26,50 @@ struct RecoveredModel {
   Model model;
   std::uint64_t version = 0;
   /// Versions that were present but failed integrity validation and had
-  /// to be skipped (newest first).
+  /// to be skipped (newest first). On the journal path these have been
+  /// quarantined (moved to quarantine/<model>/v<N>) or were missing.
   std::vector<std::uint64_t> skipped_corrupt;
 };
 
-/// Load the newest intact flushed checkpoint of `model_name`. Walks
-/// versions newest-first, skipping any blob that fails CRC/parse
-/// validation. NOT_FOUND when nothing usable remains.
+struct RecoverOptions {
+  /// Scrub the journal while recovering: complete/roll back interrupted
+  /// flushes, quarantine corrupt committed blobs, repair the manifest.
+  /// Disable for read-only recovery (e.g. a consumer warm-starting while
+  /// the producer may still own the journal).
+  bool scrub = true;
+};
+
+/// Load the newest intact flushed checkpoint of `model_name`. With a
+/// manifest journal present, walks COMMITted versions newest-first
+/// (scrubbing per `options`); otherwise falls back to the legacy PFS key
+/// scan. NOT_FOUND when nothing was ever flushed; DATA_LOSS when versions
+/// existed but none survived validation.
 Result<RecoveredModel> recover_latest(SharedServices& services,
-                                      const std::string& model_name);
+                                      const std::string& model_name,
+                                      const RecoverOptions& options = {});
 
 /// recover_latest + repair: rewrites the model's metadata record to point
 /// at the recovered PFS copy so existing consumers (and their loaders)
 /// resume without producer involvement.
 Result<RecoveredModel> recover_and_repair(SharedServices& services,
-                                          const std::string& model_name);
+                                          const std::string& model_name,
+                                          const RecoverOptions& options = {});
+
+/// Everything a restarted producer must do before its first save:
+/// journal replay + scrub (interrupted flushes resolved, corrupt blobs
+/// quarantined), version-counter resume past the last committed version,
+/// and metadata repair to the newest committed checkpoint.
+struct ProducerRecoveryReport {
+  bool journal_found = false;
+  durability::ScrubReport scrub;
+  /// Highest version id ever committed; the version counter now resumes
+  /// past it (0 when nothing was ever committed).
+  std::uint64_t last_committed = 0;
+  /// Newest committed+verified version, 0 if none usable.
+  std::uint64_t serving_version = 0;
+};
+
+Result<ProducerRecoveryReport> recover_producer(SharedServices& services,
+                                                const std::string& model_name);
 
 }  // namespace viper::core

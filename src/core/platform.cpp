@@ -121,7 +121,9 @@ PathCosts PlatformModel::update_costs(Strategy strategy, std::uint64_t bytes,
       // Lean format through Lustre; the consumer is pushed a notification
       // so only the PFS round trip and (de)serialization remain.
       const double serialize = jittered(b / serialize_bw_viper, 0.02, rng);
-      const double write = pfs.write_seconds(bytes, 2, rng);
+      // Durable write: the checkpoint + its manifest-journal commit only
+      // count once the fsync barrier returns, so the producer pays it.
+      const double write = pfs.write_seconds(bytes, 2, rng) + pfs.fsync_seconds(rng);
       const double read = pfs.read_seconds(bytes, 2, rng);
       const double deserialize = jittered(b / serialize_bw_viper, 0.02, rng);
       const double upload = jittered(b / host_to_gpu_bw, 0.02, rng);
@@ -136,7 +138,8 @@ PathCosts PlatformModel::update_costs(Strategy strategy, std::uint64_t bytes,
       // tensor on create, 1 on open) and moves data through its chunk
       // cache, and the consumer discovers the file by polling.
       const double serialize = jittered(b / serialize_bw_h5py, 0.02, rng);
-      const double write = pfs_h5py.write_seconds(bytes, 2 * num_tensors, rng);
+      const double write = pfs_h5py.write_seconds(bytes, 2 * num_tensors, rng) +
+                           pfs_h5py.fsync_seconds(rng);
       const double poll_delay =
           rng ? rng->uniform(0.0, 1e-3) : 0.5e-3;  // Triton's 1 ms floor
       const double read = pfs_h5py.read_seconds(bytes, num_tensors, rng);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <charconv>
-#include <cstring>
+#include <memory>
 
 #include "viper/common/log.hpp"
+#include "viper/durability/journal.hpp"
+#include "viper/durability/metrics.hpp"
 
 namespace viper::core {
 
@@ -25,37 +27,20 @@ std::optional<std::uint64_t> version_of_key(const std::string& key,
 
 Result<Model> parse_blob(const std::vector<std::byte>& blob) {
   if (blob.size() < 4) return data_loss("flushed blob too small");
-  std::uint32_t magic = 0;
-  std::memcpy(&magic, blob.data(), 4);
-  auto format = magic == 0x31465356 ? serial::make_viper_format()
-                                    : serial::make_h5like_format();
-  return format->deserialize(blob);
+  return serial::make_format_for_blob(blob)->deserialize(blob);
 }
 
-}  // namespace
-
-std::vector<std::uint64_t> flushed_versions(const SharedServices& services,
-                                            const std::string& model_name) {
-  std::vector<std::uint64_t> versions;
-  for (const std::string& key : services.pfs->keys_mru()) {
-    if (auto version = version_of_key(key, model_name)) {
-      versions.push_back(*version);
-    }
-  }
-  std::sort(versions.begin(), versions.end());
-  return versions;
-}
-
-Result<RecoveredModel> recover_latest(SharedServices& services,
-                                      const std::string& model_name) {
+/// Pre-journal fallback: scan the PFS for version keys and validate
+/// newest-first. Used only when the model has no manifest journal.
+Result<RecoveredModel> recover_latest_legacy(SharedServices& services,
+                                             const std::string& model_name) {
   auto versions = flushed_versions(services, model_name);
   if (versions.empty()) {
     return not_found("no flushed checkpoints of '" + model_name + "' on the PFS");
   }
-
   RecoveredModel recovered;
   for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
-    const std::string key = "ckpt/" + model_name + "/v" + std::to_string(*it);
+    const std::string key = durability::checkpoint_key(model_name, *it);
     std::vector<std::byte> blob;
     auto ticket = services.pfs->get(key, blob);
     if (!ticket.is_ok()) {
@@ -77,21 +62,154 @@ Result<RecoveredModel> recover_latest(SharedServices& services,
                    "' failed integrity validation");
 }
 
+/// Journal-driven recovery: scrub per options, then deserialize the
+/// newest committed version that survives verification.
+Result<RecoveredModel> recover_latest_journaled(
+    SharedServices& services, const std::string& model_name,
+    const RecoverOptions& options) {
+  durability::ManifestJournal journal(services.pfs, model_name);
+  VIPER_RETURN_IF_ERROR(journal.load());
+
+  const durability::ManifestState before = journal.state();
+  RecoveredModel recovered;
+  bool ever_committed = !before.committed.empty();
+
+  if (options.scrub) {
+    auto scrubbed = durability::scrub_model(journal);
+    if (!scrubbed.is_ok()) return scrubbed.status();
+    const durability::ScrubReport& report = scrubbed.value();
+    ever_committed = ever_committed || report.completed > 0;
+    recovered.skipped_corrupt.insert(recovered.skipped_corrupt.end(),
+                                     report.quarantined_versions.begin(),
+                                     report.quarantined_versions.end());
+    recovered.skipped_corrupt.insert(recovered.skipped_corrupt.end(),
+                                     report.missing_versions.begin(),
+                                     report.missing_versions.end());
+  }
+
+  const durability::ManifestState state = journal.state();
+  for (auto it = state.committed.rbegin(); it != state.committed.rend(); ++it) {
+    const auto& [version, record] = *it;
+    const std::string key = durability::checkpoint_key(model_name, version);
+    std::vector<std::byte> blob;
+    auto ticket = services.pfs->get(key, blob);
+    if (!ticket.is_ok()) {
+      recovered.skipped_corrupt.push_back(version);
+      continue;
+    }
+    const Status verified =
+        durability::verify_blob(blob, record, /*deep_verify=*/false);
+    if (!verified.is_ok()) {
+      // Without scrub we only skip (read-only recovery); scrub would have
+      // quarantined it already.
+      VIPER_WARN << "committed version " << version << " of '" << model_name
+                 << "' failed verification: " << verified.to_string();
+      recovered.skipped_corrupt.push_back(version);
+      continue;
+    }
+    auto model = parse_blob(blob);
+    if (!model.is_ok()) {
+      recovered.skipped_corrupt.push_back(version);
+      continue;
+    }
+    recovered.model = std::move(model).value();
+    recovered.version = version;
+    std::sort(recovered.skipped_corrupt.rbegin(),
+              recovered.skipped_corrupt.rend());
+    return recovered;
+  }
+
+  if (ever_committed || !recovered.skipped_corrupt.empty()) {
+    return data_loss("every committed checkpoint of '" + model_name +
+                     "' failed integrity validation");
+  }
+  return not_found("the manifest journal of '" + model_name +
+                   "' has no committed checkpoints");
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> flushed_versions(const SharedServices& services,
+                                            const std::string& model_name) {
+  std::vector<std::uint64_t> versions;
+  for (const std::string& key : services.pfs->keys_mru()) {
+    if (auto version = version_of_key(key, model_name)) {
+      versions.push_back(*version);
+    }
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+Result<RecoveredModel> recover_latest(SharedServices& services,
+                                      const std::string& model_name,
+                                      const RecoverOptions& options) {
+  if (!services.pfs->contains(durability::journal_key(model_name))) {
+    return recover_latest_legacy(services, model_name);
+  }
+  return recover_latest_journaled(services, model_name, options);
+}
+
 Result<RecoveredModel> recover_and_repair(SharedServices& services,
-                                          const std::string& model_name) {
-  auto recovered = recover_latest(services, model_name);
+                                          const std::string& model_name,
+                                          const RecoverOptions& options) {
+  auto recovered = recover_latest(services, model_name, options);
   if (!recovered.is_ok()) return recovered;
 
   ModelMetadata metadata;
   metadata.name = model_name;
   metadata.version = recovered.value().version;
   metadata.location = Location::kPfs;
-  metadata.path = "ckpt/" + model_name + "/v" + std::to_string(metadata.version);
+  metadata.path = durability::checkpoint_key(model_name, metadata.version);
   metadata.size_bytes = recovered.value().model.payload_bytes();
   metadata.cost_bytes = recovered.value().model.nominal_bytes();
   metadata.iteration = recovered.value().model.iteration();
   put_metadata(services.metadata_db, metadata);
   return recovered;
+}
+
+Result<ProducerRecoveryReport> recover_producer(SharedServices& services,
+                                                const std::string& model_name) {
+  ProducerRecoveryReport report;
+  if (!services.pfs->contains(durability::journal_key(model_name))) {
+    return report;  // nothing journaled — a genuinely fresh producer
+  }
+  report.journal_found = true;
+
+  durability::ManifestJournal journal(services.pfs, model_name);
+  VIPER_RETURN_IF_ERROR(journal.load());
+  auto scrubbed = durability::scrub_model(journal);
+  if (!scrubbed.is_ok()) return scrubbed.status();
+  report.scrub = scrubbed.value();
+
+  const durability::ManifestState state = journal.state();
+  report.last_committed = state.last_committed;
+
+  // Resume the version counter so re-minted ids can never collide with
+  // durable checkpoints.
+  if (state.last_committed > 0) {
+    const std::string counter = "viper:ver:" + model_name;
+    std::uint64_t current = 0;
+    if (auto existing = services.metadata_db.get(counter); existing.is_ok()) {
+      const std::string& text = existing.value().value;
+      (void)std::from_chars(text.data(), text.data() + text.size(), current);
+    }
+    if (current < state.last_committed) {
+      services.metadata_db.set(counter, std::to_string(state.last_committed));
+    }
+  }
+
+  // Repair metadata to the newest committed version so consumers resume.
+  if (!state.committed.empty()) {
+    auto recovered =
+        recover_and_repair(services, model_name, RecoverOptions{.scrub = false});
+    if (recovered.is_ok()) {
+      report.serving_version = recovered.value().version;
+    } else if (recovered.status().code() != StatusCode::kNotFound) {
+      return recovered.status();
+    }
+  }
+  return report;
 }
 
 }  // namespace viper::core

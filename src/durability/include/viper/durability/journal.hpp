@@ -1,0 +1,135 @@
+// Write-ahead checkpoint manifest journal (one per model), stored as a
+// single object on the durable tier. Every PFS flush is bracketed by
+// journal records: INTENT (flush is about to start, blob CRC stamped)
+// before any checkpoint bytes move, COMMIT once the blob is durable,
+// RETIRE when a version is garbage-collected, rolled back, or
+// quarantined. After a crash the journal — not a directory scan — is the
+// source of truth: a version exists iff its COMMIT record does, and an
+// INTENT without a COMMIT marks an interrupted flush for recovery to
+// complete or roll back.
+//
+// Appends are read-modify-write over a cached in-memory image and publish
+// the whole object atomically (temp+rename on FileTier), then pay the
+// modeled fsync barrier — the durability tax the decision engine sees.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/memsys/storage_tier.hpp"
+#include "viper/serial/manifest.hpp"
+
+namespace viper::durability {
+
+/// Object key of a model's manifest journal on the durable tier. Lives in
+/// its own "manifest/" namespace so checkpoint-key scans never see it.
+[[nodiscard]] std::string journal_key(const std::string& model_name);
+
+/// Object key of a flushed checkpoint version ("ckpt/<model>/v<N>").
+[[nodiscard]] std::string checkpoint_key(const std::string& model_name,
+                                         std::uint64_t version);
+
+/// Object key a corrupt version is moved to instead of being deleted
+/// ("quarantine/<model>/v<N>") — the bytes stay available for forensics.
+[[nodiscard]] std::string quarantine_key(const std::string& model_name,
+                                         std::uint64_t version);
+
+/// Folded view of a journal: what the record sequence says exists.
+struct ManifestState {
+  /// INTENT seen, no COMMIT/RETIRE yet — an in-flight or interrupted flush.
+  std::map<std::uint64_t, serial::ManifestRecord> pending;
+  /// COMMIT seen and not retired — the versions that durably exist.
+  std::map<std::uint64_t, serial::ManifestRecord> committed;
+  /// Versions retired (GC'd, rolled back, or quarantined), in record order.
+  std::vector<std::uint64_t> retired;
+  /// Highest version ever committed — survives RETIRE so version ids are
+  /// never reused (the restart counter resumes past this).
+  std::uint64_t last_committed = 0;
+  std::uint64_t next_sequence = 1;
+  /// Torn bytes dropped from the journal tail at load time (crash
+  /// mid-append); 0 for a clean journal.
+  std::size_t torn_bytes = 0;
+
+  void apply(const serial::ManifestRecord& record);
+
+  [[nodiscard]] bool is_committed(std::uint64_t version) const {
+    return committed.contains(version);
+  }
+  [[nodiscard]] bool is_pending(std::uint64_t version) const {
+    return pending.contains(version);
+  }
+};
+
+/// Fold a parsed record sequence into its end state.
+[[nodiscard]] ManifestState fold_manifest(
+    const std::vector<serial::ManifestRecord>& records,
+    std::size_t torn_bytes = 0);
+
+/// The journal for one model on one durable tier. Thread-safe; one
+/// instance per (tier, model) should be shared by all writers — appends
+/// are read-modify-write, so two instances racing on the same key would
+/// clobber each other's records.
+class ManifestJournal {
+ public:
+  ManifestJournal(std::shared_ptr<memsys::StorageTier> tier,
+                  std::string model_name);
+
+  /// Read and parse the journal object. A missing object is a fresh
+  /// journal (OK); a torn tail is truncated away, repaired on the durable
+  /// tier, and counted in state().torn_bytes. Must be called (once)
+  /// before append().
+  Status load();
+  [[nodiscard]] bool loaded() const;
+
+  /// Append one record and atomically republish the journal with its
+  /// modeled fsync barrier. Sequence numbers are journal-assigned.
+  Result<serial::ManifestRecord> append(serial::ManifestOp op,
+                                        std::uint64_t version,
+                                        std::uint64_t size_bytes,
+                                        std::uint32_t blob_crc,
+                                        std::int64_t iteration);
+  Result<serial::ManifestRecord> append_intent(std::uint64_t version,
+                                               std::uint64_t size_bytes,
+                                               std::uint32_t blob_crc,
+                                               std::int64_t iteration);
+  Result<serial::ManifestRecord> append_commit(std::uint64_t version,
+                                               std::uint64_t size_bytes,
+                                               std::uint32_t blob_crc,
+                                               std::int64_t iteration);
+  Result<serial::ManifestRecord> append_retire(std::uint64_t version);
+
+  /// Snapshot of the folded state (copy; safe across appends).
+  [[nodiscard]] ManifestState state() const;
+
+  [[nodiscard]] const std::string& model_name() const noexcept {
+    return model_name_;
+  }
+  [[nodiscard]] const std::string& key() const noexcept { return key_; }
+  [[nodiscard]] memsys::StorageTier& tier() noexcept { return *tier_; }
+  [[nodiscard]] std::shared_ptr<memsys::StorageTier> tier_ptr() const {
+    return tier_;
+  }
+
+  /// Accumulated modeled seconds spent on journal writes + fsync barriers.
+  [[nodiscard]] double modeled_seconds() const;
+
+ private:
+  /// Publish `bytes` as the journal object and charge the fsync barrier.
+  Status persist_locked(const std::vector<std::byte>& bytes);
+
+  std::shared_ptr<memsys::StorageTier> tier_;
+  std::string model_name_;
+  std::string key_;
+  mutable std::mutex mutex_;
+  std::vector<std::byte> bytes_;  ///< cached on-tier journal image
+  ManifestState state_;
+  bool loaded_ = false;
+  double modeled_seconds_ = 0.0;
+};
+
+}  // namespace viper::durability

@@ -1,0 +1,61 @@
+// Durability-layer observability handles (`viper.durability.*`), resolved
+// once from the global registry. The crash-matrix tests assert that these
+// counters balance the number of injected crashes (every aborted flush is
+// either completed or rolled back by recovery, never silently dropped).
+#pragma once
+
+#include "viper/obs/metrics.hpp"
+
+namespace viper::durability {
+
+struct DurabilityMetrics {
+  obs::Counter& journal_appends =
+      obs::MetricsRegistry::global().counter("viper.durability.journal_appends");
+  obs::Counter& journal_loads =
+      obs::MetricsRegistry::global().counter("viper.durability.journal_loads");
+  obs::Counter& journal_torn_tails =
+      obs::MetricsRegistry::global().counter("viper.durability.journal_torn_tails");
+  obs::Counter& intents =
+      obs::MetricsRegistry::global().counter("viper.durability.intents");
+  obs::Counter& commits =
+      obs::MetricsRegistry::global().counter("viper.durability.commits");
+  obs::Counter& retires =
+      obs::MetricsRegistry::global().counter("viper.durability.retires");
+  /// Flush protocol runs cut short by a (simulated) crash.
+  obs::Counter& flush_aborts =
+      obs::MetricsRegistry::global().counter("viper.durability.flush_aborts");
+  /// Interrupted flushes whose blob proved durable+intact: COMMIT appended.
+  obs::Counter& flushes_completed =
+      obs::MetricsRegistry::global().counter("viper.durability.flushes_completed");
+  /// Interrupted flushes rolled back (blob missing, torn, or corrupt).
+  obs::Counter& flushes_rolled_back =
+      obs::MetricsRegistry::global().counter("viper.durability.flushes_rolled_back");
+  obs::Counter& scrub_checked =
+      obs::MetricsRegistry::global().counter("viper.durability.scrub_checked");
+  obs::Counter& scrub_verified =
+      obs::MetricsRegistry::global().counter("viper.durability.scrub_verified");
+  /// Committed versions whose blob failed verification and was moved to
+  /// the quarantine/ namespace (never deleted — forensics keep the bytes).
+  obs::Counter& quarantined =
+      obs::MetricsRegistry::global().counter("viper.durability.quarantined");
+  /// Committed versions whose blob vanished from the tier entirely.
+  obs::Counter& missing_blobs =
+      obs::MetricsRegistry::global().counter("viper.durability.missing_blobs");
+  obs::Counter& gc_retired =
+      obs::MetricsRegistry::global().counter("viper.durability.gc_retired");
+  obs::Counter& gc_bytes_reclaimed =
+      obs::MetricsRegistry::global().counter("viper.durability.gc_bytes_reclaimed");
+  /// Saves refused because their version id was already committed.
+  obs::Counter& duplicate_versions_refused = obs::MetricsRegistry::global().counter(
+      "viper.durability.duplicate_versions_refused");
+  /// Consumers that warm-started from a committed checkpoint on boot.
+  obs::Counter& warm_starts =
+      obs::MetricsRegistry::global().counter("viper.durability.warm_starts");
+  /// Modeled seconds per journal append (write + fsync barrier).
+  obs::Histogram& journal_seconds =
+      obs::MetricsRegistry::global().histogram("viper.durability.journal_seconds");
+};
+
+DurabilityMetrics& durability_metrics();
+
+}  // namespace viper::durability

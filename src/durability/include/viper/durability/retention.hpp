@@ -1,0 +1,43 @@
+// Retention GC over the manifest journal: bounds the PFS footprint of
+// the flush-every-version fault-tolerance policy. Keeps the newest N
+// committed versions plus every K-th version as long-term anchors;
+// everything else is erased from the tier and RETIREd in the journal (the
+// RETIRE record is what makes the deletion crash-safe: a GC that dies
+// mid-erase is re-run idempotently from the journal).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "viper/durability/journal.hpp"
+
+namespace viper::durability {
+
+struct RetentionPolicy {
+  /// Keep the newest `keep_last` committed versions. 0 disables GC.
+  std::size_t keep_last = 0;
+  /// Additionally keep versions divisible by `keep_every` (long-term
+  /// anchors for rollback across many updates). 0 keeps none extra.
+  std::uint64_t keep_every = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return keep_last > 0; }
+  /// True when `version` must survive GC given `newest` committed ids
+  /// (ascending).
+  [[nodiscard]] bool keeps(std::uint64_t version,
+                           const std::vector<std::uint64_t>& newest) const;
+};
+
+struct RetentionReport {
+  std::uint64_t examined = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t bytes_reclaimed = 0;
+  std::vector<std::uint64_t> retired_versions;
+};
+
+/// Apply `policy` to the journal's committed versions: erase expired blobs
+/// from the journal's tier and append RETIRE records. No-op (empty report)
+/// when the policy is disabled.
+Result<RetentionReport> apply_retention(ManifestJournal& journal,
+                                        const RetentionPolicy& policy);
+
+}  // namespace viper::durability

@@ -1,0 +1,55 @@
+// Integrity scrubber: reconciles a model's manifest journal with the
+// blobs actually on the durable tier. Runs at restart (producer recovery,
+// `viper_cli scrub`) and on demand.
+//
+//  - Pending INTENTs (interrupted flushes): if the blob landed intact
+//    (size + CRC match the intent, optionally a deep parse), the flush is
+//    *completed* with a COMMIT record; otherwise it is *rolled back* with
+//    a RETIRE record and any partial blob is removed.
+//  - Committed versions: blobs are re-verified. A torn or corrupt blob is
+//    moved to the quarantine/ namespace (never deleted) and the version
+//    retired; a vanished blob is retired and counted as missing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "viper/durability/journal.hpp"
+
+namespace viper::durability {
+
+struct ScrubOptions {
+  /// Also deserialize each blob with its sniffed checkpoint format (full
+  /// structural validation), not just the size + CRC check.
+  bool deep_verify = true;
+};
+
+struct ScrubReport {
+  std::uint64_t checked = 0;      ///< committed versions examined
+  std::uint64_t verified = 0;     ///< committed versions that passed
+  std::uint64_t completed = 0;    ///< interrupted flushes committed
+  std::uint64_t rolled_back = 0;  ///< interrupted flushes retired
+  std::uint64_t quarantined = 0;  ///< corrupt committed blobs quarantined
+  std::uint64_t missing = 0;      ///< committed blobs that vanished
+  std::vector<std::uint64_t> quarantined_versions;
+  std::vector<std::uint64_t> missing_versions;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return completed == 0 && rolled_back == 0 && quarantined == 0 &&
+           missing == 0;
+  }
+};
+
+/// Verify `blob` against its manifest record: size, CRC-32, and (when
+/// `deep_verify`) a full deserialize through the sniffed format.
+[[nodiscard]] Status verify_blob(std::span<const std::byte> blob,
+                                 const serial::ManifestRecord& record,
+                                 bool deep_verify);
+
+/// Scrub one model. The journal must be loaded; records appended by the
+/// scrub (COMMIT/RETIRE) go through the journal's normal durable path.
+/// Blobs are read from and repaired on the journal's tier.
+Result<ScrubReport> scrub_model(ManifestJournal& journal,
+                                const ScrubOptions& options = {});
+
+}  // namespace viper::durability

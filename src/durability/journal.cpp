@@ -1,0 +1,209 @@
+#include "viper/durability/journal.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "viper/durability/metrics.hpp"
+#include "viper/fault/fault.hpp"
+#include "viper/serial/byte_io.hpp"
+
+namespace viper::durability {
+
+DurabilityMetrics& durability_metrics() {
+  static DurabilityMetrics metrics;
+  return metrics;
+}
+
+namespace {
+
+std::string_view op_site_suffix(serial::ManifestOp op) noexcept {
+  switch (op) {
+    case serial::ManifestOp::kIntent: return "intent";
+    case serial::ManifestOp::kCommit: return "commit";
+    case serial::ManifestOp::kRetire: return "retire";
+  }
+  return "?";
+}
+
+void count_op(serial::ManifestOp op) {
+  switch (op) {
+    case serial::ManifestOp::kIntent:
+      durability_metrics().intents.add();
+      break;
+    case serial::ManifestOp::kCommit:
+      durability_metrics().commits.add();
+      break;
+    case serial::ManifestOp::kRetire:
+      durability_metrics().retires.add();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string journal_key(const std::string& model_name) {
+  return "manifest/" + model_name + "/journal";
+}
+
+std::string checkpoint_key(const std::string& model_name,
+                           std::uint64_t version) {
+  return "ckpt/" + model_name + "/v" + std::to_string(version);
+}
+
+std::string quarantine_key(const std::string& model_name,
+                           std::uint64_t version) {
+  return "quarantine/" + model_name + "/v" + std::to_string(version);
+}
+
+void ManifestState::apply(const serial::ManifestRecord& record) {
+  next_sequence = std::max(next_sequence, record.sequence + 1);
+  switch (record.op) {
+    case serial::ManifestOp::kIntent:
+      pending[record.version] = record;
+      break;
+    case serial::ManifestOp::kCommit:
+      pending.erase(record.version);
+      committed[record.version] = record;
+      last_committed = std::max(last_committed, record.version);
+      break;
+    case serial::ManifestOp::kRetire:
+      pending.erase(record.version);
+      committed.erase(record.version);
+      retired.push_back(record.version);
+      break;
+  }
+}
+
+ManifestState fold_manifest(const std::vector<serial::ManifestRecord>& records,
+                            std::size_t torn_bytes) {
+  ManifestState state;
+  for (const auto& record : records) state.apply(record);
+  state.torn_bytes = torn_bytes;
+  return state;
+}
+
+ManifestJournal::ManifestJournal(std::shared_ptr<memsys::StorageTier> tier,
+                                 std::string model_name)
+    : tier_(std::move(tier)),
+      model_name_(std::move(model_name)),
+      key_(journal_key(model_name_)) {}
+
+bool ManifestJournal::loaded() const {
+  std::lock_guard lock(mutex_);
+  return loaded_;
+}
+
+Status ManifestJournal::load() {
+  std::lock_guard lock(mutex_);
+  std::vector<std::byte> blob;
+  auto ticket = tier_->get(key_, blob);
+  if (!ticket.is_ok()) {
+    if (ticket.status().code() != StatusCode::kNotFound) return ticket.status();
+    bytes_.clear();  // fresh journal — first append creates the object
+    state_ = ManifestState{};
+    loaded_ = true;
+    durability_metrics().journal_loads.add();
+    return Status::ok();
+  }
+  auto parse = serial::parse_manifest_journal(blob);
+  state_ = fold_manifest(parse.records, parse.torn_bytes);
+  bytes_.assign(blob.begin(),
+                blob.end() - static_cast<std::ptrdiff_t>(parse.torn_bytes));
+  if (parse.torn_bytes > 0) {
+    durability_metrics().journal_torn_tails.add();
+    // Repair: republish the journal without the torn tail so the next
+    // reader does not have to re-derive the truncation.
+    const Status repaired = persist_locked(bytes_);
+    if (!repaired.is_ok()) return repaired;
+  }
+  loaded_ = true;
+  durability_metrics().journal_loads.add();
+  return Status::ok();
+}
+
+Result<serial::ManifestRecord> ManifestJournal::append(serial::ManifestOp op,
+                                                       std::uint64_t version,
+                                                       std::uint64_t size_bytes,
+                                                       std::uint32_t blob_crc,
+                                                       std::int64_t iteration) {
+  std::lock_guard lock(mutex_);
+  if (!loaded_) {
+    return failed_precondition("manifest journal for '" + model_name_ +
+                               "' used before load()");
+  }
+  serial::ManifestRecord record;
+  record.op = op;
+  record.sequence = state_.next_sequence;
+  record.version = version;
+  record.size_bytes = size_bytes;
+  record.blob_crc = blob_crc;
+  record.iteration = iteration;
+
+  serial::ByteWriter encoded;
+  serial::encode_manifest_record(record, encoded);
+
+  const std::string site =
+      std::string("durability.journal.") + std::string(op_site_suffix(op));
+  if (fault::armed() && fault::crash_point(site)) {
+    // Crash mid-append: half the record reaches the durable journal (a
+    // torn tail for the next load to truncate); the in-memory image and
+    // folded state are NOT advanced — the record never happened.
+    std::vector<std::byte> torn(bytes_);
+    const auto half = encoded.bytes().subspan(0, encoded.size() / 2);
+    torn.insert(torn.end(), half.begin(), half.end());
+    (void)persist_locked(torn);  // best effort; the "process" is dying
+    return fault::crash_status(site);
+  }
+
+  std::vector<std::byte> next(bytes_);
+  next.insert(next.end(), encoded.bytes().begin(), encoded.bytes().end());
+  VIPER_RETURN_IF_ERROR(persist_locked(next));
+  bytes_ = std::move(next);
+  state_.apply(record);
+  durability_metrics().journal_appends.add();
+  count_op(op);
+  return record;
+}
+
+Result<serial::ManifestRecord> ManifestJournal::append_intent(
+    std::uint64_t version, std::uint64_t size_bytes, std::uint32_t blob_crc,
+    std::int64_t iteration) {
+  return append(serial::ManifestOp::kIntent, version, size_bytes, blob_crc,
+                iteration);
+}
+
+Result<serial::ManifestRecord> ManifestJournal::append_commit(
+    std::uint64_t version, std::uint64_t size_bytes, std::uint32_t blob_crc,
+    std::int64_t iteration) {
+  return append(serial::ManifestOp::kCommit, version, size_bytes, blob_crc,
+                iteration);
+}
+
+Result<serial::ManifestRecord> ManifestJournal::append_retire(
+    std::uint64_t version) {
+  return append(serial::ManifestOp::kRetire, version, 0, 0, -1);
+}
+
+ManifestState ManifestJournal::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+double ManifestJournal::modeled_seconds() const {
+  std::lock_guard lock(mutex_);
+  return modeled_seconds_;
+}
+
+Status ManifestJournal::persist_locked(const std::vector<std::byte>& bytes) {
+  std::vector<std::byte> copy(bytes);  // put() consumes on success
+  auto ticket = tier_->put(key_, std::move(copy), bytes.size());
+  if (!ticket.is_ok()) return ticket.status();
+  // The append only counts as durable after the fsync barrier — charge it
+  // so the modeled producer stall includes the durability tax.
+  const double seconds = ticket.value().seconds + tier_->device().fsync_seconds();
+  modeled_seconds_ += seconds;
+  durability_metrics().journal_seconds.record(seconds);
+  return Status::ok();
+}
+
+}  // namespace viper::durability

@@ -1,0 +1,59 @@
+#include "viper/durability/retention.hpp"
+
+#include <algorithm>
+
+#include "viper/common/log.hpp"
+#include "viper/durability/metrics.hpp"
+
+namespace viper::durability {
+
+bool RetentionPolicy::keeps(std::uint64_t version,
+                            const std::vector<std::uint64_t>& newest) const {
+  if (!enabled()) return true;
+  if (keep_every != 0 && version % keep_every == 0) return true;
+  const std::size_t tail = std::min(keep_last, newest.size());
+  return std::find(newest.end() - static_cast<std::ptrdiff_t>(tail),
+                   newest.end(), version) != newest.end();
+}
+
+Result<RetentionReport> apply_retention(ManifestJournal& journal,
+                                        const RetentionPolicy& policy) {
+  RetentionReport report;
+  if (!policy.enabled()) return report;
+  if (!journal.loaded()) {
+    VIPER_RETURN_IF_ERROR(journal.load());
+  }
+  const ManifestState state = journal.state();
+  std::vector<std::uint64_t> versions;  // ascending (std::map order)
+  versions.reserve(state.committed.size());
+  for (const auto& [version, record] : state.committed) {
+    versions.push_back(version);
+  }
+  for (const auto& [version, record] : state.committed) {
+    ++report.examined;
+    if (policy.keeps(version, versions)) continue;
+    // Erase first, then RETIRE: if we die between the two, the scrubber
+    // sees a committed version with a missing blob and retires it — the
+    // same end state, reached idempotently.
+    const Status erased =
+        journal.tier().erase(checkpoint_key(journal.model_name(), version));
+    if (!erased.is_ok() && erased.code() != StatusCode::kNotFound) {
+      return erased;
+    }
+    auto retired = journal.append_retire(version);
+    if (!retired.is_ok()) return retired.status();
+    ++report.retired;
+    report.bytes_reclaimed += record.size_bytes;
+    report.retired_versions.push_back(version);
+    durability_metrics().gc_retired.add();
+    durability_metrics().gc_bytes_reclaimed.add(record.size_bytes);
+  }
+  if (report.retired > 0) {
+    VIPER_INFO << "retention GC retired " << report.retired << " version(s) of '"
+               << journal.model_name() << "' (" << report.bytes_reclaimed
+               << " bytes)";
+  }
+  return report;
+}
+
+}  // namespace viper::durability

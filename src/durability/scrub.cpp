@@ -1,0 +1,108 @@
+#include "viper/durability/scrub.hpp"
+
+#include <utility>
+
+#include "viper/common/log.hpp"
+#include "viper/durability/metrics.hpp"
+#include "viper/serial/crc32.hpp"
+#include "viper/serial/format.hpp"
+
+namespace viper::durability {
+
+Status verify_blob(std::span<const std::byte> blob,
+                   const serial::ManifestRecord& record, bool deep_verify) {
+  if (blob.size() != record.size_bytes) {
+    return data_loss("blob is " + std::to_string(blob.size()) +
+                     " bytes, manifest says " +
+                     std::to_string(record.size_bytes));
+  }
+  if (serial::crc32(blob) != record.blob_crc) {
+    return data_loss("blob CRC does not match the manifest record");
+  }
+  if (deep_verify) {
+    auto model = serial::make_format_for_blob(blob)->deserialize(blob);
+    if (!model.is_ok()) return model.status();
+  }
+  return Status::ok();
+}
+
+Result<ScrubReport> scrub_model(ManifestJournal& journal,
+                                const ScrubOptions& options) {
+  if (!journal.loaded()) {
+    VIPER_RETURN_IF_ERROR(journal.load());
+  }
+  ScrubReport report;
+  memsys::StorageTier& tier = journal.tier();
+  const std::string& model = journal.model_name();
+  const ManifestState state = journal.state();
+
+  // Interrupted flushes first: an INTENT without a COMMIT means the
+  // process died somewhere between "about to write" and "durable".
+  for (const auto& [version, intent] : state.pending) {
+    const std::string key = checkpoint_key(model, version);
+    std::vector<std::byte> blob;
+    auto ticket = tier.get(key, blob);
+    const Status verdict = ticket.is_ok()
+                               ? verify_blob(blob, intent, options.deep_verify)
+                               : ticket.status();
+    if (verdict.is_ok()) {
+      // The blob made it — the crash hit after the write but before the
+      // COMMIT record. Complete the flush.
+      auto committed = journal.append_commit(version, intent.size_bytes,
+                                             intent.blob_crc, intent.iteration);
+      if (!committed.is_ok()) return committed.status();
+      ++report.completed;
+      durability_metrics().flushes_completed.add();
+    } else {
+      // Partial, corrupt, or absent blob: the version never existed.
+      if (ticket.is_ok()) (void)tier.erase(key);
+      auto retired = journal.append_retire(version);
+      if (!retired.is_ok()) return retired.status();
+      ++report.rolled_back;
+      durability_metrics().flushes_rolled_back.add();
+      VIPER_WARN << "rolled back interrupted flush of '" << model << "' v"
+                 << version << ": " << verdict.to_string();
+    }
+  }
+
+  // Re-verify everything the journal claims exists (including flushes
+  // completed above — re-read state after the pending pass).
+  for (const auto& [version, commit] : journal.state().committed) {
+    ++report.checked;
+    durability_metrics().scrub_checked.add();
+    const std::string key = checkpoint_key(model, version);
+    std::vector<std::byte> blob;
+    auto ticket = tier.get(key, blob);
+    if (!ticket.is_ok()) {
+      ++report.missing;
+      report.missing_versions.push_back(version);
+      durability_metrics().missing_blobs.add();
+      auto retired = journal.append_retire(version);
+      if (!retired.is_ok()) return retired.status();
+      VIPER_WARN << "committed version v" << version << " of '" << model
+                 << "' has no blob on tier " << tier.name() << ": "
+                 << ticket.status().to_string();
+      continue;
+    }
+    const Status verdict = verify_blob(blob, commit, options.deep_verify);
+    if (verdict.is_ok()) {
+      ++report.verified;
+      durability_metrics().scrub_verified.add();
+      continue;
+    }
+    // Quarantine, don't delete: move the bytes aside for forensics and
+    // retire the version so nothing serves it.
+    auto moved = tier.put(quarantine_key(model, version), std::move(blob));
+    if (moved.is_ok()) (void)tier.erase(key);
+    auto retired = journal.append_retire(version);
+    if (!retired.is_ok()) return retired.status();
+    ++report.quarantined;
+    report.quarantined_versions.push_back(version);
+    durability_metrics().quarantined.add();
+    VIPER_WARN << "quarantined corrupt version v" << version << " of '"
+               << model << "': " << verdict.to_string();
+  }
+  return report;
+}
+
+}  // namespace viper::durability

@@ -14,6 +14,7 @@ struct FaultMetrics {
   obs::Counter& corruptions;
   obs::Counter& delays;
   obs::Counter& failures;
+  obs::Counter& crashes;
   obs::Counter& injections;
 };
 
@@ -23,6 +24,7 @@ FaultMetrics& fault_metrics() {
       obs::MetricsRegistry::global().counter("viper.fault.corruptions"),
       obs::MetricsRegistry::global().counter("viper.fault.delays"),
       obs::MetricsRegistry::global().counter("viper.fault.failures"),
+      obs::MetricsRegistry::global().counter("viper.fault.crashes"),
       obs::MetricsRegistry::global().counter("viper.fault.injections"),
   };
   return metrics;
@@ -40,6 +42,8 @@ std::string_view to_string(FaultKind kind) noexcept {
       return "delay";
     case FaultKind::kFail:
       return "fail";
+    case FaultKind::kCrash:
+      return "crash";
   }
   return "unknown";
 }
@@ -110,6 +114,17 @@ FaultRule FaultRule::crash(std::string site, std::uint64_t after_hits) {
   return rule;
 }
 
+FaultRule FaultRule::crash_point(std::string site, std::uint64_t nth) {
+  FaultRule rule;
+  rule.site = std::move(site);
+  rule.kind = FaultKind::kCrash;
+  rule.after_hits = nth == 0 ? 0 : nth - 1;
+  rule.max_injections = 1;
+  rule.fail_code = StatusCode::kUnavailable;
+  rule.fail_message = "simulated process crash";
+  return rule;
+}
+
 std::atomic<bool> FaultInjector::armed_{false};
 
 FaultInjector& FaultInjector::global() {
@@ -173,6 +188,11 @@ Action FaultInjector::on_site(std::string_view site, int src, int dst) {
         ++report_.failures;
         fault_metrics().failures.add();
         break;
+      case FaultKind::kCrash:
+        action.crash = true;
+        ++report_.crashes;
+        fault_metrics().crashes.add();
+        break;
     }
   }
   return action;
@@ -185,6 +205,7 @@ Status FaultInjector::fail_point(std::string_view site) {
         std::chrono::duration<double>(action.delay_seconds));
   }
   if (action.fail.has_value()) return *action.fail;
+  if (action.crash) return crash_status(site);
   if (action.drop || action.corrupt_seed != 0) {
     // No payload to lose at a status-only site; surface as unavailability
     // so the operation still observably fails.
@@ -193,9 +214,36 @@ Status FaultInjector::fail_point(std::string_view site) {
   return Status::ok();
 }
 
+Status FaultInjector::mutate_point(std::string_view site,
+                                   std::span<std::byte> payload) {
+  Action action = on_site(site);
+  if (action.delay_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(action.delay_seconds));
+  }
+  if (action.fail.has_value()) return *action.fail;
+  if (action.crash) return crash_status(site);
+  if (action.drop) return unavailable("injected fault (write dropped)");
+  if (action.corrupt_seed != 0) scramble(payload, action.corrupt_seed);
+  return Status::ok();
+}
+
+bool FaultInjector::crash_point(std::string_view site) {
+  return on_site(site).crash;
+}
+
 InjectionReport FaultInjector::report() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return report_;
+}
+
+Status crash_status(std::string_view site) {
+  return unavailable("simulated process crash at " + std::string(site));
+}
+
+bool is_crash_status(const Status& status) noexcept {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message().starts_with("simulated process crash");
 }
 
 void scramble(std::span<std::byte> payload, std::uint64_t seed) {

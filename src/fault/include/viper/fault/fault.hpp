@@ -38,6 +38,9 @@ enum class FaultKind : std::uint8_t {
   kCorrupt,  ///< payload bytes are scrambled before delivery
   kDelay,    ///< operation sleeps `delay_seconds` before proceeding
   kFail,     ///< operation returns `Status{fail_code, fail_message}`
+  kCrash,    ///< operation aborts as if the process died at this point:
+             ///< no cleanup runs, partial state is left exactly as-is
+             ///< (only honored by sites that probe crash_point())
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
@@ -82,17 +85,26 @@ struct FaultRule {
   /// Permanent hard failure of a site after `after_hits` probes — models
   /// a component crash (every later operation fails with kUnavailable).
   [[nodiscard]] static FaultRule crash(std::string site, std::uint64_t after_hits = 0);
+  /// Simulate process death at exactly the `nth` (1-based) probe of a
+  /// crash-point site: the operation aborts mid-flight and leaves any
+  /// partial state (torn temp files, journal records not yet appended)
+  /// for restart recovery to deal with. This is how the crash-matrix
+  /// tests enumerate "crash before INTENT / mid-blob / after COMMIT".
+  [[nodiscard]] static FaultRule crash_point(std::string site,
+                                             std::uint64_t nth = 1);
 };
 
 /// What a probe should do, decided by the first matching rule that fires.
 struct Action {
   bool drop = false;
+  bool crash = false;  ///< abort here simulating process death (no cleanup)
   double delay_seconds = 0.0;
   std::uint64_t corrupt_seed = 0;  ///< non-zero => scramble the payload
   std::optional<Status> fail;
 
   [[nodiscard]] bool any() const noexcept {
-    return drop || delay_seconds > 0.0 || corrupt_seed != 0 || fail.has_value();
+    return drop || crash || delay_seconds > 0.0 || corrupt_seed != 0 ||
+           fail.has_value();
   }
 };
 
@@ -121,9 +133,10 @@ struct InjectionReport {
   std::uint64_t corruptions = 0;
   std::uint64_t delays = 0;
   std::uint64_t failures = 0;
+  std::uint64_t crashes = 0;
 
   [[nodiscard]] std::uint64_t total() const noexcept {
-    return drops + corruptions + delays + failures;
+    return drops + corruptions + delays + failures + crashes;
   }
 };
 
@@ -155,6 +168,18 @@ class FaultInjector {
   /// disarmed or no rule fires.
   [[nodiscard]] Status fail_point(std::string_view site);
 
+  /// Payload-aware probe for storage sites: a kCorrupt action scrambles
+  /// `payload` in place (the silent-media-corruption model — the write
+  /// then proceeds with bad bytes) and returns OK; drop/fail/crash
+  /// surface as the injected Status; delays sleep inline.
+  [[nodiscard]] Status mutate_point(std::string_view site,
+                                    std::span<std::byte> payload);
+
+  /// Crash probe: true when a kCrash rule fires here — the caller must
+  /// abort immediately WITHOUT cleanup, leaving partial state exactly as
+  /// a dying process would.
+  [[nodiscard]] bool crash_point(std::string_view site);
+
   [[nodiscard]] InjectionReport report() const;
 
  private:
@@ -181,6 +206,25 @@ inline Status fail_point(std::string_view site) {
   if (!FaultInjector::armed()) return Status::ok();
   return FaultInjector::global().fail_point(site);
 }
+
+inline Status mutate_point(std::string_view site, std::span<std::byte> payload) {
+  if (!FaultInjector::armed()) return Status::ok();
+  return FaultInjector::global().mutate_point(site, payload);
+}
+
+inline bool crash_point(std::string_view site) {
+  if (!FaultInjector::armed()) return false;
+  return FaultInjector::global().crash_point(site);
+}
+
+/// The status a crash-point abort surfaces as (callers that cannot
+/// distinguish "crashed" from "failed" still propagate a real Status).
+[[nodiscard]] Status crash_status(std::string_view site);
+
+/// True when `status` is a crash-point abort. Cleanup and rollback paths
+/// check this: a dying process would not have rolled anything back, so
+/// neither may the code simulating it.
+[[nodiscard]] bool is_crash_status(const Status& status) noexcept;
 
 /// Deterministically flip bytes of `payload` (≥1 flip, ~1 per 64 bytes)
 /// using `seed` — the corruption applied by kCorrupt actions.

@@ -46,4 +46,12 @@ double DeviceModel::read_seconds(std::uint64_t bytes, int metadata_ops,
                           jitter_fraction, rng);
 }
 
+double DeviceModel::fsync_seconds(Rng* rng) const {
+  if (fsync_latency <= 0.0) return 0.0;
+  if (rng == nullptr || jitter_fraction <= 0.0) return fsync_latency;
+  return fsync_latency *
+         rng->clamped_normal(1.0, jitter_fraction, 1.0 - 3 * jitter_fraction,
+                             1.0 + 3 * jitter_fraction);
+}
+
 }  // namespace viper::memsys

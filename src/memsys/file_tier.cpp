@@ -11,6 +11,16 @@ namespace viper::memsys {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// Temp files are siblings of their target key with a ".tmp" suffix; they
+/// are invisible to scans and reaped on open (a crashed writer leaves one).
+bool is_temp_file(const fs::path& path) {
+  return path.extension() == ".tmp";
+}
+
+}  // namespace
+
 Result<std::unique_ptr<FileTier>> FileTier::open(fs::path root,
                                                  DeviceModel model) {
   std::error_code ec;
@@ -19,7 +29,10 @@ Result<std::unique_ptr<FileTier>> FileTier::open(fs::path root,
     return unavailable("cannot create tier root '" + root.string() +
                        "': " + ec.message());
   }
-  return std::unique_ptr<FileTier>(new FileTier(std::move(root), std::move(model)));
+  auto tier =
+      std::unique_ptr<FileTier>(new FileTier(std::move(root), std::move(model)));
+  tier->purge_stale_temps();
+  return tier;
 }
 
 Result<fs::path> FileTier::path_for(const std::string& key) const {
@@ -38,8 +51,12 @@ Result<IoTicket> FileTier::put(const std::string& key, std::vector<std::byte>&& 
                                Rng* rng) {
   const Stopwatch watch;
   if (fault::armed()) {
-    const Status injected = fault::fail_point(fault_site_put_);
-    if (!injected.is_ok()) return injected;  // blob left intact for caller
+    // A kCorrupt rule scrambles the bytes in place (silent media
+    // corruption: the write proceeds and only integrity checks catch it);
+    // drop/fail leave the blob intact for the caller to retry elsewhere.
+    const Status injected =
+        fault::mutate_point(fault_site_put_, {blob.data(), blob.size()});
+    if (!injected.is_ok()) return injected;
   }
   auto path = path_for(key);
   if (!path.is_ok()) return path.status();
@@ -56,15 +73,36 @@ Result<IoTicket> FileTier::put(const std::string& key, std::vector<std::byte>&& 
 
   // Atomic publish: write a sibling temp file, then rename over the key.
   const fs::path temp = path.value().string() + ".tmp";
+  if (fault::armed() && fault::crash_point(fault_site_put_ + ".tmp")) {
+    // Process "dies" mid-write: half the payload reaches the temp file and
+    // nothing is cleaned up — exactly the torn state a restart must reap.
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size() / 2));
+    return fault::crash_status(fault_site_put_ + ".tmp");
+  }
   {
     std::ofstream out(temp, std::ios::binary | std::ios::trunc);
     if (!out) return unavailable("cannot open '" + temp.string() + "' for write");
     out.write(reinterpret_cast<const char*>(blob.data()),
               static_cast<std::streamsize>(blob.size()));
-    if (!out) return data_loss("short write to '" + temp.string() + "'");
+    if (!out) {
+      out.close();
+      fs::remove(temp, ec);  // don't leak a torn temp on a failed write
+      return data_loss("short write to '" + temp.string() + "'");
+    }
+  }
+  if (fault::armed() && fault::crash_point(fault_site_put_ + ".publish")) {
+    // Crash after the temp is fully written but before the rename: the
+    // object was never published, the full-size temp is left behind.
+    return fault::crash_status(fault_site_put_ + ".publish");
   }
   fs::rename(temp, path.value(), ec);
-  if (ec) return unavailable("rename failed: " + ec.message());
+  if (ec) {
+    std::error_code cleanup_ec;
+    fs::remove(temp, cleanup_ec);  // don't leak the temp on a failed publish
+    return unavailable("rename failed: " + ec.message());
+  }
 
   metrics_.bytes_written.add(blob.size());
   metrics_.put_seconds.record(watch.elapsed());
@@ -125,7 +163,9 @@ std::uint64_t FileTier::used_bytes() const {
   std::error_code ec;
   for (auto it = fs::recursive_directory_iterator(root_, ec);
        !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
-    if (it->is_regular_file(ec)) total += it->file_size(ec);
+    if (it->is_regular_file(ec) && !is_temp_file(it->path())) {
+      total += it->file_size(ec);
+    }
   }
   return total;
 }
@@ -136,9 +176,27 @@ std::size_t FileTier::num_objects() const {
   std::error_code ec;
   for (auto it = fs::recursive_directory_iterator(root_, ec);
        !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
-    if (it->is_regular_file(ec)) ++count;
+    if (it->is_regular_file(ec) && !is_temp_file(it->path())) ++count;
   }
   return count;
+}
+
+std::size_t FileTier::purge_stale_temps() {
+  std::lock_guard lock(mutex_);
+  std::size_t purged = 0;
+  std::error_code ec;
+  std::vector<fs::path> stale;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec) && is_temp_file(it->path())) {
+      stale.push_back(it->path());
+    }
+  }
+  for (const auto& path : stale) {
+    std::error_code remove_ec;
+    if (fs::remove(path, remove_ec) && !remove_ec) ++purged;
+  }
+  return purged;
 }
 
 std::vector<std::string> FileTier::keys_mru() const {
@@ -153,7 +211,7 @@ std::vector<std::string> FileTier::keys_mru() const {
   std::error_code ec;
   for (auto it = fs::recursive_directory_iterator(root_, ec);
        !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
-    if (!it->is_regular_file(ec)) continue;
+    if (!it->is_regular_file(ec) || is_temp_file(it->path())) continue;
     entries.push_back({fs::relative(it->path(), root_, ec).generic_string(),
                        it->last_write_time(ec)});
   }

@@ -41,6 +41,13 @@ struct DeviceModel {
 
   double jitter_fraction = 0.0;   ///< ±fraction of bandwidth jitter (0 = exact).
 
+  /// Seconds for one durability barrier (fsync/fdatasync): the price of
+  /// *knowing* a write survives power loss, paid by the manifest journal
+  /// on every append and surfaced to the decision engine through the PFS
+  /// strategies' producer stall. 0 for volatile tiers (their contents die
+  /// with the process anyway).
+  double fsync_latency = 0.0;
+
   std::uint64_t capacity_bytes = UINT64_MAX;
 
   /// Seconds to write `bytes` in one access (plus `metadata_ops` ops).
@@ -49,6 +56,9 @@ struct DeviceModel {
   /// Seconds to read `bytes` in one access.
   [[nodiscard]] double read_seconds(std::uint64_t bytes, int metadata_ops = 0,
                                     Rng* rng = nullptr) const;
+  /// Seconds for one fsync barrier (jittered like bandwidth when an Rng
+  /// is supplied).
+  [[nodiscard]] double fsync_seconds(Rng* rng = nullptr) const;
 };
 
 }  // namespace viper::memsys

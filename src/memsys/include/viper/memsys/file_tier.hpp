@@ -36,6 +36,12 @@ class FileTier final : public StorageTier {
     return root_;
   }
 
+  /// Removes leftover "*.tmp" files — torn writes from a crashed process
+  /// that never reached the rename. Called automatically by open();
+  /// returns how many were reaped. Temp files are never visible through
+  /// keys_mru()/num_objects()/used_bytes() either way.
+  std::size_t purge_stale_temps();
+
  private:
   FileTier(std::filesystem::path root, DeviceModel model)
       : StorageTier(std::move(model)), root_(std::move(root)) {}

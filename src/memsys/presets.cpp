@@ -48,6 +48,7 @@ DeviceModel polaris_nvme() {
       .small_io_threshold = 1_MiB,
       .small_io_penalty = 100e-6,
       .jitter_fraction = 0.05,
+      .fsync_latency = 80e-6,   // NVMe flush-cache round trip
       .capacity_bytes = 1500_GiB,
   };
 }
@@ -65,6 +66,9 @@ DeviceModel polaris_lustre() {
       .small_io_threshold = 4_MiB,
       .small_io_penalty = 5e-3,
       .jitter_fraction = 0.08,
+      // Lustre client flush: force dirty pages to the OSTs and wait for
+      // the commit callback — dominated by one OST round trip.
+      .fsync_latency = 4e-3,
   };
 }
 

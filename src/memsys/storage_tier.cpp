@@ -39,8 +39,11 @@ Result<IoTicket> MemoryTier::put(const std::string& key,
                                  Rng* rng) {
   const Stopwatch watch;
   if (fault::armed()) {
-    const Status injected = fault::fail_point(fault_site_put_);
-    if (!injected.is_ok()) return injected;  // blob left intact for caller
+    // kCorrupt scrambles in place and the write proceeds (silent media
+    // corruption); drop/fail/crash leave the blob intact for the caller.
+    const Status injected =
+        fault::mutate_point(fault_site_put_, {blob.data(), blob.size()});
+    if (!injected.is_ok()) return injected;
   }
   const std::uint64_t payload = blob.size();
   if (payload > model_.capacity_bytes) {

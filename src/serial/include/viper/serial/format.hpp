@@ -7,7 +7,9 @@
 //    datasets) without depending on libhdf5.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -36,5 +38,21 @@ std::unique_ptr<CheckpointFormat> make_viper_format();
 
 /// h5py-equivalent baseline with realistic metadata/alignment overhead.
 std::unique_ptr<CheckpointFormat> make_h5like_format();
+
+/// On-disk checkpoint layouts a blob can carry.
+enum class BlobFormat : std::uint8_t { kViper, kH5Like };
+
+/// Magic-sniff a blob's format: kViper when it starts with "VSF1",
+/// kH5Like otherwise (the h5-like superblock has its own signature that
+/// deserialize validates). Blobs shorter than 4 bytes sniff as kViper so
+/// the strict viper deserializer reports the DATA_LOSS. Single source of
+/// truth for the magic shared by loader, recovery, and scrubber.
+[[nodiscard]] BlobFormat format_for_blob(
+    std::span<const std::byte> blob) noexcept;
+
+/// Sniff + construct the matching format in one step (recovery paths that
+/// do not keep prebuilt format instances).
+[[nodiscard]] std::unique_ptr<CheckpointFormat> make_format_for_blob(
+    std::span<const std::byte> blob);
 
 }  // namespace viper::serial

@@ -1,0 +1,63 @@
+// Checkpoint manifest journal codec. The durability layer records every
+// PFS flush as an append-only sequence of fixed-size, CRC-protected
+// records (write-ahead journal): INTENT before the blob is written,
+// COMMIT once the blob is durable, RETIRE when a version is garbage
+// collected, rolled back, or quarantined. The parser is torn-tail
+// tolerant: a record cut short by a crash mid-append invalidates only
+// itself — every record before it is still recovered.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/serial/byte_io.hpp"
+
+namespace viper::serial {
+
+/// Record magic "VMJ1" little-endian, distinct from checkpoint magics so
+/// a journal blob can never be mistaken for a checkpoint (or vice versa).
+inline constexpr std::uint32_t kManifestMagic = 0x314A4D56;
+
+enum class ManifestOp : std::uint8_t {
+  kIntent = 1,  ///< flush of `version` is about to start
+  kCommit = 2,  ///< blob for `version` is durable and CRC-stamped
+  kRetire = 3,  ///< version is dead (GC'd, rolled back, or quarantined)
+};
+
+[[nodiscard]] std::string_view to_string(ManifestOp op) noexcept;
+
+struct ManifestRecord {
+  ManifestOp op = ManifestOp::kIntent;
+  std::uint64_t sequence = 0;    ///< journal-assigned, strictly increasing
+  std::uint64_t version = 0;     ///< checkpoint version the record is about
+  std::uint64_t size_bytes = 0;  ///< blob size (INTENT/COMMIT)
+  std::uint32_t blob_crc = 0;    ///< CRC-32 of the blob (INTENT/COMMIT)
+  std::int64_t iteration = -1;   ///< training iteration of the capture
+};
+
+/// Encoded size of one record (fixed; the journal is seekable by index).
+inline constexpr std::size_t kManifestRecordBytes =
+    4 + 1 + 8 + 8 + 8 + 4 + 8 + 4;  // magic op seq ver size crc iter | crc
+
+/// Append one record (with its CRC trailer) to `writer`.
+void encode_manifest_record(const ManifestRecord& record, ByteWriter& writer);
+
+/// Decode one record at the reader's position. DATA_LOSS on bad magic,
+/// truncation, or CRC mismatch (reader position is then unspecified).
+Result<ManifestRecord> decode_manifest_record(ByteReader& reader);
+
+struct ManifestParse {
+  std::vector<ManifestRecord> records;  ///< every intact record, in order
+  /// Bytes at the tail that did not form an intact record (a torn append
+  /// from a crash mid-write); 0 for a clean journal.
+  std::size_t torn_bytes = 0;
+};
+
+/// Parse a whole journal blob, stopping at (and reporting) a torn tail.
+[[nodiscard]] ManifestParse parse_manifest_journal(
+    std::span<const std::byte> blob);
+
+}  // namespace viper::serial

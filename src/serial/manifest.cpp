@@ -1,0 +1,98 @@
+#include "viper/serial/manifest.hpp"
+
+#include "viper/serial/crc32.hpp"
+
+namespace viper::serial {
+
+std::string_view to_string(ManifestOp op) noexcept {
+  switch (op) {
+    case ManifestOp::kIntent: return "INTENT";
+    case ManifestOp::kCommit: return "COMMIT";
+    case ManifestOp::kRetire: return "RETIRE";
+  }
+  return "?";
+}
+
+void encode_manifest_record(const ManifestRecord& record, ByteWriter& writer) {
+  ByteWriter body;
+  body.u32(kManifestMagic);
+  body.u8(static_cast<std::uint8_t>(record.op));
+  body.u64(record.sequence);
+  body.u64(record.version);
+  body.u64(record.size_bytes);
+  body.u32(record.blob_crc);
+  body.i64(record.iteration);
+  const std::uint32_t crc = crc32(body.bytes());
+  writer.raw(body.bytes());
+  writer.u32(crc);
+}
+
+Result<ManifestRecord> decode_manifest_record(ByteReader& reader) {
+  if (reader.remaining() < kManifestRecordBytes) {
+    return data_loss("manifest record truncated");
+  }
+  const std::size_t start = reader.position();
+  auto magic = reader.u32();
+  if (!magic.is_ok()) return magic.status();
+  if (magic.value() != kManifestMagic) {
+    return data_loss("bad manifest record magic");
+  }
+  auto op = reader.u8();
+  if (!op.is_ok()) return op.status();
+  if (op.value() < static_cast<std::uint8_t>(ManifestOp::kIntent) ||
+      op.value() > static_cast<std::uint8_t>(ManifestOp::kRetire)) {
+    return data_loss("bad manifest record op");
+  }
+  ManifestRecord record;
+  record.op = static_cast<ManifestOp>(op.value());
+  auto sequence = reader.u64();
+  if (!sequence.is_ok()) return sequence.status();
+  record.sequence = sequence.value();
+  auto version = reader.u64();
+  if (!version.is_ok()) return version.status();
+  record.version = version.value();
+  auto size = reader.u64();
+  if (!size.is_ok()) return size.status();
+  record.size_bytes = size.value();
+  auto blob_crc = reader.u32();
+  if (!blob_crc.is_ok()) return blob_crc.status();
+  record.blob_crc = blob_crc.value();
+  auto iteration = reader.i64();
+  if (!iteration.is_ok()) return iteration.status();
+  record.iteration = iteration.value();
+
+  // Reconstruct the covered bytes for the CRC check: everything between
+  // `start` and the current position.
+  const std::size_t body_len = reader.position() - start;
+  auto trailer = reader.u32();
+  if (!trailer.is_ok()) return trailer.status();
+  ByteWriter body;
+  body.u32(kManifestMagic);
+  body.u8(op.value());
+  body.u64(record.sequence);
+  body.u64(record.version);
+  body.u64(record.size_bytes);
+  body.u32(record.blob_crc);
+  body.i64(record.iteration);
+  if (body.size() != body_len || crc32(body.bytes()) != trailer.value()) {
+    return data_loss("manifest record CRC mismatch");
+  }
+  return record;
+}
+
+ManifestParse parse_manifest_journal(std::span<const std::byte> blob) {
+  ManifestParse parse;
+  ByteReader reader(blob);
+  while (!reader.exhausted()) {
+    const std::size_t start = reader.position();
+    auto record = decode_manifest_record(reader);
+    if (!record.is_ok()) {
+      parse.torn_bytes = blob.size() - start;
+      break;
+    }
+    parse.records.push_back(record.value());
+  }
+  return parse;
+}
+
+}  // namespace viper::serial

@@ -112,4 +112,17 @@ std::unique_ptr<CheckpointFormat> make_viper_format() {
   return std::make_unique<ViperFormat>();
 }
 
+BlobFormat format_for_blob(std::span<const std::byte> blob) noexcept {
+  if (blob.size() < 4) return BlobFormat::kViper;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, blob.data(), 4);
+  return magic == kMagic ? BlobFormat::kViper : BlobFormat::kH5Like;
+}
+
+std::unique_ptr<CheckpointFormat> make_format_for_blob(
+    std::span<const std::byte> blob) {
+  return format_for_blob(blob) == BlobFormat::kViper ? make_viper_format()
+                                                     : make_h5like_format();
+}
+
 }  // namespace viper::serial

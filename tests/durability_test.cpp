@@ -1,0 +1,492 @@
+// Durability-layer tests: manifest-journal codec (round trip, torn-tail
+// tolerance, CRC protection), journal load/append semantics across
+// instances ("process restarts"), fold semantics, the integrity scrubber
+// (complete / roll back / quarantine), retention GC, version-counter
+// resume, duplicate-version refusal, consumer warm start, and the modeled
+// fsync cost every journal append charges.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "viper/core/consumer.hpp"
+#include "viper/core/handler.hpp"
+#include "viper/core/recovery.hpp"
+#include "viper/durability/journal.hpp"
+#include "viper/durability/metrics.hpp"
+#include "viper/durability/retention.hpp"
+#include "viper/durability/scrub.hpp"
+#include "viper/serial/crc32.hpp"
+#include "viper/serial/manifest.hpp"
+
+namespace viper::durability {
+namespace {
+
+using serial::ManifestOp;
+using serial::ManifestRecord;
+
+ManifestRecord record_of(ManifestOp op, std::uint64_t sequence,
+                         std::uint64_t version) {
+  ManifestRecord record;
+  record.op = op;
+  record.sequence = sequence;
+  record.version = version;
+  record.size_bytes = 1000 + version;
+  record.blob_crc = 0xABCD0000u + static_cast<std::uint32_t>(version);
+  record.iteration = static_cast<std::int64_t>(version) * 10;
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest codec
+// ---------------------------------------------------------------------------
+
+TEST(ManifestCodec, RoundTripsAllOps) {
+  serial::ByteWriter writer;
+  serial::encode_manifest_record(record_of(ManifestOp::kIntent, 1, 7), writer);
+  serial::encode_manifest_record(record_of(ManifestOp::kCommit, 2, 7), writer);
+  serial::encode_manifest_record(record_of(ManifestOp::kRetire, 3, 7), writer);
+  EXPECT_EQ(writer.size(), 3 * serial::kManifestRecordBytes);
+
+  const auto parse = serial::parse_manifest_journal(writer.bytes());
+  EXPECT_EQ(parse.torn_bytes, 0u);
+  ASSERT_EQ(parse.records.size(), 3u);
+  EXPECT_EQ(parse.records[0].op, ManifestOp::kIntent);
+  EXPECT_EQ(parse.records[1].op, ManifestOp::kCommit);
+  EXPECT_EQ(parse.records[2].op, ManifestOp::kRetire);
+  EXPECT_EQ(parse.records[1].sequence, 2u);
+  EXPECT_EQ(parse.records[1].version, 7u);
+  EXPECT_EQ(parse.records[1].size_bytes, 1007u);
+  EXPECT_EQ(parse.records[1].blob_crc, 0xABCD0007u);
+  EXPECT_EQ(parse.records[1].iteration, 70);
+}
+
+TEST(ManifestCodec, TornTailInvalidatesOnlyTheLastRecord) {
+  serial::ByteWriter writer;
+  serial::encode_manifest_record(record_of(ManifestOp::kIntent, 1, 1), writer);
+  serial::encode_manifest_record(record_of(ManifestOp::kCommit, 2, 1), writer);
+  serial::encode_manifest_record(record_of(ManifestOp::kIntent, 3, 2), writer);
+  auto blob = std::move(writer).take();
+  // Crash mid-append: only half of the third record reached the tier.
+  blob.resize(2 * serial::kManifestRecordBytes + serial::kManifestRecordBytes / 2);
+
+  const auto parse = serial::parse_manifest_journal(blob);
+  ASSERT_EQ(parse.records.size(), 2u);
+  EXPECT_EQ(parse.torn_bytes, serial::kManifestRecordBytes / 2);
+  EXPECT_EQ(parse.records[1].op, ManifestOp::kCommit);
+}
+
+TEST(ManifestCodec, CorruptRecordFailsItsCrc) {
+  serial::ByteWriter writer;
+  serial::encode_manifest_record(record_of(ManifestOp::kCommit, 1, 3), writer);
+  auto blob = std::move(writer).take();
+  blob[10] ^= std::byte{0x40};  // flip a bit inside the payload
+  serial::ByteReader reader(blob);
+  EXPECT_EQ(serial::decode_manifest_record(reader).status().code(),
+            StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Fold semantics
+// ---------------------------------------------------------------------------
+
+TEST(ManifestFold, IntentCommitRetireLifecycle) {
+  std::vector<ManifestRecord> records{record_of(ManifestOp::kIntent, 1, 1),
+                                      record_of(ManifestOp::kCommit, 2, 1),
+                                      record_of(ManifestOp::kIntent, 3, 2)};
+  ManifestState state = fold_manifest(records);
+  EXPECT_TRUE(state.is_committed(1));
+  EXPECT_TRUE(state.is_pending(2));
+  EXPECT_EQ(state.last_committed, 1u);
+  EXPECT_EQ(state.next_sequence, 4u);
+
+  // Retiring the committed version removes it but last_committed survives
+  // — version ids are never reused, even after GC.
+  records.push_back(record_of(ManifestOp::kRetire, 4, 1));
+  state = fold_manifest(records);
+  EXPECT_FALSE(state.is_committed(1));
+  EXPECT_EQ(state.last_committed, 1u);
+  ASSERT_EQ(state.retired.size(), 1u);
+  EXPECT_EQ(state.retired[0], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Journal object on a tier
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<memsys::StorageTier> memory_tier() {
+  return std::make_shared<memsys::MemoryTier>(memsys::polaris_lustre());
+}
+
+TEST(ManifestJournalTest, AppendsSurviveAReload) {
+  auto tier = memory_tier();
+  {
+    ManifestJournal journal(tier, "net");
+    ASSERT_TRUE(journal.load().is_ok());
+    ASSERT_TRUE(journal.append_intent(1, 64, 0xFEED, 10).is_ok());
+    ASSERT_TRUE(journal.append_commit(1, 64, 0xFEED, 10).is_ok());
+    ASSERT_TRUE(journal.append_intent(2, 64, 0xBEEF, 20).is_ok());
+  }  // "process" dies; only the tier object remains
+
+  ManifestJournal reloaded(tier, "net");
+  ASSERT_TRUE(reloaded.load().is_ok());
+  const ManifestState state = reloaded.state();
+  EXPECT_TRUE(state.is_committed(1));
+  EXPECT_TRUE(state.is_pending(2));
+  EXPECT_EQ(state.last_committed, 1u);
+  EXPECT_EQ(state.torn_bytes, 0u);
+}
+
+TEST(ManifestJournalTest, MissingObjectIsAFreshJournal) {
+  ManifestJournal journal(memory_tier(), "ghost");
+  ASSERT_TRUE(journal.load().is_ok());
+  EXPECT_TRUE(journal.state().committed.empty());
+  EXPECT_EQ(journal.state().next_sequence, 1u);
+}
+
+TEST(ManifestJournalTest, TornTailIsTruncatedAndRepairedOnLoad) {
+  auto tier = memory_tier();
+  {
+    ManifestJournal journal(tier, "net");
+    ASSERT_TRUE(journal.load().is_ok());
+    ASSERT_TRUE(journal.append_intent(1, 64, 0xFEED, 10).is_ok());
+    ASSERT_TRUE(journal.append_commit(1, 64, 0xFEED, 10).is_ok());
+  }
+  // Simulate a crash mid-append: half a record dangles off the tail.
+  const std::string key = journal_key("net");
+  std::vector<std::byte> blob;
+  ASSERT_TRUE(tier->get(key, blob).is_ok());
+  blob.resize(blob.size() + serial::kManifestRecordBytes / 2, std::byte{0x5A});
+  ASSERT_TRUE(tier->put(key, std::move(blob)).is_ok());
+
+  ManifestJournal reloaded(tier, "net");
+  ASSERT_TRUE(reloaded.load().is_ok());
+  EXPECT_EQ(reloaded.state().torn_bytes, serial::kManifestRecordBytes / 2);
+  EXPECT_TRUE(reloaded.state().is_committed(1));
+
+  // The repair republished a clean journal: a third load sees no tear.
+  ManifestJournal again(tier, "net");
+  ASSERT_TRUE(again.load().is_ok());
+  EXPECT_EQ(again.state().torn_bytes, 0u);
+  EXPECT_TRUE(again.state().is_committed(1));
+}
+
+TEST(ManifestJournalTest, AppendsChargeTheModeledFsyncBarrier) {
+  ManifestJournal journal(memory_tier(), "net");
+  ASSERT_TRUE(journal.load().is_ok());
+  ASSERT_TRUE(journal.append_intent(1, 64, 0, 0).is_ok());
+  ASSERT_TRUE(journal.append_commit(1, 64, 0, 0).is_ok());
+  // polaris_lustre models a ~4 ms fsync; two appends must cost at least
+  // two barriers (plus the tiny journal writes themselves).
+  EXPECT_GE(journal.modeled_seconds(), 2 * 3e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Scrubber
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> crc_stamped_blob(std::size_t n, std::uint8_t fill,
+                                        std::uint32_t* crc_out) {
+  std::vector<std::byte> blob(n, static_cast<std::byte>(fill));
+  *crc_out = serial::crc32(blob);
+  return blob;
+}
+
+TEST(Scrubber, CompletesAnInterruptedFlushWhoseBlobLanded) {
+  auto tier = memory_tier();
+  ManifestJournal journal(tier, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+
+  std::uint32_t crc = 0;
+  auto blob = crc_stamped_blob(256, 0xA1, &crc);
+  ASSERT_TRUE(journal.append_intent(1, blob.size(), crc, 10).is_ok());
+  ASSERT_TRUE(tier->put(checkpoint_key("net", 1), std::move(blob)).is_ok());
+  // Crash here: INTENT + durable blob, no COMMIT.
+
+  // Shallow verify only: the blob is not a real checkpoint.
+  auto report = scrub_model(journal, ScrubOptions{.deep_verify = false});
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().completed, 1u);
+  EXPECT_EQ(report.value().rolled_back, 0u);
+  EXPECT_TRUE(journal.state().is_committed(1));
+  EXPECT_FALSE(journal.state().is_pending(1));
+}
+
+TEST(Scrubber, RollsBackAnInterruptedFlushWithNoBlob) {
+  auto tier = memory_tier();
+  ManifestJournal journal(tier, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+  ASSERT_TRUE(journal.append_intent(1, 256, 0xFEED, 10).is_ok());
+  // Crash before the blob reached the tier.
+
+  auto report = scrub_model(journal, ScrubOptions{.deep_verify = false});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().completed, 0u);
+  EXPECT_EQ(report.value().rolled_back, 1u);
+  EXPECT_FALSE(journal.state().is_committed(1));
+  EXPECT_FALSE(journal.state().is_pending(1));
+  ASSERT_EQ(journal.state().retired.size(), 1u);
+}
+
+TEST(Scrubber, QuarantinesACorruptCommittedBlobInsteadOfDeletingIt) {
+  auto tier = memory_tier();
+  ManifestJournal journal(tier, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+
+  std::uint32_t crc = 0;
+  auto blob = crc_stamped_blob(256, 0xB2, &crc);
+  ASSERT_TRUE(journal.append_intent(1, blob.size(), crc, 10).is_ok());
+  auto copy = blob;
+  ASSERT_TRUE(tier->put(checkpoint_key("net", 1), std::move(copy)).is_ok());
+  ASSERT_TRUE(journal.append_commit(1, blob.size(), crc, 10).is_ok());
+
+  // Silent media corruption after the commit.
+  blob[100] ^= std::byte{0xFF};
+  ASSERT_TRUE(tier->put(checkpoint_key("net", 1), std::move(blob)).is_ok());
+
+  auto report = scrub_model(journal, ScrubOptions{.deep_verify = false});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().checked, 1u);
+  EXPECT_EQ(report.value().verified, 0u);
+  EXPECT_EQ(report.value().quarantined, 1u);
+  ASSERT_EQ(report.value().quarantined_versions.size(), 1u);
+  EXPECT_EQ(report.value().quarantined_versions[0], 1u);
+
+  // The bytes were moved, not destroyed: quarantine has them, the live
+  // checkpoint namespace does not, and the manifest retired the version.
+  EXPECT_TRUE(tier->contains(quarantine_key("net", 1)));
+  EXPECT_FALSE(tier->contains(checkpoint_key("net", 1)));
+  EXPECT_FALSE(journal.state().is_committed(1));
+  EXPECT_EQ(journal.state().last_committed, 1u);
+}
+
+TEST(Scrubber, RetiresACommittedVersionWhoseBlobVanished) {
+  auto tier = memory_tier();
+  ManifestJournal journal(tier, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+  std::uint32_t crc = 0;
+  auto blob = crc_stamped_blob(128, 0xC3, &crc);
+  ASSERT_TRUE(journal.append_intent(1, blob.size(), crc, 10).is_ok());
+  ASSERT_TRUE(tier->put(checkpoint_key("net", 1), std::move(blob)).is_ok());
+  ASSERT_TRUE(journal.append_commit(1, 128, crc, 10).is_ok());
+  ASSERT_TRUE(tier->erase(checkpoint_key("net", 1)).is_ok());
+
+  auto report = scrub_model(journal, ScrubOptions{.deep_verify = false});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().missing, 1u);
+  EXPECT_FALSE(journal.state().is_committed(1));
+}
+
+// ---------------------------------------------------------------------------
+// Retention GC
+// ---------------------------------------------------------------------------
+
+TEST(Retention, KeepsLastNAndEveryKthAnchor) {
+  auto tier = memory_tier();
+  ManifestJournal journal(tier, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    std::uint32_t crc = 0;
+    auto blob = crc_stamped_blob(100, static_cast<std::uint8_t>(v), &crc);
+    ASSERT_TRUE(journal.append_intent(v, blob.size(), crc, 0).is_ok());
+    ASSERT_TRUE(tier->put(checkpoint_key("net", v), std::move(blob)).is_ok());
+    ASSERT_TRUE(journal.append_commit(v, 100, crc, 0).is_ok());
+  }
+
+  const RetentionPolicy policy{.keep_last = 2, .keep_every = 4};
+  auto report = apply_retention(journal, policy);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+
+  // Survivors: newest two (9, 10) plus the every-4th anchors (4, 8).
+  const ManifestState state = journal.state();
+  for (std::uint64_t kept : {4u, 8u, 9u, 10u}) {
+    EXPECT_TRUE(state.is_committed(kept)) << "v" << kept;
+    EXPECT_TRUE(tier->contains(checkpoint_key("net", kept))) << "v" << kept;
+  }
+  for (std::uint64_t gone : {1u, 2u, 3u, 5u, 6u, 7u}) {
+    EXPECT_FALSE(state.is_committed(gone)) << "v" << gone;
+    EXPECT_FALSE(tier->contains(checkpoint_key("net", gone))) << "v" << gone;
+  }
+  EXPECT_EQ(report.value().retired, 6u);
+  EXPECT_EQ(report.value().bytes_reclaimed, 600u);
+  EXPECT_EQ(state.last_committed, 10u);  // GC never lowers the id floor
+
+  // Idempotent: a second pass finds nothing to do.
+  auto again = apply_retention(journal, policy);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().retired, 0u);
+}
+
+TEST(Retention, DisabledPolicyIsANoOp) {
+  auto tier = memory_tier();
+  ManifestJournal journal(tier, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+  ASSERT_TRUE(journal.append_intent(1, 8, 0, 0).is_ok());
+  ASSERT_TRUE(journal.append_commit(1, 8, 0, 0).is_ok());
+  auto report = apply_retention(journal, RetentionPolicy{});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().examined, 0u);
+  EXPECT_TRUE(journal.state().is_committed(1));
+}
+
+// ---------------------------------------------------------------------------
+// Handler integration: duplicate refusal, counter resume, warm start
+// ---------------------------------------------------------------------------
+
+Model versioned_model(std::uint64_t version) {
+  Rng rng(version + 40);
+  Model m("net");
+  m.set_version(version);
+  m.set_iteration(static_cast<std::int64_t>(version) * 100);
+  EXPECT_TRUE(
+      m.add_tensor("w", Tensor::random(DType::kF32, Shape{128}, rng).value())
+          .is_ok());
+  return m;
+}
+
+core::ModelWeightsHandler::Options async_options() {
+  core::ModelWeightsHandler::Options options;
+  options.strategy = core::Strategy::kGpuAsync;
+  return options;
+}
+
+TEST(HandlerDurability, RefusesToCommitADuplicateVersionId) {
+  auto services = std::make_shared<core::SharedServices>();
+  core::ModelWeightsHandler handler(services, async_options());
+  ASSERT_TRUE(handler.save_weights("net", versioned_model(1)).is_ok());
+  handler.drain();  // v1's COMMIT is in the journal now
+
+  const std::uint64_t refused_before =
+      durability_metrics().duplicate_versions_refused.value();
+  auto dup = handler.save_weights("net", versioned_model(1));
+  EXPECT_EQ(dup.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(durability_metrics().duplicate_versions_refused.value(),
+            refused_before + 1);
+
+  // A different explicit id still works.
+  EXPECT_TRUE(handler.save_weights("net", versioned_model(2)).is_ok());
+}
+
+TEST(HandlerDurability, RestartedProducerResumesTheVersionCounter) {
+  auto pfs = memory_tier();
+  {
+    auto services = std::make_shared<core::SharedServices>();
+    services->pfs = pfs;
+    core::ModelWeightsHandler handler(services, async_options());
+    Model model = versioned_model(0);  // version 0 => auto-assign
+    model.set_version(0);
+    ASSERT_TRUE(handler.save_weights("net", model).is_ok());
+    ASSERT_TRUE(handler.save_weights("net", model).is_ok());
+    handler.drain();
+  }  // producer dies; its metadata DB (and counter) die with it
+
+  // Fresh process, same durable tier, empty metadata DB: the counter must
+  // resume past the journal's last committed id, not re-mint v1.
+  auto services = std::make_shared<core::SharedServices>();
+  services->pfs = pfs;
+  core::ModelWeightsHandler handler(services, async_options());
+  Model model = versioned_model(0);
+  model.set_version(0);
+  auto receipt = handler.save_weights("net", model);
+  ASSERT_TRUE(receipt.is_ok()) << receipt.status().to_string();
+  EXPECT_EQ(receipt.value().metadata.version, 3u);
+  handler.drain();
+
+  {
+    durability::ManifestJournal journal(pfs, "net");
+    ASSERT_TRUE(journal.load().is_ok());
+    EXPECT_EQ(journal.state().committed.size(), 3u);
+    EXPECT_EQ(journal.state().last_committed, 3u);
+  }
+}
+
+TEST(HandlerDurability, RecoverProducerReportsScrubAndServingVersion) {
+  auto pfs = memory_tier();
+  {
+    auto services = std::make_shared<core::SharedServices>();
+    services->pfs = pfs;
+    core::ModelWeightsHandler handler(services, async_options());
+    for (std::uint64_t v = 1; v <= 2; ++v) {
+      ASSERT_TRUE(handler.save_weights("net", versioned_model(v)).is_ok());
+    }
+    handler.drain();
+    // Leave a dangling INTENT behind, as a crash mid-flush would.
+    durability::ManifestJournal journal(pfs, "net");
+    ASSERT_TRUE(journal.load().is_ok());
+    ASSERT_TRUE(journal.append_intent(3, 999, 0xDEAD, 300).is_ok());
+  }
+
+  auto services = std::make_shared<core::SharedServices>();
+  services->pfs = pfs;
+  auto report = core::recover_producer(*services, "net");
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().journal_found);
+  EXPECT_EQ(report.value().scrub.rolled_back, 1u);  // the dangling v3
+  EXPECT_EQ(report.value().last_committed, 2u);
+  EXPECT_EQ(report.value().serving_version, 2u);
+  // Metadata was repaired to the recovered version.
+  auto metadata = core::get_metadata(services->metadata_db, "net");
+  ASSERT_TRUE(metadata.is_ok());
+  EXPECT_EQ(metadata.value().version, 2u);
+  EXPECT_EQ(metadata.value().location, core::Location::kPfs);
+}
+
+TEST(HandlerDurability, ConsumerWarmStartsFromTheNewestCommittedVersion) {
+  auto pfs = memory_tier();
+  Model last = versioned_model(2);
+  {
+    auto services = std::make_shared<core::SharedServices>();
+    services->pfs = pfs;
+    core::ModelWeightsHandler handler(services, async_options());
+    ASSERT_TRUE(handler.save_weights("net", versioned_model(1)).is_ok());
+    ASSERT_TRUE(handler.save_weights("net", last).is_ok());
+    handler.drain();
+  }  // producer gone
+
+  auto services = std::make_shared<core::SharedServices>();
+  services->pfs = pfs;
+  auto world = net::CommWorld::create(1);
+  core::InferenceConsumer::Options options;
+  options.warm_start = true;
+  core::InferenceConsumer consumer(services, world->comm(0), "net", options);
+  consumer.start();
+  EXPECT_TRUE(consumer.warm_started());
+  EXPECT_EQ(consumer.active_version(), 2u);
+  ASSERT_NE(consumer.active_model(), nullptr);
+  EXPECT_TRUE(consumer.active_model()->same_weights(last));
+  consumer.stop();
+}
+
+TEST(HandlerDurability, RetentionPolicyBoundsThePfsFootprint) {
+  auto services = std::make_shared<core::SharedServices>();
+  auto options = async_options();
+  options.retention.keep_last = 2;
+  core::ModelWeightsHandler handler(services, options);
+  for (std::uint64_t v = 1; v <= 5; ++v) {
+    ASSERT_TRUE(handler.save_weights("net", versioned_model(v)).is_ok());
+  }
+  handler.drain();
+
+  durability::ManifestJournal journal(services->pfs, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+  const ManifestState state = journal.state();
+  EXPECT_EQ(state.committed.size(), 2u);
+  EXPECT_TRUE(state.is_committed(4));
+  EXPECT_TRUE(state.is_committed(5));
+  EXPECT_FALSE(services->pfs->contains(checkpoint_key("net", 1)));
+  EXPECT_TRUE(services->pfs->contains(checkpoint_key("net", 5)));
+  EXPECT_EQ(state.last_committed, 5u);
+}
+
+TEST(HandlerDurability, JournalingDisabledLeavesThePfsBare) {
+  auto services = std::make_shared<core::SharedServices>();
+  auto options = async_options();
+  options.journal_flushes = false;
+  core::ModelWeightsHandler handler(services, options);
+  ASSERT_TRUE(handler.save_weights("net", versioned_model(1)).is_ok());
+  handler.drain();
+  EXPECT_FALSE(services->pfs->contains(journal_key("net")));
+  EXPECT_TRUE(services->pfs->contains(checkpoint_key("net", 1)));
+}
+
+}  // namespace
+}  // namespace viper::durability

@@ -114,6 +114,25 @@ TEST(FaultInjector, PartitionScopesToRankPairAndWindow) {
   EXPECT_EQ(injector.report().drops, 2u);
 }
 
+TEST(FaultInjector, CrashPointFiresOnTheNthProbeOnly) {
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(1).add(fault::FaultRule::crash_point("proc.site", 2))};
+  EXPECT_FALSE(fault::crash_point("proc.site"));
+  EXPECT_TRUE(fault::crash_point("proc.site"));
+  EXPECT_FALSE(fault::crash_point("proc.site"));  // a process dies only once
+  EXPECT_EQ(fault::FaultInjector::global().report().crashes, 1u);
+}
+
+TEST(FaultInjector, CrashStatusIsDistinguishableFromOrdinaryFailure) {
+  const Status crashed = fault::crash_status("durability.flush.begin");
+  EXPECT_EQ(crashed.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(fault::is_crash_status(crashed));
+  // Rollback paths must treat ordinary failures differently from a
+  // simulated death — a dying process runs no rollback.
+  EXPECT_FALSE(fault::is_crash_status(unavailable("tier down")));
+  EXPECT_FALSE(fault::is_crash_status(Status::ok()));
+}
+
 TEST(FaultInjector, ScrambleAlwaysChangesThePayload) {
   std::vector<std::byte> payload(256, std::byte{0});
   const auto original = payload;

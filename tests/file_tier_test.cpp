@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "viper/core/recovery.hpp"
 #include "viper/memsys/file_tier.hpp"
@@ -102,6 +103,37 @@ TEST_F(FileTierTest, NoTempFilesLeftBehind) {
       EXPECT_EQ(entry.path().extension(), "") << entry.path();
     }
   }
+}
+
+TEST_F(FileTierTest, StaleTempsAreInvisibleToScansAndPurged) {
+  auto tier = open();
+  ASSERT_TRUE(tier->put("ckpt/net/v1", blob_of(100)).is_ok());
+
+  // A crashed writer's leftover: a torn temp next to the object.
+  {
+    std::ofstream torn(root_ / "ckpt" / "net" / "v2.tmp", std::ios::binary);
+    torn << "half a checkpoint";
+  }
+
+  // Scans never report the temp as an object.
+  EXPECT_EQ(tier->num_objects(), 1u);
+  EXPECT_EQ(tier->used_bytes(), 100u);
+  const auto keys = tier->keys_mru();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "ckpt/net/v1");
+
+  // An explicit purge reaps it...
+  EXPECT_EQ(tier->purge_stale_temps(), 1u);
+  EXPECT_FALSE(fs::exists(root_ / "ckpt" / "net" / "v2.tmp"));
+
+  // ...and so does reopening the tier (restart recovery).
+  {
+    std::ofstream torn(root_ / "ckpt" / "net" / "v3.tmp", std::ios::binary);
+    torn << "another torn write";
+  }
+  auto reopened = open();
+  EXPECT_FALSE(fs::exists(root_ / "ckpt" / "net" / "v3.tmp"));
+  EXPECT_EQ(reopened->num_objects(), 1u);
 }
 
 TEST_F(FileTierTest, KeysMruNewestFirst) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "viper/core/recovery.hpp"
+#include "viper/durability/journal.hpp"
+#include "viper/fault/fault.hpp"
 
 namespace viper::core {
 namespace {
@@ -89,6 +91,70 @@ TEST(Recovery, SkipsCorruptedNewestVersion) {
   EXPECT_TRUE(recovered.value().model.same_weights(v2));
   ASSERT_EQ(recovered.value().skipped_corrupt.size(), 1u);
   EXPECT_EQ(recovered.value().skipped_corrupt[0], 3u);
+}
+
+TEST(Recovery, TruncatedNewestVersionIsQuarantinedNotDeleted) {
+  Rig rig;
+  auto handler = rig.handler();
+  Model v2 = versioned_model(2);
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    ASSERT_TRUE(handler->save_weights("net", versioned_model(v)).is_ok());
+  }
+  handler->drain();
+  // Torn flush: only half of v3 survived on the PFS.
+  {
+    std::vector<std::byte> blob;
+    ASSERT_TRUE(rig.services->pfs->get("ckpt/net/v3", blob).is_ok());
+    blob.resize(blob.size() / 2);
+    ASSERT_TRUE(rig.services->pfs->put("ckpt/net/v3", std::move(blob)).is_ok());
+  }
+
+  auto recovered = recover_latest(*rig.services, "net");
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  EXPECT_EQ(recovered.value().version, 2u);
+  EXPECT_TRUE(recovered.value().model.same_weights(v2));
+  ASSERT_EQ(recovered.value().skipped_corrupt.size(), 1u);
+  EXPECT_EQ(recovered.value().skipped_corrupt[0], 3u);
+
+  // Quarantine accounting: the torn bytes were moved, never deleted, and
+  // the manifest no longer claims v3 exists.
+  EXPECT_TRUE(rig.services->pfs->contains("quarantine/net/v3"));
+  EXPECT_FALSE(rig.services->pfs->contains("ckpt/net/v3"));
+  durability::ManifestJournal journal(rig.services->pfs, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+  EXPECT_FALSE(journal.state().is_committed(3));
+  EXPECT_EQ(journal.state().last_committed, 3u);  // the id is never reused
+}
+
+TEST(Recovery, SilentFlushCorruptionIsCaughtByTheScrubber) {
+  Rig rig;
+  auto handler = rig.handler();
+  Model v1 = versioned_model(1);
+  ASSERT_TRUE(handler->save_weights("net", v1).is_ok());
+  handler->drain();
+
+  {
+    // Silent media corruption on the NEXT PFS write of a checkpoint blob.
+    // Each journaled flush puts three objects — journal INTENT, blob,
+    // journal COMMIT — so skip one matching probe and corrupt the 2nd.
+    fault::FaultRule rule = fault::FaultRule::corrupt("memsys.lustre-pfs.put");
+    rule.after_hits = 1;
+    rule.max_injections = 1;
+    fault::ScopedPlan chaos{fault::FaultPlan(0xBAD).add(std::move(rule))};
+    ASSERT_TRUE(handler->save_weights("net", versioned_model(2)).is_ok());
+    handler->drain();
+    EXPECT_EQ(fault::FaultInjector::global().report().corruptions, 1u);
+  }
+
+  // The write "succeeded", so v2 is committed — only recovery's integrity
+  // scrub can tell the bytes rotted. It must fall back to v1.
+  auto recovered = recover_latest(*rig.services, "net");
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  EXPECT_EQ(recovered.value().version, 1u);
+  EXPECT_TRUE(recovered.value().model.same_weights(v1));
+  ASSERT_EQ(recovered.value().skipped_corrupt.size(), 1u);
+  EXPECT_EQ(recovered.value().skipped_corrupt[0], 2u);
+  EXPECT_TRUE(rig.services->pfs->contains("quarantine/net/v2"));
 }
 
 TEST(Recovery, AllCorruptIsDataLoss) {

@@ -18,6 +18,11 @@
 //   viper_cli recover --model tc1 --pfs-dir DIR
 //       in a fresh process: scan DIR, recover the newest intact flushed
 //       checkpoint, report its version/iteration.
+//   viper_cli scrub --model tc1 --pfs-dir DIR [--keep-last N] [--keep-every K]
+//       replay the manifest journal against DIR: complete or roll back
+//       interrupted flushes, verify every committed blob's CRC, quarantine
+//       corrupt ones, then (optionally) garbage-collect retired versions
+//       under a keep-last-N / keep-every-Kth retention policy.
 //   viper_cli metrics --app tc1 --iters 200 --interval 25
 //                     [--json FILE] [--chrome-trace FILE]
 //       drive the real engine with tracing on, then dump the metrics
@@ -32,6 +37,9 @@
 #include "viper/common/units.hpp"
 #include "viper/core/coupled_sim.hpp"
 #include "viper/core/recovery.hpp"
+#include "viper/durability/journal.hpp"
+#include "viper/durability/retention.hpp"
+#include "viper/durability/scrub.hpp"
 #include "viper/core/workflow.hpp"
 #include "viper/memsys/file_tier.hpp"
 #include "viper/core/tlp.hpp"
@@ -46,12 +54,13 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <list|plan|run|latency|live|recover|metrics> "
+               "usage: %s <list|plan|run|latency|live|recover|scrub|metrics> "
                "[--app NAME]\n"
                "       [--schedule "
                "KIND]\n               [--strategy NAME] [--adapter] [--refit N] "
                "[--jitter] [--seed N]\n               [--json FILE] "
-               "[--chrome-trace FILE]\n",
+               "[--chrome-trace FILE]\n               [--pfs-dir DIR] "
+               "[--model NAME] [--keep-last N] [--keep-every K]\n",
                argv0);
   return 2;
 }
@@ -101,6 +110,8 @@ struct CliArgs {
   std::string model_name = "model";
   std::int64_t iters = 200;
   std::int64_t interval = 25;
+  std::uint64_t keep_last = 0;
+  std::uint64_t keep_every = 0;
 };
 
 std::optional<CliArgs> parse(int argc, char** argv) {
@@ -166,6 +177,14 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       args.interval = std::strtoll(v, nullptr, 10);
+    } else if (flag == "--keep-last") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.keep_last = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--keep-every") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.keep_every = std::strtoull(v, nullptr, 10);
     } else {
       return std::nullopt;
     }
@@ -407,6 +426,75 @@ int cmd_recover(const CliArgs& args) {
   return 0;
 }
 
+int cmd_scrub(const CliArgs& args) {
+  if (args.pfs_dir.empty()) {
+    std::fprintf(stderr, "scrub requires --pfs-dir\n");
+    return 2;
+  }
+  auto opened = memsys::FileTier::open(args.pfs_dir, memsys::polaris_lustre());
+  if (!opened.is_ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().to_string().c_str());
+    return 1;
+  }
+  std::shared_ptr<memsys::FileTier> tier = std::move(opened).value();
+  const std::size_t purged = tier->purge_stale_temps();
+  if (purged > 0) {
+    std::printf("purged %zu stale temp file(s)\n", purged);
+  }
+
+  durability::ManifestJournal journal(tier, args.model_name);
+  if (auto loaded = journal.load(); !loaded.is_ok()) {
+    std::fprintf(stderr, "journal load failed: %s\n",
+                 loaded.to_string().c_str());
+    return 1;
+  }
+  auto scrubbed = durability::scrub_model(journal);
+  if (!scrubbed.is_ok()) {
+    std::fprintf(stderr, "scrub failed: %s\n",
+                 scrubbed.status().to_string().c_str());
+    return 1;
+  }
+  const durability::ScrubReport& report = scrubbed.value();
+  std::printf("scrubbed '%s': %llu checked, %llu verified, "
+              "%llu completed, %llu rolled back\n",
+              args.model_name.c_str(),
+              static_cast<unsigned long long>(report.checked),
+              static_cast<unsigned long long>(report.verified),
+              static_cast<unsigned long long>(report.completed),
+              static_cast<unsigned long long>(report.rolled_back));
+  for (auto v : report.quarantined_versions) {
+    std::printf("  v%llu corrupt -> quarantine/%s/v%llu\n",
+                static_cast<unsigned long long>(v), args.model_name.c_str(),
+                static_cast<unsigned long long>(v));
+  }
+  for (auto v : report.missing_versions) {
+    std::printf("  v%llu missing, retired from the manifest\n",
+                static_cast<unsigned long long>(v));
+  }
+
+  const durability::RetentionPolicy policy{.keep_last = args.keep_last,
+                                           .keep_every = args.keep_every};
+  if (policy.enabled()) {
+    auto retained = durability::apply_retention(journal, policy);
+    if (!retained.is_ok()) {
+      std::fprintf(stderr, "retention failed: %s\n",
+                   retained.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("retention: %llu of %llu committed version(s) retired, "
+                "%s reclaimed\n",
+                static_cast<unsigned long long>(retained.value().retired),
+                static_cast<unsigned long long>(retained.value().examined),
+                format_bytes(retained.value().bytes_reclaimed).c_str());
+  }
+
+  const durability::ManifestState state = journal.state();
+  std::printf("manifest: %zu committed, last committed v%llu\n",
+              state.committed.size(),
+              static_cast<unsigned long long>(state.last_committed));
+  return report.clean() ? 0 : 1;
+}
+
 bool write_file(const std::string& path, const std::string& contents,
                 const char* what) {
   std::FILE* file = std::fopen(path.c_str(), "w");
@@ -481,6 +569,7 @@ int main(int argc, char** argv) {
   if (args->command == "latency") return cmd_latency(*args);
   if (args->command == "live") return cmd_live(*args);
   if (args->command == "recover") return cmd_recover(*args);
+  if (args->command == "scrub") return cmd_scrub(*args);
   if (args->command == "metrics") return cmd_metrics(*args);
   return usage(argv[0]);
 }
