@@ -1,8 +1,26 @@
 // Micro-benchmarks of the checkpoint serializers: lean Viper format vs the
 // h5py-like baseline, plus blob-size overhead counters — the mechanism
 // behind the fig8 "Viper-PFS beats h5py" margin.
+//
+// Besides the google-benchmark suite, `--smoke` runs a short steady-state
+// measurement of the pooled zero-copy path and writes a flat JSON report
+// (`--out`, default BENCH_serialization.json) with serialize/CRC
+// throughput and per-checkpoint allocation/copy counts. With
+// `--baseline <path>` it records the first run's numbers and fails later
+// runs that regress serialize throughput by >20% or allocate more than
+// twice per steady-state capture — the perf gate scripts/verify.sh runs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "viper/serial/buffer_pool.hpp"
+#include "viper/serial/crc32.hpp"
 #include "viper/serial/format.hpp"
 #include "viper/tensor/architectures.hpp"
 
@@ -47,6 +65,33 @@ void BM_SerializeH5Like(benchmark::State& state) {
 }
 BENCHMARK(BM_SerializeH5Like)->Range(1 << 14, 1 << 24);
 
+// The steady-state capture path: serialize into a pooled buffer that the
+// previous iteration returned — zero large allocations per version.
+void BM_SerializeViperPooled(benchmark::State& state) {
+  auto format = make_viper_format();
+  const Model model = model_of_bytes(state.range(0), 10);
+  for (auto _ : state) {
+    auto buffer = format->serialize_pooled(model);
+    benchmark::DoNotOptimize(buffer);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SerializeViperPooled)->Range(1 << 14, 1 << 24);
+
+void BM_Crc32(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : data) b = static_cast<std::byte>(rng.uniform_int(0, 255));
+  for (auto _ : state) {
+    auto crc = crc32(data);
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Range(1 << 14, 1 << 24);
+
 template <typename MakeFormat>
 void deserialize_bench(benchmark::State& state, MakeFormat make_format) {
   auto format = make_format();
@@ -64,6 +109,21 @@ void BM_DeserializeViper(benchmark::State& state) {
   deserialize_bench(state, make_viper_format);
 }
 BENCHMARK(BM_DeserializeViper)->Range(1 << 14, 1 << 24);
+
+// Zero-copy decode: tensors borrow their payloads from the shared blob.
+void BM_DeserializeViperShared(benchmark::State& state) {
+  auto format = make_viper_format();
+  const Model model = model_of_bytes(state.range(0), 10);
+  const auto blob = std::make_shared<const std::vector<std::byte>>(
+      format->serialize(model).value());
+  for (auto _ : state) {
+    auto restored = format->deserialize_shared(blob);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DeserializeViperShared)->Range(1 << 14, 1 << 24);
 
 void BM_DeserializeH5Like(benchmark::State& state) {
   deserialize_bench(state, make_h5like_format);
@@ -85,7 +145,170 @@ void BM_SerializeRealArchitecture(benchmark::State& state) {
 }
 BENCHMARK(BM_SerializeRealArchitecture)->DenseRange(0, 3);
 
+// --- smoke mode -----------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Pull `"key": <number>` out of a flat JSON document; NaN if absent.
+double json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+struct SmokeReport {
+  double serialize_bytes_per_sec = 0.0;
+  double crc_bytes_per_sec = 0.0;
+  double allocs_per_checkpoint = 0.0;
+  double bytes_copied_per_checkpoint = 0.0;
+  double payload_bytes = 0.0;
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\n"
+        << "  \"serialize_bytes_per_sec\": " << serialize_bytes_per_sec
+        << ",\n"
+        << "  \"crc_bytes_per_sec\": " << crc_bytes_per_sec << ",\n"
+        << "  \"allocs_per_checkpoint\": " << allocs_per_checkpoint << ",\n"
+        << "  \"bytes_copied_per_checkpoint\": " << bytes_copied_per_checkpoint
+        << ",\n"
+        << "  \"payload_bytes\": " << payload_bytes << "\n"
+        << "}\n";
+    return out.str();
+  }
+};
+
+SmokeReport measure_smoke() {
+  constexpr std::int64_t kPayloadBytes = 16 << 20;
+  constexpr int kIters = 24;
+  auto format = make_viper_format();
+  const Model model = model_of_bytes(kPayloadBytes, 10);
+
+  // Prime the pool: steady state is "the previous version's buffer is
+  // back in the pool by the time the next capture starts".
+  for (int i = 0; i < 3; ++i) {
+    auto buffer = format->serialize_pooled(model);
+    benchmark::DoNotOptimize(buffer);
+  }
+
+  SerialMetrics& metrics = serial_metrics();
+  const std::uint64_t allocs0 = metrics.allocations.value();
+  const std::uint64_t copied0 = metrics.bytes_copied.value();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    auto buffer = format->serialize_pooled(model);
+    benchmark::DoNotOptimize(buffer);
+  }
+  const double serialize_secs = seconds_since(t0);
+  const std::uint64_t allocs = metrics.allocations.value() - allocs0;
+  const std::uint64_t copied = metrics.bytes_copied.value() - copied0;
+
+  std::vector<std::byte> crc_data(static_cast<std::size_t>(kPayloadBytes));
+  Rng rng(7);
+  for (auto& b : crc_data) b = static_cast<std::byte>(rng.uniform_int(0, 255));
+  const auto t1 = std::chrono::steady_clock::now();
+  std::uint32_t crc_fold = 0;
+  for (int i = 0; i < kIters; ++i) {
+    crc_fold ^= crc32(crc_data);
+    benchmark::DoNotOptimize(crc_fold);
+  }
+  const double crc_secs = seconds_since(t1);
+
+  SmokeReport report;
+  report.payload_bytes = static_cast<double>(kPayloadBytes);
+  report.serialize_bytes_per_sec =
+      static_cast<double>(kPayloadBytes) * kIters / serialize_secs;
+  report.crc_bytes_per_sec =
+      static_cast<double>(kPayloadBytes) * kIters / crc_secs;
+  report.allocs_per_checkpoint = static_cast<double>(allocs) / kIters;
+  report.bytes_copied_per_checkpoint = static_cast<double>(copied) / kIters;
+  return report;
+}
+
+int run_smoke(const std::string& out_path, const std::string& baseline_path) {
+  const SmokeReport report = measure_smoke();
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+  }
+  std::printf("serialize %.0f MB/s, crc %.0f MB/s, %.2f allocs, %.0f copied "
+              "bytes per checkpoint (%s)\n",
+              report.serialize_bytes_per_sec / 1e6,
+              report.crc_bytes_per_sec / 1e6, report.allocs_per_checkpoint,
+              report.bytes_copied_per_checkpoint, out_path.c_str());
+
+  // The pooled steady state serializes headers + payload into a reused
+  // buffer; anything above 2 allocations per capture means the pool or the
+  // reserve-exact writers regressed.
+  if (report.allocs_per_checkpoint > 2.0) {
+    std::fprintf(stderr, "FAIL: %.2f allocations per steady-state checkpoint "
+                         "(budget: 2)\n",
+                 report.allocs_per_checkpoint);
+    return 1;
+  }
+
+  if (baseline_path.empty()) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot record baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+    std::printf("recorded baseline %s\n", baseline_path.c_str());
+    return 0;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const double base = json_number(buffer.str(), "serialize_bytes_per_sec");
+  if (std::isnan(base) || base <= 0.0) {
+    std::fprintf(stderr, "FAIL: baseline %s has no serialize_bytes_per_sec\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  if (report.serialize_bytes_per_sec < 0.8 * base) {
+    std::fprintf(stderr, "FAIL: serialize throughput %.0f MB/s is <80%% of "
+                         "baseline %.0f MB/s\n",
+                 report.serialize_bytes_per_sec / 1e6, base / 1e6);
+    return 1;
+  }
+  std::printf("baseline OK (%.0f MB/s vs %.0f MB/s recorded)\n",
+              report.serialize_bytes_per_sec / 1e6, base / 1e6);
+  return 0;
+}
+
 }  // namespace
 }  // namespace viper::serial
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serialization.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  if (smoke) return viper::serial::run_smoke(out_path, baseline_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,16 @@
 // Micro-benchmarks of the chunked streaming transport and the comm layer.
+//
+// `--smoke` runs a short stream round-trip measurement and writes a flat
+// JSON report (`--out`, default BENCH_stream.json) with end-to-end
+// bytes/sec — machine-readable perf evidence next to the serializer's
+// BENCH_serialization.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <thread>
 
 #include "viper/common/rng.hpp"
@@ -71,7 +81,76 @@ void BM_StreamRelayChain(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamRelayChain)->Arg(1)->Arg(3);
 
+int run_smoke(const std::string& out_path) {
+  constexpr std::size_t kPayloadBytes = 4 << 20;
+  constexpr int kIters = 16;
+  auto world = CommWorld::create(2);
+  const auto payload = payload_of(kPayloadBytes);
+  StreamOptions options;
+  options.chunk_bytes = 256 << 10;
+
+  // One warm-up round trip before the timed loop.
+  std::thread warm([&] { (void)stream_send(world->comm(0), 1, 7, payload, options); });
+  auto warm_recv = stream_recv(world->comm(1), 0, 7, options);
+  warm.join();
+  if (!warm_recv.is_ok()) {
+    std::fprintf(stderr, "stream warm-up failed: %s\n",
+                 std::string(warm_recv.status().message()).c_str());
+    return 1;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    std::thread sender([&] {
+      (void)stream_send(world->comm(0), 1, 7, payload, options);
+    });
+    auto received = stream_recv(world->comm(1), 0, 7, options);
+    sender.join();
+    if (!received.is_ok()) {
+      std::fprintf(stderr, "stream round trip failed: %s\n",
+                   std::string(received.status().message()).c_str());
+      return 1;
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double bytes_per_sec =
+      static_cast<double>(kPayloadBytes) * kIters / secs;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.precision(17);
+  out << "{\n"
+      << "  \"stream_bytes_per_sec\": " << bytes_per_sec << ",\n"
+      << "  \"chunk_bytes\": " << options.chunk_bytes << ",\n"
+      << "  \"payload_bytes\": " << kPayloadBytes << "\n"
+      << "}\n";
+  std::printf("stream %.0f MB/s end-to-end (%s)\n", bytes_per_sec / 1e6,
+              out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace viper::net
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_stream.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (smoke) return viper::net::run_smoke(out_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

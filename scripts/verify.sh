@@ -25,6 +25,15 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)" -L quick
 
+echo "=== perf smoke: pooled serialize throughput vs recorded baseline ==="
+# First run records build/BENCH_serialization.baseline.json; later runs fail
+# if serialize throughput drops below 80% of it or the steady-state capture
+# allocates more than twice.
+./build/bench/micro_serialization --smoke \
+  --out build/BENCH_serialization.json \
+  --baseline build/BENCH_serialization.baseline.json
+./build/bench/micro_stream --smoke --out build/BENCH_stream.json
+
 if [[ "$SKIP_LONG" == 1 ]]; then
   echo "=== long suites skipped (--skip-long) ==="
 else
@@ -53,10 +62,12 @@ cmake -B build-tsan -S . \
   -DVIPER_BUILD_BENCH=OFF \
   -DVIPER_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j \
-  --target obs_test stress_test fault_injection_test durability_test >/dev/null
+  --target obs_test stress_test fault_injection_test durability_test \
+           buffer_pool_test >/dev/null
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/stress_test
 ./build-tsan/tests/fault_injection_test
 ./build-tsan/tests/durability_test
+./build-tsan/tests/buffer_pool_test
 
 echo "=== verify OK ==="

@@ -128,15 +128,19 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
   Stopwatch watch;
   auto capture_span = obs::Tracer::global().span("capture", "producer");
 
-  // Capture: serialize the weights (this is the real checkpoint copy).
-  Result<std::vector<std::byte>> blob = [&] {
+  // Capture: serialize the weights into a pooled buffer (this is the real
+  // checkpoint copy — and at a steady cadence the only allocation-free
+  // one: the buffer is reused across versions). share() turns it into the
+  // refcounted blob every downstream stage aliases.
+  Result<serial::PooledBuffer> captured = [&] {
     const Stopwatch serialize_watch;
     auto serialize_span = obs::Tracer::global().span("serialize", "producer");
-    auto out = format_->serialize(model);
+    auto out = format_->serialize_pooled(model);
     engine_metrics().serialize_seconds.record(serialize_watch.elapsed());
     return out;
   }();
-  if (!blob.is_ok()) return blob.status();
+  if (!captured.is_ok()) return captured.status();
+  serial::SharedBlob blob = std::move(captured).value().share();
 
   const Location location = strategy_location(options_.strategy);
 
@@ -174,7 +178,7 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
   metadata.location = location;
   metadata.path = location == Location::kPfs ? pfs_path(model_name, version)
                                              : memory_path(model_name);
-  metadata.size_bytes = blob.value().size();
+  metadata.size_bytes = blob->size();
   metadata.cost_bytes = model.cost_bytes();
   metadata.iteration = model.iteration();
   metadata.train_loss = train_loss;
@@ -191,7 +195,7 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
   total_stall_.fetch_add(costs.producer_stall, std::memory_order_relaxed);
   services_->stats->on_save(metadata.size_bytes, costs.producer_stall);
 
-  Staged staged{model_name, std::move(blob).value(), metadata};
+  Staged staged{model_name, std::move(blob), metadata};
 
   if (strategy_is_async(options_.strategy)) {
     // Training resumes now; the engine thread finishes the update.
@@ -220,16 +224,11 @@ Status ModelWeightsHandler::commit(Staged staged) {
   auto commit_span = obs::Tracer::global().span("commit", "producer");
   ModelMetadata& metadata = staged.metadata;
 
-  // Capture the fault-tolerance flush copy before the blob is consumed by
-  // a tier; the flush is submitted only after the store lands.
-  std::vector<std::byte> flush_blob;
-  if (options_.flush_to_pfs && metadata.location != Location::kPfs) {
-    flush_blob = staged.blob;
-  }
-
   // Degradation ladder (paper's GPU→host→PFS fallback): try the
-  // strategy's preferred tier first, then each slower tier. A failed put
-  // leaves the blob intact (StorageTier contract), so no copies here.
+  // strategy's preferred tier first, then each slower tier. put_shared
+  // never consumes the caller's reference, so a failed rung retries the
+  // same bytes — and the background flush later aliases the same blob —
+  // without a single payload copy.
   struct Step {
     Location location;
     memsys::StorageTier* tier;
@@ -263,11 +262,10 @@ Status ModelWeightsHandler::commit(Staged staged) {
       if (step.location == Location::kPfs) {
         // Durable rung: the store is journaled (INTENT → blob → COMMIT)
         // so a crash mid-store is recoverable from the manifest.
-        VIPER_RETURN_IF_ERROR(
-            store_pfs_journaled(metadata, std::move(staged.blob)));
+        VIPER_RETURN_IF_ERROR(store_pfs_journaled(metadata, staged.blob));
         return memsys::IoTicket{};
       }
-      return step.tier->put(path, std::move(staged.blob), metadata.cost_bytes);
+      return step.tier->put_shared(path, staged.blob, metadata.cost_bytes);
     }();
     if (ticket.is_ok()) {
       stored = true;
@@ -294,9 +292,10 @@ Status ModelWeightsHandler::commit(Staged staged) {
   // landed on the PFS (preferred or fully degraded).
   if (options_.flush_to_pfs && metadata.location != Location::kPfs) {
     // Safe to capture `this`: the destructor shuts the flusher down (and
-    // drains its queue) before any member is destroyed.
+    // drains its queue) before any member is destroyed. The lambda holds
+    // a reference to the same capture blob the tier stored — no clone.
     flusher_.submit([this, meta = metadata,
-                     flush_blob = std::move(flush_blob)]() mutable {
+                     flush_blob = std::move(staged.blob)]() mutable {
       const Stopwatch flush_watch;
       auto flush_span = obs::Tracer::global().span("flush", "producer");
       const Status status = store_pfs_journaled(meta, std::move(flush_blob));
@@ -380,11 +379,11 @@ ModelWeightsHandler::journal_for(const std::string& model_name) {
 }
 
 Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
-                                                std::vector<std::byte>&& blob) {
+                                                serial::SharedBlob blob) {
   auto pfs = services_->pfs;
   const std::string path = pfs_path(metadata.name, metadata.version);
   if (!journaling_enabled()) {
-    auto ticket = pfs->put(path, std::move(blob), metadata.cost_bytes);
+    auto ticket = pfs->put_shared(path, std::move(blob), metadata.cost_bytes);
     return ticket.is_ok() ? Status::ok() : ticket.status();
   }
   auto journal_result = journal_for(metadata.name);
@@ -399,8 +398,8 @@ Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
     return fault::crash_status("durability.flush.begin");
   }
 
-  const std::uint64_t size = blob.size();
-  const std::uint32_t crc = serial::crc32(blob);
+  const std::uint64_t size = blob->size();
+  const std::uint32_t crc = serial::crc32(*blob);
   auto intent =
       journal->append_intent(metadata.version, size, crc, metadata.iteration);
   if (!intent.is_ok()) {
@@ -408,7 +407,7 @@ Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
     return intent.status();
   }
 
-  auto ticket = pfs->put(path, std::move(blob), metadata.cost_bytes);
+  auto ticket = pfs->put_shared(path, std::move(blob), metadata.cost_bytes);
   if (!ticket.is_ok()) {
     if (fault::is_crash_status(ticket.status())) {
       // A dying process runs no rollback — the dangling INTENT (and any
@@ -491,6 +490,7 @@ void ModelWeightsHandler::serve_transfers(const net::Comm& comm) {
     } else {
       auto blob = fetch(request.value().location, request.value().path);
       if (blob.is_ok()) {
+        reply.reserve(1 + blob.value().size());  // exactly one allocation
         reply.u8(kReplyOk);
         reply.raw(blob.value());
       } else {
@@ -580,7 +580,8 @@ Result<std::vector<std::byte>> ModelLoader::fetch_from_producer(
       // Authoritative answer: the producer no longer caches this path.
       return not_found("producer no longer caches '" + meta.path + "'");
     }
-    payload.erase(payload.begin());
+    // The status byte stays in place; the caller reads the blob at offset
+    // 1 instead of shifting the whole payload down by one.
     return payload;
   }
   return last;
@@ -596,6 +597,9 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
   const Stopwatch transfer_watch;
   auto transfer_span = obs::Tracer::global().span("transfer", "consumer");
   std::vector<std::byte> blob;
+  // Producer replies carry a 1-byte status prefix that is left in place
+  // (no O(n) erase); the checkpoint starts at this offset into `blob`.
+  std::size_t blob_offset = 0;
   if (meta.location == Location::kPfs) {
     Rng rng(options_.retry_seed ^ 0x706673ull);  // "pfs"
     int attempts = 0;
@@ -617,6 +621,7 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
     auto fetched = fetch_from_producer(meta);
     if (fetched.is_ok()) {
       blob = std::move(fetched).value();
+      blob_offset = 1;  // skip the reply status byte
       const auto& link = meta.location == Location::kGpuMemory
                              ? options_.platform.gpu_link
                              : options_.platform.host_link;
@@ -644,20 +649,27 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
   EngineMetrics& metrics = engine_metrics();
   metrics.transfer_seconds.record(transfer_watch.elapsed());
 
-  services_->stats->on_load(blob.size());
+  // Promote the received bytes to a refcounted blob so tensors can borrow
+  // their payloads straight out of it (zero-copy deserialize): the model
+  // keeps the blob alive for as long as any tensor still aliases it.
+  const serial::SharedBlob shared =
+      std::make_shared<std::vector<std::byte>>(std::move(blob));
+  const std::span<const std::byte> view(shared->data() + blob_offset,
+                                        shared->size() - blob_offset);
+  services_->stats->on_load(view.size());
 
   // Sniff the format by magic so a consumer can read either layout.
-  if (blob.size() < 4) return data_loss("checkpoint blob too small");
+  if (view.size() < 4) return data_loss("checkpoint blob too small");
   const serial::CheckpointFormat& format =
-      serial::format_for_blob(blob) == serial::BlobFormat::kViper
+      serial::format_for_blob(view) == serial::BlobFormat::kViper
           ? *viper_format_
           : *h5_format_;
   auto deserialize_span = obs::Tracer::global().span("deserialize", "consumer");
-  auto model = format.deserialize(blob);
+  auto model = format.deserialize_shared(shared, blob_offset);
   deserialize_span.end();
   if (model.is_ok()) {
     metrics.loads.add();
-    metrics.load_bytes.add(blob.size());
+    metrics.load_bytes.add(view.size());
     metrics.load_seconds.record(watch.elapsed());
   }
   return model;

@@ -128,7 +128,10 @@ class ModelWeightsHandler {
  private:
   struct Staged {
     std::string model_name;
-    std::vector<std::byte> blob;
+    /// Refcounted capture buffer (usually pooled): the tier store, the
+    /// background PFS flush, and the transfer server all alias this one
+    /// blob — the capture serialize is the only payload copy a save makes.
+    serial::SharedBlob blob;
     ModelMetadata metadata;
   };
 
@@ -140,9 +143,10 @@ class ModelWeightsHandler {
 
   /// Journaled durable store: INTENT → blob put → COMMIT → retention GC,
   /// with crash points at every protocol step. Falls back to a plain put
-  /// when journaling is disabled.
+  /// when journaling is disabled. The shared blob is written in place —
+  /// no staging copy.
   Status store_pfs_journaled(const ModelMetadata& metadata,
-                             std::vector<std::byte>&& blob);
+                             serial::SharedBlob blob);
 
   std::shared_ptr<SharedServices> services_;
   Options options_;

@@ -119,14 +119,19 @@ class ManifestJournal {
   [[nodiscard]] double modeled_seconds() const;
 
  private:
-  /// Publish `bytes` as the journal object and charge the fsync barrier.
-  Status persist_locked(const std::vector<std::byte>& bytes);
+  /// Publish `image` as the journal object and charge the fsync barrier.
+  /// The shared image is stored/written without copying; the caller keeps
+  /// its reference (it becomes the new cached image on success).
+  Status persist_locked(const serial::SharedBlob& image);
 
   std::shared_ptr<memsys::StorageTier> tier_;
   std::string model_name_;
   std::string key_;
   mutable std::mutex mutex_;
-  std::vector<std::byte> bytes_;  ///< cached on-tier journal image
+  /// Cached on-tier journal image, shared with the tier that stored it —
+  /// each append builds the successor image once and publishes it with
+  /// zero further copies.
+  serial::SharedBlob image_;
   ManifestState state_;
   bool loaded_ = false;
   double modeled_seconds_ = 0.0;

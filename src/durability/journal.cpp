@@ -99,7 +99,8 @@ Status ManifestJournal::load() {
   auto ticket = tier_->get(key_, blob);
   if (!ticket.is_ok()) {
     if (ticket.status().code() != StatusCode::kNotFound) return ticket.status();
-    bytes_.clear();  // fresh journal — first append creates the object
+    // Fresh journal — first append creates the object.
+    image_ = std::make_shared<std::vector<std::byte>>();
     state_ = ManifestState{};
     loaded_ = true;
     durability_metrics().journal_loads.add();
@@ -107,13 +108,15 @@ Status ManifestJournal::load() {
   }
   auto parse = serial::parse_manifest_journal(blob);
   state_ = fold_manifest(parse.records, parse.torn_bytes);
-  bytes_.assign(blob.begin(),
-                blob.end() - static_cast<std::ptrdiff_t>(parse.torn_bytes));
+  if (parse.torn_bytes > 0) {
+    blob.resize(blob.size() - parse.torn_bytes);
+  }
+  image_ = std::make_shared<std::vector<std::byte>>(std::move(blob));
   if (parse.torn_bytes > 0) {
     durability_metrics().journal_torn_tails.add();
     // Repair: republish the journal without the torn tail so the next
     // reader does not have to re-derive the truncation.
-    const Status repaired = persist_locked(bytes_);
+    const Status repaired = persist_locked(image_);
     if (!repaired.is_ok()) return repaired;
   }
   loaded_ = true;
@@ -148,17 +151,23 @@ Result<serial::ManifestRecord> ManifestJournal::append(serial::ManifestOp op,
     // Crash mid-append: half the record reaches the durable journal (a
     // torn tail for the next load to truncate); the in-memory image and
     // folded state are NOT advanced — the record never happened.
-    std::vector<std::byte> torn(bytes_);
+    auto torn = std::make_shared<std::vector<std::byte>>();
     const auto half = encoded.bytes().subspan(0, encoded.size() / 2);
-    torn.insert(torn.end(), half.begin(), half.end());
+    torn->reserve(image_->size() + half.size());
+    torn->insert(torn->end(), image_->begin(), image_->end());
+    torn->insert(torn->end(), half.begin(), half.end());
     (void)persist_locked(torn);  // best effort; the "process" is dying
     return fault::crash_status(site);
   }
 
-  std::vector<std::byte> next(bytes_);
-  next.insert(next.end(), encoded.bytes().begin(), encoded.bytes().end());
+  // Successor image: built exactly once (one reserve-exact allocation),
+  // then shared with the tier — publish involves no further copies.
+  auto next = std::make_shared<std::vector<std::byte>>();
+  next->reserve(image_->size() + encoded.size());
+  next->insert(next->end(), image_->begin(), image_->end());
+  next->insert(next->end(), encoded.bytes().begin(), encoded.bytes().end());
   VIPER_RETURN_IF_ERROR(persist_locked(next));
-  bytes_ = std::move(next);
+  image_ = std::move(next);
   state_.apply(record);
   durability_metrics().journal_appends.add();
   count_op(op);
@@ -194,9 +203,8 @@ double ManifestJournal::modeled_seconds() const {
   return modeled_seconds_;
 }
 
-Status ManifestJournal::persist_locked(const std::vector<std::byte>& bytes) {
-  std::vector<std::byte> copy(bytes);  // put() consumes on success
-  auto ticket = tier_->put(key_, std::move(copy), bytes.size());
+Status ManifestJournal::persist_locked(const serial::SharedBlob& image) {
+  auto ticket = tier_->put_shared(key_, image, image->size());
   if (!ticket.is_ok()) return ticket.status();
   // The append only counts as durable after the fsync barrier — charge it
   // so the modeled producer stall includes the durability tax.

@@ -58,6 +58,36 @@ Result<IoTicket> FileTier::put(const std::string& key, std::vector<std::byte>&& 
         fault::mutate_point(fault_site_put_, {blob.data(), blob.size()});
     if (!injected.is_ok()) return injected;
   }
+  return write_payload(key, blob, cost_bytes, metadata_ops, rng, watch);
+}
+
+Result<IoTicket> FileTier::put_shared(const std::string& key,
+                                      serial::SharedBlob blob,
+                                      std::uint64_t cost_bytes, int metadata_ops,
+                                      Rng* rng) {
+  const Stopwatch watch;
+  if (blob == nullptr) return invalid_argument("put_shared: null blob");
+  if (fault::armed()) {
+    // Corrupting probes must not write through the shared payload — other
+    // pipeline stages may still be reading it — so mutate a private copy.
+    serial::serial_metrics().bytes_copied.add(blob->size());
+    serial::serial_metrics().allocations.add();
+    auto copy = std::make_shared<std::vector<std::byte>>(*blob);
+    const Status injected =
+        fault::mutate_point(fault_site_put_, {copy->data(), copy->size()});
+    if (!injected.is_ok()) return injected;
+    blob = std::move(copy);
+  }
+  // The disk write reads the shared bytes directly; the reference is
+  // dropped on return (files do not retain blob handles).
+  return write_payload(key, *blob, cost_bytes, metadata_ops, rng, watch);
+}
+
+Result<IoTicket> FileTier::write_payload(const std::string& key,
+                                         std::span<const std::byte> blob,
+                                         std::uint64_t cost_bytes,
+                                         int metadata_ops, Rng* rng,
+                                         const Stopwatch& watch) {
   auto path = path_for(key);
   if (!path.is_ok()) return path.status();
 

@@ -23,6 +23,12 @@ class FileTier final : public StorageTier {
   Result<IoTicket> put(const std::string& key, std::vector<std::byte>&& blob,
                        std::uint64_t cost_bytes = 0, int metadata_ops = 1,
                        Rng* rng = nullptr) override;
+  /// Writes the shared payload straight to disk — no staging copy. (A
+  /// corrupting fault probe still copies first: the shared bytes are
+  /// immutable.)
+  Result<IoTicket> put_shared(const std::string& key, serial::SharedBlob blob,
+                              std::uint64_t cost_bytes = 0, int metadata_ops = 1,
+                              Rng* rng = nullptr) override;
   Result<IoTicket> get(const std::string& key, std::vector<std::byte>& out,
                        std::uint64_t cost_bytes = 0, int metadata_ops = 1,
                        Rng* rng = nullptr) override;
@@ -48,6 +54,13 @@ class FileTier final : public StorageTier {
 
   /// Validates the key and maps it inside the root (no escapes).
   Result<std::filesystem::path> path_for(const std::string& key) const;
+
+  /// Shared tail of put/put_shared: temp-file write, crash points, atomic
+  /// rename, metrics. Runs after any fault mutation of the payload.
+  Result<IoTicket> write_payload(const std::string& key,
+                                 std::span<const std::byte> blob,
+                                 std::uint64_t cost_bytes, int metadata_ops,
+                                 Rng* rng, const Stopwatch& watch);
 
   std::filesystem::path root_;
   mutable std::mutex mutex_;  // serializes multi-step filesystem updates

@@ -18,9 +18,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "viper/common/clock.hpp"
 #include "viper/common/status.hpp"
 #include "viper/memsys/device_model.hpp"
 #include "viper/obs/metrics.hpp"
+#include "viper/serial/buffer_pool.hpp"
 
 namespace viper::memsys {
 
@@ -74,6 +76,16 @@ class StorageTier {
                                std::uint64_t cost_bytes = 0, int metadata_ops = 1,
                                Rng* rng = nullptr) = 0;
 
+  /// Store a refcounted blob under `key` without consuming it — the
+  /// caller keeps its reference, so one capture buffer can be stored
+  /// here, flushed to PFS, and streamed over the wire concurrently. The
+  /// default implementation copies the payload and delegates to put();
+  /// tiers that can hold or write the shared bytes directly override it.
+  virtual Result<IoTicket> put_shared(const std::string& key,
+                                      serial::SharedBlob blob,
+                                      std::uint64_t cost_bytes = 0,
+                                      int metadata_ops = 1, Rng* rng = nullptr);
+
   /// Fetch a copy of the blob; ticket carries the modeled read time.
   virtual Result<IoTicket> get(const std::string& key, std::vector<std::byte>& out,
                                std::uint64_t cost_bytes = 0, int metadata_ops = 1,
@@ -115,6 +127,10 @@ class MemoryTier final : public StorageTier {
   Result<IoTicket> put(const std::string& key, std::vector<std::byte>&& blob,
                        std::uint64_t cost_bytes = 0, int metadata_ops = 1,
                        Rng* rng = nullptr) override;
+  /// Zero-copy store: keeps a reference to the shared payload.
+  Result<IoTicket> put_shared(const std::string& key, serial::SharedBlob blob,
+                              std::uint64_t cost_bytes = 0, int metadata_ops = 1,
+                              Rng* rng = nullptr) override;
   Result<IoTicket> get(const std::string& key, std::vector<std::byte>& out,
                        std::uint64_t cost_bytes = 0, int metadata_ops = 1,
                        Rng* rng = nullptr) override;
@@ -127,9 +143,12 @@ class MemoryTier final : public StorageTier {
  private:
   void touch_locked(const std::string& key);
   void evict_for_locked(std::uint64_t incoming_bytes);
+  Result<IoTicket> store_shared(const std::string& key, serial::SharedBlob blob,
+                                std::uint64_t cost_bytes, int metadata_ops,
+                                Rng* rng, const Stopwatch& watch);
 
   struct Entry {
-    std::vector<std::byte> blob;
+    serial::SharedBlob blob;  ///< refcounted: may alias a live capture buffer
     std::list<std::string>::iterator lru_it;
   };
 

@@ -21,6 +21,18 @@ std::string metric_safe(const std::string& tier_name) {
 
 }  // namespace
 
+Result<IoTicket> StorageTier::put_shared(const std::string& key,
+                                         serial::SharedBlob blob,
+                                         std::uint64_t cost_bytes,
+                                         int metadata_ops, Rng* rng) {
+  if (blob == nullptr) return invalid_argument("put_shared: null blob");
+  // Fallback for tiers without a zero-copy store: one payload copy.
+  serial::serial_metrics().bytes_copied.add(blob->size());
+  serial::serial_metrics().allocations.add();
+  std::vector<std::byte> copy(*blob);
+  return put(key, std::move(copy), cost_bytes, metadata_ops, rng);
+}
+
 TierMetrics::TierMetrics(const std::string& tier_name)
     : put_seconds(obs::MetricsRegistry::global().histogram(
           "viper.memsys." + metric_safe(tier_name) + ".put_seconds")),
@@ -45,7 +57,41 @@ Result<IoTicket> MemoryTier::put(const std::string& key,
         fault::mutate_point(fault_site_put_, {blob.data(), blob.size()});
     if (!injected.is_ok()) return injected;
   }
-  const std::uint64_t payload = blob.size();
+  // Adopt the vector as a refcounted blob: moves the payload, never
+  // copies it. The caller's vector is only consumed past the fault gate,
+  // preserving the retry-on-failure contract.
+  auto shared = std::make_shared<std::vector<std::byte>>(std::move(blob));
+  return store_shared(key, std::move(shared), cost_bytes, metadata_ops, rng,
+                      watch);
+}
+
+Result<IoTicket> MemoryTier::put_shared(const std::string& key,
+                                        serial::SharedBlob blob,
+                                        std::uint64_t cost_bytes,
+                                        int metadata_ops, Rng* rng) {
+  const Stopwatch watch;
+  if (blob == nullptr) return invalid_argument("put_shared: null blob");
+  if (fault::armed()) {
+    // The shared payload is immutable (other stages may be reading it), so
+    // a corrupting probe mutates a private copy instead of the original.
+    serial::serial_metrics().bytes_copied.add(blob->size());
+    serial::serial_metrics().allocations.add();
+    auto copy = std::make_shared<std::vector<std::byte>>(*blob);
+    const Status injected =
+        fault::mutate_point(fault_site_put_, {copy->data(), copy->size()});
+    if (!injected.is_ok()) return injected;
+    blob = std::move(copy);
+  }
+  return store_shared(key, std::move(blob), cost_bytes, metadata_ops, rng,
+                      watch);
+}
+
+Result<IoTicket> MemoryTier::store_shared(const std::string& key,
+                                          serial::SharedBlob blob,
+                                          std::uint64_t cost_bytes,
+                                          int metadata_ops, Rng* rng,
+                                          const Stopwatch& watch) {
+  const std::uint64_t payload = blob->size();
   if (payload > model_.capacity_bytes) {
     return resource_exhausted("object of " + std::to_string(payload) +
                               " bytes exceeds capacity of tier " + model_.name);
@@ -61,7 +107,7 @@ Result<IoTicket> MemoryTier::put(const std::string& key,
   }
   auto it = objects_.find(key);
   if (it != objects_.end()) {
-    used_ -= it->second.blob.size();
+    used_ -= it->second.blob->size();
     used_ += payload;
     it->second.blob = std::move(blob);
     touch_locked(key);
@@ -95,7 +141,7 @@ Result<IoTicket> MemoryTier::get(const std::string& key,
   if (it == objects_.end()) {
     return not_found("no object '" + key + "' in tier " + model_.name);
   }
-  out = it->second.blob;
+  out = *it->second.blob;
   touch_locked(key);
   metrics_.bytes_read.add(out.size());
   metrics_.get_seconds.record(watch.elapsed());
@@ -108,7 +154,7 @@ Status MemoryTier::erase(const std::string& key) {
   if (it == objects_.end()) {
     return not_found("no object '" + key + "' in tier " + model_.name);
   }
-  used_ -= it->second.blob.size();
+  used_ -= it->second.blob->size();
   lru_.erase(it->second.lru_it);
   objects_.erase(it);
   return Status::ok();
@@ -145,7 +191,7 @@ void MemoryTier::evict_for_locked(std::uint64_t incoming_bytes) {
   while (!lru_.empty() && used_ + incoming_bytes > model_.capacity_bytes) {
     const std::string& victim = lru_.back();
     auto it = objects_.find(victim);
-    used_ -= it->second.blob.size();
+    used_ -= it->second.blob->size();
     objects_.erase(it);
     lru_.pop_back();
   }

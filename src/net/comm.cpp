@@ -58,6 +58,24 @@ Status Comm::send(int dest, int tag, std::span<const std::byte> payload) const {
   msg.source = rank_;
   msg.tag = tag;
   msg.payload.assign(payload.begin(), payload.end());
+  return deliver(dest, std::move(msg));
+}
+
+Status Comm::send(int dest, int tag, std::span<const std::byte> header,
+                  std::span<const std::byte> payload) const {
+  if (dest < 0 || dest >= size()) return invalid_argument("bad destination rank");
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  // Gather both pieces straight into the wire buffer: one reserve, one
+  // pass — no intermediate frame vector on the caller's side.
+  msg.payload.reserve(header.size() + payload.size());
+  msg.payload.insert(msg.payload.end(), header.begin(), header.end());
+  msg.payload.insert(msg.payload.end(), payload.begin(), payload.end());
+  return deliver(dest, std::move(msg));
+}
+
+Status Comm::deliver(int dest, Message msg) const {
   if (fault::armed()) {
     const fault::Action act =
         fault::FaultInjector::global().on_site("net.send", rank_, dest);

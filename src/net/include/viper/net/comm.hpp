@@ -25,6 +25,13 @@ class Comm {
   /// Blocking tagged send to `dest`. Payload is copied out.
   Status send(int dest, int tag, std::span<const std::byte> payload) const;
 
+  /// Gathered (iovec-style) send: the wire message is header followed by
+  /// payload, assembled directly into the message buffer in one pass.
+  /// Lets a chunked stream send "frame header + view into the checkpoint
+  /// blob" without first gluing them into a scratch vector.
+  Status send(int dest, int tag, std::span<const std::byte> header,
+              std::span<const std::byte> payload) const;
+
   /// Blocking receive matching (source, tag); either may be kAnySource /
   /// kAnyTag. `timeout_seconds < 0` waits forever.
   Result<Message> recv(int source, int tag, double timeout_seconds = -1.0) const;
@@ -42,6 +49,9 @@ class Comm {
   friend class CommWorld;
   Comm(std::shared_ptr<CommWorld> world, int rank)
       : world_(std::move(world)), rank_(rank) {}
+
+  /// Fault gate + delivery shared by both send flavors.
+  Status deliver(int dest, Message msg) const;
 
   std::shared_ptr<CommWorld> world_;
   int rank_ = -1;

@@ -1,0 +1,132 @@
+#include "viper/serial/buffer_pool.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace viper::serial {
+
+SerialMetrics& serial_metrics() {
+  static SerialMetrics metrics;
+  return metrics;
+}
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = other.pool_;
+    buffer_ = std::move(other.buffer_);
+    other.pool_ = nullptr;
+    other.buffer_.clear();
+  }
+  return *this;
+}
+
+std::vector<std::byte> PooledBuffer::take() && {
+  pool_ = nullptr;
+  return std::move(buffer_);
+}
+
+SharedBlob PooledBuffer::share() && {
+  BufferPool* pool = pool_;
+  pool_ = nullptr;
+  auto* raw = new std::vector<std::byte>(std::move(buffer_));
+  buffer_.clear();
+  return SharedBlob(raw, [pool](const std::vector<std::byte>* blob) {
+    auto* storage = const_cast<std::vector<std::byte>*>(blob);
+    if (pool != nullptr) pool->release(std::move(*storage));
+    delete storage;
+  });
+}
+
+void PooledBuffer::release() {
+  if (pool_ != nullptr && !buffer_.empty()) {
+    pool_->release(std::move(buffer_));
+  }
+  pool_ = nullptr;
+  buffer_.clear();
+}
+
+BufferPool& BufferPool::global() {
+  static BufferPool* pool = new BufferPool();  // leaked: outlives all users
+  return *pool;
+}
+
+std::size_t BufferPool::bucket_index(std::size_t size) noexcept {
+  // Bucket i holds buffers of capacity 2^(i+12): 4 KiB, 8 KiB, ...
+  if (size <= 4096) return 0;
+  const auto width =
+      static_cast<std::size_t>(std::bit_width(size - 1));  // ceil(log2(size))
+  return width <= 12 ? 0 : std::min(width - 12, kNumBuckets - 1);
+}
+
+std::size_t BufferPool::bucket_capacity(std::size_t index) noexcept {
+  return std::size_t{1} << (index + 12);
+}
+
+PooledBuffer BufferPool::acquire(std::size_t size) {
+  SerialMetrics& metrics = serial_metrics();
+  const std::size_t bucket = bucket_index(size);
+  {
+    std::lock_guard lock(mutex_);
+    auto& free_list = buckets_[bucket];
+    if (!free_list.empty()) {
+      std::vector<std::byte> buffer = std::move(free_list.back());
+      free_list.pop_back();
+      cached_bytes_ -= buffer.capacity();
+      metrics.pool_cached_bytes.set(static_cast<double>(cached_bytes_));
+      metrics.pool_hits.add();
+      // Within capacity: resize never reallocates, so a steady-state
+      // capture costs zero heap allocations.
+      buffer.resize(size);
+      return PooledBuffer(this, std::move(buffer));
+    }
+  }
+  metrics.pool_misses.add();
+  metrics.allocations.add();
+  std::vector<std::byte> buffer;
+  buffer.reserve(bucket_capacity(bucket));
+  buffer.resize(size);
+  return PooledBuffer(this, std::move(buffer));
+}
+
+void BufferPool::release(std::vector<std::byte>&& buffer) noexcept {
+  if (buffer.capacity() == 0) return;
+  SerialMetrics& metrics = serial_metrics();
+  if (buffer.capacity() < options_.min_pooled_bytes) {
+    metrics.pool_evictions.add();
+    return;  // the vector frees on scope exit
+  }
+  const std::size_t bucket = bucket_index(buffer.capacity());
+  std::lock_guard lock(mutex_);
+  auto& free_list = buckets_[bucket];
+  if (free_list.size() >= options_.max_buffers_per_bucket ||
+      cached_bytes_ + buffer.capacity() > options_.max_cached_bytes) {
+    metrics.pool_evictions.add();
+    return;
+  }
+  cached_bytes_ += buffer.capacity();
+  metrics.pool_cached_bytes.set(static_cast<double>(cached_bytes_));
+  metrics.pool_returns.add();
+  free_list.push_back(std::move(buffer));
+}
+
+std::size_t BufferPool::cached_bytes() const {
+  std::lock_guard lock(mutex_);
+  return cached_bytes_;
+}
+
+std::size_t BufferPool::cached_buffers() const {
+  std::lock_guard lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& free_list : buckets_) count += free_list.size();
+  return count;
+}
+
+void BufferPool::trim() {
+  std::lock_guard lock(mutex_);
+  for (auto& free_list : buckets_) free_list.clear();
+  cached_bytes_ = 0;
+  serial_metrics().pool_cached_bytes.set(0.0);
+}
+
+}  // namespace viper::serial

@@ -3,13 +3,22 @@
 #include <bit>
 #include <cstring>
 
+#include "viper/serial/buffer_pool.hpp"
+
 namespace viper::serial {
 
 namespace {
+/// Count an impending reallocation so viper.serial.allocations reflects
+/// writer growth (reserve()-sized writers never trip this).
+void count_growth(const std::vector<std::byte>& buf, std::size_t incoming) {
+  if (buf.size() + incoming > buf.capacity()) serial_metrics().allocations.add();
+}
+
 template <typename T>
 void append_le(std::vector<std::byte>& buf, T v) {
   static_assert(std::endian::native == std::endian::little,
                 "big-endian hosts would need byte swaps here");
+  count_growth(buf, sizeof(T));
   const auto* p = reinterpret_cast<const std::byte*>(&v);
   buf.insert(buf.end(), p, p + sizeof(T));
 }
@@ -22,7 +31,10 @@ T read_le(std::span<const std::byte> data, std::size_t pos) {
 }
 }  // namespace
 
-void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+void ByteWriter::u8(std::uint8_t v) {
+  count_growth(buffer_, 1);
+  buffer_.push_back(static_cast<std::byte>(v));
+}
 void ByteWriter::u16(std::uint16_t v) { append_le(buffer_, v); }
 void ByteWriter::u32(std::uint32_t v) { append_le(buffer_, v); }
 void ByteWriter::u64(std::uint64_t v) { append_le(buffer_, v); }
@@ -31,17 +43,51 @@ void ByteWriter::f64(double v) { append_le(buffer_, v); }
 
 void ByteWriter::str(std::string_view s) {
   u32(static_cast<std::uint32_t>(s.size()));
+  count_growth(buffer_, s.size());
   const auto* p = reinterpret_cast<const std::byte*>(s.data());
   buffer_.insert(buffer_.end(), p, p + s.size());
 }
 
 void ByteWriter::raw(std::span<const std::byte> data) {
+  serial_metrics().bytes_copied.add(data.size());
+  count_growth(buffer_, data.size());
   buffer_.insert(buffer_.end(), data.begin(), data.end());
 }
 
 void ByteWriter::pad_to(std::size_t alignment) {
   if (alignment <= 1) return;
   while (buffer_.size() % alignment != 0) buffer_.push_back(std::byte{0});
+}
+
+void SpanWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  if (pos_ + s.size() > out_.size()) {
+    overflowed_ = true;
+    return;
+  }
+  std::memcpy(out_.data() + pos_, s.data(), s.size());
+  pos_ += s.size();
+}
+
+void SpanWriter::raw(std::span<const std::byte> data) {
+  if (pos_ + data.size() > out_.size()) {
+    overflowed_ = true;
+    return;
+  }
+  serial_metrics().bytes_copied.add(data.size());
+  std::memcpy(out_.data() + pos_, data.data(), data.size());
+  pos_ += data.size();
+}
+
+void SpanWriter::pad_to(std::size_t alignment) {
+  if (alignment <= 1 || pos_ % alignment == 0) return;
+  const std::size_t pad = alignment - pos_ % alignment;
+  if (pos_ + pad > out_.size()) {
+    overflowed_ = true;
+    return;
+  }
+  std::memset(out_.data() + pos_, 0, pad);
+  pos_ += pad;
 }
 
 Status ByteReader::need(std::size_t n) const {
@@ -107,10 +153,18 @@ Result<std::string> ByteReader::str(std::size_t max_len) {
 
 Result<std::vector<std::byte>> ByteReader::raw(std::size_t n) {
   VIPER_RETURN_IF_ERROR(need(n));
+  serial_metrics().bytes_copied.add(n);
   std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
                              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
   return out;
+}
+
+Result<std::span<const std::byte>> ByteReader::raw_view(std::size_t n) {
+  VIPER_RETURN_IF_ERROR(need(n));
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
 }
 
 Status ByteReader::skip(std::size_t n) {

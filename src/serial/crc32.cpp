@@ -1,28 +1,82 @@
+// Slice-by-8 CRC-32: processes 8 bytes per step through 8 derived lookup
+// tables instead of one byte per step through one. Same IEEE 802.3
+// polynomial and incremental-composition semantics as the classic
+// table-walk kernel it replaces (known-answer and cross-check tests pin
+// both), ~5-8x faster on the checkpoint-sized buffers this runs over
+// twice per checkpoint per hop.
 #include "viper/serial/crc32.hpp"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace viper::serial {
 
 namespace {
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+
+constexpr std::uint32_t kPoly = 0xEDB88320U;
+
+// table[0] is the classic byte-at-a-time table; table[k][b] extends it so
+// that processing byte b through table k is equivalent to processing it
+// through table 0 followed by k zero bytes. That lets 8 consecutive input
+// bytes fold into the CRC with 8 independent lookups per iteration.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+constexpr Tables make_tables() {
+  Tables tables;
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
+    for (int k = 0; k < 8; ++k) c = (c & 1U) ? kPoly ^ (c >> 1) : c >> 1;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (std::size_t slice = 1; slice < 8; ++slice) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables.t[slice - 1][i];
+      tables.t[slice][i] = tables.t[0][prev & 0xFFU] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
-constexpr auto kTable = make_table();
+
+constexpr Tables kTables = make_tables();
+
 }  // namespace
 
 std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> data) noexcept {
+  static_assert(std::endian::native == std::endian::little,
+                "slice-by-8 word loads assume a little-endian host");
   std::uint32_t c = crc ^ 0xFFFFFFFFU;
-  for (std::byte b : data) {
-    c = kTable[(c ^ static_cast<std::uint8_t>(b)) & 0xFFU] ^ (c >> 8);
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+
+  // Head: align to the 8-byte main loop.
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7U) != 0) {
+    c = kTables.t[0][(c ^ static_cast<std::uint8_t>(*p++)) & 0xFFU] ^ (c >> 8);
+    --n;
+  }
+
+  // Body: 8 bytes per iteration. The low word XORs into the running CRC;
+  // both words then fold through the 8 slice tables.
+  while (n >= 8) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = kTables.t[7][lo & 0xFFU] ^ kTables.t[6][(lo >> 8) & 0xFFU] ^
+        kTables.t[5][(lo >> 16) & 0xFFU] ^ kTables.t[4][(lo >> 24) & 0xFFU] ^
+        kTables.t[3][hi & 0xFFU] ^ kTables.t[2][(hi >> 8) & 0xFFU] ^
+        kTables.t[1][(hi >> 16) & 0xFFU] ^ kTables.t[0][(hi >> 24) & 0xFFU];
+    p += 8;
+    n -= 8;
+  }
+
+  // Tail.
+  while (n > 0) {
+    c = kTables.t[0][(c ^ static_cast<std::uint8_t>(*p++)) & 0xFFU] ^ (c >> 8);
+    --n;
   }
   return c ^ 0xFFFFFFFFU;
 }

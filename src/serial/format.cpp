@@ -1,0 +1,54 @@
+// Non-virtual CheckpointFormat entry points: storage provisioning for the
+// scatter-gather encoders and ownership threading for zero-copy decode.
+#include "viper/serial/format.hpp"
+
+namespace viper::serial {
+
+Result<std::vector<std::byte>> CheckpointFormat::serialize(const Model& model) const {
+  auto size = serialized_size(model);
+  if (!size.is_ok()) return size.status();
+  serial_metrics().allocations.add();
+  std::vector<std::byte> out(size.value());
+  VIPER_RETURN_IF_ERROR(serialize_into(model, out));
+  return out;
+}
+
+Result<PooledBuffer> CheckpointFormat::serialize_pooled(const Model& model) const {
+  auto size = serialized_size(model);
+  if (!size.is_ok()) return size.status();
+  PooledBuffer buffer = BufferPool::global().acquire(size.value());
+  VIPER_RETURN_IF_ERROR(serialize_into(model, buffer.span()));
+  return buffer;
+}
+
+Result<Model> CheckpointFormat::deserialize(std::span<const std::byte> blob) const {
+  return deserialize_impl(blob, nullptr);
+}
+
+Result<Model> CheckpointFormat::deserialize_shared(SharedBlob blob,
+                                                   std::size_t offset) const {
+  if (blob == nullptr) return invalid_argument("deserialize_shared: null blob");
+  if (offset > blob->size()) {
+    return invalid_argument("deserialize_shared: offset " + std::to_string(offset) +
+                            " past blob of " + std::to_string(blob->size()) +
+                            " bytes");
+  }
+  const std::span<const std::byte> view(blob->data() + offset,
+                                        blob->size() - offset);
+  return deserialize_impl(view, blob);
+}
+
+Result<Tensor> CheckpointFormat::read_payload(
+    ByteReader& reader, DType dtype, Shape shape, std::size_t byte_size,
+    const std::shared_ptr<const void>& owner) {
+  if (owner != nullptr) {
+    auto view = reader.raw_view(byte_size);
+    if (!view.is_ok()) return view.status();
+    return Tensor::from_view(dtype, std::move(shape), view.value(), owner);
+  }
+  auto payload = reader.raw(byte_size);
+  if (!payload.is_ok()) return payload.status();
+  return Tensor::from_bytes(dtype, std::move(shape), std::move(payload).value());
+}
+
+}  // namespace viper::serial

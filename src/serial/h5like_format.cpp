@@ -35,46 +35,72 @@ std::string layer_config_json(const std::string& tensor_name, const Tensor& t) {
   return json;
 }
 
+// Body encoder shared by ByteSizer (sizing pass) and SpanWriter (in-place
+// encode); pad_to keeps the two in lockstep through the aligned sections.
+template <typename W>
+void write_body(W& w, const Model& model) {
+  // Superblock.
+  w.u32(kMagic);
+  w.u16(kFormatVersion);
+  w.str("keras_version=2.9.0");
+  w.str("backend=tensorflow");
+  w.str("model_config=" + layer_config_json(model.name(), Tensor{}));
+  w.str(model.name());
+  w.u64(model.version());
+  w.i64(model.iteration());
+  w.u64(model.nominal_bytes());
+  w.u32(static_cast<std::uint32_t>(model.num_tensors()));
+  w.pad_to(kObjectHeaderPad);
+
+  for (const auto& [tensor_name, tensor] : model.tensors()) {
+    // Object header: name, dtype descriptor, dataspace, attributes.
+    w.str(tensor_name);
+    w.str("H5T_IEEE_" + std::string(to_string(tensor.dtype())) + "_LE");
+    w.u8(static_cast<std::uint8_t>(tensor.dtype()));
+    w.u8(static_cast<std::uint8_t>(tensor.shape().rank()));
+    for (std::int64_t d : tensor.shape().dims()) w.i64(d);
+    w.str(layer_config_json(tensor_name, tensor));
+    w.pad_to(kObjectHeaderPad);
+    // Chunk-aligned dataset payload.
+    w.u64(tensor.byte_size());
+    w.pad_to(kChunkAlign);
+    w.raw(tensor.bytes());
+    w.pad_to(kChunkAlign);
+  }
+}
+
 class H5LikeFormat final : public CheckpointFormat {
  public:
   std::string_view name() const noexcept override { return "h5py-baseline"; }
 
-  Result<std::vector<std::byte>> serialize(const Model& model) const override {
-    ByteWriter w;
-    // Superblock.
-    w.u32(kMagic);
-    w.u16(kFormatVersion);
-    w.str("keras_version=2.9.0");
-    w.str("backend=tensorflow");
-    w.str("model_config=" + layer_config_json(model.name(), Tensor{}));
-    w.str(model.name());
-    w.u64(model.version());
-    w.i64(model.iteration());
-    w.u64(model.nominal_bytes());
-    w.u32(static_cast<std::uint32_t>(model.num_tensors()));
-    w.pad_to(kObjectHeaderPad);
-
-    for (const auto& [tensor_name, tensor] : model.tensors()) {
-      // Object header: name, dtype descriptor, dataspace, attributes.
-      w.str(tensor_name);
-      w.str("H5T_IEEE_" + std::string(to_string(tensor.dtype())) + "_LE");
-      w.u8(static_cast<std::uint8_t>(tensor.dtype()));
-      w.u8(static_cast<std::uint8_t>(tensor.shape().rank()));
-      for (std::int64_t d : tensor.shape().dims()) w.i64(d);
-      w.str(layer_config_json(tensor_name, tensor));
-      w.pad_to(kObjectHeaderPad);
-      // Chunk-aligned dataset payload.
-      w.u64(tensor.byte_size());
-      w.pad_to(kChunkAlign);
-      w.raw(tensor.bytes());
-      w.pad_to(kChunkAlign);
-    }
-    const std::uint32_t checksum = crc32(w.bytes());
-    w.u32(checksum);
-    return std::move(w).take();
+  Result<std::size_t> serialized_size(const Model& model) const override {
+    ByteSizer sizer;
+    write_body(sizer, model);
+    return sizer.size() + 4;  // + CRC-32 trailer
   }
 
-  Result<Model> deserialize(std::span<const std::byte> blob) const override {
+  Status serialize_into(const Model& model, std::span<std::byte> out) const override {
+    auto expected = serialized_size(model);
+    if (!expected.is_ok()) return expected.status();
+    if (out.size() != expected.value()) {
+      return invalid_argument("serialize_into: span of " +
+                              std::to_string(out.size()) + " bytes, need " +
+                              std::to_string(expected.value()));
+    }
+    SpanWriter w(out.first(out.size() - 4));
+    write_body(w, model);
+    if (!w.full_exact()) {
+      return internal_error("H5-like encode did not fill its sized span exactly");
+    }
+    const std::uint32_t checksum = crc32(w.written());
+    std::memcpy(out.data() + out.size() - 4, &checksum, 4);
+    return Status::ok();
+  }
+
+ protected:
+  Result<Model> deserialize_impl(
+      std::span<const std::byte> blob,
+      const std::shared_ptr<const void>& owner) const override {
     if (blob.size() < 16) return data_loss("blob too small for H5-like superblock");
     const std::size_t body_size = blob.size() - 4;
     std::uint32_t stored = 0;
@@ -137,15 +163,13 @@ class H5LikeFormat final : public CheckpointFormat {
       auto byte_size = r.u64();
       if (!byte_size.is_ok()) return byte_size.status();
       VIPER_RETURN_IF_ERROR(r.skip_to(kChunkAlign));
-      auto payload = r.raw(byte_size.value());
-      if (!payload.is_ok()) return payload.status();
-      VIPER_RETURN_IF_ERROR(r.skip_to(kChunkAlign));
-      auto tensor = Tensor::from_bytes(dtype.value(), Shape(std::move(dims)),
-                                       std::move(payload).value());
+      auto tensor = read_payload(r, dtype.value(), Shape(std::move(dims)),
+                                 byte_size.value(), owner);
       if (!tensor.is_ok()) {
         return data_loss("tensor payload inconsistent with shape: " +
                          tensor.status().message());
       }
+      VIPER_RETURN_IF_ERROR(r.skip_to(kChunkAlign));
       VIPER_RETURN_IF_ERROR(
           model.add_tensor(std::move(tensor_name).value(), std::move(tensor).value()));
     }

@@ -1,0 +1,154 @@
+// Size-bucketed, thread-safe buffer pool for checkpoint blobs. A capture
+// at a steady checkpoint cadence serializes into the same few buffers
+// forever instead of re-allocating (and page-faulting) tens of megabytes
+// per version — the allocation half of the zero-copy data plane.
+//
+// Ownership model:
+//  - BufferPool::acquire(n) returns a PooledBuffer: an RAII handle over a
+//    std::vector<std::byte> of exactly n bytes whose capacity comes from a
+//    power-of-two bucket. Destruction returns the storage to the pool.
+//  - PooledBuffer::share() converts the handle into a
+//    std::shared_ptr<const std::vector<std::byte>> (a SharedBlob) whose
+//    last reference also returns the storage to the pool — this is how
+//    one capture buffer is aliased by the memory-tier store, the
+//    background PFS flush, and the wire chunker simultaneously.
+//  - PooledBuffer::take() detaches the storage as a plain vector (the
+//    pool never sees it again); for callers that must hand off ownership
+//    to an API that keeps the bytes forever.
+//
+// Instrumented via the global metrics registry: viper.serial.pool_hits /
+// pool_misses / pool_returns / pool_evictions / pool_cached_bytes, plus
+// the layer-wide viper.serial.allocations and viper.serial.bytes_copied
+// counters every serial component reports into.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "viper/obs/metrics.hpp"
+
+namespace viper::serial {
+
+/// Refcounted immutable checkpoint blob shared across pipeline stages
+/// (commit store, background flush, wire chunker, borrowed tensors).
+using SharedBlob = std::shared_ptr<const std::vector<std::byte>>;
+
+/// Serial-layer observability handles, resolved once. `allocations`
+/// counts heap buffer allocations the layer performs (pool misses and
+/// writer growth); `bytes_copied` counts bulk payload copies — both exist
+/// so copy regressions show up in `viper_cli metrics`, not only in
+/// benchmarks.
+struct SerialMetrics {
+  obs::Counter& pool_hits =
+      obs::MetricsRegistry::global().counter("viper.serial.pool_hits");
+  obs::Counter& pool_misses =
+      obs::MetricsRegistry::global().counter("viper.serial.pool_misses");
+  obs::Counter& pool_returns =
+      obs::MetricsRegistry::global().counter("viper.serial.pool_returns");
+  obs::Counter& pool_evictions =
+      obs::MetricsRegistry::global().counter("viper.serial.pool_evictions");
+  obs::Gauge& pool_cached_bytes =
+      obs::MetricsRegistry::global().gauge("viper.serial.pool_cached_bytes");
+  obs::Counter& allocations =
+      obs::MetricsRegistry::global().counter("viper.serial.allocations");
+  obs::Counter& bytes_copied =
+      obs::MetricsRegistry::global().counter("viper.serial.bytes_copied");
+};
+
+SerialMetrics& serial_metrics();
+
+class BufferPool;
+
+/// RAII handle over pooled storage. Movable, not copyable; an empty
+/// (moved-from or default-constructed) handle is inert.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(other.pool_), buffer_(std::move(other.buffer_)) {
+    other.pool_ = nullptr;
+    other.buffer_.clear();
+  }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return buffer_.empty(); }
+  [[nodiscard]] std::span<std::byte> span() noexcept { return buffer_; }
+  [[nodiscard]] std::span<const std::byte> span() const noexcept { return buffer_; }
+  [[nodiscard]] std::vector<std::byte>& vec() noexcept { return buffer_; }
+  [[nodiscard]] const std::vector<std::byte>& vec() const noexcept { return buffer_; }
+
+  /// Detach the storage; the pool never reclaims it.
+  [[nodiscard]] std::vector<std::byte> take() &&;
+
+  /// Convert into a SharedBlob whose final release returns the storage to
+  /// the pool. Costs two small constant-size allocations (vector header +
+  /// control block), never a payload copy.
+  [[nodiscard]] SharedBlob share() &&;
+
+  /// Return the storage to the pool now (handle becomes inert).
+  void release();
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(BufferPool* pool, std::vector<std::byte> buffer)
+      : pool_(pool), buffer_(std::move(buffer)) {}
+
+  BufferPool* pool_ = nullptr;
+  std::vector<std::byte> buffer_;
+};
+
+/// Thread-safe pool of byte buffers bucketed by power-of-two capacity.
+class BufferPool {
+ public:
+  struct Options {
+    /// Cached buffers per size bucket; excess returns are freed.
+    std::size_t max_buffers_per_bucket = 4;
+    /// Total bytes the pool may keep cached across buckets; returns past
+    /// the cap are freed (evicted) instead of cached.
+    std::size_t max_cached_bytes = std::size_t{1} << 31;  // 2 GiB
+    /// Buffers below this size are not worth pooling (allocator handles
+    /// them fine); acquire still serves them, release frees them.
+    std::size_t min_pooled_bytes = 4096;
+  };
+
+  BufferPool() : BufferPool(Options{}) {}
+  explicit BufferPool(Options options) : options_(options) {}
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Process-wide pool the checkpoint data plane draws from.
+  static BufferPool& global();
+
+  /// A buffer of exactly `size` bytes (capacity rounded up to the bucket
+  /// bound). Contents are unspecified — callers overwrite every byte.
+  [[nodiscard]] PooledBuffer acquire(std::size_t size);
+
+  /// Return storage to the pool (normally via ~PooledBuffer / share()).
+  void release(std::vector<std::byte>&& buffer) noexcept;
+
+  [[nodiscard]] std::size_t cached_bytes() const;
+  [[nodiscard]] std::size_t cached_buffers() const;
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Drop every cached buffer (tests; memory-pressure hooks).
+  void trim();
+
+ private:
+  static constexpr std::size_t kNumBuckets = 48;
+  [[nodiscard]] static std::size_t bucket_index(std::size_t size) noexcept;
+  [[nodiscard]] static std::size_t bucket_capacity(std::size_t index) noexcept;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::byte>> buckets_[kNumBuckets];
+  std::size_t cached_bytes_ = 0;
+};
+
+}  // namespace viper::serial

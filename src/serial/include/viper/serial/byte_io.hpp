@@ -1,9 +1,18 @@
 // Little-endian byte stream writer/reader used by both checkpoint formats.
 // The reader validates every read against the remaining length so truncated
 // or corrupt streams surface as DATA_LOSS instead of UB.
+//
+// Three writer flavors share one field vocabulary so a format can encode
+// its body generically:
+//  - ByteWriter: growable vector (reserve() for a single exact upfront
+//    allocation).
+//  - SpanWriter: scatter-gather mode — writes in place into caller-owned
+//    storage (a pooled capture buffer), never allocates.
+//  - ByteSizer: dry run that only counts, backing serialized_size().
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
@@ -27,12 +36,84 @@ class ByteWriter {
   /// Zero padding up to the next multiple of `alignment`.
   void pad_to(std::size_t alignment);
 
+  /// Pre-size the buffer so a known-size encode does one allocation.
+  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
+
   [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
   [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return buffer_; }
   [[nodiscard]] std::vector<std::byte> take() && { return std::move(buffer_); }
 
  private:
   std::vector<std::byte> buffer_;
+};
+
+/// Writes into a fixed caller-owned span; zero allocations. An attempted
+/// write past the end sets overflowed() and drops the bytes — callers
+/// size the span with ByteSizer first, so overflow is a codec bug that
+/// the post-encode `ok()` check turns into a Status instead of UB.
+class SpanWriter {
+ public:
+  explicit SpanWriter(std::span<std::byte> out) : out_(out) {}
+
+  void u8(std::uint8_t v) { scalar(v); }
+  void u16(std::uint16_t v) { scalar(v); }
+  void u32(std::uint32_t v) { scalar(v); }
+  void u64(std::uint64_t v) { scalar(v); }
+  void i64(std::int64_t v) { scalar(v); }
+  void f64(double v) { scalar(v); }
+  void str(std::string_view s);
+  void raw(std::span<const std::byte> data);
+  void pad_to(std::size_t alignment);
+
+  /// Bytes written so far.
+  [[nodiscard]] std::size_t size() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return out_.size() - pos_; }
+  [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+  /// Encode filled the span exactly (the contract of serialize_into).
+  [[nodiscard]] bool full_exact() const noexcept {
+    return !overflowed_ && pos_ == out_.size();
+  }
+  [[nodiscard]] std::span<const std::byte> written() const noexcept {
+    return out_.first(pos_);
+  }
+
+ private:
+  template <typename T>
+  void scalar(T v) {
+    if (pos_ + sizeof(T) > out_.size()) {
+      overflowed_ = true;
+      return;
+    }
+    std::memcpy(out_.data() + pos_, &v, sizeof(T));
+    pos_ += sizeof(T);
+  }
+
+  std::span<std::byte> out_;
+  std::size_t pos_ = 0;
+  bool overflowed_ = false;
+};
+
+/// Counts the bytes an encode would produce without touching memory.
+class ByteSizer {
+ public:
+  void u8(std::uint8_t) noexcept { size_ += 1; }
+  void u16(std::uint16_t) noexcept { size_ += 2; }
+  void u32(std::uint32_t) noexcept { size_ += 4; }
+  void u64(std::uint64_t) noexcept { size_ += 8; }
+  void i64(std::int64_t) noexcept { size_ += 8; }
+  void f64(double) noexcept { size_ += 8; }
+  void str(std::string_view s) noexcept { size_ += 4 + s.size(); }
+  void raw(std::span<const std::byte> data) noexcept { size_ += data.size(); }
+  void pad_to(std::size_t alignment) noexcept {
+    if (alignment > 1 && size_ % alignment != 0) {
+      size_ += alignment - size_ % alignment;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::size_t size_ = 0;
 };
 
 class ByteReader {
@@ -48,6 +129,9 @@ class ByteReader {
   Result<std::string> str(std::size_t max_len = 1 << 20);
   /// Copies `n` raw bytes out of the stream.
   Result<std::vector<std::byte>> raw(std::size_t n);
+  /// Zero-copy read: a subspan of the underlying stream, valid only while
+  /// the bytes backing this reader stay alive.
+  Result<std::span<const std::byte>> raw_view(std::size_t n);
   /// Skips `n` bytes.
   Status skip(std::size_t n);
   /// Skips to the next multiple of `alignment` (mirror of pad_to).
@@ -56,6 +140,12 @@ class ByteReader {
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
   [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+  /// View of already-validated stream bytes [start, start+len) — lets a
+  /// codec CRC the exact bytes it decoded without re-encoding them.
+  [[nodiscard]] std::span<const std::byte> window(std::size_t start,
+                                                 std::size_t len) const noexcept {
+    return data_.subspan(start, len);
+  }
 
  private:
   Status need(std::size_t n) const;

@@ -5,6 +5,15 @@
 //  - H5LikeFormat: reproduces the layout overheads of an HDF5/h5py save
 //    (superblock, per-object headers, attribute records, chunk-aligned
 //    datasets) without depending on libhdf5.
+//
+// The encode API is scatter-gather: a format reports the exact blob size
+// via serialized_size() and then writes headers and tensor payloads
+// directly into caller-owned storage via serialize_into(). serialize()
+// and serialize_pooled() are thin non-virtual wrappers that provide the
+// storage (one exact-size vector, or a pooled capture buffer reused
+// across versions). Decode is symmetric: deserialize() copies payloads
+// out of the blob, deserialize_shared() borrows them — tensors alias the
+// refcounted blob and only copy on first mutable access.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,8 @@
 #include <vector>
 
 #include "viper/common/status.hpp"
+#include "viper/serial/buffer_pool.hpp"
+#include "viper/serial/byte_io.hpp"
 #include "viper/tensor/model.hpp"
 
 namespace viper::serial {
@@ -24,13 +35,48 @@ class CheckpointFormat {
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
-  /// Serialize a model to a self-contained byte blob.
-  [[nodiscard]] virtual Result<std::vector<std::byte>> serialize(
+  /// Exact size in bytes of the blob serialize_into() will produce for
+  /// this model (CRC trailer included). Pure metadata walk — O(tensors),
+  /// never touches payload bytes.
+  [[nodiscard]] virtual Result<std::size_t> serialized_size(
       const Model& model) const = 0;
 
-  /// Parse a blob produced by serialize(). Validates integrity.
-  [[nodiscard]] virtual Result<Model> deserialize(
-      std::span<const std::byte> blob) const = 0;
+  /// Encode the model into `out`, which must be exactly
+  /// serialized_size(model) bytes. Headers are written in place and
+  /// tensor payloads memcpy directly into their final position — no
+  /// intermediate buffers, no allocations.
+  [[nodiscard]] virtual Status serialize_into(const Model& model,
+                                              std::span<std::byte> out) const = 0;
+
+  /// Serialize into a fresh exact-size vector (one allocation).
+  [[nodiscard]] Result<std::vector<std::byte>> serialize(const Model& model) const;
+
+  /// Serialize into a buffer drawn from BufferPool::global(); at a steady
+  /// checkpoint cadence this is zero allocations per capture.
+  [[nodiscard]] Result<PooledBuffer> serialize_pooled(const Model& model) const;
+
+  /// Parse a blob produced by serialize(). Validates integrity. Tensor
+  /// payloads are copied out of the blob.
+  [[nodiscard]] Result<Model> deserialize(std::span<const std::byte> blob) const;
+
+  /// Zero-copy parse: tensors borrow their payloads from `blob` (starting
+  /// at `offset`), holding a reference that keeps it alive. Validates
+  /// integrity exactly like deserialize().
+  [[nodiscard]] Result<Model> deserialize_shared(SharedBlob blob,
+                                                 std::size_t offset = 0) const;
+
+ protected:
+  /// Decode `blob`; when `owner` is non-null, tensor payloads may alias
+  /// the blob (owner anchors its lifetime), otherwise they must be copied.
+  [[nodiscard]] virtual Result<Model> deserialize_impl(
+      std::span<const std::byte> blob,
+      const std::shared_ptr<const void>& owner) const = 0;
+
+  /// Shared payload-read helper for format decoders: borrows a view into
+  /// the reader's backing blob when `owner` is set, copies otherwise.
+  [[nodiscard]] static Result<Tensor> read_payload(
+      ByteReader& reader, DType dtype, Shape shape, std::size_t byte_size,
+      const std::shared_ptr<const void>& owner);
 };
 
 /// Lean Viper serialization (magic "VSF1", CRC-32 trailer).

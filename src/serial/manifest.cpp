@@ -61,20 +61,12 @@ Result<ManifestRecord> decode_manifest_record(ByteReader& reader) {
   if (!iteration.is_ok()) return iteration.status();
   record.iteration = iteration.value();
 
-  // Reconstruct the covered bytes for the CRC check: everything between
-  // `start` and the current position.
+  // CRC the exact stream bytes just decoded — a window into the reader's
+  // backing blob, no re-encode and no per-record allocation.
   const std::size_t body_len = reader.position() - start;
   auto trailer = reader.u32();
   if (!trailer.is_ok()) return trailer.status();
-  ByteWriter body;
-  body.u32(kManifestMagic);
-  body.u8(op.value());
-  body.u64(record.sequence);
-  body.u64(record.version);
-  body.u64(record.size_bytes);
-  body.u32(record.blob_crc);
-  body.i64(record.iteration);
-  if (body.size() != body_len || crc32(body.bytes()) != trailer.value()) {
+  if (crc32(reader.window(start, body_len)) != trailer.value()) {
     return data_loss("manifest record CRC mismatch");
   }
   return record;

@@ -11,33 +11,61 @@ namespace {
 constexpr std::uint32_t kMagic = 0x31465356;  // "VSF1" little-endian.
 constexpr std::uint16_t kFormatVersion = 1;
 
+// One body encoder instantiated over all three writer flavors: ByteSizer
+// (serialized_size), SpanWriter (scatter-gather serialize_into), and — in
+// principle — ByteWriter. Keeps the size computation and the encode
+// byte-for-byte in sync by construction.
+template <typename W>
+void write_body(W& w, const Model& model) {
+  w.u32(kMagic);
+  w.u16(kFormatVersion);
+  w.str(model.name());
+  w.u64(model.version());
+  w.i64(model.iteration());
+  w.u64(model.nominal_bytes());
+  w.u32(static_cast<std::uint32_t>(model.num_tensors()));
+  for (const auto& [tensor_name, tensor] : model.tensors()) {
+    w.str(tensor_name);
+    w.u8(static_cast<std::uint8_t>(tensor.dtype()));
+    w.u8(static_cast<std::uint8_t>(tensor.shape().rank()));
+    for (std::int64_t d : tensor.shape().dims()) w.i64(d);
+    w.u64(tensor.byte_size());
+    w.raw(tensor.bytes());
+  }
+}
+
 class ViperFormat final : public CheckpointFormat {
  public:
   std::string_view name() const noexcept override { return "viper-vsf1"; }
 
-  Result<std::vector<std::byte>> serialize(const Model& model) const override {
-    ByteWriter w;
-    w.u32(kMagic);
-    w.u16(kFormatVersion);
-    w.str(model.name());
-    w.u64(model.version());
-    w.i64(model.iteration());
-    w.u64(model.nominal_bytes());
-    w.u32(static_cast<std::uint32_t>(model.num_tensors()));
-    for (const auto& [tensor_name, tensor] : model.tensors()) {
-      w.str(tensor_name);
-      w.u8(static_cast<std::uint8_t>(tensor.dtype()));
-      w.u8(static_cast<std::uint8_t>(tensor.shape().rank()));
-      for (std::int64_t d : tensor.shape().dims()) w.i64(d);
-      w.u64(tensor.byte_size());
-      w.raw(tensor.bytes());
-    }
-    const std::uint32_t checksum = crc32(w.bytes());
-    w.u32(checksum);
-    return std::move(w).take();
+  Result<std::size_t> serialized_size(const Model& model) const override {
+    ByteSizer sizer;
+    write_body(sizer, model);
+    return sizer.size() + 4;  // + CRC-32 trailer
   }
 
-  Result<Model> deserialize(std::span<const std::byte> blob) const override {
+  Status serialize_into(const Model& model, std::span<std::byte> out) const override {
+    auto expected = serialized_size(model);
+    if (!expected.is_ok()) return expected.status();
+    if (out.size() != expected.value()) {
+      return invalid_argument("serialize_into: span of " +
+                              std::to_string(out.size()) + " bytes, need " +
+                              std::to_string(expected.value()));
+    }
+    SpanWriter w(out.first(out.size() - 4));
+    write_body(w, model);
+    if (!w.full_exact()) {
+      return internal_error("VSF encode did not fill its sized span exactly");
+    }
+    const std::uint32_t checksum = crc32(w.written());
+    std::memcpy(out.data() + out.size() - 4, &checksum, 4);
+    return Status::ok();
+  }
+
+ protected:
+  Result<Model> deserialize_impl(
+      std::span<const std::byte> blob,
+      const std::shared_ptr<const void>& owner) const override {
     if (blob.size() < 4 + 2 + 4) return data_loss("blob too small for VSF header");
     // Verify the CRC trailer before trusting any field.
     const std::size_t body_size = blob.size() - 4;
@@ -90,10 +118,8 @@ class ViperFormat final : public CheckpointFormat {
       }
       auto byte_size = r.u64();
       if (!byte_size.is_ok()) return byte_size.status();
-      auto payload = r.raw(byte_size.value());
-      if (!payload.is_ok()) return payload.status();
-      auto tensor = Tensor::from_bytes(dtype.value(), Shape(std::move(dims)),
-                                       std::move(payload).value());
+      auto tensor = read_payload(r, dtype.value(), Shape(std::move(dims)),
+                                 byte_size.value(), owner);
       if (!tensor.is_ok()) {
         return data_loss("tensor payload inconsistent with shape: " +
                          tensor.status().message());

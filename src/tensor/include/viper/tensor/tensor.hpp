@@ -1,10 +1,17 @@
 // Owning n-dimensional dense tensor. Deliberately minimal: Viper moves
 // and stores weights, it does not do math on them — so no strides, views,
 // or broadcasting, just a typed contiguous buffer with a shape.
+//
+// A tensor can alternatively *borrow* its payload from a refcounted
+// checkpoint blob (from_view) — the zero-copy deserialize path. Borrowed
+// payloads are immutable-by-aliasing: the first mutable access
+// (mutable_bytes / mutable_data / perturb) materializes a private copy so
+// the shared blob is never written through.
 #pragma once
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -58,24 +65,48 @@ class Tensor {
   static Result<Tensor> from_bytes(DType dtype, Shape shape,
                                    std::vector<std::byte> bytes);
 
+  /// Borrows an externally owned payload (zero-copy deserialize): the
+  /// tensor aliases `bytes` and holds `owner` to keep them alive. With a
+  /// null owner this degrades to an owned copy — there is nothing to
+  /// anchor the view's lifetime to.
+  static Result<Tensor> from_view(DType dtype, Shape shape,
+                                  std::span<const std::byte> bytes,
+                                  std::shared_ptr<const void> owner);
+
   [[nodiscard]] DType dtype() const noexcept { return dtype_; }
   [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
   [[nodiscard]] std::int64_t num_elements() const noexcept {
     return shape_.num_elements();
   }
-  [[nodiscard]] std::size_t byte_size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t byte_size() const noexcept { return bytes().size(); }
 
-  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return data_; }
-  [[nodiscard]] std::span<std::byte> mutable_bytes() noexcept { return data_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return owner_ != nullptr ? view_ : std::span<const std::byte>(data_);
+  }
+  /// Mutable view; materializes a private copy first if the payload is
+  /// borrowed (so writes never reach the shared blob).
+  [[nodiscard]] std::span<std::byte> mutable_bytes() {
+    materialize();
+    return data_;
+  }
+
+  /// True when the payload lives in this tensor's own buffer; false when
+  /// it aliases a shared blob.
+  [[nodiscard]] bool owns_payload() const noexcept { return owner_ == nullptr; }
+
+  /// Copy a borrowed payload into owned storage; no-op when already owned.
+  void materialize();
 
   /// Typed access; T must match dtype (checked in debug builds only).
   template <typename T>
   [[nodiscard]] std::span<const T> data() const noexcept {
-    return {reinterpret_cast<const T*>(data_.data()), data_.size() / sizeof(T)};
+    const auto b = bytes();
+    return {reinterpret_cast<const T*>(b.data()), b.size() / sizeof(T)};
   }
   template <typename T>
-  [[nodiscard]] std::span<T> mutable_data() noexcept {
-    return {reinterpret_cast<T*>(data_.data()), data_.size() / sizeof(T)};
+  [[nodiscard]] std::span<T> mutable_data() {
+    const auto b = mutable_bytes();
+    return {reinterpret_cast<T*>(b.data()), b.size() / sizeof(T)};
   }
 
   /// In-place perturbation of float tensors — simulates a training step's
@@ -92,6 +123,9 @@ class Tensor {
   DType dtype_ = DType::kF32;
   Shape shape_;
   std::vector<std::byte> data_;
+  /// Borrowed mode: keeps the backing blob alive while view_ aliases it.
+  std::shared_ptr<const void> owner_;
+  std::span<const std::byte> view_;
 };
 
 }  // namespace viper

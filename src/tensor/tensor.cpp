@@ -69,6 +69,34 @@ Result<Tensor> Tensor::from_bytes(DType dtype, Shape shape,
   return Tensor(dtype, std::move(shape), std::move(bytes));
 }
 
+Result<Tensor> Tensor::from_view(DType dtype, Shape shape,
+                                 std::span<const std::byte> bytes,
+                                 std::shared_ptr<const void> owner) {
+  if (!shape.valid()) return invalid_argument("negative dimension in shape");
+  const auto expected =
+      static_cast<std::size_t>(shape.num_elements()) * dtype_size(dtype);
+  if (bytes.size() != expected) {
+    return invalid_argument("byte view size " + std::to_string(bytes.size()) +
+                            " does not match shape requiring " +
+                            std::to_string(expected));
+  }
+  if (owner == nullptr) {
+    return from_bytes(dtype, std::move(shape),
+                      std::vector<std::byte>(bytes.begin(), bytes.end()));
+  }
+  Tensor t(dtype, std::move(shape), {});
+  t.owner_ = std::move(owner);
+  t.view_ = bytes;
+  return t;
+}
+
+void Tensor::materialize() {
+  if (owner_ == nullptr) return;
+  data_.assign(view_.begin(), view_.end());
+  owner_.reset();
+  view_ = {};
+}
+
 void Tensor::perturb(Rng& rng, double magnitude) {
   switch (dtype_) {
     case DType::kF32:
@@ -85,9 +113,10 @@ void Tensor::perturb(Rng& rng, double magnitude) {
 }
 
 bool Tensor::equals(const Tensor& other) const noexcept {
+  const auto a = bytes();
+  const auto b = other.bytes();
   return dtype_ == other.dtype_ && shape_ == other.shape_ &&
-         data_.size() == other.data_.size() &&
-         std::memcmp(data_.data(), other.data_.data(), data_.size()) == 0;
+         a.size() == b.size() && std::memcmp(a.data(), b.data(), a.size()) == 0;
 }
 
 }  // namespace viper

@@ -1,0 +1,196 @@
+// Tests for the checkpoint buffer pool: bucketing/reuse semantics, the
+// share()-returns-to-pool lifecycle, counter accounting, a multithreaded
+// hammer (also run under ThreadSanitizer by scripts/verify.sh), and a
+// pooled serialize/deserialize fuzz across every dtype.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "viper/serial/buffer_pool.hpp"
+#include "viper/serial/format.hpp"
+#include "viper/tensor/model.hpp"
+
+namespace viper::serial {
+namespace {
+
+TEST(BufferPool, AcquireGivesExactSize) {
+  BufferPool pool;
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{4096}, std::size_t{4097},
+                              std::size_t{1} << 20}) {
+    PooledBuffer buffer = pool.acquire(n);
+    EXPECT_EQ(buffer.size(), n);
+    EXPECT_EQ(buffer.span().size(), n);
+  }
+}
+
+TEST(BufferPool, ReusesReturnedStorage) {
+  BufferPool pool;
+  const std::byte* first_data = nullptr;
+  {
+    PooledBuffer buffer = pool.acquire(1 << 16);
+    first_data = buffer.span().data();
+  }  // destructor returns the storage
+  EXPECT_GT(pool.cached_bytes(), 0u);
+  PooledBuffer again = pool.acquire(1 << 16);
+  EXPECT_EQ(again.span().data(), first_data);
+  EXPECT_EQ(pool.cached_buffers(), 0u);
+}
+
+TEST(BufferPool, BucketsByPowerOfTwo) {
+  BufferPool pool;
+  {
+    PooledBuffer buffer = pool.acquire(5000);  // lands in the 8 KiB bucket
+  }
+  // A request within the same bucket is served by the cached buffer even
+  // though the byte count differs.
+  const std::size_t cached = pool.cached_bytes();
+  EXPECT_GE(cached, 5000u);
+  PooledBuffer hit = pool.acquire(8192);
+  EXPECT_EQ(hit.size(), 8192u);
+  EXPECT_EQ(pool.cached_bytes(), 0u);
+}
+
+TEST(BufferPool, TinyBuffersAreNotPooled) {
+  BufferPool pool;
+  // Externally-grown storage below the pooling floor is freed, not cached.
+  std::vector<std::byte> tiny(16);
+  pool.release(std::move(tiny));
+  EXPECT_EQ(pool.cached_bytes(), 0u);
+  EXPECT_EQ(pool.cached_buffers(), 0u);
+}
+
+TEST(BufferPool, PerBucketCapEvicts) {
+  BufferPool::Options options;
+  options.max_buffers_per_bucket = 2;
+  BufferPool pool(options);
+  {
+    PooledBuffer a = pool.acquire(1 << 16);
+    PooledBuffer b = pool.acquire(1 << 16);
+    PooledBuffer c = pool.acquire(1 << 16);
+  }
+  EXPECT_EQ(pool.cached_buffers(), 2u);
+}
+
+TEST(BufferPool, TrimDropsEverything) {
+  BufferPool pool;
+  { PooledBuffer buffer = pool.acquire(1 << 18); }
+  EXPECT_GT(pool.cached_bytes(), 0u);
+  pool.trim();
+  EXPECT_EQ(pool.cached_bytes(), 0u);
+  EXPECT_EQ(pool.cached_buffers(), 0u);
+}
+
+TEST(BufferPool, ShareReturnsStorageOnLastRelease) {
+  BufferPool pool;
+  const std::byte* data = nullptr;
+  {
+    PooledBuffer buffer = pool.acquire(1 << 16);
+    data = buffer.span().data();
+    SharedBlob blob = std::move(buffer).share();
+    ASSERT_NE(blob, nullptr);
+    EXPECT_EQ(blob->data(), data);
+    SharedBlob alias = blob;  // second reference keeps it alive
+    blob.reset();
+    EXPECT_EQ(pool.cached_bytes(), 0u);  // still referenced
+  }
+  // Last reference gone — the storage is back in the pool.
+  EXPECT_GT(pool.cached_bytes(), 0u);
+  PooledBuffer again = pool.acquire(1 << 16);
+  EXPECT_EQ(again.span().data(), data);
+}
+
+TEST(BufferPool, TakeDetachesFromPool) {
+  BufferPool pool;
+  PooledBuffer buffer = pool.acquire(1 << 16);
+  std::vector<std::byte> owned = std::move(buffer).take();
+  EXPECT_EQ(owned.size(), std::size_t{1} << 16);
+  owned.clear();
+  EXPECT_EQ(pool.cached_bytes(), 0u);
+}
+
+TEST(BufferPool, HitMissCountersAdvance) {
+  SerialMetrics& metrics = serial_metrics();
+  BufferPool pool;
+  const std::uint64_t misses0 = metrics.pool_misses.value();
+  const std::uint64_t hits0 = metrics.pool_hits.value();
+  { PooledBuffer buffer = pool.acquire(1 << 16); }
+  EXPECT_EQ(metrics.pool_misses.value(), misses0 + 1);
+  { PooledBuffer buffer = pool.acquire(1 << 16); }
+  EXPECT_EQ(metrics.pool_hits.value(), hits0 + 1);
+}
+
+TEST(BufferPool, ConcurrentAcquireFillRelease) {
+  BufferPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &failures, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const std::size_t size =
+            std::size_t{4096} << (static_cast<std::size_t>(t + i) % 4);
+        PooledBuffer buffer = pool.acquire(size);
+        if (buffer.size() != size) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto fill = static_cast<std::byte>(t);
+        for (auto& b : buffer.span()) b = fill;
+        for (const auto& b : buffer.span()) {
+          if (b != fill) {
+            failures.fetch_add(1);
+            break;
+          }
+        }
+        if (i % 3 == 0) {
+          SharedBlob blob = std::move(buffer).share();
+          if (blob->size() != size) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(BufferPool, PooledRoundTripFuzzAllDtypes) {
+  constexpr DType kDtypes[] = {DType::kF32, DType::kF64, DType::kF16,
+                               DType::kI32, DType::kI64, DType::kU8};
+  auto format = make_viper_format();
+  Rng rng(4242);
+  for (int round = 0; round < 20; ++round) {
+    Model model("fuzz");
+    model.set_version(static_cast<std::uint64_t>(round));
+    const int tensors = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < tensors; ++i) {
+      const DType dtype =
+          kDtypes[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+      const auto n = static_cast<std::int64_t>(rng.uniform_int(0, 2000));
+      ASSERT_TRUE(model
+                      .add_tensor("t" + std::to_string(i),
+                                  Tensor::random(dtype, Shape{n}, rng).value())
+                      .is_ok());
+    }
+    auto buffer = format->serialize_pooled(model);
+    ASSERT_TRUE(buffer.is_ok()) << buffer.status().to_string();
+    // Alternate between borrowing decode (shared) and copying decode.
+    if (round % 2 == 0) {
+      const SharedBlob blob = std::move(buffer).value().share();
+      auto restored = format->deserialize_shared(blob);
+      ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+      EXPECT_TRUE(restored.value().same_weights(model));
+    } else {
+      auto restored = format->deserialize(buffer.value().span());
+      ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+      EXPECT_TRUE(restored.value().same_weights(model));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace viper::serial

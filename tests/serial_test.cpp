@@ -32,6 +32,41 @@ TEST(Crc32, KnownVector) {
   EXPECT_EQ(crc32({p, 9}), 0xCBF43926u);
 }
 
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32({}), 0u);
+  EXPECT_EQ(crc32_update(0x12345678u, {}), 0x12345678u);
+}
+
+// Bit-at-a-time CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the textbook
+// definition the slice-by-8 implementation must agree with byte for byte.
+std::uint32_t crc32_reference(std::uint32_t crc,
+                              std::span<const std::byte> data) {
+  crc = ~crc;
+  for (const std::byte b : data) {
+    crc ^= static_cast<std::uint32_t>(b);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+  }
+  return ~crc;
+}
+
+TEST(Crc32, SliceBy8MatchesBytewiseReference) {
+  Rng rng(99);
+  // Lengths straddling the 8-byte slicing stride and its alignment
+  // prologue: empty, sub-stride, exact multiples, and odd tails.
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u, 4097u}) {
+    std::vector<std::byte> data(n);
+    for (auto& b : data) b = static_cast<std::byte>(rng.uniform_int(0, 255));
+    EXPECT_EQ(crc32(data), crc32_reference(0, data)) << "length " << n;
+    // Misaligned start: the slice-by-8 prologue must cover it.
+    if (n > 3) {
+      const auto tail = std::span(data).subspan(3);
+      EXPECT_EQ(crc32(tail), crc32_reference(0, tail)) << "length " << n;
+    }
+  }
+}
+
 TEST(Crc32, IncrementalMatchesOneShot) {
   std::vector<std::byte> data(1000);
   for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i);
@@ -115,6 +150,73 @@ TEST_P(FormatRoundTrip, PreservesEverything) {
   EXPECT_EQ(m.iteration(), original.iteration());
   EXPECT_EQ(m.nominal_bytes(), original.nominal_bytes());
   EXPECT_TRUE(m.same_weights(original));
+}
+
+TEST_P(FormatRoundTrip, SerializedSizeIsExactAndSerializeIntoMatches) {
+  auto format = make_format();
+  const Model model = make_test_model(std::get<1>(GetParam()), std::get<2>(GetParam()));
+  const auto blob = format->serialize(model).value();
+  auto size = format->serialized_size(model);
+  ASSERT_TRUE(size.is_ok()) << size.status().to_string();
+  EXPECT_EQ(size.value(), blob.size());
+
+  // In-place serialization into a caller-owned buffer is byte-identical.
+  std::vector<std::byte> scratch(size.value());
+  ASSERT_TRUE(format->serialize_into(model, scratch).is_ok());
+  EXPECT_EQ(scratch, blob);
+
+  // An undersized destination is rejected without writing.
+  if (!scratch.empty()) {
+    std::vector<std::byte> small(scratch.size() - 1);
+    auto st = format->serialize_into(model, small);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_P(FormatRoundTrip, PooledSerializeRoundTrips) {
+  auto format = make_format();
+  const Model original = make_test_model(std::get<1>(GetParam()), std::get<2>(GetParam()));
+  auto buffer = format->serialize_pooled(original);
+  ASSERT_TRUE(buffer.is_ok()) << buffer.status().to_string();
+  auto restored = format->deserialize(buffer.value().span());
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_TRUE(restored.value().same_weights(original));
+}
+
+TEST_P(FormatRoundTrip, DeserializeSharedAliasesBlob) {
+  auto format = make_format();
+  const Model original = make_test_model(std::get<1>(GetParam()), std::get<2>(GetParam()));
+  const SharedBlob blob = std::make_shared<const std::vector<std::byte>>(
+      format->serialize(original).value());
+  auto restored = format->deserialize_shared(blob);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_TRUE(restored.value().same_weights(original));
+  for (const auto& [name, tensor] : restored.value().tensors()) {
+    if (tensor.byte_size() == 0) continue;
+    // Non-empty payloads are borrowed views into the shared blob, not
+    // copies — the zero-copy decode invariant.
+    EXPECT_FALSE(tensor.owns_payload()) << name;
+    const auto* p = tensor.bytes().data();
+    EXPECT_GE(p, blob->data()) << name;
+    EXPECT_LE(p + tensor.byte_size(), blob->data() + blob->size()) << name;
+  }
+}
+
+TEST_P(FormatRoundTrip, BorrowedTensorMaterializesOnWrite) {
+  auto format = make_format();
+  const Model original = make_test_model(std::get<1>(GetParam()), std::get<2>(GetParam()));
+  const SharedBlob blob = std::make_shared<const std::vector<std::byte>>(
+      format->serialize(original).value());
+  const std::vector<std::byte> pristine = *blob;
+  auto restored = format->deserialize_shared(blob);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  for (auto& [name, tensor] : restored.value().mutable_tensors()) {
+    if (tensor.byte_size() == 0) continue;
+    tensor.mutable_bytes()[0] ^= std::byte{0xFF};
+    EXPECT_TRUE(tensor.owns_payload()) << name;
+  }
+  // Writing through a borrowed tensor never touches the shared bytes.
+  EXPECT_EQ(*blob, pristine);
 }
 
 INSTANTIATE_TEST_SUITE_P(
