@@ -1,12 +1,36 @@
 // Micro-benchmarks of the live transfer engine: save_weights across
 // strategies, consumer loads, and the full save→notify→load round trip
 // over the in-process comm fabric.
+//
+// `--smoke` additionally runs the parallel-data-plane gate: a 64 MiB
+// checkpoint is pushed through the real sharded serialize + striped
+// stream machinery for correctness (sharded bytes must equal the serial
+// path, striped reassembly must be exact), and the end-to-end
+// capture→wire→flush chain is costed with the concurrency-honest
+// device/link models at 1/2/4/8 threads. The single-core CI box cannot
+// show wall-clock parallel speedup, so the throughput gate is on the
+// MODELED pipeline (bottleneck-stage) rate: 4 threads must clear 2x the
+// single-thread serial chain, in-run and against the recorded baseline
+// (`--baseline`), with steady-state allocations unchanged.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 
+#include "viper/common/thread_pool.hpp"
 #include "viper/core/consumer.hpp"
 #include "viper/core/handler.hpp"
+#include "viper/memsys/presets.hpp"
+#include "viper/net/link_model.hpp"
+#include "viper/net/stream.hpp"
+#include "viper/serial/buffer_pool.hpp"
+#include "viper/serial/crc32.hpp"
 
 namespace viper::core {
 namespace {
@@ -123,7 +147,250 @@ void BM_DoubleBufferRead(benchmark::State& state) {
 }
 BENCHMARK(BM_DoubleBufferRead);
 
+// --- smoke mode -----------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Pull `"key": <number>` out of a flat JSON document; NaN if absent.
+double json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+constexpr int kThreadSweep[] = {1, 2, 4, 8};
+
+struct TransferSmokeReport {
+  double payload_bytes = 0.0;
+  /// Modeled end-to-end checkpoint throughput (capture→wire→flush) per
+  /// thread count: the serial chain at 1 thread, the pipeline's
+  /// bottleneck stage with striped concurrency at >1.
+  double modeled_bytes_per_sec[4] = {0, 0, 0, 0};
+  double real_sharded_serialize_bytes_per_sec = 0.0;
+  double real_striped_transfer_bytes_per_sec = 0.0;
+  double allocs_per_checkpoint = 0.0;
+  bool correctness_ok = false;
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\n  \"payload_bytes\": " << payload_bytes << ",\n";
+    for (std::size_t i = 0; i < 4; ++i) {
+      out << "  \"modeled_bytes_per_sec_t" << kThreadSweep[i]
+          << "\": " << modeled_bytes_per_sec[i] << ",\n";
+    }
+    out << "  \"speedup_t4\": " << modeled_bytes_per_sec[2] / modeled_bytes_per_sec[0]
+        << ",\n"
+        << "  \"real_sharded_serialize_bytes_per_sec\": "
+        << real_sharded_serialize_bytes_per_sec << ",\n"
+        << "  \"real_striped_transfer_bytes_per_sec\": "
+        << real_striped_transfer_bytes_per_sec << ",\n"
+        << "  \"allocs_per_checkpoint\": " << allocs_per_checkpoint << ",\n"
+        << "  \"correctness_ok\": " << (correctness_ok ? 1 : 0) << "\n}\n";
+    return out.str();
+  }
+};
+
+/// Modeled seconds per pipeline stage for one 64 MiB checkpoint when
+/// `threads` lanes stripe each stage. Deterministic (no jitter rng): the
+/// gate must be reproducible run-to-run.
+struct StageTimes {
+  double capture = 0.0;  ///< GPU→DRAM staging copy
+  double wire = 0.0;     ///< producer→consumer RDMA transfer
+  double flush = 0.0;    ///< journaled PFS flush (metadata + fsync barriers)
+
+  static StageTimes at(std::uint64_t bytes, int threads) {
+    const memsys::DeviceModel dram = memsys::polaris_dram();
+    const net::LinkModel link = net::polaris_gpudirect();
+    const memsys::DeviceModel pfs = memsys::polaris_lustre();
+    StageTimes t;
+    t.capture = dram.striped_write_seconds(bytes, threads);
+    t.wire = link.striped_transfer_seconds(bytes, threads);
+    // Journaled flush: one create-ish metadata op for the blob plus the
+    // two journal fsync barriers (INTENT, COMMIT).
+    t.flush = pfs.striped_write_seconds(bytes, threads, /*metadata_ops=*/1) +
+              2.0 * pfs.fsync_seconds();
+    return t;
+  }
+
+  [[nodiscard]] double serial_chain() const { return capture + wire + flush; }
+  [[nodiscard]] double bottleneck() const {
+    return std::max(capture, std::max(wire, flush));
+  }
+};
+
+TransferSmokeReport measure_transfer_smoke() {
+  constexpr std::uint64_t kPayloadBytes = 64ull << 20;
+  TransferSmokeReport report;
+  report.payload_bytes = static_cast<double>(kPayloadBytes);
+
+  // Modeled end-to-end throughput sweep. One thread runs the stages as a
+  // serial chain; with more threads the producer pipeline overlaps them,
+  // so steady-state cost is the bottleneck stage (striped at that width).
+  for (std::size_t i = 0; i < 4; ++i) {
+    const StageTimes t =
+        StageTimes::at(kPayloadBytes, kThreadSweep[i]);
+    const double seconds =
+        kThreadSweep[i] == 1 ? t.serial_chain() : t.bottleneck();
+    report.modeled_bytes_per_sec[i] =
+        static_cast<double>(kPayloadBytes) / seconds;
+  }
+
+  // Real correctness + steady-state allocation pass through the actual
+  // parallel plane (single CPU core: this validates bytes, not speed).
+  ThreadPool pool(ThreadPool::Options{4});
+  auto format = serial::make_viper_format();
+  const Model model = model_of_bytes(static_cast<std::int64_t>(kPayloadBytes));
+
+  auto serial_blob = format->serialize_pooled(model);
+  if (!serial_blob.is_ok()) return report;
+  const std::uint32_t expected_crc = serial::crc32(serial_blob.value().span());
+
+  for (int i = 0; i < 2; ++i) {  // prime the pool
+    auto warm = format->serialize_pooled_sharded(model, pool, 4);
+    if (!warm.is_ok()) return report;
+  }
+  serial::SerialMetrics& metrics = serial::serial_metrics();
+  const std::uint64_t allocs0 = metrics.allocations.value();
+  constexpr int kIters = 8;
+  std::uint32_t sharded_crc = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    auto sharded = format->serialize_pooled_sharded(model, pool, 4);
+    if (!sharded.is_ok()) return report;
+    sharded_crc = serial::crc32(sharded.value().span());
+  }
+  const double serialize_secs = seconds_since(t0);
+  report.allocs_per_checkpoint =
+      static_cast<double>(metrics.allocations.value() - allocs0) / kIters;
+  report.real_sharded_serialize_bytes_per_sec =
+      static_cast<double>(kPayloadBytes) * kIters / serialize_secs;
+
+  // Striped transfer round trip: reassembled bytes must match exactly.
+  auto world = net::CommWorld::create(2);
+  auto payload = std::move(serial_blob).value().take();
+  net::StripedStreamOptions stream_options;
+  stream_options.stream.chunk_bytes = 1 << 20;
+  stream_options.num_channels = 4;
+  stream_options.pool = &pool;
+  const auto t1 = std::chrono::steady_clock::now();
+  bool sent_ok = false;
+  std::thread sender([&] {
+    sent_ok = net::striped_stream_send(world->comm(0), 1, /*tag=*/9, payload,
+                                       stream_options)
+                  .is_ok();
+  });
+  auto received =
+      net::striped_stream_recv(world->comm(1), 0, /*tag=*/9, stream_options);
+  sender.join();
+  const double transfer_secs = seconds_since(t1);
+  report.real_striped_transfer_bytes_per_sec =
+      static_cast<double>(kPayloadBytes) / transfer_secs;
+
+  report.correctness_ok = sent_ok && received.is_ok() &&
+                          received.value() == payload &&
+                          sharded_crc == expected_crc;
+  return report;
+}
+
+int run_transfer_smoke(const std::string& out_path,
+                       const std::string& baseline_path) {
+  const TransferSmokeReport report = measure_transfer_smoke();
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+  }
+  const double t1 = report.modeled_bytes_per_sec[0];
+  const double t4 = report.modeled_bytes_per_sec[2];
+  std::printf("modeled e2e throughput MB/s: t1 %.0f, t2 %.0f, t4 %.0f, t8 %.0f "
+              "(speedup@4 %.2fx); real sharded serialize %.0f MB/s, striped "
+              "transfer %.0f MB/s, %.2f allocs/ckpt (%s)\n",
+              t1 / 1e6, report.modeled_bytes_per_sec[1] / 1e6, t4 / 1e6,
+              report.modeled_bytes_per_sec[3] / 1e6, t4 / t1,
+              report.real_sharded_serialize_bytes_per_sec / 1e6,
+              report.real_striped_transfer_bytes_per_sec / 1e6,
+              report.allocs_per_checkpoint, out_path.c_str());
+
+  if (!report.correctness_ok) {
+    std::fprintf(stderr, "FAIL: parallel plane correctness check failed "
+                         "(sharded CRC or striped reassembly mismatch)\n");
+    return 1;
+  }
+  // Sharded capture must stay on the pooled zero-copy budget: same
+  // 2-allocations-per-steady-state-checkpoint gate as the serial path.
+  if (report.allocs_per_checkpoint > 2.0) {
+    std::fprintf(stderr, "FAIL: %.2f allocations per sharded checkpoint "
+                         "(budget: 2)\n",
+                 report.allocs_per_checkpoint);
+    return 1;
+  }
+  if (t4 < 2.0 * t1) {
+    std::fprintf(stderr, "FAIL: modeled 4-thread throughput %.0f MB/s is "
+                         "<2x the in-run single-thread chain %.0f MB/s\n",
+                 t4 / 1e6, t1 / 1e6);
+    return 1;
+  }
+
+  if (baseline_path.empty()) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot record baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+    std::printf("recorded baseline %s\n", baseline_path.c_str());
+    return 0;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const double base_t1 = json_number(buffer.str(), "modeled_bytes_per_sec_t1");
+  if (std::isnan(base_t1) || base_t1 <= 0.0) {
+    std::fprintf(stderr, "FAIL: baseline %s has no modeled_bytes_per_sec_t1\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  if (t4 < 2.0 * base_t1) {
+    std::fprintf(stderr, "FAIL: modeled 4-thread throughput %.0f MB/s is <2x "
+                         "the recorded single-thread baseline %.0f MB/s\n",
+                 t4 / 1e6, base_t1 / 1e6);
+    return 1;
+  }
+  std::printf("baseline OK (t4 %.0f MB/s vs recorded t1 %.0f MB/s)\n", t4 / 1e6,
+              base_t1 / 1e6);
+  return 0;
+}
+
 }  // namespace
 }  // namespace viper::core
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_transfer.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  if (smoke) return viper::core::run_transfer_smoke(out_path, baseline_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

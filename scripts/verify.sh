@@ -34,6 +34,14 @@ echo "=== perf smoke: pooled serialize throughput vs recorded baseline ==="
   --baseline build/BENCH_serialization.baseline.json
 ./build/bench/micro_stream --smoke --out build/BENCH_stream.json
 
+echo "=== perf smoke: parallel data plane (modeled 1/2/4/8-thread sweep) ==="
+# Gates the modeled end-to-end checkpoint throughput: 4 threads must clear
+# 2x the recorded single-thread serial chain, sharded/striped correctness
+# must hold, and steady-state allocations must stay on the pooled budget.
+./build/bench/micro_transfer_engine --smoke \
+  --out build/BENCH_transfer.json \
+  --baseline build/BENCH_transfer.baseline.json
+
 if [[ "$SKIP_LONG" == 1 ]]; then
   echo "=== long suites skipped (--skip-long) ==="
 else
@@ -56,18 +64,20 @@ if [[ "$SKIP_TSAN" == 1 ]]; then
   exit 0
 fi
 
-echo "=== tsan: obs + stress + fault-injection + durability under ThreadSanitizer ==="
+echo "=== tsan: obs + stress + fault-injection + durability + parallel plane under ThreadSanitizer ==="
 cmake -B build-tsan -S . \
   -DVIPER_SANITIZE=thread \
   -DVIPER_BUILD_BENCH=OFF \
   -DVIPER_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j \
   --target obs_test stress_test fault_injection_test durability_test \
-           buffer_pool_test >/dev/null
+           buffer_pool_test thread_pool_test parallel_transfer_test >/dev/null
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/stress_test
 ./build-tsan/tests/fault_injection_test
 ./build-tsan/tests/durability_test
 ./build-tsan/tests/buffer_pool_test
+./build-tsan/tests/thread_pool_test
+./build-tsan/tests/parallel_transfer_test
 
 echo "=== verify OK ==="

@@ -1,0 +1,174 @@
+// Shared fixed-size worker pool for the parallel checkpoint data plane:
+// sharded serialization, striped stream lanes, and parallel receive
+// reassembly all borrow workers from here instead of spawning threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "viper/common/queue.hpp"
+#include "viper/common/status.hpp"
+
+namespace viper {
+
+/// Fixed-size work-queue thread pool. Sized once at construction (from
+/// `VIPER_THREADS` or `std::thread::hardware_concurrency()` by default)
+/// and shared process-wide via global(). Tasks are plain closures; fan-out
+/// with join + error collection goes through TaskGroup below.
+///
+/// The pool keeps its own lock-free stats (src/common cannot depend on
+/// the obs layer — viper_obs links viper_common, not the other way
+/// around). The obs bridge in viper/obs/pool_metrics.hpp installs a task
+/// observer that forwards per-task latencies into the metrics registry.
+class ThreadPool {
+ public:
+  struct Options {
+    /// 0 → default_thread_count().
+    int num_threads = 0;
+  };
+
+  struct Stats {
+    int num_threads = 0;
+    std::uint64_t tasks_submitted = 0;
+    std::uint64_t tasks_completed = 0;
+    std::uint64_t tasks_rejected = 0;   ///< submit() after shutdown()
+    std::uint64_t peak_queue_depth = 0;
+    std::size_t queue_depth = 0;
+  };
+
+  /// Called after each task finishes with the time it spent queued and
+  /// the time it spent running, both in seconds.
+  using TaskObserver =
+      std::function<void(double queue_wait_seconds, double run_seconds)>;
+
+  ThreadPool() : ThreadPool(Options{0}) {}
+  explicit ThreadPool(Options options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide shared pool, created on first use with default sizing.
+  [[nodiscard]] static ThreadPool& global();
+
+  /// `VIPER_THREADS` (clamped to [1, 512]) if set and parseable, else
+  /// hardware_concurrency(), else 1.
+  [[nodiscard]] static int default_thread_count() noexcept;
+
+  /// Enqueue a task. Returns false (and drops the task) after shutdown().
+  bool submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished running.
+  /// Deadlocks if called from inside a pool task — don't.
+  void wait_idle();
+
+  /// Stops accepting tasks, runs the backlog, joins the workers.
+  /// Idempotent and safe to race with submit().
+  void shutdown();
+
+  [[nodiscard]] int num_threads() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Install the per-task latency observer. First caller wins; returns
+  /// false if one is already installed. The observer runs on worker
+  /// threads and must be thread-safe.
+  bool set_task_observer(TaskObserver observer);
+
+ private:
+  struct Entry {
+    std::function<void()> fn;
+    std::int64_t enqueued_ns = 0;
+  };
+
+  void worker_loop();
+  void note_completion();
+
+  BlockingQueue<Entry> tasks_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> peak_depth_{0};
+
+  mutable std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+
+  mutable std::mutex observer_mutex_;
+  std::shared_ptr<const TaskObserver> observer_;
+};
+
+/// Fan-out/join helper: submit N status-returning subtasks to a pool and
+/// wait for all of them, keeping the first error. If the pool rejects a
+/// task (shutdown during process exit), the task runs inline on the
+/// caller so the group always completes.
+///
+/// Do not wait() on a TaskGroup from inside a task running on the same
+/// pool: with all workers blocked in wait() no worker is left to run the
+/// subtasks. Call sites keep one subtask on the caller thread instead
+/// (submit shards 1..N-1, run shard 0 inline) — that also keeps the
+/// caller core busy.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submit one subtask. May run inline if the pool is shut down.
+  void run(std::function<Status()> fn);
+
+  /// Blocks until every subtask finished; returns the first non-OK
+  /// status (subtask completion order, not submission order).
+  Status wait();
+
+ private:
+  void finish(Status status);
+
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  Status first_error_;
+};
+
+/// Counting gate bounding how many checkpoint versions may be in flight
+/// past capture (the producer pipeline depth). acquire() blocks once
+/// `depth` slots are taken and unblocks as release() frees them, giving
+/// the bounded-depth backpressure the pipelined producer relies on.
+/// depth == 0 means unbounded (acquire never blocks).
+class BoundedGate {
+ public:
+  explicit BoundedGate(std::size_t depth) : depth_(depth) {}
+
+  /// Take a slot, blocking while the gate is full. Returns the time in
+  /// seconds spent blocked (0.0 when a slot was free).
+  double acquire();
+
+  /// Take a slot only if one is free right now.
+  bool try_acquire();
+
+  void release();
+
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  const std::size_t depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace viper

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <functional>
+#include <mutex>
 #include <thread>
 
 #include "viper/common/queue.hpp"
@@ -41,6 +42,23 @@ class WorkerThread {
 /// Serial task executor: one background thread draining a task queue.
 /// Used for asynchronous checkpoint capture and PFS flushing, where order
 /// matters (version k must land before version k+1).
+///
+/// Ordering guarantees (relied on by the pipelined producer, audited and
+/// regression-tested in thread_pool_test.cpp):
+///  - Tasks run one at a time, in FIFO submission order, on the single
+///    worker thread. submit(A) happens-before submit(B) implies A runs
+///    to completion before B starts — this is the in-order-commit
+///    invariant of the checkpoint pipeline.
+///  - drain() is a barrier only over tasks whose submit() happened-before
+///    the drain() call. Tasks submitted concurrently with (or after) a
+///    drain() may still be pending when it returns; such submits are
+///    legal and simply land behind the barrier sentinel.
+///  - shutdown() closes the queue, runs the backlog to completion, then
+///    joins. It is idempotent; submit() after shutdown() returns false
+///    and drops the task. drain() racing shutdown() returns without
+///    blocking if the barrier could not be enqueued.
+///  - Calling drain() or shutdown() from the worker thread itself
+///    deadlocks — never block on the executor from inside a task.
 class SerialExecutor {
  public:
   SerialExecutor();
@@ -66,6 +84,7 @@ class SerialExecutor {
   BlockingQueue<std::function<void()>> tasks_;
   std::thread worker_;
   std::atomic<bool> shutdown_{false};
+  std::mutex join_mutex_;
 };
 
 }  // namespace viper

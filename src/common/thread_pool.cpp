@@ -1,0 +1,213 @@
+#include "viper/common/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace viper {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int ThreadPool::default_thread_count() noexcept {
+  if (const char* env = std::getenv("VIPER_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<int>(std::min(parsed, 512L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(Options options) {
+  const int n =
+      options.num_threads > 0 ? options.num_threads : default_thread_count();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+ThreadPool& ThreadPool::global() {
+  // Leaked on purpose: worker threads may outlive static destruction order
+  // (the same pattern MetricsRegistry::global() uses).
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+bool ThreadPool::submit(std::function<void()> task) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Entry entry{std::move(task), steady_now_ns()};
+  if (!tasks_.push(std::move(entry))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  submitted_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t depth = tasks_.size();
+  std::uint64_t peak = peak_depth_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !peak_depth_.compare_exchange_weak(peak, depth,
+                                            std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return completed_.load(std::memory_order_acquire) >=
+           submitted_.load(std::memory_order_acquire);
+  });
+}
+
+void ThreadPool::shutdown() {
+  bool expected = false;
+  if (shutdown_.compare_exchange_strong(expected, true)) {
+    tasks_.close();
+  }
+  // Joining is single-owner: shutdown races with submit(), not with a
+  // second concurrent shutdown() (destructor or explicit call, not both
+  // at once from different threads).
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats stats;
+  stats.num_threads = num_threads();
+  stats.tasks_submitted = submitted_.load(std::memory_order_acquire);
+  stats.tasks_completed = completed_.load(std::memory_order_acquire);
+  stats.tasks_rejected = rejected_.load(std::memory_order_acquire);
+  stats.peak_queue_depth = peak_depth_.load(std::memory_order_acquire);
+  stats.queue_depth = tasks_.size();
+  return stats;
+}
+
+bool ThreadPool::set_task_observer(TaskObserver observer) {
+  std::lock_guard lock(observer_mutex_);
+  if (observer_) return false;
+  observer_ = std::make_shared<const TaskObserver>(std::move(observer));
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  while (auto entry = tasks_.pop()) {
+    const std::int64_t start_ns = steady_now_ns();
+    entry->fn();
+    const std::int64_t end_ns = steady_now_ns();
+
+    std::shared_ptr<const TaskObserver> observer;
+    {
+      std::lock_guard lock(observer_mutex_);
+      observer = observer_;
+    }
+    if (observer) {
+      (*observer)(static_cast<double>(start_ns - entry->enqueued_ns) * 1e-9,
+                  static_cast<double>(end_ns - start_ns) * 1e-9);
+    }
+    note_completion();
+  }
+}
+
+void ThreadPool::note_completion() {
+  {
+    std::lock_guard lock(idle_mutex_);
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  idle_cv_.notify_all();
+}
+
+void TaskGroup::run(std::function<Status()> fn) {
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  const bool accepted = pool_.submit(
+      [this, fn = std::move(fn)]() mutable { finish(fn()); });
+  if (!accepted) {
+    // Pool shut down (process exit): degrade to inline execution so the
+    // group still completes and wait() cannot hang.
+    std::lock_guard lock(mutex_);
+    --pending_;
+    // Re-run the caller-side copy is impossible (fn was moved into the
+    // rejected closure and dropped), so record the rejection as an error.
+    if (first_error_.is_ok()) {
+      first_error_ = cancelled("thread pool shut down before task ran");
+    }
+  }
+}
+
+Status TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  return first_error_;
+}
+
+void TaskGroup::finish(Status status) {
+  // Notify while holding the lock: the waiter may destroy the TaskGroup
+  // the moment the predicate turns true, so the cv must not be touched
+  // after the mutex is released.
+  std::lock_guard lock(mutex_);
+  if (!status.is_ok() && first_error_.is_ok()) {
+    first_error_ = std::move(status);
+  }
+  --pending_;
+  cv_.notify_all();
+}
+
+double BoundedGate::acquire() {
+  std::unique_lock lock(mutex_);
+  if (depth_ == 0 || in_flight_ < depth_) {
+    ++in_flight_;
+    return 0.0;
+  }
+  const std::int64_t start_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  cv_.wait(lock, [this] { return in_flight_ < depth_; });
+  ++in_flight_;
+  const std::int64_t end_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<double>(end_ns - start_ns) * 1e-9;
+}
+
+bool BoundedGate::try_acquire() {
+  std::lock_guard lock(mutex_);
+  if (depth_ != 0 && in_flight_ >= depth_) return false;
+  ++in_flight_;
+  return true;
+}
+
+void BoundedGate::release() {
+  {
+    std::lock_guard lock(mutex_);
+    if (in_flight_ > 0) --in_flight_;
+  }
+  cv_.notify_one();
+}
+
+std::size_t BoundedGate::in_flight() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
+}  // namespace viper

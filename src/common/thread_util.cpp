@@ -42,11 +42,12 @@ void SerialExecutor::drain() {
 
 void SerialExecutor::shutdown() {
   bool expected = false;
-  if (!shutdown_.compare_exchange_strong(expected, true)) {
-    if (worker_.joinable()) worker_.join();
-    return;
+  if (shutdown_.compare_exchange_strong(expected, true)) {
+    tasks_.close();
   }
-  tasks_.close();
+  // Serialize the join: shutdown() may be called from both a test thread
+  // and the destructor, and std::thread::join is not safe to race.
+  std::lock_guard lock(join_mutex_);
   if (worker_.joinable()) worker_.join();
 }
 

@@ -9,11 +9,13 @@
 
 #include "viper/common/clock.hpp"
 #include "viper/common/log.hpp"
+#include "viper/common/thread_pool.hpp"
 #include "viper/durability/metrics.hpp"
 #include "viper/durability/scrub.hpp"
 #include "viper/fault/fault.hpp"
 #include "viper/net/stream.hpp"
 #include "viper/obs/metrics.hpp"
+#include "viper/obs/pool_metrics.hpp"
 #include "viper/obs/trace.hpp"
 #include "viper/serial/byte_io.hpp"
 #include "viper/serial/crc32.hpp"
@@ -58,6 +60,8 @@ struct EngineMetrics {
       obs::MetricsRegistry::global().histogram("viper.core.load_seconds");
   obs::Histogram& transfer_seconds =
       obs::MetricsRegistry::global().histogram("viper.core.transfer_seconds");
+  obs::Histogram& pipeline_wait_seconds = obs::MetricsRegistry::global()
+      .histogram("viper.core.pipeline_wait_seconds");
 };
 
 EngineMetrics& engine_metrics() {
@@ -113,8 +117,12 @@ ModelWeightsHandler::ModelWeightsHandler(std::shared_ptr<SharedServices> service
                                                      : serial::make_viper_format()),
       notifier_(services_->bus),
       gpu_tier_(memsys::polaris_gpu_hbm()),
-      host_tier_(memsys::polaris_dram()) {
+      host_tier_(memsys::polaris_dram()),
+      pipeline_gate_(options.pipeline_depth) {
   if (options_.jitter_seed != 0) jitter_rng_.emplace(options_.jitter_seed);
+  // Sharded capture and striped replies borrow workers from the shared
+  // pool; make sure its task latencies reach the metrics registry.
+  obs::instrument_thread_pool();
 }
 
 ModelWeightsHandler::~ModelWeightsHandler() {
@@ -131,11 +139,16 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
   // Capture: serialize the weights into a pooled buffer (this is the real
   // checkpoint copy — and at a steady cadence the only allocation-free
   // one: the buffer is reused across versions). share() turns it into the
-  // refcounted blob every downstream stage aliases.
+  // refcounted blob every downstream stage aliases. With more than one
+  // shard the encode and CRC run sharded on the shared thread pool; the
+  // produced bytes are identical to the serial path.
   Result<serial::PooledBuffer> captured = [&] {
     const Stopwatch serialize_watch;
     auto serialize_span = obs::Tracer::global().span("serialize", "producer");
-    auto out = format_->serialize_pooled(model);
+    auto out = options_.serialize_shards == 1
+                   ? format_->serialize_pooled(model)
+                   : format_->serialize_pooled_sharded(
+                         model, ThreadPool::global(), options_.serialize_shards);
     engine_metrics().serialize_seconds.record(serialize_watch.elapsed());
     return out;
   }();
@@ -195,9 +208,20 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
   total_stall_.fetch_add(costs.producer_stall, std::memory_order_relaxed);
   services_->stats->on_save(metadata.size_bytes, costs.producer_stall);
 
-  Staged staged{model_name, std::move(blob), metadata};
+  Staged staged{model_name, std::move(blob), metadata, nullptr};
 
   if (strategy_is_async(options_.strategy)) {
+    // Bounded-depth pipeline: serialize of this version already overlapped
+    // the previous version's commit/flush; now take a slot before handing
+    // the blob downstream so at most `pipeline_depth` versions buffer past
+    // capture. The slot rides along in Staged and is dropped by the last
+    // stage that still holds the blob.
+    if (pipeline_gate_.depth() > 0) {
+      const double waited = pipeline_gate_.acquire();
+      if (waited > 0.0) engine_metrics().pipeline_wait_seconds.record(waited);
+      staged.pipeline_slot = std::shared_ptr<void>(
+          nullptr, [this](void*) { pipeline_gate_.release(); });
+    }
     // Training resumes now; the engine thread finishes the update.
     if (!engine_.submit([this, staged = std::move(staged)]() mutable {
           const Status status = commit(std::move(staged));
@@ -294,8 +318,11 @@ Status ModelWeightsHandler::commit(Staged staged) {
     // Safe to capture `this`: the destructor shuts the flusher down (and
     // drains its queue) before any member is destroyed. The lambda holds
     // a reference to the same capture blob the tier stored — no clone.
+    // The pipeline slot moves along too: the flush is the last stage
+    // holding this version's blob, so the gate opens when it lands.
     flusher_.submit([this, meta = metadata,
-                     flush_blob = std::move(staged.blob)]() mutable {
+                     flush_blob = std::move(staged.blob),
+                     slot = std::move(staged.pipeline_slot)]() mutable {
       const Stopwatch flush_watch;
       auto flush_span = obs::Tracer::global().span("flush", "producer");
       const Status status = store_pfs_journaled(meta, std::move(flush_blob));
@@ -498,11 +525,22 @@ void ModelWeightsHandler::serve_transfers(const net::Comm& comm) {
       }
     }
     // Replies travel as checksum-verified chunked streams so a consumer
-    // can detect a torn or corrupted transfer and refetch.
-    net::StreamOptions stream_options;
-    stream_options.chunk_bytes = options_.reply_chunk_bytes;
-    const Status sent = net::stream_send(comm, msg.value().source, kTagLoadReply,
-                                         reply.bytes(), stream_options);
+    // can detect a torn or corrupted transfer and refetch. With
+    // reply_channels > 1 the chunks stripe across concurrent send lanes
+    // on the shared pool (same wire format, any receiver reassembles).
+    Status sent;
+    if (options_.reply_channels > 1) {
+      net::StripedStreamOptions striped;
+      striped.stream.chunk_bytes = options_.reply_chunk_bytes;
+      striped.num_channels = options_.reply_channels;
+      sent = net::striped_stream_send(comm, msg.value().source, kTagLoadReply,
+                                      reply.bytes(), striped);
+    } else {
+      net::StreamOptions stream_options;
+      stream_options.chunk_bytes = options_.reply_chunk_bytes;
+      sent = net::stream_send(comm, msg.value().source, kTagLoadReply,
+                              reply.bytes(), stream_options);
+    }
     if (!sent.is_ok() && sent.code() == StatusCode::kCancelled) return;
   }
 }
@@ -563,8 +601,17 @@ Result<std::vector<std::byte>> ModelLoader::fetch_from_producer(
       if (!options_.retry.retryable(last.code())) return last;
       continue;
     }
-    auto reply = net::stream_recv(comm_, options_.producer_rank, kTagLoadReply,
-                                  stream_options);
+    auto reply = [&]() -> Result<std::vector<std::byte>> {
+      if (options_.stripe_channels > 1) {
+        net::StripedStreamOptions striped;
+        striped.stream = stream_options;
+        striped.num_channels = options_.stripe_channels;
+        return net::striped_stream_recv(comm_, options_.producer_rank,
+                                        kTagLoadReply, striped);
+      }
+      return net::stream_recv(comm_, options_.producer_rank, kTagLoadReply,
+                              stream_options);
+    }();
     if (!reply.is_ok()) {
       // Torn (checksum) or lost (timeout) transfer: reject and refetch.
       last = reply.status();
@@ -625,7 +672,11 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
       const auto& link = meta.location == Location::kGpuMemory
                              ? options_.platform.gpu_link
                              : options_.platform.host_link;
-      last_load_cost_ = link.transfer_seconds(meta.cost_bytes);
+      // Striped transfers charge the link's concurrency-honest aggregate
+      // rate (saturates at the fabric's parallel-stream ceiling) rather
+      // than channels-times-free speedup.
+      last_load_cost_ = link.striped_transfer_seconds(
+          meta.cost_bytes, std::max(options_.stripe_channels, 1));
     } else {
       // The producer's memory cache moved on, the producer died, or the
       // retry budget ran out mid-partition: degrade to the flushed PFS

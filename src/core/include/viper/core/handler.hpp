@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "viper/common/retry.hpp"
+#include "viper/common/thread_pool.hpp"
 #include "viper/common/thread_util.hpp"
 #include "viper/core/metadata.hpp"
 #include "viper/durability/journal.hpp"
@@ -72,6 +73,21 @@ class ModelWeightsHandler {
     std::string producer_id = "producer-0";
     /// Chunk size for transfer-server replies (chunked streams).
     std::uint32_t reply_chunk_bytes = 256 * 1024;
+    /// Max shards for the parallel capture serialize (sharded CRC +
+    /// encode on the shared thread pool). 0 = pool width; 1 = the serial
+    /// capture path. Output bytes are identical either way.
+    int serialize_shards = 0;
+    /// Channels for striped transfer-server replies. 1 = plain chunked
+    /// stream (seed behavior); >1 stripes chunks across that many
+    /// concurrent send lanes.
+    int reply_channels = 1;
+    /// Producer pipeline depth: how many checkpoint versions may be in
+    /// flight past capture (engine commit + PFS flush) before
+    /// save_weights blocks for backpressure. Versions still commit in
+    /// order (the engine is a FIFO serial executor); the gate only bounds
+    /// buffering so serialize of version k+1 overlaps send/flush of
+    /// version k without unbounded memory growth. 0 = unbounded.
+    std::size_t pipeline_depth = 2;
   };
 
   ModelWeightsHandler(std::shared_ptr<SharedServices> services, Options options);
@@ -133,6 +149,11 @@ class ModelWeightsHandler {
     /// blob — the capture serialize is the only payload copy a save makes.
     serial::SharedBlob blob;
     ModelMetadata metadata;
+    /// Pipeline-depth slot (releases the gate on destruction). Travels
+    /// with the version through every async stage; the last stage holding
+    /// the blob — the PFS flush when one is scheduled, otherwise the
+    /// engine commit — drops it and unblocks the next save.
+    std::shared_ptr<void> pipeline_slot;
   };
 
   /// Store + metadata + notify (runs inline for sync, on engine for async).
@@ -156,6 +177,7 @@ class ModelWeightsHandler {
   memsys::MemoryTier host_tier_;
   SerialExecutor engine_;   ///< async capture/transfer thread
   SerialExecutor flusher_;  ///< background PFS flush thread
+  BoundedGate pipeline_gate_;  ///< bounds versions in flight past capture
   std::optional<Rng> jitter_rng_;
   std::mutex jitter_mutex_;
   std::mutex journals_mutex_;
@@ -181,6 +203,11 @@ class ModelLoader {
                       .max_backoff_seconds = 0.1};
     /// Seed for retry-backoff jitter (reproducible under test).
     std::uint64_t retry_seed = 0x5eed;
+    /// Receive-side channels for producer transfers. >1 reassembles reply
+    /// chunks with parallel pool workers and charges the link model's
+    /// striped (concurrency-honest) transfer cost; wire-compatible with
+    /// both plain and striped senders.
+    int stripe_channels = 1;
   };
 
   ModelLoader(std::shared_ptr<SharedServices> services, net::Comm comm,

@@ -46,6 +46,29 @@ double DeviceModel::read_seconds(std::uint64_t bytes, int metadata_ops,
                           jitter_fraction, rng);
 }
 
+double DeviceModel::striped_factor(int streams) const noexcept {
+  if (streams <= 1) return 1.0;
+  const double engines =
+      static_cast<double>(std::min(streams, std::max(io_lanes, 1)));
+  return std::max(1.0, std::min(engines, std::max(striped_peak_factor, 1.0)));
+}
+
+double DeviceModel::striped_write_seconds(std::uint64_t bytes, int streams,
+                                          int metadata_ops, Rng* rng) const {
+  return transfer_seconds(bytes, write_bw * striped_factor(streams),
+                          access_latency, metadata_op_latency, metadata_ops,
+                          small_io_threshold, small_io_penalty, jitter_fraction,
+                          rng);
+}
+
+double DeviceModel::striped_read_seconds(std::uint64_t bytes, int streams,
+                                         int metadata_ops, Rng* rng) const {
+  return transfer_seconds(bytes, read_bw * striped_factor(streams),
+                          access_latency, metadata_op_latency, metadata_ops,
+                          small_io_threshold, small_io_penalty, jitter_fraction,
+                          rng);
+}
+
 double DeviceModel::fsync_seconds(Rng* rng) const {
   if (fsync_latency <= 0.0) return 0.0;
   if (rng == nullptr || jitter_fraction <= 0.0) return fsync_latency;

@@ -50,12 +50,34 @@ struct DeviceModel {
 
   std::uint64_t capacity_bytes = UINT64_MAX;
 
+  /// Concurrency honesty for striped I/O: `io_lanes` is how many
+  /// concurrent streams the device can service independently (copy
+  /// engines, NVMe queues, OST stripes); `striped_peak_factor` caps the
+  /// aggregate bandwidth at that multiple of the single-stream rate,
+  /// because lanes share the physical medium. `streams` concurrent
+  /// writers therefore see
+  ///   bw * min(min(streams, io_lanes), striped_peak_factor)
+  /// — sublinear, saturating scaling instead of a free lunch.
+  int io_lanes = 1;
+  double striped_peak_factor = 1.0;
+
   /// Seconds to write `bytes` in one access (plus `metadata_ops` ops).
   [[nodiscard]] double write_seconds(std::uint64_t bytes, int metadata_ops = 0,
                                      Rng* rng = nullptr) const;
   /// Seconds to read `bytes` in one access.
   [[nodiscard]] double read_seconds(std::uint64_t bytes, int metadata_ops = 0,
                                     Rng* rng = nullptr) const;
+  /// Seconds to write `bytes` split across `streams` concurrent lanes;
+  /// streams <= 1 is exactly write_seconds().
+  [[nodiscard]] double striped_write_seconds(std::uint64_t bytes, int streams,
+                                             int metadata_ops = 0,
+                                             Rng* rng = nullptr) const;
+  /// Read-side counterpart of striped_write_seconds().
+  [[nodiscard]] double striped_read_seconds(std::uint64_t bytes, int streams,
+                                            int metadata_ops = 0,
+                                            Rng* rng = nullptr) const;
+  /// Aggregate-bandwidth multiplier `streams` concurrent lanes achieve.
+  [[nodiscard]] double striped_factor(int streams) const noexcept;
   /// Seconds for one fsync barrier (jittered like bandwidth when an Rng
   /// is supplied).
   [[nodiscard]] double fsync_seconds(Rng* rng = nullptr) const;

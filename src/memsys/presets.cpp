@@ -19,6 +19,9 @@ DeviceModel polaris_gpu_hbm() {
       .small_io_penalty = 0.0,
       .jitter_fraction = 0.01,
       .capacity_bytes = 40_GiB,
+      // Several async copy engines, but they share HBM bandwidth.
+      .io_lanes = 8,
+      .striped_peak_factor = 4.0,
   };
 }
 
@@ -34,6 +37,10 @@ DeviceModel polaris_dram() {
       .small_io_penalty = 0.0,
       .jitter_fraction = 0.02,
       .capacity_bytes = 512_GiB,
+      // PCIe pinned-buffer staging overlaps across channels until the
+      // link itself is the bottleneck.
+      .io_lanes = 4,
+      .striped_peak_factor = 2.5,
   };
 }
 
@@ -50,6 +57,9 @@ DeviceModel polaris_nvme() {
       .jitter_fraction = 0.05,
       .fsync_latency = 80e-6,   // NVMe flush-cache round trip
       .capacity_bytes = 1500_GiB,
+      // Deep NVMe queues absorb concurrency well, flash channels less so.
+      .io_lanes = 8,
+      .striped_peak_factor = 2.0,
   };
 }
 
@@ -69,6 +79,10 @@ DeviceModel polaris_lustre() {
       // Lustre client flush: force dirty pages to the OSTs and wait for
       // the commit callback — dominated by one OST round trip.
       .fsync_latency = 4e-3,
+      // Multi-stream writes land on distinct OST stripes; the client NIC
+      // caps the aggregate at ~3.2x the single-stream rate.
+      .io_lanes = 4,
+      .striped_peak_factor = 3.2,
   };
 }
 

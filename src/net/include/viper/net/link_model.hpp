@@ -23,12 +23,28 @@ std::string_view to_string(LinkKind kind) noexcept;
 struct LinkModel {
   std::string name;
   LinkKind kind = LinkKind::kHostRdma;
-  double bandwidth = 1e9;       ///< bytes/second sustained.
+  double bandwidth = 1e9;       ///< bytes/second sustained, single stream.
   double setup_latency = 0.0;   ///< per-message handshake/registration.
   double jitter_fraction = 0.0;
 
+  /// Concurrency honesty for striped transfers: a link has a bounded
+  /// number of independent DMA/queue-pair engines, and even those share
+  /// the physical fabric. `channels` concurrent streams aggregate to
+  ///   min(bandwidth * min(channels, max_parallel_streams), peak_bandwidth)
+  /// so the modeled speedup saturates instead of scaling linearly
+  /// forever. peak_bandwidth == 0 disables multi-stream gain entirely.
+  int max_parallel_streams = 1;
+  double peak_bandwidth = 0.0;  ///< bytes/second aggregate ceiling.
+
   [[nodiscard]] double transfer_seconds(std::uint64_t bytes,
                                         Rng* rng = nullptr) const;
+
+  /// Modeled seconds for `bytes` striped across `channels` concurrent
+  /// streams. Setup is paid once (channels register concurrently);
+  /// channels <= 1 is exactly transfer_seconds().
+  [[nodiscard]] double striped_transfer_seconds(std::uint64_t bytes,
+                                                int channels,
+                                                Rng* rng = nullptr) const;
 };
 
 /// GPUDirect RDMA between two Polaris nodes (vendor-optimized MPI path).

@@ -26,6 +26,7 @@
 
 #include "viper/common/retry.hpp"
 #include "viper/common/status.hpp"
+#include "viper/common/thread_pool.hpp"
 #include "viper/net/comm.hpp"
 
 namespace viper::net {
@@ -62,6 +63,37 @@ Result<std::vector<std::byte>> stream_recv(const Comm& comm, int source, int tag
 Result<std::vector<std::byte>> stream_relay(const Comm& comm, int source, int dest,
                                             int tag,
                                             const StreamOptions& options = {});
+
+/// Multi-channel striping: one logical stream whose chunks fan out over
+/// N concurrent sender lanes (chunk i travels on lane i % N, each lane a
+/// pool task walking its stride with per-channel sequencing). The wire
+/// format is the plain stream protocol — each chunk message carries its
+/// channel in the WireChunk header — so a striped sender interoperates
+/// with stream_recv and a striped receiver accepts a plain sender.
+struct StripedStreamOptions {
+  StreamOptions stream{};
+  /// Concurrent sender lanes / receiver assembly workers. 1 degrades to
+  /// the plain single-channel path.
+  int num_channels = 4;
+  /// Worker pool for lanes and reassembly; nullptr → ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+/// Send `payload` striped across `num_channels` lanes. The payload CRC in
+/// the header is computed as parallel per-segment CRCs folded with
+/// crc32_combine — byte-identical to the serial CRC.
+Status striped_stream_send(const Comm& comm, int dest, int tag,
+                           std::span<const std::byte> payload,
+                           const StripedStreamOptions& options = {});
+
+/// Receive a (striped or plain) stream, reassembling by per-stream id +
+/// chunk index. The caller thread demultiplexes messages; chunk payload
+/// copies and per-chunk CRCs run as pool tasks, and the per-chunk CRCs
+/// fold incrementally into the blob checksum via a precomputed
+/// fixed-length crc32 combine operator.
+Result<std::vector<std::byte>> striped_stream_recv(
+    const Comm& comm, int source, int tag,
+    const StripedStreamOptions& options = {});
 
 struct ReliableStreamOptions {
   StreamOptions stream{.chunk_bytes = 256 * 1024, .timeout_seconds = 1.0};

@@ -17,8 +17,17 @@ namespace viper::net {
 namespace {
 
 struct StreamMetrics {
+  // Chunk counters are batched: senders count per lane and flush once per
+  // stream completion, receivers flush once per assembled stream — the
+  // per-chunk hot path performs no shared atomic increments.
   obs::Counter& chunks_sent =
       obs::MetricsRegistry::global().counter("viper.net.stream_chunks_sent");
+  obs::Counter& chunks_received =
+      obs::MetricsRegistry::global().counter("viper.net.stream_chunks_received");
+  obs::Counter& striped_sends =
+      obs::MetricsRegistry::global().counter("viper.net.striped_sends");
+  obs::Counter& striped_recvs =
+      obs::MetricsRegistry::global().counter("viper.net.striped_recvs");
   obs::Counter& bytes_on_wire =
       obs::MetricsRegistry::global().counter("viper.net.stream_bytes_on_wire");
   obs::Counter& requeues =
@@ -55,7 +64,7 @@ struct WireHeader {
 
 struct WireChunk {
   std::uint32_t magic = kChunkMagic;
-  std::uint32_t reserved = 0;
+  std::uint32_t channel = 0;  ///< sender lane (striped streams); informational
   std::uint64_t stream_id = 0;
   std::uint64_t chunk_index = 0;
 };
@@ -276,7 +285,9 @@ Result<std::vector<std::byte>> recv_stream(const Comm& comm, int source, int tag
         if (crc_state != header->payload_crc) {
           return data_loss("stream payload failed its checksum");
         }
-        stream_metrics().recv_seconds.record(watch.elapsed());
+        StreamMetrics& metrics = stream_metrics();
+        metrics.chunks_received.add(header->num_chunks);  // one flush per stream
+        metrics.recv_seconds.record(watch.elapsed());
         return payload;
       }
       continue;
@@ -353,6 +364,228 @@ Result<std::vector<std::byte>> stream_relay(const Comm& comm, int source, int de
                      [&comm, dest, tag](std::span<const std::byte> message) {
                        return comm.send(dest, tag, message);
                      });
+}
+
+Status striped_stream_send(const Comm& comm, int dest, int tag,
+                           std::span<const std::byte> payload,
+                           const StripedStreamOptions& options) {
+  if (options.stream.chunk_bytes == 0) {
+    return invalid_argument("chunk_bytes must be > 0");
+  }
+  if (options.num_channels < 1) {
+    return invalid_argument("num_channels must be >= 1");
+  }
+  const std::uint64_t num_chunks =
+      stream_num_chunks(payload.size(), options.stream.chunk_bytes);
+  const int lanes = static_cast<int>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(options.num_channels),
+                              std::max<std::uint64_t>(num_chunks, 1)));
+  if (lanes <= 1) return stream_send(comm, dest, tag, payload, options.stream);
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::global();
+
+  const Stopwatch watch;
+  const std::uint64_t stream_id = next_stream_id(comm.rank());
+  WireHeader header;
+  header.chunk_bytes = options.stream.chunk_bytes;
+  header.stream_id = stream_id;
+  header.total_bytes = payload.size();
+  header.num_chunks = num_chunks;
+  header.payload_crc = serial::parallel_crc32(payload, pool, lanes);
+  VIPER_RETURN_IF_ERROR(comm.send(dest, tag, encode_header(header)));
+
+  // Lane l walks chunks l, l+lanes, l+2*lanes, ... — per-channel
+  // sequencing with the whole stride set in flight concurrently. Chunk
+  // accounting is lane-local (one shared add per lane, flushed to the
+  // registry once per stream), so the per-chunk path has no contended
+  // counter. A failing lane flips `abort` so its peers stop early.
+  std::atomic<bool> abort{false};
+  std::atomic<std::uint64_t> chunks_out{0};
+  const auto send_lane = [&](int lane) -> Status {
+    std::uint64_t lane_chunks = 0;
+    for (std::uint64_t chunk = static_cast<std::uint64_t>(lane);
+         chunk < num_chunks; chunk += static_cast<std::uint64_t>(lanes)) {
+      if (abort.load(std::memory_order_relaxed)) {
+        chunks_out.fetch_add(lane_chunks, std::memory_order_relaxed);
+        return cancelled("striped send aborted by a sibling lane");
+      }
+      const std::size_t offset =
+          static_cast<std::size_t>(chunk) * options.stream.chunk_bytes;
+      const std::size_t length = std::min<std::size_t>(
+          options.stream.chunk_bytes, payload.size() - offset);
+      WireChunk wire;
+      wire.channel = static_cast<std::uint32_t>(lane);
+      wire.stream_id = stream_id;
+      wire.chunk_index = chunk;
+      std::array<std::byte, sizeof(WireChunk)> chunk_header;
+      std::memcpy(chunk_header.data(), &wire, sizeof(WireChunk));
+      const Status sent =
+          comm.send(dest, tag, chunk_header, payload.subspan(offset, length));
+      if (!sent.is_ok()) {
+        abort.store(true, std::memory_order_relaxed);
+        chunks_out.fetch_add(lane_chunks, std::memory_order_relaxed);
+        return sent;
+      }
+      ++lane_chunks;
+    }
+    chunks_out.fetch_add(lane_chunks, std::memory_order_relaxed);
+    return Status::ok();
+  };
+
+  TaskGroup group(pool);
+  for (int lane = 1; lane < lanes; ++lane) {
+    group.run([&send_lane, lane] { return send_lane(lane); });
+  }
+  const Status first = send_lane(0);
+  const Status rest = group.wait();
+
+  StreamMetrics& metrics = stream_metrics();
+  metrics.chunks_sent.add(chunks_out.load(std::memory_order_relaxed));
+  VIPER_RETURN_IF_ERROR(first);
+  VIPER_RETURN_IF_ERROR(rest);
+  metrics.striped_sends.add();
+  metrics.bytes_on_wire.add(payload.size());
+  metrics.send_seconds.record(watch.elapsed());
+  return Status::ok();
+}
+
+Result<std::vector<std::byte>> striped_stream_recv(
+    const Comm& comm, int source, int tag,
+    const StripedStreamOptions& options) {
+  if (options.num_channels < 1) {
+    return invalid_argument("num_channels must be >= 1");
+  }
+  if (options.num_channels == 1) {
+    return stream_recv(comm, source, tag, options.stream);
+  }
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::global();
+  using clock = std::chrono::steady_clock;
+  const Stopwatch watch;
+  const bool bounded = options.stream.timeout_seconds >= 0.0;
+  auto last_progress = clock::now();
+
+  // The caller thread demultiplexes the inbox (header validation, chunk
+  // classification, requeue of foreign traffic); each accepted chunk's
+  // payload copy + CRC runs as a pool task over a disjoint slice of the
+  // assembly buffer. Per-chunk CRCs land in chunk_crcs and fold after the
+  // join, so no pool worker ever blocks in a queue pop and completion
+  // needs no polling or wake messages.
+  std::optional<WireHeader> header;
+  std::vector<std::byte> payload;
+  std::vector<std::uint8_t> have;
+  std::vector<std::uint32_t> chunk_crcs;
+  std::uint64_t remaining = 0;
+  // Declared after the buffers it writes into: destruction joins the
+  // in-flight tasks before the buffers go away on every early return.
+  TaskGroup group(pool);
+
+  for (;;) {
+    if (bounded &&
+        std::chrono::duration<double>(clock::now() - last_progress).count() >
+            options.stream.timeout_seconds) {
+      return timeout("striped stream made no progress within its deadline");
+    }
+    auto msg = comm.recv(source, tag, options.stream.timeout_seconds);
+    if (!msg.is_ok()) return msg.status();
+    std::vector<std::byte>& bytes = msg.value().payload;
+    const std::uint32_t magic = peek_magic(bytes);
+
+    if (magic == kHeaderMagic) {
+      auto decoded = decode_header(bytes);
+      if (!decoded.is_ok()) return decoded.status();
+      if (header.has_value()) {
+        if (decoded.value().stream_id == header->stream_id) {
+          last_progress = clock::now();
+        } else {
+          VIPER_RETURN_IF_ERROR(requeue_foreign(comm, std::move(msg).value()));
+        }
+        continue;
+      }
+      header = decoded.value();
+      payload.assign(static_cast<std::size_t>(header->total_bytes),
+                     std::byte{0});
+      have.assign(static_cast<std::size_t>(header->num_chunks), 0);
+      chunk_crcs.assign(static_cast<std::size_t>(header->num_chunks), 0);
+      remaining = header->num_chunks;
+      last_progress = clock::now();
+      if (remaining == 0) break;
+      continue;
+    }
+
+    if (magic == kChunkMagic) {
+      auto decoded = decode_chunk(bytes);
+      if (!decoded.is_ok()) return decoded.status();
+      const WireChunk& chunk = decoded.value();
+      if (!header.has_value() || chunk.stream_id != header->stream_id) {
+        VIPER_RETURN_IF_ERROR(requeue_foreign(comm, std::move(msg).value()));
+        continue;
+      }
+      if (chunk.chunk_index >= header->num_chunks) {
+        return data_loss("stream chunk index out of range");
+      }
+      const std::size_t offset =
+          static_cast<std::size_t>(chunk.chunk_index) * header->chunk_bytes;
+      const std::size_t length = std::min<std::size_t>(
+          header->chunk_bytes, payload.size() - offset);
+      if (bytes.size() - sizeof(WireChunk) != length) {
+        return data_loss("stream chunk size inconsistent with its index");
+      }
+      const auto index = static_cast<std::size_t>(chunk.chunk_index);
+      if (have[index] == 0) {  // duplicates are absorbed
+        have[index] = 1;
+        --remaining;
+        std::byte* dst = payload.data() + offset;
+        std::uint32_t* crc_slot = &chunk_crcs[index];
+        group.run([bytes = std::move(bytes), dst, length,
+                   crc_slot]() -> Status {
+          std::memcpy(dst, bytes.data() + sizeof(WireChunk), length);
+          *crc_slot = serial::crc32(
+              std::span<const std::byte>(dst, length));
+          return Status::ok();
+        });
+      }
+      last_progress = clock::now();
+      if (remaining == 0) break;
+      continue;
+    }
+
+    if (magic == kAckMagic && bytes.size() == sizeof(WireAck)) {
+      continue;  // stale ack from an earlier reliable exchange
+    }
+    return data_loss("message is not part of a chunked stream");
+  }
+
+  VIPER_RETURN_IF_ERROR(group.wait());
+
+  // Incremental fold of the per-chunk CRCs into the blob checksum. Every
+  // chunk except the last has the same length, so one precomputed
+  // zero-advance operator handles the steady state.
+  std::uint32_t crc = 0;
+  const std::uint64_t num_chunks = header->num_chunks;
+  if (num_chunks > 0) {
+    crc = chunk_crcs[0];
+    if (num_chunks > 1) {
+      const serial::Crc32ZeroOp full_chunk_op(header->chunk_bytes);
+      for (std::uint64_t i = 1; i + 1 < num_chunks; ++i) {
+        crc = full_chunk_op.combine(crc, chunk_crcs[static_cast<std::size_t>(i)]);
+      }
+      const std::size_t last_length =
+          payload.size() -
+          static_cast<std::size_t>(num_chunks - 1) * header->chunk_bytes;
+      crc = serial::crc32_combine(
+          crc, chunk_crcs[static_cast<std::size_t>(num_chunks - 1)],
+          last_length);
+    }
+  }
+  if (crc != header->payload_crc) {
+    return data_loss("stream payload failed its checksum");
+  }
+  StreamMetrics& metrics = stream_metrics();
+  metrics.chunks_received.add(num_chunks);  // one flush per stream
+  metrics.striped_recvs.add();
+  metrics.recv_seconds.record(watch.elapsed());
+  return payload;
 }
 
 Status reliable_stream_send(const Comm& comm, int dest, int tag,

@@ -1,0 +1,23 @@
+// Bridge between the shared ThreadPool (src/common, which cannot link
+// the obs layer) and the metrics registry: installs the pool's task
+// observer and republishes its counters as gauges.
+#pragma once
+
+#include "viper/common/thread_pool.hpp"
+
+namespace viper::obs {
+
+/// Attach metrics to `pool` (defaults to ThreadPool::global()):
+///  - viper.common.pool_tasks                (counter)
+///  - viper.common.pool_task_seconds         (histogram, run time)
+///  - viper.common.pool_queue_wait_seconds   (histogram, time queued)
+/// First caller wins (the pool accepts a single observer); repeat calls
+/// are no-ops, so any obs-linked subsystem may call this idempotently.
+void instrument_thread_pool(ThreadPool& pool = ThreadPool::global());
+
+/// Copy the pool's internal stats into gauges
+/// (viper.common.pool_threads / pool_queue_depth / pool_peak_queue_depth
+/// / pool_tasks_rejected). Call before snapshotting.
+void publish_thread_pool_gauges(const ThreadPool& pool = ThreadPool::global());
+
+}  // namespace viper::obs

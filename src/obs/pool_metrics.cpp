@@ -1,0 +1,37 @@
+#include "viper/obs/pool_metrics.hpp"
+
+#include "viper/obs/metrics.hpp"
+
+namespace viper::obs {
+
+void instrument_thread_pool(ThreadPool& pool) {
+  // Resolve handles once; the observer then records lock-free on worker
+  // threads. set_task_observer is first-caller-wins, so racing callers
+  // install at most one observer.
+  Counter& tasks = MetricsRegistry::global().counter("viper.common.pool_tasks");
+  Histogram& run_seconds =
+      MetricsRegistry::global().histogram("viper.common.pool_task_seconds");
+  Histogram& queue_wait = MetricsRegistry::global().histogram(
+      "viper.common.pool_queue_wait_seconds");
+  pool.set_task_observer(
+      [&tasks, &run_seconds, &queue_wait](double wait_s, double run_s) {
+        tasks.add();
+        queue_wait.record(wait_s);
+        run_seconds.record(run_s);
+      });
+}
+
+void publish_thread_pool_gauges(const ThreadPool& pool) {
+  const ThreadPool::Stats stats = pool.stats();
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.gauge("viper.common.pool_threads")
+      .set(static_cast<double>(stats.num_threads));
+  registry.gauge("viper.common.pool_queue_depth")
+      .set(static_cast<double>(stats.queue_depth));
+  registry.gauge("viper.common.pool_peak_queue_depth")
+      .set(static_cast<double>(stats.peak_queue_depth));
+  registry.gauge("viper.common.pool_tasks_rejected")
+      .set(static_cast<double>(stats.tasks_rejected));
+}
+
+}  // namespace viper::obs

@@ -6,9 +6,13 @@
 // twice per checkpoint per hop.
 #include "viper/serial/crc32.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstring>
+#include <vector>
+
+#include "viper/common/thread_pool.hpp"
 
 namespace viper::serial {
 
@@ -41,6 +45,67 @@ constexpr Tables make_tables() {
 }
 
 constexpr Tables kTables = make_tables();
+
+// --- GF(2) matrix machinery for crc32_combine -------------------------------
+//
+// Processing one zero byte maps the CRC register u to
+//   step(u) = t0[u & 0xff] ^ (u >> 8)
+// which is linear over GF(2) in the 32 register bits (t0 of an XOR is the
+// XOR of the t0s). Advancing past len zero bytes is step^len, computed in
+// O(log len) by matrix squaring. The pre/post conditioning XORs cancel,
+// so for finalized CRCs:  crc32(A||B) = step^|B|(crc32(A)) ^ crc32(B).
+// (Derivation: with raw(B, u) = step^|B|(u) ^ raw(B, 0), expand both
+// sides and the 0xFFFFFFFF terms cancel pairwise.)
+
+// 32x32 bit-matrix over GF(2), stored as columns: col[i] = M * e_i.
+struct GfMatrix {
+  std::array<std::uint32_t, 32> col{};
+
+  [[nodiscard]] std::uint32_t apply(std::uint32_t v) const noexcept {
+    std::uint32_t r = 0;
+    for (int i = 0; v != 0; v >>= 1, ++i) {
+      if (v & 1U) r ^= col[static_cast<std::size_t>(i)];
+    }
+    return r;
+  }
+
+  // this ∘ rhs (apply rhs first).
+  [[nodiscard]] GfMatrix times(const GfMatrix& rhs) const noexcept {
+    GfMatrix out;
+    for (std::size_t i = 0; i < 32; ++i) out.col[i] = apply(rhs.col[i]);
+    return out;
+  }
+
+  [[nodiscard]] static GfMatrix identity() noexcept {
+    GfMatrix m;
+    for (std::size_t i = 0; i < 32; ++i) m.col[i] = 1U << i;
+    return m;
+  }
+};
+
+// The one-zero-byte operator, column form. For bit i < 8 the low byte is
+// the basis bit itself (col = t0[1<<i]); for i >= 8 the low byte is zero
+// and the column is the plain right shift (col = 1 << (i-8), t0[0] == 0).
+GfMatrix zero_byte_step() noexcept {
+  GfMatrix m;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::uint32_t e = 1U << i;
+    m.col[i] = kTables.t[0][e & 0xFFU] ^ (e >> 8);
+  }
+  return m;
+}
+
+// step^len by square-and-multiply.
+GfMatrix zeros_operator(std::uint64_t len) noexcept {
+  GfMatrix result = GfMatrix::identity();
+  GfMatrix base = zero_byte_step();
+  while (len != 0) {
+    if (len & 1U) result = base.times(result);
+    len >>= 1;
+    if (len != 0) base = base.times(base);
+  }
+  return result;
+}
 
 }  // namespace
 
@@ -83,6 +148,60 @@ std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> data) n
 
 std::uint32_t crc32(std::span<const std::byte> data) noexcept {
   return crc32_update(0, data);
+}
+
+std::uint32_t crc32_combine(std::uint32_t crc1, std::uint32_t crc2,
+                            std::uint64_t len2) noexcept {
+  return zeros_operator(len2).apply(crc1) ^ crc2;
+}
+
+std::uint32_t parallel_crc32(std::span<const std::byte> data, ThreadPool& pool,
+                             int parts) noexcept {
+  // Below this size the fold and dispatch overhead beats the win.
+  constexpr std::size_t kMinSegmentBytes = 64 * 1024;
+  const std::size_t n = data.size();
+  const std::size_t max_parts =
+      std::max<std::size_t>(1, std::min<std::size_t>(
+                                   static_cast<std::size_t>(std::max(parts, 1)),
+                                   n / kMinSegmentBytes));
+  if (max_parts <= 1) return crc32(data);
+
+  const std::size_t segment = n / max_parts;
+  std::vector<std::uint32_t> crcs(max_parts, 0);
+  std::vector<std::size_t> lengths(max_parts, segment);
+  lengths.back() = n - segment * (max_parts - 1);
+
+  TaskGroup group(pool);
+  for (std::size_t i = 1; i < max_parts; ++i) {
+    group.run([&crcs, &lengths, data, segment, i]() -> Status {
+      crcs[i] = crc32(data.subspan(i * segment, lengths[i]));
+      return Status::ok();
+    });
+  }
+  crcs[0] = crc32(data.first(segment));
+  if (!group.wait().is_ok()) {
+    // Pool shut down mid-flight: fall back to the serial kernel.
+    return crc32(data);
+  }
+  std::uint32_t crc = crcs[0];
+  for (std::size_t i = 1; i < max_parts; ++i) {
+    crc = crc32_combine(crc, crcs[i], lengths[i]);
+  }
+  return crc;
+}
+
+Crc32ZeroOp::Crc32ZeroOp(std::uint64_t len) noexcept {
+  const GfMatrix m = zeros_operator(len);
+  for (std::size_t i = 0; i < 32; ++i) column_[i] = m.col[i];
+}
+
+std::uint32_t Crc32ZeroOp::combine(std::uint32_t crc1,
+                                   std::uint32_t crc2) const noexcept {
+  std::uint32_t r = 0;
+  for (int i = 0; crc1 != 0; crc1 >>= 1, ++i) {
+    if (crc1 & 1U) r ^= column_[i];
+  }
+  return r ^ crc2;
 }
 
 }  // namespace viper::serial

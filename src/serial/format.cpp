@@ -1,6 +1,11 @@
 // Non-virtual CheckpointFormat entry points: storage provisioning for the
-// scatter-gather encoders and ownership threading for zero-copy decode.
+// scatter-gather encoders, the parallel sharded-capture driver, and
+// ownership threading for zero-copy decode.
 #include "viper/serial/format.hpp"
+
+#include <cstring>
+
+#include "viper/serial/crc32.hpp"
 
 namespace viper::serial {
 
@@ -19,6 +24,68 @@ Result<PooledBuffer> CheckpointFormat::serialize_pooled(const Model& model) cons
   PooledBuffer buffer = BufferPool::global().acquire(size.value());
   VIPER_RETURN_IF_ERROR(serialize_into(model, buffer.span()));
   return buffer;
+}
+
+Result<ShardPlan> CheckpointFormat::shard_plan(const Model&, int) const {
+  return ShardPlan{};  // no shards: this format only encodes serially
+}
+
+Status CheckpointFormat::serialize_shard_into(const Model&, const ShardPlan&,
+                                              std::size_t,
+                                              std::span<std::byte>) const {
+  return unimplemented("format does not support sharded encode");
+}
+
+Result<PooledBuffer> CheckpointFormat::serialize_pooled_sharded(
+    const Model& model, ThreadPool& pool, int max_shards) const {
+  if (max_shards == 0) max_shards = pool.num_threads();
+  if (max_shards > 1) {
+    auto plan_result = shard_plan(model, max_shards);
+    if (!plan_result.is_ok()) return plan_result.status();
+    const ShardPlan plan = std::move(plan_result).value();
+    const std::size_t num_shards = plan.shards.size();
+    if (num_shards >= 2 && plan.trailer_bytes == 4) {
+      PooledBuffer buffer = BufferPool::global().acquire(plan.total_bytes);
+      const std::span<std::byte> out = buffer.span();
+      std::vector<std::uint32_t> shard_crcs(num_shards, 0);
+
+      // Shards 1..n-1 fan out to the pool; shard 0 (the one with the
+      // preamble) encodes on the calling thread so the caller's core
+      // stays busy and we never wait on the pool from the pool. Each
+      // shard CRCs its slice right after encoding it, while the bytes
+      // are still hot in that worker's cache.
+      TaskGroup group(pool);
+      for (std::size_t i = 1; i < num_shards; ++i) {
+        group.run([this, &model, &plan, &shard_crcs, out, i]() -> Status {
+          const ShardPlan::Shard& shard = plan.shards[i];
+          const auto slice = out.subspan(shard.offset, shard.bytes);
+          VIPER_RETURN_IF_ERROR(serialize_shard_into(model, plan, i, slice));
+          shard_crcs[i] = crc32(slice);
+          return Status::ok();
+        });
+      }
+      const ShardPlan::Shard& shard0 = plan.shards[0];
+      const auto slice0 = out.subspan(shard0.offset, shard0.bytes);
+      Status first = serialize_shard_into(model, plan, 0, slice0);
+      if (first.is_ok()) shard_crcs[0] = crc32(slice0);
+      const Status rest = group.wait();
+      VIPER_RETURN_IF_ERROR(first);
+      VIPER_RETURN_IF_ERROR(rest);
+
+      std::uint32_t checksum = shard_crcs[0];
+      for (std::size_t i = 1; i < num_shards; ++i) {
+        checksum = crc32_combine(checksum, shard_crcs[i], plan.shards[i].bytes);
+      }
+      std::memcpy(out.data() + plan.total_bytes - plan.trailer_bytes,
+                  &checksum, 4);
+
+      SerialMetrics& metrics = serial_metrics();
+      metrics.sharded_captures.add();
+      metrics.shards_encoded.add(num_shards);
+      return buffer;
+    }
+  }
+  return serialize_pooled(model);
 }
 
 Result<Model> CheckpointFormat::deserialize(std::span<const std::byte> blob) const {

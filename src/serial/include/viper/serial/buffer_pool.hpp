@@ -56,6 +56,10 @@ struct SerialMetrics {
       obs::MetricsRegistry::global().counter("viper.serial.allocations");
   obs::Counter& bytes_copied =
       obs::MetricsRegistry::global().counter("viper.serial.bytes_copied");
+  obs::Counter& sharded_captures =
+      obs::MetricsRegistry::global().counter("viper.serial.sharded_captures");
+  obs::Counter& shards_encoded =
+      obs::MetricsRegistry::global().counter("viper.serial.shards_encoded");
 };
 
 SerialMetrics& serial_metrics();

@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <span>
 
+namespace viper {
+class ThreadPool;
+}
+
 namespace viper::serial {
 
 /// One-shot CRC over a buffer.
@@ -12,5 +16,37 @@ std::uint32_t crc32(std::span<const std::byte> data) noexcept;
 
 /// Incremental form: feed `crc` from a previous call (start with 0).
 std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> data) noexcept;
+
+/// CRC the buffer as `parts` contiguous segments computed concurrently on
+/// `pool` (segment 0 on the calling thread) and folded with
+/// crc32_combine. Byte-identical to crc32(data); `parts <= 1` or a buffer
+/// too small to split degrades to the serial kernel.
+std::uint32_t parallel_crc32(std::span<const std::byte> data, ThreadPool& pool,
+                             int parts) noexcept;
+
+/// Combine independently computed CRCs of two adjacent buffers:
+/// crc32_combine(crc32(A), crc32(B), B.size()) == crc32(A || B).
+/// GF(2) matrix method — advances crc1 by len2 zero bytes via O(log len2)
+/// 32x32 matrix squarings, so shards can be CRC'd in parallel and folded
+/// into the whole-blob CRC without touching the bytes again.
+std::uint32_t crc32_combine(std::uint32_t crc1, std::uint32_t crc2,
+                            std::uint64_t len2) noexcept;
+
+/// Precomputed combine operator for a fixed right-hand length. Striped
+/// receivers fold per-chunk CRCs with a uniform chunk size, so building
+/// the zero-advance matrix once and applying it per chunk turns each fold
+/// into ~32 XORs instead of a fresh O(log n) matrix chain.
+class Crc32ZeroOp {
+ public:
+  /// Operator that advances a CRC past `len` zero bytes.
+  explicit Crc32ZeroOp(std::uint64_t len) noexcept;
+
+  /// Equivalent to crc32_combine(crc1, crc2, len) for the fixed len.
+  [[nodiscard]] std::uint32_t combine(std::uint32_t crc1,
+                                      std::uint32_t crc2) const noexcept;
+
+ private:
+  std::uint32_t column_[32];
+};
 
 }  // namespace viper::serial

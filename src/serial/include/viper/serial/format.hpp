@@ -23,11 +23,32 @@
 #include <vector>
 
 #include "viper/common/status.hpp"
+#include "viper/common/thread_pool.hpp"
 #include "viper/serial/buffer_pool.hpp"
 #include "viper/serial/byte_io.hpp"
 #include "viper/tensor/model.hpp"
 
 namespace viper::serial {
+
+/// How a model's serialized blob splits into ~equal-byte shards for
+/// parallel encode. Shards are contiguous, cover the body exactly, and
+/// cut only at tensor-record boundaries; shard 0 additionally carries the
+/// format preamble. The integrity trailer (`trailer_bytes` at the end of
+/// the blob, a CRC-32 of the body for shard-capable formats) is written
+/// by the driver from the combined per-shard CRCs — shards never touch
+/// it. Formats that cannot shard return an empty `shards` vector and the
+/// driver falls back to the serial encoder.
+struct ShardPlan {
+  struct Shard {
+    std::size_t offset = 0;        ///< byte offset of this shard in the blob
+    std::size_t bytes = 0;         ///< encoded bytes this shard produces
+    std::size_t first_record = 0;  ///< index of the first tensor record
+    std::size_t num_records = 0;   ///< tensor records in this shard
+  };
+  std::size_t total_bytes = 0;    ///< whole blob, trailer included
+  std::size_t trailer_bytes = 0;  ///< trailing integrity bytes (CRC-32: 4)
+  std::vector<Shard> shards;
+};
 
 class CheckpointFormat {
  public:
@@ -54,6 +75,29 @@ class CheckpointFormat {
   /// Serialize into a buffer drawn from BufferPool::global(); at a steady
   /// checkpoint cadence this is zero allocations per capture.
   [[nodiscard]] Result<PooledBuffer> serialize_pooled(const Model& model) const;
+
+  /// Partition the model into at most `max_shards` ~equal-byte shards for
+  /// parallel encode. Base implementation returns an empty plan (no
+  /// sharding support); shard-capable formats override.
+  [[nodiscard]] virtual Result<ShardPlan> shard_plan(const Model& model,
+                                                     int max_shards) const;
+
+  /// Encode shard `index` of `plan` into `out`, which must be exactly
+  /// `plan.shards[index].bytes`. Thread-safe: concurrent calls for
+  /// distinct shards of the same plan write disjoint spans.
+  [[nodiscard]] virtual Status serialize_shard_into(
+      const Model& model, const ShardPlan& plan, std::size_t index,
+      std::span<std::byte> out) const;
+
+  /// Parallel capture: shard the model, encode every shard concurrently
+  /// on `pool` into disjoint slices of one pooled buffer (shard 0 runs on
+  /// the calling thread), CRC each slice in its encoder's cache, and fold
+  /// the per-shard CRCs into the blob trailer via crc32_combine. The
+  /// result is byte-identical to serialize_pooled(). `max_shards == 0`
+  /// uses the pool width; formats without shard support (or models too
+  /// small to split) transparently fall back to the serial encoder.
+  [[nodiscard]] Result<PooledBuffer> serialize_pooled_sharded(
+      const Model& model, ThreadPool& pool, int max_shards = 0) const;
 
   /// Parse a blob produced by serialize(). Validates integrity. Tensor
   /// payloads are copied out of the blob.

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cstring>
+#include <iterator>
 
 #include "viper/serial/byte_io.hpp"
 #include "viper/serial/crc32.hpp"
@@ -11,12 +13,18 @@ namespace {
 constexpr std::uint32_t kMagic = 0x31465356;  // "VSF1" little-endian.
 constexpr std::uint16_t kFormatVersion = 1;
 
-// One body encoder instantiated over all three writer flavors: ByteSizer
-// (serialized_size), SpanWriter (scatter-gather serialize_into), and — in
-// principle — ByteWriter. Keeps the size computation and the encode
-// byte-for-byte in sync by construction.
+// Shards below this size are not worth a pool dispatch: the task overhead
+// rivals the encode itself and the per-shard CRC fold stops amortizing.
+constexpr std::size_t kMinShardBytes = 128 * 1024;
+
+// The body encoders are instantiated over all three writer flavors:
+// ByteSizer (serialized_size / shard_plan), SpanWriter (scatter-gather
+// serialize_into / serialize_shard_into), and — in principle —
+// ByteWriter. Keeps the size computation and the encode byte-for-byte in
+// sync by construction. Split into preamble + record so the sharded
+// encoder can start a shard at any record boundary.
 template <typename W>
-void write_body(W& w, const Model& model) {
+void write_preamble(W& w, const Model& model) {
   w.u32(kMagic);
   w.u16(kFormatVersion);
   w.str(model.name());
@@ -24,13 +32,23 @@ void write_body(W& w, const Model& model) {
   w.i64(model.iteration());
   w.u64(model.nominal_bytes());
   w.u32(static_cast<std::uint32_t>(model.num_tensors()));
+}
+
+template <typename W>
+void write_record(W& w, std::string_view tensor_name, const Tensor& tensor) {
+  w.str(tensor_name);
+  w.u8(static_cast<std::uint8_t>(tensor.dtype()));
+  w.u8(static_cast<std::uint8_t>(tensor.shape().rank()));
+  for (std::int64_t d : tensor.shape().dims()) w.i64(d);
+  w.u64(tensor.byte_size());
+  w.raw(tensor.bytes());
+}
+
+template <typename W>
+void write_body(W& w, const Model& model) {
+  write_preamble(w, model);
   for (const auto& [tensor_name, tensor] : model.tensors()) {
-    w.str(tensor_name);
-    w.u8(static_cast<std::uint8_t>(tensor.dtype()));
-    w.u8(static_cast<std::uint8_t>(tensor.shape().rank()));
-    for (std::int64_t d : tensor.shape().dims()) w.i64(d);
-    w.u64(tensor.byte_size());
-    w.raw(tensor.bytes());
+    write_record(w, tensor_name, tensor);
   }
 }
 
@@ -59,6 +77,87 @@ class ViperFormat final : public CheckpointFormat {
     }
     const std::uint32_t checksum = crc32(w.written());
     std::memcpy(out.data() + out.size() - 4, &checksum, 4);
+    return Status::ok();
+  }
+
+  Result<ShardPlan> shard_plan(const Model& model, int max_shards) const override {
+    ByteSizer preamble_sizer;
+    write_preamble(preamble_sizer, model);
+    const std::size_t preamble_bytes = preamble_sizer.size();
+
+    std::vector<std::size_t> record_bytes;
+    record_bytes.reserve(model.num_tensors());
+    std::size_t records_total = 0;
+    for (const auto& [tensor_name, tensor] : model.tensors()) {
+      ByteSizer sizer;
+      write_record(sizer, tensor_name, tensor);
+      record_bytes.push_back(sizer.size());
+      records_total += sizer.size();
+    }
+    const std::size_t body_bytes = preamble_bytes + records_total;
+
+    ShardPlan plan;
+    plan.total_bytes = body_bytes + 4;
+    plan.trailer_bytes = 4;
+
+    // ~Equal-byte greedy partition at record boundaries: each shard's
+    // target is the remaining bytes spread over the remaining shards, so
+    // one oversized tensor early on does not starve the later shards.
+    std::size_t num_shards = std::max<std::size_t>(
+        1, std::min({static_cast<std::size_t>(std::max(max_shards, 1)),
+                     record_bytes.size(),
+                     body_bytes / kMinShardBytes}));
+    std::size_t record = 0;
+    std::size_t remaining = body_bytes;
+    std::size_t offset = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const std::size_t shards_left = num_shards - s;
+      const std::size_t target = remaining / shards_left;
+      ShardPlan::Shard shard;
+      shard.offset = offset;
+      shard.first_record = record;
+      if (s == 0) shard.bytes += preamble_bytes;
+      while (record < record_bytes.size() &&
+             (shard.bytes < target || shards_left == 1)) {
+        // Leave at least one record per remaining shard.
+        const std::size_t records_left = record_bytes.size() - record;
+        if (shards_left > 1 && records_left <= shards_left - 1) break;
+        shard.bytes += record_bytes[record];
+        ++shard.num_records;
+        ++record;
+      }
+      offset += shard.bytes;
+      remaining -= shard.bytes;
+      plan.shards.push_back(shard);
+    }
+    return plan;
+  }
+
+  Status serialize_shard_into(const Model& model, const ShardPlan& plan,
+                              std::size_t index,
+                              std::span<std::byte> out) const override {
+    if (index >= plan.shards.size()) {
+      return invalid_argument("shard index out of range");
+    }
+    const ShardPlan::Shard& shard = plan.shards[index];
+    if (out.size() != shard.bytes) {
+      return invalid_argument("serialize_shard_into: span of " +
+                              std::to_string(out.size()) + " bytes, need " +
+                              std::to_string(shard.bytes));
+    }
+    if (shard.first_record + shard.num_records > model.num_tensors()) {
+      return invalid_argument("shard plan does not match model");
+    }
+    SpanWriter w(out);
+    if (index == 0) write_preamble(w, model);
+    auto it = model.tensors().begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(shard.first_record));
+    for (std::size_t n = 0; n < shard.num_records; ++n, ++it) {
+      write_record(w, it->first, it->second);
+    }
+    if (!w.full_exact()) {
+      return internal_error("VSF shard encode did not fill its span exactly");
+    }
     return Status::ok();
   }
 

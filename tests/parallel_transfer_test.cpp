@@ -1,0 +1,403 @@
+// Tests for the parallel checkpoint data plane: CRC combination math,
+// sharded serialization equivalence, multi-channel striped streams (and
+// their wire interop with plain streams), fault behavior, and the
+// producer pipeline's in-order-commit + backpressure invariants.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "viper/common/rng.hpp"
+#include "viper/common/thread_pool.hpp"
+#include "viper/core/handler.hpp"
+#include "viper/core/notification.hpp"
+#include "viper/fault/fault.hpp"
+#include "viper/net/stream.hpp"
+#include "viper/obs/metrics.hpp"
+#include "viper/serial/crc32.hpp"
+#include "viper/serial/format.hpp"
+
+namespace viper {
+namespace {
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.uniform_int(0, 255));
+  return out;
+}
+
+std::span<const std::byte> as_bytes(const char* text) {
+  return {reinterpret_cast<const std::byte*>(text), std::strlen(text)};
+}
+
+// ---------------------------------------------------------------------------
+// crc32_combine
+
+TEST(Crc32Combine, KnownAnswerVectors) {
+  // The classic CRC-32 check value pins the kernel itself...
+  EXPECT_EQ(serial::crc32(as_bytes("123456789")), 0xCBF43926u);
+  // ...and combine() must reproduce it from any split of the input.
+  const std::uint32_t whole = serial::crc32(as_bytes("123456789"));
+  EXPECT_EQ(serial::crc32_combine(serial::crc32(as_bytes("1234")),
+                                  serial::crc32(as_bytes("56789")), 5),
+            whole);
+  EXPECT_EQ(serial::crc32_combine(serial::crc32(as_bytes("1")),
+                                  serial::crc32(as_bytes("23456789")), 8),
+            whole);
+  EXPECT_EQ(serial::crc32_combine(serial::crc32(as_bytes("12345678")),
+                                  serial::crc32(as_bytes("9")), 1),
+            whole);
+}
+
+TEST(Crc32Combine, EmptyPiecesAreIdentities) {
+  const std::uint32_t crc = serial::crc32(as_bytes("viper"));
+  EXPECT_EQ(serial::crc32(std::span<const std::byte>{}), 0u);
+  EXPECT_EQ(serial::crc32_combine(crc, 0u, 0), crc);      // empty suffix
+  EXPECT_EQ(serial::crc32_combine(0u, crc, 5), crc);      // empty prefix
+}
+
+TEST(Crc32Combine, RandomSplitsMatchWholeBufferCrc) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto data = random_bytes(1 + (seed * 37'123) % 200'000, seed);
+    const std::uint32_t whole = serial::crc32(data);
+    Rng rng(seed ^ 0xc0de);
+    for (int i = 0; i < 4; ++i) {
+      const auto split = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(data.size())));
+      const std::span<const std::byte> view(data);
+      const std::uint32_t left = serial::crc32(view.subspan(0, split));
+      const std::uint32_t right = serial::crc32(view.subspan(split));
+      EXPECT_EQ(serial::crc32_combine(left, right, data.size() - split), whole)
+          << "seed " << seed << " split " << split;
+    }
+  }
+}
+
+TEST(Crc32Combine, ZeroOpMatchesGeneralCombine) {
+  const auto data = random_bytes(64 * 1024, 99);
+  const std::span<const std::byte> view(data);
+  constexpr std::size_t kChunk = 4096;
+  const serial::Crc32ZeroOp op(kChunk);
+  std::uint32_t folded = serial::crc32(view.subspan(0, kChunk));
+  for (std::size_t off = kChunk; off < data.size(); off += kChunk) {
+    const std::uint32_t piece = serial::crc32(view.subspan(off, kChunk));
+    const std::uint32_t expect = serial::crc32_combine(folded, piece, kChunk);
+    folded = op.combine(folded, piece);
+    EXPECT_EQ(folded, expect);
+  }
+  EXPECT_EQ(folded, serial::crc32(data));
+}
+
+TEST(ParallelCrc32, MatchesSerialKernelAcrossSizesAndWidths) {
+  ThreadPool pool(ThreadPool::Options{3});
+  for (const std::size_t size :
+       {std::size_t{0}, std::size_t{1}, std::size_t{1000},
+        std::size_t{64 * 1024}, std::size_t{1 << 20}}) {
+    const auto data = random_bytes(size, size + 7);
+    const std::uint32_t expect = serial::crc32(data);
+    for (const int parts : {1, 2, 3, 8}) {
+      EXPECT_EQ(serial::parallel_crc32(data, pool, parts), expect)
+          << size << " bytes, " << parts << " parts";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serialization
+
+Model big_model(std::uint64_t seed, int tensors = 6, int elems = 80'000) {
+  Rng rng(seed);
+  Model m("shardnet");
+  for (int i = 0; i < tensors; ++i) {
+    // ~312 KiB per f32 tensor: big enough that shard_plan splits.
+    auto t = Tensor::random(DType::kF32, Shape{elems}, rng);
+    EXPECT_TRUE(t.is_ok());
+    EXPECT_TRUE(m.add_tensor("t" + std::to_string(i), std::move(t).value()).is_ok());
+  }
+  return m;
+}
+
+TEST(ShardedSerialize, ByteIdenticalToSerialPath) {
+  ThreadPool pool(ThreadPool::Options{4});
+  const Model model = big_model(3);
+  auto format = serial::make_viper_format();
+  auto serial_blob = format->serialize_pooled(model);
+  ASSERT_TRUE(serial_blob.is_ok());
+  for (const int shards : {0, 2, 3, 16}) {
+    auto sharded = format->serialize_pooled_sharded(model, pool, shards);
+    ASSERT_TRUE(sharded.is_ok()) << sharded.status().to_string();
+    EXPECT_EQ(sharded.value().vec(), serial_blob.value().vec())
+        << "max_shards " << shards;
+  }
+}
+
+TEST(ShardedSerialize, SmallModelFallsBackAndStillMatches) {
+  ThreadPool pool(ThreadPool::Options{4});
+  Rng rng(11);
+  Model m("tiny");
+  ASSERT_TRUE(
+      m.add_tensor("w", Tensor::random(DType::kF32, Shape{16}, rng).value()).is_ok());
+  auto format = serial::make_viper_format();
+  auto serial_blob = format->serialize_pooled(m);
+  auto sharded = format->serialize_pooled_sharded(m, pool, 8);
+  ASSERT_TRUE(serial_blob.is_ok());
+  ASSERT_TRUE(sharded.is_ok());
+  EXPECT_EQ(sharded.value().vec(), serial_blob.value().vec());
+}
+
+TEST(ShardedSerialize, UnsupportedFormatFallsBack) {
+  ThreadPool pool(ThreadPool::Options{2});
+  const Model model = big_model(5, 3);
+  auto h5 = serial::make_h5like_format();
+  auto serial_blob = h5->serialize_pooled(model);
+  auto sharded = h5->serialize_pooled_sharded(model, pool, 4);
+  ASSERT_TRUE(serial_blob.is_ok());
+  ASSERT_TRUE(sharded.is_ok());
+  EXPECT_EQ(sharded.value().vec(), serial_blob.value().vec());
+}
+
+TEST(ShardedSerialize, PlanPartitionsContiguouslyAtRecordBoundaries) {
+  const Model model = big_model(7);
+  auto format = serial::make_viper_format();
+  auto plan = format->shard_plan(model, 4);
+  ASSERT_TRUE(plan.is_ok());
+  const auto& p = plan.value();
+  ASSERT_GE(p.shards.size(), 2u);
+  EXPECT_EQ(p.shards.front().offset, 0u);
+  std::size_t covered = 0;
+  std::size_t records = 0;
+  for (std::size_t i = 0; i < p.shards.size(); ++i) {
+    const auto& shard = p.shards[i];
+    EXPECT_EQ(shard.offset, covered) << "shard " << i << " not contiguous";
+    covered += shard.bytes;
+    EXPECT_EQ(shard.first_record, records);
+    records += shard.num_records;
+    if (i > 0) EXPECT_GE(shard.num_records, 1u);
+  }
+  EXPECT_EQ(covered + p.trailer_bytes, p.total_bytes);
+  EXPECT_EQ(records, model.num_tensors());
+}
+
+TEST(ShardedSerialize, RoundTripsThroughDeserialize) {
+  ThreadPool pool(ThreadPool::Options{4});
+  const Model model = big_model(13);
+  auto format = serial::make_viper_format();
+  auto sharded = format->serialize_pooled_sharded(model, pool, 4);
+  ASSERT_TRUE(sharded.is_ok());
+  auto blob = std::move(sharded).value().share();
+  auto loaded = format->deserialize_shared(blob, 0);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_TRUE(loaded.value().same_weights(model));
+}
+
+// ---------------------------------------------------------------------------
+// Striped streams
+
+constexpr int kTag = 77;
+
+TEST(StripedStream, RoundTripsAcrossThreads) {
+  auto world = net::CommWorld::create(2);
+  const auto payload = random_bytes(1'500'000, 21);
+  net::StripedStreamOptions options;
+  options.stream.chunk_bytes = 64 * 1024;
+  options.num_channels = 4;
+  std::thread sender([&] {
+    ASSERT_TRUE(
+        net::striped_stream_send(world->comm(0), 1, kTag, payload, options)
+            .is_ok());
+  });
+  auto received = net::striped_stream_recv(world->comm(1), 0, kTag, options);
+  sender.join();
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+}
+
+class StripedSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StripedSizes, ExactReassembly) {
+  auto world = net::CommWorld::create(2);
+  const auto payload = random_bytes(GetParam(), 23);
+  net::StripedStreamOptions options;
+  options.stream.chunk_bytes = 1024;
+  options.num_channels = 3;
+  std::thread sender([&] {
+    ASSERT_TRUE(
+        net::striped_stream_send(world->comm(0), 1, kTag, payload, options)
+            .is_ok());
+  });
+  auto received = net::striped_stream_recv(world->comm(1), 0, kTag, options);
+  sender.join();
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundaryCases, StripedSizes,
+                         ::testing::Values(0, 1, 1023, 1024, 1025, 3072, 10'000));
+
+TEST(StripedStream, PlainReceiverReadsStripedSender) {
+  // Same wire format: a striped sender's chunks reassemble on a plain
+  // stream_recv (chunk arrival order is the only difference).
+  auto world = net::CommWorld::create(2);
+  const auto payload = random_bytes(300'000, 29);
+  net::StripedStreamOptions options;
+  options.stream.chunk_bytes = 16 * 1024;
+  options.num_channels = 4;
+  std::thread sender([&] {
+    ASSERT_TRUE(
+        net::striped_stream_send(world->comm(0), 1, kTag, payload, options)
+            .is_ok());
+  });
+  auto received = net::stream_recv(world->comm(1), 0, kTag);
+  sender.join();
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+}
+
+TEST(StripedStream, StripedReceiverReadsPlainSender) {
+  auto world = net::CommWorld::create(2);
+  const auto payload = random_bytes(300'000, 31);
+  std::thread sender([&] {
+    ASSERT_TRUE(net::stream_send(world->comm(0), 1, kTag, payload,
+                                 {.chunk_bytes = 16 * 1024})
+                    .is_ok());
+  });
+  net::StripedStreamOptions options;
+  options.num_channels = 4;
+  auto received = net::striped_stream_recv(world->comm(1), 0, kTag, options);
+  sender.join();
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+}
+
+TEST(StripedStreamFaults, SurvivesDelayReordering) {
+  // Random per-message delays shuffle cross-lane arrival order; the
+  // chunk-indexed reassembly must still produce exact bytes.
+  auto world = net::CommWorld::create(2);
+  const auto payload = random_bytes(128 * 1024, 37);
+  fault::ScopedPlan chaos{fault::FaultPlan(41).add(
+      fault::FaultRule::delay("net.send", 0.002, 0.5))};
+  net::StripedStreamOptions options;
+  options.stream.chunk_bytes = 4 * 1024;
+  options.stream.timeout_seconds = 10.0;
+  options.num_channels = 4;
+  std::thread sender([&] {
+    ASSERT_TRUE(
+        net::striped_stream_send(world->comm(0), 1, kTag, payload, options)
+            .is_ok());
+  });
+  auto received = net::striped_stream_recv(world->comm(1), 0, kTag, options);
+  sender.join();
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+  EXPECT_GT(fault::FaultInjector::global().report().delays, 0u);
+}
+
+TEST(StripedStreamFaults, CorruptionNeverYieldsWrongBytes) {
+  auto world = net::CommWorld::create(2);
+  const auto payload = random_bytes(32 * 1024, 43);
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(47).add(fault::FaultRule::corrupt("net.send"))};
+  net::StripedStreamOptions options;
+  options.stream.chunk_bytes = 2 * 1024;
+  options.stream.timeout_seconds = 0.2;
+  options.num_channels = 4;
+  std::thread sender([&] {
+    (void)net::striped_stream_send(world->comm(0), 1, kTag, payload, options);
+  });
+  auto received = net::striped_stream_recv(world->comm(1), 0, kTag, options);
+  sender.join();
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_TRUE(received.status().code() == StatusCode::kDataLoss ||
+              received.status().code() == StatusCode::kTimeout)
+      << received.status().to_string();
+}
+
+TEST(StripedStreamFaults, DroppedChunkTimesOutInsteadOfTearing) {
+  auto world = net::CommWorld::create(2);
+  const auto payload = random_bytes(32 * 1024, 53);
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(59).add(fault::FaultRule::drop_nth("net.send", 4))};
+  net::StripedStreamOptions options;
+  options.stream.chunk_bytes = 2 * 1024;
+  options.stream.timeout_seconds = 0.2;
+  options.num_channels = 4;
+  std::thread sender([&] {
+    (void)net::striped_stream_send(world->comm(0), 1, kTag, payload, options);
+  });
+  auto received = net::striped_stream_recv(world->comm(1), 0, kTag, options);
+  sender.join();
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined producer
+
+TEST(PipelinedProducer, CommitsVersionsInOrderUnderChaoticStageTiming) {
+  auto services = std::make_shared<core::SharedServices>();
+  core::NotificationModule notifications(services->bus);
+  auto subscription = notifications.subscribe("shardnet");
+
+  // Randomly delay both the memory-tier store and the PFS flush so stage
+  // completion times interleave across versions; the engine's FIFO must
+  // still publish versions in submission order.
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(61)
+          .add(fault::FaultRule::delay("memsys.host-dram.put", 0.003, 0.5))
+          .add(fault::FaultRule::delay("memsys.lustre-pfs.put", 0.006, 0.5))};
+
+  core::ModelWeightsHandler::Options options;
+  options.strategy = core::Strategy::kHostAsync;
+  options.pipeline_depth = 2;
+  options.serialize_shards = 4;
+  core::ModelWeightsHandler handler(services, options);
+
+  constexpr int kVersions = 8;
+  for (int i = 1; i <= kVersions; ++i) {
+    Model model = big_model(100 + static_cast<std::uint64_t>(i), 3, 40'000);
+    model.set_version(static_cast<std::uint64_t>(i));
+    auto receipt = handler.save_weights("shardnet", model, 0.5);
+    ASSERT_TRUE(receipt.is_ok()) << receipt.status().to_string();
+  }
+  handler.drain();
+  EXPECT_EQ(handler.saves_completed(), static_cast<std::uint64_t>(kVersions));
+
+  for (int i = 1; i <= kVersions; ++i) {
+    auto event = subscription.next(5.0);
+    ASSERT_TRUE(event.is_ok()) << event.status().to_string();
+    auto update = core::NotificationModule::parse(event.value());
+    ASSERT_TRUE(update.is_ok());
+    EXPECT_EQ(update.value().version, static_cast<std::uint64_t>(i))
+        << "versions published out of order";
+  }
+}
+
+TEST(PipelinedProducer, DepthGateAppliesBackpressure) {
+  auto services = std::make_shared<core::SharedServices>();
+  // Slow flushes keep slots occupied so later saves must wait at the gate.
+  fault::ScopedPlan chaos{fault::FaultPlan(67).add(
+      fault::FaultRule::delay("memsys.lustre-pfs.put", 0.02))};
+
+  core::ModelWeightsHandler::Options options;
+  options.strategy = core::Strategy::kHostAsync;
+  options.pipeline_depth = 1;
+  core::ModelWeightsHandler handler(services, options);
+
+  auto& waits = obs::MetricsRegistry::global().histogram(
+      "viper.core.pipeline_wait_seconds");
+  const std::uint64_t waits_before = waits.count();
+  for (int i = 1; i <= 4; ++i) {
+    Model model = big_model(200 + static_cast<std::uint64_t>(i), 2, 20'000);
+    model.set_version(static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(handler.save_weights("shardnet", model, 0.5).is_ok());
+  }
+  handler.drain();
+  // With depth 1 and 20ms flushes, at least one later save must have
+  // blocked on the gate.
+  EXPECT_GT(waits.count(), waits_before);
+}
+
+}  // namespace
+}  // namespace viper
