@@ -1,0 +1,171 @@
+// Micro-benchmarks of the observability plane's hot-path probes. The
+// ledger stamps, trace-context reads and windowed-histogram records are
+// compiled into production paths (save/commit/flush/fetch/swap), so the
+// disarmed cost — one relaxed atomic load and a branch, the same
+// discipline as fault::fail_point() — is the number that matters.
+//
+// `--smoke` measures the disarmed probes directly and writes a flat JSON
+// report (`--out`, default BENCH_obs.json); it FAILS (exit 1) when a
+// disarmed probe costs 50 ns or more, so a regression that puts real work
+// on the disarmed path breaks the bench gate rather than production.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "viper/obs/context.hpp"
+#include "viper/obs/ledger.hpp"
+#include "viper/obs/window.hpp"
+
+namespace viper::obs {
+namespace {
+
+void BM_LedgerRecordDisarmed(benchmark::State& state) {
+  VersionLedger::set_armed(false);
+  const std::string model = "bench";
+  std::uint64_t version = 0;
+  for (auto _ : state) {
+    ledger_record(model, ++version, Stage::kSwapDone);
+    benchmark::DoNotOptimize(version);
+  }
+}
+BENCHMARK(BM_LedgerRecordDisarmed);
+
+void BM_LedgerRecordArmed(benchmark::State& state) {
+  VersionLedger::global().clear();
+  VersionLedger::set_armed(true);
+  const std::string model = "bench";
+  // Restamp one stage of one version: pays the map lookup + lock, not
+  // unbounded timeline growth.
+  for (auto _ : state) {
+    ledger_record(model, 1, Stage::kCaptureStart);
+  }
+  VersionLedger::set_armed(false);
+  VersionLedger::global().clear();
+}
+BENCHMARK(BM_LedgerRecordArmed);
+
+void BM_CurrentContextDisarmed(benchmark::State& state) {
+  set_context_armed(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(current_context());
+  }
+}
+BENCHMARK(BM_CurrentContextDisarmed);
+
+void BM_CurrentContextArmed(benchmark::State& state) {
+  set_context_armed(true);
+  TraceContext context;
+  context.trace_id = TraceContext::trace_id_for("bench", 7);
+  ScopedTraceContext scoped(context);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(current_context());
+  }
+  set_context_armed(false);
+}
+BENCHMARK(BM_CurrentContextArmed);
+
+void BM_ContextCodecRoundTrip(benchmark::State& state) {
+  TraceContext context;
+  context.trace_id = TraceContext::trace_id_for("bench", 7);
+  context.parent_span_id = 42;
+  context.origin_rank = 0;
+  std::array<std::byte, TraceContext::kWireBytes> wire{};
+  for (auto _ : state) {
+    context.encode(wire);
+    benchmark::DoNotOptimize(TraceContext::decode(wire));
+  }
+}
+BENCHMARK(BM_ContextCodecRoundTrip);
+
+void BM_WindowedHistogramRecord(benchmark::State& state) {
+  WindowedHistogram histogram;
+  double v = 1e-6;
+  for (auto _ : state) {
+    histogram.record(v);
+    v += 1e-9;
+  }
+  benchmark::DoNotOptimize(histogram.stats());
+}
+BENCHMARK(BM_WindowedHistogramRecord);
+
+/// ns/op of `fn` over `iters` calls (one warm-up pass included).
+template <typename Fn>
+double time_ns_per_op(std::size_t iters, const Fn& fn) {
+  for (std::size_t i = 0; i < 1000; ++i) fn(i);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn(i);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return secs * 1e9 / static_cast<double>(iters);
+}
+
+int run_smoke(const std::string& out_path) {
+  constexpr std::size_t kIters = 2'000'000;
+  constexpr double kDisarmedBudgetNs = 50.0;
+
+  VersionLedger::set_armed(false);
+  set_context_armed(false);
+  const std::string model = "bench";
+
+  const double ledger_ns = time_ns_per_op(kIters, [&](std::size_t i) {
+    ledger_record(model, i, Stage::kSwapDone);
+  });
+  const double context_ns = time_ns_per_op(kIters, [](std::size_t) {
+    benchmark::DoNotOptimize(current_context());
+  });
+
+  WindowedHistogram histogram;
+  const double windowed_ns = time_ns_per_op(kIters, [&](std::size_t i) {
+    histogram.record(static_cast<double>(i) * 1e-9);
+  });
+
+  const bool pass =
+      ledger_ns < kDisarmedBudgetNs && context_ns < kDisarmedBudgetNs;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.precision(17);
+  out << "{\n"
+      << "  \"disarmed_ledger_record_ns\": " << ledger_ns << ",\n"
+      << "  \"disarmed_current_context_ns\": " << context_ns << ",\n"
+      << "  \"windowed_histogram_record_ns\": " << windowed_ns << ",\n"
+      << "  \"disarmed_budget_ns\": " << kDisarmedBudgetNs << ",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+      << "}\n";
+
+  std::printf("disarmed ledger_record   %8.2f ns/op\n", ledger_ns);
+  std::printf("disarmed current_context %8.2f ns/op\n", context_ns);
+  std::printf("windowed record (armed)  %8.2f ns/op\n", windowed_ns);
+  std::printf("gate: disarmed probes < %.0f ns -> %s (%s)\n", kDisarmedBudgetNs,
+              pass ? "PASS" : "FAIL", out_path.c_str());
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace viper::obs
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (smoke) return viper::obs::run_smoke(out_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

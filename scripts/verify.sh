@@ -20,6 +20,19 @@ for arg in "$@"; do
   esac
 done
 
+echo "=== lint: every registered metric name is documented in docs/METRICS.md ==="
+# Full-name literals only; dynamic families ("viper.memsys." + tier) end
+# with a dot and are documented as wildcard rows instead.
+MISSING=0
+while IFS= read -r name; do
+  if ! grep -qF "$name" docs/METRICS.md; then
+    echo "metric registered in code but missing from docs/METRICS.md: $name" >&2
+    MISSING=1
+  fi
+done < <(grep -rhoE '"viper\.[A-Za-z0-9_]+(\.[A-Za-z0-9_]+)+"' src tools \
+           | tr -d '"' | sort -u)
+[[ "$MISSING" == 0 ]] || exit 1
+
 echo "=== tier 1: release build + quick ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
@@ -41,6 +54,17 @@ echo "=== perf smoke: parallel data plane (modeled 1/2/4/8-thread sweep) ==="
 ./build/bench/micro_transfer_engine --smoke \
   --out build/BENCH_transfer.json \
   --baseline build/BENCH_transfer.baseline.json
+
+echo "=== perf smoke: disarmed observability probes under the 50 ns budget ==="
+./build/bench/micro_obs --smoke --out build/BENCH_obs.json
+
+echo "=== slo smoke: short coupled run must end with a passing verdict ==="
+./build/tools/viper_cli slo --app tc1 --iters 60 --interval 20 \
+  --model net --slo-p99 30 --json build/slo_verdict.json
+grep -q '"pass": true' build/slo_verdict.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool build/slo_verdict.json >/dev/null
+fi
 
 if [[ "$SKIP_LONG" == 1 ]]; then
   echo "=== long suites skipped (--skip-long) ==="
@@ -70,9 +94,11 @@ cmake -B build-tsan -S . \
   -DVIPER_BUILD_BENCH=OFF \
   -DVIPER_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j \
-  --target obs_test stress_test fault_injection_test durability_test \
-           buffer_pool_test thread_pool_test parallel_transfer_test >/dev/null
+  --target obs_test obs_e2e_test stress_test fault_injection_test \
+           durability_test buffer_pool_test thread_pool_test \
+           parallel_transfer_test >/dev/null
 ./build-tsan/tests/obs_test
+./build-tsan/tests/obs_e2e_test
 ./build-tsan/tests/stress_test
 ./build-tsan/tests/fault_injection_test
 ./build-tsan/tests/durability_test

@@ -1,12 +1,15 @@
 #include "viper/core/consumer.hpp"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "viper/common/clock.hpp"
 #include "viper/common/log.hpp"
 #include "viper/core/recovery.hpp"
 #include "viper/durability/metrics.hpp"
+#include "viper/obs/context.hpp"
+#include "viper/obs/ledger.hpp"
 #include "viper/obs/metrics.hpp"
 #include "viper/obs/trace.hpp"
 
@@ -126,7 +129,23 @@ void InferenceConsumer::run(const std::atomic<bool>& stop_flag) {
       event = std::move(*more);
       consumer_metrics().coalesced.add();
     }
-    apply_latest();
+    // Stamp the notify hop and adopt the publisher's trace context (when
+    // the payload carried one) so the whole apply — fetch, decode, swap —
+    // chains under the producer's save.
+    obs::TraceContext event_context;
+    if (auto update = NotificationModule::parse(event.value()); update.is_ok()) {
+      event_context = update.value().context;
+      obs::ledger_record(update.value().model_name, update.value().version,
+                         obs::Stage::kNotified, event_context.trace_id,
+                         event_context.origin_rank);
+    }
+    {
+      std::optional<obs::ScopedTraceContext> scoped;
+      if (event_context.valid() && obs::context_armed()) {
+        scoped.emplace(event_context);
+      }
+      apply_latest();
+    }
     last_activity = std::chrono::steady_clock::now();
   }
 }
@@ -148,6 +167,8 @@ void InferenceConsumer::apply_latest() {
     buffer_.install(std::move(model).value());
     consumer_metrics().swap_seconds.record(swap_watch.elapsed());
   }
+  obs::ledger_record(model_name_, version, obs::Stage::kSwapDone,
+                     obs::current_context().trace_id);
   version_.store(version, std::memory_order_relaxed);
   updates_.fetch_add(1, std::memory_order_relaxed);
   ConsumerMetrics& metrics = consumer_metrics();
@@ -188,6 +209,7 @@ void PollingConsumer::run(const std::atomic<bool>& stop_flag) {
       if (model.is_ok()) {
         last_version_ = model.value().version();
         buffer_.install(std::move(model).value());
+        obs::ledger_record(model_name_, last_version_, obs::Stage::kSwapDone);
         updates_.fetch_add(1, std::memory_order_relaxed);
         if (options_.on_update) options_.on_update(metadata.value());
       }

@@ -232,6 +232,17 @@ Result<CoupledRunResult> run_coupled_experiment(const CoupledRunConfig& config) 
 
   result.schedule = std::move(schedule);
   result.updates = std::move(updates);
+  if (config.slo) {
+    // Virtual-time latencies: every delivered update's ready_at −
+    // triggered_at is exactly the end-to-end update latency the ledger
+    // would derive in a live run.
+    std::vector<double> latencies;
+    latencies.reserve(result.updates.size());
+    for (const UpdateRecord& update : result.updates) {
+      latencies.push_back(update.ready_at - update.triggered_at);
+    }
+    result.slo = obs::evaluate_slo_from_latencies(*config.slo, latencies);
+  }
   return result;
 }
 

@@ -14,6 +14,8 @@
 #include "viper/durability/scrub.hpp"
 #include "viper/fault/fault.hpp"
 #include "viper/net/stream.hpp"
+#include "viper/obs/context.hpp"
+#include "viper/obs/ledger.hpp"
 #include "viper/obs/metrics.hpp"
 #include "viper/obs/pool_metrics.hpp"
 #include "viper/obs/trace.hpp"
@@ -44,10 +46,13 @@ struct EngineMetrics {
       obs::MetricsRegistry::global().counter("viper.core.load_aborts");
   obs::Counter& metadata_retries =
       obs::MetricsRegistry::global().counter("viper.core.metadata_retries");
-  obs::Counter& save_degraded =
-      obs::MetricsRegistry::global().counter("viper.core.save_degraded");
-  obs::Counter& save_aborted =
-      obs::MetricsRegistry::global().counter("viper.core.save_aborted");
+  // Named to match the accessor (saves_degraded()) and the rest of the
+  // viper.core.* family — the singular "save_degraded"/"save_aborted"
+  // spellings were naming drift.
+  obs::Counter& saves_degraded =
+      obs::MetricsRegistry::global().counter("viper.core.saves_degraded");
+  obs::Counter& saves_aborted =
+      obs::MetricsRegistry::global().counter("viper.core.saves_aborted");
   obs::Histogram& serialize_seconds =
       obs::MetricsRegistry::global().histogram("viper.core.serialize_seconds");
   obs::Histogram& save_call_seconds =
@@ -77,18 +82,29 @@ std::string pfs_path(const std::string& model_name, std::uint64_t version) {
   return "ckpt/" + model_name + "/v" + std::to_string(version);
 }
 
-/// Wire format of a load request.
+/// Wire format of a load request: location byte + path, then (new
+/// format) the requesting thread's TraceContext. The context rides at the
+/// tail so a pre-observability server — which reads exactly location +
+/// path — still parses the request, and a new server accepts the short
+/// legacy frame by treating the missing tail as "no context".
 std::vector<std::byte> encode_load_request(Location location,
                                            const std::string& path) {
   serial::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(location));
   w.str(path);
+  const obs::TraceContext context = obs::current_context();
+  if (context.valid()) {
+    std::array<std::byte, obs::TraceContext::kWireBytes> encoded;
+    context.encode(encoded);
+    w.raw(encoded);
+  }
   return std::move(w).take();
 }
 
 struct LoadRequest {
   Location location;
   std::string path;
+  obs::TraceContext context;  ///< invalid when the requester sent none
 };
 
 Result<LoadRequest> decode_load_request(std::span<const std::byte> payload) {
@@ -100,7 +116,14 @@ Result<LoadRequest> decode_load_request(std::span<const std::byte> payload) {
   }
   auto path = r.str();
   if (!path.is_ok()) return path.status();
-  return LoadRequest{static_cast<Location>(loc.value()), std::move(path).value()};
+  LoadRequest request{static_cast<Location>(loc.value()),
+                      std::move(path).value(), {}};
+  if (r.remaining() >= obs::TraceContext::kWireBytes) {
+    if (auto view = r.raw_view(obs::TraceContext::kWireBytes); view.is_ok()) {
+      request.context = obs::TraceContext::decode(view.value());
+    }
+  }
+  return request;
 }
 
 /// Reply wire format: status byte (0 = ok) then the blob.
@@ -135,6 +158,11 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
                                                       double train_loss) {
   Stopwatch watch;
   auto capture_span = obs::Tracer::global().span("capture", "producer");
+  // The version id (= trace id) is not minted until after the capture, so
+  // note the ledger times now and back-stamp once the id exists.
+  const bool ledger_on = obs::VersionLedger::armed();
+  const double capture_time =
+      ledger_on ? obs::VersionLedger::global().now() : -1.0;
 
   // Capture: serialize the weights into a pooled buffer (this is the real
   // checkpoint copy — and at a steady cadence the only allocation-free
@@ -153,6 +181,8 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
     return out;
   }();
   if (!captured.is_ok()) return captured.status();
+  const double serialize_time =
+      ledger_on ? obs::VersionLedger::global().now() : -1.0;
   serial::SharedBlob blob = std::move(captured).value().share();
 
   const Location location = strategy_location(options_.strategy);
@@ -208,7 +238,26 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
   total_stall_.fetch_add(costs.producer_stall, std::memory_order_relaxed);
   services_->stats->on_save(metadata.size_bytes, costs.producer_stall);
 
-  Staged staged{model_name, std::move(blob), metadata, nullptr};
+  // Version identity established: build the trace context every later
+  // stage (engine commit, PFS flush, notify, the consumer's fetch) chains
+  // under, adopt it for the rest of this call, and back-stamp the ledger
+  // with the capture/serialize times noted before the id existed.
+  obs::TraceContext trace_context;
+  trace_context.trace_id = obs::TraceContext::trace_id_for(model_name, version);
+  trace_context.origin_rank = obs::Tracer::global().rank();
+  std::optional<obs::ScopedTraceContext> scoped_context;
+  if (obs::context_armed()) scoped_context.emplace(trace_context);
+  if (ledger_on) {
+    auto& ledger = obs::VersionLedger::global();
+    ledger.record_at(model_name, version, obs::Stage::kCaptureStart,
+                     capture_time, trace_context.trace_id,
+                     trace_context.origin_rank);
+    ledger.record_at(model_name, version, obs::Stage::kSerializeDone,
+                     serialize_time, trace_context.trace_id,
+                     trace_context.origin_rank);
+  }
+
+  Staged staged{model_name, std::move(blob), metadata, nullptr, trace_context};
 
   if (strategy_is_async(options_.strategy)) {
     // Bounded-depth pipeline: serialize of this version already overlapped
@@ -245,6 +294,12 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
 
 Status ModelWeightsHandler::commit(Staged staged) {
   const Stopwatch watch;
+  // Re-adopt the save's context first (commit usually runs on the engine
+  // thread) so the commit span and everything under it join the trace.
+  std::optional<obs::ScopedTraceContext> scoped_context;
+  if (staged.context.valid() && obs::context_armed()) {
+    scoped_context.emplace(staged.context);
+  }
   auto commit_span = obs::Tracer::global().span("commit", "producer");
   ModelMetadata& metadata = staged.metadata;
 
@@ -295,7 +350,7 @@ Status ModelWeightsHandler::commit(Staged staged) {
       stored = true;
       if (i > 0) {
         saves_degraded_.fetch_add(1, std::memory_order_relaxed);
-        engine_metrics().save_degraded.add();
+        engine_metrics().saves_degraded.add();
         VIPER_WARN << "save of " << metadata.name << " v" << metadata.version
                    << " degraded to tier " << step.tier->name() << ": "
                    << store_status.to_string();
@@ -307,8 +362,14 @@ Status ModelWeightsHandler::commit(Staged staged) {
     }
   }
   if (!stored) {
-    engine_metrics().save_aborted.add();
+    engine_metrics().saves_aborted.add();
     return store_status;
+  }
+  if (metadata.location == Location::kPfs) {
+    // Stored straight on the durable tier (preferred or fully degraded):
+    // this version is already flushed.
+    obs::ledger_record(metadata.name, metadata.version, obs::Stage::kFlushDone,
+                       staged.context.trace_id, staged.context.origin_rank);
   }
 
   // Background fault-tolerance flush of every version to the PFS (memory
@@ -320,15 +381,20 @@ Status ModelWeightsHandler::commit(Staged staged) {
     // a reference to the same capture blob the tier stored — no clone.
     // The pipeline slot moves along too: the flush is the last stage
     // holding this version's blob, so the gate opens when it lands.
-    flusher_.submit([this, meta = metadata,
+    flusher_.submit([this, meta = metadata, ctx = staged.context,
                      flush_blob = std::move(staged.blob),
                      slot = std::move(staged.pipeline_slot)]() mutable {
       const Stopwatch flush_watch;
+      std::optional<obs::ScopedTraceContext> scoped;
+      if (ctx.valid() && obs::context_armed()) scoped.emplace(ctx);
       auto flush_span = obs::Tracer::global().span("flush", "producer");
       const Status status = store_pfs_journaled(meta, std::move(flush_blob));
       if (!status.is_ok()) {
         VIPER_WARN << "PFS flush of " << pfs_path(meta.name, meta.version)
                    << " failed: " << status.to_string();
+      } else {
+        obs::ledger_record(meta.name, meta.version, obs::Stage::kFlushDone,
+                           ctx.trace_id, ctx.origin_rank);
       }
       EngineMetrics& metrics = engine_metrics();
       metrics.pfs_flushes.add();
@@ -347,6 +413,8 @@ Status ModelWeightsHandler::commit(Staged staged) {
                                     metadata.version, metadata.location);
   }
   saves_completed_.fetch_add(1, std::memory_order_relaxed);
+  obs::ledger_record(metadata.name, metadata.version, obs::Stage::kCommitDone,
+                     staged.context.trace_id, staged.context.origin_rank);
   engine_metrics().commit_seconds.record(watch.elapsed());
   return Status::ok();
 }
@@ -378,8 +446,18 @@ ModelWeightsHandler::journal_for(const std::string& model_name) {
   // Restart recovery, step 1: resolve interrupted flushes (INTENT without
   // COMMIT) before any new save could collide with their version ids.
   if (!journal->state().pending.empty()) {
+    const Stopwatch recovery_watch;
     auto scrubbed = durability::scrub_model(*journal);
     if (!scrubbed.is_ok()) return scrubbed.status();
+    durability::durability_metrics().recovery_seconds.record(
+        recovery_watch.elapsed());
+    // Versions that died mid-flight before this restart can never reach
+    // kSwapDone: close their timelines so the ledger distinguishes
+    // "interrupted by the crash" from "still in progress".
+    if (obs::VersionLedger::armed()) {
+      obs::VersionLedger::global().close_interrupted(model_name,
+                                                     "restart recovery");
+    }
     VIPER_INFO << "journal recovery for '" << model_name << "': completed "
                << scrubbed.value().completed << ", rolled back "
                << scrubbed.value().rolled_back << " interrupted flush(es)";
@@ -511,6 +589,15 @@ void ModelWeightsHandler::serve_transfers(const net::Comm& comm) {
       continue;
     }
     auto request = decode_load_request(msg.value().payload);
+    // Adopt the requester's context for this request: the reply stream's
+    // header then carries it back, chaining the consumer's fetch, this
+    // serve, and the wire transfer into one trace.
+    std::optional<obs::ScopedTraceContext> scoped_context;
+    if (request.is_ok() && request.value().context.valid() &&
+        obs::context_armed()) {
+      scoped_context.emplace(request.value().context);
+    }
+    auto serve_span = obs::Tracer::global().span("serve_transfer", "producer");
     serial::ByteWriter reply;
     if (!request.is_ok()) {
       reply.u8(kReplyNotFound);
@@ -641,6 +728,20 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
   if (!metadata.is_ok()) return metadata.status();
   const ModelMetadata& meta = metadata.value();
 
+  // Consumer-side context: keep the caller's (the notification's) context
+  // when one is armed; otherwise derive the version's deterministic trace
+  // id, so producer and consumer stamps join even with no notify hop
+  // (polling consumers, PFS warm starts).
+  std::optional<obs::ScopedTraceContext> scoped_context;
+  if (obs::context_armed() && !obs::current_context().valid()) {
+    obs::TraceContext derived;
+    derived.trace_id = obs::TraceContext::trace_id_for(model_name, meta.version);
+    scoped_context.emplace(derived);
+  }
+  const std::uint64_t trace_id = obs::current_context().trace_id;
+  obs::ledger_record(model_name, meta.version, obs::Stage::kFetchStart,
+                     trace_id);
+
   const Stopwatch transfer_watch;
   auto transfer_span = obs::Tracer::global().span("transfer", "consumer");
   std::vector<std::byte> blob;
@@ -697,6 +798,7 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
   }
 
   transfer_span.end();
+  obs::ledger_record(model_name, meta.version, obs::Stage::kFetchDone, trace_id);
   EngineMetrics& metrics = engine_metrics();
   metrics.transfer_seconds.record(transfer_watch.elapsed());
 
@@ -719,9 +821,17 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
   auto model = format.deserialize_shared(shared, blob_offset);
   deserialize_span.end();
   if (model.is_ok()) {
+    obs::ledger_record(model_name, meta.version, obs::Stage::kDecodeDone,
+                       trace_id);
     metrics.loads.add();
     metrics.load_bytes.add(view.size());
     metrics.load_seconds.record(watch.elapsed());
+  } else if (model.status().code() == StatusCode::kDataLoss) {
+    // A payload that survived every transfer checksum yet failed decode
+    // verification: the blob a consumer was about to serve was corrupt.
+    static obs::Counter& corrupt_serves =
+        obs::MetricsRegistry::global().counter("viper.consumer.corrupt_serves");
+    corrupt_serves.add();
   }
   return model;
 }

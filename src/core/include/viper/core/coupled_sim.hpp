@@ -15,6 +15,7 @@
 #include "viper/core/platform.hpp"
 #include "viper/core/scheduler.hpp"
 #include "viper/core/tlp.hpp"
+#include "viper/obs/slo.hpp"
 #include "viper/sim/app_profile.hpp"
 #include "viper/sim/nonstationary.hpp"
 
@@ -48,6 +49,9 @@ struct CoupledRunConfig {
   /// these iterations. Planned schedules cannot anticipate them; the
   /// frequency adapter reacts to them.
   std::vector<sim::DistributionShift> shifts;
+  /// Evaluate this SLO over the run's update latencies (ready_at −
+  /// triggered_at, virtual time) and attach the verdict to the result.
+  std::optional<obs::SloSpec> slo;
 };
 
 struct UpdateRecord {
@@ -72,6 +76,9 @@ struct CoupledRunResult {
   std::int64_t refits = 0;               ///< online TLP refits performed
   std::int64_t adapter_ups = 0;          ///< frequency-adapter widenings
   std::int64_t adapter_downs = 0;        ///< frequency-adapter tightenings
+  /// SLO verdict over the run's update latencies; empty checks and
+  /// pass == true when the config set no spec.
+  obs::SloReport slo;
 };
 
 /// Run the coupled experiment. Deterministic given the config.

@@ -25,6 +25,7 @@
 #include "viper/kvstore/kvstore.hpp"
 #include "viper/memsys/storage_tier.hpp"
 #include "viper/net/comm.hpp"
+#include "viper/obs/context.hpp"
 #include "viper/serial/format.hpp"
 #include "viper/tensor/model.hpp"
 
@@ -154,6 +155,10 @@ class ModelWeightsHandler {
     /// the blob — the PFS flush when one is scheduled, otherwise the
     /// engine commit — drops it and unblocks the next save.
     std::shared_ptr<void> pipeline_slot;
+    /// Trace context of this version (trace id derived from model name +
+    /// version): the engine and flusher threads re-adopt it so commit,
+    /// flush, and notify spans chain under the producing save.
+    obs::TraceContext context;
   };
 
   /// Store + metadata + notify (runs inline for sync, on engine for async).

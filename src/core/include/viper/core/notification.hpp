@@ -9,12 +9,16 @@
 
 #include "viper/common/status.hpp"
 #include "viper/kvstore/pubsub.hpp"
+#include "viper/obs/context.hpp"
 
 namespace viper::core {
 
 struct UpdateEvent {
   std::string model_name;
   std::uint64_t version = 0;
+  /// Trace context the publisher attached (invalid when it had none —
+  /// e.g. an event from a pre-observability producer).
+  obs::TraceContext context;
 };
 
 class NotificationModule {

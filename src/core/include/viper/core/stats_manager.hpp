@@ -52,6 +52,33 @@ class StatsManager {
   void on_notification();
 
   [[nodiscard]] EngineCounters counters() const;
+
+  /// Data-plane counters pulled from the metrics registry: the durability
+  /// protocol, the shared thread pool, and the striped/chunked stream
+  /// layer. These subsystems report to the registry directly (they cannot
+  /// depend on core), so the Stats Manager reads them back rather than
+  /// being notified — one summary covers the whole engine.
+  struct DataPlaneCounters {
+    std::uint64_t journal_appends = 0;
+    std::uint64_t flush_aborts = 0;
+    std::uint64_t flushes_completed = 0;
+    std::uint64_t flushes_rolled_back = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t pool_tasks = 0;
+    std::uint64_t stream_chunks_sent = 0;
+    std::uint64_t stream_chunks_received = 0;
+    std::uint64_t striped_sends = 0;
+    std::uint64_t striped_recvs = 0;
+    std::uint64_t stream_retries = 0;
+    std::uint64_t stream_rejects = 0;
+    std::uint64_t stream_bytes_on_wire = 0;
+  };
+  [[nodiscard]] static DataPlaneCounters data_plane();
+
+  /// Human-readable engine + data-plane summary (one `name value` line
+  /// per field, registry-spelled names).
+  [[nodiscard]] std::string summary() const;
+
   void reset();
 
  private:

@@ -1,5 +1,7 @@
 #include "viper/core/notification.hpp"
 
+#include <cstdio>
+
 #include "viper/core/metadata.hpp"
 #include "viper/obs/metrics.hpp"
 
@@ -7,9 +9,22 @@ namespace viper::core {
 
 std::size_t NotificationModule::publish_update(const std::string& model_name,
                                                std::uint64_t version) {
+  // Legacy payload is "model@version"; when the publishing thread carries
+  // an armed trace context, "#rank:trace:parent" (hex ids) rides along so
+  // the consumer's spans join the producer's trace. Parsers that predate
+  // the suffix used rfind('@') + stoull, which stops at the '#', so the
+  // extended payload stays readable to them.
+  std::string payload = model_name + "@" + std::to_string(version);
+  const obs::TraceContext context = obs::current_context();
+  if (context.valid()) {
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), "#%d:%llx:%llx", context.origin_rank,
+                  static_cast<unsigned long long>(context.trace_id),
+                  static_cast<unsigned long long>(context.parent_span_id));
+    payload += suffix;
+  }
   const std::size_t woken =
-      bus_->publish(notification_channel(model_name),
-                    model_name + "@" + std::to_string(version));
+      bus_->publish(notification_channel(model_name), payload);
   static obs::Counter& publishes =
       obs::MetricsRegistry::global().counter("viper.notify.publishes");
   static obs::Counter& consumers_woken =
@@ -34,6 +49,21 @@ Result<UpdateEvent> NotificationModule::parse(const kv::Event& event) {
     update.version = std::stoull(event.payload.substr(at + 1));
   } catch (const std::exception&) {
     return data_loss("malformed version in update event: " + event.payload);
+  }
+  // Optional "#rank:trace:parent" trace suffix. A missing or malformed
+  // suffix is never an error — the event simply arrives contextless, the
+  // same as one from a publisher that predates the suffix.
+  const auto hash = event.payload.find('#', at + 1);
+  if (hash != std::string::npos && hash + 1 < event.payload.size()) {
+    int rank = -1;
+    unsigned long long trace = 0;
+    unsigned long long parent = 0;
+    if (std::sscanf(event.payload.c_str() + hash + 1, "%d:%llx:%llx", &rank,
+                    &trace, &parent) == 3) {
+      update.context.trace_id = trace;
+      update.context.parent_span_id = parent;
+      update.context.origin_rank = rank;
+    }
   }
   return update;
 }

@@ -4,9 +4,11 @@
 #include <charconv>
 #include <memory>
 
+#include "viper/common/clock.hpp"
 #include "viper/common/log.hpp"
 #include "viper/durability/journal.hpp"
 #include "viper/durability/metrics.hpp"
+#include "viper/obs/ledger.hpp"
 
 namespace viper::core {
 
@@ -144,10 +146,19 @@ std::vector<std::uint64_t> flushed_versions(const SharedServices& services,
 Result<RecoveredModel> recover_latest(SharedServices& services,
                                       const std::string& model_name,
                                       const RecoverOptions& options) {
-  if (!services.pfs->contains(durability::journal_key(model_name))) {
-    return recover_latest_legacy(services, model_name);
+  const Stopwatch recovery_watch;
+  auto recovered =
+      services.pfs->contains(durability::journal_key(model_name))
+          ? recover_latest_journaled(services, model_name, options)
+          : recover_latest_legacy(services, model_name);
+  durability::durability_metrics().recovery_seconds.record(
+      recovery_watch.elapsed());
+  // Versions that never reached a consumer swap before this restart never
+  // will: close their ledger timelines as interrupted.
+  if (obs::VersionLedger::armed()) {
+    obs::VersionLedger::global().close_interrupted(model_name, "recovery replay");
   }
-  return recover_latest_journaled(services, model_name, options);
+  return recovered;
 }
 
 Result<RecoveredModel> recover_and_repair(SharedServices& services,

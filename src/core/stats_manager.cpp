@@ -1,5 +1,7 @@
 #include "viper/core/stats_manager.hpp"
 
+#include <cstdio>
+
 #include "viper/obs/metrics.hpp"
 
 namespace viper::core {
@@ -104,6 +106,66 @@ void StatsManager::on_notification() {
 EngineCounters StatsManager::counters() const {
   std::lock_guard lock(mutex_);
   return counters_;
+}
+
+StatsManager::DataPlaneCounters StatsManager::data_plane() {
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  DataPlaneCounters out;
+  out.journal_appends =
+      snapshot.counter_value("viper.durability.journal_appends");
+  out.flush_aborts = snapshot.counter_value("viper.durability.flush_aborts");
+  out.flushes_completed =
+      snapshot.counter_value("viper.durability.flushes_completed");
+  out.flushes_rolled_back =
+      snapshot.counter_value("viper.durability.flushes_rolled_back");
+  out.quarantined = snapshot.counter_value("viper.durability.quarantined");
+  out.pool_tasks = snapshot.counter_value("viper.common.pool_tasks");
+  out.stream_chunks_sent =
+      snapshot.counter_value("viper.net.stream_chunks_sent");
+  out.stream_chunks_received =
+      snapshot.counter_value("viper.net.stream_chunks_received");
+  out.striped_sends = snapshot.counter_value("viper.net.striped_sends");
+  out.striped_recvs = snapshot.counter_value("viper.net.striped_recvs");
+  out.stream_retries = snapshot.counter_value("viper.net.stream_retries");
+  out.stream_rejects = snapshot.counter_value("viper.net.stream_rejects");
+  out.stream_bytes_on_wire =
+      snapshot.counter_value("viper.net.stream_bytes_on_wire");
+  return out;
+}
+
+std::string StatsManager::summary() const {
+  const EngineCounters engine = counters();
+  const DataPlaneCounters data = data_plane();
+  std::string out;
+  char buf[128];
+  const auto line = [&](const char* name, std::uint64_t value) {
+    std::snprintf(buf, sizeof(buf), "%-44s %llu\n", name,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  };
+  line("viper.stats.saves", engine.saves);
+  line("viper.stats.loads", engine.loads);
+  line("viper.stats.bytes_saved", engine.bytes_saved);
+  line("viper.stats.bytes_loaded", engine.bytes_loaded);
+  line("viper.stats.notifications", engine.notifications);
+  std::snprintf(buf, sizeof(buf), "%-44s %.6g\n",
+                "viper.stats.modeled_stall_seconds",
+                engine.modeled_stall_seconds);
+  out += buf;
+  line("viper.durability.journal_appends", data.journal_appends);
+  line("viper.durability.flush_aborts", data.flush_aborts);
+  line("viper.durability.flushes_completed", data.flushes_completed);
+  line("viper.durability.flushes_rolled_back", data.flushes_rolled_back);
+  line("viper.durability.quarantined", data.quarantined);
+  line("viper.common.pool_tasks", data.pool_tasks);
+  line("viper.net.stream_chunks_sent", data.stream_chunks_sent);
+  line("viper.net.stream_chunks_received", data.stream_chunks_received);
+  line("viper.net.striped_sends", data.striped_sends);
+  line("viper.net.striped_recvs", data.striped_recvs);
+  line("viper.net.stream_retries", data.stream_retries);
+  line("viper.net.stream_rejects", data.stream_rejects);
+  line("viper.net.stream_bytes_on_wire", data.stream_bytes_on_wire);
+  return out;
 }
 
 void StatsManager::reset() {

@@ -54,6 +54,10 @@ struct DurabilityMetrics {
   /// Modeled seconds per journal append (write + fsync barrier).
   obs::Histogram& journal_seconds =
       obs::MetricsRegistry::global().histogram("viper.durability.journal_seconds");
+  /// Wall seconds per restart recovery (journal replay + interrupted-flush
+  /// resolution); its max feeds the SLO engine's recovery-time check.
+  obs::Histogram& recovery_seconds = obs::MetricsRegistry::global().histogram(
+      "viper.durability.recovery_seconds");
 };
 
 DurabilityMetrics& durability_metrics();

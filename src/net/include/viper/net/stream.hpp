@@ -28,6 +28,7 @@
 #include "viper/common/status.hpp"
 #include "viper/common/thread_pool.hpp"
 #include "viper/net/comm.hpp"
+#include "viper/obs/context.hpp"
 
 namespace viper::net {
 
@@ -37,6 +38,12 @@ struct StreamOptions {
   /// receive that accepts no new chunk for this long times out even if
   /// unrelated traffic keeps arriving. `< 0` waits forever.
   double timeout_seconds = 30.0;
+  /// Receive side: where to deliver the trace context the sender attached
+  /// to the stream header (left invalid for legacy/contextless frames).
+  /// Senders attach the calling thread's armed obs context automatically;
+  /// frames without one stay byte-identical to the v0 wire format, so
+  /// plain and context-carrying peers interoperate both ways.
+  obs::TraceContext* context_out = nullptr;
 };
 
 /// Chunk count for a payload, computed in 64 bits so oversized payloads

@@ -9,7 +9,9 @@
 #include <thread>
 
 #include "viper/common/clock.hpp"
+#include "viper/obs/context.hpp"
 #include "viper/obs/metrics.hpp"
+#include "viper/obs/trace.hpp"
 #include "viper/serial/crc32.hpp"
 
 namespace viper::net {
@@ -52,6 +54,13 @@ constexpr std::uint32_t kHeaderMagic = 0x56535448;  // "VSTH"
 constexpr std::uint32_t kChunkMagic = 0x56535443;   // "VSTC"
 constexpr std::uint32_t kAckMagic = 0x56535441;     // "VSTA"
 
+// Header flag bits (the field was `reserved = 0` in the v0 wire format,
+// so a v0 frame reads as flags == 0 and both directions interoperate:
+// new receivers accept flagless 40-byte headers, old receivers reject a
+// flagged header only by its length — which reliable retries surface —
+// and never misparse it as a clean frame).
+constexpr std::uint32_t kHeaderHasContext = 1u << 0;  // TraceContext appended
+
 struct WireHeader {
   std::uint32_t magic = kHeaderMagic;
   std::uint32_t chunk_bytes = 0;
@@ -59,7 +68,7 @@ struct WireHeader {
   std::uint64_t total_bytes = 0;
   std::uint64_t num_chunks = 0;  // 64-bit: huge payloads cannot truncate
   std::uint32_t payload_crc = 0;
-  std::uint32_t reserved = 0;
+  std::uint32_t flags = 0;
 };
 
 struct WireChunk {
@@ -91,25 +100,56 @@ std::uint32_t peek_magic(std::span<const std::byte> payload) noexcept {
   return magic;
 }
 
-std::array<std::byte, sizeof(WireHeader)> encode_header(const WireHeader& header) {
-  std::array<std::byte, sizeof(WireHeader)> out;
+/// Header frame: the fixed WireHeader, plus the sender's TraceContext
+/// when the calling thread had one armed. A contextless frame is
+/// byte-identical to the v0 wire format.
+std::vector<std::byte> encode_header(WireHeader header) {
+  const obs::TraceContext context = obs::current_context();
+  std::vector<std::byte> out(sizeof(WireHeader) +
+                             (context.valid() ? obs::TraceContext::kWireBytes
+                                              : 0));
+  if (context.valid()) {
+    header.flags |= kHeaderHasContext;
+    context.encode(std::span<std::byte, obs::TraceContext::kWireBytes>(
+        out.data() + sizeof(WireHeader), obs::TraceContext::kWireBytes));
+  }
   std::memcpy(out.data(), &header, sizeof(WireHeader));
   return out;
 }
 
-Result<WireHeader> decode_header(std::span<const std::byte> payload) {
-  if (payload.size() != sizeof(WireHeader)) {
+/// Decoded header + the trace context it carried (invalid when the frame
+/// was a v0 / contextless one).
+struct HeaderFrame {
+  WireHeader header;
+  obs::TraceContext context;
+};
+
+Result<HeaderFrame> decode_header(std::span<const std::byte> payload) {
+  if (payload.size() < sizeof(WireHeader)) {
     return data_loss("malformed stream header");
   }
-  WireHeader header;
-  std::memcpy(&header, payload.data(), sizeof(WireHeader));
-  if (header.magic != kHeaderMagic) return data_loss("bad stream header magic");
-  if (header.chunk_bytes == 0) return data_loss("zero chunk size in stream header");
-  if (stream_num_chunks(header.total_bytes, header.chunk_bytes) !=
-      header.num_chunks) {
+  HeaderFrame frame;
+  std::memcpy(&frame.header, payload.data(), sizeof(WireHeader));
+  if (frame.header.magic != kHeaderMagic) {
+    return data_loss("bad stream header magic");
+  }
+  const bool has_context = (frame.header.flags & kHeaderHasContext) != 0;
+  const std::size_t expected =
+      sizeof(WireHeader) + (has_context ? obs::TraceContext::kWireBytes : 0);
+  if (payload.size() != expected) {
+    return data_loss("stream header size inconsistent with its flags");
+  }
+  if (has_context) {
+    frame.context = obs::TraceContext::decode(payload.subspan(sizeof(WireHeader)));
+  }
+  if (frame.header.chunk_bytes == 0) {
+    return data_loss("zero chunk size in stream header");
+  }
+  if (stream_num_chunks(frame.header.total_bytes, frame.header.chunk_bytes) !=
+      frame.header.num_chunks) {
     return data_loss("stream header chunk count inconsistent with sizes");
   }
-  return header;
+  return frame;
 }
 
 Result<WireChunk> decode_chunk(std::span<const std::byte> payload) {
@@ -134,6 +174,10 @@ Status send_stream_once(const Comm& comm, int dest, int tag,
                         std::span<const std::byte> payload,
                         const StreamOptions& options, std::uint64_t stream_id) {
   const Stopwatch watch;
+  // Opened before the header is encoded: the span adopts the thread's
+  // trace context, so the context that travels on the wire is parented on
+  // this send span and the receive side chains causally under it.
+  auto span = obs::Tracer::global().span("stream_send", "net");
   WireHeader header;
   header.chunk_bytes = options.chunk_bytes;
   header.stream_id = stream_id;
@@ -182,6 +226,11 @@ Result<std::vector<std::byte>> recv_stream(const Comm& comm, int source, int tag
   auto last_progress = clock::now();
 
   std::optional<WireHeader> header;
+  // Adopted once the header lands with a sender context: assembly-side
+  // spans (and the recv span below) then chain under the sender's send
+  // span. Restored when this receive returns.
+  std::optional<obs::ScopedTraceContext> scoped_context;
+  obs::Tracer::Span span;
   std::vector<std::byte> payload;
   std::vector<std::uint8_t> have;
   std::uint64_t remaining = 0;
@@ -220,7 +269,7 @@ Result<std::vector<std::byte>> recv_stream(const Comm& comm, int source, int tag
       auto decoded = decode_header(bytes);
       if (!decoded.is_ok()) return decoded.status();
       if (header.has_value()) {
-        if (decoded.value().stream_id == header->stream_id) {
+        if (decoded.value().header.stream_id == header->stream_id) {
           // Duplicate header from a resend of the stream we are already
           // assembling — its chunks will follow; nothing to do.
           last_progress = clock::now();
@@ -229,7 +278,14 @@ Result<std::vector<std::byte>> recv_stream(const Comm& comm, int source, int tag
         }
         continue;
       }
-      header = decoded.value();
+      header = decoded.value().header;
+      if (options.context_out != nullptr) {
+        *options.context_out = decoded.value().context;
+      }
+      if (decoded.value().context.valid() && obs::context_armed()) {
+        scoped_context.emplace(decoded.value().context);
+        span = obs::Tracer::global().span("stream_recv", "net");
+      }
       if (stream_id_out != nullptr) *stream_id_out = header->stream_id;
       payload.assign(static_cast<std::size_t>(header->total_bytes),
                      std::byte{0});
@@ -385,6 +441,9 @@ Status striped_stream_send(const Comm& comm, int dest, int tag,
                                              : ThreadPool::global();
 
   const Stopwatch watch;
+  // Opened before the header is encoded so the wire context is parented
+  // on this send span (see send_stream_once).
+  auto span = obs::Tracer::global().span("striped_stream_send", "net");
   const std::uint64_t stream_id = next_stream_id(comm.rank());
   WireHeader header;
   header.chunk_bytes = options.stream.chunk_bytes;
@@ -472,6 +531,8 @@ Result<std::vector<std::byte>> striped_stream_recv(
   // join, so no pool worker ever blocks in a queue pop and completion
   // needs no polling or wake messages.
   std::optional<WireHeader> header;
+  std::optional<obs::ScopedTraceContext> scoped_context;
+  obs::Tracer::Span span;
   std::vector<std::byte> payload;
   std::vector<std::uint8_t> have;
   std::vector<std::uint32_t> chunk_crcs;
@@ -495,14 +556,21 @@ Result<std::vector<std::byte>> striped_stream_recv(
       auto decoded = decode_header(bytes);
       if (!decoded.is_ok()) return decoded.status();
       if (header.has_value()) {
-        if (decoded.value().stream_id == header->stream_id) {
+        if (decoded.value().header.stream_id == header->stream_id) {
           last_progress = clock::now();
         } else {
           VIPER_RETURN_IF_ERROR(requeue_foreign(comm, std::move(msg).value()));
         }
         continue;
       }
-      header = decoded.value();
+      header = decoded.value().header;
+      if (options.stream.context_out != nullptr) {
+        *options.stream.context_out = decoded.value().context;
+      }
+      if (decoded.value().context.valid() && obs::context_armed()) {
+        scoped_context.emplace(decoded.value().context);
+        span = obs::Tracer::global().span("striped_stream_recv", "net");
+      }
       payload.assign(static_cast<std::size_t>(header->total_bytes),
                      std::byte{0});
       have.assign(static_cast<std::size_t>(header->num_chunks), 0);

@@ -1,0 +1,53 @@
+#include "viper/obs/context.hpp"
+
+#include <cstring>
+
+namespace viper::obs {
+
+namespace detail {
+
+std::atomic<bool> context_armed{false};
+
+TraceContext& thread_context() noexcept {
+  thread_local TraceContext context;
+  return context;
+}
+
+}  // namespace detail
+
+void set_context_armed(bool armed) noexcept {
+  detail::context_armed.store(armed, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceContext::trace_id_for(std::string_view model_name,
+                                         std::uint64_t version) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (char c : model_name) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ull;
+  }
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (version >> (8 * i)) & 0xff;
+    hash *= 0x100000001b3ull;
+  }
+  return hash == 0 ? 1 : hash;
+}
+
+void TraceContext::encode(std::span<std::byte, kWireBytes> out) const noexcept {
+  std::memcpy(out.data(), &trace_id, sizeof(trace_id));
+  std::memcpy(out.data() + 8, &parent_span_id, sizeof(parent_span_id));
+  std::memcpy(out.data() + 16, &origin_rank, sizeof(origin_rank));
+}
+
+TraceContext TraceContext::decode(std::span<const std::byte> in) noexcept {
+  TraceContext context;
+  if (in.size() < kWireBytes) return context;
+  std::memcpy(&context.trace_id, in.data(), sizeof(context.trace_id));
+  std::memcpy(&context.parent_span_id, in.data() + 8,
+              sizeof(context.parent_span_id));
+  std::memcpy(&context.origin_rank, in.data() + 16,
+              sizeof(context.origin_rank));
+  return context;
+}
+
+}  // namespace viper::obs

@@ -1,0 +1,93 @@
+// Cross-process trace context (the W3C traceparent of the checkpoint
+// world): identifies which version's update a piece of work belongs to,
+// which span caused it, and which rank originated it. The producer opens
+// a context when a save captures; the context rides the wire (stream
+// headers, load requests, update notifications) so the consumer's fetch,
+// decode, and swap spans join the same causal trace — one trace id per
+// model version, linked across ranks.
+//
+// Propagation is thread-local: `ScopedTraceContext` installs a context
+// for the current thread, Tracer::span() picks it up automatically, and
+// the wire codecs (`encode`/`decode`) move it between processes. All of
+// it is inert until `set_armed(true)`: a disarmed probe is one relaxed
+// atomic load, the same zero-cost discipline as fault::armed().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace viper::obs {
+
+/// Identity of one causally-linked update trace. `trace_id` is derived
+/// from (model, version) so every stage of one version's update — on any
+/// rank — lands in the same trace; `parent_span_id` is the span that
+/// handed the work off (0 = no parent yet); `origin_rank` is the rank
+/// that started the trace (the producer).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::int32_t origin_rank = -1;
+
+  [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+
+  /// Stable trace id for (model, version): FNV-1a of the model name folded
+  /// with the version. Never returns 0 (0 means "no context").
+  [[nodiscard]] static std::uint64_t trace_id_for(std::string_view model_name,
+                                                  std::uint64_t version) noexcept;
+
+  /// Fixed-size wire encoding (little-endian, 20 bytes).
+  static constexpr std::size_t kWireBytes = 20;
+  void encode(std::span<std::byte, kWireBytes> out) const noexcept;
+  /// Decode a context previously written by encode(). Returns an invalid
+  /// (trace_id == 0) context when `in` is too small — callers treat that
+  /// as "peer sent no context", never as an error.
+  [[nodiscard]] static TraceContext decode(std::span<const std::byte> in) noexcept;
+};
+
+namespace detail {
+extern std::atomic<bool> context_armed;
+TraceContext& thread_context() noexcept;
+}  // namespace detail
+
+/// Zero-cost guard: propagation sites check this first, so with tracing
+/// disarmed a probe costs one relaxed atomic load.
+[[nodiscard]] inline bool context_armed() noexcept {
+  return detail::context_armed.load(std::memory_order_relaxed);
+}
+
+/// Arm/disarm context propagation process-wide (tests and the CLI arm it
+/// together with the tracer/ledger).
+void set_context_armed(bool armed) noexcept;
+
+/// The calling thread's current context (invalid when none installed or
+/// propagation is disarmed).
+[[nodiscard]] inline TraceContext current_context() noexcept {
+  if (!context_armed()) return TraceContext{};
+  return detail::thread_context();
+}
+
+/// Install `context` for the calling thread for the scope's lifetime,
+/// restoring the previous context on exit. Used at both ends: the
+/// producer installs the context it minted; a receiver installs the
+/// context it decoded off the wire before running the downstream stages.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context) noexcept
+      : previous_(detail::thread_context()) {
+    detail::thread_context() = context;
+  }
+  ~ScopedTraceContext() { detail::thread_context() = previous_; }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+}  // namespace viper::obs

@@ -1,0 +1,162 @@
+// Per-version lifecycle ledger: one VersionTimeline per (model, version)
+// recording when each update stage happened — producer capture, commit
+// and durable flush; notification; consumer fetch, decode and hot swap —
+// and deriving the paper's headline number, end-to-end update latency
+// (consumer swap minus producer capture start), plus staleness and the
+// per-stage breakdown, as first-class values rather than log archaeology.
+//
+// Producer and consumer stamp the same process-global ledger (in-process
+// ranks share a clock domain, so the cross-rank subtraction is exact);
+// the stamps carry the trace id of the version's TraceContext so a
+// timeline and its trace spans cross-reference.
+//
+// Disarmed probes follow the fault-injection discipline: one relaxed
+// atomic load, nothing else — see ledger_record() below.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "viper/common/clock.hpp"
+#include "viper/obs/window.hpp"
+
+namespace viper::obs {
+
+/// Lifecycle stages in causal order. Producer stages first, then the
+/// notification hop, then the consumer stages.
+enum class Stage : std::uint8_t {
+  kCaptureStart = 0,  ///< producer: save_weights entered (serialize begins)
+  kSerializeDone,     ///< producer: capture blob encoded
+  kCommitDone,        ///< producer: stored + metadata + notify published
+  kFlushDone,         ///< producer: durable PFS flush committed
+  kNotified,          ///< consumer: update notification parsed
+  kFetchStart,        ///< consumer: transfer/fetch began
+  kFetchDone,         ///< consumer: payload fully received + verified
+  kDecodeDone,        ///< consumer: deserialize finished
+  kSwapDone,          ///< consumer: double-buffer install completed
+};
+inline constexpr int kNumStages = 9;
+
+[[nodiscard]] std::string_view to_string(Stage stage) noexcept;
+
+/// Stage timestamps of one version. Unset stages are negative.
+struct VersionTimeline {
+  std::string model;
+  std::uint64_t version = 0;
+  std::uint64_t trace_id = 0;
+  int origin_rank = -1;
+  std::array<double, kNumStages> at{};
+  bool interrupted = false;       ///< closed without reaching kSwapDone
+  std::string interrupted_reason;
+
+  VersionTimeline() { at.fill(-1.0); }
+
+  [[nodiscard]] bool has(Stage stage) const noexcept {
+    return at[static_cast<std::size_t>(stage)] >= 0.0;
+  }
+  [[nodiscard]] double stamp(Stage stage) const noexcept {
+    return at[static_cast<std::size_t>(stage)];
+  }
+  /// Consumer swap minus producer capture start; negative when either
+  /// end is missing (an open or interrupted timeline).
+  [[nodiscard]] double update_latency() const noexcept {
+    if (!has(Stage::kCaptureStart) || !has(Stage::kSwapDone)) return -1.0;
+    return stamp(Stage::kSwapDone) - stamp(Stage::kCaptureStart);
+  }
+  [[nodiscard]] bool complete() const noexcept { return has(Stage::kSwapDone); }
+};
+
+namespace detail {
+extern std::atomic<bool> ledger_armed;
+}  // namespace detail
+
+/// Process-global lifecycle ledger.
+class VersionLedger {
+ public:
+  static VersionLedger& global();
+
+  /// Arm/disarm recording. Disarmed stamps cost one relaxed atomic load.
+  static void set_armed(bool armed) noexcept {
+    detail::ledger_armed.store(armed, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool armed() noexcept {
+    return detail::ledger_armed.load(std::memory_order_relaxed);
+  }
+
+  /// Time source for stamps AND the windowed latency rotation (tests
+  /// drive a VirtualClock); nullptr restores the monotonic wall clock.
+  void set_clock(const Clock* clock) noexcept;
+  [[nodiscard]] double now() const noexcept;
+
+  /// Stamp `stage` of (model, version) at the ledger clock's now().
+  /// First stamp of a version creates its timeline. `trace_id` and
+  /// `origin_rank` are recorded on first sight (later stamps may pass 0 /
+  /// -1). A kSwapDone stamp derives the version's end-to-end update
+  /// latency and feeds it to the lifetime + windowed latency histograms.
+  void record(const std::string& model, std::uint64_t version, Stage stage,
+              std::uint64_t trace_id = 0, int origin_rank = -1);
+  /// Same, at an explicit timestamp (virtual-time experiments).
+  void record_at(const std::string& model, std::uint64_t version, Stage stage,
+                 double timestamp, std::uint64_t trace_id = 0,
+                 int origin_rank = -1);
+
+  /// Close every open (not swapped) timeline of `model` as interrupted —
+  /// restart recovery calls this after replaying the journal, so versions
+  /// that died mid-flight stop looking in-progress forever. Returns how
+  /// many timelines were closed.
+  std::size_t close_interrupted(const std::string& model,
+                                const std::string& reason);
+
+  [[nodiscard]] std::optional<VersionTimeline> timeline(
+      const std::string& model, std::uint64_t version) const;
+  /// All timelines, ordered by (model, version).
+  [[nodiscard]] std::vector<VersionTimeline> timelines() const;
+
+  /// End-to-end update latency over the sliding window (feeds the SLO
+  /// engine's p99 check).
+  [[nodiscard]] WindowedHistogram::Stats windowed_update_latency() const;
+  /// Lifetime update-latency histogram (also registered in the metrics
+  /// registry as viper.obs.update_latency_seconds).
+  [[nodiscard]] const Histogram& update_latency_histogram() const;
+
+  /// Staleness of the model being served at `now`: now minus the capture
+  /// start of the newest swapped version (negative when nothing swapped).
+  [[nodiscard]] double staleness_seconds(const std::string& model,
+                                         double now) const;
+
+  /// Largest gap between consecutive durable-flush stamps of `model`
+  /// (the observed recovery-point exposure); 0 with fewer than 2 flushes.
+  [[nodiscard]] double max_flush_gap_seconds(const std::string& model) const;
+
+  /// One JSON object per timeline: stages, latency, trace id.
+  [[nodiscard]] std::string to_json() const;
+
+  void clear();
+
+ private:
+  VersionLedger();
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::string, std::uint64_t>, VersionTimeline> timelines_;
+  Histogram update_latency_;
+  WindowedHistogram windowed_latency_;
+  std::atomic<const Clock*> clock_{nullptr};
+};
+
+/// One-line armed-guarded stamp for instrumented hot paths: disarmed cost
+/// is a relaxed load and a branch, like fault::fail_point().
+inline void ledger_record(const std::string& model, std::uint64_t version,
+                          Stage stage, std::uint64_t trace_id = 0,
+                          int origin_rank = -1) {
+  if (!VersionLedger::armed()) return;
+  VersionLedger::global().record(model, version, stage, trace_id, origin_rank);
+}
+
+}  // namespace viper::obs

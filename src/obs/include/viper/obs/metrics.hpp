@@ -154,8 +154,15 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_json() const;
   /// One metric per line, for example epilogues and log dumps.
   [[nodiscard]] std::string to_text() const;
+  /// Prometheus text exposition: dots become underscores, counters get a
+  /// _total suffix, histograms export as summaries (quantile series plus
+  /// _sum/_count). Scrapeable by anything that speaks the text format.
+  [[nodiscard]] std::string to_prometheus() const;
   /// Value of the named counter at snapshot time, or 0 if absent.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  /// The named histogram's sample, or nullptr if absent.
+  [[nodiscard]] const HistogramSample* histogram_sample(
+      std::string_view name) const;
 };
 
 /// Thread-safe name -> metric registry. Metrics are created on first

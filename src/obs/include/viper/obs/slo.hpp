@@ -1,0 +1,71 @@
+// Declarative SLOs over the observability plane: a spec states the
+// budgets (p99 update latency, recovery-point exposure, corrupt serves,
+// recovery time), the engine evaluates them against the version ledger
+// and a metrics snapshot, and the result is a machine-checkable verdict —
+// chaos runs end with PASS/FAIL, not a log dump to eyeball.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "viper/obs/ledger.hpp"
+#include "viper/obs/metrics.hpp"
+
+namespace viper::obs {
+
+/// Objective budgets. A budget <= 0 (or max-valued counter budget)
+/// disables that check.
+struct SloSpec {
+  /// p99 end-to-end update latency over the ledger's sliding window
+  /// (falls back to the lifetime histogram when the window is empty —
+  /// a finished run should still get a verdict).
+  double max_p99_update_latency_seconds = 0.0;
+  /// Max gap between consecutive durable flush commits (RPO exposure).
+  double max_rpo_seconds = 0.0;
+  /// Checkpoints served despite failing verification. The paper's
+  /// integrity bar: zero, always.
+  std::uint64_t max_corrupt_serves = 0;
+  bool check_corrupt_serves = true;
+  /// Max observed restart-recovery time (viper.durability.recovery_seconds).
+  double max_recovery_seconds = 0.0;
+  /// Model the latency/RPO checks evaluate (empty = every model merged).
+  std::string model;
+};
+
+/// One objective's outcome.
+struct SloCheck {
+  std::string name;      ///< e.g. "p99_update_latency"
+  bool enabled = false;
+  bool pass = true;      ///< vacuously true when disabled or no samples
+  double observed = 0.0;
+  double limit = 0.0;
+  std::uint64_t samples = 0;
+  std::string detail;
+};
+
+/// The verdict: overall pass iff every enabled check passed.
+struct SloReport {
+  bool pass = true;
+  std::vector<SloCheck> checks;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] const SloCheck* check(std::string_view name) const;
+};
+
+/// Evaluate `spec` against the ledger and a registry snapshot (the live
+/// path: viper_cli monitor/slo, stress soaks, obs_e2e).
+[[nodiscard]] SloReport evaluate_slo(const SloSpec& spec,
+                                     const VersionLedger& ledger,
+                                     const MetricsSnapshot& snapshot);
+
+/// Evaluate from raw per-update latencies (virtual-time experiments:
+/// coupled_sim's ready_at - triggered_at records). Only the latency and
+/// corrupt-serves checks apply.
+[[nodiscard]] SloReport evaluate_slo_from_latencies(
+    const SloSpec& spec, std::span<const double> update_latencies,
+    std::uint64_t corrupt_serves = 0);
+
+}  // namespace viper::obs

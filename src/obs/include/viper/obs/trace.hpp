@@ -26,6 +26,13 @@ struct TraceEvent {
   double start_seconds = 0.0;
   double duration_seconds = 0.0;
   bool instant = false;   ///< point event rather than a duration
+  // Cross-rank identity (zero when recorded without an armed TraceContext):
+  // events of one model version share a trace_id on every rank, and
+  // parent_span_id chains them causally across the wire.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  int rank = 0;           ///< recording rank (Tracer::set_rank)
 };
 
 class Tracer {
@@ -45,6 +52,15 @@ class Tracer {
 
   void set_enabled(bool enabled) noexcept {
     enabled_.store(enabled, std::memory_order_release);
+  }
+
+  /// Rank stamped on every recorded event (and used as the Chrome-trace
+  /// pid, so a merged timeline shows one process lane per rank).
+  void set_rank(int rank) noexcept {
+    rank_.store(rank, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int rank() const noexcept {
+    return rank_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] bool enabled() const noexcept {
     return enabled_.load(std::memory_order_acquire);
@@ -73,6 +89,10 @@ class Tracer {
     std::string category_;
     double start_ = 0.0;
     int depth_ = 0;
+    std::uint64_t trace_id_ = 0;
+    std::uint64_t span_id_ = 0;
+    std::uint64_t parent_span_id_ = 0;
+    bool restore_parent_ = false;  ///< thread context adopted this span
   };
 
   /// Open a span; the returned handle must stay on the calling thread.
@@ -97,16 +117,40 @@ class Tracer {
 
   [[nodiscard]] double now() const;
 
+  /// Fresh process-unique span id (used by the wire propagation sites to
+  /// parent remote work on a local span without opening one).
+  [[nodiscard]] static std::uint64_t next_span_id() noexcept;
+
   static constexpr std::size_t kMaxEvents = 1 << 20;
 
  private:
   void record(TraceEvent event);
 
   std::atomic<bool> enabled_{false};
+  std::atomic<int> rank_{0};
   std::atomic<const Clock*> clock_{nullptr};
   std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
 };
+
+/// One rank's contribution to a merged timeline.
+struct RankTrace {
+  int rank = 0;
+  std::vector<TraceEvent> events;
+};
+
+/// Join per-rank event sets into one Chrome trace: each rank becomes a
+/// pid lane, events keep their own timestamps (the ranks are expected to
+/// share a clock domain — in-process ranks always do), and spans carrying
+/// the same trace_id remain linkable across lanes via their args.
+[[nodiscard]] std::string merge_chrome_traces(const std::vector<RankTrace>& ranks);
+
+/// Join already-exported Chrome trace JSON files (the format written by
+/// Tracer::to_chrome_json / merge_chrome_traces): splices every file's
+/// "traceEvents" array into one. Inputs that do not look like our own
+/// export are skipped.
+[[nodiscard]] std::string merge_chrome_trace_files(
+    const std::vector<std::string>& jsons);
 
 }  // namespace viper::obs

@@ -1,0 +1,112 @@
+// Sliding-window metrics: a ring of sub-histograms rotated by time, so
+// percentiles and rates answer "over the last N seconds" instead of
+// "since the process started". Lifetime histograms make a good flight
+// recorder but a useless control signal — a calibrator or SLO check needs
+// the recent distribution, not one polluted by yesterday's warm-up.
+//
+// The ring advances lazily on record/read (no rotation thread): each
+// bucket carries the epoch it belongs to, and a recorder that lands on a
+// stale bucket resets it for the current epoch first. All state is
+// relaxed atomics — recording is lock-free and a snapshot merges the
+// buckets that still fall inside the window.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "viper/common/clock.hpp"
+#include "viper/obs/metrics.hpp"
+
+namespace viper::obs {
+
+class WindowedHistogram {
+ public:
+  struct Options {
+    double window_seconds = 60.0;  ///< how far back the stats look
+    int num_buckets = 6;           ///< ring granularity (window / buckets)
+  };
+
+  WindowedHistogram();  ///< default Options
+  explicit WindowedHistogram(Options options);
+
+  /// Time source for bucket rotation; nullptr restores the default
+  /// monotonic wall clock. The clock must outlive recording.
+  void set_clock(const Clock* clock) noexcept {
+    clock_.store(clock, std::memory_order_release);
+  }
+
+  void record(double seconds) noexcept;
+
+  /// Merged view over the buckets currently inside the window.
+  struct Stats {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+    double rate_per_second = 0.0;  ///< count / window
+    double window_seconds = 0.0;
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+  [[nodiscard]] double window_seconds() const noexcept {
+    return options_.window_seconds;
+  }
+
+  void reset() noexcept;
+
+ private:
+  /// One time slice of the window.
+  struct Bucket {
+    std::atomic<std::int64_t> epoch{-1};
+    std::array<std::atomic<std::uint64_t>, Histogram::kNumBuckets> counts{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+
+  [[nodiscard]] double now() const noexcept;
+  [[nodiscard]] std::int64_t current_epoch() const noexcept;
+  /// Bucket for `epoch`, reset for it if it still holds an older slice.
+  Bucket& bucket_for(std::int64_t epoch) noexcept;
+
+  Options options_;
+  double bucket_seconds_;
+  std::vector<std::unique_ptr<Bucket>> ring_;
+  std::atomic<const Clock*> clock_{nullptr};
+};
+
+/// Windowed-metric registry keyed by name, mirroring MetricsRegistry:
+/// created on first lookup, never destroyed. Kept separate from the
+/// lifetime registry so the snapshot layer can report both side by side.
+class WindowedRegistry {
+ public:
+  static WindowedRegistry& global();
+
+  WindowedHistogram& histogram(const std::string& name);
+  WindowedHistogram& histogram(const std::string& name,
+                               WindowedHistogram::Options options);
+
+  struct Sample {
+    std::string name;
+    WindowedHistogram::Stats stats;
+  };
+  /// Point-in-time stats of every windowed histogram, sorted by name.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Rotate every histogram onto `clock` (tests drive a VirtualClock).
+  void set_clock(const Clock* clock);
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> histograms_;
+};
+
+}  // namespace viper::obs

@@ -1,0 +1,244 @@
+#include "viper/obs/ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace viper::obs {
+
+namespace detail {
+std::atomic<bool> ledger_armed{false};
+}  // namespace detail
+
+namespace {
+
+const Clock& default_clock() {
+  static WallClock clock;
+  return clock;
+}
+
+constexpr std::string_view kStageNames[kNumStages] = {
+    "capture_start", "serialize_done", "commit_done",
+    "flush_done",    "notified",       "fetch_start",
+    "fetch_done",    "decode_done",    "swap_done",
+};
+
+}  // namespace
+
+std::string_view to_string(Stage stage) noexcept {
+  return kStageNames[static_cast<std::size_t>(stage)];
+}
+
+VersionLedger::VersionLedger()
+    : windowed_latency_(WindowedHistogram::Options{.window_seconds = 60.0,
+                                                   .num_buckets = 6}) {}
+
+VersionLedger& VersionLedger::global() {
+  static VersionLedger* ledger = new VersionLedger();  // never destroyed
+  return *ledger;
+}
+
+void VersionLedger::set_clock(const Clock* clock) noexcept {
+  clock_.store(clock, std::memory_order_release);
+  windowed_latency_.set_clock(clock);
+}
+
+double VersionLedger::now() const noexcept {
+  const Clock* clock = clock_.load(std::memory_order_acquire);
+  return (clock != nullptr ? *clock : default_clock()).now();
+}
+
+void VersionLedger::record(const std::string& model, std::uint64_t version,
+                           Stage stage, std::uint64_t trace_id,
+                           int origin_rank) {
+  record_at(model, version, stage, now(), trace_id, origin_rank);
+}
+
+void VersionLedger::record_at(const std::string& model, std::uint64_t version,
+                              Stage stage, double timestamp,
+                              std::uint64_t trace_id, int origin_rank) {
+  double latency = -1.0;
+  {
+    std::lock_guard lock(mutex_);
+    VersionTimeline& timeline = timelines_[{model, version}];
+    if (timeline.model.empty()) {
+      timeline.model = model;
+      timeline.version = version;
+    }
+    if (timeline.trace_id == 0) timeline.trace_id = trace_id;
+    if (timeline.origin_rank < 0) timeline.origin_rank = origin_rank;
+    // First stamp wins: resends and retried stages keep the original
+    // causal time (a duplicate notification must not rewrite history).
+    double& slot = timeline.at[static_cast<std::size_t>(stage)];
+    if (slot < 0.0) slot = timestamp;
+    if (stage == Stage::kSwapDone) {
+      timeline.interrupted = false;
+      timeline.interrupted_reason.clear();
+      latency = timeline.update_latency();
+    }
+  }
+  if (latency >= 0.0) {
+    update_latency_.record(latency);
+    windowed_latency_.record(latency);
+    static Histogram& registered = MetricsRegistry::global().histogram(
+        "viper.obs.update_latency_seconds");
+    registered.record(latency);
+  }
+}
+
+std::size_t VersionLedger::close_interrupted(const std::string& model,
+                                             const std::string& reason) {
+  std::lock_guard lock(mutex_);
+  std::size_t closed = 0;
+  for (auto& [key, timeline] : timelines_) {
+    if (key.first != model) continue;
+    if (timeline.complete() || timeline.interrupted) continue;
+    timeline.interrupted = true;
+    timeline.interrupted_reason = reason;
+    ++closed;
+  }
+  return closed;
+}
+
+std::optional<VersionTimeline> VersionLedger::timeline(
+    const std::string& model, std::uint64_t version) const {
+  std::lock_guard lock(mutex_);
+  auto it = timelines_.find({model, version});
+  if (it == timelines_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<VersionTimeline> VersionLedger::timelines() const {
+  std::lock_guard lock(mutex_);
+  std::vector<VersionTimeline> out;
+  out.reserve(timelines_.size());
+  for (const auto& [_, timeline] : timelines_) out.push_back(timeline);
+  return out;
+}
+
+WindowedHistogram::Stats VersionLedger::windowed_update_latency() const {
+  return windowed_latency_.stats();
+}
+
+const Histogram& VersionLedger::update_latency_histogram() const {
+  return update_latency_;
+}
+
+double VersionLedger::staleness_seconds(const std::string& model,
+                                        double now) const {
+  std::lock_guard lock(mutex_);
+  double newest_capture = -1.0;
+  std::uint64_t newest_version = 0;
+  for (const auto& [key, timeline] : timelines_) {
+    if (key.first != model || !timeline.complete()) continue;
+    if (timeline.version >= newest_version &&
+        timeline.has(Stage::kCaptureStart)) {
+      newest_version = timeline.version;
+      newest_capture = timeline.stamp(Stage::kCaptureStart);
+    }
+  }
+  return newest_capture < 0.0 ? -1.0 : now - newest_capture;
+}
+
+double VersionLedger::max_flush_gap_seconds(const std::string& model) const {
+  std::lock_guard lock(mutex_);
+  // Empty model = every model, each measured against its own flushes.
+  std::map<std::string, std::vector<double>> flushes;
+  for (const auto& [key, timeline] : timelines_) {
+    if (!model.empty() && key.first != model) continue;
+    if (!timeline.has(Stage::kFlushDone)) continue;
+    flushes[key.first].push_back(timeline.stamp(Stage::kFlushDone));
+  }
+  double max_gap = 0.0;
+  for (auto& [_, stamps] : flushes) {
+    std::sort(stamps.begin(), stamps.end());
+    for (std::size_t i = 1; i < stamps.size(); ++i) {
+      max_gap = std::max(max_gap, stamps[i] - stamps[i - 1]);
+    }
+  }
+  return max_gap;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string VersionLedger::to_json() const {
+  const auto snapshot = timelines();
+  std::string out = "{\n  \"versions\": [";
+  bool first = true;
+  char buf[64];
+  for (const VersionTimeline& timeline : snapshot) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"model\": ";
+    append_json_string(out, timeline.model);
+    out += ", \"version\": " + std::to_string(timeline.version);
+    std::snprintf(buf, sizeof(buf), ", \"trace\": \"%llx\"",
+                  static_cast<unsigned long long>(timeline.trace_id));
+    out += buf;
+    out += ", \"origin_rank\": " + std::to_string(timeline.origin_rank);
+    out += ", \"stages\": {";
+    bool first_stage = true;
+    for (int i = 0; i < kNumStages; ++i) {
+      const double t = timeline.at[static_cast<std::size_t>(i)];
+      if (t < 0.0) continue;
+      if (!first_stage) out += ", ";
+      first_stage = false;
+      out += '"';
+      out += kStageNames[static_cast<std::size_t>(i)];
+      out += "\": ";
+      append_double(out, t);
+    }
+    out += "}";
+    const double latency = timeline.update_latency();
+    if (latency >= 0.0) {
+      out += ", \"update_latency\": ";
+      append_double(out, latency);
+    }
+    out += ", \"interrupted\": ";
+    out += timeline.interrupted ? "true" : "false";
+    if (timeline.interrupted) {
+      out += ", \"reason\": ";
+      append_json_string(out, timeline.interrupted_reason);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void VersionLedger::clear() {
+  std::lock_guard lock(mutex_);
+  timelines_.clear();
+  update_latency_.reset();
+  windowed_latency_.reset();
+}
+
+}  // namespace viper::obs

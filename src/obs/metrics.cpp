@@ -195,4 +195,62 @@ std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
   return 0;
 }
 
+const HistogramSample* MetricsSnapshot::histogram_sample(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map 1:1
+/// by flattening the dots.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  char buf[256];
+  for (const auto& c : counters) {
+    const std::string name = prometheus_name(c.name);
+    out += "# TYPE " + name + "_total counter\n";
+    std::snprintf(buf, sizeof(buf), "%s_total %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  for (const auto& g : gauges) {
+    const std::string name = prometheus_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    std::snprintf(buf, sizeof(buf), "%s %.9g\n", name.c_str(), g.value);
+    out += buf;
+  }
+  for (const auto& h : histograms) {
+    const std::string name = prometheus_name(h.name);
+    out += "# TYPE " + name + " summary\n";
+    std::snprintf(buf, sizeof(buf),
+                  "%s{quantile=\"0.5\"} %.9g\n"
+                  "%s{quantile=\"0.95\"} %.9g\n"
+                  "%s{quantile=\"0.99\"} %.9g\n",
+                  name.c_str(), h.p50, name.c_str(), h.p95, name.c_str(),
+                  h.p99);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %.9g\n%s_count %llu\n",
+                  name.c_str(), h.sum, name.c_str(),
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace viper::obs

@@ -1,0 +1,172 @@
+#include "viper/obs/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace viper::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+SloCheck latency_check(double limit, double observed, std::uint64_t samples,
+                       const char* source) {
+  SloCheck check;
+  check.name = "p99_update_latency";
+  check.enabled = limit > 0.0;
+  check.limit = limit;
+  check.observed = observed;
+  check.samples = samples;
+  check.detail = source;
+  if (check.enabled && samples > 0) check.pass = observed <= limit;
+  if (check.enabled && samples == 0) check.detail = "no update samples";
+  return check;
+}
+
+SloCheck corrupt_check(const SloSpec& spec, std::uint64_t corrupt_serves) {
+  SloCheck check;
+  check.name = "corrupt_serves";
+  check.enabled = spec.check_corrupt_serves;
+  check.limit = static_cast<double>(spec.max_corrupt_serves);
+  check.observed = static_cast<double>(corrupt_serves);
+  check.samples = corrupt_serves;
+  if (check.enabled) check.pass = corrupt_serves <= spec.max_corrupt_serves;
+  return check;
+}
+
+void finish(SloReport& report) {
+  for (const SloCheck& check : report.checks) {
+    if (check.enabled && !check.pass) report.pass = false;
+  }
+}
+
+}  // namespace
+
+SloReport evaluate_slo(const SloSpec& spec, const VersionLedger& ledger,
+                       const MetricsSnapshot& snapshot) {
+  SloReport report;
+
+  // p99 update latency: windowed stats preferred; a run whose window
+  // already rotated dry (short experiment, long window gap) falls back to
+  // the lifetime histogram so a finished run still gets a verdict.
+  const WindowedHistogram::Stats windowed = ledger.windowed_update_latency();
+  if (windowed.count > 0) {
+    report.checks.push_back(latency_check(spec.max_p99_update_latency_seconds,
+                                          windowed.p99, windowed.count,
+                                          "windowed"));
+  } else {
+    const Histogram& lifetime = ledger.update_latency_histogram();
+    report.checks.push_back(latency_check(spec.max_p99_update_latency_seconds,
+                                          lifetime.percentile(0.99),
+                                          lifetime.count(), "lifetime"));
+  }
+
+  {
+    SloCheck check;
+    check.name = "rpo";
+    check.enabled = spec.max_rpo_seconds > 0.0;
+    check.limit = spec.max_rpo_seconds;
+    check.observed = ledger.max_flush_gap_seconds(spec.model);
+    if (check.enabled) check.pass = check.observed <= check.limit;
+    check.detail = "max gap between durable flush commits";
+    report.checks.push_back(check);
+  }
+
+  report.checks.push_back(corrupt_check(
+      spec, snapshot.counter_value("viper.consumer.corrupt_serves")));
+
+  {
+    SloCheck check;
+    check.name = "recovery_time";
+    check.enabled = spec.max_recovery_seconds > 0.0;
+    check.limit = spec.max_recovery_seconds;
+    if (const HistogramSample* recovery =
+            snapshot.histogram_sample("viper.durability.recovery_seconds")) {
+      check.observed = recovery->max;
+      check.samples = recovery->count;
+    }
+    if (check.enabled && check.samples > 0) {
+      check.pass = check.observed <= check.limit;
+    } else if (check.enabled) {
+      check.detail = "no recoveries observed";
+    }
+    report.checks.push_back(check);
+  }
+
+  finish(report);
+  return report;
+}
+
+SloReport evaluate_slo_from_latencies(const SloSpec& spec,
+                                      std::span<const double> update_latencies,
+                                      std::uint64_t corrupt_serves) {
+  SloReport report;
+  double p99 = 0.0;
+  if (!update_latencies.empty()) {
+    std::vector<double> sorted(update_latencies.begin(),
+                               update_latencies.end());
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank: ceil(0.99 * n), 1-based.
+    std::size_t rank = static_cast<std::size_t>(
+        0.99 * static_cast<double>(sorted.size()) + 0.999999);
+    if (rank == 0) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    p99 = sorted[rank - 1];
+  }
+  report.checks.push_back(latency_check(spec.max_p99_update_latency_seconds,
+                                        p99, update_latencies.size(),
+                                        "experiment records"));
+  report.checks.push_back(corrupt_check(spec, corrupt_serves));
+  finish(report);
+  return report;
+}
+
+const SloCheck* SloReport::check(std::string_view name) const {
+  for (const SloCheck& check : checks) {
+    if (check.name == name) return &check;
+  }
+  return nullptr;
+}
+
+std::string SloReport::to_json() const {
+  std::string out = "{\n  \"pass\": ";
+  out += pass ? "true" : "false";
+  out += ",\n  \"checks\": [";
+  bool first = true;
+  for (const SloCheck& check : checks) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + check.name + "\", \"enabled\": ";
+    out += check.enabled ? "true" : "false";
+    out += ", \"pass\": ";
+    out += check.pass ? "true" : "false";
+    out += ", \"observed\": ";
+    append_double(out, check.observed);
+    out += ", \"limit\": ";
+    append_double(out, check.limit);
+    out += ", \"samples\": " + std::to_string(check.samples);
+    out += ", \"detail\": \"" + check.detail + "\"}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string SloReport::to_text() const {
+  std::string out = pass ? "SLO verdict: PASS\n" : "SLO verdict: FAIL\n";
+  char buf[256];
+  for (const SloCheck& check : checks) {
+    std::snprintf(buf, sizeof(buf), "  %-24s %s observed=%.6g limit=%.6g%s%s\n",
+                  check.name.c_str(),
+                  !check.enabled ? "SKIP" : (check.pass ? "PASS" : "FAIL"),
+                  check.observed, check.limit,
+                  check.detail.empty() ? "" : "  ", check.detail.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace viper::obs

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "viper/common/thread_util.hpp"
+#include "viper/obs/context.hpp"
 
 namespace viper::obs {
 
@@ -31,12 +32,32 @@ double Tracer::now() const {
   return (clock != nullptr ? *clock : default_clock()).now();
 }
 
+std::uint64_t Tracer::next_span_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 Tracer::Span::Span(Tracer* tracer, std::string name, std::string category)
     : tracer_(tracer),
       name_(std::move(name)),
       category_(std::move(category)),
       start_(tracer->now()),
-      depth_(t_span_depth++) {}
+      depth_(t_span_depth++) {
+  // Adopt the thread's trace context (if one is armed and installed):
+  // this span joins the context's trace, parents on the span that handed
+  // the work over, and becomes the parent of anything opened beneath it —
+  // including work shipped to another rank while it is live.
+  if (context_armed()) {
+    TraceContext& context = detail::thread_context();
+    if (context.valid()) {
+      trace_id_ = context.trace_id;
+      parent_span_id_ = context.parent_span_id;
+      span_id_ = next_span_id();
+      context.parent_span_id = span_id_;
+      restore_parent_ = true;
+    }
+  }
+}
 
 Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
   if (this != &other) {
@@ -46,7 +67,12 @@ Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
     category_ = std::move(other.category_);
     start_ = other.start_;
     depth_ = other.depth_;
+    trace_id_ = other.trace_id_;
+    span_id_ = other.span_id_;
+    parent_span_id_ = other.parent_span_id_;
+    restore_parent_ = other.restore_parent_;
     other.tracer_ = nullptr;
+    other.restore_parent_ = false;
   }
   return *this;
 }
@@ -56,6 +82,15 @@ void Tracer::Span::end() {
   Tracer* tracer = tracer_;
   tracer_ = nullptr;
   --t_span_depth;
+  if (restore_parent_) {
+    // Only undo our own adoption: if the context changed underneath us
+    // (a ScopedTraceContext swap mid-span), leave it alone.
+    TraceContext& context = detail::thread_context();
+    if (context.parent_span_id == span_id_) {
+      context.parent_span_id = parent_span_id_;
+    }
+    restore_parent_ = false;
+  }
   TraceEvent event;
   event.name = std::move(name_);
   event.category = std::move(category_);
@@ -63,6 +98,10 @@ void Tracer::Span::end() {
   event.depth = depth_;
   event.start_seconds = start_;
   event.duration_seconds = tracer->now() - start_;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_span_id = parent_span_id_;
+  event.rank = tracer->rank();
   tracer->record(std::move(event));
 }
 
@@ -80,6 +119,11 @@ void Tracer::instant(std::string name, std::string category) {
   event.depth = t_span_depth;
   event.start_seconds = now();
   event.instant = true;
+  if (const TraceContext context = current_context(); context.valid()) {
+    event.trace_id = context.trace_id;
+    event.parent_span_id = context.parent_span_id;
+  }
+  event.rank = rank();
   record(std::move(event));
 }
 
@@ -131,34 +175,89 @@ void append_json_string(std::string& out, const std::string& s) {
   out += '"';
 }
 
+void append_chrome_event(std::string& out, const TraceEvent& event, int pid,
+                         bool& first) {
+  char buf[192];
+  out += first ? "\n" : ",\n";
+  first = false;
+  out += "  {\"name\": ";
+  append_json_string(out, event.name);
+  out += ", \"cat\": ";
+  append_json_string(out, event.category);
+  // Chrome trace timestamps are microseconds.
+  std::snprintf(buf, sizeof(buf),
+                ", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": %d, \"tid\": %d",
+                event.instant ? "i" : "X", event.start_seconds * 1e6, pid,
+                event.thread_id);
+  out += buf;
+  if (event.instant) {
+    out += ", \"s\": \"t\"";
+  } else {
+    std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
+                  event.duration_seconds * 1e6);
+    out += buf;
+  }
+  if (event.trace_id != 0) {
+    // Cross-rank linkage: spans of one version share "trace", and
+    // "parent" chains them causally (across pids in a merged file).
+    std::snprintf(buf, sizeof(buf),
+                  ", \"args\": {\"trace\": \"%llx\", \"span\": %llu, "
+                  "\"parent\": %llu}",
+                  static_cast<unsigned long long>(event.trace_id),
+                  static_cast<unsigned long long>(event.span_id),
+                  static_cast<unsigned long long>(event.parent_span_id));
+    out += buf;
+  }
+  out += "}";
+}
+
 }  // namespace
 
 std::string Tracer::to_chrome_json() const {
   const auto snapshot = events();
   std::string out = "{\"traceEvents\": [";
   bool first = true;
-  char buf[128];
   for (const TraceEvent& event : snapshot) {
+    append_chrome_event(out, event, event.rank, first);
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string merge_chrome_traces(const std::vector<RankTrace>& ranks) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const RankTrace& rank_trace : ranks) {
+    for (const TraceEvent& event : rank_trace.events) {
+      append_chrome_event(out, event, rank_trace.rank, first);
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string merge_chrome_trace_files(const std::vector<std::string>& jsons) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const std::string& json : jsons) {
+    // Our own export shape: everything between the '[' after
+    // "traceEvents" and the last ']' is the event list.
+    const auto key = json.find("\"traceEvents\"");
+    if (key == std::string::npos) continue;
+    const auto open = json.find('[', key);
+    const auto close = json.rfind(']');
+    if (open == std::string::npos || close == std::string::npos || close <= open) {
+      continue;
+    }
+    std::string body = json.substr(open + 1, close - open - 1);
+    // Trim whitespace so empty arrays contribute nothing.
+    const auto begin = body.find_first_not_of(" \n\r\t");
+    if (begin == std::string::npos) continue;
+    const auto end = body.find_last_not_of(" \n\r\t");
+    body = body.substr(begin, end - begin + 1);
     out += first ? "\n" : ",\n";
     first = false;
-    out += "  {\"name\": ";
-    append_json_string(out, event.name);
-    out += ", \"cat\": ";
-    append_json_string(out, event.category);
-    // Chrome trace timestamps are microseconds.
-    std::snprintf(buf, sizeof(buf),
-                  ", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \"tid\": %d",
-                  event.instant ? "i" : "X", event.start_seconds * 1e6,
-                  event.thread_id);
-    out += buf;
-    if (event.instant) {
-      out += ", \"s\": \"t\"";
-    } else {
-      std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
-                    event.duration_seconds * 1e6);
-      out += buf;
-    }
-    out += "}";
+    out += body;
   }
   out += "\n], \"displayTimeUnit\": \"ms\"}\n";
   return out;

@@ -1,0 +1,181 @@
+#include "viper/obs/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace viper::obs {
+
+namespace {
+
+const Clock& default_clock() {
+  static WallClock clock;
+  return clock;
+}
+
+std::uint64_t to_ns(double seconds) noexcept {
+  return seconds <= 0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+}  // namespace
+
+WindowedHistogram::WindowedHistogram() : WindowedHistogram(Options{}) {}
+
+WindowedHistogram::WindowedHistogram(Options options) : options_(options) {
+  if (options_.num_buckets < 1) options_.num_buckets = 1;
+  if (options_.window_seconds <= 0.0) options_.window_seconds = 1.0;
+  bucket_seconds_ =
+      options_.window_seconds / static_cast<double>(options_.num_buckets);
+  ring_.reserve(static_cast<std::size_t>(options_.num_buckets));
+  for (int i = 0; i < options_.num_buckets; ++i) {
+    ring_.push_back(std::make_unique<Bucket>());
+  }
+}
+
+double WindowedHistogram::now() const noexcept {
+  const Clock* clock = clock_.load(std::memory_order_acquire);
+  return (clock != nullptr ? *clock : default_clock()).now();
+}
+
+std::int64_t WindowedHistogram::current_epoch() const noexcept {
+  return static_cast<std::int64_t>(std::floor(now() / bucket_seconds_));
+}
+
+WindowedHistogram::Bucket& WindowedHistogram::bucket_for(
+    std::int64_t epoch) noexcept {
+  Bucket& bucket = *ring_[static_cast<std::size_t>(
+      epoch % static_cast<std::int64_t>(ring_.size()))];
+  std::int64_t tagged = bucket.epoch.load(std::memory_order_acquire);
+  while (tagged < epoch) {
+    // The slice wrapped around: the first recorder to notice claims it for
+    // the new epoch and zeroes it. Losers of the CAS see the new tag and
+    // record straight in. A reader racing the wipe can at worst attribute
+    // a stale sample to the fresh slice — bounded by one bucket's width,
+    // which is the resolution the window already has.
+    if (bucket.epoch.compare_exchange_weak(tagged, epoch,
+                                           std::memory_order_acq_rel)) {
+      for (auto& count : bucket.counts) {
+        count.store(0, std::memory_order_relaxed);
+      }
+      bucket.count.store(0, std::memory_order_relaxed);
+      bucket.sum_ns.store(0, std::memory_order_relaxed);
+      bucket.max_ns.store(0, std::memory_order_relaxed);
+      break;
+    }
+  }
+  return bucket;
+}
+
+void WindowedHistogram::record(double seconds) noexcept {
+  Bucket& bucket = bucket_for(current_epoch());
+  const std::uint64_t ns = to_ns(seconds);
+  bucket.counts[static_cast<std::size_t>(Histogram::bucket_index(seconds))]
+      .fetch_add(1, std::memory_order_relaxed);
+  bucket.count.fetch_add(1, std::memory_order_relaxed);
+  bucket.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = bucket.max_ns.load(std::memory_order_relaxed);
+  while (ns > cur && !bucket.max_ns.compare_exchange_weak(
+                         cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+WindowedHistogram::Stats WindowedHistogram::stats() const noexcept {
+  const std::int64_t epoch = current_epoch();
+  const std::int64_t oldest = epoch - static_cast<std::int64_t>(ring_.size()) + 1;
+
+  std::array<std::uint64_t, Histogram::kNumBuckets> merged{};
+  Stats out;
+  out.window_seconds = options_.window_seconds;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+  for (const auto& bucket : ring_) {
+    const std::int64_t tagged = bucket->epoch.load(std::memory_order_acquire);
+    if (tagged < oldest || tagged > epoch) continue;  // expired slice
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      merged[static_cast<std::size_t>(i)] +=
+          bucket->counts[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+    }
+    out.count += bucket->count.load(std::memory_order_relaxed);
+    sum_ns += bucket->sum_ns.load(std::memory_order_relaxed);
+    max_ns = std::max(max_ns, bucket->max_ns.load(std::memory_order_relaxed));
+  }
+  out.sum = static_cast<double>(sum_ns) * 1e-9;
+  out.max = static_cast<double>(max_ns) * 1e-9;
+  out.mean = out.count == 0 ? 0.0 : out.sum / static_cast<double>(out.count);
+  out.rate_per_second = out.count == 0
+                            ? 0.0
+                            : static_cast<double>(out.count) /
+                                  options_.window_seconds;
+
+  const auto quantile = [&](double q) -> double {
+    if (out.count == 0) return 0.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(out.count) + 0.999999);
+    if (rank == 0) rank = 1;
+    if (rank > out.count) rank = out.count;
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += merged[static_cast<std::size_t>(i)];
+      if (cumulative >= rank) {
+        const double bound = Histogram::bucket_upper_bound(i);
+        return out.max > 0.0 && bound > out.max ? out.max : bound;
+      }
+    }
+    return out.max;
+  };
+  out.p50 = quantile(0.50);
+  out.p95 = quantile(0.95);
+  out.p99 = quantile(0.99);
+  return out;
+}
+
+void WindowedHistogram::reset() noexcept {
+  for (auto& bucket : ring_) {
+    bucket->epoch.store(-1, std::memory_order_release);
+    for (auto& count : bucket->counts) {
+      count.store(0, std::memory_order_relaxed);
+    }
+    bucket->count.store(0, std::memory_order_relaxed);
+    bucket->sum_ns.store(0, std::memory_order_relaxed);
+    bucket->max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+WindowedRegistry& WindowedRegistry::global() {
+  static WindowedRegistry* registry = new WindowedRegistry();  // never destroyed
+  return *registry;
+}
+
+WindowedHistogram& WindowedRegistry::histogram(const std::string& name) {
+  return histogram(name, WindowedHistogram::Options{});
+}
+
+WindowedHistogram& WindowedRegistry::histogram(
+    const std::string& name, WindowedHistogram::Options options) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<WindowedHistogram>(options);
+  return *slot;
+}
+
+std::vector<WindowedRegistry::Sample> WindowedRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    out.push_back({name, hist->stats()});
+  }
+  return out;
+}
+
+void WindowedRegistry::set_clock(const Clock* clock) {
+  std::lock_guard lock(mutex_);
+  for (auto& [_, hist] : histograms_) hist->set_clock(clock);
+}
+
+void WindowedRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [_, hist] : histograms_) hist->reset();
+}
+
+}  // namespace viper::obs

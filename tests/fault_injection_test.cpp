@@ -18,6 +18,8 @@
 #include "viper/core/handler.hpp"
 #include "viper/fault/fault.hpp"
 #include "viper/net/stream.hpp"
+#include "viper/obs/context.hpp"
+#include "viper/obs/ledger.hpp"
 #include "viper/obs/metrics.hpp"
 #include "viper/sim/chaos.hpp"
 
@@ -190,6 +192,110 @@ TEST(FaultScenario, DropMidChunkedStreamRecoversViaRetry) {
   EXPECT_EQ(received.value(), payload);
   EXPECT_GE(attempts, 2);  // the first transmission lost a chunk
   EXPECT_EQ(fault::FaultInjector::global().report().drops, 1u);
+}
+
+TEST(FaultScenario, TraceContextSurvivesChunkDropAndRetry) {
+  // A dropped chunk forces a full resend; the retried transmission must
+  // still deliver the sender's trace context (it rides the header, and
+  // every attempt re-encodes it).
+  obs::set_context_armed(true);
+  auto world = net::CommWorld::create(2);
+  Rng rng(13);
+  std::vector<std::byte> payload(16 * 1024);
+  for (auto& b : payload) b = static_cast<std::byte>(rng.uniform_int(0, 255));
+
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(9).add(fault::FaultRule::drop_nth("net.send", 3))};
+
+  obs::TraceContext sent;
+  sent.trace_id = obs::TraceContext::trace_id_for("net", 5);
+  sent.origin_rank = 0;
+
+  obs::TraceContext received_context;
+  net::ReliableStreamOptions options;
+  options.stream.chunk_bytes = 2048;
+  options.stream.timeout_seconds = 0.2;
+  options.ack_timeout_seconds = 0.3;
+  options.retry = RetryPolicy{.max_attempts = 4,
+                              .initial_backoff_seconds = 0.001,
+                              .max_backoff_seconds = 0.002,
+                              .backoff_multiplier = 2.0,
+                              .jitter = 0.0};
+  net::ReliableStreamOptions recv_options = options;
+  recv_options.stream.context_out = &received_context;
+
+  int attempts = 0;
+  Status sent_status;
+  std::thread sender([&] {
+    obs::ScopedTraceContext scoped(sent);
+    sent_status = net::reliable_stream_send(world->comm(0), 1, 7, payload,
+                                            options, &attempts);
+  });
+  auto received = net::reliable_stream_recv(world->comm(1), 0, 7, recv_options);
+  sender.join();
+  obs::set_context_armed(false);
+
+  ASSERT_TRUE(sent_status.is_ok()) << sent_status.to_string();
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+  EXPECT_GE(attempts, 2);
+  ASSERT_TRUE(received_context.valid());
+  EXPECT_EQ(received_context.trace_id, sent.trace_id);
+  EXPECT_EQ(received_context.origin_rank, sent.origin_rank);
+}
+
+TEST(FaultScenario, LostNotificationStillClosesTheVersionTimeline) {
+  // When the notification (which carries the trace context) is dropped,
+  // the consumer finds the version via metadata resync — a path with no
+  // incoming context. The ledger must still complete the timeline under
+  // the deterministic (model, version) trace id, just without a kNotified
+  // stamp.
+  obs::set_context_armed(true);
+  obs::VersionLedger::global().clear();
+  obs::VersionLedger::set_armed(true);
+
+  auto services = std::make_shared<SharedServices>();
+  auto world = net::CommWorld::create(2);
+  ModelWeightsHandler::Options producer_options;
+  producer_options.strategy = Strategy::kHostSync;
+  auto handler = std::make_shared<ModelWeightsHandler>(services, producer_options);
+  std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+
+  InferenceConsumer::Options consumer_options;
+  consumer_options.loader.producer_rank = 0;
+  consumer_options.loader.request_timeout = 2.0;
+  consumer_options.resync_interval = 0.05;
+  InferenceConsumer consumer(services, world->comm(1), "net", consumer_options);
+  consumer.start();
+
+  {
+    fault::ScopedPlan chaos{fault::FaultPlan(2).add(
+        fault::FaultRule::drop_nth("kvstore.pubsub.deliver", 1))};
+    Model model = small_model();
+    model.set_version(1);
+    ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+    for (int spin = 0; spin < 2000 && consumer.active_version() < 1; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(consumer.active_version(), 1u);
+  }
+
+  auto timeline = obs::VersionLedger::global().timeline("net", 1);
+  ASSERT_TRUE(timeline.has_value());
+  EXPECT_TRUE(timeline->complete());
+  EXPECT_FALSE(timeline->has(obs::Stage::kNotified));
+  EXPECT_TRUE(timeline->has(obs::Stage::kFetchDone));
+  EXPECT_GT(timeline->update_latency(), 0.0);
+  EXPECT_EQ(timeline->trace_id, obs::TraceContext::trace_id_for("net", 1));
+
+  obs::VersionLedger::set_armed(false);
+  obs::VersionLedger::global().clear();
+  obs::set_context_armed(false);
+
+  consumer.stop();
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+  server.join();
 }
 
 TEST(FaultScenario, LostNotificationIsRecoveredByMetadataResync) {

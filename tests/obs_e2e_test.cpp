@@ -1,0 +1,280 @@
+// End-to-end observability: one model version's update traced across
+// ranks (producer save -> wire -> consumer fetch/decode/swap) as a single
+// causally-linked trace, the version ledger deriving the paper's headline
+// end-to-end update latency, and the SLO verdict engine flipping to FAIL
+// when injected faults push the latency past its budget.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "viper/core/consumer.hpp"
+#include "viper/fault/fault.hpp"
+#include "viper/obs/context.hpp"
+#include "viper/obs/ledger.hpp"
+#include "viper/obs/metrics.hpp"
+#include "viper/obs/slo.hpp"
+#include "viper/obs/trace.hpp"
+#include "viper/tensor/architectures.hpp"
+
+namespace viper::core {
+namespace {
+
+Model tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  Model m("net");
+  (void)m.add_tensor("w", Tensor::random(DType::kF32, Shape{256}, rng).value());
+  return m;
+}
+
+/// Arms tracer + context propagation + ledger for one test, restoring the
+/// disarmed default (and rank 0, clean buffers) on exit.
+struct ScopedObservability {
+  ScopedObservability() {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().set_enabled(true);
+    obs::set_context_armed(true);
+    obs::VersionLedger::global().clear();
+    obs::VersionLedger::set_armed(true);
+  }
+  ~ScopedObservability() {
+    obs::VersionLedger::set_armed(false);
+    obs::VersionLedger::global().clear();
+    obs::set_context_armed(false);
+    obs::Tracer::global().set_enabled(false);
+    obs::Tracer::global().set_rank(0);
+    obs::Tracer::global().clear();
+  }
+};
+
+bool any_event_with_trace(const std::vector<obs::TraceEvent>& events,
+                          std::uint64_t trace_id) {
+  for (const auto& event : events) {
+    if (event.trace_id == trace_id) return true;
+  }
+  return false;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ObsE2E, MergedTraceLinksOneVersionAcrossRanks) {
+  ScopedObservability obs_on;
+  auto services = std::make_shared<SharedServices>();
+  auto world = net::CommWorld::create(2);
+
+  // Rank 0: the producer saves v1 synchronously; its capture -> commit ->
+  // notify spans land in this rank's trace with the version's trace id.
+  obs::Tracer::global().set_rank(0);
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kHostSync;
+  auto handler = std::make_shared<ModelWeightsHandler>(services, options);
+  ASSERT_TRUE(handler->save_weights("net", tiny_model(1)).is_ok());
+
+  const std::string producer_json = obs::Tracer::global().to_chrome_json();
+  const auto producer_events = obs::Tracer::global().events();
+  obs::Tracer::global().clear();
+
+  // Rank 1: a consumer fetches the version over the comm wire; its load ->
+  // transfer -> deserialize spans must join the same trace.
+  obs::Tracer::global().set_rank(1);
+  std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+  {
+    ModelLoader::Options loader_options;
+    loader_options.producer_rank = 0;
+    ModelLoader loader(services, world->comm(1), loader_options);
+    auto loaded = loader.load_weights("net");
+    ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  }
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+  server.join();
+  const std::string consumer_json = obs::Tracer::global().to_chrome_json();
+  const auto consumer_events = obs::Tracer::global().events();
+
+  // Both ranks recorded spans carrying the version's trace id.
+  const std::uint64_t trace_id = obs::TraceContext::trace_id_for("net", 1);
+  EXPECT_TRUE(any_event_with_trace(producer_events, trace_id));
+  EXPECT_TRUE(any_event_with_trace(consumer_events, trace_id));
+
+  // The merged Chrome trace keeps one pid lane per rank and the trace id
+  // links spans across the lanes.
+  const std::string merged =
+      obs::merge_chrome_trace_files({producer_json, consumer_json});
+  EXPECT_NE(merged.find("\"pid\": 0"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\": 1"), std::string::npos);
+  char trace_hex[32];
+  std::snprintf(trace_hex, sizeof(trace_hex), "\"trace\": \"%llx\"",
+                static_cast<unsigned long long>(trace_id));
+  EXPECT_GE(count_occurrences(merged, trace_hex), 2u)
+      << "expected the version's trace id in both rank lanes";
+
+  // The ledger saw both ends of the hop too.
+  auto timeline = obs::VersionLedger::global().timeline("net", 1);
+  ASSERT_TRUE(timeline.has_value());
+  EXPECT_EQ(timeline->trace_id, trace_id);
+  EXPECT_TRUE(timeline->has(obs::Stage::kCaptureStart));
+  EXPECT_TRUE(timeline->has(obs::Stage::kFetchDone));
+  EXPECT_TRUE(timeline->has(obs::Stage::kDecodeDone));
+}
+
+TEST(ObsE2E, LedgerLatencyIsSwapMinusCaptureExactly) {
+  ScopedObservability obs_on;
+  auto& ledger = obs::VersionLedger::global();
+  // Virtual timestamps make the subtraction exact: capture at 10.0 s,
+  // swap at 12.25 s -> end-to-end update latency 2.25 s, no tolerance.
+  ledger.record_at("net", 3, obs::Stage::kCaptureStart, 10.0);
+  ledger.record_at("net", 3, obs::Stage::kSerializeDone, 10.5);
+  ledger.record_at("net", 3, obs::Stage::kCommitDone, 11.0);
+  ledger.record_at("net", 3, obs::Stage::kNotified, 11.25);
+  ledger.record_at("net", 3, obs::Stage::kSwapDone, 12.25);
+
+  auto timeline = ledger.timeline("net", 3);
+  ASSERT_TRUE(timeline.has_value());
+  EXPECT_TRUE(timeline->complete());
+  EXPECT_DOUBLE_EQ(timeline->update_latency(), 2.25);
+  EXPECT_DOUBLE_EQ(timeline->update_latency(),
+                   timeline->stamp(obs::Stage::kSwapDone) -
+                       timeline->stamp(obs::Stage::kCaptureStart));
+
+  const std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"update_latency\": 2.25"), std::string::npos);
+}
+
+TEST(ObsE2E, LiveRunDerivesEndToEndLatencyForEveryVersion) {
+  ScopedObservability obs_on;
+  auto services = std::make_shared<SharedServices>();
+  auto world = net::CommWorld::create(2);
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kHostAsync;
+  auto handler = std::make_shared<ModelWeightsHandler>(services, options);
+  std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+
+  InferenceConsumer::Options consumer_options;
+  consumer_options.loader.producer_rank = 0;
+  InferenceConsumer consumer(services, world->comm(1), "net", consumer_options);
+  consumer.start();
+
+  constexpr std::uint64_t kVersions = 5;
+  Model model = tiny_model(2);
+  Rng rng(3);
+  for (std::uint64_t v = 1; v <= kVersions; ++v) {
+    model.set_version(v);
+    model.perturb_weights(rng, 1e-3);
+    ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+    // Pace the producer so the push-notified consumer swaps every version
+    // instead of coalescing.
+    for (int spin = 0; spin < 2000 && consumer.active_version() < v; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  handler->drain();
+  ASSERT_EQ(consumer.active_version(), kVersions);
+
+  // Every version's timeline is complete and its derived latency is the
+  // consumer-swap stamp minus the producer-capture stamp (same process,
+  // one clock domain, so the cross-rank subtraction is exact).
+  for (std::uint64_t v = 1; v <= kVersions; ++v) {
+    auto timeline = obs::VersionLedger::global().timeline("net", v);
+    ASSERT_TRUE(timeline.has_value()) << "v" << v;
+    EXPECT_TRUE(timeline->complete()) << "v" << v;
+    const double latency = timeline->update_latency();
+    EXPECT_GT(latency, 0.0) << "v" << v;
+    EXPECT_NEAR(latency,
+                timeline->stamp(obs::Stage::kSwapDone) -
+                    timeline->stamp(obs::Stage::kCaptureStart),
+                1e-9)
+        << "v" << v;
+    EXPECT_EQ(timeline->trace_id, obs::TraceContext::trace_id_for("net", v));
+  }
+  const auto window = obs::VersionLedger::global().windowed_update_latency();
+  EXPECT_EQ(window.count, kVersions);
+  EXPECT_GT(obs::VersionLedger::global().staleness_seconds(
+                "net", obs::VersionLedger::global().now()),
+            0.0);
+
+  consumer.stop();
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+  server.join();
+}
+
+TEST(ObsE2E, SloVerdictFlipsToFailUnderInjectedDelay) {
+  ScopedObservability obs_on;
+  obs::SloSpec spec;
+  spec.model = "net";
+  spec.max_p99_update_latency_seconds = 0.5;
+
+  // One producer/consumer episode; returns once the consumer swapped all
+  // `versions`.
+  const auto run_episode = [](std::uint64_t versions) {
+    auto services = std::make_shared<SharedServices>();
+    auto world = net::CommWorld::create(2);
+    ModelWeightsHandler::Options options;
+    options.strategy = Strategy::kHostAsync;
+    auto handler = std::make_shared<ModelWeightsHandler>(services, options);
+    std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+    InferenceConsumer::Options consumer_options;
+    consumer_options.loader.producer_rank = 0;
+    InferenceConsumer consumer(services, world->comm(1), "net",
+                               consumer_options);
+    consumer.start();
+    Model model = tiny_model(4);
+    Rng rng(5);
+    for (std::uint64_t v = 1; v <= versions; ++v) {
+      model.set_version(v);
+      model.perturb_weights(rng, 1e-3);
+      ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+      for (int spin = 0; spin < 5000 && consumer.active_version() < v;
+           ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    handler->drain();
+    ASSERT_EQ(consumer.active_version(), versions);
+    consumer.stop();
+    ASSERT_TRUE(
+        ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+    server.join();
+  };
+
+  // Clean run: swaps complete in milliseconds, well inside the budget.
+  run_episode(3);
+  const obs::SloReport clean =
+      obs::evaluate_slo(spec, obs::VersionLedger::global(),
+                        obs::MetricsRegistry::global().snapshot());
+  EXPECT_TRUE(clean.pass) << clean.to_text();
+
+  // Same budget under an injected 350 ms delay on every comm send: the
+  // notify -> fetch -> reply path alone now exceeds the 0.5 s p99 budget,
+  // so the verdict must flip to FAIL.
+  obs::VersionLedger::global().clear();
+  {
+    fault::FaultPlan plan(0x5eed);
+    plan.add(fault::FaultRule::delay("net.send", 0.35));
+    fault::ScopedPlan delayed{std::move(plan)};
+    run_episode(2);
+  }
+  const obs::SloReport degraded =
+      obs::evaluate_slo(spec, obs::VersionLedger::global(),
+                        obs::MetricsRegistry::global().snapshot());
+  EXPECT_FALSE(degraded.pass) << degraded.to_text();
+  const obs::SloCheck* check = degraded.check("p99_update_latency");
+  ASSERT_NE(check, nullptr);
+  EXPECT_TRUE(check->enabled);
+  EXPECT_FALSE(check->pass);
+  EXPECT_GT(check->observed, spec.max_p99_update_latency_seconds);
+}
+
+}  // namespace
+}  // namespace viper::core

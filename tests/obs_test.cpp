@@ -10,8 +10,12 @@
 #include <vector>
 
 #include "viper/common/clock.hpp"
+#include "viper/obs/context.hpp"
+#include "viper/obs/ledger.hpp"
 #include "viper/obs/metrics.hpp"
+#include "viper/obs/slo.hpp"
 #include "viper/obs/trace.hpp"
+#include "viper/obs/window.hpp"
 
 namespace viper::obs {
 namespace {
@@ -395,6 +399,294 @@ TEST(Tracer, ChromeTraceJsonIsWellFormed) {
 
   const std::string summary = tracer.summary();
   EXPECT_NE(summary.find("notify"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TraceContext: wire codec, stable trace ids, thread-local propagation.
+
+std::size_t count_in(std::string_view haystack, std::string_view needle) {
+  std::size_t count = 0;
+  for (auto pos = haystack.find(needle); pos != std::string_view::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceContext, WireCodecRoundTripsAndShortInputDecodesInvalid) {
+  TraceContext context;
+  context.trace_id = TraceContext::trace_id_for("net", 7);
+  context.parent_span_id = 41;
+  context.origin_rank = 3;
+
+  std::array<std::byte, TraceContext::kWireBytes> wire{};
+  context.encode(wire);
+  EXPECT_EQ(TraceContext::decode(wire), context);
+
+  // Short input means "peer sent no context", never an error.
+  EXPECT_FALSE(TraceContext::decode({wire.data(), 8}).valid());
+  EXPECT_FALSE(TraceContext::decode({}).valid());
+}
+
+TEST(TraceContext, TraceIdIsStablePerVersionAndNeverZero) {
+  const std::uint64_t id = TraceContext::trace_id_for("net", 1);
+  EXPECT_EQ(id, TraceContext::trace_id_for("net", 1));
+  EXPECT_NE(id, TraceContext::trace_id_for("net", 2));
+  EXPECT_NE(id, TraceContext::trace_id_for("other", 1));
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_NE(TraceContext::trace_id_for("m", v), 0u);
+  }
+}
+
+TEST(TraceContext, DisarmedCurrentContextIsInvalidEvenWhenInstalled) {
+  TraceContext context;
+  context.trace_id = 7;
+  ScopedTraceContext scoped(context);
+  set_context_armed(false);
+  EXPECT_FALSE(current_context().valid());
+  set_context_armed(true);
+  EXPECT_EQ(current_context().trace_id, 7u);
+  set_context_armed(false);
+}
+
+TEST(TraceContext, SpanAdoptsAndChainsTheThreadContext) {
+  set_context_armed(true);
+  VirtualClock clock;
+  Tracer tracer;
+  tracer.set_clock(&clock);
+  tracer.set_enabled(true);
+
+  TraceContext context;
+  context.trace_id = TraceContext::trace_id_for("net", 9);
+  context.parent_span_id = 1000;
+  {
+    ScopedTraceContext scoped(context);
+    auto outer = tracer.span("commit", "producer");
+    // The open span became the thread's parent: remote work handed off
+    // now (or an inner span) parents on it.
+    const std::uint64_t outer_parent = current_context().parent_span_id;
+    EXPECT_NE(outer_parent, 1000u);
+    {
+      auto inner = tracer.span("stage", "producer");
+      clock.advance(0.1);
+    }
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 1u);  // inner closed first
+    EXPECT_EQ(events[0].trace_id, context.trace_id);
+    EXPECT_EQ(events[0].parent_span_id, outer_parent);
+  }
+  set_context_armed(false);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].name, "commit");
+  EXPECT_EQ(events[1].trace_id, context.trace_id);
+  EXPECT_EQ(events[1].parent_span_id, 1000u);
+  // Scope exit restored the installed context's parent.
+}
+
+// ---------------------------------------------------------------------------
+// Windowed metrics
+
+TEST(WindowedHistogram, BucketsRotateOutOfTheWindow) {
+  VirtualClock clock(0.0);
+  WindowedHistogram histogram({.window_seconds = 6.0, .num_buckets = 3});
+  histogram.set_clock(&clock);
+
+  for (int i = 0; i < 4; ++i) histogram.record(1.0);
+  auto stats = histogram.stats();
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_DOUBLE_EQ(stats.sum, 4.0);
+  EXPECT_DOUBLE_EQ(stats.window_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(stats.rate_per_second, 4.0 / 6.0);
+
+  // 4 s later the early records still fall inside the 6 s window.
+  clock.advance(4.0);
+  histogram.record(3.0);
+  stats = histogram.stats();
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_GE(stats.max, 3.0);
+
+  // 7 s later the t=0 records rotated out; only the t=4 one remains.
+  clock.advance(3.0);
+  stats = histogram.stats();
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_NEAR(stats.mean, 3.0, 0.2);
+
+  // Far past the window everything is gone.
+  clock.advance(100.0);
+  EXPECT_EQ(histogram.stats().count, 0u);
+}
+
+TEST(WindowedRegistry, SameNameReturnsSameInstanceAndSnapshotIsSorted) {
+  WindowedRegistry& registry = WindowedRegistry::global();
+  WindowedHistogram& a = registry.histogram("viper.test.win_b");
+  WindowedHistogram& b = registry.histogram("viper.test.win_a");
+  EXPECT_EQ(&a, &registry.histogram("viper.test.win_b"));
+  a.record(1.0);
+  b.record(2.0);
+  const auto snapshot = registry.snapshot();
+  ASSERT_GE(snapshot.size(), 2u);
+  for (std::size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_LT(snapshot[i - 1].name, snapshot[i].name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Version ledger
+
+TEST(VersionLedger, StalenessFlushGapAndWindowedLatency) {
+  VirtualClock clock(0.0);
+  VersionLedger& ledger = VersionLedger::global();
+  ledger.clear();
+  ledger.set_clock(&clock);
+  VersionLedger::set_armed(true);
+
+  // v1: capture at 1, flush at 2, swap at 3. v2: capture at 5, flush at
+  // 9, swap at 10.
+  ledger.record_at("m", 1, Stage::kCaptureStart, 1.0);
+  ledger.record_at("m", 1, Stage::kFlushDone, 2.0);
+  clock.advance_to(3.0);
+  ledger.record("m", 1, Stage::kSwapDone);
+  ledger.record_at("m", 2, Stage::kCaptureStart, 5.0);
+  ledger.record_at("m", 2, Stage::kFlushDone, 9.0);
+  clock.advance_to(10.0);
+  ledger.record("m", 2, Stage::kSwapDone);
+
+  EXPECT_DOUBLE_EQ(ledger.timeline("m", 1)->update_latency(), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.timeline("m", 2)->update_latency(), 5.0);
+  // Serving v2 (captured at 5) at t=12 -> 7 s stale.
+  EXPECT_DOUBLE_EQ(ledger.staleness_seconds("m", 12.0), 7.0);
+  // Flush commits at 2 and 9 -> 7 s of recovery-point exposure.
+  EXPECT_DOUBLE_EQ(ledger.max_flush_gap_seconds("m"), 7.0);
+
+  const auto window = ledger.windowed_update_latency();
+  EXPECT_EQ(window.count, 2u);
+  EXPECT_GE(window.max, 5.0);
+
+  const std::string json = ledger.to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+
+  VersionLedger::set_armed(false);
+  ledger.set_clock(nullptr);
+  ledger.clear();
+}
+
+TEST(VersionLedger, CloseInterruptedSkipsCompletedTimelines) {
+  VersionLedger& ledger = VersionLedger::global();
+  ledger.clear();
+  VersionLedger::set_armed(true);
+  ledger.record("m", 1, Stage::kCaptureStart);
+  ledger.record("m", 1, Stage::kSwapDone);
+  ledger.record("m", 2, Stage::kCaptureStart);
+  ledger.record("other", 1, Stage::kCaptureStart);
+
+  EXPECT_EQ(ledger.close_interrupted("m", "restart"), 1u);
+  EXPECT_FALSE(ledger.timeline("m", 1)->interrupted);
+  EXPECT_TRUE(ledger.timeline("m", 2)->interrupted);
+  EXPECT_FALSE(ledger.timeline("other", 1)->interrupted);
+
+  VersionLedger::set_armed(false);
+  ledger.clear();
+}
+
+// ---------------------------------------------------------------------------
+// SLO verdict engine
+
+TEST(Slo, LatencyBudgetPassesAndFailsOnTheSameData) {
+  // Nearest-rank p99 over 10 samples is the max — the 2.0 tail.
+  std::vector<double> latencies(9, 0.1);
+  latencies.push_back(2.0);
+
+  SloSpec tight;
+  tight.max_p99_update_latency_seconds = 1.0;
+  const SloReport fail = evaluate_slo_from_latencies(tight, latencies);
+  EXPECT_FALSE(fail.pass);
+  ASSERT_NE(fail.check("p99_update_latency"), nullptr);
+  EXPECT_FALSE(fail.check("p99_update_latency")->pass);
+  EXPECT_NE(fail.to_text().find("FAIL"), std::string::npos);
+
+  SloSpec loose;
+  loose.max_p99_update_latency_seconds = 3.0;
+  const SloReport pass = evaluate_slo_from_latencies(loose, latencies);
+  EXPECT_TRUE(pass.pass);
+  EXPECT_NE(pass.to_text().find("PASS"), std::string::npos);
+  EXPECT_TRUE(JsonValidator(pass.to_json()).valid()) << pass.to_json();
+}
+
+TEST(Slo, CorruptServesAreAnAlwaysOnZeroBudget) {
+  const std::vector<double> no_latencies;
+  const SloReport clean = evaluate_slo_from_latencies(SloSpec{}, no_latencies, 0);
+  EXPECT_TRUE(clean.pass);
+  const SloReport dirty = evaluate_slo_from_latencies(SloSpec{}, no_latencies, 1);
+  EXPECT_FALSE(dirty.pass);
+  ASSERT_NE(dirty.check("corrupt_serves"), nullptr);
+  EXPECT_FALSE(dirty.check("corrupt_serves")->pass);
+}
+
+TEST(Slo, DisabledChecksAreVacuouslyTrue) {
+  SloSpec spec;  // every budget at its disabled default
+  spec.check_corrupt_serves = false;
+  const std::vector<double> latencies = {5.0, 9.0};
+  const SloReport report = evaluate_slo_from_latencies(spec, latencies, 3);
+  EXPECT_TRUE(report.pass);
+  for (const SloCheck& check : report.checks) {
+    EXPECT_FALSE(check.enabled) << check.name;
+    EXPECT_TRUE(check.pass) << check.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters: Prometheus text + merged Chrome traces
+
+TEST(MetricsSnapshot, PrometheusExpositionShape) {
+  MetricsRegistry registry;
+  registry.counter("viper.test.saves").add(3);
+  registry.gauge("viper.test.depth").set(2.0);
+  registry.histogram("viper.test.lat_seconds").record(0.5);
+  const std::string text = registry.snapshot().to_prometheus();
+
+  // Dots become underscores, counters get _total, histograms export
+  // quantile series plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE viper_test_saves_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("viper_test_saves_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE viper_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("viper_test_lat_seconds{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("viper_test_lat_seconds_count 1"), std::string::npos);
+  EXPECT_EQ(text.find("viper.test"), std::string::npos);  // names sanitized
+}
+
+TEST(Tracer, MergedChromeTraceKeepsOnePidLanePerRank) {
+  TraceEvent producer_event;
+  producer_event.name = "commit";
+  producer_event.category = "producer";
+  producer_event.trace_id = 0xabc;
+  producer_event.span_id = 1;
+  producer_event.duration_seconds = 0.5;
+  TraceEvent consumer_event;
+  consumer_event.name = "swap";
+  consumer_event.category = "consumer";
+  consumer_event.trace_id = 0xabc;
+  consumer_event.span_id = 2;
+  consumer_event.parent_span_id = 1;
+  consumer_event.start_seconds = 0.6;
+  consumer_event.duration_seconds = 0.1;
+
+  const std::string merged = merge_chrome_traces(
+      {{0, {producer_event}}, {1, {consumer_event}}});
+  EXPECT_TRUE(JsonValidator(merged).valid()) << merged;
+  EXPECT_NE(merged.find("\"pid\": 0"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\": 1"), std::string::npos);
+  EXPECT_EQ(count_in(merged, "\"trace\": \"abc\""), 2u);
+
+  // merge_chrome_trace_files splices already-exported files identically.
+  const std::string from_files = merge_chrome_trace_files(
+      {merge_chrome_traces({{0, {producer_event}}}),
+       merge_chrome_traces({{1, {consumer_event}}})});
+  EXPECT_TRUE(JsonValidator(from_files).valid()) << from_files;
+  EXPECT_EQ(count_in(from_files, "\"trace\": \"abc\""), 2u);
 }
 
 // ---------------------------------------------------------------------------

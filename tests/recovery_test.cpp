@@ -5,6 +5,8 @@
 #include "viper/core/recovery.hpp"
 #include "viper/durability/journal.hpp"
 #include "viper/fault/fault.hpp"
+#include "viper/obs/ledger.hpp"
+#include "viper/obs/metrics.hpp"
 
 namespace viper::core {
 namespace {
@@ -216,6 +218,57 @@ TEST(Recovery, SurvivesProducerDeathMidStream) {
   ASSERT_TRUE(recovered.is_ok());
   EXPECT_EQ(recovered.value().version, 4u);
   EXPECT_TRUE(recovered.value().model.same_weights(last));
+}
+
+TEST(Recovery, ReplayClosesInterruptedTimelinesAndTimesItself) {
+  // Versions that died mid-flight (no consumer swap before the restart)
+  // must stop looking in-progress: recovery replay closes their ledger
+  // timelines as interrupted and records how long the replay took.
+  obs::VersionLedger::global().clear();
+  obs::VersionLedger::set_armed(true);
+
+  Rig rig;
+  {
+    auto handler = rig.handler();
+    for (std::uint64_t v = 1; v <= 2; ++v) {
+      ASSERT_TRUE(handler->save_weights("net", versioned_model(v)).is_ok());
+    }
+    handler->drain();
+  }  // producer gone before any consumer swapped
+
+  const auto before = obs::MetricsRegistry::global().snapshot();
+  const auto* recovery_before =
+      before.histogram_sample("viper.durability.recovery_seconds");
+  const std::uint64_t runs_before =
+      recovery_before != nullptr ? recovery_before->count : 0;
+
+  auto recovered = recover_latest(*rig.services, "net");
+  ASSERT_TRUE(recovered.is_ok());
+
+  for (std::uint64_t v = 1; v <= 2; ++v) {
+    auto timeline = obs::VersionLedger::global().timeline("net", v);
+    ASSERT_TRUE(timeline.has_value()) << "v" << v;
+    EXPECT_TRUE(timeline->interrupted) << "v" << v;
+    EXPECT_EQ(timeline->interrupted_reason, "recovery replay") << "v" << v;
+    EXPECT_FALSE(timeline->complete()) << "v" << v;
+  }
+
+  const auto after = obs::MetricsRegistry::global().snapshot();
+  const auto* recovery_after =
+      after.histogram_sample("viper.durability.recovery_seconds");
+  ASSERT_NE(recovery_after, nullptr);
+  EXPECT_GT(recovery_after->count, runs_before);
+
+  // Self-healing: a late swap stamp (a consumer that was mid-install when
+  // the producer restarted) clears the interrupted flag.
+  obs::VersionLedger::global().record("net", 2, obs::Stage::kSwapDone);
+  auto healed = obs::VersionLedger::global().timeline("net", 2);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_FALSE(healed->interrupted);
+  EXPECT_TRUE(healed->complete());
+
+  obs::VersionLedger::set_armed(false);
+  obs::VersionLedger::global().clear();
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "viper/common/rng.hpp"
 #include "viper/fault/fault.hpp"
 #include "viper/net/stream.hpp"
+#include "viper/obs/context.hpp"
 
 namespace viper::net {
 namespace {
@@ -181,6 +182,130 @@ TEST(Stream, TwoInterleavedStreamsOnSamePairDemultiplex) {
   const bool direct = got_a == payload_a && got_b == payload_b;
   const bool swapped = got_a == payload_b && got_b == payload_a;
   EXPECT_TRUE(direct || swapped) << "payloads were torn or cross-assembled";
+}
+
+TEST(StreamWire, ContextlessFramesUseTheLegacyHeaderFormat) {
+  // With context propagation disarmed the sender emits exactly the
+  // pre-observability 40-byte header (flags == 0), and a context-aware
+  // receiver parses it as "peer sent no context" — both directions of the
+  // version-compat story in one exchange.
+  obs::set_context_armed(false);
+  auto world = CommWorld::create(2);
+  const auto payload = random_payload(64 * 1024, 23);
+
+  obs::TraceContext received_context;
+  received_context.trace_id = 999;  // must be overwritten with "invalid"
+  StreamOptions recv_options;
+  recv_options.context_out = &received_context;
+
+  std::thread sender([&] {
+    ASSERT_TRUE(stream_send(world->comm(0), 1, kTag, payload,
+                            {.chunk_bytes = 16 * 1024})
+                    .is_ok());
+  });
+  auto received = stream_recv(world->comm(1), 0, kTag, recv_options);
+  sender.join();
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+  EXPECT_FALSE(received_context.valid());
+}
+
+TEST(StreamWire, ArmedContextRidesTheHeaderAcrossTheWire) {
+  obs::set_context_armed(true);
+  auto world = CommWorld::create(2);
+  const auto payload = random_payload(64 * 1024, 29);
+
+  obs::TraceContext sent;
+  sent.trace_id = obs::TraceContext::trace_id_for("net", 7);
+  sent.parent_span_id = 41;
+  sent.origin_rank = 0;
+
+  obs::TraceContext received_context;
+  StreamOptions recv_options;
+  recv_options.context_out = &received_context;
+
+  std::thread sender([&] {
+    obs::ScopedTraceContext scoped(sent);
+    ASSERT_TRUE(stream_send(world->comm(0), 1, kTag, payload,
+                            {.chunk_bytes = 16 * 1024})
+                    .is_ok());
+  });
+  auto received = stream_recv(world->comm(1), 0, kTag, recv_options);
+  sender.join();
+  obs::set_context_armed(false);
+
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+  ASSERT_TRUE(received_context.valid());
+  EXPECT_EQ(received_context.trace_id, sent.trace_id);
+  EXPECT_EQ(received_context.origin_rank, sent.origin_rank);
+}
+
+TEST(StreamWire, RelayForwardsTheSenderContextUnchanged) {
+  // The relay forwards raw header bytes, so a context attached at the
+  // origin survives an intermediate hop it never inspected.
+  obs::set_context_armed(true);
+  auto world = CommWorld::create(3);
+  const auto payload = random_payload(32 * 1024, 31);
+
+  obs::TraceContext sent;
+  sent.trace_id = obs::TraceContext::trace_id_for("net", 11);
+  sent.origin_rank = 0;
+
+  obs::TraceContext received_context;
+  StreamOptions recv_options;
+  recv_options.context_out = &received_context;
+
+  std::thread sender([&] {
+    obs::ScopedTraceContext scoped(sent);
+    ASSERT_TRUE(stream_send(world->comm(0), 1, kTag, payload,
+                            {.chunk_bytes = 8 * 1024})
+                    .is_ok());
+  });
+  std::thread relay([&] {
+    ASSERT_TRUE(stream_relay(world->comm(1), 0, 2, kTag).is_ok());
+  });
+  auto received = stream_recv(world->comm(2), 1, kTag, recv_options);
+  sender.join();
+  relay.join();
+  obs::set_context_armed(false);
+
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+  ASSERT_TRUE(received_context.valid());
+  EXPECT_EQ(received_context.trace_id, sent.trace_id);
+  EXPECT_EQ(received_context.origin_rank, sent.origin_rank);
+}
+
+TEST(StreamWire, StripedStreamCarriesContextToo) {
+  obs::set_context_armed(true);
+  auto world = CommWorld::create(2);
+  const auto payload = random_payload(256 * 1024, 37);
+
+  obs::TraceContext sent;
+  sent.trace_id = obs::TraceContext::trace_id_for("net", 13);
+  sent.origin_rank = 0;
+
+  obs::TraceContext received_context;
+  StripedStreamOptions options;
+  options.stream.chunk_bytes = 16 * 1024;
+  options.num_channels = 2;
+  StripedStreamOptions recv_options = options;
+  recv_options.stream.context_out = &received_context;
+
+  std::thread sender([&] {
+    obs::ScopedTraceContext scoped(sent);
+    ASSERT_TRUE(
+        striped_stream_send(world->comm(0), 1, kTag, payload, options).is_ok());
+  });
+  auto received = striped_stream_recv(world->comm(1), 0, kTag, recv_options);
+  sender.join();
+  obs::set_context_armed(false);
+
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+  ASSERT_TRUE(received_context.valid());
+  EXPECT_EQ(received_context.trace_id, sent.trace_id);
 }
 
 TEST(StreamFaults, CorruptedChunkNeverYieldsWrongBytes) {

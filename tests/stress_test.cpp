@@ -8,6 +8,10 @@
 
 #include "viper/core/consumer.hpp"
 #include "viper/fault/fault.hpp"
+#include "viper/obs/context.hpp"
+#include "viper/obs/ledger.hpp"
+#include "viper/obs/metrics.hpp"
+#include "viper/obs/slo.hpp"
 #include "viper/repo/tensor_store.hpp"
 #include "viper/sim/chaos.hpp"
 #include "viper/tensor/architectures.hpp"
@@ -191,6 +195,12 @@ TEST(Stress, ChaosSoakSurvivesRandomizedFaults) {
   constexpr std::uint64_t kChaosSeed = 0xC0FFEE;
   SCOPED_TRACE("chaos seed = 0xC0FFEE");
 
+  // Observability rides along: the soak ends with an SLO verdict over the
+  // ledger, not just the coherence invariants below.
+  obs::VersionLedger::global().clear();
+  obs::VersionLedger::set_armed(true);
+  obs::set_context_armed(true);
+
   auto services = std::make_shared<SharedServices>();
   auto world = net::CommWorld::create(2);
   ModelWeightsHandler::Options options;
@@ -256,6 +266,20 @@ TEST(Stress, ChaosSoakSurvivesRandomizedFaults) {
   EXPECT_EQ(consumer.active_version(), kChaosVersions + 1);
   ASSERT_NE(consumer.active_model(), nullptr);
   EXPECT_TRUE(consumer.active_model()->same_weights(model));
+
+  // Machine-checked verdict: every swapped version's end-to-end latency
+  // within a generous wall-clock budget, and zero checkpoints served
+  // despite failing verification (chaos corruption must be caught by the
+  // transfer checksums, never reach a consumer swap).
+  obs::SloSpec spec;
+  spec.model = "net";
+  spec.max_p99_update_latency_seconds = 30.0;
+  const obs::SloReport verdict =
+      obs::evaluate_slo(spec, obs::VersionLedger::global(),
+                        obs::MetricsRegistry::global().snapshot());
+  EXPECT_TRUE(verdict.pass) << verdict.to_text();
+  obs::VersionLedger::set_armed(false);
+  obs::set_context_armed(false);
 
   consumer.stop();
   ASSERT_TRUE(

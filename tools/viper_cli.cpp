@@ -28,6 +28,17 @@
 //       drive the real engine with tracing on, then dump the metrics
 //       registry (JSON snapshot) and a Chrome trace-event file
 //       (load either into chrome://tracing or Perfetto).
+//   viper_cli monitor --app tc1 --iters 200 --interval 25
+//                     [--prometheus FILE] [--ledger FILE] [--slo-p99 S]
+//       drive the real engine with the full observability plane armed
+//       (tracer, cross-rank trace contexts, version ledger), then report
+//       the Prometheus text exposition, sliding-window stats, per-version
+//       lifecycle timelines and the engine/data-plane counter summary.
+//   viper_cli slo --app tc1 --slo-p99 0.5 [--slo-rpo S] [--slo-recovery S]
+//                 [--json FILE]
+//       run the live engine under the given SLO budgets and exit 0 on a
+//       PASS verdict, 1 on FAIL — the scriptable form of the verdict
+//       engine (chaos soaks and CI gates call this).
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -43,8 +54,13 @@
 #include "viper/core/workflow.hpp"
 #include "viper/memsys/file_tier.hpp"
 #include "viper/core/tlp.hpp"
+#include "viper/core/stats_manager.hpp"
+#include "viper/obs/context.hpp"
+#include "viper/obs/ledger.hpp"
 #include "viper/obs/metrics.hpp"
+#include "viper/obs/slo.hpp"
 #include "viper/obs/trace.hpp"
+#include "viper/obs/window.hpp"
 #include "viper/sim/trajectory.hpp"
 
 using namespace viper;
@@ -54,13 +70,17 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <list|plan|run|latency|live|recover|scrub|metrics> "
+               "usage: %s "
+               "<list|plan|run|latency|live|recover|scrub|metrics|monitor|slo> "
                "[--app NAME]\n"
                "       [--schedule "
                "KIND]\n               [--strategy NAME] [--adapter] [--refit N] "
                "[--jitter] [--seed N]\n               [--json FILE] "
-               "[--chrome-trace FILE]\n               [--pfs-dir DIR] "
-               "[--model NAME] [--keep-last N] [--keep-every K]\n",
+               "[--chrome-trace FILE] [--prometheus FILE] [--ledger FILE]\n"
+               "               [--pfs-dir DIR] "
+               "[--model NAME] [--keep-last N] [--keep-every K]\n"
+               "               [--slo-p99 SECONDS] [--slo-rpo SECONDS] "
+               "[--slo-recovery SECONDS]\n",
                argv0);
   return 2;
 }
@@ -112,6 +132,11 @@ struct CliArgs {
   std::int64_t interval = 25;
   std::uint64_t keep_last = 0;
   std::uint64_t keep_every = 0;
+  std::string prometheus_path;
+  std::string ledger_path;
+  double slo_p99 = 0.0;       ///< 0 disables the check
+  double slo_rpo = 0.0;
+  double slo_recovery = 0.0;
 };
 
 std::optional<CliArgs> parse(int argc, char** argv) {
@@ -185,6 +210,26 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       args.keep_every = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--prometheus") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.prometheus_path = v;
+    } else if (flag == "--ledger") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.ledger_path = v;
+    } else if (flag == "--slo-p99") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.slo_p99 = std::strtod(v, nullptr);
+    } else if (flag == "--slo-rpo") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.slo_rpo = std::strtod(v, nullptr);
+    } else if (flag == "--slo-recovery") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.slo_recovery = std::strtod(v, nullptr);
     } else {
       return std::nullopt;
     }
@@ -558,6 +603,132 @@ int cmd_metrics(const CliArgs& args) {
   return 0;
 }
 
+/// Shared by monitor/slo: arm the whole observability plane (tracer,
+/// cross-rank trace contexts, version ledger), drive the live rig, grab
+/// the stats summary, and tear the rig down so every span has ended.
+Result<LiveWorkflow::Report> run_observed(const CliArgs& args,
+                                          std::string* stats_summary) {
+  obs::Tracer::global().set_enabled(true);
+  obs::set_context_armed(true);
+  obs::VersionLedger::set_armed(true);
+
+  LiveWorkflow::Options options;
+  options.model_name = args.model_name;
+  options.app = args.app;
+  options.strategy = args.strategy;
+  options.seed = args.seed;
+  for (std::int64_t it = args.interval - 1; it < args.iters;
+       it += args.interval) {
+    options.schedule.iterations.push_back(it);
+  }
+  auto workflow = LiveWorkflow::create(std::move(options));
+  if (!workflow.is_ok()) return workflow.status();
+  auto report = workflow.value()->run(args.iters);
+  if (report.is_ok() && stats_summary != nullptr) {
+    *stats_summary = workflow.value()->services().stats->summary();
+  }
+  workflow.value().reset();
+  return report;
+}
+
+obs::SloSpec slo_spec_from(const CliArgs& args) {
+  obs::SloSpec spec;
+  spec.model = args.model_name;
+  spec.max_p99_update_latency_seconds = args.slo_p99;
+  spec.max_rpo_seconds = args.slo_rpo;
+  spec.max_recovery_seconds = args.slo_recovery;
+  return spec;
+}
+
+int cmd_monitor(const CliArgs& args) {
+  std::string stats_summary;
+  auto report = run_observed(args, &stats_summary);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "%s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("ran %lld iterations: %llu checkpoints, %llu consumer updates, "
+              "final v%llu\n",
+              static_cast<long long>(args.iters),
+              static_cast<unsigned long long>(report.value().checkpoints),
+              static_cast<unsigned long long>(report.value().updates_applied),
+              static_cast<unsigned long long>(report.value().final_version));
+
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  if (!args.prometheus_path.empty()) {
+    if (!write_file(args.prometheus_path, snapshot.to_prometheus(),
+                    "Prometheus")) {
+      return 1;
+    }
+    std::printf("prometheus        -> %s\n", args.prometheus_path.c_str());
+  } else {
+    std::printf("\n%s", snapshot.to_prometheus().c_str());
+  }
+
+  const obs::VersionLedger& ledger = obs::VersionLedger::global();
+  const auto window = ledger.windowed_update_latency();
+  std::printf("\nwindowed (last %.0f s):\n", window.window_seconds);
+  std::printf("  %-44s count %llu p50 %.6f p99 %.6f max %.6f rate %.2f/s\n",
+              "update_latency_seconds",
+              static_cast<unsigned long long>(window.count), window.p50,
+              window.p99, window.max, window.rate_per_second);
+  for (const auto& sample : obs::WindowedRegistry::global().snapshot()) {
+    std::printf("  %-44s count %llu p50 %.6f p99 %.6f max %.6f rate %.2f/s\n",
+                sample.name.c_str(),
+                static_cast<unsigned long long>(sample.stats.count),
+                sample.stats.p50, sample.stats.p99, sample.stats.max,
+                sample.stats.rate_per_second);
+  }
+  std::printf("staleness         %.6f s\n",
+              ledger.staleness_seconds(args.model_name, ledger.now()));
+
+  std::printf("\ntimelines:\n");
+  for (const auto& timeline : ledger.timelines()) {
+    const double latency = timeline.update_latency();
+    std::printf("  %s v%-4llu trace %016llx  %s",
+                timeline.model.c_str(),
+                static_cast<unsigned long long>(timeline.version),
+                static_cast<unsigned long long>(timeline.trace_id),
+                timeline.complete() ? "complete" : (timeline.interrupted
+                                                        ? "INTERRUPTED"
+                                                        : "open"));
+    if (latency >= 0.0) std::printf("  latency %.6f s", latency);
+    std::printf("\n");
+  }
+  if (!args.ledger_path.empty()) {
+    if (!write_file(args.ledger_path, ledger.to_json(), "ledger JSON")) return 1;
+    std::printf("ledger            -> %s\n", args.ledger_path.c_str());
+  }
+
+  std::printf("\n%s", stats_summary.c_str());
+
+  if (args.slo_p99 > 0.0 || args.slo_rpo > 0.0 || args.slo_recovery > 0.0) {
+    const obs::SloReport verdict =
+        obs::evaluate_slo(slo_spec_from(args), ledger, snapshot);
+    std::printf("\n%s", verdict.to_text().c_str());
+    return verdict.pass ? 0 : 1;
+  }
+  return 0;
+}
+
+int cmd_slo(const CliArgs& args) {
+  std::string stats_summary;
+  auto report = run_observed(args, &stats_summary);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "%s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  const obs::SloReport verdict =
+      obs::evaluate_slo(slo_spec_from(args), obs::VersionLedger::global(),
+                        obs::MetricsRegistry::global().snapshot());
+  std::printf("%s", verdict.to_text().c_str());
+  if (!args.json_path.empty()) {
+    if (!write_file(args.json_path, verdict.to_json(), "SLO report")) return 1;
+    std::printf("slo report        -> %s\n", args.json_path.c_str());
+  }
+  return verdict.pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -571,5 +742,7 @@ int main(int argc, char** argv) {
   if (args->command == "recover") return cmd_recover(*args);
   if (args->command == "scrub") return cmd_scrub(*args);
   if (args->command == "metrics") return cmd_metrics(*args);
+  if (args->command == "monitor") return cmd_monitor(*args);
+  if (args->command == "slo") return cmd_slo(*args);
   return usage(argv[0]);
 }
