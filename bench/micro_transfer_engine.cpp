@@ -14,6 +14,7 @@
 // (`--baseline`), with steady-state allocations unchanged.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -371,22 +372,203 @@ int run_transfer_smoke(const std::string& out_path,
   return 0;
 }
 
+// --- consumer mode ---------------------------------------------------------
+// The read-side mirror of the transfer smoke: sharded decode throughput
+// modeled at 1/2/4/8 pool threads (DRAM striped reads — the decoder is a
+// memory-bound record scan), prefetch overlap in a modeled coupled run
+// (producer checkpoint cadence vs consumer fetch+decode), and a real
+// sharded-decode correctness pass (sharded model must equal the serial
+// decoder's, borrowing its payloads from the shared blob).
+
+struct ConsumerSmokeReport {
+  double payload_bytes = 0.0;
+  double modeled_decode_bytes_per_sec[4] = {0, 0, 0, 0};
+  /// Fraction of the consumer's fetch+decode latency hidden behind the
+  /// producer's checkpoint cadence when prefetch overlaps them.
+  double modeled_fetch_hidden_fraction = 0.0;
+  double real_sharded_decode_bytes_per_sec = 0.0;
+  bool correctness_ok = false;
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\n  \"payload_bytes\": " << payload_bytes << ",\n";
+    for (std::size_t i = 0; i < 4; ++i) {
+      out << "  \"modeled_decode_bytes_per_sec_t" << kThreadSweep[i]
+          << "\": " << modeled_decode_bytes_per_sec[i] << ",\n";
+    }
+    out << "  \"decode_speedup_t4\": "
+        << modeled_decode_bytes_per_sec[2] / modeled_decode_bytes_per_sec[0]
+        << ",\n"
+        << "  \"modeled_fetch_hidden_fraction\": "
+        << modeled_fetch_hidden_fraction << ",\n"
+        << "  \"real_sharded_decode_bytes_per_sec\": "
+        << real_sharded_decode_bytes_per_sec << ",\n"
+        << "  \"correctness_ok\": " << (correctness_ok ? 1 : 0) << "\n}\n";
+    return out.str();
+  }
+};
+
+ConsumerSmokeReport measure_consumer_smoke() {
+  constexpr std::uint64_t kPayloadBytes = 64ull << 20;
+  ConsumerSmokeReport report;
+  report.payload_bytes = static_cast<double>(kPayloadBytes);
+
+  // Modeled decode sweep: the sharded decoder is a DRAM-bandwidth-bound
+  // scan (CRC fold + record parse into borrowed views), so its scaling is
+  // the device model's striped read curve.
+  const memsys::DeviceModel dram = memsys::polaris_dram();
+  for (std::size_t i = 0; i < 4; ++i) {
+    report.modeled_decode_bytes_per_sec[i] =
+        static_cast<double>(kPayloadBytes) /
+        dram.striped_read_seconds(kPayloadBytes, kThreadSweep[i]);
+  }
+
+  // Modeled coupled run: the producer emits a version every serial-chain
+  // interval; the prefetching consumer overlaps its fetch (striped wire)
+  // + sharded decode with serving, so the stall the old inline consumer
+  // paid is hidden up to one full producer interval.
+  const net::LinkModel link = net::polaris_gpudirect();
+  const double producer_interval = StageTimes::at(kPayloadBytes, 1).serial_chain();
+  const double apply_seconds =
+      link.striped_transfer_seconds(kPayloadBytes, 4) +
+      dram.striped_read_seconds(kPayloadBytes, 4);
+  report.modeled_fetch_hidden_fraction =
+      std::min(apply_seconds, producer_interval) / apply_seconds;
+
+  // Real pass on the actual decoder (single CPU core: validates bytes and
+  // the zero-copy contract, not wall-clock speedup).
+  ThreadPool pool(ThreadPool::Options{4});
+  auto format = serial::make_viper_format();
+  Model model = model_of_bytes(static_cast<std::int64_t>(kPayloadBytes));
+  model.set_version(3);
+  model.set_iteration(33);
+  auto buffer = format->serialize_pooled(model);
+  if (!buffer.is_ok()) return report;
+  const serial::SharedBlob blob = std::move(buffer).value().share();
+
+  auto serial_decoded = format->deserialize_shared(blob);
+  if (!serial_decoded.is_ok()) return report;
+
+  constexpr int kIters = 6;
+  bool decode_ok = true;
+  bool borrows_ok = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    auto sharded = format->deserialize_shared_sharded(blob, pool, 4);
+    if (!sharded.is_ok() || !sharded.value().same_weights(serial_decoded.value()) ||
+        sharded.value().version() != model.version() ||
+        sharded.value().iteration() != model.iteration()) {
+      decode_ok = false;
+      break;
+    }
+    for (const auto& [name, tensor] : sharded.value().tensors()) {
+      if (tensor.owns_payload()) borrows_ok = false;
+    }
+  }
+  const double decode_secs = seconds_since(t0);
+  report.real_sharded_decode_bytes_per_sec =
+      static_cast<double>(kPayloadBytes) * kIters / decode_secs;
+  report.correctness_ok = decode_ok && borrows_ok;
+  return report;
+}
+
+int run_consumer_smoke(const std::string& out_path,
+                       const std::string& baseline_path) {
+  const ConsumerSmokeReport report = measure_consumer_smoke();
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+  }
+  const double t1 = report.modeled_decode_bytes_per_sec[0];
+  const double t4 = report.modeled_decode_bytes_per_sec[2];
+  std::printf("modeled decode MB/s: t1 %.0f, t2 %.0f, t4 %.0f, t8 %.0f "
+              "(speedup@4 %.2fx); fetch hidden %.0f%%; real sharded decode "
+              "%.0f MB/s (%s)\n",
+              t1 / 1e6, report.modeled_decode_bytes_per_sec[1] / 1e6, t4 / 1e6,
+              report.modeled_decode_bytes_per_sec[3] / 1e6, t4 / t1,
+              report.modeled_fetch_hidden_fraction * 100.0,
+              report.real_sharded_decode_bytes_per_sec / 1e6, out_path.c_str());
+
+  if (!report.correctness_ok) {
+    std::fprintf(stderr, "FAIL: sharded decode correctness check failed "
+                         "(model mismatch or payload not borrowed)\n");
+    return 1;
+  }
+  if (t4 < 1.5 * t1) {
+    std::fprintf(stderr, "FAIL: modeled 4-thread decode %.0f MB/s is <1.5x "
+                         "the in-run single-thread decode %.0f MB/s\n",
+                 t4 / 1e6, t1 / 1e6);
+    return 1;
+  }
+  if (report.modeled_fetch_hidden_fraction < 0.5) {
+    std::fprintf(stderr, "FAIL: prefetch hides only %.0f%% of fetch+decode "
+                         "in the modeled coupled run (gate: 50%%)\n",
+                 report.modeled_fetch_hidden_fraction * 100.0);
+    return 1;
+  }
+
+  if (baseline_path.empty()) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot record baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+    std::printf("recorded baseline %s\n", baseline_path.c_str());
+    return 0;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const double base_t1 =
+      json_number(buffer.str(), "modeled_decode_bytes_per_sec_t1");
+  if (std::isnan(base_t1) || base_t1 <= 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: baseline %s has no modeled_decode_bytes_per_sec_t1\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  if (t4 < 1.5 * base_t1) {
+    std::fprintf(stderr, "FAIL: modeled 4-thread decode %.0f MB/s is <1.5x "
+                         "the recorded single-thread baseline %.0f MB/s\n",
+                 t4 / 1e6, base_t1 / 1e6);
+    return 1;
+  }
+  std::printf("baseline OK (t4 %.0f MB/s vs recorded t1 %.0f MB/s)\n", t4 / 1e6,
+              base_t1 / 1e6);
+  return 0;
+}
+
 }  // namespace
 }  // namespace viper::core
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string out_path = "BENCH_transfer.json";
+  bool consumer = false;
+  std::string out_path;
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--consumer") == 0) {
+      consumer = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     }
   }
+  if (consumer) {
+    return viper::core::run_consumer_smoke(
+        out_path.empty() ? "BENCH_consumer.json" : out_path, baseline_path);
+  }
+  if (out_path.empty()) out_path = "BENCH_transfer.json";
   if (smoke) return viper::core::run_transfer_smoke(out_path, baseline_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

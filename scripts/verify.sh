@@ -55,6 +55,16 @@ echo "=== perf smoke: parallel data plane (modeled 1/2/4/8-thread sweep) ==="
   --out build/BENCH_transfer.json \
   --baseline build/BENCH_transfer.baseline.json
 
+echo "=== perf smoke: consumer data plane (sharded decode + prefetch overlap) ==="
+# Gates the read-side mirror: modeled 4-thread sharded decode must clear
+# 1.5x single-thread (in-run and vs the recorded baseline), prefetch must
+# hide >=50% of fetch+decode in the modeled coupled run, and the real
+# sharded decoder must reproduce the serial decoder's model byte-for-byte
+# with borrowed (zero-copy) payloads.
+./build/bench/micro_transfer_engine --consumer \
+  --out build/BENCH_consumer.json \
+  --baseline build/BENCH_consumer.baseline.json
+
 echo "=== perf smoke: disarmed observability probes under the 50 ns budget ==="
 ./build/bench/micro_obs --smoke --out build/BENCH_obs.json
 
@@ -96,7 +106,7 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j \
   --target obs_test obs_e2e_test stress_test fault_injection_test \
            durability_test buffer_pool_test thread_pool_test \
-           parallel_transfer_test >/dev/null
+           parallel_transfer_test consumer_parallel_test >/dev/null
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/obs_e2e_test
 ./build-tsan/tests/stress_test
@@ -105,5 +115,6 @@ cmake --build build-tsan -j \
 ./build-tsan/tests/buffer_pool_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/parallel_transfer_test
+./build-tsan/tests/consumer_parallel_test
 
 echo "=== verify OK ==="

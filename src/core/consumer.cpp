@@ -26,10 +26,18 @@ struct ConsumerMetrics {
       obs::MetricsRegistry::global().counter("viper.consumer.polls");
   obs::Counter& resyncs =
       obs::MetricsRegistry::global().counter("viper.consumer.resyncs");
+  obs::Counter& prefetch_started =
+      obs::MetricsRegistry::global().counter("viper.consumer.prefetch_started");
+  obs::Counter& prefetch_superseded = obs::MetricsRegistry::global().counter(
+      "viper.consumer.prefetch_superseded");
+  obs::Counter& loads_skipped =
+      obs::MetricsRegistry::global().counter("viper.consumer.loads_skipped");
   obs::Histogram& apply_seconds =
       obs::MetricsRegistry::global().histogram("viper.consumer.apply_seconds");
   obs::Histogram& swap_seconds =
       obs::MetricsRegistry::global().histogram("viper.consumer.swap_seconds");
+  obs::Histogram& prefetch_seconds = obs::MetricsRegistry::global().histogram(
+      "viper.consumer.prefetch_seconds");
 };
 
 ConsumerMetrics& consumer_metrics() {
@@ -97,8 +105,11 @@ void InferenceConsumer::stop() {
   if (!started_) return;
   started_ = false;
   // The update loop re-checks its stop flag every 50 ms, so a plain join
-  // suffices even when no more events arrive.
+  // suffices even when no more events arrive. The prefetch backlog then
+  // runs to completion so a queued newest version still lands — stop
+  // never leaves the consumer behind the bus.
   thread_.stop_and_join();
+  prefetcher_.shutdown();
 }
 
 void InferenceConsumer::run(const std::atomic<bool>& stop_flag) {
@@ -120,7 +131,7 @@ void InferenceConsumer::run(const std::atomic<bool>& stop_flag) {
           metadata.value().version > version_.load(std::memory_order_relaxed)) {
         resyncs_.fetch_add(1, std::memory_order_relaxed);
         consumer_metrics().resyncs.add();
-        apply_latest();
+        schedule_apply(obs::TraceContext{});
       }
       continue;
     }
@@ -139,20 +150,54 @@ void InferenceConsumer::run(const std::atomic<bool>& stop_flag) {
                          obs::Stage::kNotified, event_context.trace_id,
                          event_context.origin_rank);
     }
-    {
-      std::optional<obs::ScopedTraceContext> scoped;
-      if (event_context.valid() && obs::context_armed()) {
-        scoped.emplace(event_context);
-      }
-      apply_latest();
-    }
+    schedule_apply(event_context);
     last_activity = std::chrono::steady_clock::now();
   }
 }
 
-void InferenceConsumer::apply_latest() {
+void InferenceConsumer::schedule_apply(const obs::TraceContext& context) {
+  if (!options_.prefetch) {
+    std::optional<obs::ScopedTraceContext> scoped;
+    if (context.valid() && obs::context_armed()) scoped.emplace(context);
+    apply_latest(/*prefetched=*/false);
+    return;
+  }
+  prefetch_started_.fetch_add(1, std::memory_order_relaxed);
+  consumer_metrics().prefetch_started.add();
+  const bool queued = prefetcher_.submit([this, context] {
+    const Stopwatch watch;
+    std::optional<obs::ScopedTraceContext> scoped;
+    if (context.valid() && obs::context_armed()) scoped.emplace(context);
+    apply_latest(/*prefetched=*/true);
+    consumer_metrics().prefetch_seconds.record(watch.elapsed());
+  });
+  // Executor already shut down (an event raced stop): apply inline so the
+  // version is not silently dropped.
+  if (!queued) apply_latest(/*prefetched=*/false);
+}
+
+void InferenceConsumer::apply_latest(bool prefetched) {
   const Stopwatch watch;
   auto apply_span = obs::Tracer::global().span("apply", "consumer");
+  // Early-out before fetching anything: when the newest committed
+  // metadata already matches the resident version there is nothing to
+  // apply. This is both the duplicate-notification / resync-timer fix
+  // (those used to re-fetch the full blob) and the supersede path for
+  // prefetch — a queued apply whose version landed via an earlier task
+  // skips its fetch entirely.
+  if (buffer_.active() != nullptr) {
+    auto peeked = loader_.peek(model_name_);
+    if (peeked.is_ok() &&
+        peeked.value().version <= version_.load(std::memory_order_relaxed)) {
+      loads_skipped_.fetch_add(1, std::memory_order_relaxed);
+      consumer_metrics().loads_skipped.add();
+      if (prefetched) {
+        prefetch_superseded_.fetch_add(1, std::memory_order_relaxed);
+        consumer_metrics().prefetch_superseded.add();
+      }
+      return;
+    }
+  }
   auto model = loader_.load_weights(model_name_);
   if (!model.is_ok()) {
     VIPER_WARN << "consumer failed to load '" << model_name_

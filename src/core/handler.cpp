@@ -53,6 +53,8 @@ struct EngineMetrics {
       obs::MetricsRegistry::global().counter("viper.core.saves_degraded");
   obs::Counter& saves_aborted =
       obs::MetricsRegistry::global().counter("viper.core.saves_aborted");
+  obs::Counter& stripe_negotiations =
+      obs::MetricsRegistry::global().counter("viper.core.stripe_negotiations");
   obs::Histogram& serialize_seconds =
       obs::MetricsRegistry::global().histogram("viper.core.serialize_seconds");
   obs::Histogram& save_call_seconds =
@@ -82,13 +84,18 @@ std::string pfs_path(const std::string& model_name, std::uint64_t version) {
   return "ckpt/" + model_name + "/v" + std::to_string(version);
 }
 
-/// Wire format of a load request: location byte + path, then (new
-/// format) the requesting thread's TraceContext. The context rides at the
-/// tail so a pre-observability server — which reads exactly location +
-/// path — still parses the request, and a new server accepts the short
-/// legacy frame by treating the missing tail as "no context".
+/// Wire format of a load request: location byte + path, then optional
+/// tail sections that each degrade independently: the requesting thread's
+/// TraceContext (20 bytes), then a stripe-negotiation pair (2 bytes: the
+/// consumer's preferred reply channel count + a reserved byte). Sections
+/// ride at the tail so a pre-observability server — which reads exactly
+/// location + path — still parses the request, and a new server accepts
+/// any shorter frame by treating the missing sections as "no context" /
+/// "no preference". The tail lengths disambiguate: 0 = legacy, 2 =
+/// negotiation only, 20 = context only, 22 = both.
 std::vector<std::byte> encode_load_request(Location location,
-                                           const std::string& path) {
+                                           const std::string& path,
+                                           int preferred_channels = 0) {
   serial::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(location));
   w.str(path);
@@ -98,13 +105,18 @@ std::vector<std::byte> encode_load_request(Location location,
     context.encode(encoded);
     w.raw(encoded);
   }
+  if (preferred_channels > 0) {
+    w.u8(static_cast<std::uint8_t>(std::min(preferred_channels, 255)));
+    w.u8(0);  // reserved
+  }
   return std::move(w).take();
 }
 
 struct LoadRequest {
   Location location;
   std::string path;
-  obs::TraceContext context;  ///< invalid when the requester sent none
+  obs::TraceContext context;   ///< invalid when the requester sent none
+  int preferred_channels = 0;  ///< 0: no preference (server's default)
 };
 
 Result<LoadRequest> decode_load_request(std::span<const std::byte> payload) {
@@ -117,10 +129,15 @@ Result<LoadRequest> decode_load_request(std::span<const std::byte> payload) {
   auto path = r.str();
   if (!path.is_ok()) return path.status();
   LoadRequest request{static_cast<Location>(loc.value()),
-                      std::move(path).value(), {}};
+                      std::move(path).value(), {}, 0};
   if (r.remaining() >= obs::TraceContext::kWireBytes) {
     if (auto view = r.raw_view(obs::TraceContext::kWireBytes); view.is_ok()) {
       request.context = obs::TraceContext::decode(view.value());
+    }
+  }
+  if (r.remaining() >= 2) {
+    if (auto channels = r.u8(); channels.is_ok()) {
+      request.preferred_channels = channels.value();
     }
   }
   return request;
@@ -612,14 +629,23 @@ void ModelWeightsHandler::serve_transfers(const net::Comm& comm) {
       }
     }
     // Replies travel as checksum-verified chunked streams so a consumer
-    // can detect a torn or corrupted transfer and refetch. With
-    // reply_channels > 1 the chunks stripe across concurrent send lanes
-    // on the shared pool (same wire format, any receiver reassembles).
+    // can detect a torn or corrupted transfer and refetch. With more than
+    // one reply channel the chunks stripe across concurrent send lanes on
+    // the shared pool (same wire format, any receiver reassembles). A
+    // request that advertises a preferred channel count is honored up to
+    // max_reply_channels; requests without a preference get the
+    // producer's configured default.
+    int reply_channels = options_.reply_channels;
+    if (request.is_ok() && request.value().preferred_channels > 0) {
+      reply_channels = std::min(request.value().preferred_channels,
+                                std::max(options_.max_reply_channels, 1));
+      engine_metrics().stripe_negotiations.add();
+    }
     Status sent;
-    if (options_.reply_channels > 1) {
+    if (reply_channels > 1) {
       net::StripedStreamOptions striped;
       striped.stream.chunk_bytes = options_.reply_chunk_bytes;
-      striped.num_channels = options_.reply_channels;
+      striped.num_channels = reply_channels;
       sent = net::striped_stream_send(comm, msg.value().source, kTagLoadReply,
                                       reply.bytes(), striped);
     } else {
@@ -668,7 +694,12 @@ void ModelLoader::drain_stale_replies() {
 
 Result<std::vector<std::byte>> ModelLoader::fetch_from_producer(
     const ModelMetadata& meta) {
-  const auto request = encode_load_request(meta.location, meta.path);
+  // Advertise this consumer's stripe width so the producer stripes the
+  // reply to match (single-channel consumers stay silent: any reply
+  // format reassembles, so the producer's default is fine).
+  const auto request = encode_load_request(
+      meta.location, meta.path,
+      options_.stripe_channels > 1 ? options_.stripe_channels : 0);
   net::StreamOptions stream_options;
   stream_options.timeout_seconds = options_.request_timeout;
   Rng rng(options_.retry_seed);
@@ -818,7 +849,16 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
           ? *viper_format_
           : *h5_format_;
   auto deserialize_span = obs::Tracer::global().span("deserialize", "consumer");
-  auto model = format.deserialize_shared(shared, blob_offset);
+  // Sharded parallel decode mirrors the producer's sharded capture:
+  // per-record shards decode concurrently on the shared pool into
+  // borrowed-view tensors, with the body CRC folded from per-segment CRCs.
+  // decode_shards == 1 keeps the serial decoder; either path yields an
+  // identical model.
+  auto model = options_.decode_shards == 1
+                   ? format.deserialize_shared(shared, blob_offset)
+                   : format.deserialize_shared_sharded(
+                         shared, ThreadPool::global(), options_.decode_shards,
+                         blob_offset);
   deserialize_span.end();
   if (model.is_ok()) {
     obs::ledger_record(model_name, meta.version, obs::Stage::kDecodeDone,

@@ -11,6 +11,7 @@
 
 #include "viper/common/thread_util.hpp"
 #include "viper/core/handler.hpp"
+#include "viper/obs/context.hpp"
 
 namespace viper::core {
 
@@ -58,6 +59,15 @@ class InferenceConsumer {
     /// producer update. The subscription then resumes as usual, so any
     /// newer version is picked up by notification or resync.
     bool warm_start = false;
+    /// Apply updates on a dedicated background prefetch worker: the
+    /// listener thread keeps draining notifications while the fetch +
+    /// sharded decode of the next version runs behind the serving model,
+    /// and the install stays a pointer swap. Versions arriving faster
+    /// than one fetch+decode coalesce — a queued apply whose version is
+    /// already resident is superseded (skipped) instead of re-fetched.
+    /// Note `on_update` then fires on the prefetch worker. Disabled, the
+    /// listener thread applies updates inline (seed behavior).
+    bool prefetch = true;
   };
 
   InferenceConsumer(std::shared_ptr<SharedServices> services, net::Comm comm,
@@ -86,6 +96,21 @@ class InferenceConsumer {
   [[nodiscard]] std::uint64_t resyncs() const noexcept {
     return resyncs_.load(std::memory_order_relaxed);
   }
+  /// Background applies scheduled on the prefetch worker.
+  [[nodiscard]] std::uint64_t prefetches_started() const noexcept {
+    return prefetch_started_.load(std::memory_order_relaxed);
+  }
+  /// Scheduled applies that found their version already resident and
+  /// skipped the fetch (versions arrived faster than one fetch+decode).
+  [[nodiscard]] std::uint64_t prefetches_superseded() const noexcept {
+    return prefetch_superseded_.load(std::memory_order_relaxed);
+  }
+  /// Applies (any mode) that early-outed because the newest committed
+  /// metadata already matched the resident version — duplicate
+  /// notifications and resync timers no longer re-fetch the full blob.
+  [[nodiscard]] std::uint64_t loads_skipped() const noexcept {
+    return loads_skipped_.load(std::memory_order_relaxed);
+  }
   /// True when start() installed a recovered checkpoint before the first
   /// producer update arrived.
   [[nodiscard]] bool warm_started() const noexcept { return warm_started_; }
@@ -94,7 +119,10 @@ class InferenceConsumer {
 
  private:
   void run(const std::atomic<bool>& stop_flag);
-  void apply_latest();
+  /// Route one apply: inline on the listener (prefetch off) or enqueued
+  /// on the prefetch worker, adopting `context` either way.
+  void schedule_apply(const obs::TraceContext& context);
+  void apply_latest(bool prefetched);
   /// Journal-driven read-only recovery of the newest committed version.
   void warm_start_from_pfs();
 
@@ -105,9 +133,13 @@ class InferenceConsumer {
   DoubleBuffer buffer_;
   kv::Subscription subscription_;
   WorkerThread thread_;
+  SerialExecutor prefetcher_;  ///< background fetch+decode+install worker
   std::atomic<std::uint64_t> updates_{0};
   std::atomic<std::uint64_t> version_{0};
   std::atomic<std::uint64_t> resyncs_{0};
+  std::atomic<std::uint64_t> prefetch_started_{0};
+  std::atomic<std::uint64_t> prefetch_superseded_{0};
+  std::atomic<std::uint64_t> loads_skipped_{0};
   bool warm_started_ = false;
   bool started_ = false;
 };

@@ -78,10 +78,16 @@ class ModelWeightsHandler {
     /// encode on the shared thread pool). 0 = pool width; 1 = the serial
     /// capture path. Output bytes are identical either way.
     int serialize_shards = 0;
-    /// Channels for striped transfer-server replies. 1 = plain chunked
-    /// stream (seed behavior); >1 stripes chunks across that many
-    /// concurrent send lanes.
+    /// Channels for striped transfer-server replies when the requester
+    /// advertises no preference. 1 = plain chunked stream (seed
+    /// behavior); >1 stripes chunks across that many concurrent send
+    /// lanes.
     int reply_channels = 1;
+    /// Clamp for consumer-negotiated reply striping: a load request that
+    /// advertises a preferred channel count is honored up to this bound
+    /// (the producer's lanes are a shared resource; one greedy consumer
+    /// must not monopolize the pool).
+    int max_reply_channels = 8;
     /// Producer pipeline depth: how many checkpoint versions may be in
     /// flight past capture (engine commit + PFS flush) before
     /// save_weights blocks for backpressure. Versions still commit in
@@ -209,10 +215,17 @@ class ModelLoader {
     /// Seed for retry-backoff jitter (reproducible under test).
     std::uint64_t retry_seed = 0x5eed;
     /// Receive-side channels for producer transfers. >1 reassembles reply
-    /// chunks with parallel pool workers and charges the link model's
-    /// striped (concurrency-honest) transfer cost; wire-compatible with
-    /// both plain and striped senders.
+    /// chunks with parallel pool workers, advertises the width in the
+    /// load request so the producer stripes its reply to match (clamped
+    /// by the producer's max_reply_channels), and charges the link
+    /// model's striped (concurrency-honest) transfer cost;
+    /// wire-compatible with both plain and striped senders.
     int stripe_channels = 1;
+    /// Max shards for the parallel zero-copy decode on the shared pool
+    /// (the read-side mirror of serialize_shards). 0 = pool width; 1 =
+    /// the serial decoder (seed behavior). The decoded model is identical
+    /// either way.
+    int decode_shards = 0;
   };
 
   ModelLoader(std::shared_ptr<SharedServices> services, net::Comm comm,

@@ -102,6 +102,46 @@ Result<std::vector<std::byte>> striped_stream_recv(
     const Comm& comm, int source, int tag,
     const StripedStreamOptions& options = {});
 
+/// Reliable striping: the striped fan-out composed with the ack/nack
+/// handshake, plus bounded per-lane retry of transient chunk sends — a
+/// flaky lane re-sends its own chunks under `lane_retry` without
+/// restarting the stream, and a stream that still arrives torn (dropped
+/// chunks, checksum mismatch) is nacked and re-sent whole under the outer
+/// `retry` budget. Every attempt reuses one stream id, so duplicate
+/// chunks from overlapping resends are absorbed by index-based
+/// reassembly.
+struct ReliableStripedStreamOptions {
+  StripedStreamOptions striped{
+      .stream = {.chunk_bytes = 256 * 1024, .timeout_seconds = 1.0}};
+  /// Whole-stream budget: re-send until acked.
+  RetryPolicy retry;
+  /// Per-lane budget for transient chunk-send failures (tight backoff:
+  /// sibling lanes keep the wire busy while one lane waits).
+  RetryPolicy lane_retry{.max_attempts = 3,
+                         .initial_backoff_seconds = 0.0005,
+                         .max_backoff_seconds = 0.010};
+  /// How long the sender waits for the receiver's ack per attempt.
+  double ack_timeout_seconds = 2.0;
+  /// Seed for backoff jitter (per-lane jitter derives from it).
+  std::uint64_t jitter_seed = 0x5eed;
+};
+
+/// Send striped with per-lane retry + ack/nack + whole-stream retry. On
+/// exhaustion returns the original failure; `attempts_out` reports the
+/// number of whole-stream sends (per-lane retries are counted in
+/// viper.net.striped_lane_retries instead).
+Status reliable_striped_stream_send(
+    const Comm& comm, int dest, int tag, std::span<const std::byte> payload,
+    const ReliableStripedStreamOptions& options = {},
+    int* attempts_out = nullptr);
+
+/// Receive with checksum verification + bounded retry; torn or corrupt
+/// assemblies are nacked so the sender re-sends promptly.
+Result<std::vector<std::byte>> reliable_striped_stream_recv(
+    const Comm& comm, int source, int tag,
+    const ReliableStripedStreamOptions& options = {},
+    int* attempts_out = nullptr);
+
 struct ReliableStreamOptions {
   StreamOptions stream{.chunk_bytes = 256 * 1024, .timeout_seconds = 1.0};
   RetryPolicy retry;

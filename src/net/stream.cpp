@@ -38,6 +38,8 @@ struct StreamMetrics {
       obs::MetricsRegistry::global().counter("viper.net.stream_retries");
   obs::Counter& rejects =
       obs::MetricsRegistry::global().counter("viper.net.stream_rejects");
+  obs::Counter& lane_retries =
+      obs::MetricsRegistry::global().counter("viper.net.striped_lane_retries");
   obs::Histogram& send_seconds =
       obs::MetricsRegistry::global().histogram("viper.net.stream_send_seconds");
   obs::Histogram& recv_seconds =
@@ -422,21 +424,28 @@ Result<std::vector<std::byte>> stream_relay(const Comm& comm, int source, int de
                      });
 }
 
-Status striped_stream_send(const Comm& comm, int dest, int tag,
-                           std::span<const std::byte> payload,
-                           const StripedStreamOptions& options) {
-  if (options.stream.chunk_bytes == 0) {
-    return invalid_argument("chunk_bytes must be > 0");
-  }
-  if (options.num_channels < 1) {
-    return invalid_argument("num_channels must be >= 1");
-  }
+namespace {
+
+/// One striped send attempt under a caller-chosen stream id (reliable
+/// retries reuse the id so resent chunks dedupe at the receiver). When
+/// `lane_retry` is non-null each lane retries its own transient chunk-send
+/// failures before giving up — the stream only aborts once a lane's local
+/// budget is spent.
+Status striped_send_once(const Comm& comm, int dest, int tag,
+                         std::span<const std::byte> payload,
+                         const StripedStreamOptions& options,
+                         std::uint64_t stream_id,
+                         const RetryPolicy* lane_retry,
+                         std::uint64_t lane_jitter_seed) {
   const std::uint64_t num_chunks =
       stream_num_chunks(payload.size(), options.stream.chunk_bytes);
   const int lanes = static_cast<int>(
       std::min<std::uint64_t>(static_cast<std::uint64_t>(options.num_channels),
                               std::max<std::uint64_t>(num_chunks, 1)));
-  if (lanes <= 1) return stream_send(comm, dest, tag, payload, options.stream);
+  if (lanes <= 1) {
+    return send_stream_once(comm, dest, tag, payload, options.stream,
+                            stream_id);
+  }
   ThreadPool& pool = options.pool != nullptr ? *options.pool
                                              : ThreadPool::global();
 
@@ -444,7 +453,6 @@ Status striped_stream_send(const Comm& comm, int dest, int tag,
   // Opened before the header is encoded so the wire context is parented
   // on this send span (see send_stream_once).
   auto span = obs::Tracer::global().span("striped_stream_send", "net");
-  const std::uint64_t stream_id = next_stream_id(comm.rank());
   WireHeader header;
   header.chunk_bytes = options.stream.chunk_bytes;
   header.stream_id = stream_id;
@@ -460,12 +468,24 @@ Status striped_stream_send(const Comm& comm, int dest, int tag,
   // counter. A failing lane flips `abort` so its peers stop early.
   std::atomic<bool> abort{false};
   std::atomic<std::uint64_t> chunks_out{0};
+  std::atomic<std::uint64_t> lane_retries_out{0};
   const auto send_lane = [&](int lane) -> Status {
+    std::optional<Rng> lane_rng;
+    if (lane_retry != nullptr) {
+      lane_rng.emplace(lane_jitter_seed ^
+                       (std::uint64_t{0x9e3779b97f4a7c15} *
+                        static_cast<std::uint64_t>(lane + 1)));
+    }
     std::uint64_t lane_chunks = 0;
+    std::uint64_t lane_retries = 0;
+    const auto flush = [&] {
+      chunks_out.fetch_add(lane_chunks, std::memory_order_relaxed);
+      lane_retries_out.fetch_add(lane_retries, std::memory_order_relaxed);
+    };
     for (std::uint64_t chunk = static_cast<std::uint64_t>(lane);
          chunk < num_chunks; chunk += static_cast<std::uint64_t>(lanes)) {
       if (abort.load(std::memory_order_relaxed)) {
-        chunks_out.fetch_add(lane_chunks, std::memory_order_relaxed);
+        flush();
         return cancelled("striped send aborted by a sibling lane");
       }
       const std::size_t offset =
@@ -478,16 +498,26 @@ Status striped_stream_send(const Comm& comm, int dest, int tag,
       wire.chunk_index = chunk;
       std::array<std::byte, sizeof(WireChunk)> chunk_header;
       std::memcpy(chunk_header.data(), &wire, sizeof(WireChunk));
-      const Status sent =
-          comm.send(dest, tag, chunk_header, payload.subspan(offset, length));
+      const auto send_chunk = [&]() -> Status {
+        return comm.send(dest, tag, chunk_header,
+                         payload.subspan(offset, length));
+      };
+      Status sent;
+      if (lane_retry != nullptr) {
+        int attempts = 1;
+        sent = retry_call(*lane_retry, &*lane_rng, send_chunk, &attempts);
+        lane_retries += static_cast<std::uint64_t>(attempts - 1);
+      } else {
+        sent = send_chunk();
+      }
       if (!sent.is_ok()) {
         abort.store(true, std::memory_order_relaxed);
-        chunks_out.fetch_add(lane_chunks, std::memory_order_relaxed);
+        flush();
         return sent;
       }
       ++lane_chunks;
     }
-    chunks_out.fetch_add(lane_chunks, std::memory_order_relaxed);
+    flush();
     return Status::ok();
   };
 
@@ -500,6 +530,9 @@ Status striped_stream_send(const Comm& comm, int dest, int tag,
 
   StreamMetrics& metrics = stream_metrics();
   metrics.chunks_sent.add(chunks_out.load(std::memory_order_relaxed));
+  const std::uint64_t retried =
+      lane_retries_out.load(std::memory_order_relaxed);
+  if (retried > 0) metrics.lane_retries.add(retried);
   VIPER_RETURN_IF_ERROR(first);
   VIPER_RETURN_IF_ERROR(rest);
   metrics.striped_sends.add();
@@ -508,14 +541,17 @@ Status striped_stream_send(const Comm& comm, int dest, int tag,
   return Status::ok();
 }
 
-Result<std::vector<std::byte>> striped_stream_recv(
-    const Comm& comm, int source, int tag,
-    const StripedStreamOptions& options) {
-  if (options.num_channels < 1) {
-    return invalid_argument("num_channels must be >= 1");
-  }
+/// One striped receive attempt. `stream_id_out` (optional) reports the id
+/// of the stream being assembled as soon as its header lands, so a
+/// reliable receiver can nack a stream that fails mid-assembly.
+Result<std::vector<std::byte>> striped_recv_once(
+    const Comm& comm, int source, int tag, const StripedStreamOptions& options,
+    std::uint64_t* stream_id_out) {
   if (options.num_channels == 1) {
-    return stream_recv(comm, source, tag, options.stream);
+    return recv_stream(
+        comm, source, tag, options.stream,
+        [](std::span<const std::byte>) { return Status::ok(); },
+        stream_id_out);
   }
   ThreadPool& pool = options.pool != nullptr ? *options.pool
                                              : ThreadPool::global();
@@ -571,6 +607,7 @@ Result<std::vector<std::byte>> striped_stream_recv(
         scoped_context.emplace(decoded.value().context);
         span = obs::Tracer::global().span("striped_stream_recv", "net");
       }
+      if (stream_id_out != nullptr) *stream_id_out = header->stream_id;
       payload.assign(static_cast<std::size_t>(header->total_bytes),
                      std::byte{0});
       have.assign(static_cast<std::size_t>(header->num_chunks), 0);
@@ -654,6 +691,106 @@ Result<std::vector<std::byte>> striped_stream_recv(
   metrics.striped_recvs.add();
   metrics.recv_seconds.record(watch.elapsed());
   return payload;
+}
+
+}  // namespace
+
+Status striped_stream_send(const Comm& comm, int dest, int tag,
+                           std::span<const std::byte> payload,
+                           const StripedStreamOptions& options) {
+  if (options.stream.chunk_bytes == 0) {
+    return invalid_argument("chunk_bytes must be > 0");
+  }
+  if (options.num_channels < 1) {
+    return invalid_argument("num_channels must be >= 1");
+  }
+  return striped_send_once(comm, dest, tag, payload, options,
+                           next_stream_id(comm.rank()), nullptr, 0);
+}
+
+Result<std::vector<std::byte>> striped_stream_recv(
+    const Comm& comm, int source, int tag,
+    const StripedStreamOptions& options) {
+  if (options.num_channels < 1) {
+    return invalid_argument("num_channels must be >= 1");
+  }
+  return striped_recv_once(comm, source, tag, options, nullptr);
+}
+
+Status reliable_striped_stream_send(const Comm& comm, int dest, int tag,
+                                    std::span<const std::byte> payload,
+                                    const ReliableStripedStreamOptions& options,
+                                    int* attempts_out) {
+  if (options.striped.stream.chunk_bytes == 0) {
+    return invalid_argument("chunk_bytes must be > 0");
+  }
+  if (options.striped.num_channels < 1) {
+    return invalid_argument("num_channels must be >= 1");
+  }
+  // One id for every attempt: the receiver's index-based reassembly then
+  // absorbs duplicate chunks from overlapping resends.
+  const std::uint64_t stream_id = next_stream_id(comm.rank());
+  Rng rng(options.jitter_seed);
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  Status last = Status::ok();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempts_out != nullptr) *attempts_out = attempt + 1;
+    if (attempt > 0) {
+      stream_metrics().retries.add();
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options.retry.backoff_seconds(attempt - 1, &rng)));
+    }
+    last = striped_send_once(comm, dest, tag, payload, options.striped,
+                             stream_id, &options.lane_retry,
+                             options.jitter_seed);
+    if (!last.is_ok()) {
+      if (!options.retry.retryable(last.code())) return last;
+      continue;
+    }
+    auto verdict =
+        wait_for_ack(comm, dest, tag, stream_id, options.ack_timeout_seconds);
+    if (verdict.is_ok()) {
+      if (verdict.value()) return Status::ok();
+      last = data_loss("receiver rejected the stream (checksum or assembly)");
+      continue;
+    }
+    last = verdict.status();
+    if (!options.retry.retryable(last.code())) return last;
+  }
+  return last;
+}
+
+Result<std::vector<std::byte>> reliable_striped_stream_recv(
+    const Comm& comm, int source, int tag,
+    const ReliableStripedStreamOptions& options, int* attempts_out) {
+  if (options.striped.num_channels < 1) {
+    return invalid_argument("num_channels must be >= 1");
+  }
+  Rng rng(options.jitter_seed ^ 0x9e3779b97f4a7c15ull);
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  Status last = Status::ok();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempts_out != nullptr) *attempts_out = attempt + 1;
+    if (attempt > 0) {
+      stream_metrics().retries.add();
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options.retry.backoff_seconds(attempt - 1, &rng)));
+    }
+    std::uint64_t stream_id = 0;
+    auto got = striped_recv_once(comm, source, tag, options.striped, &stream_id);
+    if (got.is_ok()) {
+      send_ack(comm, source, tag, stream_id, true);
+      return got;
+    }
+    last = got.status();
+    if (stream_id != 0 && last.code() == StatusCode::kDataLoss) {
+      // Torn or corrupt: reject-and-refetch.
+      stream_metrics().rejects.add();
+      send_ack(comm, source, tag, stream_id, false);
+    }
+    if (!options.retry.retryable(last.code())) return last;
+  }
+  return last;
 }
 
 Status reliable_stream_send(const Comm& comm, int dest, int tag,

@@ -3,11 +3,55 @@
 // ownership threading for zero-copy decode.
 #include "viper/serial/format.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "viper/serial/crc32.hpp"
 
 namespace viper::serial {
+
+std::vector<ShardPlan::Shard> plan_shard_boundaries(
+    std::span<const std::size_t> record_bytes, std::size_t preamble_bytes,
+    int max_shards, std::size_t min_shard_bytes) {
+  std::size_t body_bytes = preamble_bytes;
+  for (std::size_t bytes : record_bytes) body_bytes += bytes;
+
+  const std::size_t size_cap =
+      min_shard_bytes == 0 ? record_bytes.size() : body_bytes / min_shard_bytes;
+  const std::size_t num_shards = std::max<std::size_t>(
+      1, std::min({static_cast<std::size_t>(std::max(max_shards, 1)),
+                   record_bytes.size(), size_cap}));
+
+  // ~Equal-byte greedy partition at record boundaries: each shard's
+  // target is the remaining bytes spread over the remaining shards, so
+  // one oversized tensor early on does not starve the later shards.
+  std::vector<ShardPlan::Shard> shards;
+  shards.reserve(num_shards);
+  std::size_t record = 0;
+  std::size_t remaining = body_bytes;
+  std::size_t offset = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t shards_left = num_shards - s;
+    const std::size_t target = remaining / shards_left;
+    ShardPlan::Shard shard;
+    shard.offset = offset;
+    shard.first_record = record;
+    if (s == 0) shard.bytes += preamble_bytes;
+    while (record < record_bytes.size() &&
+           (shard.bytes < target || shards_left == 1)) {
+      // Leave at least one record per remaining shard.
+      const std::size_t records_left = record_bytes.size() - record;
+      if (shards_left > 1 && records_left <= shards_left - 1) break;
+      shard.bytes += record_bytes[record];
+      ++shard.num_records;
+      ++record;
+    }
+    offset += shard.bytes;
+    remaining -= shard.bytes;
+    shards.push_back(shard);
+  }
+  return shards;
+}
 
 Result<std::vector<std::byte>> CheckpointFormat::serialize(const Model& model) const {
   auto size = serialized_size(model);
@@ -103,6 +147,30 @@ Result<Model> CheckpointFormat::deserialize_shared(SharedBlob blob,
   const std::span<const std::byte> view(blob->data() + offset,
                                         blob->size() - offset);
   return deserialize_impl(view, blob);
+}
+
+Result<Model> CheckpointFormat::deserialize_shared_sharded(
+    SharedBlob blob, ThreadPool& pool, int max_shards,
+    std::size_t offset) const {
+  if (blob == nullptr) {
+    return invalid_argument("deserialize_shared_sharded: null blob");
+  }
+  if (offset > blob->size()) {
+    return invalid_argument("deserialize_shared_sharded: offset " +
+                            std::to_string(offset) + " past blob of " +
+                            std::to_string(blob->size()) + " bytes");
+  }
+  const std::span<const std::byte> view(blob->data() + offset,
+                                        blob->size() - offset);
+  if (max_shards == 0) max_shards = pool.num_threads();
+  if (max_shards <= 1) return deserialize_impl(view, blob);
+  return deserialize_sharded_impl(view, blob, pool, max_shards);
+}
+
+Result<Model> CheckpointFormat::deserialize_sharded_impl(
+    std::span<const std::byte> blob, const std::shared_ptr<const void>& owner,
+    ThreadPool&, int) const {
+  return deserialize_impl(blob, owner);  // no shard support: serial decode
 }
 
 Result<Tensor> CheckpointFormat::read_payload(

@@ -60,6 +60,12 @@ struct SerialMetrics {
       obs::MetricsRegistry::global().counter("viper.serial.sharded_captures");
   obs::Counter& shards_encoded =
       obs::MetricsRegistry::global().counter("viper.serial.shards_encoded");
+  obs::Counter& sharded_decodes =
+      obs::MetricsRegistry::global().counter("viper.serial.sharded_decodes");
+  obs::Counter& shards_decoded =
+      obs::MetricsRegistry::global().counter("viper.serial.shards_decoded");
+  obs::Histogram& decode_shard_seconds = obs::MetricsRegistry::global().histogram(
+      "viper.serial.decode_shard_seconds");
 };
 
 SerialMetrics& serial_metrics();

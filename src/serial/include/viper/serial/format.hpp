@@ -50,6 +50,19 @@ struct ShardPlan {
   std::vector<Shard> shards;
 };
 
+/// The one greedy ~equal-byte partition rule both halves of the parallel
+/// data plane cut with: the sharded encoder (shard_plan) splits a model's
+/// records by it, and the sharded decoder recovers the same boundaries
+/// from a blob's record headers. Cuts `record_bytes` into at most
+/// `max_shards` contiguous shards at record boundaries; shard 0
+/// additionally carries `preamble_bytes`. The shard count shrinks until
+/// every shard clears `min_shard_bytes` (a pool dispatch below that
+/// rivals the work itself). Offsets are blob-relative (shard 0 starts at
+/// offset 0, records at `preamble_bytes`).
+[[nodiscard]] std::vector<ShardPlan::Shard> plan_shard_boundaries(
+    std::span<const std::size_t> record_bytes, std::size_t preamble_bytes,
+    int max_shards, std::size_t min_shard_bytes);
+
 class CheckpointFormat {
  public:
   virtual ~CheckpointFormat() = default;
@@ -109,12 +122,32 @@ class CheckpointFormat {
   [[nodiscard]] Result<Model> deserialize_shared(SharedBlob blob,
                                                  std::size_t offset = 0) const;
 
+  /// Parallel zero-copy parse — the decode mirror of
+  /// serialize_pooled_sharded(): the integrity trailer is verified from
+  /// per-segment CRCs folded with crc32_combine, record boundaries are
+  /// recovered with the shard_plan partition rule, and the shards decode
+  /// concurrently on `pool` (shard 0 on the calling thread) into
+  /// borrowed-view tensors. The resulting model is identical to
+  /// deserialize_shared(). `max_shards == 0` uses the pool width; formats
+  /// without shard support (or blobs too small to split) transparently
+  /// fall back to the serial decoder.
+  [[nodiscard]] Result<Model> deserialize_shared_sharded(
+      SharedBlob blob, ThreadPool& pool, int max_shards = 0,
+      std::size_t offset = 0) const;
+
  protected:
   /// Decode `blob`; when `owner` is non-null, tensor payloads may alias
   /// the blob (owner anchors its lifetime), otherwise they must be copied.
   [[nodiscard]] virtual Result<Model> deserialize_impl(
       std::span<const std::byte> blob,
       const std::shared_ptr<const void>& owner) const = 0;
+
+  /// Decode `blob` with per-record shards fanned out on `pool`. Base
+  /// implementation is the serial decoder; shard-capable formats
+  /// override. Must produce a model identical to deserialize_impl().
+  [[nodiscard]] virtual Result<Model> deserialize_sharded_impl(
+      std::span<const std::byte> blob, const std::shared_ptr<const void>& owner,
+      ThreadPool& pool, int max_shards) const;
 
   /// Shared payload-read helper for format decoders: borrows a view into
   /// the reader's backing blob when `owner` is set, copies otherwise.

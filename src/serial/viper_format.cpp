@@ -1,7 +1,9 @@
 #include <algorithm>
 #include <cstring>
 #include <iterator>
+#include <utility>
 
+#include "viper/common/clock.hpp"
 #include "viper/serial/byte_io.hpp"
 #include "viper/serial/crc32.hpp"
 #include "viper/serial/format.hpp"
@@ -99,37 +101,8 @@ class ViperFormat final : public CheckpointFormat {
     ShardPlan plan;
     plan.total_bytes = body_bytes + 4;
     plan.trailer_bytes = 4;
-
-    // ~Equal-byte greedy partition at record boundaries: each shard's
-    // target is the remaining bytes spread over the remaining shards, so
-    // one oversized tensor early on does not starve the later shards.
-    std::size_t num_shards = std::max<std::size_t>(
-        1, std::min({static_cast<std::size_t>(std::max(max_shards, 1)),
-                     record_bytes.size(),
-                     body_bytes / kMinShardBytes}));
-    std::size_t record = 0;
-    std::size_t remaining = body_bytes;
-    std::size_t offset = 0;
-    for (std::size_t s = 0; s < num_shards; ++s) {
-      const std::size_t shards_left = num_shards - s;
-      const std::size_t target = remaining / shards_left;
-      ShardPlan::Shard shard;
-      shard.offset = offset;
-      shard.first_record = record;
-      if (s == 0) shard.bytes += preamble_bytes;
-      while (record < record_bytes.size() &&
-             (shard.bytes < target || shards_left == 1)) {
-        // Leave at least one record per remaining shard.
-        const std::size_t records_left = record_bytes.size() - record;
-        if (shards_left > 1 && records_left <= shards_left - 1) break;
-        shard.bytes += record_bytes[record];
-        ++shard.num_records;
-        ++record;
-      }
-      offset += shard.bytes;
-      remaining -= shard.bytes;
-      plan.shards.push_back(shard);
-    }
+    plan.shards = plan_shard_boundaries(record_bytes, preamble_bytes,
+                                        max_shards, kMinShardBytes);
     return plan;
   }
 
@@ -162,6 +135,84 @@ class ViperFormat final : public CheckpointFormat {
   }
 
  protected:
+  /// Decoded VSF preamble: the model shell (name/version/iteration/
+  /// nominal bytes) plus the record count that follows.
+  struct Preamble {
+    Model model;
+    std::uint32_t num_tensors = 0;
+  };
+
+  static Result<Preamble> read_preamble(ByteReader& r) {
+    auto magic = r.u32();
+    if (!magic.is_ok()) return magic.status();
+    if (magic.value() != kMagic) return data_loss("bad VSF magic");
+    auto version = r.u16();
+    if (!version.is_ok()) return version.status();
+    if (version.value() != kFormatVersion) {
+      return unimplemented("unsupported VSF version " +
+                           std::to_string(version.value()));
+    }
+    auto model_name = r.str();
+    if (!model_name.is_ok()) return model_name.status();
+    Preamble preamble{Model(std::move(model_name).value()), 0};
+    auto model_version = r.u64();
+    if (!model_version.is_ok()) return model_version.status();
+    preamble.model.set_version(model_version.value());
+    auto iteration = r.i64();
+    if (!iteration.is_ok()) return iteration.status();
+    preamble.model.set_iteration(iteration.value());
+    auto nominal = r.u64();
+    if (!nominal.is_ok()) return nominal.status();
+    preamble.model.set_nominal_bytes(nominal.value());
+    auto count = r.u32();
+    if (!count.is_ok()) return count.status();
+    preamble.num_tensors = count.value();
+    return preamble;
+  }
+
+  static Result<std::pair<std::string, Tensor>> read_record(
+      ByteReader& r, const std::shared_ptr<const void>& owner) {
+    auto tensor_name = r.str();
+    if (!tensor_name.is_ok()) return tensor_name.status();
+    auto dtype_raw = r.u8();
+    if (!dtype_raw.is_ok()) return dtype_raw.status();
+    auto dtype = dtype_from_wire(dtype_raw.value());
+    if (!dtype.is_ok()) return dtype.status();
+    auto rank = r.u8();
+    if (!rank.is_ok()) return rank.status();
+    std::vector<std::int64_t> dims(rank.value());
+    for (auto& d : dims) {
+      auto dim = r.i64();
+      if (!dim.is_ok()) return dim.status();
+      d = dim.value();
+    }
+    auto byte_size = r.u64();
+    if (!byte_size.is_ok()) return byte_size.status();
+    auto tensor = read_payload(r, dtype.value(), Shape(std::move(dims)),
+                               byte_size.value(), owner);
+    if (!tensor.is_ok()) {
+      return data_loss("tensor payload inconsistent with shape: " +
+                       tensor.status().message());
+    }
+    return std::make_pair(std::move(tensor_name).value(),
+                          std::move(tensor).value());
+  }
+
+  /// Header-only walk of one record: skips the payload so the sharded
+  /// decoder can recover record boundaries without decoding anything.
+  static Status skip_record(ByteReader& r) {
+    auto name_len = r.u32();
+    if (!name_len.is_ok()) return name_len.status();
+    VIPER_RETURN_IF_ERROR(r.skip(name_len.value()));
+    VIPER_RETURN_IF_ERROR(r.skip(1));  // dtype
+    auto rank = r.u8();
+    if (!rank.is_ok()) return rank.status();
+    VIPER_RETURN_IF_ERROR(r.skip(std::size_t{8} * rank.value()));
+    auto byte_size = r.u64();
+    if (!byte_size.is_ok()) return byte_size.status();
+    return r.skip(byte_size.value());
+  }
+
   Result<Model> deserialize_impl(
       std::span<const std::byte> blob,
       const std::shared_ptr<const void>& owner) const override {
@@ -175,59 +226,100 @@ class ViperFormat final : public CheckpointFormat {
     }
 
     ByteReader r(blob.first(body_size));
-    auto magic = r.u32();
-    if (!magic.is_ok()) return magic.status();
-    if (magic.value() != kMagic) return data_loss("bad VSF magic");
-    auto version = r.u16();
-    if (!version.is_ok()) return version.status();
-    if (version.value() != kFormatVersion) {
-      return unimplemented("unsupported VSF version " + std::to_string(version.value()));
-    }
-
-    auto model_name = r.str();
-    if (!model_name.is_ok()) return model_name.status();
-    Model model(std::move(model_name).value());
-
-    auto model_version = r.u64();
-    if (!model_version.is_ok()) return model_version.status();
-    model.set_version(model_version.value());
-    auto iteration = r.i64();
-    if (!iteration.is_ok()) return iteration.status();
-    model.set_iteration(iteration.value());
-    auto nominal = r.u64();
-    if (!nominal.is_ok()) return nominal.status();
-    model.set_nominal_bytes(nominal.value());
-
-    auto count = r.u32();
-    if (!count.is_ok()) return count.status();
-    for (std::uint32_t i = 0; i < count.value(); ++i) {
-      auto tensor_name = r.str();
-      if (!tensor_name.is_ok()) return tensor_name.status();
-      auto dtype_raw = r.u8();
-      if (!dtype_raw.is_ok()) return dtype_raw.status();
-      auto dtype = dtype_from_wire(dtype_raw.value());
-      if (!dtype.is_ok()) return dtype.status();
-      auto rank = r.u8();
-      if (!rank.is_ok()) return rank.status();
-      std::vector<std::int64_t> dims(rank.value());
-      for (auto& d : dims) {
-        auto dim = r.i64();
-        if (!dim.is_ok()) return dim.status();
-        d = dim.value();
-      }
-      auto byte_size = r.u64();
-      if (!byte_size.is_ok()) return byte_size.status();
-      auto tensor = read_payload(r, dtype.value(), Shape(std::move(dims)),
-                                 byte_size.value(), owner);
-      if (!tensor.is_ok()) {
-        return data_loss("tensor payload inconsistent with shape: " +
-                         tensor.status().message());
-      }
-      VIPER_RETURN_IF_ERROR(
-          model.add_tensor(std::move(tensor_name).value(), std::move(tensor).value()));
+    auto preamble = read_preamble(r);
+    if (!preamble.is_ok()) return preamble.status();
+    Preamble p = std::move(preamble).value();
+    for (std::uint32_t i = 0; i < p.num_tensors; ++i) {
+      auto record = read_record(r, owner);
+      if (!record.is_ok()) return record.status();
+      VIPER_RETURN_IF_ERROR(p.model.add_tensor(
+          std::move(record.value().first), std::move(record.value().second)));
     }
     if (!r.exhausted()) return data_loss("trailing bytes after last tensor");
-    return model;
+    return std::move(p.model);
+  }
+
+  Result<Model> deserialize_sharded_impl(
+      std::span<const std::byte> blob, const std::shared_ptr<const void>& owner,
+      ThreadPool& pool, int max_shards) const override {
+    if (blob.size() < 4 + 2 + 4) return data_loss("blob too small for VSF header");
+    const std::size_t body_size = blob.size() - 4;
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, blob.data() + body_size, 4);
+    // Verify the trailer before trusting any field, like the serial
+    // decoder — but fold it from per-segment CRCs computed concurrently,
+    // the read-side mirror of the capture's crc32_combine fold.
+    const std::span<const std::byte> body = blob.first(body_size);
+    if (parallel_crc32(body, pool, max_shards) != stored) {
+      return data_loss("VSF checksum mismatch: checkpoint corrupted");
+    }
+
+    ByteReader scan(body);
+    auto preamble = read_preamble(scan);
+    if (!preamble.is_ok()) return preamble.status();
+    Preamble p = std::move(preamble).value();
+    const std::size_t preamble_bytes = scan.position();
+
+    // Header-only boundary scan: skip payloads to recover per-record
+    // sizes, then cut them with the same greedy rule the encoder used.
+    std::vector<std::size_t> record_bytes;
+    record_bytes.reserve(p.num_tensors);
+    for (std::uint32_t i = 0; i < p.num_tensors; ++i) {
+      const std::size_t start = scan.position();
+      VIPER_RETURN_IF_ERROR(skip_record(scan));
+      record_bytes.push_back(scan.position() - start);
+    }
+    if (!scan.exhausted()) return data_loss("trailing bytes after last tensor");
+
+    const std::vector<ShardPlan::Shard> shards = plan_shard_boundaries(
+        record_bytes, preamble_bytes, max_shards, kMinShardBytes);
+
+    // Decode shards concurrently: shards 1..n-1 fan out to the pool,
+    // shard 0 (records only — its preamble is already parsed) runs on the
+    // calling thread. Each shard reads a disjoint subspan and fills its
+    // own slot, so the only shared state is the immutable blob.
+    std::vector<std::vector<std::pair<std::string, Tensor>>> decoded(
+        shards.size());
+    auto decode_shard = [&body, &shards, &decoded, &owner,
+                         preamble_bytes](std::size_t s) -> Status {
+      const Stopwatch watch;
+      const ShardPlan::Shard& shard = shards[s];
+      const std::size_t skip = s == 0 ? preamble_bytes : 0;
+      ByteReader sr(body.subspan(shard.offset + skip, shard.bytes - skip));
+      decoded[s].reserve(shard.num_records);
+      for (std::size_t n = 0; n < shard.num_records; ++n) {
+        auto record = read_record(sr, owner);
+        if (!record.is_ok()) return record.status();
+        decoded[s].push_back(std::move(record).value());
+      }
+      if (!sr.exhausted()) {
+        return data_loss("shard decode did not consume its span exactly");
+      }
+      serial_metrics().decode_shard_seconds.record(watch.elapsed());
+      return Status::ok();
+    };
+    TaskGroup group(pool);
+    for (std::size_t s = 1; s < shards.size(); ++s) {
+      group.run([&decode_shard, s] { return decode_shard(s); });
+    }
+    const Status first = decode_shard(0);
+    const Status rest = group.wait();
+    VIPER_RETURN_IF_ERROR(first);
+    VIPER_RETURN_IF_ERROR(rest);
+
+    // Records were written in the model's sorted-map order, so
+    // shard-ordered inserts stay sorted and add_tensor still rejects
+    // duplicates.
+    for (auto& shard_records : decoded) {
+      for (auto& [tensor_name, tensor] : shard_records) {
+        VIPER_RETURN_IF_ERROR(
+            p.model.add_tensor(std::move(tensor_name), std::move(tensor)));
+      }
+    }
+    SerialMetrics& metrics = serial_metrics();
+    metrics.sharded_decodes.add();
+    metrics.shards_decoded.add(shards.size());
+    return std::move(p.model);
   }
 };
 

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "viper/common/thread_pool.hpp"
 #include "viper/serial/buffer_pool.hpp"
 #include "viper/serial/format.hpp"
 #include "viper/tensor/model.hpp"
@@ -156,6 +157,98 @@ TEST(BufferPool, ConcurrentAcquireFillRelease) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SharedDecodeAliasing, MaterializeOnWriteNeverMutatesBackingBlob) {
+  // Borrowed-view tensors alias the shared blob; the first write must
+  // copy-on-write into private storage, never reach the shared bytes —
+  // another consumer thread may be decoding the same blob concurrently.
+  auto format = make_viper_format();
+  Rng rng(99);
+  Model model("alias");
+  ASSERT_TRUE(
+      model
+          .add_tensor("w", Tensor::random(DType::kF32, Shape{4096}, rng).value())
+          .is_ok());
+  auto buffer = format->serialize_pooled(model);
+  ASSERT_TRUE(buffer.is_ok());
+  const SharedBlob blob = std::move(buffer).value().share();
+  const std::vector<std::byte> pristine = *blob;  // snapshot before any write
+
+  auto decoded = format->deserialize_shared(blob);
+  ASSERT_TRUE(decoded.is_ok());
+  auto tensor = decoded.value().mutable_tensor("w");
+  ASSERT_TRUE(tensor.is_ok());
+  ASSERT_FALSE(tensor.value()->owns_payload());  // borrowing before the write
+
+  // Scribble over the whole payload through the mutable accessor.
+  for (auto& b : tensor.value()->mutable_bytes()) b = std::byte{0xAB};
+  EXPECT_TRUE(tensor.value()->owns_payload());  // materialized by the write
+  EXPECT_EQ(*blob, pristine) << "a view write leaked into the shared blob";
+
+  // The blob still decodes to the original weights for everyone else.
+  auto again = format->deserialize_shared(blob);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_TRUE(again.value().same_weights(model));
+}
+
+TEST(SharedDecodeAliasing, DroppingViewsReturnsStorageToPool) {
+  // The decoded model's views anchor the pooled blob. Dropping the last
+  // reference — model included — must hand the buffer back to its pool.
+  auto format = make_viper_format();
+  Rng rng(7);
+  Model model("alias");
+  ASSERT_TRUE(
+      model
+          .add_tensor("w", Tensor::random(DType::kF32, Shape{8192}, rng).value())
+          .is_ok());
+  BufferPool pool;
+  auto size = format->serialized_size(model);
+  ASSERT_TRUE(size.is_ok());
+  const std::byte* storage = nullptr;
+  {
+    PooledBuffer buffer = pool.acquire(size.value());
+    storage = buffer.span().data();
+    ASSERT_TRUE(format->serialize_into(model, buffer.span()).is_ok());
+    auto decoded = format->deserialize_shared(std::move(buffer).share());
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(pool.cached_bytes(), 0u);  // views keep the blob checked out
+    for (const auto& [name, tensor] : decoded.value().tensors()) {
+      EXPECT_FALSE(tensor.owns_payload()) << name;
+    }
+  }  // model (and with it every view and the blob) dies here
+  EXPECT_GT(pool.cached_bytes(), 0u);
+  PooledBuffer again = pool.acquire(size.value());
+  EXPECT_EQ(again.span().data(), storage);  // the very same storage came back
+}
+
+TEST(SharedDecodeAliasing, ShardedDecodeBorrowsAndReleasesIdentically) {
+  auto format = make_viper_format();
+  Rng rng(23);
+  Model model("alias");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(model
+                    .add_tensor("t" + std::to_string(i),
+                                Tensor::random(DType::kF32, Shape{48 * 1024}, rng)
+                                    .value())
+                    .is_ok());
+  }
+  BufferPool pool;
+  auto size = format->serialized_size(model);
+  ASSERT_TRUE(size.is_ok());
+  {
+    PooledBuffer buffer = pool.acquire(size.value());
+    ASSERT_TRUE(format->serialize_into(model, buffer.span()).is_ok());
+    auto decoded = format->deserialize_shared_sharded(
+        std::move(buffer).share(), ThreadPool::global(), 4);
+    ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+    EXPECT_TRUE(decoded.value().same_weights(model));
+    for (const auto& [name, tensor] : decoded.value().tensors()) {
+      EXPECT_FALSE(tensor.owns_payload()) << name;
+    }
+    EXPECT_EQ(pool.cached_bytes(), 0u);
+  }
+  EXPECT_GT(pool.cached_bytes(), 0u);  // all shard views released the blob
 }
 
 TEST(BufferPool, PooledRoundTripFuzzAllDtypes) {

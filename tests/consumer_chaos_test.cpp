@@ -1,0 +1,117 @@
+// Chaos battery for the consumer data plane: per-message drop / corrupt /
+// delay faults on the comm fabric while a producer streams versions and a
+// reader continuously samples the serving model. The invariant under all
+// of it: the consumer never serves a torn model and eventually converges
+// on the newest version (retry, PFS fallback, and resync absorb the
+// faults). Labeled `long` — CI runs it outside the quick sweep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "viper/core/consumer.hpp"
+#include "viper/core/handler.hpp"
+#include "viper/fault/fault.hpp"
+#include "viper/tensor/model.hpp"
+
+namespace viper::core {
+namespace {
+
+Model chaos_model(std::uint64_t seed) {
+  Rng rng(seed);
+  Model m("net");
+  EXPECT_TRUE(
+      m.add_tensor("w",
+                   Tensor::random(DType::kF32, Shape{32 * 1024}, rng).value())
+          .is_ok());
+  EXPECT_TRUE(
+      m.add_tensor("b",
+                   Tensor::random(DType::kF32, Shape{4 * 1024}, rng).value())
+          .is_ok());
+  return m;
+}
+
+class ConsumerChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsumerChaos, FaultyFabricNeverYieldsATornModel) {
+  std::shared_ptr<SharedServices> services = std::make_shared<SharedServices>();
+  auto world = net::CommWorld::create(2);
+
+  ModelWeightsHandler::Options handler_options;
+  handler_options.strategy = Strategy::kHostSync;
+  handler_options.reply_channels = 4;  // stripe the faulty replies too
+  auto handler =
+      std::make_shared<ModelWeightsHandler>(services, handler_options);
+  std::thread server([&] { handler->serve_transfers(world->comm(0)); });
+
+  InferenceConsumer::Options options;
+  options.loader.producer_rank = 0;
+  options.loader.request_timeout = 0.5;  // fail fast, retry fast
+  options.loader.retry = RetryPolicy{.max_attempts = 4,
+                                     .initial_backoff_seconds = 0.002,
+                                     .max_backoff_seconds = 0.02};
+  options.loader.stripe_channels = 4;
+  options.resync_interval = 0.05;  // recover missed versions quickly
+  InferenceConsumer consumer(services, world->comm(1), "net", options);
+  consumer.start();
+
+  std::atomic<bool> stop_reader{false};
+  std::atomic<int> violations{0};
+  std::atomic<std::uint64_t> reads{0};
+  std::thread reader([&] {
+    while (!stop_reader.load(std::memory_order_acquire)) {
+      auto model = consumer.active_model();
+      if (model != nullptr) {
+        reads.fetch_add(1, std::memory_order_relaxed);
+        // Version and iteration are stamped together before every save; a
+        // torn or cross-assembled model breaks the pairing. Weights are
+        // CRC-guarded on every path, so this is the cheap full-rate probe.
+        if (model->iteration() != static_cast<std::int64_t>(model->version())) {
+          violations.fetch_add(1);
+        }
+      }
+    }
+  });
+
+  constexpr std::uint64_t kVersions = 12;
+  {
+    fault::ScopedPlan chaos{
+        fault::FaultPlan(GetParam())
+            .add(fault::FaultRule::drop("net.send", 0.03))
+            .add(fault::FaultRule::corrupt("net.send", 0.02))
+            .add(fault::FaultRule::delay("net.recv", 0.001, 0.10))};
+    for (std::uint64_t v = 1; v <= kVersions; ++v) {
+      Model model = chaos_model(GetParam() + v);
+      model.set_version(v);
+      model.set_iteration(static_cast<std::int64_t>(v));
+      ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    // Converge under fire: resync + retry must land the final version
+    // even when its notification or chunks were dropped.
+    for (int spin = 0;
+         spin < 2500 && consumer.active_version() < kVersions; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  stop_reader.store(true, std::memory_order_release);
+  reader.join();
+  consumer.stop();
+
+  EXPECT_EQ(consumer.active_version(), kVersions);
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(reads.load(), 0u);
+  ASSERT_NE(consumer.active_model(), nullptr);
+  EXPECT_EQ(consumer.active_model()->version(), kVersions);
+
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(world->comm(1), 0).is_ok());
+  server.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsumerChaos,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace viper::core

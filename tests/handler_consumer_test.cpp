@@ -313,6 +313,46 @@ TEST(InferenceConsumer, AppliesPushedUpdates) {
   server.join();
 }
 
+TEST(InferenceConsumer, ResyncOfResidentVersionSkipsTheRefetch) {
+  // Regression: the metadata-resync and duplicate-notification paths used
+  // to re-fetch and re-decode the full blob even when the resident
+  // version already matched the newest committed metadata. Now they
+  // early-out on the cheap peek. Exercised in inline mode so the fix is
+  // proven independent of the prefetch worker.
+  Rig rig;
+  auto handler = rig.handler(Strategy::kHostSync);
+  std::thread server([&] { handler->serve_transfers(rig.producer_comm); });
+
+  InferenceConsumer::Options options;
+  options.loader.producer_rank = 0;
+  options.prefetch = false;
+  InferenceConsumer consumer(rig.services, rig.consumer_comm, "net", options);
+  consumer.start();
+
+  Model model = small_model();
+  model.set_version(1);
+  ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  for (int spin = 0; spin < 300 && consumer.active_version() < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(consumer.active_version(), 1u);
+  const std::uint64_t applied = consumer.updates_applied();
+
+  NotificationModule notifier(rig.services->bus);
+  EXPECT_GE(notifier.publish_update("net", 1), 1u);
+  for (int spin = 0; spin < 300 && consumer.loads_skipped() < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(consumer.loads_skipped(), 1u);
+  EXPECT_EQ(consumer.updates_applied(), applied);  // nothing re-installed
+  EXPECT_EQ(consumer.active_version(), 1u);
+
+  consumer.stop();
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(rig.consumer_comm, 0).is_ok());
+  server.join();
+}
+
 TEST(PollingConsumer, DiscoversUpdatesByPolling) {
   Rig rig;
   auto handler = rig.handler(Strategy::kViperPfs);  // PFS: no comm needed

@@ -1,7 +1,9 @@
 // Tests for chunked payload streaming and the live pipelined-chain relay.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <thread>
+#include <tuple>
 
 #include "viper/common/rng.hpp"
 #include "viper/fault/fault.hpp"
@@ -326,6 +328,150 @@ TEST(StreamFaults, CorruptedChunkNeverYieldsWrongBytes) {
               received.status().code() == StatusCode::kTimeout)
       << received.status().to_string();
   EXPECT_GT(fault::FaultInjector::global().report().corruptions, 0u);
+}
+
+// ---- Striped interop matrix ------------------------------------------------
+// Chunk striping is a send/receive-side concurrency decision, not a wire
+// format: any sender lane-count must reassemble under any receiver
+// lane-count, including the plain (unstriped) peers, with and without a
+// trace context riding the header. 0 channels encodes "plain API".
+
+using InteropCase = std::tuple<int, int, bool>;
+
+class StripedInterop : public ::testing::TestWithParam<InteropCase> {};
+
+TEST_P(StripedInterop, AnySenderAnyReceiverReassemblesExactly) {
+  const auto [send_channels, recv_channels, with_context] = GetParam();
+  obs::set_context_armed(with_context);
+  auto world = CommWorld::create(2);
+  const auto payload = random_payload(96 * 1024, 41);
+
+  obs::TraceContext sent;
+  sent.trace_id = obs::TraceContext::trace_id_for("net", 17);
+  sent.origin_rank = 0;
+
+  std::thread sender([&, send_channels = send_channels] {
+    std::optional<obs::ScopedTraceContext> scoped;
+    if (with_context) scoped.emplace(sent);
+    if (send_channels == 0) {
+      ASSERT_TRUE(stream_send(world->comm(0), 1, kTag, payload,
+                              {.chunk_bytes = 8 * 1024})
+                      .is_ok());
+    } else {
+      StripedStreamOptions options;
+      options.stream.chunk_bytes = 8 * 1024;
+      options.num_channels = send_channels;
+      ASSERT_TRUE(
+          striped_stream_send(world->comm(0), 1, kTag, payload, options).is_ok());
+    }
+  });
+
+  obs::TraceContext received_context;
+  Result<std::vector<std::byte>> received = Status::ok();
+  if (recv_channels == 0) {
+    StreamOptions options;
+    options.context_out = &received_context;
+    received = stream_recv(world->comm(1), 0, kTag, options);
+  } else {
+    StripedStreamOptions options;
+    options.num_channels = recv_channels;
+    options.stream.context_out = &received_context;
+    received = striped_stream_recv(world->comm(1), 0, kTag, options);
+  }
+  sender.join();
+  obs::set_context_armed(false);
+
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+  EXPECT_EQ(received_context.valid(), with_context);
+  if (with_context) {
+    EXPECT_EQ(received_context.trace_id, sent.trace_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SenderByReceiver, StripedInterop,
+    ::testing::Combine(::testing::Values(0, 1, 2, 4, 8),
+                       ::testing::Values(0, 1, 2, 4, 8),
+                       ::testing::Bool()),
+    [](const auto& interop) {
+      auto side = [](int channels) {
+        return channels == 0 ? std::string("plain")
+                             : "striped" + std::to_string(channels);
+      };
+      return side(std::get<0>(interop.param)) + "_to_" +
+             side(std::get<1>(interop.param)) +
+             (std::get<2>(interop.param) ? "_ctx" : "_noctx");
+    });
+
+TEST(ReliableStripedStream, PerLaneRetryAbsorbsFailedSends) {
+  // Fail two sends outright: the lane-level retry must re-issue just
+  // those chunks without tearing down the stream or re-striping.
+  auto world = CommWorld::create(2);
+  const auto payload = random_payload(64 * 1024, 43);
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(7)
+          .add(fault::FaultRule::fail_nth("net.send", 3))
+          .add(fault::FaultRule::fail_nth("net.send", 6))};
+
+  ReliableStripedStreamOptions options;
+  options.striped.stream.chunk_bytes = 4 * 1024;
+  options.striped.stream.timeout_seconds = 1.0;
+  options.striped.num_channels = 4;
+  options.ack_timeout_seconds = 1.0;
+
+  int attempts = 0;
+  Status sent;
+  std::thread sender([&] {
+    sent = reliable_striped_stream_send(world->comm(0), 1, kTag, payload,
+                                        options, &attempts);
+  });
+  auto received =
+      reliable_striped_stream_recv(world->comm(1), 0, kTag, options);
+  sender.join();
+  ASSERT_TRUE(sent.is_ok()) << sent.to_string();
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+  // Lane retries absorbed both failures: no whole-stream resend needed.
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(fault::FaultInjector::global().report().failures, 2u);
+}
+
+TEST(ReliableStripedStream, SilentChunkDropTriggersWholeStreamResend) {
+  // A dropped message is invisible to the sender (send "succeeds"), so
+  // lane retry can't help; the receiver times out, nacks, and the second
+  // attempt — same stream id — redelivers. Duplicate chunks from the
+  // first attempt are absorbed by index-based reassembly.
+  auto world = CommWorld::create(2);
+  const auto payload = random_payload(32 * 1024, 47);
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(9).add(fault::FaultRule::drop_nth("net.send", 4))};
+
+  ReliableStripedStreamOptions options;
+  options.striped.stream.chunk_bytes = 4 * 1024;
+  options.striped.stream.timeout_seconds = 0.2;
+  options.striped.num_channels = 2;
+  options.ack_timeout_seconds = 0.4;
+  options.retry = RetryPolicy{.max_attempts = 4,
+                              .initial_backoff_seconds = 0.001,
+                              .max_backoff_seconds = 0.002,
+                              .backoff_multiplier = 2.0,
+                              .jitter = 0.0};
+
+  int attempts = 0;
+  Status sent;
+  std::thread sender([&] {
+    sent = reliable_striped_stream_send(world->comm(0), 1, kTag, payload,
+                                        options, &attempts);
+  });
+  auto received =
+      reliable_striped_stream_recv(world->comm(1), 0, kTag, options);
+  sender.join();
+  ASSERT_TRUE(sent.is_ok()) << sent.to_string();
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received.value(), payload);
+  EXPECT_GE(attempts, 2);
+  EXPECT_EQ(fault::FaultInjector::global().report().drops, 1u);
 }
 
 TEST(ReliableStream, SurvivesSingleChunkDrop) {
