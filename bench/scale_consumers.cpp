@@ -1,18 +1,232 @@
 // Scaling study (paper §6 outlook): delivering one TC1 update to M
 // consumers over each broadcast topology and link type. Reports when the
 // last consumer goes live and how long the producer's NIC stays busy.
+//
+// `--smoke [--out F] [--baseline B]` instead drives the REAL engine
+// through the soak harness: a live producer publishing to 1/2/4
+// consumers serving traffic (per-fleet-size p99 update latency from the
+// version ledger), plus a crash-and-recover soak for the recovery-time
+// stat. Results land in BENCH_soak.json; every soak must end in a PASS
+// fleet verdict with zero torn serves, and with `--baseline` the p99 and
+// recovery numbers are record-then-gated against the stored run.
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "viper/common/units.hpp"
 #include "viper/parallel/broadcast.hpp"
 #include "viper/parallel/sharding.hpp"
+#include "viper/sim/scenario.hpp"
+#include "viper/sim/soak.hpp"
 #include "viper/tensor/architectures.hpp"
 
 using namespace viper;
 using namespace viper::parallel;
 
-int main() {
+namespace {
+
+constexpr int kFleetSizes[] = {1, 2, 4};
+
+struct SoakSmokeReport {
+  /// Ledger p99 update latency with 1 / 2 / 4 consumers on live traffic.
+  double p99_seconds[3] = {0, 0, 0};
+  double requests_total = 0.0;
+  double torn_serves = 0.0;
+  /// Mid-flush crash, journal recovery, fresh rank — wall seconds.
+  double recovery_seconds = 0.0;
+  bool all_passed = false;
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\n";
+    for (std::size_t i = 0; i < 3; ++i) {
+      out << "  \"p99_seconds_c" << kFleetSizes[i] << "\": " << p99_seconds[i]
+          << ",\n";
+    }
+    out << "  \"requests_total\": " << requests_total << ",\n"
+        << "  \"torn_serves\": " << torn_serves << ",\n"
+        << "  \"recovery_seconds\": " << recovery_seconds << ",\n"
+        << "  \"all_passed\": " << (all_passed ? 1 : 0) << "\n}\n";
+    return out.str();
+  }
+};
+
+/// Pull `"key": <number>` out of a flat JSON document; NaN if absent.
+double json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+sim::ScenarioSpec scaling_spec(int consumers) {
+  sim::ScenarioSpec spec;
+  spec.name = "bench-scale-c" + std::to_string(consumers);
+  spec.seed = 4242;
+  spec.width_scale = 1.0 / 64.0;
+  spec.producers.resize(1);
+  spec.producers[0].app = AppModel::kTc1;
+  spec.producers[0].strategy = core::Strategy::kHostAsync;
+  spec.producers[0].versions = 8;
+  spec.producers[0].save_gap_ms = 2.0;
+  spec.consumers.resize(static_cast<std::size_t>(consumers));
+  spec.traffic.think_ms = 0.1;
+  spec.slo.max_p99_update_latency_seconds = 10.0;
+  spec.slo.max_rpo_seconds = 60.0;
+  spec.slo.max_recovery_seconds = 10.0;
+  return spec;
+}
+
+sim::ScenarioSpec recovery_spec() {
+  sim::ScenarioSpec spec = scaling_spec(2);
+  spec.name = "bench-recovery";
+  spec.producers[0].strategy = core::Strategy::kViperPfs;
+  sim::SoakEvent crash;
+  crash.kind = sim::SoakEventKind::kCrashProducer;
+  crash.producer = 0;
+  crash.at_version = 4;
+  crash.crash_site = "durability.flush.begin";
+  spec.events.push_back(crash);
+  return spec;
+}
+
+int run_soak_smoke(const std::string& out_path,
+                   const std::string& baseline_path) {
+  SoakSmokeReport report;
+  report.all_passed = true;
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto result = sim::SoakRunner(scaling_spec(kFleetSizes[i])).run();
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "FAIL: scaling soak c%d: %s\n", kFleetSizes[i],
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    const sim::SoakResult& soak = result.value();
+    report.all_passed = report.all_passed && soak.pass();
+    const obs::SloReport* per_model =
+        soak.verdict.per_model.empty() ? nullptr
+                                       : &soak.verdict.per_model[0].second;
+    const obs::SloCheck* p99 =
+        per_model ? per_model->check("p99_update_latency") : nullptr;
+    report.p99_seconds[i] = p99 ? p99->observed : -1.0;
+    for (const sim::ConsumerStats& stats : soak.consumers) {
+      report.requests_total += static_cast<double>(stats.requests);
+      report.torn_serves += static_cast<double>(stats.torn_serves);
+    }
+  }
+
+  auto recovery = sim::SoakRunner(recovery_spec()).run();
+  if (!recovery.is_ok()) {
+    std::fprintf(stderr, "FAIL: recovery soak: %s\n",
+                 recovery.status().to_string().c_str());
+    return 1;
+  }
+  report.all_passed = report.all_passed && recovery.value().pass();
+  const obs::SloCheck* rec =
+      recovery.value().verdict.fleet_check("recovery_time");
+  report.recovery_seconds = rec ? rec->observed : -1.0;
+
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+  }
+  std::printf("soak p99 ms: c1 %.2f, c2 %.2f, c4 %.2f; recovery %.2f ms; "
+              "%.0f requests, %.0f torn (%s)\n",
+              report.p99_seconds[0] * 1e3, report.p99_seconds[1] * 1e3,
+              report.p99_seconds[2] * 1e3, report.recovery_seconds * 1e3,
+              report.requests_total, report.torn_serves, out_path.c_str());
+
+  if (!report.all_passed) {
+    std::fprintf(stderr, "FAIL: a soak ended in a FAIL fleet verdict\n");
+    return 1;
+  }
+  if (report.torn_serves > 0.0) {
+    std::fprintf(stderr, "FAIL: %.0f torn serves (integrity bar: 0)\n",
+                 report.torn_serves);
+    return 1;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (!(report.p99_seconds[i] > 0.0) || report.p99_seconds[i] > 1.0) {
+      std::fprintf(stderr, "FAIL: p99 at %d consumers is %.3fs "
+                           "(sanity bound: (0, 1s])\n",
+                   kFleetSizes[i], report.p99_seconds[i]);
+      return 1;
+    }
+  }
+  if (!(report.recovery_seconds >= 0.0) || report.recovery_seconds > 5.0) {
+    std::fprintf(stderr, "FAIL: recovery took %.3fs (sanity bound: 5s)\n",
+                 report.recovery_seconds);
+    return 1;
+  }
+
+  if (baseline_path.empty()) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot record baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+    std::printf("recorded baseline %s\n", baseline_path.c_str());
+    return 0;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const double base_p99 = json_number(buffer.str(), "p99_seconds_c4");
+  const double base_recovery = json_number(buffer.str(), "recovery_seconds");
+  if (std::isnan(base_p99) || base_p99 <= 0.0) {
+    std::fprintf(stderr, "FAIL: baseline %s has no p99_seconds_c4\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  // Latency on a shared CI box is noisy; the gate catches order-of-
+  // magnitude regressions, not jitter.
+  if (report.p99_seconds[2] > 10.0 * base_p99) {
+    std::fprintf(stderr, "FAIL: p99 at 4 consumers %.1f ms is >10x the "
+                         "recorded baseline %.1f ms\n",
+                 report.p99_seconds[2] * 1e3, base_p99 * 1e3);
+    return 1;
+  }
+  if (!std::isnan(base_recovery) && base_recovery > 0.0 &&
+      report.recovery_seconds > 10.0 * base_recovery) {
+    std::fprintf(stderr, "FAIL: recovery %.1f ms is >10x the recorded "
+                         "baseline %.1f ms\n",
+                 report.recovery_seconds * 1e3, base_recovery * 1e3);
+    return 1;
+  }
+  std::printf("baseline OK (p99@c4 %.1f ms vs recorded %.1f ms)\n",
+              report.p99_seconds[2] * 1e3, base_p99 * 1e3);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_soak.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  if (smoke) return run_soak_smoke(out_path, baseline_path);
   constexpr std::uint64_t kBytes = 4'700'000'000ULL;  // TC1
 
   for (const net::LinkModel& link :

@@ -68,6 +68,51 @@ echo "=== perf smoke: consumer data plane (sharded decode + prefetch overlap) ==
 echo "=== perf smoke: disarmed observability probes under the 50 ns budget ==="
 ./build/bench/micro_obs --smoke --out build/BENCH_obs.json
 
+echo "=== perf smoke: consumer-scaling soak (real engine, p99 + recovery) ==="
+# Real soaks at 1/2/4 consumers plus a crash-recovery run: every fleet
+# verdict must PASS with zero torn serves; p99/recovery are gated against
+# the recorded baseline (first run records it).
+./build/bench/scale_consumers --smoke \
+  --out build/BENCH_soak.json \
+  --baseline build/BENCH_soak.baseline.json
+
+echo "=== soak smoke: seeded chaos fleet, replay-identical schedule ==="
+# A 2x4-rank heterogeneous fleet under chaos with a partition+heal, a
+# mid-flush crash+recovery, and a consumer restart must end in a PASS
+# verdict — and two equal-seed runs must produce byte-identical fault
+# schedules and executed event logs.
+SOAK_SCENARIO="$(mktemp)"
+cat > "$SOAK_SCENARIO" <<'EOF'
+name=ci-soak
+seed=1234
+chaos=true
+producers=2
+producer.0.app=tc1
+producer.0.strategy=host-async
+producer.0.versions=6
+producer.1.app=nt3a
+producer.1.strategy=viper-pfs
+producer.1.versions=6
+consumers=4
+traffic.think_ms=0.1
+slo.p99=10
+slo.rpo=60
+slo.recovery=10
+event.partition=0@2:0
+event.heal=0@4:0
+event.crash_producer=1@3:durability.flush.begin
+event.restart_consumer=0@5:2
+EOF
+./build/tools/viper_cli soak --scenario "$SOAK_SCENARIO" \
+  --events build/soak_events_a.txt --json build/soak_verdict.json
+grep -q '"pass": true' build/soak_verdict.json
+grep -q 'crash_producer' build/soak_events_a.txt
+grep -q 'recovered producer=1' build/soak_events_a.txt
+./build/tools/viper_cli soak --scenario "$SOAK_SCENARIO" \
+  --events build/soak_events_b.txt >/dev/null
+cmp build/soak_events_a.txt build/soak_events_b.txt
+rm -f "$SOAK_SCENARIO"
+
 echo "=== slo smoke: short coupled run must end with a passing verdict ==="
 ./build/tools/viper_cli slo --app tc1 --iters 60 --interval 20 \
   --model net --slo-p99 30 --json build/slo_verdict.json
@@ -106,7 +151,7 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j \
   --target obs_test obs_e2e_test stress_test fault_injection_test \
            durability_test buffer_pool_test thread_pool_test \
-           parallel_transfer_test consumer_parallel_test >/dev/null
+           parallel_transfer_test consumer_parallel_test soak_test >/dev/null
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/obs_e2e_test
 ./build-tsan/tests/stress_test
@@ -116,5 +161,6 @@ cmake --build build-tsan -j \
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/parallel_transfer_test
 ./build-tsan/tests/consumer_parallel_test
+./build-tsan/tests/soak_test
 
 echo "=== verify OK ==="

@@ -77,6 +77,14 @@ InferenceConsumer::~InferenceConsumer() { stop(); }
 void InferenceConsumer::start() {
   if (started_) return;
   if (options_.warm_start && buffer_.active() == nullptr) warm_start_from_pfs();
+  // Rebuild the prefetch worker on every (re)start: a SerialExecutor
+  // that has been shut down refuses tasks forever, and a restarted
+  // consumer must regain its background apply path. The resident
+  // version_ survives the restart, so the peek-first early-out in
+  // apply_latest keeps a replayed notification from double-applying.
+  if (options_.prefetch && prefetcher_ == nullptr) {
+    prefetcher_ = std::make_unique<SerialExecutor>();
+  }
   started_ = true;
   thread_.start([this](const std::atomic<bool>& stop_flag) { run(stop_flag); });
 }
@@ -107,9 +115,15 @@ void InferenceConsumer::stop() {
   // The update loop re-checks its stop flag every 50 ms, so a plain join
   // suffices even when no more events arrive. The prefetch backlog then
   // runs to completion so a queued newest version still lands — stop
-  // never leaves the consumer behind the bus.
+  // never leaves the consumer behind the bus, and every pooled blob a
+  // queued task referenced is released by the task itself (run, not
+  // dropped). The executor is destroyed afterwards; start() builds a
+  // fresh one, which is what makes stop() -> start() a real restart.
   thread_.stop_and_join();
-  prefetcher_.shutdown();
+  if (prefetcher_) {
+    prefetcher_->shutdown();
+    prefetcher_.reset();
+  }
 }
 
 void InferenceConsumer::run(const std::atomic<bool>& stop_flag) {
@@ -156,7 +170,7 @@ void InferenceConsumer::run(const std::atomic<bool>& stop_flag) {
 }
 
 void InferenceConsumer::schedule_apply(const obs::TraceContext& context) {
-  if (!options_.prefetch) {
+  if (!options_.prefetch || prefetcher_ == nullptr) {
     std::optional<obs::ScopedTraceContext> scoped;
     if (context.valid() && obs::context_armed()) scoped.emplace(context);
     apply_latest(/*prefetched=*/false);
@@ -164,7 +178,7 @@ void InferenceConsumer::schedule_apply(const obs::TraceContext& context) {
   }
   prefetch_started_.fetch_add(1, std::memory_order_relaxed);
   consumer_metrics().prefetch_started.add();
-  const bool queued = prefetcher_.submit([this, context] {
+  const bool queued = prefetcher_->submit([this, context] {
     const Stopwatch watch;
     std::optional<obs::ScopedTraceContext> scoped;
     if (context.valid() && obs::context_armed()) scoped.emplace(context);

@@ -513,9 +513,19 @@ Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
   auto journal = std::move(journal_result).value();
   auto& dmetrics = durability::durability_metrics();
 
+  // Crash-probe sites carry a "/<model>/v<version>" suffix so a schedule
+  // can target one exact flush ("durability.flush.after-blob/net/v4")
+  // deterministically regardless of flusher-thread interleaving, while
+  // plain substring rules ("durability.flush.after-blob") keep matching
+  // every flush as before.
+  const auto crash_site = [&](const char* point) {
+    return std::string(point) + "/" + metadata.name + "/v" +
+           std::to_string(metadata.version);
+  };
+
   // Crash point: before anything is recorded. The version simply never
   // happened; recovery has nothing to do.
-  if (fault::armed() && fault::crash_point("durability.flush.begin")) {
+  if (fault::armed() && fault::crash_point(crash_site("durability.flush.begin"))) {
     dmetrics.flush_aborts.add();
     return fault::crash_status("durability.flush.begin");
   }
@@ -549,7 +559,8 @@ Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
 
   // Crash point: blob durable, COMMIT not yet recorded. Recovery verifies
   // the blob against the INTENT's CRC and completes the flush.
-  if (fault::armed() && fault::crash_point("durability.flush.after-blob")) {
+  if (fault::armed() &&
+      fault::crash_point(crash_site("durability.flush.after-blob"))) {
     dmetrics.flush_aborts.add();
     return fault::crash_status("durability.flush.after-blob");
   }
@@ -562,7 +573,7 @@ Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
   }
 
   // Crash point: after COMMIT — the version must survive the restart.
-  if (fault::armed() && fault::crash_point("durability.flush.end")) {
+  if (fault::armed() && fault::crash_point(crash_site("durability.flush.end"))) {
     dmetrics.flush_aborts.add();
     return fault::crash_status("durability.flush.end");
   }

@@ -77,9 +77,14 @@ class InferenceConsumer {
   InferenceConsumer(const InferenceConsumer&) = delete;
   InferenceConsumer& operator=(const InferenceConsumer&) = delete;
 
-  /// Begin listening for updates (idempotent).
+  /// Begin listening for updates (idempotent). A stopped consumer can be
+  /// started again: the prefetch worker is rebuilt (a SerialExecutor is
+  /// not restartable after shutdown) and the resident version survives,
+  /// so a restart never double-applies a version it already serves.
   void start();
-  /// Stop the update thread.
+  /// Stop the update thread, then drain the prefetch backlog to
+  /// completion — a queued newest version still lands, and no pooled
+  /// blob is left referenced by an abandoned task.
   void stop();
 
   [[nodiscard]] std::shared_ptr<const Model> active_model() const {
@@ -133,7 +138,10 @@ class InferenceConsumer {
   DoubleBuffer buffer_;
   kv::Subscription subscription_;
   WorkerThread thread_;
-  SerialExecutor prefetcher_;  ///< background fetch+decode+install worker
+  /// Background fetch+decode+install worker. Owned through a pointer so
+  /// stop()/start() can rebuild it: shutdown() drains the backlog and
+  /// joins, and a shut-down executor refuses new tasks forever.
+  std::unique_ptr<SerialExecutor> prefetcher_;
   std::atomic<std::uint64_t> updates_{0};
   std::atomic<std::uint64_t> version_{0};
   std::atomic<std::uint64_t> resyncs_{0};

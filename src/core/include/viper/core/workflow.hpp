@@ -4,8 +4,14 @@
 // This is the ten-line version of what examples/candle_tc1_workflow.cpp
 // wires by hand, for applications that just want "couple my trainer to
 // my inference server through Viper".
+//
+// The per-rank producer assembly (handler + transfer-server thread +
+// crash-safe teardown) is factored into ProducerRank so the soak
+// harness can run N of them — and kill/rebuild one mid-run — without
+// re-wiring the stack by hand.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <thread>
 
@@ -15,6 +21,42 @@
 #include "viper/train/trainer_sim.hpp"
 
 namespace viper::core {
+
+/// One producer rank: a ModelWeightsHandler plus the thread serving its
+/// transfer requests on `comm`. Construction starts the server;
+/// shutdown() (idempotent, also run by the destructor) drains in-flight
+/// saves and stops it. Killing and re-constructing a ProducerRank on the
+/// same comm rank is the soak harness's model of a rank crash/restart:
+/// the memory tiers die with the handler, and the replacement recovers
+/// from the manifest journal (recover_producer) before serving again.
+class ProducerRank {
+ public:
+  ProducerRank(std::shared_ptr<SharedServices> services, net::Comm comm,
+               ModelWeightsHandler::Options options);
+  ~ProducerRank();
+
+  ProducerRank(const ProducerRank&) = delete;
+  ProducerRank& operator=(const ProducerRank&) = delete;
+
+  [[nodiscard]] ModelWeightsHandler& handler() noexcept { return *handler_; }
+  [[nodiscard]] std::shared_ptr<ModelWeightsHandler> handler_ptr() const {
+    return handler_;
+  }
+  [[nodiscard]] int rank() const noexcept { return comm_.rank(); }
+
+  /// Drain in-flight saves/flushes and stop the transfer server. The
+  /// shutdown message crosses the (possibly fault-injected) comm layer,
+  /// so it is resent until the server thread confirms exit — a dropped
+  /// kTagShutdown must not hang a mid-chaos teardown.
+  void shutdown();
+
+ private:
+  net::Comm comm_;
+  std::shared_ptr<ModelWeightsHandler> handler_;
+  std::thread server_;
+  std::atomic<bool> server_exited_{false};
+  bool shut_down_ = false;
+};
 
 class LiveWorkflow {
  public:
@@ -51,7 +93,9 @@ class LiveWorkflow {
 
   [[nodiscard]] train::TrainerSim& trainer() noexcept { return *trainer_; }
   [[nodiscard]] InferenceConsumer& consumer() noexcept { return *consumer_; }
-  [[nodiscard]] ModelWeightsHandler& handler() noexcept { return *handler_; }
+  [[nodiscard]] ModelWeightsHandler& handler() noexcept {
+    return producer_->handler();
+  }
   [[nodiscard]] SharedServices& services() noexcept { return *services_; }
 
  private:
@@ -60,11 +104,10 @@ class LiveWorkflow {
   Options options_;
   std::shared_ptr<SharedServices> services_;
   std::shared_ptr<net::CommWorld> world_;
-  std::shared_ptr<ModelWeightsHandler> handler_;
+  std::unique_ptr<ProducerRank> producer_;
   std::unique_ptr<train::TrainerSim> trainer_;
   std::unique_ptr<CheckpointCallback> callback_;
   std::unique_ptr<InferenceConsumer> consumer_;
-  std::thread transfer_server_;
 };
 
 }  // namespace viper::core

@@ -9,6 +9,36 @@
 
 namespace viper::core {
 
+ProducerRank::ProducerRank(std::shared_ptr<SharedServices> services,
+                           net::Comm comm,
+                           ModelWeightsHandler::Options options)
+    : comm_(std::move(comm)),
+      handler_(std::make_shared<ModelWeightsHandler>(std::move(services),
+                                                     options)) {
+  server_ = std::thread([this] {
+    handler_->serve_transfers(comm_);
+    server_exited_.store(true, std::memory_order_release);
+  });
+}
+
+ProducerRank::~ProducerRank() { shutdown(); }
+
+void ProducerRank::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  handler_->drain();
+  // Resend until the server confirms exit: with a fault plan armed the
+  // self-addressed kTagShutdown can be dropped like any other message
+  // (probabilistic rules pass eventually; partitions are rank-pair
+  // scoped, and a rank is never partitioned from itself). A closed
+  // world also releases the server, which sets the flag on its way out.
+  while (!server_exited_.load(std::memory_order_acquire)) {
+    (void)ModelWeightsHandler::stop_transfer_server(comm_, comm_.rank());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (server_.joinable()) server_.join();
+}
+
 Result<std::unique_ptr<LiveWorkflow>> LiveWorkflow::create(Options options) {
   if (options.model_name.empty()) {
     return invalid_argument("workflow needs a model name");
@@ -20,12 +50,8 @@ Result<std::unique_ptr<LiveWorkflow>> LiveWorkflow::create(Options options) {
 
   ModelWeightsHandler::Options handler_options;
   handler_options.strategy = options.strategy;
-  workflow->handler_ =
-      std::make_shared<ModelWeightsHandler>(workflow->services_, handler_options);
-  workflow->transfer_server_ = std::thread(
-      [handler = workflow->handler_, comm = workflow->world_->comm(0)] {
-        handler->serve_transfers(comm);
-      });
+  workflow->producer_ = std::make_unique<ProducerRank>(
+      workflow->services_, workflow->world_->comm(0), handler_options);
 
   auto model = build_app_model(options.app, options.architecture);
   if (!model.is_ok()) return model.status();
@@ -34,8 +60,8 @@ Result<std::unique_ptr<LiveWorkflow>> LiveWorkflow::create(Options options) {
       train::TrainerSim::Options{.seed = options.seed});
 
   workflow->callback_ = std::make_unique<CheckpointCallback>(
-      workflow->handler_, CheckpointCallback::Options{options.model_name,
-                                                      options.schedule});
+      workflow->producer_->handler_ptr(),
+      CheckpointCallback::Options{options.model_name, options.schedule});
   workflow->callback_->attach(*workflow->trainer_);
 
   InferenceConsumer::Options consumer_options;
@@ -50,11 +76,7 @@ Result<std::unique_ptr<LiveWorkflow>> LiveWorkflow::create(Options options) {
 
 LiveWorkflow::~LiveWorkflow() {
   if (consumer_) consumer_->stop();
-  if (handler_) handler_->drain();
-  if (transfer_server_.joinable()) {
-    (void)ModelWeightsHandler::stop_transfer_server(world_->comm(1), 0);
-    transfer_server_.join();
-  }
+  if (producer_) producer_->shutdown();
 }
 
 Result<LiveWorkflow::Report> LiveWorkflow::run(std::int64_t iterations,
@@ -67,12 +89,12 @@ Result<LiveWorkflow::Report> LiveWorkflow::run(std::int64_t iterations,
   }
   {
     auto drain_span = obs::Tracer::global().span("drain", "workflow");
-    handler_->drain();
+    producer_->handler().drain();
   }
 
   Report report;
   report.checkpoints = callback_->checkpoints_taken();
-  report.modeled_stall_seconds = handler_->total_stall_seconds();
+  report.modeled_stall_seconds = producer_->handler().total_stall_seconds();
 
   if (report.checkpoints > 0) {
     const std::uint64_t last_version =

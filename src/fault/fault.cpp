@@ -16,6 +16,7 @@ struct FaultMetrics {
   obs::Counter& failures;
   obs::Counter& crashes;
   obs::Counter& injections;
+  obs::Counter& heals;
 };
 
 FaultMetrics& fault_metrics() {
@@ -26,6 +27,7 @@ FaultMetrics& fault_metrics() {
       obs::MetricsRegistry::global().counter("viper.fault.failures"),
       obs::MetricsRegistry::global().counter("viper.fault.crashes"),
       obs::MetricsRegistry::global().counter("viper.fault.injections"),
+      obs::MetricsRegistry::global().counter("viper.fault.heals"),
   };
   return metrics;
 }
@@ -132,13 +134,61 @@ FaultInjector& FaultInjector::global() {
   return injector;
 }
 
+double FaultInjector::steady_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void FaultInjector::arm(FaultPlan plan) {
   std::lock_guard<std::mutex> lock(mutex_);
+  const double now = steady_seconds();
   states_.assign(plan.rules_.size(), RuleState{});
+  for (std::size_t i = 0; i < plan.rules_.size(); ++i) {
+    if (plan.rules_[i].expire_after_seconds > 0.0) {
+      states_[i].expires_at = now + plan.rules_[i].expire_after_seconds;
+    }
+  }
   rng_ = Rng(plan.seed());
   report_ = InjectionReport{};
   plan_ = std::move(plan);
   armed_.store(true, std::memory_order_relaxed);
+}
+
+bool FaultInjector::append_rule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!plan_.has_value()) return false;
+  RuleState state;
+  if (rule.expire_after_seconds > 0.0) {
+    state.expires_at = steady_seconds() + rule.expire_after_seconds;
+  }
+  plan_->rules_.push_back(std::move(rule));
+  states_.push_back(state);
+  return true;
+}
+
+std::size_t FaultInjector::heal(std::string_view site, int src, int dst) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!plan_.has_value()) return 0;
+  std::size_t healed = 0;
+  for (std::size_t i = 0; i < plan_->rules_.size(); ++i) {
+    const FaultRule& rule = plan_->rules_[i];
+    RuleState& state = states_[i];
+    if (state.healed) continue;
+    // Substring match in either direction: heal("net.send") heals a
+    // partition rule (site "net.send"), and heal("durability.flush")
+    // heals a rule scoped to a longer probe name.
+    const bool site_match = rule.site.find(site) != std::string::npos ||
+                            site.find(rule.site) != std::string_view::npos;
+    if (!site_match) continue;
+    if (src != kAnyRank && rule.src != src) continue;
+    if (dst != kAnyRank && rule.dst != dst) continue;
+    state.healed = true;
+    ++healed;
+    ++report_.heals;
+    fault_metrics().heals.add();
+  }
+  return healed;
 }
 
 void FaultInjector::disarm() {
@@ -153,6 +203,7 @@ Action FaultInjector::on_site(std::string_view site, int src, int dst) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!plan_.has_value()) return action;
   bool fired = false;
+  double now = -1.0;  // resolved lazily, once, when an expiring rule matches
   for (std::size_t i = 0; i < plan_->rules_.size(); ++i) {
     const FaultRule& rule = plan_->rules_[i];
     RuleState& state = states_[i];
@@ -160,6 +211,18 @@ Action FaultInjector::on_site(std::string_view site, int src, int dst) {
     if (rule.src != kAnyRank && rule.src != src) continue;
     if (rule.dst != kAnyRank && rule.dst != dst) continue;
     ++state.hits;
+    if (state.healed) continue;  // healed rules still count hits, never fire
+    if (state.expires_at > 0.0) {
+      if (now < 0.0) now = steady_seconds();
+      if (now >= state.expires_at) {
+        // Timed expiry is a self-heal: disable the rule and account it
+        // exactly like an explicit heal().
+        state.healed = true;
+        ++report_.heals;
+        fault_metrics().heals.add();
+        continue;
+      }
+    }
     if (fired) continue;  // hits still advance for later windowed rules
     if (state.hits <= rule.after_hits) continue;
     if (state.injections >= rule.max_injections) continue;

@@ -63,6 +63,13 @@ struct FaultRule {
   std::string fail_message = "injected fault";
   int src = kAnyRank;
   int dst = kAnyRank;
+  /// Timed expiry: when > 0, the rule stops firing once this many
+  /// wall-clock seconds have elapsed since the plan was armed (or the
+  /// rule was appended). The expiry is accounted as a heal — a
+  /// partition that ages out and a partition healed by a schedule look
+  /// the same in `viper.fault.heals`. Hit-count windows (`after_hits` +
+  /// `max_injections`) stay the deterministic alternative.
+  double expire_after_seconds = 0.0;
 
   // Convenience constructors for the common shapes.
   [[nodiscard]] static FaultRule drop(std::string site, double probability = 1.0);
@@ -120,6 +127,9 @@ class FaultPlan {
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] std::size_t num_rules() const noexcept { return rules_.size(); }
+  [[nodiscard]] std::span<const FaultRule> rules() const noexcept {
+    return rules_;
+  }
 
  private:
   friend class FaultInjector;
@@ -134,6 +144,9 @@ struct InjectionReport {
   std::uint64_t delays = 0;
   std::uint64_t failures = 0;
   std::uint64_t crashes = 0;
+  /// Rules disabled by heal() or timed expiry (not faults, so not part
+  /// of total()).
+  std::uint64_t heals = 0;
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     return drops + corruptions + delays + failures + crashes;
@@ -162,6 +175,22 @@ class FaultInjector {
   [[nodiscard]] Action on_site(std::string_view site, int src = kAnyRank,
                                int dst = kAnyRank);
 
+  /// Append a rule to the armed plan without resetting rule state, the
+  /// report, or the decision Rng — how a running scenario injects a
+  /// partition at a schedule point without re-seeding the injector.
+  /// Returns false when no plan is armed.
+  bool append_rule(FaultRule rule);
+
+  /// Heal (permanently disable) every still-active rule whose site
+  /// pattern matches `site` (substring in either direction) and whose
+  /// src/dst filters equal the given ranks (kAnyRank matches any
+  /// filter). The heal path for scheduled partitions: the partition
+  /// rules stay in the plan — and in the rendered schedule — but stop
+  /// firing. Each healed rule is tallied in the report and under
+  /// `viper.fault.heals`. Returns how many rules were healed.
+  std::size_t heal(std::string_view site, int src = kAnyRank,
+                   int dst = kAnyRank);
+
   /// Status-only probe: applies any injected delay inline, then returns
   /// the injected failure (drop/corrupt at a non-message site also
   /// surface as failures — there is no payload to lose). OK when
@@ -188,7 +217,12 @@ class FaultInjector {
   struct RuleState {
     std::uint64_t hits = 0;
     std::uint64_t injections = 0;
+    bool healed = false;          ///< disabled by heal() or timed expiry
+    double expires_at = 0.0;      ///< armed-clock deadline; 0 = never
   };
+
+  /// Seconds since an arbitrary epoch on the steady clock (timed expiry).
+  [[nodiscard]] static double steady_seconds() noexcept;
 
   static std::atomic<bool> armed_;
 

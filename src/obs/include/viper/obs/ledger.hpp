@@ -114,6 +114,16 @@ class VersionLedger {
   std::size_t close_interrupted(const std::string& model,
                                 const std::string& reason);
 
+  /// Close every open timeline of `model` with version < `head` as
+  /// interrupted. Once a later version has committed, no consumer will
+  /// ever swap an older one (consumers only apply the newest), so a
+  /// version that was superseded before any swap — dropped notification,
+  /// burst coalescing, failed flush — is a closed chapter, not an
+  /// accounting leak. Timelines at or above `head` are left alone: those
+  /// still open at end of run are real leaks the fleet verdict must see.
+  std::size_t close_superseded(const std::string& model, std::uint64_t head,
+                               const std::string& reason);
+
   [[nodiscard]] std::optional<VersionTimeline> timeline(
       const std::string& model, std::uint64_t version) const;
   /// All timelines, ordered by (model, version).

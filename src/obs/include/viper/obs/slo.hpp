@@ -68,4 +68,49 @@ struct SloReport {
     const SloSpec& spec, std::span<const double> update_latencies,
     std::uint64_t corrupt_serves = 0);
 
+/// Fleet-level objectives: the same per-model budgets applied to every
+/// model in a heterogeneous fleet, plus fleet-wide invariants that only
+/// make sense over the aggregated per-rank timelines (no timeline left
+/// open, zero torn serves, recovery within budget).
+struct FleetSloSpec {
+  /// Per-model budgets; `budgets.model` is ignored — each fleet model
+  /// gets its own latency/RPO evaluation over its own timelines.
+  SloSpec budgets;
+  /// Fleet membership. Empty = every model present in the ledger.
+  std::vector<std::string> models;
+  /// Every timeline must end complete or closed-interrupted: a version
+  /// still "open" after the run means a crash/restart failed to close
+  /// its ledger entry.
+  bool require_timelines_closed = true;
+  /// Torn serves observed by the traffic plane (viper.soak.torn_serves);
+  /// the integrity bar is zero, like corrupt serves.
+  std::uint64_t max_torn_serves = 0;
+  /// Counter values at run start, subtracted before comparing against
+  /// the budgets — process-global counters accumulate across soaks in
+  /// one test binary, and a verdict must only judge its own run.
+  std::uint64_t corrupt_serves_baseline = 0;
+  std::uint64_t torn_serves_baseline = 0;
+};
+
+/// Per-model verdicts plus the fleet-wide checks; pass iff everything
+/// enabled passed.
+struct FleetSloReport {
+  bool pass = true;
+  std::vector<std::pair<std::string, SloReport>> per_model;
+  std::vector<SloCheck> fleet_checks;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] const SloCheck* fleet_check(std::string_view name) const;
+};
+
+/// Aggregate the per-rank ledgers (one process-global ledger stamped by
+/// every rank) into one fleet verdict: per-model p99 update latency and
+/// RPO from that model's timelines, fleet-wide corrupt/torn serves,
+/// recovery time (durability + soak recoveries), and the
+/// all-timelines-closed invariant.
+[[nodiscard]] FleetSloReport evaluate_fleet_slo(const FleetSloSpec& spec,
+                                                const VersionLedger& ledger,
+                                                const MetricsSnapshot& snapshot);
+
 }  // namespace viper::obs

@@ -99,6 +99,21 @@ std::size_t VersionLedger::close_interrupted(const std::string& model,
   return closed;
 }
 
+std::size_t VersionLedger::close_superseded(const std::string& model,
+                                            std::uint64_t head,
+                                            const std::string& reason) {
+  std::lock_guard lock(mutex_);
+  std::size_t closed = 0;
+  for (auto& [key, timeline] : timelines_) {
+    if (key.first != model || key.second >= head) continue;
+    if (timeline.complete() || timeline.interrupted) continue;
+    timeline.interrupted = true;
+    timeline.interrupted_reason = reason;
+    ++closed;
+  }
+  return closed;
+}
+
 std::optional<VersionTimeline> VersionLedger::timeline(
     const std::string& model, std::uint64_t version) const {
   std::lock_guard lock(mutex_);

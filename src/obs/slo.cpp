@@ -44,6 +44,46 @@ void finish(SloReport& report) {
   }
 }
 
+void append_check_json(std::string& out, const SloCheck& check) {
+  out += "{\"name\": \"" + check.name + "\", \"enabled\": ";
+  out += check.enabled ? "true" : "false";
+  out += ", \"pass\": ";
+  out += check.pass ? "true" : "false";
+  out += ", \"observed\": ";
+  append_double(out, check.observed);
+  out += ", \"limit\": ";
+  append_double(out, check.limit);
+  out += ", \"samples\": " + std::to_string(check.samples);
+  out += ", \"detail\": \"" + check.detail + "\"}";
+}
+
+void append_check_text(std::string& out, const SloCheck& check,
+                       const char* indent) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s%-24s %s observed=%.6g limit=%.6g%s%s\n",
+                indent, check.name.c_str(),
+                !check.enabled ? "SKIP" : (check.pass ? "PASS" : "FAIL"),
+                check.observed, check.limit, check.detail.empty() ? "" : "  ",
+                check.detail.c_str());
+  out += buf;
+}
+
+double p99_nearest_rank(std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  std::size_t rank = static_cast<std::size_t>(
+      0.99 * static_cast<double>(values.size()) + 0.999999);
+  if (rank == 0) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+std::uint64_t counted_since(const MetricsSnapshot& snapshot, const char* name,
+                            std::uint64_t baseline) {
+  const std::uint64_t total = snapshot.counter_value(name);
+  return total > baseline ? total - baseline : 0;
+}
+
 }  // namespace
 
 SloReport evaluate_slo(const SloSpec& spec, const VersionLedger& ledger,
@@ -138,18 +178,9 @@ std::string SloReport::to_json() const {
   out += ",\n  \"checks\": [";
   bool first = true;
   for (const SloCheck& check : checks) {
-    out += first ? "\n" : ",\n";
+    out += first ? "\n    " : ",\n    ";
     first = false;
-    out += "    {\"name\": \"" + check.name + "\", \"enabled\": ";
-    out += check.enabled ? "true" : "false";
-    out += ", \"pass\": ";
-    out += check.pass ? "true" : "false";
-    out += ", \"observed\": ";
-    append_double(out, check.observed);
-    out += ", \"limit\": ";
-    append_double(out, check.limit);
-    out += ", \"samples\": " + std::to_string(check.samples);
-    out += ", \"detail\": \"" + check.detail + "\"}";
+    append_check_json(out, check);
   }
   out += "\n  ]\n}\n";
   return out;
@@ -157,14 +188,188 @@ std::string SloReport::to_json() const {
 
 std::string SloReport::to_text() const {
   std::string out = pass ? "SLO verdict: PASS\n" : "SLO verdict: FAIL\n";
-  char buf[256];
-  for (const SloCheck& check : checks) {
-    std::snprintf(buf, sizeof(buf), "  %-24s %s observed=%.6g limit=%.6g%s%s\n",
-                  check.name.c_str(),
-                  !check.enabled ? "SKIP" : (check.pass ? "PASS" : "FAIL"),
-                  check.observed, check.limit,
-                  check.detail.empty() ? "" : "  ", check.detail.c_str());
-    out += buf;
+  for (const SloCheck& check : checks) append_check_text(out, check, "  ");
+  return out;
+}
+
+FleetSloReport evaluate_fleet_slo(const FleetSloSpec& spec,
+                                  const VersionLedger& ledger,
+                                  const MetricsSnapshot& snapshot) {
+  FleetSloReport report;
+  const std::vector<VersionTimeline> timelines = ledger.timelines();
+
+  // Fleet membership: explicit list, else every model the ledger saw
+  // (timelines() is (model, version)-sorted, so models come out sorted
+  // and the report order is deterministic).
+  std::vector<std::string> models = spec.models;
+  if (models.empty()) {
+    for (const VersionTimeline& timeline : timelines) {
+      if (models.empty() || models.back() != timeline.model) {
+        models.push_back(timeline.model);
+      }
+    }
+  }
+
+  // Per-model budgets: p99 update latency over that model's completed
+  // timelines (the ledger's windowed/lifetime histograms merge all
+  // models, which would let a fast model mask a slow one) plus RPO.
+  for (const std::string& model : models) {
+    SloReport model_report;
+    std::vector<double> latencies;
+    for (const VersionTimeline& timeline : timelines) {
+      if (timeline.model != model) continue;
+      const double latency = timeline.update_latency();
+      if (latency >= 0.0) latencies.push_back(latency);
+    }
+    const std::uint64_t samples = latencies.size();
+    model_report.checks.push_back(
+        latency_check(spec.budgets.max_p99_update_latency_seconds,
+                      p99_nearest_rank(latencies), samples, "ledger timelines"));
+    {
+      SloCheck check;
+      check.name = "rpo";
+      check.enabled = spec.budgets.max_rpo_seconds > 0.0;
+      check.limit = spec.budgets.max_rpo_seconds;
+      check.observed = ledger.max_flush_gap_seconds(model);
+      if (check.enabled) check.pass = check.observed <= check.limit;
+      check.detail = "max gap between durable flush commits";
+      model_report.checks.push_back(check);
+    }
+    finish(model_report);
+    if (!model_report.pass) report.pass = false;
+    report.per_model.emplace_back(model, std::move(model_report));
+  }
+
+  report.fleet_checks.push_back(corrupt_check(
+      spec.budgets, counted_since(snapshot, "viper.consumer.corrupt_serves",
+                                  spec.corrupt_serves_baseline)));
+
+  {
+    SloCheck check;
+    check.name = "torn_serves";
+    check.enabled = true;
+    check.limit = static_cast<double>(spec.max_torn_serves);
+    const std::uint64_t torn = counted_since(
+        snapshot, "viper.soak.torn_serves", spec.torn_serves_baseline);
+    check.observed = static_cast<double>(torn);
+    check.samples = torn;
+    check.pass = torn <= spec.max_torn_serves;
+    check.detail = "incomplete models observed by traffic";
+    report.fleet_checks.push_back(check);
+  }
+
+  {
+    // Recovery budget covers both restart paths: journal replay
+    // (viper.durability.recovery_seconds) and the soak harness's
+    // whole-rank kill/rebuild wall time (viper.soak.recovery_seconds).
+    SloCheck check;
+    check.name = "recovery_time";
+    check.enabled = spec.budgets.max_recovery_seconds > 0.0;
+    check.limit = spec.budgets.max_recovery_seconds;
+    for (const char* name :
+         {"viper.durability.recovery_seconds", "viper.soak.recovery_seconds"}) {
+      if (const HistogramSample* sample = snapshot.histogram_sample(name)) {
+        if (sample->count > 0 && sample->max > check.observed) {
+          check.observed = sample->max;
+        }
+        check.samples += sample->count;
+      }
+    }
+    if (check.enabled && check.samples > 0) {
+      check.pass = check.observed <= check.limit;
+    } else if (check.enabled) {
+      check.detail = "no recoveries observed";
+    }
+    report.fleet_checks.push_back(check);
+  }
+
+  {
+    // Every timeline must be closed: complete (swapped) or explicitly
+    // interrupted (recovery replay closed it). An open timeline means a
+    // crashed version's fate was never resolved — the soak's core
+    // crash/recovery invariant.
+    SloCheck check;
+    check.name = "timelines_closed";
+    check.enabled = spec.require_timelines_closed;
+    check.limit = 0.0;
+    std::uint64_t open = 0;
+    std::string first_open;
+    for (const VersionTimeline& timeline : timelines) {
+      if (!spec.models.empty() &&
+          std::find(spec.models.begin(), spec.models.end(), timeline.model) ==
+              spec.models.end()) {
+        continue;
+      }
+      ++check.samples;
+      if (timeline.complete() || timeline.interrupted) continue;
+      ++open;
+      if (first_open.empty()) {
+        first_open = timeline.model + "/v" + std::to_string(timeline.version);
+      }
+    }
+    check.observed = static_cast<double>(open);
+    if (check.enabled) check.pass = open == 0;
+    check.detail = open == 0 ? "every timeline complete or closed-interrupted"
+                             : "first open: " + first_open;
+    report.fleet_checks.push_back(check);
+  }
+
+  for (const SloCheck& check : report.fleet_checks) {
+    if (check.enabled && !check.pass) report.pass = false;
+  }
+  return report;
+}
+
+const SloCheck* FleetSloReport::fleet_check(std::string_view name) const {
+  for (const SloCheck& check : fleet_checks) {
+    if (check.name == name) return &check;
+  }
+  return nullptr;
+}
+
+std::string FleetSloReport::to_json() const {
+  std::string out = "{\n  \"pass\": ";
+  out += pass ? "true" : "false";
+  out += ",\n  \"models\": {";
+  bool first_model = true;
+  for (const auto& [model, model_report] : per_model) {
+    out += first_model ? "\n" : ",\n";
+    first_model = false;
+    out += "    \"" + model + "\": {\"pass\": ";
+    out += model_report.pass ? "true" : "false";
+    out += ", \"checks\": [";
+    bool first = true;
+    for (const SloCheck& check : model_report.checks) {
+      out += first ? "\n      " : ",\n      ";
+      first = false;
+      append_check_json(out, check);
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  },\n  \"fleet_checks\": [";
+  bool first = true;
+  for (const SloCheck& check : fleet_checks) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_check_json(out, check);
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string FleetSloReport::to_text() const {
+  std::string out =
+      pass ? "Fleet SLO verdict: PASS\n" : "Fleet SLO verdict: FAIL\n";
+  for (const auto& [model, model_report] : per_model) {
+    out += "  model " + model + ": ";
+    out += model_report.pass ? "PASS\n" : "FAIL\n";
+    for (const SloCheck& check : model_report.checks) {
+      append_check_text(out, check, "    ");
+    }
+  }
+  out += "  fleet:\n";
+  for (const SloCheck& check : fleet_checks) {
+    append_check_text(out, check, "    ");
   }
   return out;
 }

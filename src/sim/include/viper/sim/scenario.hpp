@@ -1,0 +1,139 @@
+// Declarative soak scenarios: a ScenarioSpec describes a heterogeneous
+// fleet (N producers x M consumers, mixed app architectures and sharing
+// strategies), a live-traffic profile, seeded background chaos, and a
+// schedule of discrete events — rank crashes at a named flush point,
+// consumer restarts, network partitions and their heals — keyed to
+// version numbers rather than wall time so the same spec replays the
+// same fault sequence every run.
+//
+// Scenarios are data, not code: parse_scenario() reads the key=value
+// config format (viper_cli soak --scenario FILE), render_scenario()
+// writes it back canonically, and compile_fault_plan() lowers the spec
+// into the fault::FaultPlan the runner arms. render_fault_schedule()
+// prints the deterministic schedule (rules + events) — the artifact two
+// equal-seed runs must reproduce byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/core/strategy.hpp"
+#include "viper/obs/slo.hpp"
+#include "viper/sim/chaos.hpp"
+#include "viper/tensor/architectures.hpp"
+
+namespace viper::sim {
+
+/// One producer rank: which application it trains, how it shares
+/// checkpoints, and its publication cadence.
+struct ProducerSpec {
+  /// Model name; empty = "m<index>".
+  std::string model;
+  AppModel app = AppModel::kTc1;
+  core::Strategy strategy = core::Strategy::kHostAsync;
+  /// Versions published before the run's final clean save.
+  std::uint64_t versions = 8;
+  /// Pacing sleep between saves (0 = publish as fast as possible).
+  double save_gap_ms = 2.0;
+};
+
+/// One consumer rank: which producer's model it serves.
+struct ConsumerSpec {
+  /// Producer index; -1 = assigned round-robin across producers.
+  int producer = -1;
+  bool prefetch = true;
+};
+
+/// The inference traffic each consumer serves while the fleet churns.
+struct TrafficSpec {
+  /// Mean think time between requests, per consumer thread.
+  double think_ms = 0.2;
+  /// Draw think times from an exponential distribution (seeded per
+  /// consumer) instead of a fixed gap.
+  bool poisson = false;
+};
+
+enum class SoakEventKind : std::uint8_t {
+  kCrashProducer,    ///< kill the producer mid-flush, then recover it
+  kRestartConsumer,  ///< stop + warm-restart a consumer under traffic
+  kPartition,        ///< drop all traffic between producer and consumer
+  kHeal,             ///< heal a previously injected partition
+};
+
+[[nodiscard]] std::string_view to_string(SoakEventKind kind) noexcept;
+
+/// One scheduled event, keyed to "just before producer `producer` saves
+/// version `at_version`" — version-space, not wall time, so the schedule
+/// is deterministic under any thread interleaving.
+struct SoakEvent {
+  SoakEventKind kind = SoakEventKind::kCrashProducer;
+  int producer = 0;
+  std::uint64_t at_version = 1;
+  /// Consumer index for kRestartConsumer / kPartition / kHeal.
+  int consumer = -1;
+  /// Crash probe for kCrashProducer; scoped by the runner to
+  /// "<site>/<model>/v<at_version>" so exactly one flush dies.
+  std::string crash_site = "durability.flush.after-blob";
+};
+
+/// The whole scenario. validate() enforces the cross-field invariants
+/// before a runner touches any thread.
+struct ScenarioSpec {
+  std::string name = "soak";
+  std::uint64_t seed = 42;
+  std::vector<ProducerSpec> producers;
+  std::vector<ConsumerSpec> consumers;
+  TrafficSpec traffic;
+  std::vector<SoakEvent> events;
+  /// Arm seeded background chaos (drops/corruption/delays) on top of the
+  /// scheduled events.
+  bool chaos = false;
+  ChaosOptions chaos_options;
+  /// Producers wait for their consumers to apply each version before
+  /// publishing the next — the pacing mode under which the ledger stage
+  /// signature is deterministic (see docs/ARCHITECTURE.md §15).
+  bool lockstep = false;
+  /// How long the runner waits for every consumer to converge to its
+  /// producer's final version after publishing stops.
+  double convergence_timeout_seconds = 20.0;
+  /// Per-model budgets for the fleet verdict.
+  obs::SloSpec slo;
+  /// Architecture width scale for every producer's model (soaks favor
+  /// small-but-real tensors).
+  double width_scale = 1.0 / 64.0;
+
+  [[nodiscard]] Status validate() const;
+
+  /// Resolved model name of producer `index` (spec name or "m<index>").
+  [[nodiscard]] std::string model_name(std::size_t index) const;
+  /// Producer index consumer `index` follows (resolves round-robin).
+  [[nodiscard]] int producer_of(std::size_t index) const;
+  /// World layout: producers occupy ranks [0, P), consumers [P, P+M).
+  [[nodiscard]] int consumer_world_rank(std::size_t index) const {
+    return static_cast<int>(producers.size() + index);
+  }
+};
+
+/// Parse the key=value scenario config (see docs/ARCHITECTURE.md §15 or
+/// render_scenario for the format). Unknown keys and malformed values
+/// are errors — a chaos schedule silently misread is a debugging trap.
+[[nodiscard]] Result<ScenarioSpec> parse_scenario(std::string_view text);
+
+/// Canonical config rendering; parse(render(spec)) == spec.
+[[nodiscard]] std::string render_scenario(const ScenarioSpec& spec);
+
+/// Lower the spec into the armed plan: the seeded chaos rules (when
+/// chaos is on) plus a version-scoped crash_point rule per
+/// kCrashProducer event. Partitions/heals/restarts are applied live by
+/// the runner at their schedule points (append_rule / heal).
+[[nodiscard]] fault::FaultPlan compile_fault_plan(const ScenarioSpec& spec);
+
+/// The deterministic schedule as text: every compiled rule plus every
+/// scheduled event in order. Two runs of the same spec must produce
+/// identical output — the replay-equivalence artifact.
+[[nodiscard]] std::string render_fault_schedule(const ScenarioSpec& spec);
+
+}  // namespace viper::sim

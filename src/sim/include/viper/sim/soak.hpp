@@ -1,0 +1,87 @@
+// SoakRunner: executes a ScenarioSpec against the real engine — N
+// ProducerRanks publishing real checkpoints over one comm world, M
+// consumers serving live traffic, the compiled fault plan armed — and
+// folds the run into a single SoakResult: the fleet SLO verdict, the
+// executed event log (the replay-equivalence artifact), per-consumer
+// serving stats, and the ledger stage signature.
+//
+// Crash events are real rank deaths: the targeted flush aborts at its
+// crash point, the ProducerRank is torn down (memory tiers die with it),
+// and a replacement runs journal recovery (recover_producer) before
+// publishing resumes — all while the other ranks keep trading versions
+// and the traffic threads keep serving.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/fault/fault.hpp"
+#include "viper/obs/ledger.hpp"
+#include "viper/obs/slo.hpp"
+#include "viper/sim/scenario.hpp"
+
+namespace viper::sim {
+
+/// Serving-plane stats of one consumer across all its incarnations.
+struct ConsumerStats {
+  int index = 0;
+  int world_rank = 0;
+  std::string model;
+  std::uint64_t requests = 0;         ///< active_model() serves by traffic
+  std::uint64_t torn_serves = 0;      ///< serves that saw an incomplete model
+  std::uint64_t version_regressions = 0;  ///< active_version went backwards
+  std::uint64_t updates_applied = 0;  ///< across every incarnation
+  std::uint64_t final_version = 0;
+  std::uint64_t restarts = 0;
+  bool converged = false;  ///< reached its producer's final version
+};
+
+/// Everything one soak run produced.
+struct SoakResult {
+  obs::FleetSloReport verdict;
+  std::vector<ConsumerStats> consumers;
+  fault::InjectionReport injections;
+  /// Compiled rules + scheduled events (render_fault_schedule) — a pure
+  /// function of the spec, byte-identical across equal-seed runs.
+  std::string fault_schedule;
+  /// Events as actually executed (producer-index order, then schedule
+  /// order), including each crash's recovery outcome. Deterministic for
+  /// a given spec: events are keyed to version space.
+  std::string event_log;
+  /// Canonical per-timeline stage signature (see ledger_signature).
+  /// Deterministic only under lockstep pacing with chaos off.
+  std::string ledger_signature;
+  std::uint64_t producer_restarts = 0;
+  std::uint64_t consumer_restarts = 0;
+  std::uint64_t versions_published = 0;  ///< committed saves incl. final
+  bool converged = true;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] bool pass() const { return verdict.pass && converged; }
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// One line per timeline — "model/vN: stage,stage,... complete" (or
+/// "interrupted"/"open") — ordered by (model, version): the canonical
+/// form the determinism regression compares across equal-seed runs.
+[[nodiscard]] std::string ledger_signature(const obs::VersionLedger& ledger);
+
+/// Runs the scenario on real threads. The runner owns the process-global
+/// fault injector and version ledger for the duration of the run (they
+/// are cleared/armed at start and disarmed at the end), so one soak runs
+/// at a time per process.
+class SoakRunner {
+ public:
+  explicit SoakRunner(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+  Result<SoakResult> run();
+
+  [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
+
+ private:
+  ScenarioSpec spec_;
+};
+
+}  // namespace viper::sim

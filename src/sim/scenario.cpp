@@ -1,0 +1,494 @@
+#include "viper/sim/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+namespace viper::sim {
+
+namespace {
+
+// Config-facing names (the viper_cli vocabulary, not the display names
+// to_string() returns — "tc1" stays typeable in a config file).
+const std::map<std::string, AppModel>& app_names() {
+  static const std::map<std::string, AppModel> names{
+      {"nt3a", AppModel::kNt3A},
+      {"nt3b", AppModel::kNt3B},
+      {"tc1", AppModel::kTc1},
+      {"ptychonn", AppModel::kPtychoNN},
+  };
+  return names;
+}
+
+const std::map<std::string, core::Strategy>& strategy_names() {
+  static const std::map<std::string, core::Strategy> names{
+      {"h5py-pfs", core::Strategy::kH5pyPfs},
+      {"viper-pfs", core::Strategy::kViperPfs},
+      {"host-sync", core::Strategy::kHostSync},
+      {"host-async", core::Strategy::kHostAsync},
+      {"gpu-sync", core::Strategy::kGpuSync},
+      {"gpu-async", core::Strategy::kGpuAsync},
+  };
+  return names;
+}
+
+std::string config_name(AppModel app) {
+  for (const auto& [name, value] : app_names()) {
+    if (value == app) return name;
+  }
+  return "tc1";
+}
+
+std::string config_name(core::Strategy strategy) {
+  for (const auto& [name, value] : strategy_names()) {
+    if (value == strategy) return name;
+  }
+  return "host-async";
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool parse_u64(std::string_view value, std::uint64_t& out) {
+  const char* end = value.data() + value.size();
+  auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_int(std::string_view value, int& out) {
+  const char* end = value.data() + value.size();
+  auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_double(std::string_view value, double& out) {
+  // std::from_chars<double> is spotty across standard libraries; strtod
+  // on a bounded copy keeps this portable.
+  char buf[64];
+  if (value.empty() || value.size() >= sizeof(buf)) return false;
+  std::copy(value.begin(), value.end(), buf);
+  buf[value.size()] = '\0';
+  char* end = nullptr;
+  out = std::strtod(buf, &end);
+  return end == buf + value.size();
+}
+
+bool parse_bool(std::string_view value, bool& out) {
+  if (value == "true" || value == "1") {
+    out = true;
+    return true;
+  }
+  if (value == "false" || value == "0") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+// Event value grammar: "P@V" then optional ":C" (consumer index) for
+// partition/heal/restart, optional ":site" (crash probe) for crashes.
+bool parse_event_value(SoakEventKind kind, std::string_view value,
+                       SoakEvent& out) {
+  out = SoakEvent{};
+  out.kind = kind;
+  const std::size_t at = value.find('@');
+  if (at == std::string_view::npos) return false;
+  if (!parse_int(trim(value.substr(0, at)), out.producer)) return false;
+  std::string_view rest = value.substr(at + 1);
+  std::string_view version = rest;
+  std::string_view tail;
+  if (const std::size_t colon = rest.find(':');
+      colon != std::string_view::npos) {
+    version = rest.substr(0, colon);
+    tail = trim(rest.substr(colon + 1));
+  }
+  if (!parse_u64(trim(version), out.at_version)) return false;
+  switch (kind) {
+    case SoakEventKind::kCrashProducer:
+      if (!tail.empty()) out.crash_site = std::string(tail);
+      return true;
+    case SoakEventKind::kRestartConsumer:
+    case SoakEventKind::kPartition:
+    case SoakEventKind::kHeal:
+      return parse_int(tail, out.consumer);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view to_string(SoakEventKind kind) noexcept {
+  switch (kind) {
+    case SoakEventKind::kCrashProducer: return "crash_producer";
+    case SoakEventKind::kRestartConsumer: return "restart_consumer";
+    case SoakEventKind::kPartition: return "partition";
+    case SoakEventKind::kHeal: return "heal";
+  }
+  return "?";
+}
+
+Status ScenarioSpec::validate() const {
+  if (producers.empty()) return invalid_argument("scenario needs >= 1 producer");
+  if (consumers.empty()) return invalid_argument("scenario needs >= 1 consumer");
+  for (std::size_t i = 0; i < producers.size(); ++i) {
+    if (producers[i].versions == 0) {
+      return invalid_argument("producer " + std::to_string(i) +
+                              " needs versions >= 1");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (model_name(i) == model_name(j)) {
+        return invalid_argument("producers " + std::to_string(j) + " and " +
+                                std::to_string(i) + " share model name '" +
+                                model_name(i) + "'");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < consumers.size(); ++i) {
+    const int producer = consumers[i].producer;
+    if (producer != -1 &&
+        (producer < 0 || producer >= static_cast<int>(producers.size()))) {
+      return invalid_argument("consumer " + std::to_string(i) +
+                              " follows unknown producer " +
+                              std::to_string(producer));
+    }
+  }
+  for (const SoakEvent& event : events) {
+    if (event.producer < 0 ||
+        event.producer >= static_cast<int>(producers.size())) {
+      return invalid_argument(std::string(to_string(event.kind)) +
+                              " event targets unknown producer " +
+                              std::to_string(event.producer));
+    }
+    const std::uint64_t versions =
+        producers[static_cast<std::size_t>(event.producer)].versions;
+    if (event.at_version < 1 || event.at_version > versions) {
+      return invalid_argument(std::string(to_string(event.kind)) +
+                              " event at_version " +
+                              std::to_string(event.at_version) +
+                              " outside producer's 1.." +
+                              std::to_string(versions));
+    }
+    if (event.kind != SoakEventKind::kCrashProducer &&
+        (event.consumer < 0 ||
+         event.consumer >= static_cast<int>(consumers.size()))) {
+      return invalid_argument(std::string(to_string(event.kind)) +
+                              " event targets unknown consumer " +
+                              std::to_string(event.consumer));
+    }
+    if (event.kind == SoakEventKind::kCrashProducer && event.crash_site.empty()) {
+      return invalid_argument("crash_producer event needs a crash site");
+    }
+  }
+  if (width_scale <= 0.0 || width_scale > 1.0) {
+    return invalid_argument("width_scale must be in (0, 1]");
+  }
+  return Status::ok();
+}
+
+std::string ScenarioSpec::model_name(std::size_t index) const {
+  if (index < producers.size() && !producers[index].model.empty()) {
+    return producers[index].model;
+  }
+  return "m" + std::to_string(index);
+}
+
+int ScenarioSpec::producer_of(std::size_t index) const {
+  if (index < consumers.size() && consumers[index].producer != -1) {
+    return consumers[index].producer;
+  }
+  return producers.empty()
+             ? 0
+             : static_cast<int>(index % producers.size());
+}
+
+Result<ScenarioSpec> parse_scenario(std::string_view text) {
+  ScenarioSpec spec;
+  spec.producers.clear();
+  spec.consumers.clear();
+
+  const auto grow_producers = [&spec](std::size_t count) {
+    if (spec.producers.size() < count) spec.producers.resize(count);
+  };
+  const auto grow_consumers = [&spec](std::size_t count) {
+    if (spec.consumers.size() < count) spec.consumers.resize(count);
+  };
+
+  std::size_t line_number = 0;
+  while (!text.empty()) {
+    const std::size_t newline = text.find('\n');
+    std::string_view line = text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view{}
+                                             : text.substr(newline + 1);
+    ++line_number;
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    const auto bad = [&](const std::string& why) {
+      return invalid_argument("scenario line " + std::to_string(line_number) +
+                              ": " + why + ": '" + std::string(line) + "'");
+    };
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return bad("expected key=value");
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    bool ok = true;
+
+    if (key == "name") {
+      spec.name = std::string(value);
+    } else if (key == "seed") {
+      ok = parse_u64(value, spec.seed);
+    } else if (key == "chaos") {
+      ok = parse_bool(value, spec.chaos);
+    } else if (key == "lockstep") {
+      ok = parse_bool(value, spec.lockstep);
+    } else if (key == "convergence_timeout") {
+      ok = parse_double(value, spec.convergence_timeout_seconds);
+    } else if (key == "width_scale") {
+      ok = parse_double(value, spec.width_scale);
+    } else if (key == "producers") {
+      std::uint64_t count = 0;
+      ok = parse_u64(value, count);
+      if (ok) grow_producers(count);
+    } else if (key == "consumers") {
+      std::uint64_t count = 0;
+      ok = parse_u64(value, count);
+      if (ok) grow_consumers(count);
+    } else if (key == "traffic.think_ms") {
+      ok = parse_double(value, spec.traffic.think_ms);
+    } else if (key == "traffic.poisson") {
+      ok = parse_bool(value, spec.traffic.poisson);
+    } else if (key == "slo.p99") {
+      ok = parse_double(value, spec.slo.max_p99_update_latency_seconds);
+    } else if (key == "slo.rpo") {
+      ok = parse_double(value, spec.slo.max_rpo_seconds);
+    } else if (key == "slo.recovery") {
+      ok = parse_double(value, spec.slo.max_recovery_seconds);
+    } else if (key == "chaos.drop_p") {
+      ok = parse_double(value, spec.chaos_options.message_drop_p);
+    } else if (key == "chaos.corrupt_p") {
+      ok = parse_double(value, spec.chaos_options.message_corrupt_p);
+    } else if (key == "chaos.delay_p") {
+      ok = parse_double(value, spec.chaos_options.message_delay_p);
+    } else if (key == "chaos.delay_s") {
+      ok = parse_double(value, spec.chaos_options.message_delay_seconds);
+    } else if (key == "chaos.notify_drop_p") {
+      ok = parse_double(value, spec.chaos_options.notification_drop_p);
+    } else if (key == "chaos.tier_fail_p") {
+      ok = parse_double(value, spec.chaos_options.tier_write_fail_p);
+    } else if (key.starts_with("producer.")) {
+      std::string_view rest = key.substr(9);
+      const std::size_t dot = rest.find('.');
+      int index = -1;
+      if (dot == std::string_view::npos ||
+          !parse_int(rest.substr(0, dot), index) || index < 0) {
+        return bad("expected producer.<index>.<field>");
+      }
+      grow_producers(static_cast<std::size_t>(index) + 1);
+      ProducerSpec& producer = spec.producers[static_cast<std::size_t>(index)];
+      const std::string_view field = rest.substr(dot + 1);
+      if (field == "model") {
+        producer.model = std::string(value);
+      } else if (field == "app") {
+        const auto it = app_names().find(std::string(value));
+        ok = it != app_names().end();
+        if (ok) producer.app = it->second;
+      } else if (field == "strategy") {
+        const auto it = strategy_names().find(std::string(value));
+        ok = it != strategy_names().end();
+        if (ok) producer.strategy = it->second;
+      } else if (field == "versions") {
+        ok = parse_u64(value, producer.versions);
+      } else if (field == "save_gap_ms") {
+        ok = parse_double(value, producer.save_gap_ms);
+      } else {
+        return bad("unknown producer field");
+      }
+    } else if (key.starts_with("consumer.")) {
+      std::string_view rest = key.substr(9);
+      const std::size_t dot = rest.find('.');
+      int index = -1;
+      if (dot == std::string_view::npos ||
+          !parse_int(rest.substr(0, dot), index) || index < 0) {
+        return bad("expected consumer.<index>.<field>");
+      }
+      grow_consumers(static_cast<std::size_t>(index) + 1);
+      ConsumerSpec& consumer = spec.consumers[static_cast<std::size_t>(index)];
+      const std::string_view field = rest.substr(dot + 1);
+      if (field == "producer") {
+        ok = parse_int(value, consumer.producer);
+      } else if (field == "prefetch") {
+        ok = parse_bool(value, consumer.prefetch);
+      } else {
+        return bad("unknown consumer field");
+      }
+    } else if (key.starts_with("event.")) {
+      const std::string_view kind_name = key.substr(6);
+      SoakEvent event;
+      if (kind_name == "crash_producer") {
+        ok = parse_event_value(SoakEventKind::kCrashProducer, value, event);
+      } else if (kind_name == "restart_consumer") {
+        ok = parse_event_value(SoakEventKind::kRestartConsumer, value, event);
+      } else if (kind_name == "partition") {
+        ok = parse_event_value(SoakEventKind::kPartition, value, event);
+      } else if (kind_name == "heal") {
+        ok = parse_event_value(SoakEventKind::kHeal, value, event);
+      } else {
+        return bad("unknown event kind");
+      }
+      if (ok) spec.events.push_back(std::move(event));
+    } else {
+      return bad("unknown key");
+    }
+    if (!ok) return bad("malformed value");
+  }
+
+  if (auto status = spec.validate(); !status.is_ok()) return status;
+  return spec;
+}
+
+std::string render_scenario(const ScenarioSpec& spec) {
+  std::string out;
+  out += "name=" + spec.name + "\n";
+  out += "seed=" + std::to_string(spec.seed) + "\n";
+  out += std::string("chaos=") + (spec.chaos ? "true" : "false") + "\n";
+  out += std::string("lockstep=") + (spec.lockstep ? "true" : "false") + "\n";
+  out += "convergence_timeout=";
+  append_double(out, spec.convergence_timeout_seconds);
+  out += "\nwidth_scale=";
+  append_double(out, spec.width_scale);
+  out += "\ntraffic.think_ms=";
+  append_double(out, spec.traffic.think_ms);
+  out += std::string("\ntraffic.poisson=") +
+         (spec.traffic.poisson ? "true" : "false") + "\n";
+  out += "slo.p99=";
+  append_double(out, spec.slo.max_p99_update_latency_seconds);
+  out += "\nslo.rpo=";
+  append_double(out, spec.slo.max_rpo_seconds);
+  out += "\nslo.recovery=";
+  append_double(out, spec.slo.max_recovery_seconds);
+  out += "\n";
+  if (spec.chaos) {
+    const ChaosOptions& chaos = spec.chaos_options;
+    out += "chaos.drop_p=";
+    append_double(out, chaos.message_drop_p);
+    out += "\nchaos.corrupt_p=";
+    append_double(out, chaos.message_corrupt_p);
+    out += "\nchaos.delay_p=";
+    append_double(out, chaos.message_delay_p);
+    out += "\nchaos.delay_s=";
+    append_double(out, chaos.message_delay_seconds);
+    out += "\nchaos.notify_drop_p=";
+    append_double(out, chaos.notification_drop_p);
+    out += "\nchaos.tier_fail_p=";
+    append_double(out, chaos.tier_write_fail_p);
+    out += "\n";
+  }
+  out += "producers=" + std::to_string(spec.producers.size()) + "\n";
+  for (std::size_t i = 0; i < spec.producers.size(); ++i) {
+    const ProducerSpec& producer = spec.producers[i];
+    const std::string prefix = "producer." + std::to_string(i) + ".";
+    if (!producer.model.empty()) {
+      out += prefix + "model=" + producer.model + "\n";
+    }
+    out += prefix + "app=" + config_name(producer.app) + "\n";
+    out += prefix + "strategy=" + config_name(producer.strategy) + "\n";
+    out += prefix + "versions=" + std::to_string(producer.versions) + "\n";
+    out += prefix + "save_gap_ms=";
+    append_double(out, producer.save_gap_ms);
+    out += "\n";
+  }
+  out += "consumers=" + std::to_string(spec.consumers.size()) + "\n";
+  for (std::size_t i = 0; i < spec.consumers.size(); ++i) {
+    const ConsumerSpec& consumer = spec.consumers[i];
+    const std::string prefix = "consumer." + std::to_string(i) + ".";
+    if (consumer.producer != -1) {
+      out += prefix + "producer=" + std::to_string(consumer.producer) + "\n";
+    }
+    if (!consumer.prefetch) out += prefix + "prefetch=false\n";
+  }
+  for (const SoakEvent& event : spec.events) {
+    out += "event." + std::string(to_string(event.kind)) + "=" +
+           std::to_string(event.producer) + "@" +
+           std::to_string(event.at_version);
+    if (event.kind == SoakEventKind::kCrashProducer) {
+      out += ":" + event.crash_site;
+    } else {
+      out += ":" + std::to_string(event.consumer);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+fault::FaultPlan compile_fault_plan(const ScenarioSpec& spec) {
+  fault::FaultPlan plan = spec.chaos ? chaos_plan(spec.seed, spec.chaos_options)
+                                     : fault::FaultPlan(spec.seed);
+  // Version-scoped crash probes: the flush path probes
+  // "durability.flush.<point>/<model>/v<version>", so each crash event
+  // kills exactly its targeted flush — deterministic under any
+  // interleaving, and two crash events cannot shadow each other.
+  for (const SoakEvent& event : spec.events) {
+    if (event.kind != SoakEventKind::kCrashProducer) continue;
+    plan.add(fault::FaultRule::crash_point(
+        event.crash_site + "/" +
+        spec.model_name(static_cast<std::size_t>(event.producer)) + "/v" +
+        std::to_string(event.at_version)));
+  }
+  return plan;
+}
+
+std::string render_fault_schedule(const ScenarioSpec& spec) {
+  const fault::FaultPlan plan = compile_fault_plan(spec);
+  std::string out = "schedule " + spec.name +
+                    " seed=" + std::to_string(spec.seed) + "\n";
+  out += "rules " + std::to_string(plan.num_rules()) + "\n";
+  for (const fault::FaultRule& rule : plan.rules()) {
+    out += "  rule " + std::string(to_string(rule.kind)) + " site=" +
+           rule.site + " p=";
+    append_double(out, rule.probability);
+    out += " after=" + std::to_string(rule.after_hits);
+    out += " max=";
+    out += rule.max_injections == std::numeric_limits<std::uint64_t>::max()
+               ? "inf"
+               : std::to_string(rule.max_injections);
+    if (rule.src != fault::kAnyRank || rule.dst != fault::kAnyRank) {
+      out += " src=" + std::to_string(rule.src) +
+             " dst=" + std::to_string(rule.dst);
+    }
+    out += "\n";
+  }
+  out += "events " + std::to_string(spec.events.size()) + "\n";
+  for (const SoakEvent& event : spec.events) {
+    out += "  event " + std::string(to_string(event.kind)) +
+           " producer=" + std::to_string(event.producer) + " at_version=" +
+           std::to_string(event.at_version);
+    if (event.kind == SoakEventKind::kCrashProducer) {
+      out += " site=" + event.crash_site;
+    } else {
+      out += " consumer=" + std::to_string(event.consumer);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace viper::sim

@@ -1,0 +1,601 @@
+#include "viper/sim/soak.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <thread>
+
+#include "viper/common/clock.hpp"
+#include "viper/common/log.hpp"
+#include "viper/common/rng.hpp"
+#include "viper/common/thread_util.hpp"
+#include "viper/core/consumer.hpp"
+#include "viper/core/recovery.hpp"
+#include "viper/core/workflow.hpp"
+#include "viper/net/comm.hpp"
+#include "viper/obs/metrics.hpp"
+
+namespace viper::sim {
+
+namespace {
+
+struct SoakMetrics {
+  obs::Counter& runs =
+      obs::MetricsRegistry::global().counter("viper.soak.runs");
+  obs::Counter& events =
+      obs::MetricsRegistry::global().counter("viper.soak.events");
+  obs::Counter& producer_restarts =
+      obs::MetricsRegistry::global().counter("viper.soak.producer_restarts");
+  obs::Counter& consumer_restarts =
+      obs::MetricsRegistry::global().counter("viper.soak.consumer_restarts");
+  obs::Counter& requests =
+      obs::MetricsRegistry::global().counter("viper.soak.requests");
+  obs::Counter& torn =
+      obs::MetricsRegistry::global().counter("viper.soak.torn_serves");
+  obs::Counter& regressions =
+      obs::MetricsRegistry::global().counter("viper.soak.version_regressions");
+  obs::Histogram& recovery_seconds =
+      obs::MetricsRegistry::global().histogram("viper.soak.recovery_seconds");
+};
+
+SoakMetrics& soak_metrics() {
+  static SoakMetrics metrics;
+  return metrics;
+}
+
+void sleep_seconds(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+/// How long a lockstep producer waits for its consumers per version. A
+/// partitioned consumer cannot catch up until its heal event, so the
+/// wait must time out rather than deadlock the schedule that contains
+/// the heal.
+constexpr double kLockstepTimeoutSeconds = 0.5;
+
+/// One consumer rank plus its live-traffic thread. The InferenceConsumer
+/// is held through a shared_ptr swapped under a mutex so restart() can
+/// kill and warm-restart it while the traffic thread keeps serving — a
+/// request in flight finishes against the old incarnation's double
+/// buffer (still valid through its snapshot).
+class ConsumerRank {
+ public:
+  ConsumerRank(std::shared_ptr<core::SharedServices> services,
+               std::shared_ptr<net::CommWorld> world, const ScenarioSpec& spec,
+               std::size_t index)
+      : services_(std::move(services)),
+        world_(std::move(world)),
+        index_(static_cast<int>(index)),
+        world_rank_(spec.consumer_world_rank(index)),
+        producer_rank_(spec.producer_of(index)),
+        model_(spec.model_name(static_cast<std::size_t>(spec.producer_of(index)))),
+        prefetch_(spec.consumers[index].prefetch),
+        traffic_(spec.traffic),
+        rng_(spec.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1))) {
+    consumer_ = make_consumer(/*warm_start=*/false);
+    consumer_->start();
+  }
+
+  void start_traffic() {
+    traffic_.think_ms = std::max(traffic_.think_ms, 0.0);
+    traffic_thread_.start(
+        [this](const std::atomic<bool>& stop) { serve(stop); });
+  }
+
+  void stop_traffic() { traffic_thread_.stop_and_join(); }
+
+  /// Kill the consumer (stop drains its prefetch backlog) and bring up a
+  /// fresh incarnation that warm-starts from the newest committed flush.
+  void restart() {
+    std::shared_ptr<core::InferenceConsumer> old;
+    {
+      std::lock_guard lock(mutex_);
+      old = consumer_;
+    }
+    old->stop();
+    applied_before_ += old->updates_applied();
+    auto fresh = make_consumer(/*warm_start=*/true);
+    fresh->start();
+    {
+      std::lock_guard lock(mutex_);
+      consumer_ = fresh;
+      ++incarnation_;
+    }
+    ++restarts_;
+    soak_metrics().consumer_restarts.add();
+  }
+
+  [[nodiscard]] std::uint64_t active_version() const {
+    return snapshot()->active_version();
+  }
+
+  [[nodiscard]] int producer_rank() const noexcept { return producer_rank_; }
+
+  bool wait_for_version(std::uint64_t version, double timeout) const {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout));
+    while (active_version() < version) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  }
+
+  /// Stop everything (traffic first, then the consumer) and fold the
+  /// run into stats. `converged` is decided by the caller's wait.
+  ConsumerStats finish(bool converged) {
+    stop_traffic();
+    std::shared_ptr<core::InferenceConsumer> consumer = snapshot();
+    consumer->stop();
+    ConsumerStats stats;
+    stats.index = index_;
+    stats.world_rank = world_rank_;
+    stats.model = model_;
+    stats.requests = requests_.load(std::memory_order_relaxed);
+    stats.torn_serves = torn_.load(std::memory_order_relaxed);
+    stats.version_regressions = regressions_.load(std::memory_order_relaxed);
+    stats.updates_applied = applied_before_ + consumer->updates_applied();
+    stats.final_version = consumer->active_version();
+    stats.restarts = restarts_;
+    stats.converged = converged;
+    return stats;
+  }
+
+ private:
+  [[nodiscard]] std::shared_ptr<core::InferenceConsumer> snapshot() const {
+    std::lock_guard lock(mutex_);
+    return consumer_;
+  }
+
+  std::shared_ptr<core::InferenceConsumer> make_consumer(bool warm_start) {
+    core::InferenceConsumer::Options options;
+    options.loader.producer_rank = producer_rank_;
+    // Chaos-friendly loader: short timeouts and a small retry budget so
+    // a dropped reply degrades to the PFS copy instead of stalling the
+    // apply path for the default 30 s.
+    options.loader.request_timeout = 0.2;
+    options.loader.retry.max_attempts = 2;
+    options.loader.retry.initial_backoff_seconds = 0.001;
+    options.loader.retry.max_backoff_seconds = 0.01;
+    options.resync_interval = 0.05;
+    options.prefetch = prefetch_;
+    options.warm_start = warm_start;
+    return std::make_shared<core::InferenceConsumer>(
+        services_, world_->comm(world_rank_), model_, options);
+  }
+
+  void serve(const std::atomic<bool>& stop) {
+    std::uint64_t last_seen = 0;
+    std::uint64_t seen_incarnation = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::shared_ptr<core::InferenceConsumer> consumer;
+      std::uint64_t incarnation = 0;
+      {
+        std::lock_guard lock(mutex_);
+        consumer = consumer_;
+        incarnation = incarnation_;
+      }
+      if (incarnation != seen_incarnation) {
+        // A warm restart may legitimately resume behind the version the
+        // previous incarnation served (RPO exposure, judged by the rpo
+        // check) — only intra-incarnation rollback counts as a serving
+        // regression.
+        seen_incarnation = incarnation;
+        last_seen = 0;
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      soak_metrics().requests.add();
+      if (auto model = consumer->active_model()) {
+        if (model->num_tensors() == 0) {
+          torn_.fetch_add(1, std::memory_order_relaxed);
+          soak_metrics().torn.add();
+        }
+        const std::uint64_t version = consumer->active_version();
+        if (version < last_seen) {
+          regressions_.fetch_add(1, std::memory_order_relaxed);
+          soak_metrics().regressions.add();
+        }
+        last_seen = version;
+      }
+      double think = traffic_.think_ms / 1000.0;
+      if (traffic_.poisson && think > 0.0) {
+        think = std::exponential_distribution<double>(1.0 / think)(
+            rng_.engine());
+      }
+      sleep_seconds(think);
+    }
+  }
+
+  std::shared_ptr<core::SharedServices> services_;
+  std::shared_ptr<net::CommWorld> world_;
+  const int index_;
+  const int world_rank_;
+  const int producer_rank_;
+  const std::string model_;
+  const bool prefetch_;
+  TrafficSpec traffic_;
+  Rng rng_;  ///< traffic-thread only
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<core::InferenceConsumer> consumer_;
+  std::uint64_t incarnation_ = 0;
+
+  WorkerThread traffic_thread_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> torn_{0};
+  std::atomic<std::uint64_t> regressions_{0};
+  std::uint64_t applied_before_ = 0;  ///< producer-thread / finish only
+  std::uint64_t restarts_ = 0;
+};
+
+/// One producer's run state, owned by its publishing thread.
+struct ProducerCtx {
+  std::unique_ptr<core::ProducerRank> rank;
+  std::optional<Model> model;
+  std::string name;
+  Rng rng{0};
+  std::uint64_t published = 0;
+  /// Newest version consumers can be expected to reach (a crashed sync
+  /// save does not advance it).
+  std::uint64_t expected = 0;
+  std::uint64_t restarts = 0;
+  /// Canonical executed-event lines, appended in schedule order.
+  std::vector<std::string> event_log;
+};
+
+std::string event_line(const SoakEvent& event) {
+  std::string out = "event " + std::string(to_string(event.kind)) +
+                    " producer=" + std::to_string(event.producer) +
+                    " at_version=" + std::to_string(event.at_version);
+  if (event.kind == SoakEventKind::kCrashProducer) {
+    out += " site=" + event.crash_site;
+  } else {
+    out += " consumer=" + std::to_string(event.consumer);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ledger_signature(const obs::VersionLedger& ledger) {
+  std::string out;
+  for (const obs::VersionTimeline& timeline : ledger.timelines()) {
+    out += timeline.model + "/v" + std::to_string(timeline.version) + ":";
+    bool first = true;
+    for (int s = 0; s < obs::kNumStages; ++s) {
+      const auto stage = static_cast<obs::Stage>(s);
+      if (!timeline.has(stage)) continue;
+      out += first ? " " : ",";
+      first = false;
+      out += to_string(stage);
+    }
+    out += timeline.complete()      ? " complete"
+           : timeline.interrupted   ? " interrupted"
+                                    : " open";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string SoakResult::to_text() const {
+  char buf[256];
+  std::string out = "soak ";
+  out += pass() ? "PASS" : "FAIL";
+  std::snprintf(buf, sizeof(buf),
+                " wall=%.2fs published=%llu producer_restarts=%llu "
+                "consumer_restarts=%llu converged=%s\n",
+                wall_seconds,
+                static_cast<unsigned long long>(versions_published),
+                static_cast<unsigned long long>(producer_restarts),
+                static_cast<unsigned long long>(consumer_restarts),
+                converged ? "true" : "false");
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "injected: drops=%llu corruptions=%llu delays=%llu "
+                "failures=%llu crashes=%llu heals=%llu\n",
+                static_cast<unsigned long long>(injections.drops),
+                static_cast<unsigned long long>(injections.corruptions),
+                static_cast<unsigned long long>(injections.delays),
+                static_cast<unsigned long long>(injections.failures),
+                static_cast<unsigned long long>(injections.crashes),
+                static_cast<unsigned long long>(injections.heals));
+  out += buf;
+  for (const ConsumerStats& stats : consumers) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "consumer %d model=%s requests=%llu torn=%llu regressions=%llu "
+        "applied=%llu final=v%llu restarts=%llu %s\n",
+        stats.index, stats.model.c_str(),
+        static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.torn_serves),
+        static_cast<unsigned long long>(stats.version_regressions),
+        static_cast<unsigned long long>(stats.updates_applied),
+        static_cast<unsigned long long>(stats.final_version),
+        static_cast<unsigned long long>(stats.restarts),
+        stats.converged ? "converged" : "NOT-CONVERGED");
+    out += buf;
+  }
+  out += verdict.to_text();
+  return out;
+}
+
+Result<SoakResult> SoakRunner::run() {
+  if (auto status = spec_.validate(); !status.is_ok()) return status;
+  const Stopwatch wall;
+  soak_metrics().runs.add();
+
+  // The runner owns the process-global observability planes for the run.
+  obs::VersionLedger& ledger = obs::VersionLedger::global();
+  ledger.clear();
+  obs::VersionLedger::set_armed(true);
+
+  // Counter baselines: process-global counters accumulate across soaks
+  // in one binary; the verdict must only judge this run.
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+
+  auto services = std::make_shared<core::SharedServices>();
+  const std::size_t num_producers = spec_.producers.size();
+  const std::size_t num_consumers = spec_.consumers.size();
+  auto world =
+      net::CommWorld::create(static_cast<int>(num_producers + num_consumers));
+
+  // Build the fleet before arming: construction traffic (warm-start
+  // probes, subscription setup) is not part of the scenario.
+  std::vector<ProducerCtx> producers(num_producers);
+  for (std::size_t p = 0; p < num_producers; ++p) {
+    const ProducerSpec& pspec = spec_.producers[p];
+    ProducerCtx& ctx = producers[p];
+    ctx.name = spec_.model_name(p);
+    ctx.rng = Rng(spec_.seed + 17 * (p + 1));
+    ArchitectureOptions architecture;
+    architecture.width_scale = spec_.width_scale;
+    architecture.seed = spec_.seed + p;
+    auto model = build_app_model(pspec.app, architecture);
+    if (!model.is_ok()) return model.status();
+    ctx.model = std::move(model).value();
+    core::ModelWeightsHandler::Options handler_options;
+    handler_options.strategy = pspec.strategy;
+    handler_options.producer_id = "producer-" + std::to_string(p);
+    ctx.rank = std::make_unique<core::ProducerRank>(
+        services, world->comm(static_cast<int>(p)), handler_options);
+  }
+  std::vector<std::unique_ptr<ConsumerRank>> consumers;
+  consumers.reserve(num_consumers);
+  for (std::size_t c = 0; c < num_consumers; ++c) {
+    consumers.push_back(
+        std::make_unique<ConsumerRank>(services, world, spec_, c));
+  }
+
+  const bool armed = spec_.chaos || !spec_.events.empty();
+  if (armed) fault::FaultInjector::global().arm(compile_fault_plan(spec_));
+  for (auto& consumer : consumers) consumer->start_traffic();
+
+  const auto wait_lockstep = [&](std::size_t p, std::uint64_t version) {
+    for (const auto& consumer : consumers) {
+      if (consumer->producer_rank() != static_cast<int>(p)) continue;
+      (void)consumer->wait_for_version(version, kLockstepTimeoutSeconds);
+    }
+  };
+
+  const auto execute_event = [&](std::size_t p, const SoakEvent& event,
+                                 ProducerCtx& ctx) {
+    soak_metrics().events.add();
+    ctx.event_log.push_back(event_line(event));
+    const int producer_rank = static_cast<int>(p);
+    switch (event.kind) {
+      case SoakEventKind::kPartition: {
+        const int consumer_rank = spec_.consumer_world_rank(
+            static_cast<std::size_t>(event.consumer));
+        auto& injector = fault::FaultInjector::global();
+        (void)injector.append_rule(
+            fault::FaultRule::partition(producer_rank, consumer_rank));
+        (void)injector.append_rule(
+            fault::FaultRule::partition(consumer_rank, producer_rank));
+        break;
+      }
+      case SoakEventKind::kHeal: {
+        const int consumer_rank = spec_.consumer_world_rank(
+            static_cast<std::size_t>(event.consumer));
+        auto& injector = fault::FaultInjector::global();
+        (void)injector.heal("net.send", producer_rank, consumer_rank);
+        (void)injector.heal("net.send", consumer_rank, producer_rank);
+        break;
+      }
+      case SoakEventKind::kRestartConsumer:
+        consumers[static_cast<std::size_t>(event.consumer)]->restart();
+        break;
+      case SoakEventKind::kCrashProducer:
+        // Handled after the save of at_version: the scoped crash rule
+        // fires inside that flush; teardown + recovery follow below.
+        break;
+    }
+  };
+
+  const auto crash_and_recover = [&](std::size_t p, const SoakEvent& event,
+                                     ProducerCtx& ctx) {
+    // Let the doomed flush reach its crash point, then kill the rank:
+    // the handler — and with it every memory-tier copy — dies; only the
+    // shared PFS + journal survive, exactly what a process crash leaves.
+    ctx.rank->handler().drain();
+    const Stopwatch recovery_watch;
+    ctx.rank->shutdown();
+    ctx.rank.reset();
+    auto recovery = core::recover_producer(*services, ctx.name);
+    core::ModelWeightsHandler::Options handler_options;
+    handler_options.strategy = spec_.producers[p].strategy;
+    handler_options.producer_id = "producer-" + std::to_string(p);
+    ctx.rank = std::make_unique<core::ProducerRank>(
+        services, world->comm(static_cast<int>(p)), handler_options);
+    const double seconds = recovery_watch.elapsed();
+    soak_metrics().recovery_seconds.record(seconds);
+    soak_metrics().producer_restarts.add();
+    ++ctx.restarts;
+    // The outcome (nondeterministic under chaos) goes to the log, not
+    // the replay-compared event_log.
+    if (recovery.is_ok()) {
+      const core::ProducerRecoveryReport& report = recovery.value();
+      VIPER_INFO << "soak: producer " << p << " ('" << ctx.name
+                 << "') crashed at v" << event.at_version << ", recovered in "
+                 << seconds << "s (last_committed=" << report.last_committed
+                 << " serving=" << report.serving_version << ")";
+      if (report.serving_version > ctx.expected) {
+        ctx.expected = report.serving_version;
+      }
+    } else {
+      VIPER_WARN << "soak: producer " << p << " recovery found nothing: "
+                 << recovery.status().to_string();
+    }
+    ctx.event_log.push_back("recovered producer=" + std::to_string(p) +
+                            " at_version=" +
+                            std::to_string(event.at_version));
+  };
+
+  const auto run_producer = [&](std::size_t p) {
+    const ProducerSpec& pspec = spec_.producers[p];
+    ProducerCtx& ctx = producers[p];
+    // This producer's schedule, stable-ordered by version then spec
+    // order (two events at one version execute in config order).
+    std::vector<const SoakEvent*> schedule;
+    for (const SoakEvent& event : spec_.events) {
+      if (event.producer == static_cast<int>(p)) schedule.push_back(&event);
+    }
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [](const SoakEvent* a, const SoakEvent* b) {
+                       return a->at_version < b->at_version;
+                     });
+    std::size_t next_event = 0;
+    for (std::uint64_t v = 1; v <= pspec.versions; ++v) {
+      while (next_event < schedule.size() &&
+             schedule[next_event]->at_version == v &&
+             schedule[next_event]->kind != SoakEventKind::kCrashProducer) {
+        execute_event(p, *schedule[next_event], ctx);
+        ++next_event;
+      }
+      sleep_seconds(pspec.save_gap_ms / 1000.0);
+      ctx.model->set_version(v);
+      ctx.model->perturb_weights(ctx.rng, 1e-3);
+      auto receipt = ctx.rank->handler().save_weights(ctx.name, *ctx.model);
+      if (receipt.is_ok()) {
+        ctx.expected = v;
+        ++ctx.published;
+      } else if (!fault::is_crash_status(receipt.status())) {
+        VIPER_WARN << "soak: producer " << p << " save v" << v
+                   << " failed: " << receipt.status().to_string();
+      }
+      while (next_event < schedule.size() &&
+             schedule[next_event]->at_version == v) {
+        const SoakEvent& event = *schedule[next_event];
+        ++next_event;
+        if (event.kind == SoakEventKind::kCrashProducer) {
+          soak_metrics().events.add();
+          ctx.event_log.push_back(event_line(event));
+          crash_and_recover(p, event, ctx);
+        } else {
+          // A non-crash event listed after a crash at the same version
+          // executes after the recovery, in config order.
+          execute_event(p, event, ctx);
+        }
+      }
+      if (spec_.lockstep && ctx.expected > 0) wait_lockstep(p, ctx.expected);
+    }
+  };
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_producers);
+    for (std::size_t p = 0; p < num_producers; ++p) {
+      threads.emplace_back([&run_producer, p] { run_producer(p); });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  SoakResult result;
+  if (armed) {
+    result.injections = fault::FaultInjector::global().report();
+    fault::FaultInjector::global().disarm();
+  }
+
+  // Chaos is over: one final clean save per producer so the fleet can
+  // converge to a quiescent head version (the stress-soak idiom), then
+  // wait for every consumer to reach it.
+  std::vector<std::uint64_t> final_versions(num_producers, 0);
+  for (std::size_t p = 0; p < num_producers; ++p) {
+    ProducerCtx& ctx = producers[p];
+    const std::uint64_t final_version = spec_.producers[p].versions + 1;
+    ctx.model->set_version(final_version);
+    ctx.model->perturb_weights(ctx.rng, 1e-3);
+    auto receipt = ctx.rank->handler().save_weights(ctx.name, *ctx.model);
+    if (receipt.is_ok()) {
+      ++ctx.published;
+      final_versions[p] = final_version;
+    } else {
+      VIPER_WARN << "soak: final save of '" << ctx.name
+                 << "' failed: " << receipt.status().to_string();
+      final_versions[p] = ctx.expected;
+    }
+    ctx.rank->handler().drain();
+  }
+
+  result.converged = true;
+  std::vector<bool> consumer_converged(num_consumers, false);
+  for (std::size_t c = 0; c < num_consumers; ++c) {
+    const auto p = static_cast<std::size_t>(consumers[c]->producer_rank());
+    consumer_converged[c] = consumers[c]->wait_for_version(
+        final_versions[p], spec_.convergence_timeout_seconds);
+    if (!consumer_converged[c]) result.converged = false;
+  }
+
+  for (std::size_t c = 0; c < num_consumers; ++c) {
+    result.consumers.push_back(consumers[c]->finish(consumer_converged[c]));
+  }
+  // Consumers only apply the newest version, so anything below the head
+  // they converged to was superseded before a swap could happen (dropped
+  // notification, burst coalescing, failed flush under chaos). Close
+  // those chapters; a timeline still open at or above the head is a real
+  // leak and must fail the timelines_closed check.
+  for (std::size_t p = 0; p < num_producers; ++p) {
+    (void)ledger.close_superseded(spec_.model_name(p), final_versions[p],
+                                  "superseded before swap");
+  }
+  for (ProducerCtx& ctx : producers) {
+    ctx.rank->shutdown();
+    ctx.rank.reset();
+    result.producer_restarts += ctx.restarts;
+    result.versions_published += ctx.published;
+  }
+  for (const ConsumerStats& stats : result.consumers) {
+    result.consumer_restarts += stats.restarts;
+  }
+
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::global().snapshot();
+  obs::FleetSloSpec fleet;
+  fleet.budgets = spec_.slo;
+  for (std::size_t p = 0; p < num_producers; ++p) {
+    fleet.models.push_back(spec_.model_name(p));
+  }
+  fleet.corrupt_serves_baseline =
+      before.counter_value("viper.consumer.corrupt_serves");
+  fleet.torn_serves_baseline = before.counter_value("viper.soak.torn_serves");
+  result.verdict = obs::evaluate_fleet_slo(fleet, ledger, after);
+
+  result.fault_schedule = render_fault_schedule(spec_);
+  for (const ProducerCtx& ctx : producers) {
+    for (const std::string& line : ctx.event_log) {
+      result.event_log += line + "\n";
+    }
+  }
+  result.ledger_signature = ledger_signature(ledger);
+  result.wall_seconds = wall.elapsed();
+  obs::VersionLedger::set_armed(false);
+  return result;
+}
+
+}  // namespace viper::sim

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -133,6 +134,56 @@ TEST(FaultInjector, CrashStatusIsDistinguishableFromOrdinaryFailure) {
   // simulated death — a dying process runs no rollback.
   EXPECT_FALSE(fault::is_crash_status(unavailable("tier down")));
   EXPECT_FALSE(fault::is_crash_status(Status::ok()));
+}
+
+TEST(FaultInjector, HealDisablesMatchingRules) {
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(1).add(fault::FaultRule::drop("net.send"))};
+  auto& injector = fault::FaultInjector::global();
+  EXPECT_TRUE(injector.on_site("net.send").drop);
+  EXPECT_EQ(injector.heal("net.send"), 1u);
+  EXPECT_FALSE(injector.on_site("net.send").drop);
+  // Healing again finds nothing left to heal.
+  EXPECT_EQ(injector.heal("net.send"), 0u);
+  EXPECT_EQ(injector.report().heals, 1u);
+}
+
+TEST(FaultInjector, HealScopedToRanks) {
+  // Two directed partitions (0→1 and 1→0); heal only the forward one.
+  fault::ScopedPlan chaos{fault::FaultPlan(1)
+                              .add(fault::FaultRule::partition(0, 1))
+                              .add(fault::FaultRule::partition(1, 0))};
+  auto& injector = fault::FaultInjector::global();
+  EXPECT_TRUE(injector.on_site("net.send", 0, 1).drop);
+  EXPECT_TRUE(injector.on_site("net.send", 1, 0).drop);
+  EXPECT_EQ(injector.heal("net.send", 0, 1), 1u);
+  EXPECT_FALSE(injector.on_site("net.send", 0, 1).drop);
+  EXPECT_TRUE(injector.on_site("net.send", 1, 0).drop);  // reverse still down
+}
+
+TEST(FaultInjector, TimedExpiryCountsAsHeal) {
+  fault::FaultRule rule = fault::FaultRule::drop("age.site");
+  rule.expire_after_seconds = 0.02;
+  fault::ScopedPlan chaos{fault::FaultPlan(1).add(std::move(rule))};
+  auto& injector = fault::FaultInjector::global();
+  EXPECT_TRUE(injector.on_site("age.site").drop);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(injector.on_site("age.site").drop);  // aged out
+  EXPECT_EQ(injector.report().heals, 1u);
+}
+
+TEST(FaultInjector, AppendRuleExtendsAnArmedPlanWithoutReset) {
+  auto& injector = fault::FaultInjector::global();
+  // Unarmed: nothing to append to.
+  EXPECT_FALSE(injector.append_rule(fault::FaultRule::drop("late.site")));
+
+  fault::ScopedPlan chaos{
+      fault::FaultPlan(1).add(fault::FaultRule::drop("early.site"))};
+  EXPECT_TRUE(injector.on_site("early.site").drop);
+  EXPECT_TRUE(injector.append_rule(fault::FaultRule::drop("late.site")));
+  EXPECT_TRUE(injector.on_site("late.site").drop);
+  // Appending did not reset the report: both drops are tallied.
+  EXPECT_EQ(injector.report().drops, 2u);
 }
 
 TEST(FaultInjector, ScrambleAlwaysChangesThePayload) {

@@ -7,6 +7,7 @@
 
 #include "viper/core/consumer.hpp"
 #include "viper/core/handler.hpp"
+#include "viper/fault/fault.hpp"
 #include "viper/tensor/architectures.hpp"
 
 namespace viper::core {
@@ -346,6 +347,53 @@ TEST(InferenceConsumer, ResyncOfResidentVersionSkipsTheRefetch) {
   EXPECT_GE(consumer.loads_skipped(), 1u);
   EXPECT_EQ(consumer.updates_applied(), applied);  // nothing re-installed
   EXPECT_EQ(consumer.active_version(), 1u);
+
+  consumer.stop();
+  ASSERT_TRUE(
+      ModelWeightsHandler::stop_transfer_server(rig.consumer_comm, 0).is_ok());
+  server.join();
+}
+
+TEST(InferenceConsumer, StopAndRestartRebuildsThePrefetchWorker) {
+  // Regression for the restartable consumer: stop() must drain an
+  // in-flight prefetched apply exactly once (no double-install, no loss),
+  // and a second start() must rebuild the prefetch worker so later
+  // updates still ride the background path.
+  Rig rig;
+  auto handler = rig.handler(Strategy::kHostSync);
+  std::thread server([&] { handler->serve_transfers(rig.producer_comm); });
+
+  InferenceConsumer::Options options;
+  options.loader.producer_rank = 0;
+  InferenceConsumer consumer(rig.services, rig.consumer_comm, "net", options);
+  consumer.start();
+
+  // Delay the fetch so v1's apply is still in flight inside the prefetch
+  // worker when stop() runs — stop must wait for it, not drop it.
+  {
+    fault::ScopedPlan chaos{fault::FaultPlan(7).add(
+        fault::FaultRule::delay("net.send", 0.15))};
+    Model model = small_model();
+    model.set_version(1);
+    ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    consumer.stop();  // drains the delayed prefetch before returning
+  }
+  EXPECT_EQ(consumer.active_version(), 1u);
+  EXPECT_EQ(consumer.updates_applied(), 1u);  // exactly once, not torn
+  const std::uint64_t prefetches = consumer.prefetches_started();
+  EXPECT_GE(prefetches, 1u);
+
+  consumer.start();  // rebuilt prefetch worker
+  Model model = small_model();
+  model.set_version(2);
+  ASSERT_TRUE(handler->save_weights("net", model).is_ok());
+  for (int spin = 0; spin < 300 && consumer.active_version() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(consumer.active_version(), 2u);
+  EXPECT_EQ(consumer.updates_applied(), 2u);
+  EXPECT_GT(consumer.prefetches_started(), prefetches);  // background path live
 
   consumer.stop();
   ASSERT_TRUE(

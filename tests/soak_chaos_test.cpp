@@ -1,0 +1,112 @@
+// Long-label soak: a bigger heterogeneous fleet (three producers with
+// different apps and sharing strategies, six consumers on Poisson
+// traffic) under background chaos with two mid-flush crashes, two
+// partition/heal pairs, and two consumer restarts — run twice to prove
+// the replay contract holds under full chaos, not just in the quick
+// lockstep configuration.
+#include <gtest/gtest.h>
+
+#include "viper/sim/scenario.hpp"
+#include "viper/sim/soak.hpp"
+
+namespace viper::sim {
+namespace {
+
+ScenarioSpec fleet_spec() {
+  ScenarioSpec spec;
+  spec.name = "fleet-chaos";
+  spec.seed = 20260807;
+  spec.chaos = true;
+  spec.width_scale = 1.0 / 64.0;
+  spec.producers.resize(3);
+  spec.producers[0].app = AppModel::kTc1;
+  spec.producers[0].strategy = core::Strategy::kHostAsync;
+  spec.producers[1].app = AppModel::kNt3A;
+  spec.producers[1].strategy = core::Strategy::kViperPfs;
+  spec.producers[2].app = AppModel::kNt3B;
+  spec.producers[2].strategy = core::Strategy::kGpuAsync;
+  for (auto& producer : spec.producers) {
+    producer.versions = 8;
+    producer.save_gap_ms = 2.0;
+  }
+  // Round-robin consumers: two per producer.
+  spec.consumers.resize(6);
+  spec.traffic.think_ms = 0.2;
+  spec.traffic.poisson = true;
+  spec.convergence_timeout_seconds = 30.0;
+  spec.slo.max_p99_update_latency_seconds = 10.0;
+  spec.slo.max_rpo_seconds = 60.0;
+  spec.slo.max_recovery_seconds = 10.0;
+
+  const auto add = [&spec](SoakEvent event) { spec.events.push_back(event); };
+  SoakEvent event;
+  event.kind = SoakEventKind::kPartition;
+  event.producer = 0;
+  event.at_version = 2;
+  event.consumer = 0;
+  add(event);
+  event.at_version = 5;
+  event.kind = SoakEventKind::kHeal;
+  add(event);
+  event.kind = SoakEventKind::kPartition;
+  event.producer = 2;
+  event.at_version = 4;
+  event.consumer = 5;
+  add(event);
+  event.kind = SoakEventKind::kHeal;
+  event.at_version = 6;
+  add(event);
+  event = SoakEvent{};
+  event.kind = SoakEventKind::kCrashProducer;
+  event.producer = 1;
+  event.at_version = 3;
+  event.crash_site = "durability.flush.begin";
+  add(event);
+  event.at_version = 6;
+  event.crash_site = "durability.flush.after-blob";
+  add(event);
+  event = SoakEvent{};
+  event.kind = SoakEventKind::kRestartConsumer;
+  event.producer = 0;
+  event.at_version = 6;
+  event.consumer = 3;
+  add(event);
+  event.producer = 1;
+  event.at_version = 7;
+  event.consumer = 4;
+  add(event);
+  return spec;
+}
+
+TEST(SoakChaos, FleetSurvivesChaosAndReplaysItsSchedule) {
+  auto first = SoakRunner(fleet_spec()).run();
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  const SoakResult& soak = first.value();
+  EXPECT_TRUE(soak.pass()) << soak.to_text();
+  EXPECT_TRUE(soak.converged);
+  EXPECT_GE(soak.injections.crashes, 2u);
+  EXPECT_EQ(soak.injections.heals, 4u);  // two pairs, both directions
+  EXPECT_EQ(soak.producer_restarts, 2u);
+  EXPECT_EQ(soak.consumer_restarts, 2u);
+  ASSERT_EQ(soak.consumers.size(), 6u);
+  for (const auto& stats : soak.consumers) {
+    EXPECT_TRUE(stats.converged) << soak.to_text();
+    EXPECT_EQ(stats.torn_serves, 0u);
+    EXPECT_GT(stats.requests, 0u);
+  }
+  const obs::SloCheck* closed = soak.verdict.fleet_check("timelines_closed");
+  ASSERT_NE(closed, nullptr);
+  EXPECT_TRUE(closed->pass) << closed->detail;
+
+  // Replay under chaos: the schedule and the executed event log are pure
+  // functions of the spec — byte-identical on a second run even though
+  // the probabilistic chaos around them perturbs timing.
+  auto second = SoakRunner(fleet_spec()).run();
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+  EXPECT_TRUE(second.value().pass()) << second.value().to_text();
+  EXPECT_EQ(soak.fault_schedule, second.value().fault_schedule);
+  EXPECT_EQ(soak.event_log, second.value().event_log);
+}
+
+}  // namespace
+}  // namespace viper::sim

@@ -1,0 +1,292 @@
+// Soak-harness tests: scenario config round-trips and rejection of
+// malformed specs, version-scoped crash-rule compilation, the
+// replay-equivalence contract (same seed => byte-identical fault
+// schedule, executed event log, and — under lockstep pacing with chaos
+// off — ledger stage signature), and a chaos smoke soak that must end in
+// a PASS fleet verdict with zero torn serves.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "viper/sim/scenario.hpp"
+#include "viper/sim/soak.hpp"
+
+namespace viper::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scenario config
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, ParseRenderRoundTrip) {
+  const std::string config = R"(# demo scenario
+name = demo
+seed = 99
+chaos = true
+lockstep = true
+convergence_timeout = 5
+width_scale = 0.03125
+traffic.think_ms = 0.1
+traffic.poisson = true
+chaos.drop_p = 0.03
+producers = 2
+producer.0.model = alpha
+producer.0.app = nt3a
+producer.0.strategy = viper-pfs
+producer.0.versions = 4
+producer.1.save_gap_ms = 1.5
+consumers = 3
+consumer.2.producer = 0
+consumer.2.prefetch = false
+event.crash_producer = 0@2:durability.flush.begin
+event.partition = 1@2:1
+event.heal = 1@3:1
+event.restart_consumer = 0@3:2
+)";
+  auto parsed = parse_scenario(config);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const ScenarioSpec& spec = parsed.value();
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_TRUE(spec.chaos);
+  EXPECT_TRUE(spec.lockstep);
+  EXPECT_DOUBLE_EQ(spec.chaos_options.message_drop_p, 0.03);
+  ASSERT_EQ(spec.producers.size(), 2u);
+  EXPECT_EQ(spec.model_name(0), "alpha");
+  EXPECT_EQ(spec.model_name(1), "m1");  // unnamed producers get defaults
+  EXPECT_EQ(spec.producers[0].app, AppModel::kNt3A);
+  EXPECT_EQ(spec.producers[0].strategy, core::Strategy::kViperPfs);
+  EXPECT_EQ(spec.producers[0].versions, 4u);
+  EXPECT_DOUBLE_EQ(spec.producers[1].save_gap_ms, 1.5);
+  ASSERT_EQ(spec.consumers.size(), 3u);
+  EXPECT_EQ(spec.producer_of(0), 0);  // round-robin
+  EXPECT_EQ(spec.producer_of(1), 1);
+  EXPECT_EQ(spec.producer_of(2), 0);  // pinned
+  EXPECT_FALSE(spec.consumers[2].prefetch);
+  ASSERT_EQ(spec.events.size(), 4u);
+  EXPECT_EQ(spec.events[0].kind, SoakEventKind::kCrashProducer);
+  EXPECT_EQ(spec.events[0].crash_site, "durability.flush.begin");
+  EXPECT_EQ(spec.events[1].kind, SoakEventKind::kPartition);
+  EXPECT_EQ(spec.events[1].consumer, 1);
+
+  // Canonical rendering is a fixed point: parse(render(spec)) renders
+  // identically.
+  const std::string rendered = render_scenario(spec);
+  auto reparsed = parse_scenario(rendered);
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().to_string();
+  EXPECT_EQ(render_scenario(reparsed.value()), rendered);
+}
+
+TEST(Scenario, RejectsUnknownKeysAndMalformedValues) {
+  const std::string base = "producers=1\nconsumers=1\n";
+  // Unknown keys are hard errors — a misspelled chaos knob silently
+  // ignored would be a debugging trap.
+  EXPECT_FALSE(parse_scenario(base + "sede=7\n").is_ok());
+  EXPECT_FALSE(parse_scenario(base + "producer.0.modle=x\n").is_ok());
+  EXPECT_FALSE(parse_scenario(base + "event.reboot=0@1:0\n").is_ok());
+  // Malformed values.
+  EXPECT_FALSE(parse_scenario(base + "seed=banana\n").is_ok());
+  EXPECT_FALSE(parse_scenario(base + "event.partition=0@1\n").is_ok());
+  EXPECT_FALSE(parse_scenario(base + "event.crash_producer=nope\n").is_ok());
+  // Cross-field invariants.
+  EXPECT_FALSE(parse_scenario(base + "event.partition=0@9:0\n").is_ok());
+  EXPECT_FALSE(parse_scenario(base + "event.partition=3@1:0\n").is_ok());
+  EXPECT_FALSE(parse_scenario(base + "consumer.0.producer=5\n").is_ok());
+  EXPECT_FALSE(parse_scenario(base + "width_scale=0\n").is_ok());
+  EXPECT_FALSE(parse_scenario("producers=2\nconsumers=1\n"
+                              "producer.0.model=dup\nproducer.1.model=dup\n")
+                   .is_ok());
+  EXPECT_FALSE(parse_scenario("consumers=1\n").is_ok());  // no producers
+}
+
+TEST(Scenario, CrashEventsCompileToVersionScopedRules) {
+  ScenarioSpec spec;
+  spec.producers.resize(2);
+  spec.producers[0].model = "alpha";
+  spec.consumers.resize(1);
+  SoakEvent crash;
+  crash.kind = SoakEventKind::kCrashProducer;
+  crash.producer = 0;
+  crash.at_version = 3;
+  crash.crash_site = "durability.flush.begin";
+  spec.events.push_back(crash);
+
+  // Chaos off: the compiled plan is exactly the one crash rule, scoped
+  // so only alpha's v3 flush can die.
+  const fault::FaultPlan plan = compile_fault_plan(spec);
+  ASSERT_EQ(plan.num_rules(), 1u);
+  EXPECT_EQ(plan.rules()[0].kind, fault::FaultKind::kCrash);
+  EXPECT_EQ(plan.rules()[0].site, "durability.flush.begin/alpha/v3");
+
+  const std::string schedule = render_fault_schedule(spec);
+  EXPECT_NE(schedule.find("durability.flush.begin/alpha/v3"),
+            std::string::npos);
+  EXPECT_NE(schedule.find("event crash_producer producer=0 at_version=3"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Runner: determinism and the chaos smoke acceptance
+// ---------------------------------------------------------------------------
+
+/// A small lockstep fleet with every event kind on the schedule. Both
+/// producers use viper-pfs so every consumer path is the deterministic
+/// PFS read — the pacing mode under which the ledger stage signature is
+/// part of the replay contract.
+ScenarioSpec lockstep_spec(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "lockstep";
+  spec.seed = seed;
+  spec.lockstep = true;
+  spec.width_scale = 1.0 / 64.0;
+  spec.producers.resize(2);
+  for (auto& producer : spec.producers) {
+    producer.strategy = core::Strategy::kViperPfs;
+    producer.versions = 4;
+    producer.save_gap_ms = 1.0;
+  }
+  spec.producers[0].app = AppModel::kTc1;
+  spec.producers[1].app = AppModel::kNt3A;
+  spec.consumers.resize(2);
+  spec.traffic.think_ms = 0.1;
+  spec.slo.max_p99_update_latency_seconds = 10.0;
+  spec.slo.max_rpo_seconds = 60.0;
+  spec.slo.max_recovery_seconds = 10.0;
+
+  SoakEvent crash;
+  crash.kind = SoakEventKind::kCrashProducer;
+  crash.producer = 0;
+  crash.at_version = 2;
+  crash.crash_site = "durability.flush.begin";
+  spec.events.push_back(crash);
+  SoakEvent partition;
+  partition.kind = SoakEventKind::kPartition;
+  partition.producer = 1;
+  partition.at_version = 2;
+  partition.consumer = 1;
+  spec.events.push_back(partition);
+  SoakEvent heal;
+  heal.kind = SoakEventKind::kHeal;
+  heal.producer = 1;
+  heal.at_version = 3;
+  heal.consumer = 1;
+  spec.events.push_back(heal);
+  SoakEvent restart;
+  restart.kind = SoakEventKind::kRestartConsumer;
+  restart.producer = 0;
+  restart.at_version = 3;
+  restart.consumer = 0;
+  spec.events.push_back(restart);
+  return spec;
+}
+
+TEST(SoakRunner, SameSeedReplaysByteIdenticalArtifacts) {
+  auto first = SoakRunner(lockstep_spec(7)).run();
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  auto second = SoakRunner(lockstep_spec(7)).run();
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+
+  EXPECT_TRUE(first.value().pass()) << first.value().to_text();
+  EXPECT_TRUE(second.value().pass()) << second.value().to_text();
+  // The replay contract: schedule and executed event log byte-identical,
+  // and under lockstep + no chaos the ledger stage signature too.
+  EXPECT_EQ(first.value().fault_schedule, second.value().fault_schedule);
+  EXPECT_EQ(first.value().event_log, second.value().event_log);
+  EXPECT_EQ(first.value().ledger_signature, second.value().ledger_signature);
+
+  // The executed log covers every scheduled event plus the recovery.
+  const std::string& log = first.value().event_log;
+  EXPECT_NE(log.find("event crash_producer producer=0 at_version=2"),
+            std::string::npos);
+  EXPECT_NE(log.find("recovered producer=0 at_version=2"), std::string::npos);
+  EXPECT_NE(log.find("event partition producer=1"), std::string::npos);
+  EXPECT_NE(log.find("event heal producer=1"), std::string::npos);
+  EXPECT_NE(log.find("event restart_consumer producer=0"), std::string::npos);
+  // The crashed version closed as interrupted, never served.
+  EXPECT_NE(first.value().ledger_signature.find("interrupted"),
+            std::string::npos);
+  EXPECT_EQ(first.value().producer_restarts, 1u);
+  EXPECT_EQ(first.value().consumer_restarts, 1u);
+}
+
+TEST(SoakRunner, DifferentSeedsCompileDifferentSchedules) {
+  ScenarioSpec a = lockstep_spec(7);
+  ScenarioSpec b = lockstep_spec(8);
+  a.chaos = true;
+  b.chaos = true;
+  // chaos_plan perturbs the surface probabilities per-seed, so the
+  // schedules differ in their rule lines, not just the seed header.
+  EXPECT_NE(render_fault_schedule(a), render_fault_schedule(b));
+  EXPECT_NE(compile_fault_plan(a).seed(), compile_fault_plan(b).seed());
+}
+
+TEST(SoakRunner, ChaosSmokePassesFleetVerdict) {
+  // The acceptance shape: a heterogeneous fleet (mixed apps and sharing
+  // strategies), free-running traffic, background chaos, a partition
+  // with its heal, a mid-flush crash with recovery, and a consumer
+  // restart — ending in a PASS fleet verdict with zero torn serves.
+  ScenarioSpec spec;
+  spec.name = "chaos-smoke";
+  spec.seed = 1234;
+  spec.chaos = true;
+  spec.width_scale = 1.0 / 64.0;
+  spec.producers.resize(2);
+  spec.producers[0].app = AppModel::kTc1;
+  spec.producers[0].strategy = core::Strategy::kHostAsync;
+  spec.producers[0].versions = 6;
+  spec.producers[1].app = AppModel::kNt3A;
+  spec.producers[1].strategy = core::Strategy::kViperPfs;
+  spec.producers[1].versions = 6;
+  spec.consumers.resize(4);  // round-robin: 2 per producer
+  spec.traffic.think_ms = 0.1;
+  spec.slo.max_p99_update_latency_seconds = 10.0;
+  spec.slo.max_rpo_seconds = 60.0;
+  spec.slo.max_recovery_seconds = 10.0;
+
+  SoakEvent partition;
+  partition.kind = SoakEventKind::kPartition;
+  partition.producer = 0;
+  partition.at_version = 2;
+  partition.consumer = 0;
+  spec.events.push_back(partition);
+  SoakEvent heal;
+  heal.kind = SoakEventKind::kHeal;
+  heal.producer = 0;
+  heal.at_version = 4;
+  heal.consumer = 0;
+  spec.events.push_back(heal);
+  SoakEvent crash;
+  crash.kind = SoakEventKind::kCrashProducer;
+  crash.producer = 1;
+  crash.at_version = 3;
+  crash.crash_site = "durability.flush.begin";
+  spec.events.push_back(crash);
+  SoakEvent restart;
+  restart.kind = SoakEventKind::kRestartConsumer;
+  restart.producer = 0;
+  restart.at_version = 5;
+  restart.consumer = 2;
+  spec.events.push_back(restart);
+
+  auto result = SoakRunner(spec).run();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const SoakResult& soak = result.value();
+  EXPECT_TRUE(soak.pass()) << soak.to_text();
+  EXPECT_TRUE(soak.converged);
+  EXPECT_GE(soak.injections.crashes, 1u);
+  EXPECT_EQ(soak.injections.heals, 2u);  // both directions of the pair
+  EXPECT_EQ(soak.producer_restarts, 1u);
+  EXPECT_EQ(soak.consumer_restarts, 1u);
+  ASSERT_EQ(soak.consumers.size(), 4u);
+  for (const ConsumerStats& stats : soak.consumers) {
+    EXPECT_TRUE(stats.converged) << soak.to_text();
+    EXPECT_EQ(stats.torn_serves, 0u);
+    EXPECT_GT(stats.requests, 0u);
+  }
+  const obs::SloCheck* closed = soak.verdict.fleet_check("timelines_closed");
+  ASSERT_NE(closed, nullptr);
+  EXPECT_TRUE(closed->pass) << closed->detail;
+}
+
+}  // namespace
+}  // namespace viper::sim

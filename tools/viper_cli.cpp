@@ -39,6 +39,14 @@
 //       run the live engine under the given SLO budgets and exit 0 on a
 //       PASS verdict, 1 on FAIL — the scriptable form of the verdict
 //       engine (chaos soaks and CI gates call this).
+//   viper_cli soak --scenario FILE [--seed N] [--json FILE]
+//                  [--events FILE] [--ledger FILE]
+//       execute a declarative soak scenario (heterogeneous fleet, live
+//       traffic, seeded chaos, scheduled crash/partition/heal events)
+//       and exit 0 on a PASS fleet verdict. --events writes the fault
+//       schedule + executed event log, which is byte-identical across
+//       equal-seed runs (the replay-equivalence artifact); --seed
+//       overrides the scenario's seed.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -61,6 +69,8 @@
 #include "viper/obs/slo.hpp"
 #include "viper/obs/trace.hpp"
 #include "viper/obs/window.hpp"
+#include "viper/sim/scenario.hpp"
+#include "viper/sim/soak.hpp"
 #include "viper/sim/trajectory.hpp"
 
 using namespace viper;
@@ -71,7 +81,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s "
-               "<list|plan|run|latency|live|recover|scrub|metrics|monitor|slo> "
+               "<list|plan|run|latency|live|recover|scrub|metrics|monitor|slo"
+               "|soak> "
                "[--app NAME]\n"
                "       [--schedule "
                "KIND]\n               [--strategy NAME] [--adapter] [--refit N] "
@@ -80,7 +91,8 @@ int usage(const char* argv0) {
                "               [--pfs-dir DIR] "
                "[--model NAME] [--keep-last N] [--keep-every K]\n"
                "               [--slo-p99 SECONDS] [--slo-rpo SECONDS] "
-               "[--slo-recovery SECONDS]\n",
+               "[--slo-recovery SECONDS]\n"
+               "               [--scenario FILE] [--events FILE]\n",
                argv0);
   return 2;
 }
@@ -137,6 +149,9 @@ struct CliArgs {
   double slo_p99 = 0.0;       ///< 0 disables the check
   double slo_rpo = 0.0;
   double slo_recovery = 0.0;
+  std::string scenario_path;
+  std::string events_path;
+  bool seed_set = false;  ///< --seed was passed (soak overrides the file)
 };
 
 std::optional<CliArgs> parse(int argc, char** argv) {
@@ -186,6 +201,15 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       args.seed = std::strtoull(v, nullptr, 10);
+      args.seed_set = true;
+    } else if (flag == "--scenario") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.scenario_path = v;
+    } else if (flag == "--events") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.events_path = v;
     } else if (flag == "--pfs-dir") {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -729,6 +753,71 @@ int cmd_slo(const CliArgs& args) {
   return verdict.pass ? 0 : 1;
 }
 
+int cmd_soak(const CliArgs& args) {
+  if (args.scenario_path.empty()) {
+    std::fprintf(stderr, "soak needs --scenario FILE\n");
+    return 2;
+  }
+  std::FILE* file = std::fopen(args.scenario_path.c_str(), "rb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot read scenario file %s\n",
+                 args.scenario_path.c_str());
+    return 2;
+  }
+  std::string text;
+  char buf[4096];
+  for (std::size_t n = 0; (n = std::fread(buf, 1, sizeof(buf), file)) > 0;) {
+    text.append(buf, n);
+  }
+  std::fclose(file);
+
+  auto parsed = sim::parse_scenario(text);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+    return 2;
+  }
+  sim::ScenarioSpec spec = std::move(parsed).value();
+  if (args.seed_set) spec.seed = args.seed;
+
+  std::printf("scenario '%s': %zu producers, %zu consumers, %zu events, "
+              "chaos=%s seed=%llu\n",
+              spec.name.c_str(), spec.producers.size(), spec.consumers.size(),
+              spec.events.size(), spec.chaos ? "on" : "off",
+              static_cast<unsigned long long>(spec.seed));
+
+  sim::SoakRunner runner(std::move(spec));
+  auto result = runner.run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  const sim::SoakResult& soak = result.value();
+  std::printf("%s", soak.to_text().c_str());
+  if (!args.events_path.empty()) {
+    // Schedule + executed events only: deterministic even under chaos
+    // (the ledger signature is not — timings and drop outcomes differ —
+    // so it stays out of the replay-compared artifact).
+    const std::string events = soak.fault_schedule + "executed\n" +
+                               soak.event_log;
+    if (!write_file(args.events_path, events, "event log")) return 1;
+    std::printf("event log         -> %s\n", args.events_path.c_str());
+  }
+  if (!args.ledger_path.empty()) {
+    if (!write_file(args.ledger_path, obs::VersionLedger::global().to_json(),
+                    "ledger JSON")) {
+      return 1;
+    }
+    std::printf("ledger            -> %s\n", args.ledger_path.c_str());
+  }
+  if (!args.json_path.empty()) {
+    if (!write_file(args.json_path, soak.verdict.to_json(), "fleet SLO report")) {
+      return 1;
+    }
+    std::printf("fleet slo report  -> %s\n", args.json_path.c_str());
+  }
+  return soak.pass() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -744,5 +833,6 @@ int main(int argc, char** argv) {
   if (args->command == "metrics") return cmd_metrics(*args);
   if (args->command == "monitor") return cmd_monitor(*args);
   if (args->command == "slo") return cmd_slo(*args);
+  if (args->command == "soak") return cmd_soak(*args);
   return usage(argv[0]);
 }
