@@ -9,16 +9,27 @@
 // stat. Results land in BENCH_soak.json; every soak must end in a PASS
 // fleet verdict with zero torn serves, and with `--baseline` the p99 and
 // recovery numbers are record-then-gated against the stored run.
+//
+// `--broadcast [--out F] [--baseline B]` grows the consumers-vs-update-
+// latency curve per fan-out topology: the modeled Polaris curve (gated:
+// tree or chain must beat sequential >= 2x at 16 consumers) plus real
+// 16-consumer fan-outs over in-process comms whose payloads must land
+// byte-identical at every consumer. Results land in BENCH_broadcast.json.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "viper/common/units.hpp"
 #include "viper/parallel/broadcast.hpp"
+#include "viper/parallel/broadcast_plane.hpp"
 #include "viper/parallel/sharding.hpp"
 #include "viper/sim/scenario.hpp"
 #include "viper/sim/soak.hpp"
@@ -211,21 +222,186 @@ int run_soak_smoke(const std::string& out_path,
   return 0;
 }
 
+constexpr int kCurveConsumers[] = {1, 2, 4, 8, 16, 32, 64};
+constexpr BroadcastTopology kTopologies[] = {BroadcastTopology::kSequential,
+                                             BroadcastTopology::kTree,
+                                             BroadcastTopology::kChain};
+
+/// One real fan-out over an in-process comm world; wall seconds until the
+/// last consumer holds the payload, -1 on any byte mismatch or hop error.
+double run_real_fanout(BroadcastTopology topology, int consumers,
+                       const std::vector<std::byte>& payload) {
+  auto world = net::CommWorld::create(1 + consumers);
+  std::vector<int> roster;
+  for (int c = 1; c <= consumers; ++c) roster.push_back(c);
+  const auto plan = plan_broadcast(topology, 0, std::move(roster)).value();
+  FanoutOptions options;
+  options.stream.chunk_bytes = 256 * 1024;
+  options.stream.timeout_seconds = 10.0;
+  options.ack_timeout_seconds = 10.0;
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(consumers));
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 1; c <= consumers; ++c) {
+    threads.emplace_back([&, c] {
+      auto got = parallel::broadcast_recv(world->comm(c), plan, 9, options);
+      if (!got.is_ok() || !(got.value() == payload)) mismatches.fetch_add(1);
+    });
+  }
+  const Status sent =
+      parallel::broadcast_send(world->comm(0), plan, 9, payload, options);
+  for (std::thread& thread : threads) thread.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!sent.is_ok() || mismatches.load() != 0) return -1.0;
+  return seconds;
+}
+
+/// `--broadcast`: the consumers-vs-update-latency curve per topology.
+/// Modeled over the measured Polaris link (gated: tree or chain must beat
+/// sequential >= 2x at 16 consumers) plus a real-path correctness run —
+/// an actual 16-consumer fan-out per topology over in-process comms with
+/// byte-identical delivery, record-then-gated against the baseline.
+int run_broadcast_bench(const std::string& out_path,
+                        const std::string& baseline_path) {
+  const auto link = net::polaris_gpudirect();
+  constexpr std::uint64_t kModelBytes = 4'700'000'000ULL;  // TC1
+
+  std::ostringstream json;
+  json.precision(17);
+  json << "{\n";
+  std::printf("modeled %s, one %s update\n", link.name.c_str(),
+              format_bytes(kModelBytes).c_str());
+  std::printf("  %-10s %-16s %-16s %-16s\n", "consumers", "sequential (s)",
+              "tree (s)", "chain (s)");
+  double modeled_c16[3] = {0, 0, 0};
+  for (int consumers : kCurveConsumers) {
+    double row[3] = {0, 0, 0};
+    for (std::size_t t = 0; t < 3; ++t) {
+      row[t] = estimate_broadcast(kTopologies[t], kModelBytes, consumers, link)
+                   .value()
+                   .last_consumer_seconds;
+      json << "  \"modeled_" << to_string(kTopologies[t]) << "_c" << consumers
+           << "\": " << row[t] << ",\n";
+      if (consumers == 16) modeled_c16[t] = row[t];
+    }
+    std::printf("  %-10d %-16.3f %-16.3f %-16.3f\n", consumers, row[0], row[1],
+                row[2]);
+  }
+  const double best_c16 = std::min(modeled_c16[1], modeled_c16[2]);
+  const double speedup_c16 = modeled_c16[0] / best_c16;
+  json << "  \"modeled_speedup_c16\": " << speedup_c16 << ",\n";
+  std::printf("best topology speedup over sequential at 16 consumers: %.2fx\n",
+              speedup_c16);
+
+  // Real path: every consumer must hold byte-identical tensors.
+  constexpr int kRealConsumers = 16;
+  const std::size_t kPayload = 4 * 1024 * 1024;
+  std::vector<std::byte> payload(kPayload);
+  for (std::size_t i = 0; i < kPayload; ++i) {
+    payload[i] = static_cast<std::byte>((i * 131 + 17) & 0xff);
+  }
+  double real_tree = -1.0;
+  for (std::size_t t = 0; t < 3; ++t) {
+    const std::string name(to_string(kTopologies[t]));
+    const double seconds =
+        run_real_fanout(kTopologies[t], kRealConsumers, payload);
+    if (seconds < 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: real %s fan-out did not deliver byte-identical "
+                   "payloads to all %d consumers\n",
+                   name.c_str(), kRealConsumers);
+      return 1;
+    }
+    json << "  \"real_" << name << "_seconds\": " << seconds << ",\n";
+    std::printf("real %-10s fan-out to %d consumers (%s): %.1f ms, "
+                "byte-identical at every consumer\n",
+                name.c_str(), kRealConsumers, format_bytes(kPayload).c_str(),
+                seconds * 1e3);
+    if (kTopologies[t] == BroadcastTopology::kTree) real_tree = seconds;
+  }
+  json << "  \"real_consumers\": " << kRealConsumers << ",\n"
+       << "  \"real_payload_bytes\": " << kPayload << ",\n"
+       << "  \"correct\": 1\n}\n";
+
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << json.str();
+  }
+
+  if (speedup_c16 < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: best topology is only %.2fx sequential at 16 "
+                 "consumers (gate: >= 2x)\n",
+                 speedup_c16);
+    return 1;
+  }
+
+  if (baseline_path.empty()) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot record baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    out << json.str();
+    std::printf("recorded baseline %s\n", baseline_path.c_str());
+    return 0;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const double base_speedup = json_number(buffer.str(), "modeled_speedup_c16");
+  const double base_tree =
+      json_number(buffer.str(), "real_binomial-tree_seconds");
+  if (!std::isnan(base_speedup) && speedup_c16 < 0.9 * base_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: modeled speedup %.2fx regressed below 90%% of the "
+                 "recorded %.2fx\n",
+                 speedup_c16, base_speedup);
+    return 1;
+  }
+  // Wall time on a shared CI box is noisy; catch order-of-magnitude only.
+  if (!std::isnan(base_tree) && base_tree > 0.0 &&
+      real_tree > 10.0 * base_tree) {
+    std::fprintf(stderr,
+                 "FAIL: real tree fan-out %.1f ms is >10x the recorded "
+                 "baseline %.1f ms\n",
+                 real_tree * 1e3, base_tree * 1e3);
+    return 1;
+  }
+  std::printf("baseline OK (speedup %.2fx vs recorded %.2fx)\n", speedup_c16,
+              base_speedup);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool broadcast = false;
   std::string out_path = "BENCH_soak.json";
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--broadcast") == 0) {
+      broadcast = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     }
   }
+  if (broadcast) return run_broadcast_bench(out_path, baseline_path);
   if (smoke) return run_soak_smoke(out_path, baseline_path);
   constexpr std::uint64_t kBytes = 4'700'000'000ULL;  // TC1
 
@@ -248,7 +424,7 @@ int main(int argc, char** argv) {
       std::printf("  %-10d %-16.3f %-16.3f %-16.3f\n", consumers, results[0],
                   results[1], results[2]);
     }
-    const auto best = rank_topologies(kBytes, 32, link).front();
+    const auto best = rank_topologies(kBytes, 32, link).value().front();
     bench::note("best at 32 consumers: " + std::string(to_string(best.topology)));
   }
 

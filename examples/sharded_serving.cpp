@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
   std::printf("\nfan-out planning: one 4.7 GB update to a replica pool\n");
   const auto link = net::polaris_gpudirect();
   for (int replicas : {4, 16, 64}) {
-    const auto ranked = rank_topologies(4'700'000'000ULL, replicas, link);
+    const auto ranked =
+        rank_topologies(4'700'000'000ULL, replicas, link).value();
     std::printf("  %2d replicas: best=%s, last replica live after %.2f s "
                 "(sequential would take %.2f s)\n",
                 replicas, std::string(to_string(ranked.front().topology)).c_str(),

@@ -76,6 +76,15 @@ echo "=== perf smoke: consumer-scaling soak (real engine, p99 + recovery) ==="
   --out build/BENCH_soak.json \
   --baseline build/BENCH_soak.baseline.json
 
+echo "=== perf smoke: broadcast fan-out plane (modeled curve + real fan-out) ==="
+# Consumers-vs-update-latency per topology: the modeled Polaris curve must
+# show tree or chain beating sequential >= 2x at 16 consumers, and a real
+# 16-consumer fan-out per topology must land byte-identical at every
+# consumer; wall times are record-then-gated against the baseline.
+./build/bench/scale_consumers --broadcast \
+  --out build/BENCH_broadcast.json \
+  --baseline build/BENCH_broadcast.baseline.json
+
 echo "=== soak smoke: seeded chaos fleet, replay-identical schedule ==="
 # A 2x4-rank heterogeneous fleet under chaos with a partition+heal, a
 # mid-flush crash+recovery, and a consumer restart must end in a PASS
@@ -143,7 +152,7 @@ if [[ "$SKIP_TSAN" == 1 ]]; then
   exit 0
 fi
 
-echo "=== tsan: obs + stress + fault-injection + durability + parallel plane under ThreadSanitizer ==="
+echo "=== tsan: obs + stress + fault-injection + durability + parallel/broadcast plane + sharded bus under ThreadSanitizer ==="
 cmake -B build-tsan -S . \
   -DVIPER_SANITIZE=thread \
   -DVIPER_BUILD_BENCH=OFF \
@@ -151,7 +160,8 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j \
   --target obs_test obs_e2e_test stress_test fault_injection_test \
            durability_test buffer_pool_test thread_pool_test \
-           parallel_transfer_test consumer_parallel_test soak_test >/dev/null
+           parallel_transfer_test consumer_parallel_test soak_test \
+           broadcast_test kvstore_test >/dev/null
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/obs_e2e_test
 ./build-tsan/tests/stress_test
@@ -162,5 +172,7 @@ cmake --build build-tsan -j \
 ./build-tsan/tests/parallel_transfer_test
 ./build-tsan/tests/consumer_parallel_test
 ./build-tsan/tests/soak_test
+./build-tsan/tests/broadcast_test
+./build-tsan/tests/kvstore_test
 
 echo "=== verify OK ==="

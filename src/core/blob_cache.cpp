@@ -1,0 +1,44 @@
+#include "viper/core/blob_cache.hpp"
+
+#include "viper/obs/metrics.hpp"
+
+namespace viper::core {
+
+namespace {
+
+struct BlobCacheMetrics {
+  obs::Counter& hits =
+      obs::MetricsRegistry::global().counter("viper.bcast.shared_blob_hits");
+  obs::Counter& misses =
+      obs::MetricsRegistry::global().counter("viper.bcast.shared_blob_misses");
+};
+
+BlobCacheMetrics& blob_cache_metrics() {
+  static BlobCacheMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+std::optional<VersionBlobCache::Entry> VersionBlobCache::lookup(
+    const std::string& model, std::uint64_t version) {
+  std::lock_guard lock(mutex_);
+  auto it = newest_.find(model);
+  if (it == newest_.end() || it->second.version != version) {
+    blob_cache_metrics().misses.add();
+    return std::nullopt;
+  }
+  blob_cache_metrics().hits.add();
+  return it->second.entry;
+}
+
+void VersionBlobCache::insert(const std::string& model, std::uint64_t version,
+                              serial::SharedBlob blob, std::size_t offset) {
+  std::lock_guard lock(mutex_);
+  Slot& slot = newest_[model];
+  if (version < slot.version) return;  // never regress to an older blob
+  slot.version = version;
+  slot.entry = Entry{std::move(blob), offset};
+}
+
+}  // namespace viper::core

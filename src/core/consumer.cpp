@@ -32,6 +32,8 @@ struct ConsumerMetrics {
       "viper.consumer.prefetch_superseded");
   obs::Counter& loads_skipped =
       obs::MetricsRegistry::global().counter("viper.consumer.loads_skipped");
+  obs::Counter& pushes_applied =
+      obs::MetricsRegistry::global().counter("viper.consumer.pushes_applied");
   obs::Histogram& apply_seconds =
       obs::MetricsRegistry::global().histogram("viper.consumer.apply_seconds");
   obs::Histogram& swap_seconds =
@@ -70,7 +72,11 @@ InferenceConsumer::InferenceConsumer(std::shared_ptr<SharedServices> services,
       model_name_(std::move(model_name)),
       options_(std::move(options)),
       loader_(std::move(services), std::move(comm), options_.loader),
-      subscription_(services_->bus->subscribe(notification_channel(model_name_))) {}
+      subscription_(services_->bus->subscribe(notification_channel(model_name_))) {
+  // Each consumer instance drains versions under its own lease identity.
+  lease_holder_ =
+      "consumer@" + std::to_string(reinterpret_cast<std::uintptr_t>(this));
+}
 
 InferenceConsumer::~InferenceConsumer() { stop(); }
 
@@ -103,6 +109,9 @@ void InferenceConsumer::warm_start_from_pfs() {
   const std::uint64_t version = recovered.value().version;
   buffer_.install(std::move(recovered.value().model));
   version_.store(version, std::memory_order_relaxed);
+  if (services_->leases != nullptr) {
+    services_->leases->acquire(model_name_, version, lease_holder_);
+  }
   warm_started_ = true;
   durability::durability_metrics().warm_starts.add();
   VIPER_INFO << "consumer warm-started '" << model_name_ << "' from committed v"
@@ -123,6 +132,14 @@ void InferenceConsumer::stop() {
   if (prefetcher_) {
     prefetcher_->shutdown();
     prefetcher_.reset();
+  }
+  // Return the drain lease on the resident version so retention GC is not
+  // blocked by a consumer that left the fleet. A restart re-acquires it on
+  // the next install (or keeps serving the resident model lease-free,
+  // protected by the retention keep window like any pull-only consumer).
+  const std::uint64_t resident = version_.load(std::memory_order_relaxed);
+  if (services_->leases != nullptr && resident != 0) {
+    services_->leases->release(model_name_, resident, lease_holder_);
   }
 }
 
@@ -220,20 +237,72 @@ void InferenceConsumer::apply_latest(bool prefetched) {
   }
   auto metadata = loader_.peek(model_name_);
   const std::uint64_t version = model.value().version();
+  // A pushed install may have raced past this pull; install_version drops
+  // the stale copy instead of regressing the serving model.
+  if (!install_version(std::move(model).value(), version)) return;
+  consumer_metrics().apply_seconds.record(watch.elapsed());
+  if (options_.on_update && metadata.is_ok()) options_.on_update(metadata.value());
+}
+
+bool InferenceConsumer::install_version(Model&& model, std::uint64_t version) {
+  std::lock_guard lock(install_mutex_);
+  const std::uint64_t resident = version_.load(std::memory_order_relaxed);
+  if (buffer_.active() != nullptr && version <= resident) return false;
+  // Take the drain lease on the incoming version before it becomes
+  // visible, so retention GC never retires a version this consumer is
+  // about to serve; the previous version's lease is returned after the
+  // swap, once no new reader can pick it up.
+  if (services_->leases != nullptr) {
+    services_->leases->acquire(model_name_, version, lease_holder_);
+  }
   {
     const Stopwatch swap_watch;
     auto swap_span = obs::Tracer::global().span("swap", "consumer");
-    buffer_.install(std::move(model).value());
+    buffer_.install(std::move(model));
     consumer_metrics().swap_seconds.record(swap_watch.elapsed());
   }
   obs::ledger_record(model_name_, version, obs::Stage::kSwapDone,
                      obs::current_context().trace_id);
   version_.store(version, std::memory_order_relaxed);
+  if (services_->leases != nullptr && resident != 0 && resident != version) {
+    services_->leases->release(model_name_, resident, lease_holder_);
+  }
   updates_.fetch_add(1, std::memory_order_relaxed);
+  consumer_metrics().updates.add();
+  return true;
+}
+
+Status InferenceConsumer::apply_pushed(const ModelMetadata& meta,
+                                       serial::SharedBlob blob,
+                                       std::size_t blob_offset) {
+  if (meta.name != model_name_) {
+    return invalid_argument("pushed blob is for model '" + meta.name +
+                            "', consumer serves '" + model_name_ + "'");
+  }
+  // Cheap stale check before decoding anything: relays re-deliver on
+  // retry, and a version at or below the resident one has nothing to add.
+  if (buffer_.active() != nullptr &&
+      meta.version <= version_.load(std::memory_order_relaxed)) {
+    loads_skipped_.fetch_add(1, std::memory_order_relaxed);
+    consumer_metrics().loads_skipped.add();
+    return Status::ok();
+  }
+  const Stopwatch watch;
+  auto model =
+      loader_.decode_blob(meta.name, meta.version, std::move(blob), blob_offset);
+  if (!model.is_ok()) return model.status();
+  const std::uint64_t version = model.value().version();
+  if (!install_version(std::move(model).value(), version)) {
+    loads_skipped_.fetch_add(1, std::memory_order_relaxed);
+    consumer_metrics().loads_skipped.add();
+    return Status::ok();
+  }
+  pushes_applied_.fetch_add(1, std::memory_order_relaxed);
   ConsumerMetrics& metrics = consumer_metrics();
-  metrics.updates.add();
+  metrics.pushes_applied.add();
   metrics.apply_seconds.record(watch.elapsed());
-  if (options_.on_update && metadata.is_ok()) options_.on_update(metadata.value());
+  if (options_.on_update) options_.on_update(meta);
+  return Status::ok();
 }
 
 PollingConsumer::PollingConsumer(std::shared_ptr<SharedServices> services,

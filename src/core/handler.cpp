@@ -579,7 +579,10 @@ Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
   }
 
   if (options_.retention.enabled()) {
-    auto gc = durability::apply_retention(*journal, options_.retention);
+    // Lease-gated: a version a consumer (or fan-out relay) still holds a
+    // live lease on survives this pass and is retried on the next one.
+    auto gc = durability::apply_retention(*journal, options_.retention,
+                                          services_->leases.get());
     if (!gc.is_ok()) {
       VIPER_WARN << "retention GC after v" << metadata.version
                  << " failed: " << gc.status().to_string();
@@ -613,7 +616,12 @@ void ModelWeightsHandler::serve_transfers(const net::Comm& comm) {
     if (!msg.is_ok()) return;  // world shut down
     if (msg.value().tag == kTagShutdown) return;
     if (msg.value().tag != kTagLoadRequest) {
-      VIPER_WARN << "transfer server ignoring unexpected tag " << msg.value().tag;
+      // Not ours: the producer rank's inbox is shared with other
+      // receivers (e.g. a broadcast fan-out waiting for stream acks on
+      // its own tag). Set the message aside for whoever is matching on
+      // it and yield briefly so that receiver gets a turn.
+      comm.requeue(std::move(msg).value());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
       continue;
     }
     auto request = decode_load_request(msg.value().payload);
@@ -781,6 +789,25 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
     scoped_context.emplace(derived);
   }
   const std::uint64_t trace_id = obs::current_context().trace_id;
+
+  // Co-located shared-blob reuse: when another consumer on this host has
+  // already fetched (and decode-verified) this exact version, decode
+  // straight off its refcounted blob — no wire transfer, no promote copy,
+  // borrowed-view tensors. N consumers, one blob.
+  if (options_.blob_cache) {
+    if (auto entry = options_.blob_cache->lookup(model_name, meta.version)) {
+      auto model =
+          decode_blob(model_name, meta.version, entry->blob, entry->offset);
+      if (model.is_ok()) {
+        last_load_cost_ = 0.0;  // the blob was already resident
+        EngineMetrics& metrics = engine_metrics();
+        metrics.loads.add();
+        metrics.load_seconds.record(watch.elapsed());
+      }
+      return model;
+    }
+  }
+
   obs::ledger_record(model_name, meta.version, obs::Stage::kFetchStart,
                      trace_id);
 
@@ -853,8 +880,32 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
                                         shared->size() - blob_offset);
   services_->stats->on_load(view.size());
 
+  auto model = decode_blob(model_name, meta.version, shared, blob_offset);
+  if (model.is_ok()) {
+    metrics.loads.add();
+    metrics.load_bytes.add(view.size());
+    metrics.load_seconds.record(watch.elapsed());
+    // Publish the verified blob so co-located consumers of this version
+    // skip their own fetch and decode off this copy.
+    if (options_.blob_cache) {
+      options_.blob_cache->insert(model_name, meta.version, shared,
+                                  blob_offset);
+    }
+  }
+  return model;
+}
+
+Result<Model> ModelLoader::decode_blob(const std::string& model_name,
+                                       std::uint64_t version,
+                                       serial::SharedBlob shared,
+                                       std::size_t blob_offset) {
+  const std::uint64_t trace_id = obs::current_context().trace_id;
+  if (shared->size() < blob_offset + 4) {
+    return data_loss("checkpoint blob too small");
+  }
+  const std::span<const std::byte> view(shared->data() + blob_offset,
+                                        shared->size() - blob_offset);
   // Sniff the format by magic so a consumer can read either layout.
-  if (view.size() < 4) return data_loss("checkpoint blob too small");
   const serial::CheckpointFormat& format =
       serial::format_for_blob(view) == serial::BlobFormat::kViper
           ? *viper_format_
@@ -872,11 +923,7 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
                          blob_offset);
   deserialize_span.end();
   if (model.is_ok()) {
-    obs::ledger_record(model_name, meta.version, obs::Stage::kDecodeDone,
-                       trace_id);
-    metrics.loads.add();
-    metrics.load_bytes.add(view.size());
-    metrics.load_seconds.record(watch.elapsed());
+    obs::ledger_record(model_name, version, obs::Stage::kDecodeDone, trace_id);
   } else if (model.status().code() == StatusCode::kDataLoss) {
     // A payload that survived every transfer checksum yet failed decode
     // verification: the blob a consumer was about to serve was corrupt.

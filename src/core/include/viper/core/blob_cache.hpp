@@ -1,0 +1,48 @@
+// Host-local version blob cache: co-located consumers of one model share
+// a single refcounted checkpoint blob instead of each pulling (and
+// holding) its own copy. The first consumer to fetch a version publishes
+// the SharedBlob here; every other consumer on the host decodes straight
+// off it with borrowed-view tensors — N serving loops, one blob, zero
+// extra copies (the serial allocation counters are the acceptance check).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "viper/serial/buffer_pool.hpp"
+
+namespace viper::core {
+
+class VersionBlobCache {
+ public:
+  struct Entry {
+    serial::SharedBlob blob;
+    std::size_t offset = 0;  ///< checkpoint start within the blob (e.g.
+                             ///< past a transfer-reply status byte)
+  };
+
+  /// The blob of (model, version) when a co-located consumer already
+  /// holds it; counts a shared-blob hit or miss either way.
+  std::optional<Entry> lookup(const std::string& model, std::uint64_t version);
+
+  /// Publish a fetched (and decode-verified) blob for co-located
+  /// consumers. Only the newest version per model is kept: a superseded
+  /// entry is dropped from the cache, while consumers still decoding it
+  /// keep it alive through their own blob references.
+  void insert(const std::string& model, std::uint64_t version,
+              serial::SharedBlob blob, std::size_t offset);
+
+ private:
+  struct Slot {
+    std::uint64_t version = 0;
+    Entry entry;
+  };
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, Slot> newest_;
+};
+
+}  // namespace viper::core

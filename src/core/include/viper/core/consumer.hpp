@@ -77,6 +77,15 @@ class InferenceConsumer {
   InferenceConsumer(const InferenceConsumer&) = delete;
   InferenceConsumer& operator=(const InferenceConsumer&) = delete;
 
+  /// Install a version delivered over the broadcast plane: decode the
+  /// pushed blob in place (no metadata round-trip, no wire pull) and swap
+  /// it in. Stale pushes — a version at or below the resident one — are
+  /// skipped and reported OK, so relays may re-deliver freely. The
+  /// resident version advances on success, which makes the matching bus
+  /// notification (and any resync) early-out instead of re-fetching.
+  Status apply_pushed(const ModelMetadata& meta, serial::SharedBlob blob,
+                      std::size_t blob_offset);
+
   /// Begin listening for updates (idempotent). A stopped consumer can be
   /// started again: the prefetch worker is rebuilt (a SerialExecutor is
   /// not restartable after shutdown) and the resident version survives,
@@ -116,6 +125,10 @@ class InferenceConsumer {
   [[nodiscard]] std::uint64_t loads_skipped() const noexcept {
     return loads_skipped_.load(std::memory_order_relaxed);
   }
+  /// Versions installed through the push path (apply_pushed).
+  [[nodiscard]] std::uint64_t pushes_applied() const noexcept {
+    return pushes_applied_.load(std::memory_order_relaxed);
+  }
   /// True when start() installed a recovered checkpoint before the first
   /// producer update arrived.
   [[nodiscard]] bool warm_started() const noexcept { return warm_started_; }
@@ -128,6 +141,11 @@ class InferenceConsumer {
   /// on the prefetch worker, adopting `context` either way.
   void schedule_apply(const obs::TraceContext& context);
   void apply_latest(bool prefetched);
+  /// Serialize installs from the pull and push paths: the version compare
+  /// and swap happen under one lock, so a slower pull of v(N-1) can never
+  /// overwrite a pushed vN, and the drain lease moves to the new version
+  /// atomically with the swap. Returns false when `version` is stale.
+  bool install_version(Model&& model, std::uint64_t version);
   /// Journal-driven read-only recovery of the newest committed version.
   void warm_start_from_pfs();
 
@@ -148,6 +166,11 @@ class InferenceConsumer {
   std::atomic<std::uint64_t> prefetch_started_{0};
   std::atomic<std::uint64_t> prefetch_superseded_{0};
   std::atomic<std::uint64_t> loads_skipped_{0};
+  std::atomic<std::uint64_t> pushes_applied_{0};
+  /// Guards the version-compare-and-swap shared by pull and push installs.
+  std::mutex install_mutex_;
+  /// Per-instance lease holder id for the retention drain protocol.
+  std::string lease_holder_;
   bool warm_started_ = false;
   bool started_ = false;
 };

@@ -15,8 +15,10 @@
 #include "viper/common/retry.hpp"
 #include "viper/common/thread_pool.hpp"
 #include "viper/common/thread_util.hpp"
+#include "viper/core/blob_cache.hpp"
 #include "viper/core/metadata.hpp"
 #include "viper/durability/journal.hpp"
+#include "viper/durability/lease.hpp"
 #include "viper/durability/retention.hpp"
 #include "viper/core/notification.hpp"
 #include "viper/core/platform.hpp"
@@ -45,6 +47,11 @@ struct SharedServices {
   std::shared_ptr<memsys::StorageTier> pfs =
       std::make_shared<memsys::MemoryTier>(memsys::polaris_lustre());
   std::shared_ptr<StatsManager> stats = std::make_shared<StatsManager>();
+  /// Consumer leases over in-flight versions: retention GC never retires
+  /// a version a consumer still holds a live lease on, and a crashed
+  /// holder's lease expires by TTL so GC unblocks (durability/lease.hpp).
+  std::shared_ptr<durability::LeaseTable> leases =
+      std::make_shared<durability::LeaseTable>();
 };
 
 /// Outcome of one save: where the checkpoint went and the modeled costs.
@@ -226,6 +233,11 @@ class ModelLoader {
     /// the serial decoder (seed behavior). The decoded model is identical
     /// either way.
     int decode_shards = 0;
+    /// Host-local shared-blob cache: consumers of one model on the same
+    /// host share a single refcounted blob per version — the first
+    /// fetcher publishes it, later loads decode off it without touching
+    /// the wire or copying a byte. nullptr disables sharing.
+    std::shared_ptr<VersionBlobCache> blob_cache;
   };
 
   ModelLoader(std::shared_ptr<SharedServices> services, net::Comm comm,
@@ -236,6 +248,14 @@ class ModelLoader {
 
   /// Metadata of the latest version without fetching the payload.
   Result<ModelMetadata> peek(const std::string& model_name) const;
+
+  /// Decode a checkpoint blob that is already in host memory — a
+  /// broadcast-plane delivery or a co-located consumer's cached copy:
+  /// format sniff + zero-copy deserialize starting at `blob_offset`.
+  /// The tensors borrow their payloads from `shared`.
+  Result<Model> decode_blob(const std::string& model_name,
+                            std::uint64_t version, serial::SharedBlob shared,
+                            std::size_t blob_offset);
 
   /// Modeled consumer-side load cost of the last load_weights call.
   [[nodiscard]] double last_load_cost() const noexcept { return last_load_cost_; }

@@ -72,6 +72,18 @@ class StatsManager {
     std::uint64_t stream_retries = 0;
     std::uint64_t stream_rejects = 0;
     std::uint64_t stream_bytes_on_wire = 0;
+    // Broadcast fan-out plane.
+    std::uint64_t bcast_broadcasts = 0;
+    std::uint64_t bcast_relay_hops = 0;
+    std::uint64_t bcast_bytes_saved = 0;  ///< vs sequential unicast
+    std::uint64_t bcast_fallbacks = 0;
+    std::uint64_t shared_blob_hits = 0;
+    // Lease-gated retention.
+    std::uint64_t lease_grants = 0;
+    std::uint64_t lease_expiries = 0;
+    std::uint64_t gc_lease_blocked = 0;
+    // Sharded pub/sub bus.
+    std::uint64_t pubsub_shard_contention = 0;
   };
   [[nodiscard]] static DataPlaneCounters data_plane();
 

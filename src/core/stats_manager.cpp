@@ -130,6 +130,18 @@ StatsManager::DataPlaneCounters StatsManager::data_plane() {
   out.stream_rejects = snapshot.counter_value("viper.net.stream_rejects");
   out.stream_bytes_on_wire =
       snapshot.counter_value("viper.net.stream_bytes_on_wire");
+  out.bcast_broadcasts = snapshot.counter_value("viper.bcast.broadcasts");
+  out.bcast_relay_hops = snapshot.counter_value("viper.bcast.relay_hops");
+  out.bcast_bytes_saved =
+      snapshot.counter_value("viper.bcast.bytes_saved_vs_sequential");
+  out.bcast_fallbacks = snapshot.counter_value("viper.bcast.fallbacks");
+  out.shared_blob_hits = snapshot.counter_value("viper.bcast.shared_blob_hits");
+  out.lease_grants = snapshot.counter_value("viper.durability.lease_grants");
+  out.lease_expiries = snapshot.counter_value("viper.durability.lease_expiries");
+  out.gc_lease_blocked =
+      snapshot.counter_value("viper.durability.gc_lease_blocked");
+  out.pubsub_shard_contention =
+      snapshot.counter_value("viper.kvstore.pubsub.shard_contention");
   return out;
 }
 
@@ -165,6 +177,15 @@ std::string StatsManager::summary() const {
   line("viper.net.stream_retries", data.stream_retries);
   line("viper.net.stream_rejects", data.stream_rejects);
   line("viper.net.stream_bytes_on_wire", data.stream_bytes_on_wire);
+  line("viper.bcast.broadcasts", data.bcast_broadcasts);
+  line("viper.bcast.relay_hops", data.bcast_relay_hops);
+  line("viper.bcast.bytes_saved_vs_sequential", data.bcast_bytes_saved);
+  line("viper.bcast.fallbacks", data.bcast_fallbacks);
+  line("viper.bcast.shared_blob_hits", data.shared_blob_hits);
+  line("viper.durability.lease_grants", data.lease_grants);
+  line("viper.durability.lease_expiries", data.lease_expiries);
+  line("viper.durability.gc_lease_blocked", data.gc_lease_blocked);
+  line("viper.kvstore.pubsub.shard_contention", data.pubsub_shard_contention);
   return out;
 }
 

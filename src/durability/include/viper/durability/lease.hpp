@@ -1,0 +1,70 @@
+// Consumer leases over checkpoint versions: the epoch/lease protocol that
+// bridges the fan-out plane and retention GC. A consumer (or relay) takes
+// a lease on the version it is draining; retention GC skips any version
+// with a live lease, so a straggler is never served a version that was
+// erased under it. Leases carry a TTL against the steady clock: a holder
+// that crashes mid-fan-out simply stops renewing, its lease expires, and
+// GC unblocks — the version is neither leaked forever nor torn away early.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "viper/common/status.hpp"
+
+namespace viper::durability {
+
+class LeaseTable {
+ public:
+  struct Options {
+    /// TTL applied when acquire/extend pass ttl_seconds <= 0.
+    double default_ttl_seconds = 30.0;
+  };
+
+  LeaseTable() = default;
+  explicit LeaseTable(Options options) : options_(options) {}
+
+  /// Take (or refresh) `holder`'s lease on (model, version). A repeated
+  /// acquire by the same holder renews the expiry rather than stacking.
+  Status acquire(const std::string& model, std::uint64_t version,
+                 const std::string& holder, double ttl_seconds = 0.0);
+
+  /// Extend an existing lease; NOT_FOUND if the holder no longer has one
+  /// (it expired — the holder must re-acquire and re-validate its copy).
+  Status extend(const std::string& model, std::uint64_t version,
+                const std::string& holder, double ttl_seconds = 0.0);
+
+  /// Drop `holder`'s lease (the version is drained). Releasing a lease
+  /// that already expired is OK — the drain happened either way.
+  Status release(const std::string& model, std::uint64_t version,
+                 const std::string& holder);
+
+  /// True while any unexpired lease covers (model, version). Prunes
+  /// expired holders as a side effect, counting each expiry.
+  [[nodiscard]] bool active(const std::string& model, std::uint64_t version);
+
+  /// Live leases on (model, version) after pruning expired holders.
+  [[nodiscard]] std::size_t holder_count(const std::string& model,
+                                         std::uint64_t version);
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  using Key = std::pair<std::string, std::uint64_t>;
+
+  [[nodiscard]] static double now_seconds();
+  [[nodiscard]] double ttl_or_default(double ttl_seconds) const noexcept {
+    return ttl_seconds > 0.0 ? ttl_seconds : options_.default_ttl_seconds;
+  }
+  /// Drop expired holders of `key`; caller holds mutex_.
+  void prune_locked(const Key& key, double now);
+
+  Options options_;
+  std::mutex mutex_;
+  std::map<Key, std::map<std::string, double>> leases_;  ///< holder -> expiry
+};
+
+}  // namespace viper::durability

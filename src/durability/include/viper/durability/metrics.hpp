@@ -51,6 +51,17 @@ struct DurabilityMetrics {
   /// Consumers that warm-started from a committed checkpoint on boot.
   obs::Counter& warm_starts =
       obs::MetricsRegistry::global().counter("viper.durability.warm_starts");
+  /// Lease protocol (lease.hpp): grants (acquire/renew), explicit
+  /// releases, TTL expiries (a crashed holder unblocking GC), and GC
+  /// passes that skipped a version because a consumer still held it.
+  obs::Counter& lease_grants =
+      obs::MetricsRegistry::global().counter("viper.durability.lease_grants");
+  obs::Counter& lease_releases =
+      obs::MetricsRegistry::global().counter("viper.durability.lease_releases");
+  obs::Counter& lease_expiries =
+      obs::MetricsRegistry::global().counter("viper.durability.lease_expiries");
+  obs::Counter& gc_lease_blocked =
+      obs::MetricsRegistry::global().counter("viper.durability.gc_lease_blocked");
   /// Modeled seconds per journal append (write + fsync barrier).
   obs::Histogram& journal_seconds =
       obs::MetricsRegistry::global().histogram("viper.durability.journal_seconds");

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "viper/durability/journal.hpp"
+#include "viper/durability/lease.hpp"
 
 namespace viper::durability {
 
@@ -31,13 +32,20 @@ struct RetentionReport {
   std::uint64_t examined = 0;
   std::uint64_t retired = 0;
   std::uint64_t bytes_reclaimed = 0;
+  /// Versions the policy would retire but a live consumer lease blocked;
+  /// they are retried on the next GC pass (after drain or TTL expiry).
+  std::uint64_t lease_blocked = 0;
   std::vector<std::uint64_t> retired_versions;
 };
 
 /// Apply `policy` to the journal's committed versions: erase expired blobs
 /// from the journal's tier and append RETIRE records. No-op (empty report)
-/// when the policy is disabled.
+/// when the policy is disabled. When `leases` is given, a version under an
+/// active lease is never retired — it is skipped and counted, and retried
+/// on a later pass once every leased consumer has drained it (or crashed
+/// and let its lease expire).
 Result<RetentionReport> apply_retention(ManifestJournal& journal,
-                                        const RetentionPolicy& policy);
+                                        const RetentionPolicy& policy,
+                                        LeaseTable* leases = nullptr);
 
 }  // namespace viper::durability

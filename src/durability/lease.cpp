@@ -1,0 +1,85 @@
+#include "viper/durability/lease.hpp"
+
+#include <chrono>
+
+#include "viper/durability/metrics.hpp"
+
+namespace viper::durability {
+
+double LeaseTable::now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void LeaseTable::prune_locked(const Key& key, double now) {
+  auto it = leases_.find(key);
+  if (it == leases_.end()) return;
+  for (auto holder = it->second.begin(); holder != it->second.end();) {
+    if (holder->second <= now) {
+      holder = it->second.erase(holder);
+      durability_metrics().lease_expiries.add();
+    } else {
+      ++holder;
+    }
+  }
+  if (it->second.empty()) leases_.erase(it);
+}
+
+Status LeaseTable::acquire(const std::string& model, std::uint64_t version,
+                           const std::string& holder, double ttl_seconds) {
+  const double now = now_seconds();
+  std::lock_guard lock(mutex_);
+  const Key key{model, version};
+  prune_locked(key, now);
+  leases_[key][holder] = now + ttl_or_default(ttl_seconds);
+  durability_metrics().lease_grants.add();
+  return Status::ok();
+}
+
+Status LeaseTable::extend(const std::string& model, std::uint64_t version,
+                          const std::string& holder, double ttl_seconds) {
+  const double now = now_seconds();
+  std::lock_guard lock(mutex_);
+  const Key key{model, version};
+  prune_locked(key, now);
+  auto it = leases_.find(key);
+  if (it == leases_.end() || !it->second.contains(holder)) {
+    return not_found("no live lease for '" + holder + "' on " + model + " v" +
+                     std::to_string(version));
+  }
+  it->second[holder] = now + ttl_or_default(ttl_seconds);
+  return Status::ok();
+}
+
+Status LeaseTable::release(const std::string& model, std::uint64_t version,
+                           const std::string& holder) {
+  std::lock_guard lock(mutex_);
+  const Key key{model, version};
+  auto it = leases_.find(key);
+  if (it != leases_.end() && it->second.erase(holder) > 0) {
+    durability_metrics().lease_releases.add();
+    if (it->second.empty()) leases_.erase(it);
+  }
+  return Status::ok();
+}
+
+bool LeaseTable::active(const std::string& model, std::uint64_t version) {
+  const double now = now_seconds();
+  std::lock_guard lock(mutex_);
+  const Key key{model, version};
+  prune_locked(key, now);
+  return leases_.contains(key);
+}
+
+std::size_t LeaseTable::holder_count(const std::string& model,
+                                     std::uint64_t version) {
+  const double now = now_seconds();
+  std::lock_guard lock(mutex_);
+  const Key key{model, version};
+  prune_locked(key, now);
+  auto it = leases_.find(key);
+  return it == leases_.end() ? 0 : it->second.size();
+}
+
+}  // namespace viper::durability

@@ -17,7 +17,8 @@ bool RetentionPolicy::keeps(std::uint64_t version,
 }
 
 Result<RetentionReport> apply_retention(ManifestJournal& journal,
-                                        const RetentionPolicy& policy) {
+                                        const RetentionPolicy& policy,
+                                        LeaseTable* leases) {
   RetentionReport report;
   if (!policy.enabled()) return report;
   if (!journal.loaded()) {
@@ -32,6 +33,12 @@ Result<RetentionReport> apply_retention(ManifestJournal& journal,
   for (const auto& [version, record] : state.committed) {
     ++report.examined;
     if (policy.keeps(version, versions)) continue;
+    if (leases != nullptr && leases->active(journal.model_name(), version)) {
+      // A consumer is still draining this version; retry next pass.
+      ++report.lease_blocked;
+      durability_metrics().gc_lease_blocked.add();
+      continue;
+    }
     // Erase first, then RETIRE: if we die between the two, the scrubber
     // sees a committed version with a missing blob and retires it — the
     // same end state, reached idempotently.

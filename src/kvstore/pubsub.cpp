@@ -20,6 +20,12 @@ struct BusMetrics {
       obs::MetricsRegistry::global().counter("viper.kvstore.events_delivered");
   obs::Counter& events_lost =
       obs::MetricsRegistry::global().counter("viper.kvstore.events_lost");
+  /// Publishes that found their topic shard's lock held and had to wait —
+  /// the residual serialization the lock striping leaves behind.
+  obs::Counter& shard_contention =
+      obs::MetricsRegistry::global().counter("viper.kvstore.pubsub.shard_contention");
+  obs::Gauge& shard_count =
+      obs::MetricsRegistry::global().gauge("viper.kvstore.pubsub.shard_count");
   obs::Histogram& publish_seconds =
       obs::MetricsRegistry::global().histogram("viper.kvstore.publish_seconds");
 };
@@ -76,15 +82,21 @@ std::size_t Subscription::backlog() const {
   return inbox_ ? inbox_->queue.size() : 0;
 }
 
+PubSub::PubSub(std::size_t num_shards)
+    : shards_(std::max<std::size_t>(1, num_shards)) {
+  bus_metrics().shard_count.set(static_cast<double>(shards_.size()));
+}
+
 Subscription PubSub::subscribe(const std::string& channel) {
   auto inbox = std::make_shared<Subscription::Inbox>();
   inbox->channel = channel;
   {
-    std::lock_guard lock(mutex_);
-    if (shutdown_) {
+    Shard& shard = shard_for(channel);
+    std::lock_guard lock(shard.mutex);
+    if (shutdown_.load(std::memory_order_acquire)) {
       inbox->queue.close();
     } else {
-      channels_[channel].push_back(inbox);
+      shard.channels[channel].push_back(inbox);
     }
   }
   return Subscription(weak_from_this(), std::move(inbox));
@@ -94,14 +106,19 @@ std::size_t PubSub::publish(const std::string& channel, std::string payload) {
   const Stopwatch watch;
   BusMetrics& metrics = bus_metrics();
   metrics.publishes.add();
+  const std::uint64_t seq =
+      sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::vector<std::shared_ptr<Subscription::Inbox>> targets;
-  std::uint64_t seq;
   {
-    std::lock_guard lock(mutex_);
-    seq = ++sequence_;
-    if (shutdown_) return 0;
-    auto it = channels_.find(channel);
-    if (it == channels_.end()) return 0;
+    Shard& shard = shard_for(channel);
+    std::unique_lock lock(shard.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      metrics.shard_contention.add();
+      lock.lock();
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return 0;
+    auto it = shard.channels.find(channel);
+    if (it == shard.channels.end()) return 0;
     targets = it->second;  // copy so delivery happens outside the lock
   }
   std::size_t delivered = 0;
@@ -129,36 +146,40 @@ std::size_t PubSub::publish(const std::string& channel, std::string payload) {
 }
 
 void PubSub::shutdown() {
-  std::unordered_map<std::string, std::vector<std::shared_ptr<Subscription::Inbox>>>
-      channels;
-  {
-    std::lock_guard lock(mutex_);
-    shutdown_ = true;
-    channels.swap(channels_);
-  }
-  for (auto& [_, inboxes] : channels) {
-    for (auto& inbox : inboxes) inbox->queue.close();
+  shutdown_.store(true, std::memory_order_release);
+  for (Shard& shard : shards_) {
+    std::unordered_map<std::string,
+                       std::vector<std::shared_ptr<Subscription::Inbox>>>
+        channels;
+    {
+      std::lock_guard lock(shard.mutex);
+      channels.swap(shard.channels);
+    }
+    for (auto& [_, inboxes] : channels) {
+      for (auto& inbox : inboxes) inbox->queue.close();
+    }
   }
 }
 
 std::size_t PubSub::subscriber_count(const std::string& channel) const {
-  std::lock_guard lock(mutex_);
-  auto it = channels_.find(channel);
-  return it == channels_.end() ? 0 : it->second.size();
+  const Shard& shard = shard_for(channel);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.channels.find(channel);
+  return it == shard.channels.end() ? 0 : it->second.size();
 }
 
 std::uint64_t PubSub::published_total() const {
-  std::lock_guard lock(mutex_);
-  return sequence_;
+  return sequence_.load(std::memory_order_relaxed);
 }
 
 void PubSub::unsubscribe(const std::shared_ptr<Subscription::Inbox>& inbox) {
-  std::lock_guard lock(mutex_);
-  auto it = channels_.find(inbox->channel);
-  if (it == channels_.end()) return;
+  Shard& shard = shard_for(inbox->channel);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.channels.find(inbox->channel);
+  if (it == shard.channels.end()) return;
   auto& inboxes = it->second;
   inboxes.erase(std::remove(inboxes.begin(), inboxes.end(), inbox), inboxes.end());
-  if (inboxes.empty()) channels_.erase(it);
+  if (inboxes.empty()) shard.channels.erase(it);
 }
 
 }  // namespace viper::kv

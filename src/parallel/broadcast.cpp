@@ -64,15 +64,18 @@ Result<BroadcastEstimate> estimate_broadcast(BroadcastTopology topology,
   return estimate;
 }
 
-std::vector<BroadcastEstimate> rank_topologies(std::uint64_t bytes, int consumers,
-                                               const net::LinkModel& link,
-                                               const BroadcastOptions& options) {
+Result<std::vector<BroadcastEstimate>> rank_topologies(
+    std::uint64_t bytes, int consumers, const net::LinkModel& link,
+    const BroadcastOptions& options) {
+  if (consumers < 1) return invalid_argument("need at least one consumer");
+  if (options.chunk_bytes == 0) return invalid_argument("chunk_bytes must be > 0");
   std::vector<BroadcastEstimate> estimates;
   for (BroadcastTopology topology :
        {BroadcastTopology::kSequential, BroadcastTopology::kTree,
         BroadcastTopology::kChain}) {
     auto estimate = estimate_broadcast(topology, bytes, consumers, link, options);
-    if (estimate.is_ok()) estimates.push_back(estimate.value());
+    if (!estimate.is_ok()) return estimate.status();
+    estimates.push_back(estimate.value());
   }
   std::sort(estimates.begin(), estimates.end(),
             [](const BroadcastEstimate& a, const BroadcastEstimate& b) {

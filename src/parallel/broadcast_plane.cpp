@@ -1,0 +1,247 @@
+#include "viper/parallel/broadcast_plane.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "viper/obs/metrics.hpp"
+
+namespace viper::parallel {
+namespace {
+
+struct BcastMetrics {
+  obs::Counter& broadcasts =
+      obs::MetricsRegistry::global().counter("viper.bcast.broadcasts");
+  obs::Counter& relay_hops =
+      obs::MetricsRegistry::global().counter("viper.bcast.relay_hops");
+  obs::Counter& bytes_sent =
+      obs::MetricsRegistry::global().counter("viper.bcast.bytes_sent");
+  obs::Counter& bytes_saved =
+      obs::MetricsRegistry::global().counter("viper.bcast.bytes_saved_vs_sequential");
+  obs::Counter& hop_retries =
+      obs::MetricsRegistry::global().counter("viper.bcast.hop_retries");
+  obs::Counter& hop_failures =
+      obs::MetricsRegistry::global().counter("viper.bcast.hop_failures");
+  obs::Counter& fallbacks =
+      obs::MetricsRegistry::global().counter("viper.bcast.fallbacks");
+};
+
+BcastMetrics& bcast_metrics() {
+  static BcastMetrics metrics;
+  return metrics;
+}
+
+net::ReliableStreamOptions reliable_options(const FanoutOptions& options) {
+  return {.stream = options.stream,
+          .retry = options.hop_retry,
+          .ack_timeout_seconds = options.ack_timeout_seconds,
+          .jitter_seed = options.jitter_seed};
+}
+
+/// One hop down: stream `payload` to every child of `position`. Chain
+/// hops are plain streams (the pipelining contract); tree/sequential
+/// hops are reliable. A failed forward is the child's problem to recover
+/// (its own retry or fallback) — this rank's copy is already whole.
+void forward_to_children(const net::Comm& comm, const FanoutPlan& plan, int tag,
+                         int position, std::span<const std::byte> payload,
+                         const FanoutOptions& options) {
+  auto& metrics = bcast_metrics();
+  for (int child_position : plan.children_of(position)) {
+    const int dest = plan.rank_at(child_position);
+    Status sent;
+    if (plan.topology == BroadcastTopology::kChain) {
+      sent = net::stream_send(comm, dest, tag, payload, options.stream);
+    } else {
+      int attempts = 0;
+      sent = net::reliable_stream_send(comm, dest, tag, payload,
+                                       reliable_options(options), &attempts);
+      if (attempts > 1) metrics.hop_retries.add(static_cast<std::uint64_t>(attempts - 1));
+    }
+    if (sent.is_ok()) {
+      metrics.relay_hops.add();
+      metrics.bytes_sent.add(payload.size());
+    } else {
+      metrics.hop_failures.add();
+    }
+  }
+}
+
+}  // namespace
+
+int FanoutPlan::rank_at(int position) const {
+  if (position == 0) return root;
+  return consumers[static_cast<std::size_t>(position - 1)];
+}
+
+Result<int> FanoutPlan::position_of(int world_rank) const {
+  if (world_rank == root) return 0;
+  for (std::size_t i = 0; i < consumers.size(); ++i) {
+    if (consumers[i] == world_rank) return static_cast<int>(i) + 1;
+  }
+  return not_found("rank " + std::to_string(world_rank) + " not in fan-out plan");
+}
+
+std::vector<int> FanoutPlan::children_of(int position) const {
+  const int last = static_cast<int>(consumers.size());
+  std::vector<int> children;
+  switch (topology) {
+    case BroadcastTopology::kSequential:
+      if (position == 0) {
+        for (int p = 1; p <= last; ++p) children.push_back(p);
+      }
+      break;
+    case BroadcastTopology::kChain:
+      if (position + 1 <= last) children.push_back(position + 1);
+      break;
+    case BroadcastTopology::kTree: {
+      // Binomial: position p feeds p + 2^r for every 2^r > p still in
+      // range. Largest stride first so the deepest subtree starts first.
+      for (std::uint64_t stride = std::bit_floor(static_cast<std::uint64_t>(last));
+           stride >= 1; stride >>= 1) {
+        const auto child = static_cast<std::uint64_t>(position) + stride;
+        if (stride > static_cast<std::uint64_t>(position) &&
+            child <= static_cast<std::uint64_t>(last)) {
+          children.push_back(static_cast<int>(child));
+        }
+      }
+      break;
+    }
+  }
+  return children;
+}
+
+int FanoutPlan::parent_of(int position) const {
+  if (position <= 0) return -1;
+  switch (topology) {
+    case BroadcastTopology::kSequential:
+      return 0;
+    case BroadcastTopology::kChain:
+      return position - 1;
+    case BroadcastTopology::kTree:
+      return position - static_cast<int>(
+                            std::bit_floor(static_cast<std::uint64_t>(position)));
+  }
+  return -1;
+}
+
+Result<FanoutPlan> plan_broadcast(BroadcastTopology topology, int root,
+                                  std::vector<int> consumers) {
+  if (consumers.empty()) return invalid_argument("need at least one consumer");
+  if (root < 0) return invalid_argument("root rank must be >= 0");
+  std::unordered_set<int> seen;
+  for (int rank : consumers) {
+    if (rank < 0) return invalid_argument("consumer ranks must be >= 0");
+    if (rank == root) return invalid_argument("root cannot be its own consumer");
+    if (!seen.insert(rank).second) {
+      return invalid_argument("duplicate consumer rank " + std::to_string(rank));
+    }
+  }
+  FanoutPlan plan;
+  plan.topology = topology;
+  plan.root = root;
+  plan.consumers = std::move(consumers);
+  return plan;
+}
+
+Result<BroadcastTopology> choose_topology(std::uint64_t bytes, int consumers,
+                                          const net::LinkModel& link,
+                                          const BroadcastOptions& options) {
+  auto ranked = rank_topologies(bytes, consumers, link, options);
+  if (!ranked.is_ok()) return ranked.status();
+  return ranked.value().front().topology;
+}
+
+Status broadcast_send(const net::Comm& comm, const FanoutPlan& plan, int tag,
+                      std::span<const std::byte> payload,
+                      const FanoutOptions& options) {
+  if (comm.rank() != plan.root) {
+    return failed_precondition("broadcast_send must run on the root rank");
+  }
+  auto& metrics = bcast_metrics();
+  metrics.broadcasts.add();
+  const auto children = plan.children_of(0);
+  Status first_error;
+  for (int child_position : children) {
+    const int dest = plan.rank_at(child_position);
+    Status sent;
+    if (plan.topology == BroadcastTopology::kChain) {
+      sent = net::stream_send(comm, dest, tag, payload, options.stream);
+    } else {
+      int attempts = 0;
+      sent = net::reliable_stream_send(comm, dest, tag, payload,
+                                       reliable_options(options), &attempts);
+      if (attempts > 1) metrics.hop_retries.add(static_cast<std::uint64_t>(attempts - 1));
+    }
+    if (sent.is_ok()) {
+      metrics.bytes_sent.add(payload.size());
+    } else {
+      metrics.hop_failures.add();
+      if (first_error.is_ok()) first_error = sent;  // keep seeding the rest
+    }
+  }
+  // Relays carry the copies a sequential unicast would have sent itself.
+  const std::size_t relayed = plan.consumers.size() - children.size();
+  metrics.bytes_saved.add(payload.size() * relayed);
+  return first_error;
+}
+
+Result<std::vector<std::byte>> broadcast_recv(const net::Comm& comm,
+                                              const FanoutPlan& plan, int tag,
+                                              const FanoutOptions& options,
+                                              const FanoutFallback& fallback) {
+  const auto position_result = plan.position_of(comm.rank());
+  if (!position_result.is_ok()) return position_result.status();
+  const int position = position_result.value();
+  if (position == 0) {
+    return failed_precondition("the root seeds with broadcast_send, not recv");
+  }
+  const int parent = plan.rank_at(plan.parent_of(position));
+  const auto children = plan.children_of(position);
+  auto& metrics = bcast_metrics();
+
+  Status last_error;
+  if (plan.topology == BroadcastTopology::kChain) {
+    // Pipelined hop: forward each chunk downstream as it lands. A retry
+    // waits for a fresh stream (an upstream fallback re-seed); the torn
+    // attempt's stragglers are absorbed by per-stream-id demux.
+    const int max_attempts = std::max(1, options.hop_retry.max_attempts);
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) metrics.hop_retries.add();
+      auto got = children.empty()
+                     ? net::stream_recv(comm, parent, tag, options.stream)
+                     : net::stream_relay(comm, parent, plan.rank_at(children[0]),
+                                         tag, options.stream);
+      if (got.is_ok()) {
+        if (!children.empty()) {
+          metrics.relay_hops.add();
+          metrics.bytes_sent.add(got.value().size());
+        }
+        return got;
+      }
+      if (got.status().code() == StatusCode::kCancelled) return got;
+      last_error = got.status();
+    }
+  } else {
+    int attempts = 0;
+    auto got = net::reliable_stream_recv(comm, parent, tag,
+                                         reliable_options(options), &attempts);
+    if (attempts > 1) metrics.hop_retries.add(static_cast<std::uint64_t>(attempts - 1));
+    if (got.is_ok()) {
+      forward_to_children(comm, plan, tag, position, got.value(), options);
+      return got;
+    }
+    if (got.status().code() == StatusCode::kCancelled) return got;
+    last_error = got.status();
+  }
+
+  // Upstream hop exhausted: recover out-of-band and re-seed the subtree.
+  metrics.hop_failures.add();
+  if (!fallback) return last_error;
+  auto recovered = fallback();
+  if (!recovered.is_ok()) return last_error;
+  metrics.fallbacks.add();
+  forward_to_children(comm, plan, tag, position, recovered.value(), options);
+  return recovered;
+}
+
+}  // namespace viper::parallel

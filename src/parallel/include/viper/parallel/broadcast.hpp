@@ -38,8 +38,10 @@ Result<BroadcastEstimate> estimate_broadcast(BroadcastTopology topology,
                                              const BroadcastOptions& options = {});
 
 /// Estimates for every topology, sorted by last-consumer completion time.
-std::vector<BroadcastEstimate> rank_topologies(std::uint64_t bytes, int consumers,
-                                               const net::LinkModel& link,
-                                               const BroadcastOptions& options = {});
+/// Validates its arguments up front (consumers >= 1, chunk_bytes > 0) so a
+/// bad fleet size is a Status error, never a silently empty ranking.
+Result<std::vector<BroadcastEstimate>> rank_topologies(
+    std::uint64_t bytes, int consumers, const net::LinkModel& link,
+    const BroadcastOptions& options = {});
 
 }  // namespace viper::parallel

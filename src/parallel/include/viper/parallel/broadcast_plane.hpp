@@ -1,0 +1,100 @@
+// Executable broadcast fan-out plane: the live counterpart of the
+// topology cost models in broadcast.hpp. One committed version travels
+// from a producer (the root) to M consumer ranks over the existing
+// chunked/reliable streams; consumer ranks act as relays, forwarding the
+// payload to their topology children while decoding their own copy.
+//
+// Every rank derives its parent and children from the same FanoutPlan, so
+// the fan-out needs no control messages beyond the payload streams
+// themselves. Sequential and binomial-tree hops ride the ack/nack
+// reliable streams (a dropped chunk is re-sent within the hop); the
+// pipelined chain uses stream_relay so chunk k forwards downstream while
+// chunk k+1 is still in flight. A rank whose upstream hop dies can
+// recover the payload out-of-band (the PFS fallback) and re-seed its
+// children with fresh streams, so one dead relay never strands a subtree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "viper/common/retry.hpp"
+#include "viper/common/status.hpp"
+#include "viper/net/stream.hpp"
+#include "viper/parallel/broadcast.hpp"
+
+namespace viper::parallel {
+
+/// A concrete fan-out schedule for one version: the producer at position
+/// 0 plus M consumer ranks laid out in topology positions 1..M.
+struct FanoutPlan {
+  BroadcastTopology topology = BroadcastTopology::kSequential;
+  int root = 0;                ///< producer world rank (position 0)
+  std::vector<int> consumers;  ///< consumer world ranks at positions 1..M
+
+  [[nodiscard]] int num_positions() const noexcept {
+    return 1 + static_cast<int>(consumers.size());
+  }
+  /// World rank at a topology position (position 0 is the root).
+  [[nodiscard]] int rank_at(int position) const;
+  /// Topology position of a world rank; NOT_FOUND if not in the plan.
+  [[nodiscard]] Result<int> position_of(int world_rank) const;
+  /// Positions this position forwards to, in send order (binomial tree
+  /// sends its largest subtree first).
+  [[nodiscard]] std::vector<int> children_of(int position) const;
+  /// Position this position receives from; -1 for the root.
+  [[nodiscard]] int parent_of(int position) const;
+};
+
+/// Lay `consumers` out under `root`. Validates the roster: at least one
+/// consumer, non-negative ranks, no duplicates, root not a consumer.
+Result<FanoutPlan> plan_broadcast(BroadcastTopology topology, int root,
+                                  std::vector<int> consumers);
+
+/// Cheapest topology for this payload and fleet over the measured link
+/// (by last-consumer completion time, via rank_topologies).
+Result<BroadcastTopology> choose_topology(std::uint64_t bytes, int consumers,
+                                          const net::LinkModel& link,
+                                          const BroadcastOptions& options = {});
+
+struct FanoutOptions {
+  net::StreamOptions stream{.chunk_bytes = 256 * 1024, .timeout_seconds = 5.0};
+  /// Per-hop budget: reliable hops re-send whole streams under it; chain
+  /// receives re-attempt under it (an upstream fallback re-seed arrives
+  /// as a fresh stream that a retrying receiver picks up).
+  RetryPolicy hop_retry{.max_attempts = 3,
+                        .initial_backoff_seconds = 0.002,
+                        .max_backoff_seconds = 0.05};
+  /// Ack deadline per reliable-hop attempt.
+  double ack_timeout_seconds = 2.0;
+  /// Seed for retry-backoff jitter.
+  std::uint64_t jitter_seed = 0x5eed;
+};
+
+/// Out-of-band recovery invoked when the upstream hop is exhausted: must
+/// return the same payload bytes (e.g. fetch the flushed copy from the
+/// PFS). The recovering rank then re-seeds its children with fresh
+/// streams so its whole subtree still converges.
+using FanoutFallback = std::function<Result<std::vector<std::byte>>()>;
+
+/// Root side: seed the fan-out by streaming `payload` to the root's
+/// topology children. Keeps seeding the remaining children when one hop
+/// fails (that subtree recovers via its own fallback) and returns the
+/// first hop error, OK when all children were seeded.
+Status broadcast_send(const net::Comm& comm, const FanoutPlan& plan, int tag,
+                      std::span<const std::byte> payload,
+                      const FanoutOptions& options = {});
+
+/// Consumer side: receive the payload from this rank's topology parent,
+/// forwarding to its children per the plan (chain relays forward each
+/// chunk as it lands). On upstream-hop exhaustion, `fallback` recovers
+/// the payload out-of-band and the children are re-seeded. CANCELLED
+/// (comm shutdown) is returned immediately; TIMEOUT with no fallback
+/// means no version was in flight.
+Result<std::vector<std::byte>> broadcast_recv(const net::Comm& comm,
+                                              const FanoutPlan& plan, int tag,
+                                              const FanoutOptions& options = {},
+                                              const FanoutFallback& fallback = {});
+
+}  // namespace viper::parallel

@@ -65,6 +65,23 @@ enum class SoakEventKind : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(SoakEventKind kind) noexcept;
 
+/// How committed versions reach consumers. kPull is the seed behavior:
+/// bus notification, then each consumer fetches its own copy. The other
+/// modes push the committed blob over the broadcast fan-out plane with
+/// the named topology; the pull path stays armed underneath as the
+/// safety net (a consumer a push misses converges by notification or
+/// resync), so the push only short-circuits fetches, never replaces
+/// correctness. Kept sim-local (not parallel::BroadcastTopology) so
+/// scenario parsing stays free of the parallel layer.
+enum class FanoutMode : std::uint8_t {
+  kPull = 0,    ///< notify + consumer-initiated load (default)
+  kSequential,  ///< producer unicasts the blob to each consumer in turn
+  kTree,        ///< binomial-tree relay fan-out
+  kChain,       ///< chunked pipeline chain through every consumer
+};
+
+[[nodiscard]] std::string_view to_string(FanoutMode mode) noexcept;
+
 /// One scheduled event, keyed to "just before producer `producer` saves
 /// version `at_version`" — version-space, not wall time, so the schedule
 /// is deterministic under any thread interleaving.
@@ -104,6 +121,9 @@ struct ScenarioSpec {
   /// Architecture width scale for every producer's model (soaks favor
   /// small-but-real tensors).
   double width_scale = 1.0 / 64.0;
+  /// Version delivery: pull (seed behavior) or a broadcast-plane push
+  /// topology layered on top of it.
+  FanoutMode topology = FanoutMode::kPull;
 
   [[nodiscard]] Status validate() const;
 

@@ -135,6 +135,16 @@ bool parse_event_value(SoakEventKind kind, std::string_view value,
 
 }  // namespace
 
+std::string_view to_string(FanoutMode mode) noexcept {
+  switch (mode) {
+    case FanoutMode::kPull: return "pull";
+    case FanoutMode::kSequential: return "sequential";
+    case FanoutMode::kTree: return "tree";
+    case FanoutMode::kChain: return "chain";
+  }
+  return "?";
+}
+
 std::string_view to_string(SoakEventKind kind) noexcept {
   switch (kind) {
     case SoakEventKind::kCrashProducer: return "crash_producer";
@@ -264,6 +274,18 @@ Result<ScenarioSpec> parse_scenario(std::string_view text) {
       ok = parse_double(value, spec.convergence_timeout_seconds);
     } else if (key == "width_scale") {
       ok = parse_double(value, spec.width_scale);
+    } else if (key == "topology") {
+      if (value == "pull") {
+        spec.topology = FanoutMode::kPull;
+      } else if (value == "sequential") {
+        spec.topology = FanoutMode::kSequential;
+      } else if (value == "tree") {
+        spec.topology = FanoutMode::kTree;
+      } else if (value == "chain") {
+        spec.topology = FanoutMode::kChain;
+      } else {
+        ok = false;
+      }
     } else if (key == "producers") {
       std::uint64_t count = 0;
       ok = parse_u64(value, count);
@@ -375,6 +397,10 @@ std::string render_scenario(const ScenarioSpec& spec) {
   append_double(out, spec.convergence_timeout_seconds);
   out += "\nwidth_scale=";
   append_double(out, spec.width_scale);
+  if (spec.topology != FanoutMode::kPull) {
+    out += "\ntopology=";
+    out += to_string(spec.topology);
+  }
   out += "\ntraffic.think_ms=";
   append_double(out, spec.traffic.think_ms);
   out += std::string("\ntraffic.poisson=") +

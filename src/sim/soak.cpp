@@ -18,6 +18,7 @@
 #include "viper/core/workflow.hpp"
 #include "viper/net/comm.hpp"
 #include "viper/obs/metrics.hpp"
+#include "viper/parallel/broadcast_plane.hpp"
 
 namespace viper::sim {
 
@@ -59,6 +60,69 @@ void sleep_seconds(double seconds) {
 /// the heal.
 constexpr double kLockstepTimeoutSeconds = 0.5;
 
+/// Broadcast-plane message tag for pushed version frames. Tag ownership
+/// stays with the engine layers: 100..102 are the transfer protocol
+/// (handler.hpp), 103 is the fan-out push.
+constexpr int kTagBroadcast = 103;
+
+/// Fan-out stream knobs for soak pushes: short timeouts, one attempt, no
+/// PFS fallback — a missed push is recovered by the pull path (notify /
+/// resync), so the push plane never stalls the schedule.
+parallel::FanoutOptions push_fanout_options() {
+  parallel::FanoutOptions options;
+  options.stream.timeout_seconds = 0.25;
+  options.ack_timeout_seconds = 0.25;
+  options.hop_retry.max_attempts = 1;
+  return options;
+}
+
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t read_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Push frame: [u64 name_size][name][u64 version][checkpoint blob]. The
+/// consumer keeps the whole frame as one SharedBlob and decodes past the
+/// header, so the pushed bytes are never copied again.
+std::vector<std::byte> encode_push_frame(const std::string& name,
+                                         std::uint64_t version,
+                                         const std::vector<std::byte>& blob) {
+  std::vector<std::byte> frame;
+  frame.reserve(16 + name.size() + blob.size());
+  append_u64(frame, name.size());
+  for (const char c : name) frame.push_back(static_cast<std::byte>(c));
+  append_u64(frame, version);
+  frame.insert(frame.end(), blob.begin(), blob.end());
+  return frame;
+}
+
+struct PushFrame {
+  std::string name;
+  std::uint64_t version = 0;
+  std::size_t blob_offset = 0;
+};
+
+std::optional<PushFrame> decode_push_frame(const std::vector<std::byte>& frame) {
+  if (frame.size() < 16) return std::nullopt;
+  const std::uint64_t name_size = read_u64(frame.data());
+  if (frame.size() < 16 + name_size) return std::nullopt;
+  PushFrame out;
+  out.name.assign(reinterpret_cast<const char*>(frame.data() + 8), name_size);
+  out.version = read_u64(frame.data() + 8 + name_size);
+  out.blob_offset = 16 + static_cast<std::size_t>(name_size);
+  return out;
+}
+
 /// One consumer rank plus its live-traffic thread. The InferenceConsumer
 /// is held through a shared_ptr swapped under a mutex so restart() can
 /// kill and warm-restart it while the traffic thread keeps serving — a
@@ -68,7 +132,8 @@ class ConsumerRank {
  public:
   ConsumerRank(std::shared_ptr<core::SharedServices> services,
                std::shared_ptr<net::CommWorld> world, const ScenarioSpec& spec,
-               std::size_t index)
+               std::size_t index, const parallel::FanoutPlan* plan,
+               std::shared_ptr<core::VersionBlobCache> blob_cache)
       : services_(std::move(services)),
         world_(std::move(world)),
         index_(static_cast<int>(index)),
@@ -77,9 +142,18 @@ class ConsumerRank {
         model_(spec.model_name(static_cast<std::size_t>(spec.producer_of(index)))),
         prefetch_(spec.consumers[index].prefetch),
         traffic_(spec.traffic),
-        rng_(spec.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1))) {
+        rng_(spec.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1))),
+        blob_cache_(std::move(blob_cache)) {
     consumer_ = make_consumer(/*warm_start=*/false);
     consumer_->start();
+    // The ingest thread outlives consumer incarnations: a restart swaps
+    // the InferenceConsumer underneath it, and the next pushed frame is
+    // applied to the fresh incarnation via snapshot().
+    if (plan != nullptr) {
+      plan_ = *plan;
+      ingest_thread_.start(
+          [this](const std::atomic<bool>& stop) { ingest(stop); });
+    }
   }
 
   void start_traffic() {
@@ -133,6 +207,7 @@ class ConsumerRank {
   /// run into stats. `converged` is decided by the caller's wait.
   ConsumerStats finish(bool converged) {
     stop_traffic();
+    ingest_thread_.stop_and_join();
     std::shared_ptr<core::InferenceConsumer> consumer = snapshot();
     consumer->stop();
     ConsumerStats stats;
@@ -168,8 +243,34 @@ class ConsumerRank {
     options.resync_interval = 0.05;
     options.prefetch = prefetch_;
     options.warm_start = warm_start;
+    options.loader.blob_cache = blob_cache_;
     return std::make_shared<core::InferenceConsumer>(
         services_, world_->comm(world_rank_), model_, options);
+  }
+
+  /// Push-plane receive loop: block on the broadcast (relaying to any
+  /// downstream ranks inside broadcast_recv), decode the frame header,
+  /// and hand the blob to the live incarnation. Failures fall through to
+  /// the pull path — no retry, no fallback, no log lines (the event_log
+  /// must stay byte-identical to a pull-mode replay of the same spec).
+  void ingest(const std::atomic<bool>& stop) {
+    const net::Comm comm = world_->comm(world_rank_);
+    const parallel::FanoutOptions options = push_fanout_options();
+    while (!stop.load(std::memory_order_acquire)) {
+      auto frame = parallel::broadcast_recv(comm, *plan_, kTagBroadcast, options);
+      if (!frame.is_ok()) {
+        if (frame.status().code() == StatusCode::kCancelled) return;
+        continue;  // idle timeout, or a push this rank missed
+      }
+      auto parsed = decode_push_frame(frame.value());
+      if (!parsed) continue;
+      core::ModelMetadata meta;
+      meta.name = parsed->name;
+      meta.version = parsed->version;
+      auto blob = std::make_shared<const std::vector<std::byte>>(
+          std::move(frame).value());
+      (void)snapshot()->apply_pushed(meta, std::move(blob), parsed->blob_offset);
+    }
   }
 
   void serve(const std::atomic<bool>& stop) {
@@ -223,11 +324,14 @@ class ConsumerRank {
   const bool prefetch_;
   TrafficSpec traffic_;
   Rng rng_;  ///< traffic-thread only
+  std::shared_ptr<core::VersionBlobCache> blob_cache_;
+  std::optional<parallel::FanoutPlan> plan_;
 
   mutable std::mutex mutex_;
   std::shared_ptr<core::InferenceConsumer> consumer_;
   std::uint64_t incarnation_ = 0;
 
+  WorkerThread ingest_thread_;
   WorkerThread traffic_thread_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> torn_{0};
@@ -367,16 +471,70 @@ Result<SoakResult> SoakRunner::run() {
     ctx.rank = std::make_unique<core::ProducerRank>(
         services, world->comm(static_cast<int>(p)), handler_options);
   }
+  // Co-located consumers (same process, same model) decode off one
+  // refcounted blob instead of each pulling its own copy.
+  auto blob_cache = std::make_shared<core::VersionBlobCache>();
+
+  // Push mode: one fan-out plan per producer, shared verbatim by the
+  // producer (sender) and its consumers (receivers/relays) — the plan is
+  // the wire contract, so both sides must compute it from the same list.
+  const bool push_mode = spec_.topology != FanoutMode::kPull;
+  parallel::BroadcastTopology push_topology =
+      parallel::BroadcastTopology::kSequential;
+  switch (spec_.topology) {
+    case FanoutMode::kPull:
+    case FanoutMode::kSequential: break;
+    case FanoutMode::kTree:
+      push_topology = parallel::BroadcastTopology::kTree;
+      break;
+    case FanoutMode::kChain:
+      push_topology = parallel::BroadcastTopology::kChain;
+      break;
+  }
+  std::vector<std::optional<parallel::FanoutPlan>> plans(num_producers);
+  if (push_mode) {
+    std::vector<std::vector<int>> fanout_ranks(num_producers);
+    for (std::size_t c = 0; c < num_consumers; ++c) {
+      fanout_ranks[static_cast<std::size_t>(spec_.producer_of(c))].push_back(
+          spec_.consumer_world_rank(c));
+    }
+    for (std::size_t p = 0; p < num_producers; ++p) {
+      if (fanout_ranks[p].empty()) continue;
+      auto plan = parallel::plan_broadcast(push_topology, static_cast<int>(p),
+                                           fanout_ranks[p]);
+      if (!plan.is_ok()) return plan.status();
+      plans[p] = std::move(plan).value();
+    }
+  }
+
   std::vector<std::unique_ptr<ConsumerRank>> consumers;
   consumers.reserve(num_consumers);
   for (std::size_t c = 0; c < num_consumers; ++c) {
-    consumers.push_back(
-        std::make_unique<ConsumerRank>(services, world, spec_, c));
+    const auto p = static_cast<std::size_t>(spec_.producer_of(c));
+    consumers.push_back(std::make_unique<ConsumerRank>(
+        services, world, spec_, c,
+        plans[p].has_value() ? &*plans[p] : nullptr, blob_cache));
   }
 
   const bool armed = spec_.chaos || !spec_.events.empty();
   if (armed) fault::FaultInjector::global().arm(compile_fault_plan(spec_));
   for (auto& consumer : consumers) consumer->start_traffic();
+
+  // Push one committed version over the fan-out plane. Best-effort by
+  // design: a failed hop is absorbed by the pull path, and nothing here
+  // writes to the replay-compared event log.
+  const auto push_version = [&](std::size_t p, ProducerCtx& ctx,
+                                const core::ModelMetadata& meta) {
+    if (!plans[p].has_value()) return;
+    // An async save returns after the capture copy; drain so the
+    // committed blob is readable from the memory tier before pushing.
+    ctx.rank->handler().drain();
+    auto blob = ctx.rank->handler().fetch(meta.location, meta.path);
+    if (!blob.is_ok()) return;
+    const auto frame = encode_push_frame(ctx.name, meta.version, blob.value());
+    (void)parallel::broadcast_send(world->comm(static_cast<int>(p)), *plans[p],
+                                   kTagBroadcast, frame, push_fanout_options());
+  };
 
   const auto wait_lockstep = [&](std::size_t p, std::uint64_t version) {
     for (const auto& consumer : consumers) {
@@ -486,6 +644,7 @@ Result<SoakResult> SoakRunner::run() {
       if (receipt.is_ok()) {
         ctx.expected = v;
         ++ctx.published;
+        push_version(p, ctx, receipt.value().metadata);
       } else if (!fault::is_crash_status(receipt.status())) {
         VIPER_WARN << "soak: producer " << p << " save v" << v
                    << " failed: " << receipt.status().to_string();
@@ -536,6 +695,7 @@ Result<SoakResult> SoakRunner::run() {
     if (receipt.is_ok()) {
       ++ctx.published;
       final_versions[p] = final_version;
+      push_version(p, ctx, receipt.value().metadata);
     } else {
       VIPER_WARN << "soak: final save of '" << ctx.name
                  << "' failed: " << receipt.status().to_string();

@@ -6,7 +6,9 @@
 // fsync cost every journal append charges.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "viper/core/consumer.hpp"
 #include "viper/core/handler.hpp"
@@ -326,6 +328,100 @@ TEST(Retention, DisabledPolicyIsANoOp) {
   ASSERT_TRUE(report.is_ok());
   EXPECT_EQ(report.value().examined, 0u);
   EXPECT_TRUE(journal.state().is_committed(1));
+}
+
+// ---------------------------------------------------------------------------
+// Lease table + lease-gated retention
+// ---------------------------------------------------------------------------
+
+TEST(LeaseTable, AcquireReleaseAndHolderCount) {
+  LeaseTable leases;
+  EXPECT_FALSE(leases.active("net", 3));
+  ASSERT_TRUE(leases.acquire("net", 3, "c0").is_ok());
+  ASSERT_TRUE(leases.acquire("net", 3, "c1").is_ok());
+  EXPECT_TRUE(leases.active("net", 3));
+  EXPECT_EQ(leases.holder_count("net", 3), 2u);
+  // Re-acquire by the same holder renews rather than stacking.
+  ASSERT_TRUE(leases.acquire("net", 3, "c0").is_ok());
+  EXPECT_EQ(leases.holder_count("net", 3), 2u);
+  ASSERT_TRUE(leases.release("net", 3, "c0").is_ok());
+  EXPECT_EQ(leases.holder_count("net", 3), 1u);
+  ASSERT_TRUE(leases.release("net", 3, "c1").is_ok());
+  EXPECT_FALSE(leases.active("net", 3));
+  // Releasing an already-gone lease is OK (the drain happened either way).
+  EXPECT_TRUE(leases.release("net", 3, "c1").is_ok());
+}
+
+TEST(LeaseTable, ExpiryUnblocksAndExtendOfExpiredLeaseFails) {
+  LeaseTable leases;
+  ASSERT_TRUE(leases.acquire("net", 5, "crashed-relay", 0.03).is_ok());
+  EXPECT_TRUE(leases.active("net", 5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // The crashed holder stopped renewing: its lease lapses by TTL.
+  EXPECT_FALSE(leases.active("net", 5));
+  EXPECT_EQ(leases.extend("net", 5, "crashed-relay").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Retention, NeverRetiresAVersionUnderAnActiveLease) {
+  auto tier = memory_tier();
+  ManifestJournal journal(tier, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+  for (std::uint64_t v = 1; v <= 6; ++v) {
+    std::uint32_t crc = 0;
+    auto blob = crc_stamped_blob(100, static_cast<std::uint8_t>(v), &crc);
+    ASSERT_TRUE(journal.append_intent(v, blob.size(), crc, 0).is_ok());
+    ASSERT_TRUE(tier->put(checkpoint_key("net", v), std::move(blob)).is_ok());
+    ASSERT_TRUE(journal.append_commit(v, 100, crc, 0).is_ok());
+  }
+
+  // A straggler consumer is still draining v2 when GC sweeps.
+  LeaseTable leases;
+  ASSERT_TRUE(leases.acquire("net", 2, "straggler").is_ok());
+  const RetentionPolicy policy{.keep_last = 2};
+  auto report = apply_retention(journal, policy, &leases);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(journal.state().is_committed(2));
+  EXPECT_TRUE(tier->contains(checkpoint_key("net", 2)));
+  EXPECT_EQ(report.value().lease_blocked, 1u);
+  EXPECT_EQ(report.value().retired, 3u);  // v1, v3, v4 go; v2 is leased
+
+  // The straggler drains and releases: the next pass retires v2.
+  ASSERT_TRUE(leases.release("net", 2, "straggler").is_ok());
+  auto again = apply_retention(journal, policy, &leases);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().retired, 1u);
+  EXPECT_FALSE(journal.state().is_committed(2));
+}
+
+TEST(Retention, RelayCrashLeaseExpiryUnblocksGc) {
+  auto tier = memory_tier();
+  ManifestJournal journal(tier, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+  for (std::uint64_t v = 1; v <= 4; ++v) {
+    std::uint32_t crc = 0;
+    auto blob = crc_stamped_blob(100, static_cast<std::uint8_t>(v), &crc);
+    ASSERT_TRUE(journal.append_intent(v, blob.size(), crc, 0).is_ok());
+    ASSERT_TRUE(tier->put(checkpoint_key("net", v), std::move(blob)).is_ok());
+    ASSERT_TRUE(journal.append_commit(v, 100, crc, 0).is_ok());
+  }
+
+  // A relay took a short-TTL lease on v1 mid-fan-out, then died without
+  // releasing. GC is blocked only until the TTL lapses — the version is
+  // neither retired out from under the relay nor leaked forever.
+  LeaseTable leases;
+  ASSERT_TRUE(leases.acquire("net", 1, "dead-relay", 0.03).is_ok());
+  const RetentionPolicy policy{.keep_last = 2};
+  auto blocked = apply_retention(journal, policy, &leases);
+  ASSERT_TRUE(blocked.is_ok());
+  EXPECT_EQ(blocked.value().lease_blocked, 1u);
+  EXPECT_TRUE(journal.state().is_committed(1));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  auto unblocked = apply_retention(journal, policy, &leases);
+  ASSERT_TRUE(unblocked.is_ok());
+  EXPECT_EQ(unblocked.value().lease_blocked, 0u);
+  EXPECT_FALSE(journal.state().is_committed(1));
 }
 
 // ---------------------------------------------------------------------------

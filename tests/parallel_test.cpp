@@ -222,11 +222,21 @@ TEST(Broadcast, ChainCompletionGrowsSlowlyWithConsumers) {
 }
 
 TEST(Broadcast, RankTopologiesIsSortedAndComplete) {
-  const auto ranked = rank_topologies(4'700'000'000ULL, 8, net::polaris_gpudirect());
+  const auto result =
+      rank_topologies(4'700'000'000ULL, 8, net::polaris_gpudirect());
+  ASSERT_TRUE(result.is_ok());
+  const auto& ranked = result.value();
   ASSERT_EQ(ranked.size(), 3u);
   for (std::size_t i = 1; i < ranked.size(); ++i) {
     EXPECT_LE(ranked[i - 1].last_consumer_seconds, ranked[i].last_consumer_seconds);
   }
+}
+
+TEST(Broadcast, RankTopologiesRejectsBadInputs) {
+  const auto link = net::polaris_gpudirect();
+  EXPECT_FALSE(rank_topologies(100, 0, link).is_ok());
+  EXPECT_FALSE(rank_topologies(100, -3, link).is_ok());
+  EXPECT_FALSE(rank_topologies(100, 4, link, {.chunk_bytes = 0}).is_ok());
 }
 
 TEST(Broadcast, RejectsBadInputs) {

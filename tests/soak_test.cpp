@@ -99,6 +99,31 @@ TEST(Scenario, RejectsUnknownKeysAndMalformedValues) {
   EXPECT_FALSE(parse_scenario("consumers=1\n").is_ok());  // no producers
 }
 
+TEST(Scenario, TopologyKeyParsesRendersAndValidates) {
+  const std::string base = "producers=1\nconsumers=2\n";
+  for (const auto& [text, mode] :
+       {std::pair<std::string, FanoutMode>{"sequential", FanoutMode::kSequential},
+        {"tree", FanoutMode::kTree},
+        {"chain", FanoutMode::kChain},
+        {"pull", FanoutMode::kPull}}) {
+    auto parsed = parse_scenario(base + "topology=" + text + "\n");
+    ASSERT_TRUE(parsed.is_ok()) << text << ": " << parsed.status().to_string();
+    EXPECT_EQ(parsed.value().topology, mode);
+    // Fixed point: the canonical render re-parses to the same spec.
+    const std::string rendered = render_scenario(parsed.value());
+    auto reparsed = parse_scenario(rendered);
+    ASSERT_TRUE(reparsed.is_ok());
+    EXPECT_EQ(reparsed.value().topology, mode);
+    EXPECT_EQ(render_scenario(reparsed.value()), rendered);
+  }
+  // Pull is the default and renders implicitly, so pre-broadcast configs
+  // and their renders stay byte-identical.
+  EXPECT_EQ(parse_scenario(base).value().topology, FanoutMode::kPull);
+  EXPECT_EQ(render_scenario(parse_scenario(base).value()).find("topology"),
+            std::string::npos);
+  EXPECT_FALSE(parse_scenario(base + "topology=ring\n").is_ok());
+}
+
 TEST(Scenario, CrashEventsCompileToVersionScopedRules) {
   ScenarioSpec spec;
   spec.producers.resize(2);
@@ -207,6 +232,33 @@ TEST(SoakRunner, SameSeedReplaysByteIdenticalArtifacts) {
             std::string::npos);
   EXPECT_EQ(first.value().producer_restarts, 1u);
   EXPECT_EQ(first.value().consumer_restarts, 1u);
+}
+
+TEST(SoakRunner, BroadcastTopologiesConvergeAndReplayIdentically) {
+  // Push fan-out rides alongside the pull path as a best-effort fast
+  // lane, so a broadcast soak must still converge, keep every serve
+  // whole, and honor the replay contract (the push lane writes nothing
+  // into the deterministic artifacts).
+  for (FanoutMode topology : {FanoutMode::kTree, FanoutMode::kChain}) {
+    ScenarioSpec spec = lockstep_spec(7);
+    spec.name = "bcast";
+    spec.topology = topology;
+    auto first = SoakRunner(spec).run();
+    ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+    EXPECT_TRUE(first.value().pass()) << first.value().to_text();
+    for (const ConsumerStats& stats : first.value().consumers) {
+      EXPECT_TRUE(stats.converged) << first.value().to_text();
+      EXPECT_EQ(stats.torn_serves, 0u);
+    }
+    auto second = SoakRunner(spec).run();
+    ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+    EXPECT_EQ(first.value().fault_schedule, second.value().fault_schedule);
+    EXPECT_EQ(first.value().event_log, second.value().event_log);
+    // And the pull-mode artifacts are unchanged by the new lane.
+    auto pull = SoakRunner(lockstep_spec(7)).run();
+    ASSERT_TRUE(pull.is_ok());
+    EXPECT_EQ(first.value().event_log, pull.value().event_log);
+  }
 }
 
 TEST(SoakRunner, DifferentSeedsCompileDifferentSchedules) {
