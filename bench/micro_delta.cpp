@@ -1,9 +1,32 @@
 // Micro-benchmarks of delta encode/apply and the incremental store.
+//
+// Besides the google-benchmark suite, `--smoke` runs the shard-delta fast
+// path on a 16 MiB model at 10% tensor churn and writes a flat JSON
+// report (`--out`, default BENCH_delta.json): full-encode bytes, delta
+// frame bytes and their ratio, encode/apply throughput, and steady-state
+// apply allocations. Hard gates: the 10%-churn frame must stay under 25%
+// of the full blob, the applied blob must be byte-identical to the full
+// encode, and a warmed pool must apply frames with zero allocations.
+// With `--baseline <path>` the first run records its numbers and later
+// runs fail if apply throughput drops below 80% of the record — the perf
+// gate scripts/verify.sh runs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "viper/common/thread_pool.hpp"
 #include "viper/memsys/presets.hpp"
 #include "viper/repo/delta_store.hpp"
 #include "viper/serial/delta.hpp"
+#include "viper/serial/format.hpp"
+#include "viper/serial/shard_delta.hpp"
 
 namespace viper::serial {
 namespace {
@@ -97,7 +120,234 @@ void BM_DeltaStoreGetLatestChain(benchmark::State& state) {
 }
 BENCHMARK(BM_DeltaStoreGetLatestChain)->Arg(2)->Arg(8)->Arg(32);
 
+// --- smoke mode -----------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Pull `"key": <number>` out of a flat JSON document; NaN if absent.
+double json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+/// Many equal tensors so shard boundaries land between records and a
+/// tensor-churn fraction maps onto a matching shard-churn fraction.
+Model grid_of_bytes(std::int64_t bytes, int tensors, std::uint64_t version) {
+  Rng rng(31);
+  Model m("bench");
+  m.set_version(version);
+  const std::int64_t floats_each = bytes / 4 / tensors;
+  for (int i = 0; i < tensors; ++i) {
+    (void)m.add_tensor(
+        "layer" + std::to_string(i) + "/w",
+        Tensor::random(DType::kF32, Shape{floats_each}, rng).value());
+  }
+  return m;
+}
+
+Model churn_grid(const Model& base, double fraction, std::uint64_t version) {
+  Model next = base;
+  next.set_version(version);
+  const auto touched = static_cast<std::size_t>(
+      fraction * static_cast<double>(base.num_tensors()) + 0.999999);
+  std::size_t i = 0;
+  for (auto& [name, tensor] : next.mutable_tensors()) {
+    if (i++ >= touched) break;
+    for (auto& f : tensor.mutable_data<float>()) f += 1.0f;
+  }
+  return next;
+}
+
+struct DeltaSmokeReport {
+  double full_bytes = 0.0;
+  double frame_bytes = 0.0;
+  double frame_fraction = 1.0;
+  double encode_bytes_per_sec = 0.0;
+  double apply_bytes_per_sec = 0.0;
+  double allocs_per_apply = 0.0;
+  double byte_identical = 0.0;
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\n"
+        << "  \"full_bytes\": " << full_bytes << ",\n"
+        << "  \"frame_bytes\": " << frame_bytes << ",\n"
+        << "  \"frame_fraction\": " << frame_fraction << ",\n"
+        << "  \"encode_bytes_per_sec\": " << encode_bytes_per_sec << ",\n"
+        << "  \"apply_bytes_per_sec\": " << apply_bytes_per_sec << ",\n"
+        << "  \"allocs_per_apply\": " << allocs_per_apply << ",\n"
+        << "  \"byte_identical\": " << byte_identical << "\n"
+        << "}\n";
+    return out.str();
+  }
+};
+
+DeltaSmokeReport measure_delta_smoke() {
+  constexpr std::int64_t kPayloadBytes = 16 << 20;
+  constexpr int kTensors = 64;
+  constexpr int kShards = 32;
+  constexpr double kChurn = 0.10;
+  constexpr int kIters = 16;
+
+  auto format = make_viper_format();
+  const Model base = grid_of_bytes(kPayloadBytes, kTensors, 1);
+  const Model next = churn_grid(base, kChurn, 2);
+
+  const auto capture = [&](const Model& m, ShardDigest* digest) {
+    auto buffer =
+        format->serialize_pooled_sharded(m, ThreadPool::global(), kShards,
+                                         digest);
+    const auto view = buffer.value().span();
+    return std::vector<std::byte>(view.begin(), view.end());
+  };
+  ShardDigest base_digest, next_digest;
+  const std::vector<std::byte> base_blob = capture(base, &base_digest);
+  const std::vector<std::byte> next_blob = capture(next, &next_digest);
+  const ShardDeltaPlan plan = plan_shard_delta(base_digest, next_digest);
+
+  DeltaSmokeReport report;
+  report.full_bytes = static_cast<double>(next_blob.size());
+  if (!plan.compatible) return report;  // frame_fraction=1 fails the gate
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::byte> frame;
+  for (int i = 0; i < kIters; ++i) {
+    auto encoded = encode_shard_delta(next_blob, base_digest, next_digest,
+                                      plan, 1, 2);
+    if (!encoded.is_ok()) return report;
+    const auto view = encoded.value().span();
+    frame.assign(view.begin(), view.end());
+  }
+  const double encode_secs = seconds_since(t0);
+  report.frame_bytes = static_cast<double>(frame.size());
+  report.frame_fraction = report.frame_bytes / report.full_bytes;
+  report.encode_bytes_per_sec =
+      static_cast<double>(next_blob.size()) * kIters / encode_secs;
+
+  // Prime the pool so steady state reuses the previous apply's buffer.
+  for (int i = 0; i < 3; ++i) {
+    auto applied = apply_shard_delta(base_blob, frame);
+    if (!applied.is_ok()) return report;
+  }
+  SerialMetrics& metrics = serial_metrics();
+  const std::uint64_t allocs0 = metrics.allocations.value();
+  const auto t1 = std::chrono::steady_clock::now();
+  bool identical = true;
+  for (int i = 0; i < kIters; ++i) {
+    auto applied = apply_shard_delta(base_blob, frame);
+    if (!applied.is_ok()) return report;
+    const auto view = applied.value().span();
+    identical = identical && view.size() == next_blob.size() &&
+                std::memcmp(view.data(), next_blob.data(), view.size()) == 0;
+  }
+  const double apply_secs = seconds_since(t1);
+  report.apply_bytes_per_sec =
+      static_cast<double>(next_blob.size()) * kIters / apply_secs;
+  report.allocs_per_apply =
+      static_cast<double>(metrics.allocations.value() - allocs0) / kIters;
+  report.byte_identical = identical ? 1.0 : 0.0;
+  return report;
+}
+
+int run_delta_smoke(const std::string& out_path,
+                    const std::string& baseline_path) {
+  const DeltaSmokeReport report = measure_delta_smoke();
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+  }
+  std::printf("delta frame %.0f / full %.0f bytes (%.1f%%), encode %.0f MB/s, "
+              "apply %.0f MB/s, %.2f allocs per apply (%s)\n",
+              report.frame_bytes, report.full_bytes,
+              report.frame_fraction * 100.0,
+              report.encode_bytes_per_sec / 1e6,
+              report.apply_bytes_per_sec / 1e6, report.allocs_per_apply,
+              out_path.c_str());
+
+  // The core O(churn) promise: 10% tensor churn must ship under a quarter
+  // of the full blob, reconstruct it byte-for-byte, and patch clean shards
+  // without allocating once the pool is warm.
+  if (report.frame_fraction > 0.25) {
+    std::fprintf(stderr, "FAIL: 10%%-churn frame is %.1f%% of the full blob "
+                         "(budget: 25%%)\n",
+                 report.frame_fraction * 100.0);
+    return 1;
+  }
+  if (report.byte_identical != 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: applied frame is not byte-identical to full encode\n");
+    return 1;
+  }
+  if (report.allocs_per_apply > 0.0) {
+    std::fprintf(stderr, "FAIL: %.2f allocations per steady-state apply "
+                         "(budget: 0)\n",
+                 report.allocs_per_apply);
+    return 1;
+  }
+
+  if (baseline_path.empty()) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot record baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    out << report.to_json();
+    std::printf("recorded baseline %s\n", baseline_path.c_str());
+    return 0;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const double base = json_number(buffer.str(), "apply_bytes_per_sec");
+  if (std::isnan(base) || base <= 0.0) {
+    std::fprintf(stderr, "FAIL: baseline %s has no apply_bytes_per_sec\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  if (report.apply_bytes_per_sec < 0.8 * base) {
+    std::fprintf(stderr, "FAIL: apply throughput %.0f MB/s is <80%% of "
+                         "baseline %.0f MB/s\n",
+                 report.apply_bytes_per_sec / 1e6, base / 1e6);
+    return 1;
+  }
+  std::printf("baseline OK (%.0f MB/s vs %.0f MB/s recorded)\n",
+              report.apply_bytes_per_sec / 1e6, base / 1e6);
+  return 0;
+}
+
 }  // namespace
 }  // namespace viper::serial
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_delta.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  if (smoke) return viper::serial::run_delta_smoke(out_path, baseline_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

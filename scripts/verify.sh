@@ -47,6 +47,15 @@ echo "=== perf smoke: pooled serialize throughput vs recorded baseline ==="
   --baseline build/BENCH_serialization.baseline.json
 ./build/bench/micro_stream --smoke --out build/BENCH_stream.json
 
+echo "=== perf smoke: shard-delta fast path (10% churn ships <25% of full) ==="
+# Gates the O(churn) promise: a 10%-tensor-churn version must encode into a
+# frame under a quarter of the full blob, apply back byte-identical, and
+# patch clean shards with zero steady-state allocations; apply throughput
+# is record-then-gated at 80% of the baseline.
+./build/bench/micro_delta --smoke \
+  --out build/BENCH_delta.json \
+  --baseline build/BENCH_delta.baseline.json
+
 echo "=== perf smoke: parallel data plane (modeled 1/2/4/8-thread sweep) ==="
 # Gates the modeled end-to-end checkpoint throughput: 4 threads must clear
 # 2x the recorded single-thread serial chain, sharded/striped correctness
@@ -161,7 +170,7 @@ cmake --build build-tsan -j \
   --target obs_test obs_e2e_test stress_test fault_injection_test \
            durability_test buffer_pool_test thread_pool_test \
            parallel_transfer_test consumer_parallel_test soak_test \
-           broadcast_test kvstore_test >/dev/null
+           broadcast_test kvstore_test delta_plane_test >/dev/null
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/obs_e2e_test
 ./build-tsan/tests/stress_test
@@ -174,5 +183,6 @@ cmake --build build-tsan -j \
 ./build-tsan/tests/soak_test
 ./build-tsan/tests/broadcast_test
 ./build-tsan/tests/kvstore_test
+./build-tsan/tests/delta_plane_test
 
 echo "=== verify OK ==="

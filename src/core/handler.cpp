@@ -187,13 +187,15 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
   // refcounted blob every downstream stage aliases. With more than one
   // shard the encode and CRC run sharded on the shared thread pool; the
   // produced bytes are identical to the serial path.
+  serial::ShardDigest digest;  // filled by the sharded capture path
   Result<serial::PooledBuffer> captured = [&] {
     const Stopwatch serialize_watch;
     auto serialize_span = obs::Tracer::global().span("serialize", "producer");
     auto out = options_.serialize_shards == 1
                    ? format_->serialize_pooled(model)
                    : format_->serialize_pooled_sharded(
-                         model, ThreadPool::global(), options_.serialize_shards);
+                         model, ThreadPool::global(), options_.serialize_shards,
+                         options_.delta_updates ? &digest : nullptr);
     engine_metrics().serialize_seconds.record(serialize_watch.elapsed());
     return out;
   }();
@@ -232,6 +234,49 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
     } while (journal && journal->state().is_committed(version));
   }
 
+  // Delta-aware fast path: diff this capture's per-shard CRC digest
+  // against the previous stored version's. When the model barely churned,
+  // replace the full blob with a shard-delta frame — every downstream
+  // stage (tier store, transfer server, broadcast fan-out, PFS flush +
+  // journal) then moves O(churn) bytes instead of O(model). Falls back to
+  // the full blob when: delta is off, the capture was serial (no digest),
+  // shard boundaries shifted (structural change), the frame would exceed
+  // max_delta_fraction of the full size, the chain hit delta_chain_max,
+  // or a flush failure broke the durable chain since the last anchor.
+  std::uint64_t base_version = 0;
+  if (options_.delta_updates && journaling_enabled()) {
+    std::lock_guard lock(delta_mutex_);
+    DeltaState& state = delta_states_[model_name];
+    if (digest.valid() && state.valid && !state.broken &&
+        state.chain_len < options_.delta_chain_max) {
+      const serial::ShardDeltaPlan plan =
+          serial::plan_shard_delta(state.digest, digest);
+      const auto frame_cap = static_cast<std::size_t>(
+          options_.max_delta_fraction *
+          static_cast<double>(digest.total_bytes));
+      if (plan.compatible && plan.frame_bytes <= frame_cap) {
+        auto frame = serial::encode_shard_delta(
+            std::span<const std::byte>(blob->data(), blob->size()),
+            state.digest, digest, plan, state.base_version, version);
+        if (frame.is_ok()) {
+          // The frame replaces the full capture; the pooled full blob
+          // returns to the pool here (clean shards live on in the
+          // consumers' resident bases, not on this producer).
+          blob = std::move(frame).value().share();
+          base_version = state.base_version;
+        }
+      }
+      if (base_version == 0) serial::shard_delta_metrics().full_fallbacks.add();
+    }
+    // This version becomes the next save's diff base. A full save (by
+    // choice or fallback) re-anchors the chain and clears `broken`.
+    state.valid = digest.valid();
+    state.digest = std::move(digest);
+    state.base_version = version;
+    state.chain_len = base_version != 0 ? state.chain_len + 1 : 0;
+    if (base_version == 0) state.broken = false;
+  }
+
   ModelMetadata metadata;
   metadata.name = model_name;
   metadata.version = version;
@@ -239,7 +284,9 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
   metadata.path = location == Location::kPfs ? pfs_path(model_name, version)
                                              : memory_path(model_name);
   metadata.size_bytes = blob->size();
-  metadata.cost_bytes = model.cost_bytes();
+  // Modeled IO/transfer cost follows what actually moves: the frame on
+  // the delta path, the nominal model otherwise.
+  metadata.cost_bytes = base_version != 0 ? blob->size() : model.cost_bytes();
   metadata.iteration = model.iteration();
   metadata.train_loss = train_loss;
 
@@ -274,7 +321,8 @@ Result<SaveReceipt> ModelWeightsHandler::save_weights(const std::string& model_n
                      trace_context.origin_rank);
   }
 
-  Staged staged{model_name, std::move(blob), metadata, nullptr, trace_context};
+  Staged staged{model_name,    std::move(blob), metadata,
+                nullptr,       trace_context,   base_version};
 
   if (strategy_is_async(options_.strategy)) {
     // Bounded-depth pipeline: serialize of this version already overlapped
@@ -358,7 +406,8 @@ Status ModelWeightsHandler::commit(Staged staged) {
       if (step.location == Location::kPfs) {
         // Durable rung: the store is journaled (INTENT → blob → COMMIT)
         // so a crash mid-store is recoverable from the manifest.
-        VIPER_RETURN_IF_ERROR(store_pfs_journaled(metadata, staged.blob));
+        VIPER_RETURN_IF_ERROR(
+            store_pfs_journaled(metadata, staged.blob, staged.base_version));
         return memsys::IoTicket{};
       }
       return step.tier->put_shared(path, staged.blob, metadata.cost_bytes);
@@ -400,12 +449,14 @@ Status ModelWeightsHandler::commit(Staged staged) {
     // holding this version's blob, so the gate opens when it lands.
     flusher_.submit([this, meta = metadata, ctx = staged.context,
                      flush_blob = std::move(staged.blob),
-                     slot = std::move(staged.pipeline_slot)]() mutable {
+                     slot = std::move(staged.pipeline_slot),
+                     base_version = staged.base_version]() mutable {
       const Stopwatch flush_watch;
       std::optional<obs::ScopedTraceContext> scoped;
       if (ctx.valid() && obs::context_armed()) scoped.emplace(ctx);
       auto flush_span = obs::Tracer::global().span("flush", "producer");
-      const Status status = store_pfs_journaled(meta, std::move(flush_blob));
+      const Status status =
+          store_pfs_journaled(meta, std::move(flush_blob), base_version);
       if (!status.is_ok()) {
         VIPER_WARN << "PFS flush of " << pfs_path(meta.name, meta.version)
                    << " failed: " << status.to_string();
@@ -501,7 +552,24 @@ ModelWeightsHandler::journal_for(const std::string& model_name) {
 }
 
 Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
-                                                serial::SharedBlob blob) {
+                                                serial::SharedBlob blob,
+                                                std::uint64_t base_version) {
+  const Status status =
+      store_pfs_journaled_impl(metadata, std::move(blob), base_version);
+  if (!status.is_ok() && options_.delta_updates) {
+    // Any failed flush — full or delta — leaves a hole in the durable
+    // chain spine: later deltas would reference a base that never reached
+    // the PFS. Break the chain so the next save re-anchors full; the
+    // scrubber's chain-validity pass covers what already shipped.
+    std::lock_guard lock(delta_mutex_);
+    delta_states_[metadata.name].broken = true;
+  }
+  return status;
+}
+
+Status ModelWeightsHandler::store_pfs_journaled_impl(
+    const ModelMetadata& metadata, serial::SharedBlob blob,
+    std::uint64_t base_version) {
   auto pfs = services_->pfs;
   const std::string path = pfs_path(metadata.name, metadata.version);
   if (!journaling_enabled()) {
@@ -532,8 +600,12 @@ Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
 
   const std::uint64_t size = blob->size();
   const std::uint32_t crc = serial::crc32(*blob);
-  auto intent =
-      journal->append_intent(metadata.version, size, crc, metadata.iteration);
+  // A delta flush's INTENT carries the base version: a crash between the
+  // frame write and the DELTA record is then completed by recovery as
+  // DELTA (the blob IS a frame — committing it as full would poison
+  // every reader).
+  auto intent = journal->append_intent(metadata.version, size, crc,
+                                       metadata.iteration, base_version);
   if (!intent.is_ok()) {
     if (fault::is_crash_status(intent.status())) dmetrics.flush_aborts.add();
     return intent.status();
@@ -566,7 +638,11 @@ Status ModelWeightsHandler::store_pfs_journaled(const ModelMetadata& metadata,
   }
 
   auto commit =
-      journal->append_commit(metadata.version, size, crc, metadata.iteration);
+      base_version != 0
+          ? journal->append_delta(metadata.version, size, crc,
+                                  metadata.iteration, base_version)
+          : journal->append_commit(metadata.version, size, crc,
+                                   metadata.iteration);
   if (!commit.is_ok()) {
     if (fault::is_crash_status(commit.status())) dmetrics.flush_aborts.add();
     return commit.status();
@@ -886,8 +962,11 @@ Result<Model> ModelLoader::load_weights(const std::string& model_name) {
     metrics.load_bytes.add(view.size());
     metrics.load_seconds.record(watch.elapsed());
     // Publish the verified blob so co-located consumers of this version
-    // skip their own fetch and decode off this copy.
-    if (options_.blob_cache) {
+    // skip their own fetch and decode off this copy. A delta frame is not
+    // published: decode_blob already published the reconstructed full
+    // blob, which is what both co-located decoders and future frames (as
+    // their base) need.
+    if (options_.blob_cache && !serial::is_shard_delta(view)) {
       options_.blob_cache->insert(model_name, meta.version, shared,
                                   blob_offset);
     }
@@ -905,6 +984,11 @@ Result<Model> ModelLoader::decode_blob(const std::string& model_name,
   }
   const std::span<const std::byte> view(shared->data() + blob_offset,
                                         shared->size() - blob_offset);
+  // Delta frames reconstruct against the resident base first, then take
+  // this same path again with the full blob.
+  if (serial::is_shard_delta(view)) {
+    return decode_delta_frame(model_name, version, shared, blob_offset);
+  }
   // Sniff the format by magic so a consumer can read either layout.
   const serial::CheckpointFormat& format =
       serial::format_for_blob(view) == serial::BlobFormat::kViper
@@ -924,6 +1008,14 @@ Result<Model> ModelLoader::decode_blob(const std::string& model_name,
   deserialize_span.end();
   if (model.is_ok()) {
     obs::ledger_record(model_name, version, obs::Stage::kDecodeDone, trace_id);
+    // This verified full blob is the resident base the next delta frame's
+    // clean shards are retained from. Newest wins; effectively free — the
+    // active model's tensors alias these same bytes anyway.
+    std::lock_guard lock(resident_mutex_);
+    ResidentBase& base = resident_bases_[model_name];
+    if (version >= base.version) {
+      base = ResidentBase{version, shared, blob_offset};
+    }
   } else if (model.status().code() == StatusCode::kDataLoss) {
     // A payload that survived every transfer checksum yet failed decode
     // verification: the blob a consumer was about to serve was corrupt.
@@ -932,6 +1024,100 @@ Result<Model> ModelLoader::decode_blob(const std::string& model_name,
     corrupt_serves.add();
   }
   return model;
+}
+
+Result<Model> ModelLoader::decode_delta_frame(const std::string& model_name,
+                                              std::uint64_t version,
+                                              const serial::SharedBlob& shared,
+                                              std::size_t blob_offset) {
+  const std::span<const std::byte> frame(shared->data() + blob_offset,
+                                         shared->size() - blob_offset);
+  auto header = serial::shard_delta_header(frame);
+  if (!header.is_ok()) return header.status();
+  const std::uint64_t base_version = header.value().base_version;
+
+  // Resolve the base: the loader's resident full blob, then the
+  // co-located host blob cache, then (the consumer's NACK ladder) a PFS
+  // chain replay down to the full anchor.
+  serial::SharedBlob base_blob;
+  std::size_t base_offset = 0;
+  {
+    std::lock_guard lock(resident_mutex_);
+    auto it = resident_bases_.find(model_name);
+    if (it != resident_bases_.end() && it->second.version == base_version) {
+      base_blob = it->second.blob;
+      base_offset = it->second.offset;
+    }
+  }
+  if (base_blob == nullptr && options_.blob_cache) {
+    if (auto entry = options_.blob_cache->lookup(model_name, base_version)) {
+      const std::span<const std::byte> cached(entry->blob->data() + entry->offset,
+                                              entry->blob->size() - entry->offset);
+      if (!serial::is_shard_delta(cached)) {
+        base_blob = entry->blob;
+        base_offset = entry->offset;
+      }
+    }
+  }
+  if (base_blob == nullptr) {
+    serial::shard_delta_metrics().base_misses.add();
+    auto replayed = materialize_from_pfs(model_name, base_version, 0);
+    if (!replayed.is_ok()) {
+      return not_found("delta frame v" + std::to_string(version) + " of '" +
+                       model_name + "' needs base v" +
+                       std::to_string(base_version) +
+                       " which is neither resident nor recoverable: " +
+                       replayed.status().to_string());
+    }
+    base_blob = std::move(replayed).value();
+    base_offset = 0;
+  }
+
+  const std::span<const std::byte> base_view(base_blob->data() + base_offset,
+                                             base_blob->size() - base_offset);
+  auto patched = serial::apply_shard_delta(base_view, frame);
+  if (!patched.is_ok()) return patched.status();
+  serial::SharedBlob full = std::move(patched).value().share();
+
+  // The reconstructed blob takes the normal decode path (it is a full
+  // checkpoint now, so no recursion) and, on success, becomes the
+  // resident base for the next frame in the chain.
+  auto model = decode_blob(model_name, version, full, 0);
+  if (model.is_ok() && options_.blob_cache) {
+    // Publish the full reconstruction, never the frame: co-located
+    // consumers decode (and patch their own next frame) off it directly.
+    options_.blob_cache->insert(model_name, version, full, 0);
+  }
+  return model;
+}
+
+Result<serial::SharedBlob> ModelLoader::materialize_from_pfs(
+    const std::string& model_name, std::uint64_t version, std::size_t depth) {
+  // Far above any sane delta_chain_max: only turns a corrupt base cycle
+  // into an error instead of unbounded recursion.
+  constexpr std::size_t kMaxChainReplayDepth = 64;
+  if (depth >= kMaxChainReplayDepth) {
+    return data_loss("delta chain of '" + model_name + "' exceeds " +
+                     std::to_string(kMaxChainReplayDepth) + " links");
+  }
+  const std::string key =
+      "ckpt/" + model_name + "/v" + std::to_string(version);
+  std::vector<std::byte> bytes;
+  if (auto ticket = services_->pfs->get(key, bytes); !ticket.is_ok()) {
+    return ticket.status();
+  }
+  serial::SharedBlob blob =
+      std::make_shared<std::vector<std::byte>>(std::move(bytes));
+  if (!serial::is_shard_delta(*blob)) return blob;
+  serial::shard_delta_metrics().chain_replays.add();
+  auto header = serial::shard_delta_header(*blob);
+  if (!header.is_ok()) return header.status();
+  auto base = materialize_from_pfs(model_name, header.value().base_version,
+                                   depth + 1);
+  if (!base.is_ok()) return base.status();
+  auto patched = serial::apply_shard_delta(*base.value(), *blob);
+  if (!patched.is_ok()) return patched.status();
+  return std::move(patched).value().share();
 }
 
 }  // namespace viper::core

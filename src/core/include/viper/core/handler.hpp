@@ -102,6 +102,24 @@ class ModelWeightsHandler {
     /// buffering so serialize of version k+1 overlaps send/flush of
     /// version k without unbounded memory growth. 0 = unbounded.
     std::size_t pipeline_depth = 2;
+    /// Delta-aware fast path: when the sharded capture's per-shard CRC
+    /// digest shows most shards unchanged since the previous version,
+    /// store/flush/serve a shard-delta frame (dirty shards only) instead
+    /// of the full blob — per-version transfer and journal cost becomes
+    /// O(churn) instead of O(model). Requires journaling (the DELTA
+    /// record anchors crash recovery) and the sharded capture path
+    /// (serialize_shards != 1). Consumers reconstruct against their
+    /// resident base, falling back to a PFS chain replay.
+    bool delta_updates = false;
+    /// Churn ceiling for the delta path: a frame is only shipped when its
+    /// size is at most this fraction of the full blob; above it the save
+    /// falls back to a full encode (the frame would barely save anything
+    /// and lengthen the recovery chain for free).
+    double max_delta_fraction = 0.25;
+    /// Max consecutive delta versions before a full checkpoint re-anchors
+    /// the chain. Bounds reconstruction cost for cold consumers and crash
+    /// recovery (each link is one PFS read + one patch).
+    std::size_t delta_chain_max = 8;
   };
 
   ModelWeightsHandler(std::shared_ptr<SharedServices> services, Options options);
@@ -172,6 +190,23 @@ class ModelWeightsHandler {
     /// version): the engine and flusher threads re-adopt it so commit,
     /// flush, and notify spans chain under the producing save.
     obs::TraceContext context;
+    /// Non-zero when `blob` is a shard-delta frame patching this base
+    /// version: the journaled flush then closes with a DELTA record
+    /// instead of COMMIT.
+    std::uint64_t base_version = 0;
+  };
+
+  /// Producer-side delta chain state for one model: the previous stored
+  /// version's shard digest (what the next capture diffs against) and how
+  /// long the current chain has run since its full anchor.
+  struct DeltaState {
+    bool valid = false;   ///< digest came from a sharded capture
+    /// A flush failed since the last anchor: the chain's durable spine
+    /// has a hole, so the next save must re-anchor with a full encode.
+    bool broken = false;
+    std::uint64_t base_version = 0;  ///< version the digest describes
+    std::size_t chain_len = 0;       ///< delta links since the full anchor
+    serial::ShardDigest digest;
   };
 
   /// Store + metadata + notify (runs inline for sync, on engine for async).
@@ -180,12 +215,18 @@ class ModelWeightsHandler {
   /// True when PFS-bound checkpoints of this handler are journaled.
   [[nodiscard]] bool journaling_enabled() const noexcept;
 
-  /// Journaled durable store: INTENT → blob put → COMMIT → retention GC,
-  /// with crash points at every protocol step. Falls back to a plain put
-  /// when journaling is disabled. The shared blob is written in place —
-  /// no staging copy.
+  /// Journaled durable store: INTENT → blob put → COMMIT/DELTA →
+  /// retention GC, with crash points at every protocol step. Falls back
+  /// to a plain put when journaling is disabled. The shared blob is
+  /// written in place — no staging copy. `base_version` non-zero marks a
+  /// delta flush (the blob is a frame); any failure marks the model's
+  /// delta chain broken so the next save re-anchors full.
   Status store_pfs_journaled(const ModelMetadata& metadata,
-                             serial::SharedBlob blob);
+                             serial::SharedBlob blob,
+                             std::uint64_t base_version = 0);
+  Status store_pfs_journaled_impl(const ModelMetadata& metadata,
+                                  serial::SharedBlob blob,
+                                  std::uint64_t base_version);
 
   std::shared_ptr<SharedServices> services_;
   Options options_;
@@ -201,6 +242,8 @@ class ModelWeightsHandler {
   std::mutex journals_mutex_;
   std::unordered_map<std::string, std::shared_ptr<durability::ManifestJournal>>
       journals_;
+  std::mutex delta_mutex_;
+  std::unordered_map<std::string, DeltaState> delta_states_;
   std::atomic<double> total_stall_{0.0};
   std::atomic<std::uint64_t> saves_completed_{0};
   std::atomic<std::uint64_t> saves_degraded_{0};
@@ -252,7 +295,13 @@ class ModelLoader {
   /// Decode a checkpoint blob that is already in host memory — a
   /// broadcast-plane delivery or a co-located consumer's cached copy:
   /// format sniff + zero-copy deserialize starting at `blob_offset`.
-  /// The tensors borrow their payloads from `shared`.
+  /// The tensors borrow their payloads from `shared`. A shard-delta
+  /// frame is reconstructed first: clean shards come from the resident
+  /// base (the previously decoded full blob, or the host blob cache),
+  /// dirty shards from the frame; a consumer missing the base escalates
+  /// to a PFS chain replay down to the full anchor. The reconstructed
+  /// full blob then takes the normal (parallel, zero-copy) decode path
+  /// and becomes the resident base for the next frame.
   Result<Model> decode_blob(const std::string& model_name,
                             std::uint64_t version, serial::SharedBlob shared,
                             std::size_t blob_offset);
@@ -266,12 +315,33 @@ class ModelLoader {
   void drain_stale_replies();
   /// Memory-path fetch with bounded retry; sets last_load_cost_.
   Result<std::vector<std::byte>> fetch_from_producer(const ModelMetadata& meta);
+  /// Reconstruct + decode a shard-delta frame (see decode_blob).
+  Result<Model> decode_delta_frame(const std::string& model_name,
+                                   std::uint64_t version,
+                                   const serial::SharedBlob& shared,
+                                   std::size_t blob_offset);
+  /// Chain replay: materialize the full blob of `version` from the PFS,
+  /// recursively patching frames down to the full anchor.
+  Result<serial::SharedBlob> materialize_from_pfs(const std::string& model_name,
+                                                  std::uint64_t version,
+                                                  std::size_t depth);
+
+  /// The newest full (non-frame) blob this loader decoded per model —
+  /// the resident base a delta frame's clean shards are retained from.
+  /// Cheap to keep: the active model's tensors alias the same bytes.
+  struct ResidentBase {
+    std::uint64_t version = 0;
+    serial::SharedBlob blob;
+    std::size_t offset = 0;
+  };
 
   std::shared_ptr<SharedServices> services_;
   net::Comm comm_;
   Options options_;
   std::unique_ptr<serial::CheckpointFormat> viper_format_;
   std::unique_ptr<serial::CheckpointFormat> h5_format_;
+  std::mutex resident_mutex_;
+  std::unordered_map<std::string, ResidentBase> resident_bases_;
   double last_load_cost_ = 0.0;
 };
 

@@ -84,6 +84,12 @@ class StatsManager {
     std::uint64_t gc_lease_blocked = 0;
     // Sharded pub/sub bus.
     std::uint64_t pubsub_shard_contention = 0;
+    // Delta-aware fast path (shard-delta frames).
+    std::uint64_t delta_frames_encoded = 0;
+    std::uint64_t delta_frames_applied = 0;
+    std::uint64_t delta_bytes_saved = 0;  ///< clean bytes not re-shipped
+    std::uint64_t delta_full_fallbacks = 0;
+    std::uint64_t delta_commits = 0;  ///< DELTA journal records committed
   };
   [[nodiscard]] static DataPlaneCounters data_plane();
 

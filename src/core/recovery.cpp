@@ -9,6 +9,7 @@
 #include "viper/durability/journal.hpp"
 #include "viper/durability/metrics.hpp"
 #include "viper/obs/ledger.hpp"
+#include "viper/serial/shard_delta.hpp"
 
 namespace viper::core {
 
@@ -30,6 +31,48 @@ std::optional<std::uint64_t> version_of_key(const std::string& key,
 Result<Model> parse_blob(const std::vector<std::byte>& blob) {
   if (blob.size() < 4) return data_loss("flushed blob too small");
   return serial::make_format_for_blob(blob)->deserialize(blob);
+}
+
+/// Hard bound on delta-chain replay depth — far above any sane
+/// delta_chain_max, it only exists to turn a corrupt base_version cycle
+/// into an error instead of unbounded recursion.
+constexpr std::size_t kMaxChainReplayDepth = 64;
+
+/// Materialize the full checkpoint bytes behind a committed version: a
+/// full checkpoint's blob passes through untouched; a shard-delta frame
+/// is replayed onto its (recursively materialized) base fetched from the
+/// PFS. Recovery cost is bounded by the producer's delta_chain_max — each
+/// link is one PFS read plus one O(blob) patch.
+Result<std::vector<std::byte>> materialize_blob(SharedServices& services,
+                                                const std::string& model_name,
+                                                std::vector<std::byte> blob,
+                                                std::size_t depth = 0) {
+  if (!serial::is_shard_delta(blob)) return blob;
+  if (depth >= kMaxChainReplayDepth) {
+    return data_loss("delta chain of '" + model_name + "' exceeds " +
+                     std::to_string(kMaxChainReplayDepth) +
+                     " links (corrupt base cycle?)");
+  }
+  auto header = serial::shard_delta_header(blob);
+  if (!header.is_ok()) return header.status();
+  serial::shard_delta_metrics().chain_replays.add();
+  const std::uint64_t base_version = header.value().base_version;
+  const std::string base_key =
+      durability::checkpoint_key(model_name, base_version);
+  std::vector<std::byte> base;
+  if (auto ticket = services.pfs->get(base_key, base); !ticket.is_ok()) {
+    serial::shard_delta_metrics().base_misses.add();
+    return data_loss("delta base v" + std::to_string(base_version) + " of '" +
+                     model_name +
+                     "' is gone from the PFS: " + ticket.status().to_string());
+  }
+  auto full_base =
+      materialize_blob(services, model_name, std::move(base), depth + 1);
+  if (!full_base.is_ok()) return full_base.status();
+  auto applied = serial::apply_shard_delta(full_base.value(), blob);
+  if (!applied.is_ok()) return applied.status();
+  const auto span = applied.value().span();
+  return std::vector<std::byte>(span.begin(), span.end());
 }
 
 /// Pre-journal fallback: scan the PFS for version keys and validate
@@ -109,7 +152,17 @@ Result<RecoveredModel> recover_latest_journaled(
       recovered.skipped_corrupt.push_back(version);
       continue;
     }
-    auto model = parse_blob(blob);
+    // A delta commit's blob is a frame: replay its base chain before the
+    // parse. Any broken link (missing base, failed patch) skips this
+    // version like any other corruption.
+    auto full = materialize_blob(services, model_name, std::move(blob));
+    if (!full.is_ok()) {
+      VIPER_WARN << "committed version " << version << " of '" << model_name
+                 << "' failed delta replay: " << full.status().to_string();
+      recovered.skipped_corrupt.push_back(version);
+      continue;
+    }
+    auto model = parse_blob(full.value());
     if (!model.is_ok()) {
       recovered.skipped_corrupt.push_back(version);
       continue;

@@ -142,6 +142,14 @@ StatsManager::DataPlaneCounters StatsManager::data_plane() {
       snapshot.counter_value("viper.durability.gc_lease_blocked");
   out.pubsub_shard_contention =
       snapshot.counter_value("viper.kvstore.pubsub.shard_contention");
+  out.delta_frames_encoded =
+      snapshot.counter_value("viper.delta.frames_encoded");
+  out.delta_frames_applied =
+      snapshot.counter_value("viper.delta.frames_applied");
+  out.delta_bytes_saved = snapshot.counter_value("viper.delta.bytes_saved");
+  out.delta_full_fallbacks =
+      snapshot.counter_value("viper.delta.full_fallbacks");
+  out.delta_commits = snapshot.counter_value("viper.durability.delta_commits");
   return out;
 }
 
@@ -186,6 +194,11 @@ std::string StatsManager::summary() const {
   line("viper.durability.lease_expiries", data.lease_expiries);
   line("viper.durability.gc_lease_blocked", data.gc_lease_blocked);
   line("viper.kvstore.pubsub.shard_contention", data.pubsub_shard_contention);
+  line("viper.delta.frames_encoded", data.delta_frames_encoded);
+  line("viper.delta.frames_applied", data.delta_frames_applied);
+  line("viper.delta.bytes_saved", data.delta_bytes_saved);
+  line("viper.delta.full_fallbacks", data.delta_full_fallbacks);
+  line("viper.durability.delta_commits", data.delta_commits);
   return out;
 }
 

@@ -43,7 +43,10 @@ namespace viper::durability {
 struct ManifestState {
   /// INTENT seen, no COMMIT/RETIRE yet — an in-flight or interrupted flush.
   std::map<std::uint64_t, serial::ManifestRecord> pending;
-  /// COMMIT seen and not retired — the versions that durably exist.
+  /// COMMIT or DELTA seen and not retired — the versions that durably
+  /// exist. A record with `is_delta()` means the stored blob is a
+  /// shard-delta frame whose reconstruction walks `base_version` links
+  /// back to the nearest full checkpoint (the chain anchor).
   std::map<std::uint64_t, serial::ManifestRecord> committed;
   /// Versions retired (GC'd, rolled back, or quarantined), in record order.
   std::vector<std::uint64_t> retired;
@@ -88,19 +91,32 @@ class ManifestJournal {
 
   /// Append one record and atomically republish the journal with its
   /// modeled fsync barrier. Sequence numbers are journal-assigned.
+  /// `base_version` is non-zero only on the delta fast path: a DELTA
+  /// record names the committed version its frame patches, and the INTENT
+  /// bracketing a delta flush carries the same base so restart recovery
+  /// knows to complete it as DELTA rather than COMMIT.
   Result<serial::ManifestRecord> append(serial::ManifestOp op,
                                         std::uint64_t version,
                                         std::uint64_t size_bytes,
                                         std::uint32_t blob_crc,
-                                        std::int64_t iteration);
+                                        std::int64_t iteration,
+                                        std::uint64_t base_version = 0);
   Result<serial::ManifestRecord> append_intent(std::uint64_t version,
                                                std::uint64_t size_bytes,
                                                std::uint32_t blob_crc,
-                                               std::int64_t iteration);
+                                               std::int64_t iteration,
+                                               std::uint64_t base_version = 0);
   Result<serial::ManifestRecord> append_commit(std::uint64_t version,
                                                std::uint64_t size_bytes,
                                                std::uint32_t blob_crc,
                                                std::int64_t iteration);
+  /// Delta-path commit: the blob at this version's checkpoint key is a
+  /// shard-delta frame over `base_version`, not a full checkpoint.
+  Result<serial::ManifestRecord> append_delta(std::uint64_t version,
+                                              std::uint64_t size_bytes,
+                                              std::uint32_t blob_crc,
+                                              std::int64_t iteration,
+                                              std::uint64_t base_version);
   Result<serial::ManifestRecord> append_retire(std::uint64_t version);
 
   /// Snapshot of the folded state (copy; safe across appends).

@@ -21,6 +21,12 @@ struct DurabilityMetrics {
       obs::MetricsRegistry::global().counter("viper.durability.commits");
   obs::Counter& retires =
       obs::MetricsRegistry::global().counter("viper.durability.retires");
+  /// Delta-frame commits (a DELTA record closed the flush instead of COMMIT).
+  obs::Counter& delta_commits =
+      obs::MetricsRegistry::global().counter("viper.durability.delta_commits");
+  /// GC passes that skipped a version because a live delta chain pins it.
+  obs::Counter& gc_delta_pinned =
+      obs::MetricsRegistry::global().counter("viper.durability.gc_delta_pinned");
   /// Flush protocol runs cut short by a (simulated) crash.
   obs::Counter& flush_aborts =
       obs::MetricsRegistry::global().counter("viper.durability.flush_aborts");

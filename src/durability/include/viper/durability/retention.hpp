@@ -35,6 +35,10 @@ struct RetentionReport {
   /// Versions the policy would retire but a live consumer lease blocked;
   /// they are retried on the next GC pass (after drain or TTL expiry).
   std::uint64_t lease_blocked = 0;
+  /// Versions the policy would retire but a surviving delta chain pins:
+  /// some kept (or leased) version reaches them through base_version
+  /// links, so erasing them would strand its reconstruction.
+  std::uint64_t delta_pinned = 0;
   std::vector<std::uint64_t> retired_versions;
 };
 

@@ -31,12 +31,16 @@ struct ScrubReport {
   std::uint64_t rolled_back = 0;  ///< interrupted flushes retired
   std::uint64_t quarantined = 0;  ///< corrupt committed blobs quarantined
   std::uint64_t missing = 0;      ///< committed blobs that vanished
+  /// Committed delta versions retired because their base chain no longer
+  /// reaches a committed full checkpoint (base retired, quarantined, or
+  /// vanished) — the frame is intact but unreconstructable.
+  std::uint64_t chain_broken = 0;
   std::vector<std::uint64_t> quarantined_versions;
   std::vector<std::uint64_t> missing_versions;
 
   [[nodiscard]] bool clean() const noexcept {
     return completed == 0 && rolled_back == 0 && quarantined == 0 &&
-           missing == 0;
+           missing == 0 && chain_broken == 0;
   }
 };
 

@@ -21,6 +21,7 @@ std::string_view op_site_suffix(serial::ManifestOp op) noexcept {
     case serial::ManifestOp::kIntent: return "intent";
     case serial::ManifestOp::kCommit: return "commit";
     case serial::ManifestOp::kRetire: return "retire";
+    case serial::ManifestOp::kDelta: return "delta";
   }
   return "?";
 }
@@ -35,6 +36,9 @@ void count_op(serial::ManifestOp op) {
       break;
     case serial::ManifestOp::kRetire:
       durability_metrics().retires.add();
+      break;
+    case serial::ManifestOp::kDelta:
+      durability_metrics().delta_commits.add();
       break;
   }
 }
@@ -62,6 +66,10 @@ void ManifestState::apply(const serial::ManifestRecord& record) {
       pending[record.version] = record;
       break;
     case serial::ManifestOp::kCommit:
+    case serial::ManifestOp::kDelta:
+      // A DELTA record is the delta-path COMMIT: the version durably
+      // exists, its record keeps the op (and base_version) so readers know
+      // the blob is a frame needing chain reconstruction.
       pending.erase(record.version);
       committed[record.version] = record;
       last_committed = std::max(last_committed, record.version);
@@ -128,7 +136,8 @@ Result<serial::ManifestRecord> ManifestJournal::append(serial::ManifestOp op,
                                                        std::uint64_t version,
                                                        std::uint64_t size_bytes,
                                                        std::uint32_t blob_crc,
-                                                       std::int64_t iteration) {
+                                                       std::int64_t iteration,
+                                                       std::uint64_t base_version) {
   std::lock_guard lock(mutex_);
   if (!loaded_) {
     return failed_precondition("manifest journal for '" + model_name_ +
@@ -141,6 +150,7 @@ Result<serial::ManifestRecord> ManifestJournal::append(serial::ManifestOp op,
   record.size_bytes = size_bytes;
   record.blob_crc = blob_crc;
   record.iteration = iteration;
+  record.base_version = base_version;
 
   serial::ByteWriter encoded;
   serial::encode_manifest_record(record, encoded);
@@ -176,9 +186,9 @@ Result<serial::ManifestRecord> ManifestJournal::append(serial::ManifestOp op,
 
 Result<serial::ManifestRecord> ManifestJournal::append_intent(
     std::uint64_t version, std::uint64_t size_bytes, std::uint32_t blob_crc,
-    std::int64_t iteration) {
+    std::int64_t iteration, std::uint64_t base_version) {
   return append(serial::ManifestOp::kIntent, version, size_bytes, blob_crc,
-                iteration);
+                iteration, base_version);
 }
 
 Result<serial::ManifestRecord> ManifestJournal::append_commit(
@@ -186,6 +196,16 @@ Result<serial::ManifestRecord> ManifestJournal::append_commit(
     std::int64_t iteration) {
   return append(serial::ManifestOp::kCommit, version, size_bytes, blob_crc,
                 iteration);
+}
+
+Result<serial::ManifestRecord> ManifestJournal::append_delta(
+    std::uint64_t version, std::uint64_t size_bytes, std::uint32_t blob_crc,
+    std::int64_t iteration, std::uint64_t base_version) {
+  if (base_version == 0) {
+    return invalid_argument("append_delta: a delta record needs a base");
+  }
+  return append(serial::ManifestOp::kDelta, version, size_bytes, blob_crc,
+                iteration, base_version);
 }
 
 Result<serial::ManifestRecord> ManifestJournal::append_retire(

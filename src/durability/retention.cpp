@@ -1,9 +1,11 @@
 #include "viper/durability/retention.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "viper/common/log.hpp"
 #include "viper/durability/metrics.hpp"
+#include "viper/serial/shard_delta.hpp"
 
 namespace viper::durability {
 
@@ -30,9 +32,35 @@ Result<RetentionReport> apply_retention(ManifestJournal& journal,
   for (const auto& [version, record] : state.committed) {
     versions.push_back(version);
   }
+
+  // Delta-chain pinning: a version some survivor reaches through
+  // base_version links must outlive that survivor — erasing it would
+  // strand the survivor's reconstruction. Walk the chains of every
+  // version that survives this pass (kept by policy or under a lease);
+  // descending order means a pinned delta's own base gets pinned too
+  // (the closure is transitive) in one sweep.
+  std::set<std::uint64_t> pinned;
+  for (auto it = state.committed.rbegin(); it != state.committed.rend(); ++it) {
+    const auto& [version, record] = *it;
+    const bool survives =
+        policy.keeps(version, versions) || pinned.contains(version) ||
+        (leases != nullptr && leases->active(journal.model_name(), version));
+    if (survives && record.is_delta() && record.base_version != 0 &&
+        pinned.insert(record.base_version).second) {
+      serial::shard_delta_metrics().bases_pinned.add();
+    }
+  }
+
   for (const auto& [version, record] : state.committed) {
     ++report.examined;
     if (policy.keeps(version, versions)) continue;
+    if (pinned.contains(version)) {
+      // A live delta chain still needs this base; it is retried once the
+      // chain's head is itself retired (or re-anchored on a full commit).
+      ++report.delta_pinned;
+      durability_metrics().gc_delta_pinned.add();
+      continue;
+    }
     if (leases != nullptr && leases->active(journal.model_name(), version)) {
       // A consumer is still draining this version; retry next pass.
       ++report.lease_blocked;

@@ -19,9 +19,28 @@ Status verify_blob(std::span<const std::byte> blob,
   if (serial::crc32(blob) != record.blob_crc) {
     return data_loss("blob CRC does not match the manifest record");
   }
+  // A delta-committed version must hold a shard-delta frame and a full
+  // commit must not — either mismatch means the blob under this key is
+  // not what the journal promised.
+  const bool frame = serial::is_shard_delta(blob);
+  if (record.is_delta() != frame &&
+      !(record.op == serial::ManifestOp::kIntent &&
+        frame == (record.base_version != 0))) {
+    return data_loss(frame ? "blob is a shard-delta frame but the record is "
+                             "not a delta commit"
+                           : "record is a delta commit but the blob is not a "
+                             "shard-delta frame");
+  }
   if (deep_verify) {
-    auto model = serial::make_format_for_blob(blob)->deserialize(blob);
-    if (!model.is_ok()) return model.status();
+    if (frame) {
+      // Structural + CRC-fold validation of the frame itself; whether the
+      // chain behind it still reaches an anchor is the scrubber's
+      // chain-validity pass, not a per-blob property.
+      VIPER_RETURN_IF_ERROR(serial::validate_shard_delta(blob));
+    } else {
+      auto model = serial::make_format_for_blob(blob)->deserialize(blob);
+      if (!model.is_ok()) return model.status();
+    }
   }
   return Status::ok();
 }
@@ -47,9 +66,16 @@ Result<ScrubReport> scrub_model(ManifestJournal& journal,
                                : ticket.status();
     if (verdict.is_ok()) {
       // The blob made it — the crash hit after the write but before the
-      // COMMIT record. Complete the flush.
-      auto committed = journal.append_commit(version, intent.size_bytes,
-                                             intent.blob_crc, intent.iteration);
+      // commit record. Complete the flush; an intent carrying a base
+      // version was a delta flush, so it closes with DELTA (the blob is a
+      // frame — committing it as a full checkpoint would poison readers).
+      auto committed =
+          intent.base_version != 0
+              ? journal.append_delta(version, intent.size_bytes,
+                                     intent.blob_crc, intent.iteration,
+                                     intent.base_version)
+              : journal.append_commit(version, intent.size_bytes,
+                                      intent.blob_crc, intent.iteration);
       if (!committed.is_ok()) return committed.status();
       ++report.completed;
       durability_metrics().flushes_completed.add();
@@ -101,6 +127,36 @@ Result<ScrubReport> scrub_model(ManifestJournal& journal,
     durability_metrics().quarantined.add();
     VIPER_WARN << "quarantined corrupt version v" << version << " of '"
                << model << "': " << verdict.to_string();
+  }
+
+  // Chain-validity pass: every committed delta must reach a committed
+  // full checkpoint through base_version links. The verify pass above may
+  // have retired a base (missing/corrupt), stranding the deltas stacked
+  // on it — an intact frame with no base is unreconstructable, so it is
+  // retired too. Iterate to a fixed point: retiring a stranded delta can
+  // strand the deltas based on *it*.
+  bool stranded_any = true;
+  while (stranded_any) {
+    stranded_any = false;
+    const ManifestState chained = journal.state();
+    for (const auto& [version, commit] : chained.committed) {
+      if (!commit.is_delta()) continue;
+      const auto base = chained.committed.find(commit.base_version);
+      if (base != chained.committed.end()) continue;
+      const std::string key = checkpoint_key(model, version);
+      std::vector<std::byte> blob;
+      if (tier.get(key, blob).is_ok()) {
+        auto moved = tier.put(quarantine_key(model, version), std::move(blob));
+        if (moved.is_ok()) (void)tier.erase(key);
+      }
+      auto retired = journal.append_retire(version);
+      if (!retired.is_ok()) return retired.status();
+      ++report.chain_broken;
+      stranded_any = true;
+      VIPER_WARN << "retired delta version v" << version << " of '" << model
+                 << "': base v" << commit.base_version
+                 << " is no longer committed (broken chain)";
+    }
   }
   return report;
 }

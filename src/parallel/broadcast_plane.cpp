@@ -24,6 +24,8 @@ struct BcastMetrics {
       obs::MetricsRegistry::global().counter("viper.bcast.hop_failures");
   obs::Counter& fallbacks =
       obs::MetricsRegistry::global().counter("viper.bcast.fallbacks");
+  obs::Counter& delta_frames =
+      obs::MetricsRegistry::global().counter("viper.bcast.delta_frames");
 };
 
 BcastMetrics& bcast_metrics() {
@@ -159,6 +161,7 @@ Status broadcast_send(const net::Comm& comm, const FanoutPlan& plan, int tag,
   }
   auto& metrics = bcast_metrics();
   metrics.broadcasts.add();
+  if (options.delta_payload) metrics.delta_frames.add();
   const auto children = plan.children_of(0);
   Status first_error;
   for (int child_position : children) {

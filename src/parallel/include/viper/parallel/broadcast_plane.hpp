@@ -70,6 +70,13 @@ struct FanoutOptions {
   double ack_timeout_seconds = 2.0;
   /// Seed for retry-backoff jitter.
   std::uint64_t jitter_seed = 0x5eed;
+  /// The payload is a shard-delta frame rather than a full blob. The
+  /// plane treats the bytes identically (payloads are opaque — soak push
+  /// frames wrap the blob in a name/version header, so the plane cannot
+  /// sniff the delta magic itself); the flag exists so the sender can
+  /// account fan-out traffic that rode the O(churn) fast path
+  /// (viper.bcast.delta_frames).
+  bool delta_payload = false;
 };
 
 /// Out-of-band recovery invoked when the upstream hop is exhausted: must

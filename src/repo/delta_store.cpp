@@ -4,12 +4,23 @@
 
 namespace viper::repo {
 
+Status DeltaStore::Options::validate() const {
+  if (full_every < 1) {
+    return invalid_argument("DeltaStore full_every must be >= 1, got " +
+                            std::to_string(full_every));
+  }
+  if (!(max_delta_fraction > 0.0) || max_delta_fraction > 1.0) {
+    return invalid_argument(
+        "DeltaStore max_delta_fraction must be in (0, 1], got " +
+        std::to_string(max_delta_fraction));
+  }
+  return Status::ok();
+}
+
 DeltaStore::DeltaStore(std::shared_ptr<memsys::StorageTier> tier, Options options)
     : tier_(std::move(tier)),
       options_(options),
-      format_(serial::make_viper_format()) {
-  if (options_.full_every < 1) options_.full_every = 1;
-}
+      format_(serial::make_viper_format()) {}
 
 std::string DeltaStore::full_key(const std::string& name, std::uint64_t version) {
   return "inc/" + name + "/full/v" + std::to_string(version);
@@ -20,6 +31,7 @@ std::string DeltaStore::delta_key(const std::string& name, std::uint64_t version
 }
 
 Result<DeltaStore::PutReport> DeltaStore::put(const Model& model) {
+  VIPER_RETURN_IF_ERROR(options_.validate());
   if (model.name().empty()) return invalid_argument("model must be named");
 
   std::lock_guard lock(mutex_);

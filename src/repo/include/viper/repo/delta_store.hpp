@@ -29,9 +29,15 @@ class DeltaStore {
     int full_every = 8;
     /// Write a full checkpoint instead whenever the delta exceeds this
     /// fraction of the full blob (a delta that saves nothing only adds
-    /// reconstruction cost).
+    /// reconstruction cost). Must be in (0, 1].
     double max_delta_fraction = 0.6;
     serial::DeltaOptions delta;
+
+    /// INVALID_ARGUMENT when the options are out of range (full_every
+    /// < 1, or max_delta_fraction outside (0, 1]). Checked by put(): a
+    /// misconfigured store reports the mistake instead of silently
+    /// storing with different knobs than the caller asked for.
+    [[nodiscard]] Status validate() const;
   };
 
   DeltaStore(std::shared_ptr<memsys::StorageTier> tier, Options options);

@@ -81,7 +81,9 @@ Status CheckpointFormat::serialize_shard_into(const Model&, const ShardPlan&,
 }
 
 Result<PooledBuffer> CheckpointFormat::serialize_pooled_sharded(
-    const Model& model, ThreadPool& pool, int max_shards) const {
+    const Model& model, ThreadPool& pool, int max_shards,
+    ShardDigest* digest) const {
+  if (digest != nullptr) *digest = ShardDigest{};
   if (max_shards == 0) max_shards = pool.num_threads();
   if (max_shards > 1) {
     auto plan_result = shard_plan(model, max_shards);
@@ -122,6 +124,20 @@ Result<PooledBuffer> CheckpointFormat::serialize_pooled_sharded(
       }
       std::memcpy(out.data() + plan.total_bytes - plan.trailer_bytes,
                   &checksum, 4);
+
+      // Export the per-shard CRCs as this version's content digest — the
+      // delta fast path diffs them against the previous version's digest
+      // to find the dirty shards. Free: the CRCs were computed anyway.
+      if (digest != nullptr) {
+        digest->total_bytes = plan.total_bytes;
+        digest->trailer_bytes = plan.trailer_bytes;
+        digest->trailer_crc = checksum;
+        digest->shards.reserve(num_shards);
+        for (std::size_t i = 0; i < num_shards; ++i) {
+          digest->shards.push_back(ShardDigest::Entry{
+              plan.shards[i].offset, plan.shards[i].bytes, shard_crcs[i]});
+        }
+      }
 
       SerialMetrics& metrics = serial_metrics();
       metrics.sharded_captures.add();

@@ -26,6 +26,7 @@
 #include "viper/common/thread_pool.hpp"
 #include "viper/serial/buffer_pool.hpp"
 #include "viper/serial/byte_io.hpp"
+#include "viper/serial/shard_delta.hpp"
 #include "viper/tensor/model.hpp"
 
 namespace viper::serial {
@@ -109,8 +110,13 @@ class CheckpointFormat {
   /// result is byte-identical to serialize_pooled(). `max_shards == 0`
   /// uses the pool width; formats without shard support (or models too
   /// small to split) transparently fall back to the serial encoder.
+  /// When `digest` is non-null the per-shard CRCs the capture computed
+  /// anyway are exported as this version's ShardDigest (the content
+  /// hashes the delta-aware fast path diffs against); the serial fallback
+  /// leaves it invalid — no digest, no delta.
   [[nodiscard]] Result<PooledBuffer> serialize_pooled_sharded(
-      const Model& model, ThreadPool& pool, int max_shards = 0) const;
+      const Model& model, ThreadPool& pool, int max_shards = 0,
+      ShardDigest* digest = nullptr) const;
 
   /// Parse a blob produced by serialize(). Validates integrity. Tensor
   /// payloads are copied out of the blob.

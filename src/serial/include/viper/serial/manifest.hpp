@@ -25,6 +25,8 @@ enum class ManifestOp : std::uint8_t {
   kIntent = 1,  ///< flush of `version` is about to start
   kCommit = 2,  ///< blob for `version` is durable and CRC-stamped
   kRetire = 3,  ///< version is dead (GC'd, rolled back, or quarantined)
+  kDelta = 4,   ///< delta frame for `version` (patched onto `base_version`)
+                ///< is durable — the delta-path COMMIT
 };
 
 [[nodiscard]] std::string_view to_string(ManifestOp op) noexcept;
@@ -33,14 +35,23 @@ struct ManifestRecord {
   ManifestOp op = ManifestOp::kIntent;
   std::uint64_t sequence = 0;    ///< journal-assigned, strictly increasing
   std::uint64_t version = 0;     ///< checkpoint version the record is about
-  std::uint64_t size_bytes = 0;  ///< blob size (INTENT/COMMIT)
-  std::uint32_t blob_crc = 0;    ///< CRC-32 of the blob (INTENT/COMMIT)
+  std::uint64_t size_bytes = 0;  ///< blob size (INTENT/COMMIT/DELTA)
+  std::uint32_t blob_crc = 0;    ///< CRC-32 of the blob (INTENT/COMMIT/DELTA)
   std::int64_t iteration = -1;   ///< training iteration of the capture
+  /// Base version a delta frame patches (kDelta, and the INTENT that
+  /// brackets it); 0 for full checkpoints. An INTENT with a non-zero base
+  /// tells restart recovery to complete the flush as DELTA, not COMMIT.
+  std::uint64_t base_version = 0;
+
+  /// True for the commit record of a delta-frame version.
+  [[nodiscard]] bool is_delta() const noexcept {
+    return op == ManifestOp::kDelta;
+  }
 };
 
 /// Encoded size of one record (fixed; the journal is seekable by index).
 inline constexpr std::size_t kManifestRecordBytes =
-    4 + 1 + 8 + 8 + 8 + 4 + 8 + 4;  // magic op seq ver size crc iter | crc
+    4 + 1 + 8 + 8 + 8 + 4 + 8 + 8 + 4;  // magic op seq ver size crc iter base | crc
 
 /// Append one record (with its CRC trailer) to `writer`.
 void encode_manifest_record(const ManifestRecord& record, ByteWriter& writer);

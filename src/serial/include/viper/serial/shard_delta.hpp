@@ -1,0 +1,137 @@
+// Shard-granular delta frames: the wire/journal format of the delta-aware
+// fast path. A sharded capture already CRCs every shard slice
+// (serialize_pooled_sharded); those per-shard CRCs, kept as a ShardDigest,
+// double as content hashes. When two consecutive versions shard on the
+// same boundaries, the shards whose CRCs differ are the churn — a frame
+// carries only those dirty shard payloads plus a shard map referencing the
+// resident base version, so transmitted + journaled bytes per version are
+// O(churn) instead of O(model).
+//
+// Frame format ("VXD1", distinct from checkpoint "VSF1", model-delta
+// "VSD1", and journal "VMJ1" magics): header (new/base version, full blob
+// geometry, full + base trailer CRCs), the shard map (bytes + CRC + dirty
+// flag per shard), the dirty payloads in shard order, and a CRC-32 frame
+// trailer. apply_shard_delta() reconstructs the full blob byte-for-byte:
+// clean shards memcpy from the resident base blob at identical offsets,
+// dirty shards come from the frame (payload CRCs verified, O(churn)), and
+// the carried trailer is re-checked by folding the map CRCs with
+// crc32_combine — the subsequent sharded decode then verifies the whole
+// body again. Reconstruction draws from the buffer pool: at a steady
+// cadence the clean-shard path performs zero allocations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "viper/common/status.hpp"
+#include "viper/obs/metrics.hpp"
+#include "viper/serial/buffer_pool.hpp"
+
+namespace viper::serial {
+
+/// Frame magic "VXD1" little-endian.
+inline constexpr std::uint32_t kShardDeltaMagic = 0x31445856;
+
+/// Per-shard content hashes of one serialized version, produced for free
+/// by the sharded capture (the CRCs are computed per slice anyway and
+/// folded into the blob trailer). Invalid (no shards) when the capture
+/// fell back to the serial encoder or the format cannot shard.
+struct ShardDigest {
+  struct Entry {
+    std::size_t offset = 0;  ///< byte offset of the shard in the blob
+    std::size_t bytes = 0;   ///< shard length
+    std::uint32_t crc = 0;   ///< CRC-32 of the shard slice
+  };
+  std::size_t total_bytes = 0;    ///< whole blob, trailer included
+  std::size_t trailer_bytes = 0;  ///< trailing integrity bytes (4)
+  std::uint32_t trailer_crc = 0;  ///< folded body CRC (the trailer value)
+  std::vector<Entry> shards;
+
+  [[nodiscard]] bool valid() const noexcept { return !shards.empty(); }
+};
+
+/// What a delta between two digests would ship. `compatible` requires
+/// identical shard boundaries (same count, same per-shard lengths, same
+/// trailer) — a structural change (tensor added/removed/resized) shifts
+/// the record partition and forces a full encode.
+struct ShardDeltaPlan {
+  bool compatible = false;
+  std::vector<std::uint32_t> dirty;  ///< dirty shard indices, ascending
+  std::size_t dirty_bytes = 0;       ///< payload bytes a frame would carry
+  std::size_t frame_bytes = 0;       ///< exact encoded frame size
+};
+
+[[nodiscard]] ShardDeltaPlan plan_shard_delta(const ShardDigest& base,
+                                              const ShardDigest& next);
+
+/// Encode the frame for `plan` into a pooled buffer (exactly
+/// plan.frame_bytes): dirty payloads are copied out of `full_blob` (the
+/// new version's full capture), clean shards contribute only their map
+/// entry. The plan must be compatible.
+[[nodiscard]] Result<PooledBuffer> encode_shard_delta(
+    std::span<const std::byte> full_blob, const ShardDigest& base,
+    const ShardDigest& next, const ShardDeltaPlan& plan,
+    std::uint64_t base_version, std::uint64_t version);
+
+/// Cheap header parse (no payload walk, no frame CRC): enough to resolve
+/// the base version before deciding how to reconstruct.
+struct ShardDeltaHeader {
+  std::uint64_t version = 0;
+  std::uint64_t base_version = 0;
+  std::uint64_t full_bytes = 0;        ///< reconstructed blob size
+  std::uint32_t trailer_bytes = 0;
+  std::uint32_t full_trailer_crc = 0;  ///< trailer of the reconstructed blob
+  std::uint32_t base_trailer_crc = 0;  ///< trailer of the required base blob
+  std::uint32_t shard_count = 0;
+  std::uint32_t dirty_count = 0;
+  std::uint64_t dirty_bytes = 0;
+};
+
+[[nodiscard]] bool is_shard_delta(std::span<const std::byte> blob) noexcept;
+
+[[nodiscard]] Result<ShardDeltaHeader> shard_delta_header(
+    std::span<const std::byte> frame);
+
+/// Structural validation for the scrubber: header sanity, shard-map
+/// geometry, the frame CRC trailer, and the map-CRC fold against the
+/// carried full trailer. Does not need (or touch) the base blob.
+[[nodiscard]] Status validate_shard_delta(std::span<const std::byte> frame);
+
+/// Reconstruct the full blob of `frame`'s version from the resident base
+/// blob: clean shards memcpy from `base_blob` at identical offsets, dirty
+/// shards from the frame (their payload CRCs are verified), and the
+/// carried trailer is written last. The base blob is authenticated by its
+/// trailer against the frame's base_trailer_crc, so patching against the
+/// wrong version fails fast instead of producing a plausible hybrid. The
+/// result is byte-identical to the full encode of the new version.
+[[nodiscard]] Result<PooledBuffer> apply_shard_delta(
+    std::span<const std::byte> base_blob, std::span<const std::byte> frame);
+
+/// Delta data-plane observability handles (`viper.delta.*`), resolved
+/// once. Shared by the producer (frame encode, fallback accounting) and
+/// the consumer (frame apply, base resolution, chain replay).
+struct ShardDeltaMetrics {
+  obs::Counter& frames_encoded =
+      obs::MetricsRegistry::global().counter("viper.delta.frames_encoded");
+  obs::Counter& frames_applied =
+      obs::MetricsRegistry::global().counter("viper.delta.frames_applied");
+  obs::Counter& dirty_shards =
+      obs::MetricsRegistry::global().counter("viper.delta.dirty_shards");
+  obs::Counter& clean_shards =
+      obs::MetricsRegistry::global().counter("viper.delta.clean_shards");
+  obs::Counter& bytes_saved =
+      obs::MetricsRegistry::global().counter("viper.delta.bytes_saved");
+  obs::Counter& full_fallbacks =
+      obs::MetricsRegistry::global().counter("viper.delta.full_fallbacks");
+  obs::Counter& chain_replays =
+      obs::MetricsRegistry::global().counter("viper.delta.chain_replays");
+  obs::Counter& base_misses =
+      obs::MetricsRegistry::global().counter("viper.delta.base_misses");
+  obs::Counter& bases_pinned =
+      obs::MetricsRegistry::global().counter("viper.delta.bases_pinned");
+};
+
+ShardDeltaMetrics& shard_delta_metrics();
+
+}  // namespace viper::serial

@@ -9,6 +9,7 @@ std::string_view to_string(ManifestOp op) noexcept {
     case ManifestOp::kIntent: return "INTENT";
     case ManifestOp::kCommit: return "COMMIT";
     case ManifestOp::kRetire: return "RETIRE";
+    case ManifestOp::kDelta: return "DELTA";
   }
   return "?";
 }
@@ -22,6 +23,7 @@ void encode_manifest_record(const ManifestRecord& record, ByteWriter& writer) {
   body.u64(record.size_bytes);
   body.u32(record.blob_crc);
   body.i64(record.iteration);
+  body.u64(record.base_version);
   const std::uint32_t crc = crc32(body.bytes());
   writer.raw(body.bytes());
   writer.u32(crc);
@@ -40,7 +42,7 @@ Result<ManifestRecord> decode_manifest_record(ByteReader& reader) {
   auto op = reader.u8();
   if (!op.is_ok()) return op.status();
   if (op.value() < static_cast<std::uint8_t>(ManifestOp::kIntent) ||
-      op.value() > static_cast<std::uint8_t>(ManifestOp::kRetire)) {
+      op.value() > static_cast<std::uint8_t>(ManifestOp::kDelta)) {
     return data_loss("bad manifest record op");
   }
   ManifestRecord record;
@@ -60,6 +62,9 @@ Result<ManifestRecord> decode_manifest_record(ByteReader& reader) {
   auto iteration = reader.i64();
   if (!iteration.is_ok()) return iteration.status();
   record.iteration = iteration.value();
+  auto base_version = reader.u64();
+  if (!base_version.is_ok()) return base_version.status();
+  record.base_version = base_version.value();
 
   // CRC the exact stream bytes just decoded — a window into the reader's
   // backing blob, no re-encode and no per-record allocation.

@@ -1,0 +1,263 @@
+#include "viper/serial/shard_delta.hpp"
+
+#include <cstring>
+
+#include "viper/serial/byte_io.hpp"
+#include "viper/serial/crc32.hpp"
+
+namespace viper::serial {
+
+namespace {
+
+// magic + codec version + reserved + version + base_version + full_bytes
+// + trailer_bytes + full_trailer_crc + base_trailer_crc + shard_count.
+constexpr std::size_t kHeaderBytes = 4 + 2 + 2 + 8 + 8 + 8 + 4 + 4 + 4 + 4;
+constexpr std::size_t kMapEntryBytes = 8 + 4 + 1;  // bytes + crc + dirty
+constexpr std::size_t kFrameTrailerBytes = 4;      // frame CRC-32
+constexpr std::uint16_t kCodecVersion = 1;
+
+std::size_t frame_size_for(std::size_t shard_count, std::size_t dirty_bytes) {
+  return kHeaderBytes + shard_count * kMapEntryBytes + dirty_bytes +
+         kFrameTrailerBytes;
+}
+
+}  // namespace
+
+ShardDeltaMetrics& shard_delta_metrics() {
+  static ShardDeltaMetrics metrics;
+  return metrics;
+}
+
+bool is_shard_delta(std::span<const std::byte> blob) noexcept {
+  if (blob.size() < 4) return false;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, blob.data(), 4);
+  return magic == kShardDeltaMagic;
+}
+
+ShardDeltaPlan plan_shard_delta(const ShardDigest& base,
+                                const ShardDigest& next) {
+  ShardDeltaPlan plan;
+  if (!base.valid() || !next.valid()) return plan;
+  if (base.shards.size() != next.shards.size()) return plan;
+  if (base.total_bytes != next.total_bytes) return plan;
+  if (base.trailer_bytes != next.trailer_bytes) return plan;
+  for (std::size_t i = 0; i < base.shards.size(); ++i) {
+    if (base.shards[i].offset != next.shards[i].offset ||
+        base.shards[i].bytes != next.shards[i].bytes) {
+      return plan;  // boundaries shifted: structural change, not churn
+    }
+  }
+  plan.compatible = true;
+  for (std::size_t i = 0; i < next.shards.size(); ++i) {
+    if (base.shards[i].crc != next.shards[i].crc) {
+      plan.dirty.push_back(static_cast<std::uint32_t>(i));
+      plan.dirty_bytes += next.shards[i].bytes;
+    }
+  }
+  plan.frame_bytes = frame_size_for(next.shards.size(), plan.dirty_bytes);
+  return plan;
+}
+
+Result<PooledBuffer> encode_shard_delta(std::span<const std::byte> full_blob,
+                                        const ShardDigest& base,
+                                        const ShardDigest& next,
+                                        const ShardDeltaPlan& plan,
+                                        std::uint64_t base_version,
+                                        std::uint64_t version) {
+  if (!plan.compatible) {
+    return invalid_argument("encode_shard_delta: incompatible shard digests");
+  }
+  if (full_blob.size() != next.total_bytes) {
+    return invalid_argument("encode_shard_delta: blob is " +
+                            std::to_string(full_blob.size()) +
+                            " bytes, digest says " +
+                            std::to_string(next.total_bytes));
+  }
+  PooledBuffer buffer = BufferPool::global().acquire(plan.frame_bytes);
+  SpanWriter w(buffer.span());
+  w.u32(kShardDeltaMagic);
+  w.u16(kCodecVersion);
+  w.u16(0);  // reserved
+  w.u64(version);
+  w.u64(base_version);
+  w.u64(next.total_bytes);
+  w.u32(static_cast<std::uint32_t>(next.trailer_bytes));
+  w.u32(next.trailer_crc);
+  w.u32(base.trailer_crc);
+  w.u32(static_cast<std::uint32_t>(next.shards.size()));
+  std::size_t dirty_cursor = 0;
+  for (std::size_t i = 0; i < next.shards.size(); ++i) {
+    const bool dirty = dirty_cursor < plan.dirty.size() &&
+                       plan.dirty[dirty_cursor] == i;
+    if (dirty) ++dirty_cursor;
+    w.u64(next.shards[i].bytes);
+    w.u32(next.shards[i].crc);
+    w.u8(dirty ? 1 : 0);
+  }
+  for (std::uint32_t index : plan.dirty) {
+    const ShardDigest::Entry& shard = next.shards[index];
+    w.raw(full_blob.subspan(shard.offset, shard.bytes));
+  }
+  const std::uint32_t frame_crc = crc32(w.written());
+  w.u32(frame_crc);
+  if (!w.full_exact()) {
+    return internal_error("encode_shard_delta: frame size mismatch (codec bug)");
+  }
+  ShardDeltaMetrics& metrics = shard_delta_metrics();
+  metrics.frames_encoded.add();
+  metrics.dirty_shards.add(plan.dirty.size());
+  metrics.clean_shards.add(next.shards.size() - plan.dirty.size());
+  metrics.bytes_saved.add(next.total_bytes - plan.frame_bytes);
+  return buffer;
+}
+
+Result<ShardDeltaHeader> shard_delta_header(std::span<const std::byte> frame) {
+  ByteReader r(frame);
+  auto magic = r.u32();
+  if (!magic.is_ok()) return magic.status();
+  if (magic.value() != kShardDeltaMagic) {
+    return data_loss("bad shard-delta frame magic");
+  }
+  auto codec = r.u16();
+  if (!codec.is_ok()) return codec.status();
+  if (codec.value() != kCodecVersion) {
+    return data_loss("unsupported shard-delta codec version " +
+                     std::to_string(codec.value()));
+  }
+  if (auto reserved = r.u16(); !reserved.is_ok()) return reserved.status();
+  ShardDeltaHeader header;
+  auto version = r.u64();
+  if (!version.is_ok()) return version.status();
+  header.version = version.value();
+  auto base = r.u64();
+  if (!base.is_ok()) return base.status();
+  header.base_version = base.value();
+  auto full_bytes = r.u64();
+  if (!full_bytes.is_ok()) return full_bytes.status();
+  header.full_bytes = full_bytes.value();
+  auto trailer_bytes = r.u32();
+  if (!trailer_bytes.is_ok()) return trailer_bytes.status();
+  header.trailer_bytes = trailer_bytes.value();
+  auto full_crc = r.u32();
+  if (!full_crc.is_ok()) return full_crc.status();
+  header.full_trailer_crc = full_crc.value();
+  auto base_crc = r.u32();
+  if (!base_crc.is_ok()) return base_crc.status();
+  header.base_trailer_crc = base_crc.value();
+  auto shard_count = r.u32();
+  if (!shard_count.is_ok()) return shard_count.status();
+  header.shard_count = shard_count.value();
+  if (header.shard_count == 0) {
+    return data_loss("shard-delta frame with zero shards");
+  }
+  if (r.remaining() <
+      header.shard_count * kMapEntryBytes + kFrameTrailerBytes) {
+    return data_loss("shard-delta frame truncated in shard map");
+  }
+  for (std::uint32_t i = 0; i < header.shard_count; ++i) {
+    auto bytes = r.u64();
+    if (!bytes.is_ok()) return bytes.status();
+    if (auto crc = r.u32(); !crc.is_ok()) return crc.status();
+    auto dirty = r.u8();
+    if (!dirty.is_ok()) return dirty.status();
+    if (dirty.value() > 1) return data_loss("bad shard-delta dirty flag");
+    if (dirty.value() == 1) {
+      ++header.dirty_count;
+      header.dirty_bytes += bytes.value();
+    }
+  }
+  return header;
+}
+
+Status validate_shard_delta(std::span<const std::byte> frame) {
+  auto parsed = shard_delta_header(frame);
+  if (!parsed.is_ok()) return parsed.status();
+  const ShardDeltaHeader& header = parsed.value();
+  const std::size_t expected =
+      frame_size_for(header.shard_count, header.dirty_bytes);
+  if (frame.size() != expected) {
+    return data_loss("shard-delta frame is " + std::to_string(frame.size()) +
+                     " bytes, geometry says " + std::to_string(expected));
+  }
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, frame.data() + frame.size() - kFrameTrailerBytes, 4);
+  if (crc32(frame.first(frame.size() - kFrameTrailerBytes)) != stored) {
+    return data_loss("shard-delta frame CRC mismatch");
+  }
+  // Fold the map CRCs and check them against the carried full trailer: a
+  // map entry corrupted in a way that survives the frame CRC cannot
+  // happen, but a codec bug that mis-writes a shard CRC would otherwise
+  // only surface after an expensive reconstruction.
+  ByteReader r(frame.subspan(kHeaderBytes));
+  std::uint32_t folded = 0;
+  std::uint64_t body_bytes = 0;
+  for (std::uint32_t i = 0; i < header.shard_count; ++i) {
+    const std::uint64_t bytes = r.u64().value();
+    const std::uint32_t crc = r.u32().value();
+    (void)r.u8();
+    folded = i == 0 ? crc : crc32_combine(folded, crc, bytes);
+    body_bytes += bytes;
+  }
+  if (body_bytes + header.trailer_bytes != header.full_bytes) {
+    return data_loss("shard-delta map does not cover the full blob");
+  }
+  if (folded != header.full_trailer_crc) {
+    return data_loss("shard-delta map CRCs do not fold to the full trailer");
+  }
+  return Status::ok();
+}
+
+Result<PooledBuffer> apply_shard_delta(std::span<const std::byte> base_blob,
+                                       std::span<const std::byte> frame) {
+  VIPER_RETURN_IF_ERROR(validate_shard_delta(frame));
+  const ShardDeltaHeader header = shard_delta_header(frame).value();
+  if (base_blob.size() != header.full_bytes) {
+    return failed_precondition(
+        "shard-delta base blob is " + std::to_string(base_blob.size()) +
+        " bytes, frame expects " + std::to_string(header.full_bytes));
+  }
+  // Authenticate the base by its trailer: patching clean shards out of the
+  // wrong version would otherwise build a plausible hybrid whose fold
+  // still matches (the map describes the new blob, not the base).
+  std::uint32_t base_trailer = 0;
+  std::memcpy(&base_trailer,
+              base_blob.data() + base_blob.size() - header.trailer_bytes, 4);
+  if (base_trailer != header.base_trailer_crc) {
+    return failed_precondition(
+        "shard-delta base mismatch: resident blob's trailer does not match "
+        "the frame's expected base");
+  }
+
+  PooledBuffer out = BufferPool::global().acquire(header.full_bytes);
+  std::byte* dst = out.span().data();
+  ByteReader map(frame.subspan(kHeaderBytes));
+  std::size_t offset = 0;
+  std::size_t payload_cursor =
+      kHeaderBytes + header.shard_count * kMapEntryBytes;
+  for (std::uint32_t i = 0; i < header.shard_count; ++i) {
+    const std::uint64_t bytes = map.u64().value();
+    const std::uint32_t crc = map.u32().value();
+    const bool dirty = map.u8().value() == 1;
+    if (dirty) {
+      const auto payload = frame.subspan(payload_cursor, bytes);
+      // O(churn) verification: each dirty payload is checked against its
+      // map CRC before it lands in the reconstruction.
+      if (crc32(payload) != crc) {
+        return data_loss("shard-delta dirty payload CRC mismatch at shard " +
+                         std::to_string(i));
+      }
+      std::memcpy(dst + offset, payload.data(), bytes);
+      payload_cursor += bytes;
+    } else {
+      std::memcpy(dst + offset, base_blob.data() + offset, bytes);
+    }
+    offset += bytes;
+  }
+  std::memcpy(dst + offset, &header.full_trailer_crc, header.trailer_bytes);
+  serial_metrics().bytes_copied.add(header.full_bytes);
+  shard_delta_metrics().frames_applied.add();
+  return out;
+}
+
+}  // namespace viper::serial

@@ -38,6 +38,10 @@ struct ProducerSpec {
   std::uint64_t versions = 8;
   /// Pacing sleep between saves (0 = publish as fast as possible).
   double save_gap_ms = 2.0;
+  /// Delta-aware fast path: ship shard-delta frames (dirty shards only)
+  /// when consecutive versions barely churn; consumers reconstruct
+  /// against their resident base with a PFS chain-replay fallback.
+  bool delta = false;
 };
 
 /// One consumer rank: which producer's model it serves.

@@ -341,6 +341,8 @@ Result<ScenarioSpec> parse_scenario(std::string_view text) {
         ok = parse_u64(value, producer.versions);
       } else if (field == "save_gap_ms") {
         ok = parse_double(value, producer.save_gap_ms);
+      } else if (field == "delta") {
+        ok = parse_bool(value, producer.delta);
       } else {
         return bad("unknown producer field");
       }
@@ -441,6 +443,7 @@ std::string render_scenario(const ScenarioSpec& spec) {
     out += prefix + "save_gap_ms=";
     append_double(out, producer.save_gap_ms);
     out += "\n";
+    if (producer.delta) out += prefix + "delta=true\n";
   }
   out += "consumers=" + std::to_string(spec.consumers.size()) + "\n";
   for (std::size_t i = 0; i < spec.consumers.size(); ++i) {

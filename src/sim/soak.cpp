@@ -19,6 +19,7 @@
 #include "viper/net/comm.hpp"
 #include "viper/obs/metrics.hpp"
 #include "viper/parallel/broadcast_plane.hpp"
+#include "viper/serial/shard_delta.hpp"
 
 namespace viper::sim {
 
@@ -468,6 +469,7 @@ Result<SoakResult> SoakRunner::run() {
     core::ModelWeightsHandler::Options handler_options;
     handler_options.strategy = pspec.strategy;
     handler_options.producer_id = "producer-" + std::to_string(p);
+    handler_options.delta_updates = pspec.delta;
     ctx.rank = std::make_unique<core::ProducerRank>(
         services, world->comm(static_cast<int>(p)), handler_options);
   }
@@ -532,8 +534,10 @@ Result<SoakResult> SoakRunner::run() {
     auto blob = ctx.rank->handler().fetch(meta.location, meta.path);
     if (!blob.is_ok()) return;
     const auto frame = encode_push_frame(ctx.name, meta.version, blob.value());
+    parallel::FanoutOptions options = push_fanout_options();
+    options.delta_payload = serial::is_shard_delta(blob.value());
     (void)parallel::broadcast_send(world->comm(static_cast<int>(p)), *plans[p],
-                                   kTagBroadcast, frame, push_fanout_options());
+                                   kTagBroadcast, frame, options);
   };
 
   const auto wait_lockstep = [&](std::size_t p, std::uint64_t version) {
@@ -590,6 +594,7 @@ Result<SoakResult> SoakRunner::run() {
     core::ModelWeightsHandler::Options handler_options;
     handler_options.strategy = spec_.producers[p].strategy;
     handler_options.producer_id = "producer-" + std::to_string(p);
+    handler_options.delta_updates = spec_.producers[p].delta;
     ctx.rank = std::make_unique<core::ProducerRank>(
         services, world->comm(static_cast<int>(p)), handler_options);
     const double seconds = recovery_watch.elapsed();

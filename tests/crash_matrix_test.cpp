@@ -17,9 +17,11 @@
 #include "viper/core/recovery.hpp"
 #include "viper/durability/journal.hpp"
 #include "viper/durability/metrics.hpp"
+#include "viper/durability/retention.hpp"
 #include "viper/fault/fault.hpp"
 #include "viper/memsys/file_tier.hpp"
 #include "viper/memsys/presets.hpp"
+#include "viper/serial/shard_delta.hpp"
 
 namespace viper::core {
 namespace {
@@ -175,6 +177,121 @@ TEST_F(CrashMatrixTest, EveryCrashPointConvergesAfterRestart) {
   // flush — none were silently dropped or double counted.
   EXPECT_EQ(crashes_injected, matrix.size());
   EXPECT_EQ(dmetrics.flush_aborts.value() - aborts_before, crashes_injected);
+}
+
+Model sharded_base(std::uint64_t version) {
+  Rng rng(70);  // fixed seed: every call rebuilds the same weights
+  Model m("net");
+  m.set_version(version);
+  m.set_iteration(static_cast<std::int64_t>(version) * 100);
+  // 4 MiB over 64 tensors: with 16 shards a one-tensor churn dirties a
+  // single shard, keeping the delta frame well under max_delta_fraction.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(
+        m.add_tensor("layer" + std::to_string(i) + "/w",
+                     Tensor::random(DType::kF32, Shape{16384}, rng).value())
+            .is_ok());
+  }
+  return m;
+}
+
+Model churn_first_tensor(const Model& base, std::uint64_t version) {
+  Model next = base;
+  next.set_version(version);
+  next.set_iteration(base.iteration() + 100);
+  auto span = next.mutable_tensors().begin()->second.mutable_data<float>();
+  for (auto& f : span) f += 1.0f;
+  return next;
+}
+
+TEST_F(CrashMatrixTest, DeltaChainSurvivesCrashBetweenBlobAndCommit) {
+  // The hard case the delta path adds to the matrix: the producer dies
+  // after the DELTA frame blob is durable but before its journal COMMIT.
+  // Recovery must complete the flush as a DELTA record (the blob is a
+  // frame — closing it as a full COMMIT would corrupt every reader), the
+  // reconstructed model must be byte-identical to what was saved, and the
+  // chain's pin accounting must balance under retention GC.
+  const Model v1 = sharded_base(1);
+  const Model v2 = churn_first_tensor(v1, 2);
+
+  {
+    auto services = std::make_shared<SharedServices>();
+    services->pfs = open_tier();
+    ModelWeightsHandler::Options options;
+    options.strategy = Strategy::kGpuAsync;
+    options.delta_updates = true;
+    options.serialize_shards = 16;
+    ModelWeightsHandler handler(services, options);
+    ASSERT_TRUE(handler.save_weights("net", v1).is_ok());
+    handler.drain();
+
+    fault::ScopedPlan chaos{fault::FaultPlan(0xD17A).add(
+        fault::FaultRule::crash_point("durability.flush.after-blob", 1))};
+    ASSERT_TRUE(handler.save_weights("net", v2).is_ok());
+    handler.drain();
+    ASSERT_EQ(fault::FaultInjector::global().report().crashes, 1u);
+  }
+
+  auto services = std::make_shared<SharedServices>();
+  services->pfs = open_tier();
+
+  // The durable v2 blob really is a shard-delta frame, not a full encode.
+  {
+    std::vector<std::byte> blob;
+    ASSERT_TRUE(
+        services->pfs->get(durability::checkpoint_key("net", 2), blob).is_ok());
+    ASSERT_TRUE(serial::is_shard_delta(blob));
+  }
+
+  auto recovery = recover_producer(*services, "net");
+  ASSERT_TRUE(recovery.is_ok()) << recovery.status().to_string();
+  EXPECT_EQ(recovery.value().last_committed, 2u);
+  EXPECT_EQ(recovery.value().serving_version, 2u);
+  EXPECT_EQ(recovery.value().scrub.quarantined, 0u);
+  EXPECT_EQ(recovery.value().scrub.chain_broken, 0u);
+
+  // The completed record is a DELTA anchored on v1, not a plain COMMIT.
+  durability::ManifestJournal journal(services->pfs, "net");
+  ASSERT_TRUE(journal.load().is_ok());
+  const durability::ManifestState state = journal.state();
+  ASSERT_TRUE(state.is_committed(2));
+  EXPECT_TRUE(state.committed.at(2).is_delta());
+  EXPECT_EQ(state.committed.at(2).base_version, 1u);
+  EXPECT_TRUE(state.pending.empty());
+
+  // A cold consumer reconstructs v2 through the chain replay and lands on
+  // exactly the weights that were saved.
+  auto world = net::CommWorld::create(1);
+  ModelLoader loader(services, world->comm(0), {});
+  std::vector<std::byte> frame;
+  ASSERT_TRUE(
+      services->pfs->get(durability::checkpoint_key("net", 2), frame).is_ok());
+  auto reconstructed = loader.decode_blob(
+      "net", 2, std::make_shared<const std::vector<std::byte>>(std::move(frame)),
+      0);
+  ASSERT_TRUE(reconstructed.is_ok()) << reconstructed.status().to_string();
+  EXPECT_TRUE(reconstructed.value().same_weights(v2));
+  EXPECT_EQ(reconstructed.value().iteration(), v2.iteration());
+
+  // Pin accounting balances: keep_last=1 wants only v2, but v2's chain
+  // pins its base — exactly one pin counted, nothing retired, and the
+  // anchor blob still on disk.
+  auto& dmetrics = durability::durability_metrics();
+  const std::uint64_t pinned_before = dmetrics.gc_delta_pinned.value();
+  const std::uint64_t bases_before =
+      serial::shard_delta_metrics().bases_pinned.value();
+  auto report =
+      durability::apply_retention(journal, {.keep_last = 1}, services->leases.get());
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().retired, 0u);
+  EXPECT_EQ(report.value().delta_pinned, 1u);
+  EXPECT_EQ(dmetrics.gc_delta_pinned.value() - pinned_before, 1u);
+  EXPECT_EQ(serial::shard_delta_metrics().bases_pinned.value() - bases_before,
+            1u);
+  std::vector<std::byte> anchor;
+  EXPECT_TRUE(
+      services->pfs->get(durability::checkpoint_key("net", 1), anchor).is_ok());
+  EXPECT_FALSE(serial::is_shard_delta(anchor));
 }
 
 TEST_F(CrashMatrixTest, RepeatedCrashesOnTheSameVersionEventuallyCommit) {

@@ -1,0 +1,549 @@
+// Delta-aware fast path, end to end: shard-delta frame codec round trips
+// (plan → encode → apply byte-identical to the full encode across the
+// churn sweep), structural-change and churn-threshold fallbacks, the real
+// engine shipping frames through save → journal → PFS → consumer
+// reconstruction (resident base and cold chain replay), retention GC
+// pinning live chain bases, and the DeltaStore options validation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "viper/core/consumer.hpp"
+#include "viper/core/handler.hpp"
+#include "viper/durability/journal.hpp"
+#include "viper/durability/retention.hpp"
+#include "viper/memsys/presets.hpp"
+#include "viper/repo/delta_store.hpp"
+#include "viper/serial/delta.hpp"
+#include "viper/serial/format.hpp"
+#include "viper/serial/shard_delta.hpp"
+#include "viper/sim/scenario.hpp"
+
+namespace viper::serial {
+namespace {
+
+/// Many equal tensors so the sharded capture has real record boundaries
+/// to split on and "churn" maps cleanly to a fraction of tensors.
+Model tensor_grid(int tensors, std::int64_t floats_each, std::uint64_t version,
+                  std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Model m("net");
+  m.set_version(version);
+  m.set_iteration(static_cast<std::int64_t>(version) * 10);
+  for (int i = 0; i < tensors; ++i) {
+    EXPECT_TRUE(
+        m.add_tensor("layer" + std::to_string(i) + "/w",
+                     Tensor::random(DType::kF32, Shape{floats_each}, rng).value())
+            .is_ok());
+  }
+  return m;
+}
+
+/// Perturb the first `ceil(fraction * tensors)` tensors — contiguous
+/// records, so dirty bytes track the churn fraction shard-for-shard.
+Model churn_tensors(const Model& base, double fraction, std::uint64_t version) {
+  Model next = base;
+  next.set_version(version);
+  next.set_iteration(base.iteration() + 10);
+  const auto touched = static_cast<std::size_t>(
+      fraction * static_cast<double>(base.num_tensors()) + 0.999999);
+  std::size_t i = 0;
+  for (auto& [name, tensor] : next.mutable_tensors()) {
+    if (i++ >= touched) break;
+    for (auto& f : tensor.mutable_data<float>()) f += 1.0f;
+  }
+  return next;
+}
+
+struct Captured {
+  std::vector<std::byte> blob;
+  ShardDigest digest;
+};
+
+Captured capture(const Model& model, int max_shards = 8) {
+  auto format = make_viper_format();
+  Captured out;
+  auto buffer = format->serialize_pooled_sharded(model, ThreadPool::global(),
+                                                 max_shards, &out.digest);
+  EXPECT_TRUE(buffer.is_ok()) << buffer.status().to_string();
+  const auto view = buffer.value().span();
+  out.blob.assign(view.begin(), view.end());
+  return out;
+}
+
+TEST(ShardDelta, DigestCoversTheWholeBlob) {
+  const Model model = tensor_grid(16, 4096, 1);
+  const Captured c = capture(model);
+  ASSERT_TRUE(c.digest.valid());
+  EXPECT_GT(c.digest.shards.size(), 1u);
+  EXPECT_EQ(c.digest.total_bytes, c.blob.size());
+  // Shards tile the body contiguously from offset 0 up to the trailer.
+  std::size_t cursor = 0;
+  for (const auto& shard : c.digest.shards) {
+    EXPECT_EQ(shard.offset, cursor);
+    EXPECT_GT(shard.bytes, 0u);
+    cursor += shard.bytes;
+  }
+  EXPECT_EQ(cursor + c.digest.trailer_bytes, c.digest.total_bytes);
+  // The digest trailer CRC is literally the blob's integrity trailer.
+  std::uint32_t trailer = 0;
+  std::memcpy(&trailer, c.blob.data() + c.blob.size() - 4, 4);
+  EXPECT_EQ(c.digest.trailer_crc, trailer);
+}
+
+TEST(ShardDelta, ChurnSweepAppliesByteIdentical) {
+  const Model base = tensor_grid(32, 4096, 1);
+  const Captured base_cap = capture(base);
+  ASSERT_TRUE(base_cap.digest.valid());
+
+  for (const double churn : {0.0, 0.01, 0.10, 0.50, 1.0}) {
+    SCOPED_TRACE(churn);
+    const Model next = churn_tensors(base, churn, 2);
+    const Captured next_cap = capture(next);
+    ASSERT_TRUE(next_cap.digest.valid());
+
+    const ShardDeltaPlan plan =
+        plan_shard_delta(base_cap.digest, next_cap.digest);
+    ASSERT_TRUE(plan.compatible);
+    if (churn == 0.0) {
+      // The version/iteration fields live in the header shard, so even a
+      // zero-weight-churn version dirties at most that one shard.
+      EXPECT_LE(plan.dirty.size(), 1u);
+    }
+    EXPECT_EQ(plan.frame_bytes,
+              48 + 13 * next_cap.digest.shards.size() + plan.dirty_bytes + 4);
+
+    auto frame = encode_shard_delta(next_cap.blob, base_cap.digest,
+                                    next_cap.digest, plan, 1, 2);
+    ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+    EXPECT_EQ(frame.value().size(), plan.frame_bytes);
+    EXPECT_TRUE(is_shard_delta(frame.value().span()));
+    EXPECT_TRUE(validate_shard_delta(frame.value().span()).is_ok());
+
+    auto header = shard_delta_header(frame.value().span());
+    ASSERT_TRUE(header.is_ok());
+    EXPECT_EQ(header.value().version, 2u);
+    EXPECT_EQ(header.value().base_version, 1u);
+    EXPECT_EQ(header.value().full_bytes, next_cap.blob.size());
+    EXPECT_EQ(header.value().dirty_count, plan.dirty.size());
+
+    auto applied = apply_shard_delta(base_cap.blob, frame.value().span());
+    ASSERT_TRUE(applied.is_ok()) << applied.status().to_string();
+    ASSERT_EQ(applied.value().size(), next_cap.blob.size());
+    EXPECT_EQ(std::memcmp(applied.value().span().data(), next_cap.blob.data(),
+                          next_cap.blob.size()),
+              0)
+        << "reconstruction is not byte-identical at churn " << churn;
+  }
+}
+
+TEST(ShardDelta, LowChurnFrameIsSmall) {
+  // 4 MiB over 16 shards: fine enough granularity that 10% tensor churn
+  // dirties well under a quarter of the shards.
+  const Model base = tensor_grid(64, 16384, 1);
+  const Captured base_cap = capture(base, 16);
+  const Model next = churn_tensors(base, 0.10, 2);
+  const Captured next_cap = capture(next, 16);
+  const ShardDeltaPlan plan = plan_shard_delta(base_cap.digest, next_cap.digest);
+  ASSERT_TRUE(plan.compatible);
+  // The 10%-churn acceptance bound: frame ≤ 25% of the full encode.
+  EXPECT_LE(plan.frame_bytes, next_cap.digest.total_bytes / 4)
+      << plan.frame_bytes << " vs full " << next_cap.digest.total_bytes;
+}
+
+TEST(ShardDelta, AddedAndRemovedTensorsForceFullEncode) {
+  const Model base = tensor_grid(32, 4096, 1);
+  const Captured base_cap = capture(base);
+
+  // Added tensor: the record partition shifts — incompatible.
+  Model grown = churn_tensors(base, 0.0, 2);
+  Rng rng(9);
+  ASSERT_TRUE(
+      grown
+          .add_tensor("extra/w", Tensor::random(DType::kF32, Shape{64}, rng).value())
+          .is_ok());
+  const Captured grown_cap = capture(grown);
+  EXPECT_FALSE(plan_shard_delta(base_cap.digest, grown_cap.digest).compatible);
+
+  // Removed tensor: rebuild without the first layer — incompatible.
+  Model shrunk("net");
+  shrunk.set_version(2);
+  bool first = true;
+  for (const auto& [name, tensor] : base.tensors()) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    ASSERT_TRUE(shrunk.add_tensor(name, tensor).is_ok());
+  }
+  const Captured shrunk_cap = capture(shrunk);
+  EXPECT_FALSE(plan_shard_delta(base_cap.digest, shrunk_cap.digest).compatible);
+
+  // And the model-level TensorDelta handles the same shapes gracefully —
+  // the structural escape hatch the frame path falls back from.
+  auto structural = encode_delta(base, grown);
+  ASSERT_TRUE(structural.is_ok());
+  auto applied = apply_delta(base, structural.value());
+  ASSERT_TRUE(applied.is_ok());
+  EXPECT_TRUE(applied.value().same_weights(grown));
+}
+
+TEST(ShardDelta, WrongBaseIsRejected) {
+  const Model base = tensor_grid(32, 4096, 1);
+  const Captured base_cap = capture(base);
+  const Model next = churn_tensors(base, 0.10, 2);
+  const Captured next_cap = capture(next);
+  const ShardDeltaPlan plan = plan_shard_delta(base_cap.digest, next_cap.digest);
+  ASSERT_TRUE(plan.compatible);
+  auto frame = encode_shard_delta(next_cap.blob, base_cap.digest,
+                                  next_cap.digest, plan, 1, 2);
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+
+  // Patching against a different model's blob must fail the base
+  // authentication, not produce a plausible hybrid.
+  const Captured stranger = capture(tensor_grid(32, 4096, 1, /*seed=*/77));
+  auto applied = apply_shard_delta(stranger.blob, frame.value().span());
+  ASSERT_FALSE(applied.is_ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardDelta, CorruptFrameIsRejected) {
+  const Model base = tensor_grid(32, 4096, 1);
+  const Captured base_cap = capture(base);
+  const Model next = churn_tensors(base, 0.25, 2);
+  const Captured next_cap = capture(next);
+  const ShardDeltaPlan plan = plan_shard_delta(base_cap.digest, next_cap.digest);
+  ASSERT_TRUE(plan.compatible);
+  auto encoded = encode_shard_delta(next_cap.blob, base_cap.digest,
+                                    next_cap.digest, plan, 1, 2);
+  ASSERT_TRUE(encoded.is_ok()) << encoded.status().to_string();
+  std::vector<std::byte> frame(encoded.value().span().begin(),
+                               encoded.value().span().end());
+
+  // Flip one byte in the middle of the dirty payload region.
+  frame[frame.size() / 2] ^= std::byte{0x40};
+  EXPECT_FALSE(validate_shard_delta(frame).is_ok());
+  EXPECT_FALSE(apply_shard_delta(base_cap.blob, frame).is_ok());
+
+  // Truncation fails the header/geometry checks.
+  std::vector<std::byte> truncated(frame.begin(), frame.begin() + 40);
+  EXPECT_FALSE(shard_delta_header(truncated).is_ok());
+  EXPECT_FALSE(validate_shard_delta(truncated).is_ok());
+
+  // A full checkpoint blob is not mistaken for a frame.
+  EXPECT_FALSE(is_shard_delta(next_cap.blob));
+}
+
+TEST(ShardDelta, SteadyStateApplyAllocatesNothing) {
+  const Model base = tensor_grid(32, 4096, 1);
+  const Captured base_cap = capture(base);
+  const Model next = churn_tensors(base, 0.10, 2);
+  const Captured next_cap = capture(next);
+  const ShardDeltaPlan plan = plan_shard_delta(base_cap.digest, next_cap.digest);
+  auto frame = encode_shard_delta(next_cap.blob, base_cap.digest,
+                                  next_cap.digest, plan, 1, 2);
+  ASSERT_TRUE(frame.is_ok());
+
+  // Prime the pool: steady state is "the previous reconstruction's buffer
+  // is back in the pool when the next frame arrives".
+  for (int i = 0; i < 3; ++i) {
+    auto warm = apply_shard_delta(base_cap.blob, frame.value().span());
+    ASSERT_TRUE(warm.is_ok());
+  }
+  SerialMetrics& metrics = serial_metrics();
+  const std::uint64_t allocs0 = metrics.allocations.value();
+  for (int i = 0; i < 8; ++i) {
+    auto applied = apply_shard_delta(base_cap.blob, frame.value().span());
+    ASSERT_TRUE(applied.is_ok());
+  }
+  EXPECT_EQ(metrics.allocations.value(), allocs0)
+      << "clean-shard reconstruction must reuse pooled buffers";
+}
+
+}  // namespace
+}  // namespace viper::serial
+
+namespace viper::core {
+namespace {
+
+// 4 MiB over 64 tensors: with 16 shards (256 KiB each) a low-churn save
+// dirties one or two shards, comfortably under max_delta_fraction.
+Model grid_model(std::uint64_t version, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Model m("net");
+  m.set_version(version);
+  m.set_iteration(static_cast<std::int64_t>(version) * 10);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(
+        m.add_tensor("layer" + std::to_string(i) + "/w",
+                     Tensor::random(DType::kF32, Shape{16384}, rng).value())
+            .is_ok());
+  }
+  return m;
+}
+
+Model churned(const Model& base, double fraction, std::uint64_t version) {
+  Model next = base;
+  next.set_version(version);
+  next.set_iteration(base.iteration() + 10);
+  const auto touched = static_cast<std::size_t>(
+      fraction * static_cast<double>(base.num_tensors()) + 0.999999);
+  std::size_t i = 0;
+  for (auto& [name, tensor] : next.mutable_tensors()) {
+    if (i++ >= touched) break;
+    for (auto& f : tensor.mutable_data<float>()) f += 1.0f;
+  }
+  return next;
+}
+
+ModelWeightsHandler::Options delta_options() {
+  ModelWeightsHandler::Options options;
+  options.strategy = Strategy::kGpuAsync;
+  options.delta_updates = true;
+  options.serialize_shards = 16;
+  return options;
+}
+
+std::vector<std::byte> committed_blob(SharedServices& services,
+                                      std::uint64_t version) {
+  std::vector<std::byte> blob;
+  auto ticket =
+      services.pfs->get(durability::checkpoint_key("net", version), blob);
+  EXPECT_TRUE(ticket.is_ok()) << ticket.status().to_string();
+  return blob;
+}
+
+TEST(DeltaPlane, EngineShipsFramesAndFallsBackOnHeavyChurn) {
+  auto services = std::make_shared<SharedServices>();
+  ModelWeightsHandler handler(services, delta_options());
+
+  // v1 anchors full; low churn rides the delta path; churn past
+  // max_delta_fraction (25%) forces a full re-anchor.
+  struct Step {
+    double churn;
+    bool expect_delta;
+  };
+  const std::vector<Step> steps{
+      {0.01, true}, {0.10, true}, {0.50, false}, {1.0, false}, {0.03, true}};
+
+  std::vector<Model> saved;
+  saved.push_back(grid_model(1));
+  ASSERT_TRUE(handler.save_weights("net", saved.back()).is_ok());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    saved.push_back(
+        churned(saved.back(), steps[i].churn, saved.back().version() + 1));
+    ASSERT_TRUE(handler.save_weights("net", saved.back()).is_ok());
+  }
+  handler.drain();
+
+  const std::vector<std::byte> full_v1 = committed_blob(*services, 1);
+  EXPECT_FALSE(serial::is_shard_delta(full_v1));
+  std::uint64_t journaled_delta_bytes = 0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const std::uint64_t version = 2 + i;
+    SCOPED_TRACE(version);
+    const std::vector<std::byte> blob = committed_blob(*services, version);
+    EXPECT_EQ(serial::is_shard_delta(blob), steps[i].expect_delta);
+    if (steps[i].expect_delta) journaled_delta_bytes += blob.size();
+  }
+  // The 10%-churn acceptance bound holds on the real engine: the v3 frame
+  // journals ≤ 25% of its full-encode size.
+  const std::vector<std::byte> frame_v3 = committed_blob(*services, 3);
+  EXPECT_LE(frame_v3.size(), full_v1.size() / 4);
+  EXPECT_GT(journaled_delta_bytes, 0u);
+
+  // The journal distinguishes DELTA commits (with their base) from full
+  // COMMITs, and the chain re-anchors exactly where the fallback hit.
+  auto journal = handler.journal_for("net");
+  ASSERT_TRUE(journal.is_ok());
+  const durability::ManifestState state = journal.value()->state();
+  ASSERT_EQ(state.committed.size(), 1 + steps.size());
+  EXPECT_FALSE(state.committed.at(1).is_delta());
+  EXPECT_EQ(state.committed.at(2).base_version, 1u);
+  EXPECT_EQ(state.committed.at(3).base_version, 2u);
+  EXPECT_FALSE(state.committed.at(4).is_delta());  // 50% churn fell back
+  EXPECT_FALSE(state.committed.at(5).is_delta());  // 100% churn fell back
+  EXPECT_EQ(state.committed.at(6).base_version, 5u);  // re-anchored chain
+
+  // A warm consumer replays the stream in order: the resident base makes
+  // every frame reconstruct, and each version matches what was saved.
+  auto world = net::CommWorld::create(1);
+  ModelLoader loader(services, world->comm(0), {});
+  for (std::size_t i = 0; i < saved.size(); ++i) {
+    const std::uint64_t version = 1 + i;
+    SCOPED_TRACE(version);
+    auto shared = std::make_shared<const std::vector<std::byte>>(
+        committed_blob(*services, version));
+    auto model = loader.decode_blob("net", version, shared, 0);
+    ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+    EXPECT_TRUE(model.value().same_weights(saved[i]));
+    EXPECT_EQ(model.value().version(), version);
+  }
+}
+
+TEST(DeltaPlane, ColdConsumerChainReplaysFromPfs) {
+  auto services = std::make_shared<SharedServices>();
+  ModelWeightsHandler handler(services, delta_options());
+
+  Model v1 = grid_model(1);
+  ASSERT_TRUE(handler.save_weights("net", v1).is_ok());
+  Model v2 = churned(v1, 0.05, 2);
+  ASSERT_TRUE(handler.save_weights("net", v2).is_ok());
+  Model v3 = churned(v2, 0.05, 3);
+  ASSERT_TRUE(handler.save_weights("net", v3).is_ok());
+  handler.drain();
+
+  auto frame_v3 = std::make_shared<const std::vector<std::byte>>(
+      committed_blob(*services, 3));
+  ASSERT_TRUE(serial::is_shard_delta(*frame_v3));
+
+  // A fresh loader has no resident base and no blob cache: decoding the
+  // v3 frame must escalate to the PFS chain replay (v3 → v2 → v1 anchor).
+  auto& metrics = serial::shard_delta_metrics();
+  const std::uint64_t misses0 = metrics.base_misses.value();
+  const std::uint64_t replays0 = metrics.chain_replays.value();
+  auto world = net::CommWorld::create(1);
+  ModelLoader loader(services, world->comm(0), {});
+  auto model = loader.decode_blob("net", 3, frame_v3, 0);
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+  EXPECT_TRUE(model.value().same_weights(v3));
+  EXPECT_EQ(metrics.base_misses.value(), misses0 + 1);
+  EXPECT_EQ(metrics.chain_replays.value(), replays0 + 1);  // the v2 frame
+
+  // The reconstruction is now the resident base: the next frame decodes
+  // without touching the PFS again.
+  Model v4 = churned(v3, 0.05, 4);
+  ASSERT_TRUE(handler.save_weights("net", v4).is_ok());
+  handler.drain();
+  auto frame_v4 = std::make_shared<const std::vector<std::byte>>(
+      committed_blob(*services, 4));
+  ASSERT_TRUE(serial::is_shard_delta(*frame_v4));
+  auto model4 = loader.decode_blob("net", 4, frame_v4, 0);
+  ASSERT_TRUE(model4.is_ok()) << model4.status().to_string();
+  EXPECT_TRUE(model4.value().same_weights(v4));
+  EXPECT_EQ(metrics.base_misses.value(), misses0 + 1);  // unchanged
+}
+
+TEST(DeltaPlane, ChainLengthCapReanchorsWithFullEncode) {
+  auto services = std::make_shared<SharedServices>();
+  ModelWeightsHandler::Options options = delta_options();
+  options.delta_chain_max = 2;
+  ModelWeightsHandler handler(services, options);
+
+  Model model = grid_model(1);
+  ASSERT_TRUE(handler.save_weights("net", model).is_ok());
+  for (std::uint64_t v = 2; v <= 6; ++v) {
+    model = churned(model, 0.03, v);
+    ASSERT_TRUE(handler.save_weights("net", model).is_ok());
+  }
+  handler.drain();
+
+  // v1 full anchor, v2+v3 deltas, v4 re-anchors (chain hit 2), v5+v6
+  // deltas again.
+  const std::vector<bool> expect_delta{false, true, true, false, true, true};
+  for (std::uint64_t v = 1; v <= 6; ++v) {
+    SCOPED_TRACE(v);
+    EXPECT_EQ(serial::is_shard_delta(committed_blob(*services, v)),
+              expect_delta[v - 1]);
+  }
+}
+
+TEST(DeltaPlane, RetentionNeverRetiresAPinnedBase) {
+  auto services = std::make_shared<SharedServices>();
+  ModelWeightsHandler handler(services, delta_options());
+
+  Model v1 = grid_model(1);
+  ASSERT_TRUE(handler.save_weights("net", v1).is_ok());
+  Model v2 = churned(v1, 0.05, 2);
+  ASSERT_TRUE(handler.save_weights("net", v2).is_ok());
+  Model v3 = churned(v2, 0.05, 3);
+  ASSERT_TRUE(handler.save_weights("net", v3).is_ok());
+  handler.drain();
+  ASSERT_TRUE(serial::is_shard_delta(committed_blob(*services, 3)));
+
+  auto journal = handler.journal_for("net");
+  ASSERT_TRUE(journal.is_ok());
+
+  // keep_last=1 wants only v3 — but v3 is a delta on v2, which is a delta
+  // on v1: the whole chain must survive, pinned transitively.
+  durability::RetentionPolicy policy{.keep_last = 1};
+  auto report = durability::apply_retention(*journal.value(), policy);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().retired, 0u);
+  EXPECT_EQ(report.value().delta_pinned, 2u);
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    EXPECT_TRUE(journal.value()->state().is_committed(v));
+    std::vector<std::byte> blob;
+    EXPECT_TRUE(
+        services->pfs->get(durability::checkpoint_key("net", v), blob).is_ok())
+        << "v" << v << " blob was erased from under a live chain";
+  }
+
+  // Once a full save re-anchors, the old chain is no longer reachable
+  // from the survivor and GC reclaims it.
+  Model v4 = churned(v3, 1.0, 4);
+  ASSERT_TRUE(handler.save_weights("net", v4).is_ok());
+  handler.drain();
+  ASSERT_FALSE(serial::is_shard_delta(committed_blob(*services, 4)));
+  auto second = durability::apply_retention(*journal.value(), policy);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value().retired, 3u);
+  EXPECT_EQ(second.value().delta_pinned, 0u);
+  EXPECT_TRUE(journal.value()->state().is_committed(4));
+  EXPECT_FALSE(journal.value()->state().is_committed(1));
+}
+
+TEST(DeltaPlane, DeltaStoreOptionsAreValidated) {
+  auto tier = std::make_shared<memsys::MemoryTier>(memsys::polaris_dram());
+
+  EXPECT_TRUE(repo::DeltaStore::Options{}.validate().is_ok());
+  EXPECT_EQ(repo::DeltaStore::Options{.full_every = 0}.validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      repo::DeltaStore::Options{.max_delta_fraction = 0.0}.validate().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      repo::DeltaStore::Options{.max_delta_fraction = 1.5}.validate().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      repo::DeltaStore::Options{.max_delta_fraction = -0.25}.validate().code(),
+      StatusCode::kInvalidArgument);
+
+  // A misconfigured store reports the mistake on put() instead of
+  // silently storing with clamped knobs.
+  repo::DeltaStore bad(tier, {.full_every = 0});
+  Rng rng(3);
+  Model m("net");
+  m.set_version(1);
+  ASSERT_TRUE(
+      m.add_tensor("w", Tensor::random(DType::kF32, Shape{64}, rng).value())
+          .is_ok());
+  auto put = bad.put(m);
+  ASSERT_FALSE(put.is_ok());
+  EXPECT_EQ(put.status().code(), StatusCode::kInvalidArgument);
+
+  repo::DeltaStore good(tier, {.full_every = 4});
+  EXPECT_TRUE(good.put(m).is_ok());
+}
+
+TEST(DeltaPlane, ScenarioDeltaKeyRoundTrips) {
+  sim::ScenarioSpec spec;
+  spec.producers.push_back({.model = "m0", .delta = true});
+  spec.producers.push_back({.model = "m1"});
+  spec.consumers.push_back({});
+  spec.consumers.push_back({});
+  const std::string text = sim::render_scenario(spec);
+  EXPECT_NE(text.find("delta=true"), std::string::npos);
+
+  auto parsed = sim::parse_scenario(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed.value().producers.size(), 2u);
+  EXPECT_TRUE(parsed.value().producers[0].delta);
+  EXPECT_FALSE(parsed.value().producers[1].delta);
+  EXPECT_EQ(sim::render_scenario(parsed.value()), text);
+}
+
+}  // namespace
+}  // namespace viper::core
